@@ -1,0 +1,21 @@
+//! Criterion bench regenerating the Figure 8 data (E3): the ZNat relation and
+//! the matching-precondition extraction for each mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmatch_bench::{figure8_points, figure8_preconditions};
+
+fn bench_figure8(c: &mut Criterion) {
+    c.bench_function("figure8/relation_grid", |b| {
+        b.iter(|| figure8_points(std::hint::black_box(-1..=4)))
+    });
+    c.bench_function("figure8/precondition_extraction", |b| {
+        b.iter(figure8_preconditions)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_figure8
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench regenerating the token-count columns of Table 1 (E1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmatch_syntax::count_tokens;
+
+fn bench_token_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_tokens");
+    for entry in jmatch_corpus::entries() {
+        group.bench_function(format!("jmatch/{}", entry.name), |b| {
+            b.iter(|| count_tokens(std::hint::black_box(entry.jmatch_source)).unwrap())
+        });
+        group.bench_function(format!("java/{}", entry.name), |b| {
+            b.iter(|| count_tokens(std::hint::black_box(entry.java_source)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_token_counts
+}
+criterion_main!(benches);

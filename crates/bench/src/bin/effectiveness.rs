@@ -1,0 +1,24 @@
+//! Prints the §7.3 effectiveness checks: the paper's positive examples stay
+//! warning-free and its negative examples (Figure 6, Figure 12, a missing
+//! case) produce the expected warnings.
+//!
+//! Run with `cargo run -p jmatch-bench --bin effectiveness`.
+
+fn main() {
+    let report = jmatch_bench::effectiveness();
+    println!("§7.3 effectiveness checks\n");
+    for (description, expected, observed) in &report.checks {
+        let status = if expected == observed { "ok " } else { "MISMATCH" };
+        println!(
+            "[{status}] {description} (expected warning: {expected}, observed: {observed})"
+        );
+    }
+    println!(
+        "\n{}",
+        if report.all_pass() {
+            "all effectiveness checks reproduce the paper's reported behaviour"
+        } else {
+            "some checks deviate from the paper; see EXPERIMENTS.md"
+        }
+    );
+}

@@ -1,0 +1,35 @@
+//! Prints the data behind Figure 8: the ZNat relation (a), the region
+//! described by the `matches` clause (b), and the matching preconditions
+//! extracted for each mode.
+//!
+//! Run with `cargo run -p jmatch-bench --bin figure8`.
+
+fn main() {
+    println!("Figure 8(a)/(b): the ZNat relation and its matches-clause region");
+    println!("(rows: result = 4..0, columns: n = -1..4; '#' in relation, '.' in region, ' ' outside)\n");
+    let points = jmatch_bench::figure8_points(-1..=4);
+    for result in (0..=4).rev() {
+        let mut line = format!("result={result} | ");
+        for n in -1..=4 {
+            let p = points
+                .iter()
+                .find(|p| p.n == n && p.result == result)
+                .unwrap();
+            line.push(if p.in_relation {
+                '#'
+            } else if p.in_matches_region {
+                '.'
+            } else {
+                ' '
+            });
+            line.push(' ');
+        }
+        println!("{line}");
+    }
+    println!("          +------------");
+    println!("            n= -1 0 1 2 3 4\n");
+    println!("Matching preconditions extracted from matches(n >= 0) (§4.3–4.4):");
+    for (mode, formula) in jmatch_bench::figure8_preconditions() {
+        println!("  {mode:<18} {formula}");
+    }
+}

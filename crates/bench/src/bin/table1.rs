@@ -1,0 +1,11 @@
+//! Prints the reproduction of Table 1: token counts (JMatch vs Java) and
+//! compilation time with / without verification, next to the paper's numbers.
+//!
+//! Run with `cargo run -p jmatch-bench --bin table1 --release`.
+
+fn main() {
+    let rows = jmatch_bench::measure_all(2);
+    print!("{}", jmatch_bench::render_table1(&rows));
+    let unreproduced = jmatch_corpus::UNREPRODUCED_ROWS.join(", ");
+    println!("\nrows of the paper's Table 1 not reproduced by this corpus: {unreproduced}");
+}

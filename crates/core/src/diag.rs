@@ -1,0 +1,206 @@
+//! Diagnostics produced by the JMatch 2.0 verifier.
+//!
+//! As in the paper (§5.4), failures of exhaustiveness, redundancy, totality
+//! and multiplicity are *warnings*, not errors: they never change the dynamic
+//! semantics, they only inform the programmer. Hard errors (unknown types,
+//! unresolvable methods, unsolvable formulas) stop compilation.
+
+use jmatch_syntax::lexer::Pos;
+use std::fmt;
+
+/// The kind of a verification warning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarningKind {
+    /// A `switch`/`cond` does not cover all values (§5.1).
+    NonExhaustive,
+    /// A `switch`/`cond` arm can never fire (§5.1).
+    RedundantArm,
+    /// A `let` (or variable declaration) may fail to bind (§5.1).
+    LetMayFail,
+    /// A method body may not produce a solution although its extracted
+    /// matching precondition holds — assertion (2) of §5.2.
+    TotalityViolation,
+    /// A method body may succeed without establishing its `ensures` clause —
+    /// assertion (3) of §5.2.
+    PostconditionViolation,
+    /// An interface/abstract method's `matches` clause does not imply its
+    /// `ensures` clause (§5.2).
+    SpecificationMismatch,
+    /// The arms of a `|` (disjoint disjunction) overlap (§5.3).
+    NotDisjoint,
+    /// A non-iterative mode may produce more than one solution (§5.3).
+    Multiplicity,
+    /// The verifier gave up (expansion depth / budget exhausted, §6.2): the
+    /// property could not be confirmed, but no counterexample was found.
+    Unknown,
+}
+
+impl fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WarningKind::NonExhaustive => "non-exhaustive",
+            WarningKind::RedundantArm => "redundant arm",
+            WarningKind::LetMayFail => "let may fail",
+            WarningKind::TotalityViolation => "totality violation",
+            WarningKind::PostconditionViolation => "postcondition violation",
+            WarningKind::SpecificationMismatch => "specification mismatch",
+            WarningKind::NotDisjoint => "not disjoint",
+            WarningKind::Multiplicity => "multiple solutions",
+            WarningKind::Unknown => "could not verify",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single verification diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// What kind of problem was found.
+    pub kind: WarningKind,
+    /// Where the offending construct lives (class / method).
+    pub context: String,
+    /// Human-readable description.
+    pub message: String,
+    /// A counterexample extracted from the solver model, if available.
+    pub counterexample: Option<String>,
+    /// Source position of the construct, when known.
+    pub pos: Option<Pos>,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warning[{}] {}: {}", self.kind, self.context, self.message)?;
+        if let Some(ce) = &self.counterexample {
+            write!(f, " (counterexample: {ce})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A hard compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description of the problem.
+    pub message: String,
+    /// Context (class / method) of the error.
+    pub context: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error in {}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Collected output of a verification run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    /// Warnings, in the order they were produced.
+    pub warnings: Vec<Warning>,
+    /// Hard errors.
+    pub errors: Vec<CompileError>,
+}
+
+impl Diagnostics {
+    /// Creates an empty set of diagnostics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a warning.
+    pub fn warn(
+        &mut self,
+        kind: WarningKind,
+        context: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.warnings.push(Warning {
+            kind,
+            context: context.into(),
+            message: message.into(),
+            counterexample: None,
+            pos: None,
+        });
+    }
+
+    /// Adds a warning carrying a counterexample.
+    pub fn warn_with_counterexample(
+        &mut self,
+        kind: WarningKind,
+        context: impl Into<String>,
+        message: impl Into<String>,
+        counterexample: impl Into<String>,
+    ) {
+        self.warnings.push(Warning {
+            kind,
+            context: context.into(),
+            message: message.into(),
+            counterexample: Some(counterexample.into()),
+            pos: None,
+        });
+    }
+
+    /// Adds a hard error.
+    pub fn error(&mut self, context: impl Into<String>, message: impl Into<String>) {
+        self.errors.push(CompileError {
+            message: message.into(),
+            context: context.into(),
+        });
+    }
+
+    /// Whether any warning of the given kind was produced.
+    pub fn has_warning(&self, kind: WarningKind) -> bool {
+        self.warnings.iter().any(|w| w.kind == kind)
+    }
+
+    /// Warnings of a specific kind.
+    pub fn warnings_of(&self, kind: WarningKind) -> Vec<&Warning> {
+        self.warnings.iter().filter(|w| w.kind == kind).collect()
+    }
+
+    /// Whether no warnings and no errors were produced.
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty() && self.errors.is_empty()
+    }
+
+    /// Merges another set of diagnostics into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.warnings.extend(other.warnings);
+        self.errors.extend(other.errors);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_and_queries_warnings() {
+        let mut d = Diagnostics::new();
+        assert!(d.is_clean());
+        d.warn(WarningKind::NonExhaustive, "plus", "missing case");
+        d.warn_with_counterexample(
+            WarningKind::RedundantArm,
+            "length",
+            "arm 3 never fires",
+            "l = cons(_, _)",
+        );
+        assert!(!d.is_clean());
+        assert!(d.has_warning(WarningKind::NonExhaustive));
+        assert!(!d.has_warning(WarningKind::Multiplicity));
+        assert_eq!(d.warnings_of(WarningKind::RedundantArm).len(), 1);
+        let text = d.warnings[1].to_string();
+        assert!(text.contains("redundant arm"));
+        assert!(text.contains("counterexample"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut d = Diagnostics::new();
+        d.error("ZNat.succ", "no mode can solve unknown n");
+        assert_eq!(d.errors.len(), 1);
+        assert!(d.errors[0].to_string().contains("ZNat.succ"));
+    }
+}

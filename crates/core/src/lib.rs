@@ -1,0 +1,165 @@
+//! # jmatch-core
+//!
+//! The static-analysis half of the JMatch 2.0 reproduction (*Reconciling
+//! Exhaustive Pattern Matching with Objects*, PLDI 2013): class-table
+//! resolution, mode analysis, matching-precondition extraction (`ExtractM`),
+//! verification-condition generation (the paper's `F` language and the
+//! `VF`/`VM`/`VP` translations of Figure 10), and the verification driver for
+//! exhaustiveness, redundancy, totality, disjointness and multiplicity.
+//!
+//! ## Example
+//!
+//! ```
+//! use jmatch_core::{compile, CompileOptions, WarningKind};
+//!
+//! let source = "
+//!     interface Nat {
+//!         invariant(this = zero() | succ(_));
+//!         constructor zero() returns();
+//!         constructor succ(Nat n) returns(n);
+//!     }
+//!     static Nat pred(Nat m) {
+//!         switch (m) {
+//!             case succ(Nat k): return k;
+//!         }
+//!     }
+//! ";
+//! let result = compile(source, &CompileOptions::default())?;
+//! // The switch is missing the zero() case, and the verifier says so.
+//! assert!(result.diagnostics.has_warning(WarningKind::NonExhaustive)
+//!     || result.diagnostics.has_warning(WarningKind::Unknown));
+//! # Ok::<(), jmatch_syntax::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod expand;
+pub mod extract;
+pub mod table;
+pub mod vc;
+pub mod verify;
+
+pub use diag::{CompileError, Diagnostics, Warning, WarningKind};
+pub use expand::JMatchExpander;
+pub use extract::{extract, Extracted};
+pub use table::{ClassTable, MethodInfo, Mode, TypeInfo};
+pub use vc::{Env, Seq, VcGen, F};
+pub use verify::{Verifier, VerifyOptions};
+
+use jmatch_syntax::{parse_program, ParseError, Program};
+use std::rc::Rc;
+
+/// Options for [`compile`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Whether to run the static verification passes (exhaustiveness,
+    /// redundancy, totality, disjointness, multiplicity). Turning this off
+    /// corresponds to the "w/o verif" column of the paper's Table 1.
+    pub verify: bool,
+    /// Iterative-deepening bound for lazy expansion (§6.2).
+    pub max_expansion_depth: u32,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            verify: true,
+            max_expansion_depth: 3,
+        }
+    }
+}
+
+/// The result of compiling a JMatch program.
+#[derive(Debug, Clone)]
+pub struct Compilation {
+    /// The parsed program.
+    pub program: Program,
+    /// The resolved class table.
+    pub table: Rc<ClassTable>,
+    /// Warnings and errors produced by resolution and verification.
+    pub diagnostics: Diagnostics,
+}
+
+/// Parses, resolves, and (optionally) verifies a JMatch program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the source is not syntactically valid; semantic
+/// problems are reported through [`Compilation::diagnostics`] instead.
+pub fn compile(source: &str, options: &CompileOptions) -> Result<Compilation, ParseError> {
+    let program = parse_program(source)?;
+    let mut diagnostics = Diagnostics::new();
+    let table = ClassTable::build(&program, &mut diagnostics);
+    if options.verify {
+        let verifier = Verifier::new(
+            Rc::clone(&table),
+            VerifyOptions {
+                max_expansion_depth: options.max_expansion_depth,
+                report_unknown: false,
+            },
+        );
+        diagnostics.extend(verifier.verify_program());
+    }
+    Ok(Compilation {
+        program,
+        table,
+        diagnostics,
+    })
+}
+
+/// Compiles several source files as one program (they are concatenated; the
+/// dialect has no package system).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if any source fails to parse.
+pub fn compile_sources<'a>(
+    sources: impl IntoIterator<Item = &'a str>,
+    options: &CompileOptions,
+) -> Result<Compilation, ParseError> {
+    let combined: String = sources.into_iter().collect::<Vec<_>>().join("\n");
+    compile(&combined, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_without_verification_reports_no_warnings() {
+        let src = "
+            interface Nat {
+                invariant(this = zero() | succ(_));
+                constructor zero() returns();
+                constructor succ(Nat n) returns(n);
+            }
+            static Nat pred(Nat m) {
+                switch (m) {
+                    case succ(Nat k): return k;
+                }
+            }
+        ";
+        let no_verify = compile(
+            src,
+            &CompileOptions {
+                verify: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(no_verify.diagnostics.warnings.is_empty());
+        let verify = compile(src, &CompileOptions::default()).unwrap();
+        assert!(!verify.diagnostics.warnings.is_empty());
+    }
+
+    #[test]
+    fn compile_sources_concatenates() {
+        let a = "interface I { constructor mk() returns(); }";
+        let b = "class C implements I { constructor mk() returns() ( true ) }";
+        let c = compile_sources([a, b], &CompileOptions::default()).unwrap();
+        assert!(c.table.type_info("I").is_some());
+        assert!(c.table.type_info("C").is_some());
+    }
+}

@@ -1,0 +1,644 @@
+//! Java counterparts of the corpus rows, used for the Table 1 token-count
+//! comparison (§7.2).
+//!
+//! These are ordinary Java implementations of the same abstractions, written
+//! the way a Java programmer would without modal abstraction: separate
+//! observers, constructors, `instanceof` tests and explicit iterators replace
+//! the single multimodal methods of the JMatch versions. They are lexed (not
+//! compiled) — only their token counts matter.
+
+/// Java version of the `Nat` interface.
+pub const NAT_INTERFACE: &str = r#"
+interface Nat {
+    boolean isZero();
+    Nat pred();
+    Nat succ();
+    boolean natEquals(Nat other);
+}
+"#;
+
+/// Java version of `PZero`.
+pub const PZERO: &str = r#"
+class PZero implements Nat {
+    public boolean isZero() { return true; }
+    public Nat pred() { throw new IllegalStateException("zero has no predecessor"); }
+    public Nat succ() { return new PSucc(this); }
+    public boolean natEquals(Nat other) {
+        return other != null && other.isZero();
+    }
+    public Nat plus(Nat other) { return other; }
+    public int hashCode() { return 0; }
+    public boolean equals(Object o) {
+        return o instanceof Nat && ((Nat) o).isZero();
+    }
+    public String toString() { return "0"; }
+}
+"#;
+
+/// Java version of `PSucc`.
+pub const PSUCC: &str = r#"
+class PSucc implements Nat {
+    private final Nat pred;
+    public PSucc(Nat pred) {
+        if (pred == null) throw new IllegalArgumentException("null predecessor");
+        this.pred = pred;
+    }
+    public boolean isZero() { return false; }
+    public Nat pred() { return pred; }
+    public Nat succ() { return new PSucc(this); }
+    public boolean natEquals(Nat other) {
+        if (other == null || other.isZero()) return false;
+        return pred.natEquals(other.pred());
+    }
+    public Nat plus(Nat other) { return new PSucc(pred.plus(other)); }
+    public int hashCode() { return 1 + pred.hashCode(); }
+    public boolean equals(Object o) {
+        if (!(o instanceof Nat)) return false;
+        Nat n = (Nat) o;
+        return !n.isZero() && pred.natEquals(n.pred());
+    }
+    public String toString() { return "S(" + pred.toString() + ")"; }
+}
+"#;
+
+/// Java version of `ZNat`.
+pub const ZNAT: &str = r#"
+class ZNat implements Nat {
+    private final int val;
+    private ZNat(int n) {
+        if (n < 0) throw new IllegalArgumentException("negative natural");
+        this.val = n;
+    }
+    public static ZNat zero() { return new ZNat(0); }
+    public static ZNat succOf(Nat n) {
+        return new ZNat(toInt(n) + 1);
+    }
+    private static int toInt(Nat n) {
+        if (n instanceof ZNat) return ((ZNat) n).val;
+        int count = 0;
+        while (!n.isZero()) { n = n.pred(); count++; }
+        return count;
+    }
+    public boolean isZero() { return val == 0; }
+    public Nat pred() {
+        if (val == 0) throw new IllegalStateException("zero has no predecessor");
+        return new ZNat(val - 1);
+    }
+    public Nat succ() { return new ZNat(val + 1); }
+    public boolean natEquals(Nat other) { return toInt(other) == val; }
+    public int toInt() { return val; }
+    public boolean greaterThan(Nat x) { return val > toInt(x); }
+    public java.util.Iterator<Nat> allSmaller() {
+        final int limit = val;
+        return new java.util.Iterator<Nat>() {
+            int next = 0;
+            public boolean hasNext() { return next < limit; }
+            public Nat next() { return new ZNat(next++); }
+        };
+    }
+    public static Nat plus(Nat m, Nat n) {
+        if (m.isZero()) return n;
+        if (n.isZero()) return m;
+        return plus(m.pred(), n.succ());
+    }
+    public int hashCode() { return val; }
+    public boolean equals(Object o) {
+        return o instanceof Nat && natEquals((Nat) o);
+    }
+}
+"#;
+
+/// Java version of the `List` interface.
+pub const LIST_INTERFACE: &str = r#"
+interface List {
+    boolean isNil();
+    Object head();
+    List tail();
+    List front();
+    Object last();
+    List reversed();
+    boolean contains(Object elem);
+    java.util.Iterator<Object> elements();
+    int size();
+    boolean listEquals(List other);
+}
+"#;
+
+/// Java version of `EmptyList`.
+pub const EMPTY_LIST: &str = r#"
+class EmptyList implements List {
+    public static final EmptyList NIL = new EmptyList();
+    private EmptyList() {}
+    public boolean isNil() { return true; }
+    public Object head() { throw new java.util.NoSuchElementException("empty list"); }
+    public List tail() { throw new java.util.NoSuchElementException("empty list"); }
+    public List front() { throw new java.util.NoSuchElementException("empty list"); }
+    public Object last() { throw new java.util.NoSuchElementException("empty list"); }
+    public List reversed() { return this; }
+    public boolean contains(Object elem) { return false; }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            public boolean hasNext() { return false; }
+            public Object next() { throw new java.util.NoSuchElementException(); }
+        };
+    }
+    public int size() { return 0; }
+    public boolean listEquals(List other) { return other != null && other.isNil(); }
+    public int hashCode() { return 1; }
+    public boolean equals(Object o) { return o instanceof List && ((List) o).isNil(); }
+    public String toString() { return "[]"; }
+}
+"#;
+
+/// Java version of `ConsList`.
+pub const CONS_LIST: &str = r#"
+class ConsList implements List {
+    private final Object head;
+    private final List tail;
+    public ConsList(Object head, List tail) {
+        if (tail == null) throw new IllegalArgumentException("null tail");
+        this.head = head;
+        this.tail = tail;
+    }
+    public static List cons(Object head, List tail) { return new ConsList(head, tail); }
+    public static List snoc(List front, Object last) {
+        if (front.isNil()) return new ConsList(last, front);
+        return new ConsList(front.head(), snoc(front.tail(), last));
+    }
+    public boolean isNil() { return false; }
+    public Object head() { return head; }
+    public List tail() { return tail; }
+    public List front() {
+        if (tail.isNil()) return EmptyList.NIL;
+        return new ConsList(head, tail.front());
+    }
+    public Object last() {
+        if (tail.isNil()) return head;
+        return tail.last();
+    }
+    public List reversed() {
+        List out = EmptyList.NIL;
+        List cur = this;
+        while (!cur.isNil()) {
+            out = new ConsList(cur.head(), out);
+            cur = cur.tail();
+        }
+        return out;
+    }
+    public boolean contains(Object elem) {
+        List cur = this;
+        while (!cur.isNil()) {
+            Object h = cur.head();
+            if (h == null ? elem == null : h.equals(elem)) return true;
+            cur = cur.tail();
+        }
+        return false;
+    }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            List cur = ConsList.this;
+            public boolean hasNext() { return !cur.isNil(); }
+            public Object next() {
+                Object h = cur.head();
+                cur = cur.tail();
+                return h;
+            }
+        };
+    }
+    public int size() { return 1 + tail.size(); }
+    public boolean listEquals(List other) {
+        if (other == null || other.isNil()) return false;
+        Object oh = other.head();
+        boolean heads = head == null ? oh == null : head.equals(oh);
+        return heads && tail.listEquals(other.tail());
+    }
+    public static int length(List l) {
+        int n = 0;
+        while (!l.isNil()) { n++; l = l.tail(); }
+        return n;
+    }
+    public int hashCode() { return 31 * tail.hashCode() + (head == null ? 0 : head.hashCode()); }
+    public boolean equals(Object o) { return o instanceof List && listEquals((List) o); }
+    public String toString() { return head + " :: " + tail; }
+}
+"#;
+
+/// Java version of `SnocList`.
+pub const SNOC_LIST: &str = r#"
+class SnocList implements List {
+    private final List front;
+    private final Object last;
+    public SnocList(List front, Object last) {
+        if (front == null) throw new IllegalArgumentException("null front");
+        this.front = front;
+        this.last = last;
+    }
+    public static List snoc(List front, Object last) { return new SnocList(front, last); }
+    public static List cons(Object head, List tail) {
+        if (tail.isNil()) return new SnocList(tail, head);
+        return new SnocList(cons(head, tail.front()), tail.last());
+    }
+    public boolean isNil() { return false; }
+    public Object head() {
+        if (front.isNil()) return last;
+        return front.head();
+    }
+    public List tail() {
+        if (front.isNil()) return front;
+        return new SnocList(front.tail(), last);
+    }
+    public List front() { return front; }
+    public Object last() { return last; }
+    public List reversed() {
+        List out = EmptyList.NIL;
+        java.util.Iterator<Object> it = elements();
+        while (it.hasNext()) { out = new SnocList(out, it.next()); }
+        List reversedOut = EmptyList.NIL;
+        it = elements();
+        java.util.Deque<Object> stack = new java.util.ArrayDeque<Object>();
+        while (it.hasNext()) stack.push(it.next());
+        while (!stack.isEmpty()) reversedOut = new SnocList(reversedOut, stack.pop());
+        return reversedOut;
+    }
+    public boolean contains(Object elem) {
+        if (last == null ? elem == null : last.equals(elem)) return true;
+        return front.contains(elem);
+    }
+    public java.util.Iterator<Object> elements() {
+        final java.util.List<Object> buffer = new java.util.ArrayList<Object>();
+        List cur = this;
+        while (!cur.isNil()) { buffer.add(0, cur.last()); cur = cur.front(); }
+        return buffer.iterator();
+    }
+    public int size() { return 1 + front.size(); }
+    public boolean listEquals(List other) {
+        if (other == null || other.isNil()) return false;
+        Object ol = other.last();
+        boolean lasts = last == null ? ol == null : last.equals(ol);
+        return lasts && front.listEquals(other.front());
+    }
+    public int hashCode() { return 31 * front.hashCode() + (last == null ? 0 : last.hashCode()); }
+    public boolean equals(Object o) { return o instanceof List && listEquals((List) o); }
+    public String toString() { return front + " ++ [" + last + "]"; }
+}
+"#;
+
+/// Java version of `ArrList`.
+pub const ARR_LIST: &str = r#"
+class ArrList implements List {
+    private final Object[] elems;
+    private final int count;
+    private ArrList(Object[] elems, int count) {
+        this.elems = elems;
+        this.count = count;
+    }
+    public static ArrList nil() { return new ArrList(new Object[4], 0); }
+    public static ArrList push(ArrList base, Object x) {
+        Object[] store = base.elems;
+        if (base.count == store.length) {
+            Object[] grown = new Object[store.length * 2];
+            System.arraycopy(store, 0, grown, 0, store.length);
+            store = grown;
+        }
+        store[base.count] = x;
+        return new ArrList(store, base.count + 1);
+    }
+    public boolean isNil() { return count == 0; }
+    public Object head() {
+        if (count == 0) throw new java.util.NoSuchElementException("empty list");
+        return elems[count - 1];
+    }
+    public List tail() {
+        if (count == 0) throw new java.util.NoSuchElementException("empty list");
+        return new ArrList(elems, count - 1);
+    }
+    public List front() {
+        if (count == 0) throw new java.util.NoSuchElementException("empty list");
+        Object[] copy = new Object[count - 1];
+        System.arraycopy(elems, 1, copy, 0, count - 1);
+        return new ArrList(copy, count - 1);
+    }
+    public Object last() {
+        if (count == 0) throw new java.util.NoSuchElementException("empty list");
+        return elems[0];
+    }
+    public List reversed() {
+        ArrList out = nil();
+        for (int i = count - 1; i >= 0; i--) out = push(out, elems[i]);
+        return out;
+    }
+    public boolean contains(Object elem) {
+        for (int i = 0; i < count; i++) {
+            Object e = elems[i];
+            if (e == null ? elem == null : e.equals(elem)) return true;
+        }
+        return false;
+    }
+    public java.util.Iterator<Object> elements() {
+        return new java.util.Iterator<Object>() {
+            int i = count - 1;
+            public boolean hasNext() { return i >= 0; }
+            public Object next() { return elems[i--]; }
+        };
+    }
+    public int size() { return count; }
+    public boolean listEquals(List other) {
+        if (other == null || other.size() != count) return false;
+        List cur = other;
+        for (int i = count - 1; i >= 0; i--) {
+            Object mine = elems[i];
+            Object theirs = cur.head();
+            if (mine == null ? theirs != null : !mine.equals(theirs)) return false;
+            cur = cur.tail();
+        }
+        return true;
+    }
+    public int hashCode() {
+        int h = 1;
+        for (int i = 0; i < count; i++) h = 31 * h + (elems[i] == null ? 0 : elems[i].hashCode());
+        return h;
+    }
+    public boolean equals(Object o) { return o instanceof List && listEquals((List) o); }
+}
+"#;
+
+/// Java version of the `Expr` interface.
+pub const EXPR_INTERFACE: &str = r#"
+interface Expr {
+    boolean isVar();
+    boolean isLambda();
+    boolean isApply();
+    Object varName();
+    Expr lambdaParam();
+    Expr lambdaBody();
+    Expr applyFn();
+    Expr applyArg();
+    int size();
+}
+"#;
+
+/// Java version of `Variable`.
+pub const VARIABLE: &str = r#"
+class Variable implements Expr {
+    private final Object name;
+    public Variable(Object name) { this.name = name; }
+    public boolean isVar() { return true; }
+    public boolean isLambda() { return false; }
+    public boolean isApply() { return false; }
+    public Object varName() { return name; }
+    public Expr lambdaParam() { throw new UnsupportedOperationException("not a lambda"); }
+    public Expr lambdaBody() { throw new UnsupportedOperationException("not a lambda"); }
+    public Expr applyFn() { throw new UnsupportedOperationException("not an application"); }
+    public Expr applyArg() { throw new UnsupportedOperationException("not an application"); }
+    public int size() { return 1; }
+    public boolean occursIn(Expr e) {
+        if (e.isVar()) return e.varName().equals(name);
+        if (e.isLambda()) return occursIn(e.lambdaBody());
+        return occursIn(e.applyFn()) || occursIn(e.applyArg());
+    }
+    public int hashCode() { return name.hashCode(); }
+    public boolean equals(Object o) {
+        return o instanceof Expr && ((Expr) o).isVar() && ((Expr) o).varName().equals(name);
+    }
+    public String toString() { return String.valueOf(name); }
+}
+"#;
+
+/// Java version of `Lambda`.
+pub const LAMBDA: &str = r#"
+class LambdaExpr implements Expr {
+    private final Expr param;
+    private final Expr body;
+    public LambdaExpr(Expr param, Expr body) {
+        if (!param.isVar()) throw new IllegalArgumentException("lambda parameter must be a variable");
+        this.param = param;
+        this.body = body;
+    }
+    public boolean isVar() { return false; }
+    public boolean isLambda() { return true; }
+    public boolean isApply() { return false; }
+    public Object varName() { throw new UnsupportedOperationException("not a variable"); }
+    public Expr lambdaParam() { return param; }
+    public Expr lambdaBody() { return body; }
+    public Expr applyFn() { throw new UnsupportedOperationException("not an application"); }
+    public Expr applyArg() { throw new UnsupportedOperationException("not an application"); }
+    public int size() { return param.size() + body.size() + 1; }
+    public boolean binds(Expr v) { return param.equals(v); }
+    public int hashCode() { return 31 * param.hashCode() + body.hashCode(); }
+    public boolean equals(Object o) {
+        if (!(o instanceof Expr)) return false;
+        Expr e = (Expr) o;
+        return e.isLambda() && e.lambdaParam().equals(param) && e.lambdaBody().equals(body);
+    }
+    public String toString() { return "\\" + param + "." + body; }
+}
+"#;
+
+/// Java version of `Apply`.
+pub const APPLY: &str = r#"
+class ApplyExpr implements Expr {
+    private final Expr fn;
+    private final Expr arg;
+    public ApplyExpr(Expr fn, Expr arg) {
+        this.fn = fn;
+        this.arg = arg;
+    }
+    public boolean isVar() { return false; }
+    public boolean isLambda() { return false; }
+    public boolean isApply() { return true; }
+    public Object varName() { throw new UnsupportedOperationException("not a variable"); }
+    public Expr lambdaParam() { throw new UnsupportedOperationException("not a lambda"); }
+    public Expr lambdaBody() { throw new UnsupportedOperationException("not a lambda"); }
+    public Expr applyFn() { return fn; }
+    public Expr applyArg() { return arg; }
+    public int size() { return fn.size() + arg.size() + 1; }
+    public Expr callee() { return fn; }
+    public int hashCode() { return 31 * fn.hashCode() + arg.hashCode(); }
+    public boolean equals(Object o) {
+        if (!(o instanceof Expr)) return false;
+        Expr e = (Expr) o;
+        return e.isApply() && e.applyFn().equals(fn) && e.applyArg().equals(arg);
+    }
+    public String toString() { return "(" + fn + " " + arg + ")"; }
+}
+"#;
+
+/// Java version of the CPS converter: two separate, manually-inverted
+/// traversals (the JMatch version is one invertible method).
+pub const CPS: &str = r#"
+class CpsConverter {
+    private int freshCounter = 0;
+    private Variable freshVar(String base) { return new Variable(base + (freshCounter++)); }
+
+    public Expr toCps(Expr e) {
+        Variable k = freshVar("k");
+        if (e.isVar()) {
+            return new LambdaExpr(k, new ApplyExpr(k, e));
+        }
+        if (e.isLambda()) {
+            Expr vl = e.lambdaParam();
+            Expr body = e.lambdaBody();
+            Variable k2 = freshVar("k");
+            return new LambdaExpr(k,
+                new ApplyExpr(k, new LambdaExpr(vl,
+                    new LambdaExpr(k2, new ApplyExpr(toCps(body), k2)))));
+        }
+        Expr fn = e.applyFn();
+        Expr arg = e.applyArg();
+        Variable f = freshVar("f");
+        Variable v = freshVar("v");
+        return new LambdaExpr(k, new ApplyExpr(toCps(fn),
+            new LambdaExpr(f, new ApplyExpr(toCps(arg),
+                new LambdaExpr(v, new ApplyExpr(new ApplyExpr(f, v), k))))));
+    }
+
+    public Expr fromCps(Expr target) {
+        if (!target.isLambda()) throw new IllegalArgumentException("not CPS form");
+        Expr k = target.lambdaParam();
+        Expr body = target.lambdaBody();
+        if (!body.isApply()) throw new IllegalArgumentException("not CPS form");
+        ApplyExpr app = (ApplyExpr) body;
+        if (app.applyFn().equals(k)) {
+            Expr payload = app.applyArg();
+            if (payload.isVar()) return payload;
+            if (payload.isLambda()) {
+                Expr vl = payload.lambdaParam();
+                Expr inner = payload.lambdaBody();
+                Expr innerBody = inner.lambdaBody();
+                ApplyExpr innerApp = (ApplyExpr) innerBody;
+                return new LambdaExpr(vl, fromCps(innerApp.applyFn()));
+            }
+            throw new IllegalArgumentException("not CPS form");
+        }
+        Expr fnCps = app.applyFn();
+        Expr cont = app.applyArg();
+        Expr argCps = ((ApplyExpr) ((LambdaExpr) cont).lambdaBody()).applyFn();
+        ApplyExpr call = (ApplyExpr) ((LambdaExpr) ((ApplyExpr) ((LambdaExpr) cont).lambdaBody()).applyArg()).lambdaBody();
+        return new ApplyExpr(fromCps(fnCps), fromCps(argCps));
+    }
+
+    public static int sizeOfCps(Expr source) {
+        if (source.isVar()) return 1;
+        if (source.isLambda()) return sizeOfCps(source.lambdaBody()) + 1;
+        return sizeOfCps(source.applyFn()) + sizeOfCps(source.applyArg()) + 1;
+    }
+}
+"#;
+
+/// Java version of the `Tree` interface.
+pub const TREE_INTERFACE: &str = r#"
+interface Tree {
+    boolean isLeaf();
+    Tree left();
+    int value();
+    Tree right();
+    int height();
+    boolean contains(int x);
+}
+"#;
+
+/// Java version of `TreeLeaf`.
+pub const TREE_LEAF: &str = r#"
+class TreeLeaf implements Tree {
+    public static final TreeLeaf LEAF = new TreeLeaf();
+    private TreeLeaf() {}
+    public boolean isLeaf() { return true; }
+    public Tree left() { throw new UnsupportedOperationException("leaf has no children"); }
+    public int value() { throw new UnsupportedOperationException("leaf has no value"); }
+    public Tree right() { throw new UnsupportedOperationException("leaf has no children"); }
+    public int height() { return 0; }
+    public boolean contains(int x) { return false; }
+    public int hashCode() { return 7; }
+    public boolean equals(Object o) { return o instanceof Tree && ((Tree) o).isLeaf(); }
+    public String toString() { return "."; }
+}
+"#;
+
+/// Java version of `TreeBranch`.
+pub const TREE_BRANCH: &str = r#"
+class TreeBranch implements Tree {
+    private final Tree left;
+    private final int value;
+    private final Tree right;
+    private final int height;
+    public TreeBranch(Tree left, int value, Tree right) {
+        this.left = left;
+        this.value = value;
+        this.right = right;
+        this.height = 1 + Math.max(left.height(), right.height());
+    }
+    public boolean isLeaf() { return false; }
+    public Tree left() { return left; }
+    public int value() { return value; }
+    public Tree right() { return right; }
+    public int height() { return height; }
+    public boolean contains(int x) {
+        return x == value || left.contains(x) || right.contains(x);
+    }
+    public int hashCode() {
+        return 31 * (31 * left.hashCode() + value) + right.hashCode();
+    }
+    public boolean equals(Object o) {
+        if (!(o instanceof Tree)) return false;
+        Tree t = (Tree) o;
+        return !t.isLeaf() && t.value() == value
+            && t.left().equals(left) && t.right().equals(right);
+    }
+    public String toString() { return "(" + left + " " + value + " " + right + ")"; }
+}
+"#;
+
+/// Java version of the AVL tree.
+pub const AVL_TREE: &str = r#"
+class AVLTree {
+    private Tree root = TreeLeaf.LEAF;
+
+    public static Tree rebalance(Tree l, int v, Tree r) {
+        if (l.height() - r.height() > 1) {
+            Tree ll = l.left();
+            Tree lr = l.right();
+            if (ll.height() >= lr.height()) {
+                return new TreeBranch(new TreeBranch(ll.left(), ll.isLeaf() ? 0 : ll.value(), ll.isLeaf() ? ll : ll.right()),
+                                      l.value(),
+                                      new TreeBranch(lr, v, r));
+            } else {
+                return new TreeBranch(new TreeBranch(ll, l.value(), lr.left()),
+                                      lr.value(),
+                                      new TreeBranch(lr.right(), v, r));
+            }
+        }
+        if (r.height() - l.height() > 1) {
+            Tree rl = r.left();
+            Tree rr = r.right();
+            if (rl.height() > rr.height()) {
+                return new TreeBranch(new TreeBranch(l, v, rl.left()),
+                                      rl.value(),
+                                      new TreeBranch(rl.right(), r.value(), rr));
+            } else {
+                return new TreeBranch(new TreeBranch(l, v, rl),
+                                      r.value(),
+                                      new TreeBranch(rr.left(), rr.isLeaf() ? 0 : rr.value(), rr.isLeaf() ? rr : rr.right()));
+            }
+        }
+        return new TreeBranch(l, v, r);
+    }
+
+    public static Tree insert(Tree t, int x) {
+        if (t.isLeaf()) return new TreeBranch(TreeLeaf.LEAF, x, TreeLeaf.LEAF);
+        if (x < t.value()) return rebalance(insert(t.left(), x), t.value(), t.right());
+        if (x > t.value()) return rebalance(t.left(), t.value(), insert(t.right(), x));
+        return t;
+    }
+
+    public static boolean member(Tree t, int x) {
+        if (t.isLeaf()) return false;
+        if (x == t.value()) return true;
+        if (x < t.value()) return member(t.left(), x);
+        return member(t.right(), x);
+    }
+
+    public void add(int x) { root = insert(root, x); }
+    public boolean has(int x) { return member(root, x); }
+    public int height() { return root.height(); }
+}
+"#;

@@ -1,0 +1,409 @@
+//! JMatch 2.0 sources for the Table 1 corpus rows.
+//!
+//! These are this reproduction's versions of the paper's evaluation programs
+//! (§7.1): natural numbers, immutable lists, a lambda-calculus AST with an
+//! invertible CPS conversion, and binary trees with an AVL rebalance.
+
+/// Figure 2: the `Nat` interface with named constructors and an invariant.
+pub const NAT_INTERFACE: &str = r#"
+interface Nat {
+    invariant(this = zero() | succ(_));
+    constructor zero() returns();
+    constructor succ(Nat n) returns(n);
+    constructor equals(Nat n);
+}
+"#;
+
+/// Figure 3: the unary representation of zero.
+pub const PZERO: &str = r#"
+class PZero implements Nat {
+    constructor zero() returns() ( true )
+    constructor succ(Nat n) returns(n) ( false )
+    constructor equals(Nat n) ( n.zero() )
+    boolean isZero() returns() ( zero() )
+    Nat plus(Nat other) matches(true) ( result = other )
+}
+"#;
+
+/// Figure 3: the unary successor representation.
+pub const PSUCC: &str = r#"
+class PSucc implements Nat {
+    Nat pred;
+    constructor zero() returns() ( false )
+    constructor succ(Nat n) returns(n) ( pred = n )
+    constructor equals(Nat n) ( n.succ(pred) )
+    boolean isZero() returns() ( false )
+    Nat plus(Nat other) matches(true) ( result = PSucc.succ(pred.plus(other)) )
+}
+"#;
+
+/// Figures 3 and 7: natural numbers represented by a nonnegative `int`.
+pub const ZNAT: &str = r#"
+class ZNat implements Nat {
+    int val;
+    private invariant(val >= 0);
+    private ZNat(int n) matches(n >= 0) returns(n) ( val = n && n >= 0 )
+    constructor zero() returns() ( val = 0 )
+    constructor succ(Nat n) returns(n) ( val >= 1 && ZNat(val - 1) = n )
+    constructor equals(Nat n) ( zero() && n.zero() | succ(Nat y) && n.succ(y) )
+    boolean isZero() returns() ( val = 0 )
+    int toInt() ensures(result >= 0) ( result = val )
+    boolean greater(Nat x) iterates(x)
+        ( this = succ(Nat y) && (y = x || y.greater(x)) )
+}
+static Nat plus(Nat m, Nat n) {
+    switch (m, n) {
+        case (zero(), Nat x):
+        case (x, zero()):
+            return x;
+        case (succ(Nat k), _):
+            return plus(k, ZNat.succ(n));
+    }
+}
+"#;
+
+/// Figure 12: the `List` interface for immutable lists.
+pub const LIST_INTERFACE: &str = r#"
+interface List {
+    invariant(this = nil() | cons(_, _));
+    constructor nil() matches(notall(result));
+    constructor cons(Object hd, List tl)
+        matches(notall(result)) returns(hd, tl);
+    constructor snoc(List hd, Object tl)
+        matches ensures(cons(_, _)) returns(hd, tl);
+    constructor equals(List l);
+    constructor reverse(List l) matches(true) returns(l);
+    boolean contains(Object elem) iterates(elem);
+    int size() ensures(result >= 0);
+}
+"#;
+
+/// The empty-list implementation.
+pub const EMPTY_LIST: &str = r#"
+class EmptyList implements List {
+    constructor nil() returns() ( true )
+    constructor cons(Object hd, List tl) returns(hd, tl) ( false )
+    constructor snoc(List hd, Object tl) returns(hd, tl) ( false )
+    constructor equals(List l) ( l.nil() )
+    constructor reverse(List l) matches(true) returns(l) ( l = this )
+    boolean contains(Object elem) iterates(elem) ( false )
+    int size() ensures(result >= 0) ( result = 0 )
+}
+"#;
+
+/// Regular cons lists (Figure 12 shows the `snoc` constructor).
+pub const CONS_LIST: &str = r#"
+class ConsList implements List {
+    Object head;
+    List tail;
+    constructor nil() returns() ( false )
+    constructor cons(Object hd, List tl) returns(hd, tl)
+        ( head = hd && tail = tl )
+    constructor snoc(List h, Object t)
+        matches ensures(cons(_, _)) returns(h, t) (
+        h = EmptyList.nil() && cons(t, h)
+        | h = cons(Object hh, List ht) && cons(hh, ConsList.snoc(ht, t))
+    )
+    constructor equals(List l)
+        ( l.cons(head, tail) )
+    constructor reverse(List l) matches(true) returns(l)
+        ( l = rev(EmptyList.nil()) )
+    List rev(List acc) matches(true) (
+        (tail = nil() && result = ConsList.cons(head, acc))
+        | (tail = cons(_, _) && result = tail.rev(ConsList.cons(head, acc)))
+    )
+    boolean contains(Object elem) iterates(elem)
+        ( elem = head || tail.contains(elem) )
+    int size() ensures(result >= 0) ( result = tail.size() + 1 )
+}
+static int length(List l) {
+    switch (l) {
+        case nil(): return 0;
+        case snoc(List t, _): return length(t) + 1;
+        case cons(_, List t): return length(t) + 1;
+    }
+}
+"#;
+
+/// Snoc lists: elements are appended at the end.
+pub const SNOC_LIST: &str = r#"
+class SnocList implements List {
+    List front;
+    Object last;
+    constructor nil() returns() ( false )
+    constructor snoc(List hd, Object tl) returns(hd, tl)
+        ( front = hd && last = tl )
+    constructor cons(Object hd, List tl)
+        matches ensures(snoc(_, _)) returns(hd, tl) (
+        (front = EmptyList.nil() && hd = last && tl = front)
+        | (front = cons(Object fh, List ft) && hd = fh
+           && tl = SnocList.snoc(ft, last))
+    )
+    constructor equals(List l)
+        ( l.snoc(front, last) )
+    constructor reverse(List l) matches(true) returns(l)
+        ( this = snoc(List f, Object x) && l = ConsList.cons(x, SnocList.reverse(f)) )
+    boolean contains(Object elem) iterates(elem)
+        ( elem = last || front.contains(elem) )
+    int size() ensures(result >= 0) ( result = front.size() + 1 )
+}
+"#;
+
+/// Array-backed lists: a shared backing array plus a length index.
+pub const ARR_LIST: &str = r#"
+class ArrList implements List {
+    Object[] elems;
+    int count;
+    private invariant(count >= 0);
+    constructor nil() returns() ( count = 0 )
+    constructor cons(Object hd, List tl)
+        matches(notall(result)) returns(hd, tl)
+        ( count >= 1 && hd = elems[count - 1] && tl = prefix(count - 1) )
+    constructor snoc(List hd, Object tl)
+        matches ensures(cons(_, _)) returns(hd, tl)
+        ( count >= 1 && tl = elems[0] && hd = suffix(1) )
+    constructor equals(List l) (
+        count = 0 && l.nil()
+        | count >= 1 && l.cons(elems[count - 1], prefix(count - 1))
+    )
+    constructor reverse(List l) matches(true) returns(l)
+        ( l = toCons().reverse() )
+    List prefix(int k) matches(k >= 0) ensures(true) {
+        ArrList out;
+        let out = ArrList.nil();
+        int i = 0;
+        while (i < k) {
+            out = ArrList.push(out, elems[i]);
+            i = i + 1;
+        }
+        return out;
+    }
+    List suffix(int k) matches(k >= 0) ensures(true) {
+        ArrList out;
+        let out = ArrList.nil();
+        int i = k;
+        while (i < count) {
+            out = ArrList.push(out, elems[i]);
+            i = i + 1;
+        }
+        return out;
+    }
+    List toCons() matches(true) {
+        List out = EmptyList.nil();
+        int i = 0;
+        while (i < count) {
+            out = ConsList.cons(elems[i], out);
+            i = i + 1;
+        }
+        return out;
+    }
+    static ArrList push(ArrList base, Object x) {
+        return base;
+    }
+    boolean contains(Object elem) iterates(elem)
+        ( count >= 1 && (elem = elems[count - 1] || prefix(count - 1).contains(elem)) )
+    int size() ensures(result >= 0) ( result = count )
+}
+"#;
+
+/// The lambda-calculus AST interface used by the CPS example (Figure 5).
+pub const EXPR_INTERFACE: &str = r#"
+interface Expr {
+    invariant(this = Var(_) | Lambda(_, _) | Apply(_, _));
+    constructor Var(Object name) returns(name);
+    constructor Lambda(Expr param, Expr body) returns(param, body);
+    constructor Apply(Expr fn, Expr arg) returns(fn, arg);
+    constructor equals(Expr e);
+    int size() ensures(result >= 1);
+}
+"#;
+
+/// Variables of the lambda-calculus AST.
+pub const VARIABLE: &str = r#"
+class Variable implements Expr {
+    Object name;
+    constructor Var(Object n) returns(n) ( name = n )
+    constructor Lambda(Expr param, Expr body) returns(param, body) ( false )
+    constructor Apply(Expr fn, Expr arg) returns(fn, arg) ( false )
+    constructor equals(Expr e) ( e.Var(name) )
+    int size() ensures(result >= 1) ( result = 1 )
+    boolean occursIn(Expr e) iterates(e) (
+        e.Var(name)
+        || e.Lambda(Expr p, Expr b) && occursIn(b)
+        || e.Apply(Expr f, Expr a) && (occursIn(f) || occursIn(a))
+    )
+}
+"#;
+
+/// Lambda abstractions of the lambda-calculus AST.
+pub const LAMBDA: &str = r#"
+class LambdaExpr implements Expr {
+    Expr param;
+    Expr body;
+    constructor Var(Object n) returns(n) ( false )
+    constructor Lambda(Expr p, Expr b) returns(p, b) ( param = p && body = b )
+    constructor Apply(Expr fn, Expr arg) returns(fn, arg) ( false )
+    constructor equals(Expr e) ( e.Lambda(param, body) )
+    int size() ensures(result >= 1) ( result = param.size() + body.size() + 1 )
+    boolean binds(Expr v) returns() ( v = param )
+}
+"#;
+
+/// Applications of the lambda-calculus AST.
+pub const APPLY: &str = r#"
+class ApplyExpr implements Expr {
+    Expr fn;
+    Expr arg;
+    constructor Var(Object n) returns(n) ( false )
+    constructor Lambda(Expr p, Expr b) returns(p, b) ( false )
+    constructor Apply(Expr f, Expr a) returns(f, a) ( fn = f && arg = a )
+    constructor equals(Expr e) ( e.Apply(fn, arg) )
+    int size() ensures(result >= 1) ( result = fn.size() + arg.size() + 1 )
+    Expr callee() matches(true) ensures(true) ( result = fn )
+}
+"#;
+
+/// Figure 5: invertible conversion to continuation-passing style. The three
+/// disjoint cases are expressed with tuple patterns and `|`, so the same
+/// declarative body runs forwards (CPS conversion) and backwards (un-CPS).
+pub const CPS: &str = r#"
+class CpsConverter {
+    Expr k;
+    public Expr CPS(Expr e) matches(true) returns(e) (
+        (e, result) =
+            (Variable.Var(Object v),
+             LambdaExpr.Lambda(k, ApplyExpr.Apply(k, e)))
+        | (LambdaExpr.Lambda(Expr vl, Expr body),
+           LambdaExpr.Lambda(k,
+               ApplyExpr.Apply(k, LambdaExpr.Lambda(vl,
+                   LambdaExpr.Lambda(k, ApplyExpr.Apply(CPS(body), k))))))
+        | (ApplyExpr.Apply(Expr fn, Expr arg),
+           LambdaExpr.Lambda(k, ApplyExpr.Apply(CPS(fn),
+               LambdaExpr.Lambda(Expr f, ApplyExpr.Apply(CPS(arg),
+                   LambdaExpr.Lambda(Expr va,
+                       ApplyExpr.Apply(ApplyExpr.Apply(f, va), k)))))))
+    )
+    static int sizeOfCps(Expr source) {
+        switch (source) {
+            case Var(_): return 1;
+            case Lambda(_, Expr b): return sizeOfCps(b) + 1;
+            case Apply(Expr f, Expr a): return sizeOfCps(f) + sizeOfCps(a) + 1;
+        }
+    }
+}
+"#;
+
+/// Figure 13: the `Tree` interface with height specifications.
+pub const TREE_INTERFACE: &str = r#"
+interface Tree {
+    invariant(leaf() | branch(_, _, _));
+    constructor leaf() matches(height() = 0) ensures(height() = 0);
+    constructor branch(Tree l, int v, Tree r)
+        matches(height() > 0)
+        ensures(height() > 0 &&
+                (height() = l.height() + 1 && height() > r.height()
+                 || height() > l.height() && height() = r.height() + 1))
+        returns(l, v, r);
+    constructor equals(Tree t);
+    int height() ensures(result >= 0);
+    boolean contains(int x) iterates(x);
+}
+"#;
+
+/// Leaves of the binary tree.
+pub const TREE_LEAF: &str = r#"
+class TreeLeaf implements Tree {
+    constructor leaf() matches(height() = 0) ensures(height() = 0) ( true )
+    constructor branch(Tree l, int v, Tree r) returns(l, v, r) ( false )
+    constructor equals(Tree t) ( t.leaf() )
+    int height() ensures(result >= 0) ( result = 0 )
+    boolean contains(int x) iterates(x) ( false )
+}
+"#;
+
+/// Branches of the binary tree.
+pub const TREE_BRANCH: &str = r#"
+class TreeBranch implements Tree {
+    Tree left;
+    int value;
+    Tree right;
+    int h;
+    private invariant(h >= 1);
+    constructor leaf() returns() ( false )
+    constructor branch(Tree l, int v, Tree r)
+        matches(height() > 0) returns(l, v, r)
+        ( left = l && value = v && right = r )
+    constructor equals(Tree t) ( t.branch(left, value, right) )
+    int height() ensures(result >= 0) ( result = h )
+    boolean contains(int x) iterates(x)
+        ( x = value || left.contains(x) || right.contains(x) )
+}
+"#;
+
+/// Figure 13: the AVL `rebalance` method, whose `cond` is verified exhaustive
+/// using the `Tree` invariant and the `ensures` clause of `branch`.
+pub const AVL_TREE: &str = r#"
+class AVLTree {
+    Tree root;
+
+    static Tree rebalance(Tree l, int v, Tree r) {
+        if (l.height() - r.height() > 1 || r.height() - l.height() > 1)
+            cond {
+                (l.height() - r.height() > 1
+                 && l = branch(Tree ll, int y, Tree c)
+                 && ll = branch(Tree a, int x, Tree b)
+                 && ll.height() >= c.height()
+                 && int z = v && Tree d = r)
+                { return TreeBranch.branch(TreeBranch.branch(a, x, b), y,
+                                           TreeBranch.branch(c, z, d)); }
+                (l.height() - r.height() > 1
+                 && l = branch(Tree a, int x, Tree lr)
+                 && lr = branch(Tree b, int y, Tree c)
+                 && a.height() < lr.height()
+                 && int z = v && Tree d = r)
+                { return TreeBranch.branch(TreeBranch.branch(a, x, b), y,
+                                           TreeBranch.branch(c, z, d)); }
+                (r.height() - l.height() > 1
+                 && Tree a = l && int x = v
+                 && r = branch(Tree rl, int z, Tree d)
+                 && rl = branch(Tree b, int y, Tree c)
+                 && rl.height() > d.height())
+                { return TreeBranch.branch(TreeBranch.branch(a, x, b), y,
+                                           TreeBranch.branch(c, z, d)); }
+                (r.height() - l.height() > 1
+                 && Tree a = l && int x = v
+                 && r = branch(Tree b, int y, Tree rr)
+                 && rr = branch(Tree c, int z, Tree d)
+                 && b.height() <= rr.height())
+                { return TreeBranch.branch(TreeBranch.branch(a, x, b), y,
+                                           TreeBranch.branch(c, z, d)); }
+            }
+        return TreeBranch.branch(l, v, r);
+    }
+
+    static Tree insert(Tree t, int x) {
+        switch (t) {
+            case leaf():
+                return TreeBranch.branch(TreeLeaf.leaf(), x, TreeLeaf.leaf());
+            case branch(Tree l, int v, Tree r):
+                cond {
+                    (x < v) { return rebalance(insert(l, x), v, r); }
+                    (x > v) { return rebalance(l, v, insert(r, x)); }
+                    else { return t; }
+                }
+        }
+    }
+
+    static boolean member(Tree t, int x) {
+        switch (t) {
+            case leaf(): return false;
+            case branch(Tree l, int v, Tree r):
+                cond {
+                    (x = v) { return true; }
+                    (x < v) { return member(l, x); }
+                    else { return member(r, x); }
+                }
+        }
+    }
+}
+"#;

@@ -1,0 +1,243 @@
+//! Tseitin transformation from term-level formulas to CNF clauses.
+//!
+//! The encoder is persistent: it caches the propositional literal chosen for
+//! every subformula (hash-consing in [`crate::TermStore`] makes structurally
+//! equal formulas share the same [`crate::TermId`]), so lemmas added lazily by
+//! theory plugins reuse the atom variables introduced earlier. This is what
+//! lets the DPLL(T) loop add blocking clauses and expansion lemmas
+//! incrementally without re-encoding the whole problem.
+
+use crate::sat::{Lit, PVar, SatSolver};
+use crate::term::{TermData, TermId, TermStore};
+use std::collections::HashMap;
+
+/// Persistent Tseitin encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    lit_of: HashMap<TermId, Lit>,
+    atom_of_var: HashMap<PVar, TermId>,
+    true_lit: Option<Lit>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The literal that is constrained to be true (used for boolean constants).
+    fn true_literal(&mut self, sat: &mut SatSolver) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let v = sat.new_var();
+        let l = Lit::pos(v);
+        sat.add_clause(&[l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    /// Returns the propositional variable standing for a theory atom, if the
+    /// atom has been encoded.
+    pub fn var_for_atom(&self, atom: TermId) -> Option<PVar> {
+        self.lit_of.get(&atom).map(|l| l.var())
+    }
+
+    /// Returns the theory atom corresponding to a propositional variable, if
+    /// that variable encodes an atom (rather than an internal Tseitin node).
+    pub fn atom_for_var(&self, var: PVar) -> Option<TermId> {
+        self.atom_of_var.get(&var).copied()
+    }
+
+    /// Iterates over all `(atom, var)` pairs encoded so far.
+    pub fn atom_vars(&self) -> impl Iterator<Item = (TermId, PVar)> + '_ {
+        self.atom_of_var.iter().map(|(&v, &t)| (t, v))
+    }
+
+    /// Encodes `t` and returns a literal that is equivalent to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not boolean-sorted.
+    pub fn encode(&mut self, store: &TermStore, sat: &mut SatSolver, t: TermId) -> Lit {
+        assert!(
+            store.sort(t).is_bool(),
+            "cannot encode non-boolean term {}",
+            store.display(t)
+        );
+        if let Some(&l) = self.lit_of.get(&t) {
+            return l;
+        }
+        let lit = match store.data(t).clone() {
+            TermData::BoolConst(true) => self.true_literal(sat),
+            TermData::BoolConst(false) => self.true_literal(sat).negate(),
+            TermData::Not(inner) => {
+                let l = self.encode(store, sat, inner);
+                l.negate()
+            }
+            TermData::Var(..) | TermData::App(..) | TermData::Le(..) | TermData::Lt(..)
+            | TermData::Eq(..) => {
+                let v = sat.new_var();
+                self.atom_of_var.insert(v, t);
+                Lit::pos(v)
+            }
+            TermData::And(xs) => {
+                let ls: Vec<Lit> = xs.iter().map(|&x| self.encode(store, sat, x)).collect();
+                let p = Lit::pos(sat.new_var());
+                // p -> each x
+                for &l in &ls {
+                    sat.add_clause(&[p.negate(), l]);
+                }
+                // all x -> p
+                let mut big: Vec<Lit> = ls.iter().map(|l| l.negate()).collect();
+                big.push(p);
+                sat.add_clause(&big);
+                p
+            }
+            TermData::Or(xs) => {
+                let ls: Vec<Lit> = xs.iter().map(|&x| self.encode(store, sat, x)).collect();
+                let p = Lit::pos(sat.new_var());
+                // each x -> p
+                for &l in &ls {
+                    sat.add_clause(&[l.negate(), p]);
+                }
+                // p -> some x
+                let mut big: Vec<Lit> = ls.clone();
+                big.push(p.negate());
+                sat.add_clause(&big);
+                p
+            }
+            TermData::Implies(a, b) => {
+                let la = self.encode(store, sat, a);
+                let lb = self.encode(store, sat, b);
+                let p = Lit::pos(sat.new_var());
+                // p -> (a -> b)
+                sat.add_clause(&[p.negate(), la.negate(), lb]);
+                // (a -> b) -> p, i.e. (~a -> p) and (b -> p)
+                sat.add_clause(&[la, p]);
+                sat.add_clause(&[lb.negate(), p]);
+                p
+            }
+            TermData::Iff(a, b) => {
+                let la = self.encode(store, sat, a);
+                let lb = self.encode(store, sat, b);
+                let p = Lit::pos(sat.new_var());
+                sat.add_clause(&[p.negate(), la.negate(), lb]);
+                sat.add_clause(&[p.negate(), la, lb.negate()]);
+                sat.add_clause(&[p, la, lb]);
+                sat.add_clause(&[p, la.negate(), lb.negate()]);
+                p
+            }
+            other => panic!(
+                "non-boolean construct reached the encoder: {:?} in {}",
+                other,
+                store.display(t)
+            ),
+        };
+        self.lit_of.insert(t, lit);
+        lit
+    }
+
+    /// Encodes `t` and asserts it as a unit clause.
+    pub fn assert_formula(&mut self, store: &TermStore, sat: &mut SatSolver, t: TermId) {
+        let l = self.encode(store, sat, t);
+        sat.add_clause(&[l]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatOutcome;
+    use crate::sorts::Sort;
+
+    fn setup() -> (TermStore, SatSolver, Encoder) {
+        (TermStore::new(), SatSolver::new(), Encoder::new())
+    }
+
+    #[test]
+    fn encode_and_or_not() {
+        let (mut store, mut sat, mut enc) = setup();
+        let p = store.var("p", Sort::Bool);
+        let q = store.var("q", Sort::Bool);
+        let np = store.not(p);
+        let f = store.and2(np, q);
+        enc.assert_formula(&store, &mut sat, f);
+        assert_eq!(sat.solve(), SatOutcome::Sat);
+        let vp = enc.var_for_atom(p).unwrap();
+        let vq = enc.var_for_atom(q).unwrap();
+        assert_eq!(sat.value(vp), Some(false));
+        assert_eq!(sat.value(vq), Some(true));
+    }
+
+    #[test]
+    fn encode_unsat_conjunction() {
+        let (mut store, mut sat, mut enc) = setup();
+        let p = store.var("p", Sort::Bool);
+        let np = store.not(p);
+        let f = store.and2(p, np);
+        enc.assert_formula(&store, &mut sat, f);
+        assert_eq!(sat.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn encode_implication_chain() {
+        let (mut store, mut sat, mut enc) = setup();
+        let p = store.var("p", Sort::Bool);
+        let q = store.var("q", Sort::Bool);
+        let r = store.var("r", Sort::Bool);
+        let i1 = store.implies(p, q);
+        let i2 = store.implies(q, r);
+        let nr = store.not(r);
+        let f = store.and(vec![p, i1, i2, nr]);
+        enc.assert_formula(&store, &mut sat, f);
+        assert_eq!(sat.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn encode_iff() {
+        let (mut store, mut sat, mut enc) = setup();
+        let p = store.var("p", Sort::Bool);
+        let q = store.var("q", Sort::Bool);
+        let f = store.iff(p, q);
+        let np = store.not(p);
+        let g = store.and(vec![f, np, q]);
+        enc.assert_formula(&store, &mut sat, g);
+        assert_eq!(sat.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn constants_encode_correctly() {
+        let (mut store, mut sat, mut enc) = setup();
+        let t = store.tt();
+        let p = store.var("p", Sort::Bool);
+        let f = store.implies(t, p);
+        enc.assert_formula(&store, &mut sat, f);
+        assert_eq!(sat.solve(), SatOutcome::Sat);
+        let vp = enc.var_for_atom(p).unwrap();
+        assert_eq!(sat.value(vp), Some(true));
+    }
+
+    #[test]
+    fn atoms_are_registered_in_reverse_map() {
+        let (mut store, mut sat, mut enc) = setup();
+        let x = store.var("x", Sort::Int);
+        let zero = store.int(0);
+        let atom = store.le(zero, x);
+        enc.assert_formula(&store, &mut sat, atom);
+        let v = enc.var_for_atom(atom).unwrap();
+        assert_eq!(enc.atom_for_var(v), Some(atom));
+        assert_eq!(enc.atom_vars().count(), 1);
+    }
+
+    #[test]
+    fn incremental_encoding_reuses_literals() {
+        let (mut store, mut sat, mut enc) = setup();
+        let p = store.var("p", Sort::Bool);
+        let q = store.var("q", Sort::Bool);
+        let f = store.or2(p, q);
+        let l1 = enc.encode(&store, &mut sat, f);
+        let l2 = enc.encode(&store, &mut sat, f);
+        assert_eq!(l1, l2);
+    }
+}

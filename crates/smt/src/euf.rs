@@ -1,0 +1,350 @@
+//! Congruence closure for equality and uninterpreted functions (EUF).
+//!
+//! JMatch verification conditions use uninterpreted object sorts for every
+//! reference type and uninterpreted functions for method results that the
+//! verifier treats abstractly. This module checks a set of equality and
+//! predicate-application assignments for consistency:
+//!
+//! * asserted equalities are merged with union-find,
+//! * congruence (`x = y  ⟹  f(x) = f(y)`) is propagated to a fixed point,
+//! * asserted disequalities and distinct integer constants must not end up in
+//!   the same class, and
+//! * congruent uninterpreted *predicate* applications must not be assigned
+//!   opposite truth values.
+//!
+//! The check is used as a post-model filter in the DPLL(T) loop: a conflict
+//! produces a blocking clause over the participating atoms.
+
+use crate::term::{TermData, TermId, TermStore};
+use std::collections::{HashMap, HashSet};
+
+/// Result of an EUF consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EufResult {
+    /// The assignments are consistent with the theory of equality.
+    Consistent,
+    /// The assignments are inconsistent; the payload lists the atoms involved.
+    Inconsistent(Vec<TermId>),
+}
+
+/// An assignment of a truth value to an equality or predicate atom.
+pub type AtomAssignment = (TermId, bool);
+
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: HashMap<TermId, TermId>,
+}
+
+impl UnionFind {
+    fn find(&mut self, x: TermId) -> TermId {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    fn union(&mut self, a: TermId, b: TermId) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.parent.insert(ra, rb);
+        true
+    }
+}
+
+/// Checks consistency of equality/predicate assignments.
+///
+/// `assignments` should contain:
+/// * `Eq` atoms (of any sort) with their truth values, and
+/// * boolean `App` atoms (uninterpreted predicates) with their truth values.
+///
+/// Other atoms are ignored so the caller can pass its full atom assignment.
+pub fn check(store: &TermStore, assignments: &[AtomAssignment]) -> EufResult {
+    let mut uf = UnionFind::default();
+    let mut equalities: Vec<(TermId, TermId, TermId)> = Vec::new(); // (a, b, origin atom)
+    let mut disequalities: Vec<(TermId, TermId, TermId)> = Vec::new();
+    let mut predicates: Vec<(TermId, bool)> = Vec::new();
+    let mut relevant_terms: HashSet<TermId> = HashSet::new();
+
+    for &(atom, value) in assignments {
+        match store.data(atom) {
+            TermData::Eq(a, b) => {
+                collect_subterms(store, *a, &mut relevant_terms);
+                collect_subterms(store, *b, &mut relevant_terms);
+                if value {
+                    equalities.push((*a, *b, atom));
+                } else {
+                    disequalities.push((*a, *b, atom));
+                }
+            }
+            TermData::App(..) => {
+                collect_subterms(store, atom, &mut relevant_terms);
+                predicates.push((atom, value));
+            }
+            _ => {}
+        }
+    }
+
+    // Distinct integer constants are never equal; seed them as relevant so a
+    // merged class containing two different constants is detected.
+    let int_constants: Vec<TermId> = relevant_terms
+        .iter()
+        .copied()
+        .filter(|t| matches!(store.data(*t), TermData::IntConst(_)))
+        .collect();
+
+    // Assert the equalities.
+    for &(a, b, _) in &equalities {
+        uf.union(a, b);
+    }
+
+    // Congruence closure to a fixed point.
+    let apps: Vec<TermId> = relevant_terms
+        .iter()
+        .copied()
+        .filter(|t| matches!(store.data(*t), TermData::App(..)))
+        .collect();
+    loop {
+        let mut changed = false;
+        // Group applications by (symbol, arity, representative args).
+        let mut table: HashMap<(usize, Vec<TermId>), TermId> = HashMap::new();
+        for &app in &apps {
+            if let TermData::App(sym, args, _) = store.data(app) {
+                let key_args: Vec<TermId> = args.iter().map(|&a| uf.find(a)).collect();
+                let key = (sym.index(), key_args);
+                if let Some(&other) = table.get(&key) {
+                    if uf.find(other) != uf.find(app) {
+                        uf.union(other, app);
+                        changed = true;
+                    }
+                } else {
+                    table.insert(key, app);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let involved: Vec<TermId> = assignments.iter().map(|&(a, _)| a).collect();
+
+    // Check disequalities.
+    for &(a, b, _) in &disequalities {
+        if uf.find(a) == uf.find(b) {
+            return EufResult::Inconsistent(involved);
+        }
+    }
+
+    // Check distinct integer constants.
+    for i in 0..int_constants.len() {
+        for j in (i + 1)..int_constants.len() {
+            if uf.find(int_constants[i]) == uf.find(int_constants[j]) {
+                return EufResult::Inconsistent(involved);
+            }
+        }
+    }
+
+    // Check predicate congruence: two congruent predicate applications must
+    // not carry opposite truth values.
+    for i in 0..predicates.len() {
+        for j in (i + 1)..predicates.len() {
+            let (p, vp) = predicates[i];
+            let (q, vq) = predicates[j];
+            if vp != vq && congruent(store, &mut uf, p, q) {
+                return EufResult::Inconsistent(involved);
+            }
+        }
+    }
+
+    EufResult::Consistent
+}
+
+/// Computes equivalence-class representatives for the object-sorted terms
+/// mentioned by a *consistent* set of assignments. Used for model building.
+pub fn classes(store: &TermStore, assignments: &[AtomAssignment]) -> HashMap<TermId, u32> {
+    let mut uf = UnionFind::default();
+    let mut relevant: HashSet<TermId> = HashSet::new();
+    for &(atom, value) in assignments {
+        if let TermData::Eq(a, b) = store.data(atom) {
+            collect_subterms(store, *a, &mut relevant);
+            collect_subterms(store, *b, &mut relevant);
+            if value {
+                uf.union(*a, *b);
+            }
+        } else if matches!(store.data(atom), TermData::App(..)) {
+            collect_subterms(store, atom, &mut relevant);
+        }
+    }
+    let mut reps: HashMap<TermId, u32> = HashMap::new();
+    let mut next = 0u32;
+    let mut by_root: HashMap<TermId, u32> = HashMap::new();
+    let mut sorted: Vec<TermId> = relevant
+        .into_iter()
+        .filter(|t| store.sort(*t).is_obj())
+        .collect();
+    sorted.sort();
+    for t in sorted {
+        let root = uf.find(t);
+        let class = *by_root.entry(root).or_insert_with(|| {
+            let c = next;
+            next += 1;
+            c
+        });
+        reps.insert(t, class);
+    }
+    reps
+}
+
+fn congruent(store: &TermStore, uf: &mut UnionFind, p: TermId, q: TermId) -> bool {
+    match (store.data(p).clone(), store.data(q).clone()) {
+        (TermData::App(sp, ap, _), TermData::App(sq, aq, _)) => {
+            sp == sq
+                && ap.len() == aq.len()
+                && ap
+                    .iter()
+                    .zip(aq.iter())
+                    .all(|(&x, &y)| uf.find(x) == uf.find(y))
+        }
+        _ => false,
+    }
+}
+
+fn collect_subterms(store: &TermStore, t: TermId, out: &mut HashSet<TermId>) {
+    if !out.insert(t) {
+        return;
+    }
+    match store.data(t).clone() {
+        TermData::App(_, args, _) => {
+            for a in args {
+                collect_subterms(store, a, out);
+            }
+        }
+        TermData::Add(a, b)
+        | TermData::Sub(a, b)
+        | TermData::Le(a, b)
+        | TermData::Lt(a, b)
+        | TermData::Eq(a, b)
+        | TermData::Implies(a, b)
+        | TermData::Iff(a, b) => {
+            collect_subterms(store, a, out);
+            collect_subterms(store, b, out);
+        }
+        TermData::Neg(a) | TermData::MulConst(_, a) | TermData::Not(a) => {
+            collect_subterms(store, a, out)
+        }
+        TermData::And(xs) | TermData::Or(xs) => {
+            for x in xs {
+                collect_subterms(store, x, out);
+            }
+        }
+        TermData::BoolConst(_) | TermData::IntConst(_) | TermData::Var(..) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorts::Sort;
+
+    fn obj_sort(store: &mut TermStore) -> Sort {
+        let s = store.symbol("Nat");
+        Sort::Obj(s)
+    }
+
+    #[test]
+    fn transitivity_of_equality() {
+        let mut s = TermStore::new();
+        let so = obj_sort(&mut s);
+        let a = s.var("a", so);
+        let b = s.var("b", so);
+        let c = s.var("c", so);
+        let e1 = s.eq(a, b);
+        let e2 = s.eq(b, c);
+        let e3 = s.eq(a, c);
+        // a=b, b=c, a!=c is inconsistent
+        let r = check(&s, &[(e1, true), (e2, true), (e3, false)]);
+        assert!(matches!(r, EufResult::Inconsistent(_)));
+        // a=b, b=c, a=c is consistent
+        let r2 = check(&s, &[(e1, true), (e2, true), (e3, true)]);
+        assert_eq!(r2, EufResult::Consistent);
+    }
+
+    #[test]
+    fn congruence_of_functions() {
+        let mut s = TermStore::new();
+        let so = obj_sort(&mut s);
+        let x = s.var("x", so);
+        let y = s.var("y", so);
+        let fx = s.app("pred", vec![x], so);
+        let fy = s.app("pred", vec![y], so);
+        let exy = s.eq(x, y);
+        let efxy = s.eq(fx, fy);
+        // x=y and pred(x) != pred(y) is inconsistent
+        let r = check(&s, &[(exy, true), (efxy, false)]);
+        assert!(matches!(r, EufResult::Inconsistent(_)));
+        // x!=y and pred(x) != pred(y) is consistent
+        let r2 = check(&s, &[(exy, false), (efxy, false)]);
+        assert_eq!(r2, EufResult::Consistent);
+    }
+
+    #[test]
+    fn distinct_int_constants_conflict_when_merged() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let one = s.int(1);
+        let two = s.int(2);
+        let e1 = s.eq(x, one);
+        let e2 = s.eq(x, two);
+        let r = check(&s, &[(e1, true), (e2, true)]);
+        assert!(matches!(r, EufResult::Inconsistent(_)));
+    }
+
+    #[test]
+    fn predicate_congruence() {
+        let mut s = TermStore::new();
+        let so = obj_sort(&mut s);
+        let x = s.var("x", so);
+        let y = s.var("y", so);
+        let px = s.app("zero", vec![x], Sort::Bool);
+        let py = s.app("zero", vec![y], Sort::Bool);
+        let exy = s.eq(x, y);
+        // x=y, zero(x), !zero(y) is inconsistent
+        let r = check(&s, &[(exy, true), (px, true), (py, false)]);
+        assert!(matches!(r, EufResult::Inconsistent(_)));
+        // without x=y it is consistent
+        let r2 = check(&s, &[(exy, false), (px, true), (py, false)]);
+        assert_eq!(r2, EufResult::Consistent);
+    }
+
+    #[test]
+    fn nested_congruence_propagates() {
+        let mut s = TermStore::new();
+        let so = obj_sort(&mut s);
+        let x = s.var("x", so);
+        let y = s.var("y", so);
+        let fx = s.app("f", vec![x], so);
+        let fy = s.app("f", vec![y], so);
+        let gfx = s.app("g", vec![fx], so);
+        let gfy = s.app("g", vec![fy], so);
+        let exy = s.eq(x, y);
+        let egg = s.eq(gfx, gfy);
+        let r = check(&s, &[(exy, true), (egg, false)]);
+        assert!(matches!(r, EufResult::Inconsistent(_)));
+    }
+
+    #[test]
+    fn irrelevant_atoms_are_ignored() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let zero = s.int(0);
+        let le = s.le(x, zero);
+        let r = check(&s, &[(le, true)]);
+        assert_eq!(r, EufResult::Consistent);
+    }
+}

@@ -1,0 +1,741 @@
+//! Linear integer arithmetic (QF_LIA) feasibility checking.
+//!
+//! The JMatch verification conditions produce conjunctions of linear
+//! constraints over mathematical integers (`val >= 0`, `result = n + 1`,
+//! `height(l) - height(r) > 1`, ...). This module decides feasibility of such
+//! conjunctions:
+//!
+//! 1. every atom is normalized into `Σ aᵢ·xᵢ ≤ c` form with integer
+//!    coefficients (strict inequalities over integers become non-strict by
+//!    subtracting one),
+//! 2. rational feasibility is decided by Fourier–Motzkin elimination with
+//!    integer bound tightening,
+//! 3. a sample point is produced by back-substitution, preferring integral
+//!    values, and
+//! 4. branch-and-bound splits on fractional values and on violated
+//!    disequalities until an integer model is found or a branching budget is
+//!    exhausted.
+//!
+//! The branching budget makes the procedure incomplete in the usual way
+//! (Presburger-hard corner cases return [`LiaResult::Unknown`]); the JMatch
+//! compiler treats `Unknown` as "could not find a counterexample, but there
+//! might be one", exactly as the paper describes for iterative-deepening
+//! timeouts (§6.2).
+
+use crate::rational::Rat;
+use crate::term::{TermData, TermId, TermStore};
+use std::collections::HashMap;
+
+/// Result of a linear-arithmetic feasibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiaResult {
+    /// The constraints admit an integer solution; the model maps every atomic
+    /// integer term to its value.
+    Feasible(HashMap<TermId, i64>),
+    /// The constraints are unsatisfiable over the rationals (hence over the
+    /// integers). The payload is the subset of input atoms that participated.
+    Infeasible(Vec<TermId>),
+    /// The branching budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+/// A linear expression `Σ coeff·key + constant` over atomic integer terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Coefficients per atomic term (variables and integer-sorted
+    /// uninterpreted applications).
+    pub coeffs: HashMap<TermId, i64>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+impl LinExpr {
+    fn add_term(&mut self, key: TermId, coeff: i64) {
+        let entry = self.coeffs.entry(key).or_insert(0);
+        *entry += coeff;
+        if *entry == 0 {
+            self.coeffs.remove(&key);
+        }
+    }
+
+    fn scale(&mut self, c: i64) {
+        for v in self.coeffs.values_mut() {
+            *v *= c;
+        }
+        self.constant *= c;
+    }
+
+    fn add(&mut self, other: &LinExpr, sign: i64) {
+        for (&k, &v) in &other.coeffs {
+            self.add_term(k, sign * v);
+        }
+        self.constant += sign * other.constant;
+    }
+}
+
+/// Extracts a linear expression from an integer-sorted term.
+///
+/// Atomic subterms (variables and uninterpreted applications) become keys of
+/// the expression; everything else must be built from `+`, `-`, unary
+/// negation, constant multiplication and integer constants.
+///
+/// # Panics
+///
+/// Panics if the term is not integer-sorted.
+pub fn linearize(store: &TermStore, t: TermId) -> LinExpr {
+    assert!(
+        store.sort(t).is_int(),
+        "linearize: expected an Int term, got {}",
+        store.display(t)
+    );
+    let mut out = LinExpr::default();
+    linearize_into(store, t, 1, &mut out);
+    out
+}
+
+fn linearize_into(store: &TermStore, t: TermId, sign: i64, out: &mut LinExpr) {
+    match store.data(t) {
+        TermData::IntConst(n) => out.constant += sign * n,
+        TermData::Var(..) | TermData::App(..) => out.add_term(t, sign),
+        TermData::Add(a, b) => {
+            linearize_into(store, *a, sign, out);
+            linearize_into(store, *b, sign, out);
+        }
+        TermData::Sub(a, b) => {
+            linearize_into(store, *a, sign, out);
+            linearize_into(store, *b, -sign, out);
+        }
+        TermData::Neg(a) => linearize_into(store, *a, -sign, out),
+        TermData::MulConst(c, a) => linearize_into(store, *a, sign * c, out),
+        other => panic!("non-linear integer term: {other:?}"),
+    }
+}
+
+/// A single normalized constraint `Σ coeff·var ≤ bound`.
+#[derive(Debug, Clone)]
+struct Constraint {
+    coeffs: HashMap<TermId, i64>,
+    bound: i64,
+}
+
+/// An assignment of a truth value to a theory atom.
+pub type AtomAssignment = (TermId, bool);
+
+/// Checks feasibility of a set of integer-arithmetic atom assignments.
+///
+/// `assignments` maps each arithmetic atom (an `Le`, `Lt` or integer `Eq`
+/// term) to the truth value the SAT core chose for it. Atoms of other
+/// theories must be filtered out by the caller.
+pub fn check(store: &TermStore, assignments: &[AtomAssignment]) -> LiaResult {
+    let mut constraints: Vec<Constraint> = Vec::new();
+    let mut disequalities: Vec<(LinExpr, TermId)> = Vec::new();
+
+    for &(atom, value) in assignments {
+        match store.data(atom) {
+            TermData::Le(a, b) => {
+                let mut e = linearize(store, *a);
+                let eb = linearize(store, *b);
+                e.add(&eb, -1);
+                if value {
+                    // a - b <= 0
+                    constraints.push(from_expr(e, 0));
+                } else {
+                    // a - b > 0  <=>  b - a <= -1
+                    let mut neg = e;
+                    neg.scale(-1);
+                    constraints.push(from_expr(neg, -1));
+                }
+            }
+            TermData::Lt(a, b) => {
+                let mut e = linearize(store, *a);
+                let eb = linearize(store, *b);
+                e.add(&eb, -1);
+                if value {
+                    // a - b < 0  <=>  a - b <= -1
+                    constraints.push(from_expr(e, -1));
+                } else {
+                    // a - b >= 0  <=>  b - a <= 0
+                    let mut neg = e;
+                    neg.scale(-1);
+                    constraints.push(from_expr(neg, 0));
+                }
+            }
+            TermData::Eq(a, b) if store.sort(*a).is_int() => {
+                let mut e = linearize(store, *a);
+                let eb = linearize(store, *b);
+                e.add(&eb, -1);
+                if value {
+                    constraints.push(from_expr(e.clone(), 0));
+                    let mut neg = e;
+                    neg.scale(-1);
+                    constraints.push(from_expr(neg, 0));
+                } else {
+                    disequalities.push((e, atom));
+                }
+            }
+            other => panic!("not an arithmetic atom: {other:?}"),
+        }
+    }
+
+    let mut budget = Budget {
+        remaining: 8_000,
+        exhausted: false,
+    };
+    let result = solve_rec(&constraints, &disequalities, &mut budget);
+    match result {
+        Some(model) => LiaResult::Feasible(model),
+        None if budget.exhausted => LiaResult::Unknown,
+        None => {
+            let involved: Vec<TermId> = assignments.iter().map(|&(a, _)| a).collect();
+            LiaResult::Infeasible(involved)
+        }
+    }
+}
+
+fn from_expr(e: LinExpr, slack: i64) -> Constraint {
+    // e.coeffs + e.constant <= slack  =>  coeffs <= slack - constant
+    Constraint {
+        coeffs: e.coeffs,
+        bound: slack - e.constant,
+    }
+}
+
+struct Budget {
+    remaining: u64,
+    exhausted: bool,
+}
+
+impl Budget {
+    fn spend(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+}
+
+/// Recursive branch-and-bound search. Returns an integer model or `None`.
+fn solve_rec(
+    constraints: &[Constraint],
+    disequalities: &[(LinExpr, TermId)],
+    budget: &mut Budget,
+) -> Option<HashMap<TermId, i64>> {
+    if !budget.spend() {
+        return None;
+    }
+    let rational = fourier_motzkin(constraints)?;
+
+    // Try to round the rational model into an integer model.
+    let mut int_model: HashMap<TermId, i64> = HashMap::new();
+    let mut fractional: Option<(TermId, Rat)> = None;
+    for (&var, &val) in &rational {
+        match val.as_integer() {
+            Some(i) => {
+                int_model.insert(var, i as i64);
+            }
+            None => {
+                if fractional.is_none() {
+                    fractional = Some((var, val));
+                }
+            }
+        }
+    }
+
+    if let Some((var, val)) = fractional {
+        // Branch: var <= floor(val)  or  var >= ceil(val).
+        let lo = val.floor() as i64;
+        let hi = val.ceil() as i64;
+        let mut left = constraints.to_vec();
+        left.push(single_var_le(var, lo));
+        if let Some(m) = solve_rec(&left, disequalities, budget) {
+            return Some(m);
+        }
+        let mut right = constraints.to_vec();
+        right.push(single_var_ge(var, hi));
+        return solve_rec(&right, disequalities, budget);
+    }
+
+    // All values integral; check disequalities.
+    for (expr, _origin) in disequalities {
+        let mut v = expr.constant;
+        for (&var, &c) in &expr.coeffs {
+            v += c * int_model.get(&var).copied().unwrap_or(0);
+        }
+        if v == 0 {
+            // Violated: expr = 0. Branch expr <= -1 or expr >= 1.
+            let mut left = constraints.to_vec();
+            left.push(Constraint {
+                coeffs: expr.coeffs.clone(),
+                bound: -expr.constant - 1,
+            });
+            if let Some(m) = solve_rec(&left, disequalities, budget) {
+                return Some(m);
+            }
+            let mut right = constraints.to_vec();
+            let negated: HashMap<TermId, i64> =
+                expr.coeffs.iter().map(|(&k, &v)| (k, -v)).collect();
+            right.push(Constraint {
+                coeffs: negated,
+                bound: expr.constant - 1,
+            });
+            return solve_rec(&right, disequalities, budget);
+        }
+    }
+
+    Some(int_model)
+}
+
+fn single_var_le(var: TermId, bound: i64) -> Constraint {
+    let mut coeffs = HashMap::new();
+    coeffs.insert(var, 1);
+    Constraint { coeffs, bound }
+}
+
+fn single_var_ge(var: TermId, bound: i64) -> Constraint {
+    let mut coeffs = HashMap::new();
+    coeffs.insert(var, -1);
+    Constraint {
+        coeffs,
+        bound: -bound,
+    }
+}
+
+/// Fourier–Motzkin elimination with integer tightening. Returns a rational
+/// model if the constraints are feasible over the rationals, `None` otherwise.
+fn fourier_motzkin(constraints: &[Constraint]) -> Option<HashMap<TermId, Rat>> {
+    // Collect the variables in a deterministic order.
+    let mut vars: Vec<TermId> = Vec::new();
+    for c in constraints {
+        for &v in c.coeffs.keys() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    vars.sort();
+
+    // Working representation: (coeffs as Vec aligned with `vars`, bound).
+    #[derive(Clone, Debug)]
+    struct Row {
+        coeffs: Vec<i64>,
+        bound: i64,
+    }
+    let rows: Vec<Row> = constraints
+        .iter()
+        .map(|c| Row {
+            coeffs: vars
+                .iter()
+                .map(|v| c.coeffs.get(v).copied().unwrap_or(0))
+                .collect(),
+            bound: c.bound,
+        })
+        .collect();
+
+    fn gcd(a: i64, b: i64) -> i64 {
+        let (mut a, mut b) = (a.abs(), b.abs());
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+
+    fn tighten(row: &mut Row) {
+        let mut g = 0;
+        for &c in &row.coeffs {
+            g = gcd(g, c);
+        }
+        if g > 1 {
+            for c in &mut row.coeffs {
+                *c /= g;
+            }
+            // integer tightening: floor division of the bound
+            row.bound = row.bound.div_euclid(g);
+        }
+    }
+
+    // Eliminate variables one at a time; remember the constraints mentioning
+    // each eliminated variable for back-substitution.
+    let mut elimination_steps: Vec<(usize, Vec<Row>)> = Vec::new();
+    let mut current = rows.clone();
+    for c in &mut current {
+        tighten(c);
+    }
+
+    for vi in 0..vars.len() {
+        let mentioning: Vec<Row> = current
+            .iter()
+            .filter(|r| r.coeffs[vi] != 0)
+            .cloned()
+            .collect();
+        let mut next: Vec<Row> = current
+            .iter()
+            .filter(|r| r.coeffs[vi] == 0)
+            .cloned()
+            .collect();
+        let lowers: Vec<&Row> = mentioning.iter().filter(|r| r.coeffs[vi] < 0).collect();
+        let uppers: Vec<&Row> = mentioning.iter().filter(|r| r.coeffs[vi] > 0).collect();
+        for lo in &lowers {
+            for up in &uppers {
+                // lo: -a*x + rest_lo <= b_lo (a > 0);  up: c*x + rest_up <= b_up (c > 0)
+                let a = -lo.coeffs[vi];
+                let c = up.coeffs[vi];
+                debug_assert!(a > 0 && c > 0);
+                let mut combined = Row {
+                    coeffs: vec![0; vars.len()],
+                    bound: c * lo.bound + a * up.bound,
+                };
+                for k in 0..vars.len() {
+                    combined.coeffs[k] = c * lo.coeffs[k] + a * up.coeffs[k];
+                }
+                debug_assert_eq!(combined.coeffs[vi], 0);
+                tighten(&mut combined);
+                next.push(combined);
+            }
+        }
+        elimination_steps.push((vi, mentioning));
+        current = next;
+        // Cheap subsumption: drop duplicate rows to curb blowup.
+        current.sort_by(|a, b| a.coeffs.cmp(&b.coeffs).then(a.bound.cmp(&b.bound)));
+        current.dedup_by(|a, b| a.coeffs == b.coeffs && a.bound >= b.bound);
+    }
+
+    // All variables eliminated: remaining rows are `0 <= bound` facts.
+    for r in &current {
+        if r.bound < 0 {
+            return None;
+        }
+    }
+
+    // Back-substitute in reverse elimination order.
+    let mut model: HashMap<TermId, Rat> = HashMap::new();
+    for (vi, mentioning) in elimination_steps.iter().rev() {
+        let var = vars[*vi];
+        let mut lower: Option<Rat> = None;
+        let mut upper: Option<Rat> = None;
+        for row in mentioning {
+            // coeff*x + rest <= bound
+            let coeff = row.coeffs[*vi];
+            let mut rest = Rat::int(-(row.bound as i128));
+            for k in 0..vars.len() {
+                if k == *vi || row.coeffs[k] == 0 {
+                    continue;
+                }
+                let val = model.get(&vars[k]).copied().unwrap_or(Rat::ZERO);
+                rest = rest + Rat::int(row.coeffs[k] as i128) * val;
+            }
+            // coeff*x <= -rest
+            let limit = -rest / Rat::int(coeff as i128);
+            if coeff > 0 {
+                upper = Some(match upper {
+                    None => limit,
+                    Some(u) => {
+                        if limit < u {
+                            limit
+                        } else {
+                            u
+                        }
+                    }
+                });
+            } else {
+                lower = Some(match lower {
+                    None => limit,
+                    Some(l) => {
+                        if limit > l {
+                            limit
+                        } else {
+                            l
+                        }
+                    }
+                });
+            }
+        }
+        let value = choose_value(lower, upper);
+        model.insert(var, value);
+    }
+    Some(model)
+}
+
+/// Chooses a value within `[lower, upper]`, preferring small integers.
+fn choose_value(lower: Option<Rat>, upper: Option<Rat>) -> Rat {
+    match (lower, upper) {
+        (None, None) => Rat::ZERO,
+        (Some(l), None) => {
+            if l <= Rat::ZERO {
+                Rat::ZERO
+            } else {
+                Rat::int(l.ceil())
+            }
+        }
+        (None, Some(u)) => {
+            if u >= Rat::ZERO {
+                Rat::ZERO
+            } else {
+                Rat::int(u.floor())
+            }
+        }
+        (Some(l), Some(u)) => {
+            if l <= Rat::ZERO && Rat::ZERO <= u {
+                return Rat::ZERO;
+            }
+            // Prefer an integer in [l, u]; otherwise the midpoint.
+            let li = l.ceil();
+            if Rat::int(li) <= u {
+                Rat::int(li)
+            } else {
+                (l + u) * Rat::new(1, 2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorts::Sort;
+
+    fn int_var(store: &mut TermStore, name: &str) -> TermId {
+        store.var(name, Sort::Int)
+    }
+
+    #[test]
+    fn linearize_combines_terms() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let y = int_var(&mut s, "y");
+        let two = s.int(2);
+        let tx = s.mul_const(3, x);
+        let sum = s.add(tx, y);
+        let e = s.sub(sum, two);
+        let lin = linearize(&s, e);
+        assert_eq!(lin.constant, -2);
+        assert_eq!(lin.coeffs.get(&x), Some(&3));
+        assert_eq!(lin.coeffs.get(&y), Some(&1));
+    }
+
+    #[test]
+    fn simple_feasible_bounds() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let zero = s.int(0);
+        let ten = s.int(10);
+        let a1 = s.le(zero, x);
+        let a2 = s.le(x, ten);
+        let r = check(&s, &[(a1, true), (a2, true)]);
+        match r {
+            LiaResult::Feasible(m) => {
+                let v = m[&x];
+                assert!((0..=10).contains(&v));
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_infeasible_bounds() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let zero = s.int(0);
+        let a1 = s.lt(x, zero);
+        let a2 = s.le(zero, x);
+        let r = check(&s, &[(a1, true), (a2, true)]);
+        assert!(matches!(r, LiaResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn negated_atoms_flip_constraints() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let zero = s.int(0);
+        // not (x <= 0)  means x >= 1
+        let a = s.le(x, zero);
+        let r = check(&s, &[(a, false)]);
+        match r {
+            LiaResult::Feasible(m) => assert!(m[&x] >= 1),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equalities_propagate_values() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let y = int_var(&mut s, "y");
+        let one = s.int(1);
+        let xp1 = s.add(x, one);
+        let eq = s.eq(y, xp1);
+        let three = s.int(3);
+        let yeq3 = s.eq(y, three);
+        let r = check(&s, &[(eq, true), (yeq3, true)]);
+        match r {
+            LiaResult::Feasible(m) => {
+                assert_eq!(m[&y], 3);
+                assert_eq!(m[&x], 2);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_equalities_are_infeasible() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let one = s.int(1);
+        let two = s.int(2);
+        let e1 = s.eq(x, one);
+        let e2 = s.eq(x, two);
+        let r = check(&s, &[(e1, true), (e2, true)]);
+        assert!(matches!(r, LiaResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn disequality_branches_away_from_equal_value() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let zero = s.int(0);
+        let five = s.int(5);
+        let a1 = s.le(zero, x);
+        let a2 = s.le(x, five);
+        let eq0 = s.eq(x, zero);
+        // x in [0,5] and x != 0
+        let r = check(&s, &[(a1, true), (a2, true), (eq0, false)]);
+        match r {
+            LiaResult::Feasible(m) => {
+                assert!(m[&x] >= 1 && m[&x] <= 5);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinched_disequality_is_infeasible() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let three = s.int(3);
+        let le = s.le(x, three);
+        let ge = s.ge(x, three);
+        let eq = s.eq(x, three);
+        let r = check(&s, &[(le, true), (ge, true), (eq, false)]);
+        assert!(matches!(r, LiaResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn integer_tightening_finds_gap() {
+        // 2x >= 1 and 2x <= 1 has the rational solution x = 1/2 but no integer
+        // solution. Branch and bound must report infeasible.
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let one = s.int(1);
+        let two_x = s.mul_const(2, x);
+        let a1 = s.ge(two_x, one);
+        let a2 = s.le(two_x, one);
+        let r = check(&s, &[(a1, true), (a2, true)]);
+        assert!(matches!(r, LiaResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn chain_of_inequalities() {
+        // x < y, y < z, z < x is infeasible.
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let y = int_var(&mut s, "y");
+        let z = int_var(&mut s, "z");
+        let a1 = s.lt(x, y);
+        let a2 = s.lt(y, z);
+        let a3 = s.lt(z, x);
+        let r = check(&s, &[(a1, true), (a2, true), (a3, true)]);
+        assert!(matches!(r, LiaResult::Infeasible(_)));
+        // Dropping one link makes it feasible.
+        let r2 = check(&s, &[(a1, true), (a2, true)]);
+        assert!(matches!(r2, LiaResult::Feasible(_)));
+    }
+
+    #[test]
+    fn uninterpreted_int_application_is_an_atomic_variable() {
+        let mut s = TermStore::new();
+        let x = int_var(&mut s, "x");
+        let h = s.app("height", vec![x], Sort::Int);
+        let zero = s.int(0);
+        let a1 = s.ge(h, zero);
+        let one = s.int(1);
+        let a2 = s.le(h, one);
+        let r = check(&s, &[(a1, true), (a2, true)]);
+        match r {
+            LiaResult::Feasible(m) => assert!(m[&h] == 0 || m[&h] == 1),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    /// Tiny deterministic xorshift generator so the randomized property test
+    /// does not need an external RNG crate.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn range(&mut self, lo: i64, hi: i64) -> i64 {
+            lo + (self.next() % ((hi - lo) as u64)) as i64
+        }
+        fn chance(&mut self, percent: u64) -> bool {
+            self.next() % 100 < percent
+        }
+    }
+
+    #[test]
+    fn model_satisfies_all_constraints_property() {
+        // A small randomized property: generate constraint systems and check
+        // that reported models satisfy them.
+        let mut rng = XorShift(0x2026_0615);
+        for _ in 0..100 {
+            let mut s = TermStore::new();
+            let vars: Vec<TermId> = (0..3).map(|i| s.var(&format!("v{i}"), Sort::Int)).collect();
+            let mut atoms = Vec::new();
+            for _ in 0..4 {
+                let a = vars[rng.range(0, 3) as usize];
+                let b = vars[rng.range(0, 3) as usize];
+                let c = s.int(rng.range(-5, 5));
+                let lhs = s.add(a, c);
+                let atom = if rng.chance(50) {
+                    s.le(lhs, b)
+                } else {
+                    s.lt(b, lhs)
+                };
+                atoms.push((atom, rng.chance(80)));
+            }
+            if let LiaResult::Feasible(m) = check(&s, &atoms) {
+                for &(atom, val) in &atoms {
+                    let holds = eval_atom(&s, atom, &m);
+                    assert_eq!(holds, val, "model violates atom {}", s.display(atom));
+                }
+            }
+        }
+    }
+
+    fn eval_atom(s: &TermStore, atom: TermId, m: &HashMap<TermId, i64>) -> bool {
+        fn eval(s: &TermStore, t: TermId, m: &HashMap<TermId, i64>) -> i64 {
+            match s.data(t) {
+                TermData::IntConst(n) => *n,
+                TermData::Var(..) | TermData::App(..) => m.get(&t).copied().unwrap_or(0),
+                TermData::Add(a, b) => eval(s, *a, m) + eval(s, *b, m),
+                TermData::Sub(a, b) => eval(s, *a, m) - eval(s, *b, m),
+                TermData::Neg(a) => -eval(s, *a, m),
+                TermData::MulConst(c, a) => c * eval(s, *a, m),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match s.data(atom) {
+            TermData::Le(a, b) => eval(s, *a, m) <= eval(s, *b, m),
+            TermData::Lt(a, b) => eval(s, *a, m) < eval(s, *b, m),
+            TermData::Eq(a, b) => eval(s, *a, m) == eval(s, *b, m),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

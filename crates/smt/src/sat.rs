@@ -1,0 +1,671 @@
+//! A CDCL (conflict-driven clause learning) propositional SAT solver.
+//!
+//! This is the propositional engine underneath the DPLL(T) loop in
+//! [`crate::solver`]. It implements the standard MiniSat-style architecture:
+//! two-literal watching, first-UIP conflict analysis with non-chronological
+//! backjumping, VSIDS-like activity-based decision ordering, and phase saving.
+//! Clause-database reduction and restarts are deliberately simple because the
+//! formulas produced by the JMatch verifier are small (hundreds of clauses).
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+pub type PVar = u32;
+
+/// A literal: a variable together with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var` with the given polarity (`true` = positive).
+    pub fn new(var: PVar, positive: bool) -> Lit {
+        Lit(var * 2 + u32::from(!positive))
+    }
+
+    /// Creates a positive literal.
+    pub fn pos(var: PVar) -> Lit {
+        Lit::new(var, true)
+    }
+
+    /// Creates a negative literal.
+    pub fn neg(var: PVar) -> Lit {
+        Lit::new(var, false)
+    }
+
+    /// The variable of this literal.
+    pub fn var(self) -> PVar {
+        self.0 / 2
+    }
+
+    /// Whether this literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// The opposite literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index usable for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "~x{}", self.var())
+        }
+    }
+}
+
+/// Result of a propositional solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+const INVALID_CLAUSE: usize = usize::MAX;
+
+/// The CDCL solver.
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<usize>>,
+    assign: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    unsat: bool,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            var_inc: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Allocates a fresh propositional variable.
+    pub fn new_var(&mut self) -> PVar {
+        let v = self.assign.len() as PVar;
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(INVALID_CLAUSE);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of learnt (conflict-derived) clauses currently in the database.
+    pub fn num_learnt(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    /// Number of conflicts seen so far (statistics).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions made so far (statistics).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of unit propagations performed so far (statistics).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Current value of a variable in the last model (or current trail).
+    pub fn value(&self, var: PVar) -> Option<bool> {
+        self.assign[var as usize]
+    }
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.assign[lit.var() as usize].map(|v| v == lit.is_positive())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the clause set became trivially
+    /// unsatisfiable (an empty clause was derived at level 0).
+    ///
+    /// Clauses may be added between calls to [`SatSolver::solve`]; the solver
+    /// backtracks to decision level zero first.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.cancel_until(0);
+        // Normalize: sort, dedup, drop tautologies and false literals at level 0.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        let mut filtered = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == l.negate() {
+                return true; // tautology: contains l and ~l
+            }
+            if i > 0 && ls[i - 1] == l.negate() {
+                return true;
+            }
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied at level 0
+                Some(false) => {}          // drop the falsified literal
+                None => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], INVALID_CLAUSE);
+                if self.propagate() != INVALID_CLAUSE {
+                    self.unsat = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        let idx = self.clauses.len();
+        self.watches[lits[0].negate().index()].push(idx);
+        self.watches[lits[1].negate().index()].push(idx);
+        self.clauses.push(Clause { lits, learnt });
+        idx
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: usize) {
+        debug_assert!(self.lit_value(lit).is_none());
+        let v = lit.var() as usize;
+        self.assign[v] = Some(lit.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.phase[v] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, or
+    /// `INVALID_CLAUSE` if no conflict arose.
+    fn propagate(&mut self) -> usize {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            // Clauses watching ~p must find a new watch or propagate/conflict.
+            let false_lit = p.negate();
+            let watch_idx = p.index(); // watches[p] holds clauses where ~p is watched
+            let mut i = 0;
+            'clauses: while i < self.watches[watch_idx].len() {
+                let ci = self.watches[watch_idx][i];
+                // Make sure the false literal is at position 1.
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.lit_value(lk) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[watch_idx].swap_remove(i);
+                        let new_watch = self.clauses[ci].lits[1].negate().index();
+                        self.watches[new_watch].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    self.qhead = self.trail.len();
+                    return ci;
+                }
+                self.enqueue(first, ci);
+                i += 1;
+            }
+        }
+        INVALID_CLAUSE
+    }
+
+    fn bump_var(&mut self, v: PVar) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(0)]; // placeholder for the asserting literal
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            debug_assert_ne!(confl, INVALID_CLAUSE);
+            let start = usize::from(p.is_some());
+            let clause_lits = self.clauses[confl].lits.clone();
+            for &q in clause_lits.iter().skip(start) {
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve on.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var() as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var() as usize;
+            seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pv];
+        }
+        learnt[0] = p.unwrap().negate();
+
+        // Compute the backjump level: the second-highest level in the clause.
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var() as usize]
+        };
+        (learnt, backjump)
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target as usize];
+        while self.trail.len() > lim {
+            let l = self.trail.pop().unwrap();
+            let v = l.var() as usize;
+            self.assign[v] = None;
+            self.reason[v] = INVALID_CLAUSE;
+        }
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<PVar> {
+        let mut best: Option<PVar> = None;
+        let mut best_act = -1.0f64;
+        for v in 0..self.num_vars() {
+            if self.assign[v].is_none() && self.activity[v] > best_act {
+                best_act = self.activity[v];
+                best = Some(v as PVar);
+            }
+        }
+        best
+    }
+
+    /// Solves the current clause set.
+    ///
+    /// After [`SatOutcome::Sat`], every allocated variable has a value
+    /// retrievable via [`SatSolver::value`] (unconstrained variables get their
+    /// saved phase, defaulting to `false`).
+    pub fn solve(&mut self) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate() != INVALID_CLAUSE {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        loop {
+            let confl = self.propagate();
+            if confl != INVALID_CLAUSE {
+                self.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SatOutcome::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(confl);
+                self.cancel_until(backjump);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], INVALID_CLAUSE);
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    self.enqueue(learnt[0], ci);
+                }
+                self.decay_activity();
+            } else {
+                match self.pick_branch_var() {
+                    None => return SatOutcome::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v as usize];
+                        self.enqueue(Lit::new(v, phase), INVALID_CLAUSE);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// Returns `Sat` if the clause set together with the assumptions is
+    /// satisfiable. Unlike incremental SAT solvers this implementation does
+    /// not produce a final conflict clause over the assumptions; it is only
+    /// used by tests and the core-minimization helper in the SMT layer.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate() != INVALID_CLAUSE {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        // Enqueue assumptions as decisions.
+        for &a in assumptions {
+            match self.lit_value(a) {
+                Some(true) => continue,
+                Some(false) => {
+                    self.cancel_until(0);
+                    return SatOutcome::Unsat;
+                }
+                None => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(a, INVALID_CLAUSE);
+                    if self.propagate() != INVALID_CLAUSE {
+                        self.cancel_until(0);
+                        return SatOutcome::Unsat;
+                    }
+                }
+            }
+        }
+        let assumption_level = self.decision_level();
+        loop {
+            let confl = self.propagate();
+            if confl != INVALID_CLAUSE {
+                self.conflicts += 1;
+                if self.decision_level() <= assumption_level {
+                    self.cancel_until(0);
+                    return SatOutcome::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(confl);
+                let backjump = backjump.max(assumption_level);
+                self.cancel_until(backjump);
+                if learnt.len() == 1 {
+                    if self.decision_level() == 0 {
+                        self.enqueue(learnt[0], INVALID_CLAUSE);
+                    } else if self.lit_value(learnt[0]).is_none() {
+                        let ci = self.attach_clause_unit_guard(learnt.clone());
+                        self.enqueue(learnt[0], ci);
+                    } else if self.lit_value(learnt[0]) == Some(false) {
+                        self.cancel_until(0);
+                        return SatOutcome::Unsat;
+                    }
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    if self.lit_value(learnt[0]).is_none() {
+                        self.enqueue(learnt[0], ci);
+                    }
+                }
+                self.decay_activity();
+            } else {
+                match self.pick_branch_var() {
+                    None => return SatOutcome::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v as usize];
+                        self.enqueue(Lit::new(v, phase), INVALID_CLAUSE);
+                    }
+                }
+            }
+        }
+    }
+
+    fn attach_clause_unit_guard(&mut self, mut lits: Vec<Lit>) -> usize {
+        // A learnt unit clause under assumptions cannot be attached with two
+        // watches; pad it with a duplicate literal so the watch scheme holds.
+        if lits.len() == 1 {
+            lits.push(lits[0]);
+        }
+        self.attach_clause(lits, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: PVar, pos: bool) -> Lit {
+        Lit::new(v, pos)
+    }
+
+    #[test]
+    fn literal_encoding_roundtrips() {
+        let l = Lit::pos(7);
+        assert_eq!(l.var(), 7);
+        assert!(l.is_positive());
+        assert_eq!(l.negate().var(), 7);
+        assert!(!l.negate().is_positive());
+        assert_eq!(l.negate().negate(), l);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        // a, a->b, b->c, c->d  =>  d must be true.
+        let mut s = SatSolver::new();
+        let vars: Vec<PVar> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[lit(vars[0], true)]);
+        for w in vars.windows(2) {
+            s.add_clause(&[lit(w[0], false), lit(w[1], true)]);
+        }
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        for &v in &vars {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole_unsat() {
+        // p1 in hole, p2 in hole, not both.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        s.add_clause(&[lit(b, true)]);
+        s.add_clause(&[lit(a, false), lit(b, false)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_php_3_2_unsat() {
+        // 3 pigeons, 2 holes: unsatisfiable. Exercises conflict analysis.
+        let mut s = SatSolver::new();
+        // x[p][h] = pigeon p in hole h
+        let mut x = [[0; 2]; 3];
+        for p in 0..3 {
+            for h in 0..2 {
+                x[p][h] = s.new_var();
+            }
+        }
+        for p in 0..3 {
+            s.add_clause(&[lit(x[p][0], true), lit(x[p][1], true)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(&[lit(x[p1][h], false), lit(x[p2][h], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_random_looking_instance() {
+        let mut s = SatSolver::new();
+        let v: Vec<PVar> = (0..6).map(|_| s.new_var()).collect();
+        s.add_clause(&[lit(v[0], true), lit(v[1], true), lit(v[2], false)]);
+        s.add_clause(&[lit(v[2], true), lit(v[3], false)]);
+        s.add_clause(&[lit(v[3], true), lit(v[4], true)]);
+        s.add_clause(&[lit(v[4], false), lit(v[5], false)]);
+        s.add_clause(&[lit(v[0], false), lit(v[5], true)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        // Check the model satisfies each clause.
+        let model: Vec<bool> = v.iter().map(|&x| s.value(x).unwrap()).collect();
+        assert!(model[0] || model[1] || !model[2]);
+        assert!(model[2] || !model[3]);
+        assert!(model[3] || model[4]);
+        assert!(!model[4] || !model[5]);
+        assert!(!model[0] || model[5]);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(b), Some(true));
+        s.add_clause(&[lit(b, false)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_respected() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, false), lit(b, true)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(a, true)]), SatOutcome::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(a, true), lit(b, false)]),
+            SatOutcome::Unsat
+        );
+        // Solver remains usable afterwards.
+        assert_eq!(s.solve(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn all_solutions_of_xor_like_instance() {
+        // (a or b) and (~a or ~b): exactly one of a, b.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        s.add_clause(&[lit(a, false), lit(b, false)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        let m1 = (s.value(a).unwrap(), s.value(b).unwrap());
+        assert_ne!(m1.0, m1.1);
+        // Block and resolve again: the other model.
+        s.add_clause(&[lit(a, !m1.0), lit(b, !m1.1)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        let m2 = (s.value(a).unwrap(), s.value(b).unwrap());
+        assert_ne!(m2.0, m2.1);
+        assert_ne!(m1, m2);
+        // Block again: unsat.
+        s.add_clause(&[lit(a, !m2.0), lit(b, !m2.1)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+}

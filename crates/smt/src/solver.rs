@@ -1,0 +1,594 @@
+//! The DPLL(T) solver: SAT core + theories + lazy expansion.
+//!
+//! The solving loop is the "offline" (model-driven) integration of the
+//! propositional core with the theory solvers:
+//!
+//! 1. the boolean abstraction of the asserted formulas is solved by the CDCL
+//!    core ([`crate::sat`]);
+//! 2. the resulting atom assignment is checked against linear integer
+//!    arithmetic ([`crate::lia`]) and congruence closure ([`crate::euf`]);
+//!    inconsistencies are turned into (greedily minimized) blocking clauses;
+//! 3. uninterpreted predicate atoms are offered to the [`LazyExpander`]
+//!    plugin, which may assert new lemmas (the unrolling of JMatch invariants
+//!    and `matches`/`ensures` clauses); expansion depth is bounded and the
+//!    bound is raised by the iterative-deepening driver
+//!    [`Solver::check_with_expander`];
+//! 4. when neither theories nor the plugin object to a candidate model, it is
+//!    returned as [`SatResult::Sat`].
+//!
+//! The loop terminates because each blocking clause eliminates at least one
+//! assignment of the (finite) atom vocabulary, the plugin is called at most
+//! once per (atom, polarity, depth), and a round budget backstops everything.
+
+use crate::cnf::Encoder;
+use crate::euf::{self, EufResult};
+use crate::lia::{self, LiaResult};
+use crate::model::Model;
+use crate::plugin::{Expansion, LazyExpander, NoExpansion};
+use crate::sat::{Lit, SatOutcome, SatSolver};
+use crate::sorts::Sort;
+use crate::term::{TermData, TermId, TermStore};
+use std::collections::{HashMap, HashSet};
+
+/// Result of an SMT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; the payload is a model of the asserted formulas.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The solver gave up (expansion-depth or budget exhaustion). The JMatch
+    /// verifier reports this as "could not find a counterexample, but there
+    /// might be one".
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether the result is [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether the result is [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// The model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs for the solving loop.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum lazy-expansion depth reached by iterative deepening.
+    pub max_expansion_depth: u32,
+    /// Maximum number of SAT-model/theory-check rounds per depth.
+    pub max_rounds: u64,
+    /// Whether theory conflicts are greedily minimized before blocking.
+    pub minimize_conflicts: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_expansion_depth: 3,
+            max_rounds: 20_000,
+            minimize_conflicts: true,
+        }
+    }
+}
+
+/// Statistics accumulated across `check` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of candidate boolean models examined.
+    pub rounds: u64,
+    /// Number of theory conflicts (blocking clauses added).
+    pub theory_conflicts: u64,
+    /// Number of plugin lemmas asserted.
+    pub lemmas: u64,
+    /// Deepest expansion level reached.
+    pub max_depth_reached: u32,
+}
+
+/// An SMT solver instance.
+///
+/// Formulas are built in a caller-owned [`TermStore`] and asserted with
+/// [`Solver::assert_formula`]; [`Solver::check`] then decides satisfiability
+/// of their conjunction.
+#[derive(Debug, Default)]
+pub struct Solver {
+    assertions: Vec<TermId>,
+    config: SolverConfig,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            assertions: Vec::new(),
+            config,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (before calling `check`).
+    pub fn config_mut(&mut self) -> &mut SolverConfig {
+        &mut self.config
+    }
+
+    /// Statistics from the most recent `check` call.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Asserts a boolean formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not boolean-sorted.
+    pub fn assert_formula(&mut self, store: &TermStore, f: TermId) {
+        assert!(
+            store.sort(f).is_bool(),
+            "assert_formula: {} is not a formula",
+            store.display(f)
+        );
+        self.assertions.push(f);
+    }
+
+    /// All formulas asserted so far.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// Decides satisfiability without lazy expansion.
+    pub fn check(&mut self, store: &mut TermStore) -> SatResult {
+        let mut no_expansion = NoExpansion;
+        self.check_with_expander(store, &mut no_expansion)
+    }
+
+    /// Decides satisfiability with a lazy-expansion plugin, using iterative
+    /// deepening on the expansion depth (§6.2 of the paper).
+    pub fn check_with_expander(
+        &mut self,
+        store: &mut TermStore,
+        expander: &mut dyn LazyExpander,
+    ) -> SatResult {
+        self.stats = SolverStats::default();
+        let mut last = SatResult::Unknown;
+        for depth in 1..=self.config.max_expansion_depth.max(1) {
+            last = self.check_at_depth(store, expander, depth);
+            match last {
+                SatResult::Sat(_) | SatResult::Unsat => return last,
+                SatResult::Unknown => continue,
+            }
+        }
+        last
+    }
+
+    /// One run of the DPLL(T) loop with a fixed expansion-depth bound.
+    fn check_at_depth(
+        &mut self,
+        store: &mut TermStore,
+        expander: &mut dyn LazyExpander,
+        max_depth: u32,
+    ) -> SatResult {
+        let mut sat = SatSolver::new();
+        let mut encoder = Encoder::new();
+        // The set of formulas asserted in this run: original assertions plus
+        // lemmas produced by the plugin.
+        let mut asserted: Vec<TermId> = self.assertions.clone();
+        for &f in &asserted {
+            encoder.assert_formula(store, &mut sat, f);
+        }
+        // Depth of each guard atom; atoms of the original assertions are at 0.
+        let mut atom_depth: HashMap<TermId, u32> = HashMap::new();
+        for &f in &asserted {
+            for a in store.atoms(f) {
+                atom_depth.entry(a).or_insert(0);
+            }
+        }
+        let mut expanded: HashSet<(TermId, bool)> = HashSet::new();
+        let mut rounds = 0u64;
+
+        loop {
+            rounds += 1;
+            self.stats.rounds += 1;
+            if rounds > self.config.max_rounds {
+                return SatResult::Unknown;
+            }
+            match sat.solve() {
+                SatOutcome::Unsat => return SatResult::Unsat,
+                SatOutcome::Sat => {}
+            }
+
+            // Gather the atom assignment chosen by the SAT core.
+            let assignment: Vec<(TermId, bool)> = encoder
+                .atom_vars()
+                .filter_map(|(t, v)| sat.value(v).map(|b| (t, b)))
+                .collect();
+
+            let arith: Vec<(TermId, bool)> = assignment
+                .iter()
+                .copied()
+                .filter(|&(t, _)| is_arith_atom(store, t))
+                .collect();
+            let equality: Vec<(TermId, bool)> = assignment
+                .iter()
+                .copied()
+                .filter(|&(t, _)| is_euf_atom(store, t))
+                .collect();
+
+            // Linear integer arithmetic.
+            let mut lia_unknown = false;
+            let mut lia_model: HashMap<TermId, i64> = HashMap::new();
+            match lia::check(store, &arith) {
+                LiaResult::Infeasible(_) => {
+                    self.stats.theory_conflicts += 1;
+                    let core = self.minimize(store, &arith, |s, sub| {
+                        matches!(lia::check(s, sub), LiaResult::Infeasible(_))
+                    });
+                    self.block(store, &mut sat, &mut encoder, &core);
+                    continue;
+                }
+                LiaResult::Unknown => lia_unknown = true,
+                LiaResult::Feasible(m) => lia_model = m,
+            }
+
+            // Equality and uninterpreted functions.
+            match euf::check(store, &equality) {
+                EufResult::Inconsistent(_) => {
+                    self.stats.theory_conflicts += 1;
+                    let core = self.minimize(store, &equality, |s, sub| {
+                        matches!(euf::check(s, sub), EufResult::Inconsistent(_))
+                    });
+                    self.block(store, &mut sat, &mut encoder, &core);
+                    continue;
+                }
+                EufResult::Consistent => {}
+            }
+
+            // Lazy expansion of interpreted predicates.
+            let mut new_lemmas: Vec<(TermId, u32)> = Vec::new();
+            let mut beyond_depth = false;
+            for &(atom, value) in &assignment {
+                if !matches!(store.data(atom), TermData::App(_, _, Sort::Bool)) {
+                    continue;
+                }
+                if expanded.contains(&(atom, value)) {
+                    continue;
+                }
+                if !expander.can_expand(store, atom, value) {
+                    continue;
+                }
+                let depth = atom_depth.get(&atom).copied().unwrap_or(0);
+                if depth >= max_depth {
+                    beyond_depth = true;
+                    continue;
+                }
+                match expander.expand(store, atom, value, depth) {
+                    Expansion::NotApplicable => {}
+                    Expansion::Lemmas(lemmas) => {
+                        expanded.insert((atom, value));
+                        self.stats.max_depth_reached = self.stats.max_depth_reached.max(depth + 1);
+                        for l in lemmas {
+                            new_lemmas.push((l, depth + 1));
+                        }
+                    }
+                }
+            }
+            if !new_lemmas.is_empty() {
+                for (lemma, depth) in new_lemmas {
+                    self.stats.lemmas += 1;
+                    encoder.assert_formula(store, &mut sat, lemma);
+                    asserted.push(lemma);
+                    for a in store.atoms(lemma) {
+                        atom_depth.entry(a).or_insert(depth);
+                    }
+                }
+                continue;
+            }
+
+            if beyond_depth || lia_unknown {
+                // Some fact could not be expanded within the depth budget (or
+                // arithmetic gave up): the candidate model may be spurious.
+                return SatResult::Unknown;
+            }
+
+            // Consistent and fully expanded: build the model.
+            let mut model = Model::new();
+            for &(t, v) in &assignment {
+                model.bools.insert(t, v);
+            }
+            model.ints = lia_model;
+            model.object_classes = euf::classes(store, &equality);
+            return SatResult::Sat(model);
+        }
+    }
+
+    /// Greedy deletion-based minimization of a theory conflict.
+    fn minimize(
+        &self,
+        store: &TermStore,
+        assignments: &[(TermId, bool)],
+        still_conflicting: impl Fn(&TermStore, &[(TermId, bool)]) -> bool,
+    ) -> Vec<(TermId, bool)> {
+        let mut core: Vec<(TermId, bool)> = assignments.to_vec();
+        if !self.config.minimize_conflicts {
+            return core;
+        }
+        let mut i = 0;
+        while i < core.len() {
+            if core.len() <= 1 {
+                break;
+            }
+            let mut candidate = core.clone();
+            candidate.remove(i);
+            if still_conflicting(store, &candidate) {
+                core = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        core
+    }
+
+    /// Adds a blocking clause ruling out the given partial atom assignment.
+    fn block(
+        &self,
+        store: &TermStore,
+        sat: &mut SatSolver,
+        encoder: &mut Encoder,
+        core: &[(TermId, bool)],
+    ) {
+        let clause: Vec<Lit> = core
+            .iter()
+            .map(|&(atom, value)| {
+                let lit = encoder.encode(store, sat, atom);
+                if value {
+                    lit.negate()
+                } else {
+                    lit
+                }
+            })
+            .collect();
+        sat.add_clause(&clause);
+    }
+}
+
+fn is_arith_atom(store: &TermStore, t: TermId) -> bool {
+    match store.data(t) {
+        TermData::Le(..) | TermData::Lt(..) => true,
+        TermData::Eq(a, _) => store.sort(*a).is_int(),
+        _ => false,
+    }
+}
+
+fn is_euf_atom(store: &TermStore, t: TermId) -> bool {
+    match store.data(t) {
+        TermData::Eq(a, _) => !store.sort(*a).is_bool(),
+        TermData::App(_, _, Sort::Bool) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propositional_only() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let p = store.var("p", Sort::Bool);
+        let q = store.var("q", Sort::Bool);
+        let imp = store.implies(p, q);
+        solver.assert_formula(&store, p);
+        solver.assert_formula(&store, imp);
+        let nq = store.not(q);
+        solver.assert_formula(&store, nq);
+        assert_eq!(solver.check(&mut store), SatResult::Unsat);
+    }
+
+    #[test]
+    fn arithmetic_conflict_detected() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let x = store.var("x", Sort::Int);
+        let zero = store.int(0);
+        let a1 = store.lt(x, zero);
+        let a2 = store.ge(x, zero);
+        solver.assert_formula(&store, a1);
+        solver.assert_formula(&store, a2);
+        assert_eq!(solver.check(&mut store), SatResult::Unsat);
+    }
+
+    #[test]
+    fn arithmetic_model_produced() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let x = store.var("x", Sort::Int);
+        let y = store.var("y", Sort::Int);
+        let one = store.int(1);
+        let xp1 = store.add(x, one);
+        let a1 = store.eq(y, xp1);
+        let five = store.int(5);
+        let a2 = store.ge(x, five);
+        solver.assert_formula(&store, a1);
+        solver.assert_formula(&store, a2);
+        match solver.check(&mut store) {
+            SatResult::Sat(m) => {
+                let xv = m.eval_int(&store, x);
+                let yv = m.eval_int(&store, y);
+                assert!(xv >= 5);
+                assert_eq!(yv, xv + 1);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjunction_over_theories() {
+        // (x <= 0 or x >= 10) and 3 <= x <= 7 is unsat.
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let x = store.var("x", Sort::Int);
+        let zero = store.int(0);
+        let ten = store.int(10);
+        let three = store.int(3);
+        let seven = store.int(7);
+        let low = store.le(x, zero);
+        let high = store.ge(x, ten);
+        let disj = store.or2(low, high);
+        let lo = store.ge(x, three);
+        let hi = store.le(x, seven);
+        solver.assert_formula(&store, disj);
+        solver.assert_formula(&store, lo);
+        solver.assert_formula(&store, hi);
+        assert_eq!(solver.check(&mut store), SatResult::Unsat);
+    }
+
+    #[test]
+    fn euf_and_arithmetic_together() {
+        // o1 = o2 and zero(o1) and !zero(o2) is unsat (predicate congruence).
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let nat = store.symbol("Nat");
+        let o1 = store.var("o1", Sort::Obj(nat));
+        let o2 = store.var("o2", Sort::Obj(nat));
+        let z1 = store.app("zero", vec![o1], Sort::Bool);
+        let z2 = store.app("zero", vec![o2], Sort::Bool);
+        let eq = store.eq(o1, o2);
+        solver.assert_formula(&store, eq);
+        solver.assert_formula(&store, z1);
+        let nz2 = store.not(z2);
+        solver.assert_formula(&store, nz2);
+        assert_eq!(solver.check(&mut store), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_respects_object_equalities() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let nat = store.symbol("Nat");
+        let o1 = store.var("o1", Sort::Obj(nat));
+        let o2 = store.var("o2", Sort::Obj(nat));
+        let o3 = store.var("o3", Sort::Obj(nat));
+        let e12 = store.eq(o1, o2);
+        let e13 = store.eq(o1, o3);
+        let ne13 = store.not(e13);
+        solver.assert_formula(&store, e12);
+        solver.assert_formula(&store, ne13);
+        match solver.check(&mut store) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.object_classes[&o1], m.object_classes[&o2]);
+                assert_ne!(m.object_classes[&o1], m.object_classes[&o3]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    /// A plugin that expands the predicate `even(x)` into the lemma
+    /// `even(x) => x >= 0` (a deliberately weak fact, enough to test the
+    /// expansion loop).
+    struct EvenExpander;
+    impl LazyExpander for EvenExpander {
+        fn can_expand(&self, store: &TermStore, atom: TermId, _value: bool) -> bool {
+            match store.data(atom) {
+                TermData::App(sym, _, _) => store.symbol_name(*sym) == "even",
+                _ => false,
+            }
+        }
+        fn expand(
+            &mut self,
+            store: &mut TermStore,
+            atom: TermId,
+            value: bool,
+            _depth: u32,
+        ) -> Expansion {
+            let arg = match store.data(atom) {
+                TermData::App(_, args, _) => args[0],
+                _ => return Expansion::NotApplicable,
+            };
+            if value {
+                let zero = store.int(0);
+                let fact = store.ge(arg, zero);
+                Expansion::Lemmas(vec![fact])
+            } else {
+                Expansion::Lemmas(vec![])
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_expansion_makes_problem_unsat() {
+        // even(x) and x < 0 becomes unsat once the lemma even(x) => x >= 0
+        // is asserted by the plugin.
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let x = store.var("x", Sort::Int);
+        let even = store.app("even", vec![x], Sort::Bool);
+        let zero = store.int(0);
+        let neg = store.lt(x, zero);
+        solver.assert_formula(&store, even);
+        solver.assert_formula(&store, neg);
+        let mut plugin = EvenExpander;
+        assert_eq!(
+            solver.check_with_expander(&mut store, &mut plugin),
+            SatResult::Unsat
+        );
+        assert!(solver.stats().lemmas >= 1);
+    }
+
+    #[test]
+    fn lazy_expansion_still_sat_when_consistent() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let x = store.var("x", Sort::Int);
+        let even = store.app("even", vec![x], Sort::Bool);
+        let five = store.int(5);
+        let big = store.ge(x, five);
+        solver.assert_formula(&store, even);
+        solver.assert_formula(&store, big);
+        let mut plugin = EvenExpander;
+        match solver.check_with_expander(&mut store, &mut plugin) {
+            SatResult::Sat(m) => assert!(m.eval_int(&store, x) >= 5),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_problem_is_sat() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let t = store.tt();
+        solver.assert_formula(&store, t);
+        assert!(solver.check(&mut store).is_sat());
+    }
+
+    #[test]
+    fn contradictory_constants() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let f = store.ff();
+        solver.assert_formula(&store, f);
+        assert!(solver.check(&mut store).is_unsat());
+    }
+}

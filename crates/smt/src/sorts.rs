@@ -1,0 +1,60 @@
+//! Sorts (types) of SMT terms.
+
+use crate::sym::Symbol;
+use std::fmt;
+
+/// The sort of a term.
+///
+/// The JMatch verification conditions only require booleans, mathematical
+/// integers and uninterpreted object sorts (one per JMatch reference type),
+/// so the sort language is deliberately small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// The boolean sort.
+    Bool,
+    /// Mathematical (unbounded) integers.
+    Int,
+    /// An uninterpreted sort identified by name, used for JMatch object types.
+    Obj(Symbol),
+}
+
+impl Sort {
+    /// Whether this sort is [`Sort::Bool`].
+    pub fn is_bool(self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+
+    /// Whether this sort is [`Sort::Int`].
+    pub fn is_int(self) -> bool {
+        matches!(self, Sort::Int)
+    }
+
+    /// Whether this sort is an uninterpreted object sort.
+    pub fn is_obj(self) -> bool {
+        matches!(self, Sort::Obj(_))
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::Int => write!(f, "Int"),
+            Sort::Obj(s) => write!(f, "Obj({s})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Sort::Bool.is_bool());
+        assert!(Sort::Int.is_int());
+        assert!(Sort::Obj(Symbol(0)).is_obj());
+        assert!(!Sort::Int.is_bool());
+        assert!(!Sort::Bool.is_obj());
+    }
+}

@@ -1,0 +1,108 @@
+//! String interning.
+//!
+//! Every name that flows through the solver (variable names, uninterpreted
+//! function and predicate names, sort names) is interned into a [`Symbol`],
+//! a small copyable handle that is cheap to hash and compare.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string handle.
+///
+/// Symbols are only meaningful relative to the [`Interner`] (and therefore the
+/// [`crate::TermStore`]) that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// Raw index of the symbol inside its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simple append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "x");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.lookup("z").is_none());
+        let z = i.intern("z");
+        assert_eq!(i.lookup("z"), Some(z));
+    }
+}

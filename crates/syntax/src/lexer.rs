@@ -1,0 +1,617 @@
+//! Lexer for the JMatch 2.0 dialect (and, at the token level, for the Java
+//! comparison sources used by the Table 1 token counts).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword-like word (keywords are distinguished by the
+    /// parser so the same lexer serves both JMatch and Java sources).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (contents without the quotes).
+    Str(String),
+    /// Character literal.
+    Char(char),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `&`
+    Amp,
+    /// `||`
+    OrOr,
+    /// `|`
+    Pipe,
+    /// `#`
+    Hash,
+    /// `_`
+    Underscore,
+    /// `?` (used by the Java comparison sources)
+    Question,
+    /// `@` (annotations in Java comparison sources)
+    At,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Char(c) => write!(f, "'{c}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Eq => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Le => write!(f, "<="),
+            Token::Lt => write!(f, "<"),
+            Token::Ge => write!(f, ">="),
+            Token::Gt => write!(f, ">"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Bang => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::Amp => write!(f, "&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Pipe => write!(f, "|"),
+            Token::Hash => write!(f, "#"),
+            Token::Underscore => write!(f, "_"),
+            Token::Question => write!(f, "?"),
+            Token::At => write!(f, "@"),
+            Token::PlusPlus => write!(f, "++"),
+            Token::MinusMinus => write!(f, "--"),
+            Token::PlusEq => write!(f, "+="),
+            Token::MinusEq => write!(f, "-="),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation of the problem.
+    pub message: String,
+    /// Where it occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes a complete source string into tokens (excluding the final `Eof`).
+///
+/// Line comments (`//`) and block comments (`/* */`) are skipped.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings/comments or unexpected
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    idx: usize,
+    line: u32,
+    col: u32,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            idx: 0,
+            line: 1,
+            col: 1,
+            _source: source,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.idx).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.idx + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.idx += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            pos: self.pos(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos();
+            let Some(c) = self.peek() else { break };
+            let token = self.next_token(c)?;
+            out.push(Spanned { token, pos });
+        }
+        Ok(out)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.error("unterminated block comment")),
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self, c: char) -> Result<Token, LexError> {
+        if c.is_ascii_digit() {
+            return self.lex_number();
+        }
+        if c == '_' && !self.ident_continues_at(self.idx + 1) {
+            self.bump();
+            return Ok(Token::Underscore);
+        }
+        if c.is_alphabetic() || c == '_' || c == '$' {
+            return Ok(self.lex_ident());
+        }
+        if c == '"' {
+            return self.lex_string();
+        }
+        if c == '\'' {
+            return self.lex_char();
+        }
+        self.bump();
+        let token = match c {
+            '(' => Token::LParen,
+            ')' => Token::RParen,
+            '{' => Token::LBrace,
+            '}' => Token::RBrace,
+            '[' => Token::LBracket,
+            ']' => Token::RBracket,
+            ',' => Token::Comma,
+            ';' => Token::Semi,
+            ':' => Token::Colon,
+            '.' => Token::Dot,
+            '#' => Token::Hash,
+            '?' => Token::Question,
+            '@' => Token::At,
+            '%' => Token::Percent,
+            '*' => Token::Star,
+            '/' => Token::Slash,
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Token::EqEq
+                } else {
+                    Token::Eq
+                }
+            }
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Token::Ne
+                } else {
+                    Token::Bang
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Token::Le
+                } else {
+                    Token::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Token::Ge
+                } else {
+                    Token::Gt
+                }
+            }
+            '+' => match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    Token::PlusPlus
+                }
+                Some('=') => {
+                    self.bump();
+                    Token::PlusEq
+                }
+                _ => Token::Plus,
+            },
+            '-' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    Token::MinusMinus
+                }
+                Some('=') => {
+                    self.bump();
+                    Token::MinusEq
+                }
+                _ => Token::Minus,
+            },
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Token::AndAnd
+                } else {
+                    Token::Amp
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Token::OrOr
+                } else {
+                    Token::Pipe
+                }
+            }
+            other => return Err(self.error(format!("unexpected character {other:?}"))),
+        };
+        Ok(token)
+    }
+
+    fn ident_continues_at(&self, idx: usize) -> bool {
+        self.chars
+            .get(idx)
+            .map(|c| c.is_alphanumeric() || *c == '_' || *c == '$')
+            .unwrap_or(false)
+    }
+
+    fn lex_number(&mut self) -> Result<Token, LexError> {
+        let mut value: i64 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(d as i64))
+                    .ok_or_else(|| self.error("integer literal too large"))?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(Token::Int(value))
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '$' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Token::Ident(s)
+    }
+
+    fn lex_string(&mut self) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some(other) => s.push(other),
+                    None => return Err(self.error("unterminated escape sequence")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        Ok(Token::Str(s))
+    }
+
+    fn lex_char(&mut self) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            None => return Err(self.error("unterminated character literal")),
+            Some('\\') => match self.bump() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some(other) => other,
+                None => return Err(self.error("unterminated character literal")),
+            },
+            Some(c) => c,
+        };
+        match self.bump() {
+            Some('\'') => Ok(Token::Char(c)),
+            _ => Err(self.error("unterminated character literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("class Nat { int val; }"),
+            vec![
+                Token::Ident("class".into()),
+                Token::Ident("Nat".into()),
+                Token::LBrace,
+                Token::Ident("int".into()),
+                Token::Ident("val".into()),
+                Token::Semi,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        assert_eq!(
+            toks("a = b && c <= d || e != f # g | h"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Ident("b".into()),
+                Token::AndAnd,
+                Token::Ident("c".into()),
+                Token::Le,
+                Token::Ident("d".into()),
+                Token::OrOr,
+                Token::Ident("e".into()),
+                Token::Ne,
+                Token::Ident("f".into()),
+                Token::Hash,
+                Token::Ident("g".into()),
+                Token::Pipe,
+                Token::Ident("h".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_is_wildcard_but_not_in_idents() {
+        assert_eq!(
+            toks("succ(_, _x, x_)"),
+            vec![
+                Token::Ident("succ".into()),
+                Token::LParen,
+                Token::Underscore,
+                Token::Comma,
+                Token::Ident("_x".into()),
+                Token::Comma,
+                Token::Ident("x_".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line comment\n b /* block\n comment */ c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            toks(r#"freshVar("k", 42)"#),
+            vec![
+                Token::Ident("freshVar".into()),
+                Token::LParen,
+                Token::Str("k".into()),
+                Token::Comma,
+                Token::Int(42),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn java_specific_tokens() {
+        assert_eq!(
+            toks("i++; j--; x += 1; y -= 2; a == b; o instanceof T ? x : y"),
+            vec![
+                Token::Ident("i".into()),
+                Token::PlusPlus,
+                Token::Semi,
+                Token::Ident("j".into()),
+                Token::MinusMinus,
+                Token::Semi,
+                Token::Ident("x".into()),
+                Token::PlusEq,
+                Token::Int(1),
+                Token::Semi,
+                Token::Ident("y".into()),
+                Token::MinusEq,
+                Token::Int(2),
+                Token::Semi,
+                Token::Ident("a".into()),
+                Token::EqEq,
+                Token::Ident("b".into()),
+                Token::Semi,
+                Token::Ident("o".into()),
+                Token::Ident("instanceof".into()),
+                Token::Ident("T".into()),
+                Token::Question,
+                Token::Ident("x".into()),
+                Token::Colon,
+                Token::Ident("y".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # jmatch-syntax
+//!
+//! Front end for the JMatch 2.0 dialect used by this reproduction of
+//! *Reconciling Exhaustive Pattern Matching with Objects* (PLDI 2013):
+//! lexer, abstract syntax, recursive-descent parser, and the token counter
+//! used for the paper's Table 1 conciseness comparison.
+//!
+//! The language is Java-like, extended with the paper's features: method
+//! modes (`returns` / `iterates`), named constructors, equality constructors,
+//! class and interface invariants, `matches` / `ensures` clauses, declarative
+//! formula bodies, and the pattern operators `as`, `#`, `|`, tuples and
+//! `where`.
+//!
+//! ## Example
+//!
+//! ```
+//! use jmatch_syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "interface Nat {
+//!          invariant(this = zero() | succ(_));
+//!          constructor zero() returns();
+//!          constructor succ(Nat n) returns(n);
+//!      }",
+//! )?;
+//! let nat = program.interface("Nat").unwrap();
+//! assert_eq!(nat.methods.len(), 2);
+//! # Ok::<(), jmatch_syntax::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod tokens;
+
+pub use ast::{
+    BinOp, ClassDecl, CmpOp, Decl, Expr, FieldDecl, Formula, InterfaceDecl, InvariantDecl,
+    MethodBody, MethodDecl, MethodKind, ModeDecl, Param, Program, Stmt, SwitchCase, Type,
+    Visibility,
+};
+pub use lexer::{lex, LexError, Pos, Token};
+pub use parser::{parse_formula, parse_program, ParseError};
+pub use tokens::{count_tokens, TokenComparison};

@@ -1,0 +1,1388 @@
+//! Recursive-descent parser for the JMatch 2.0 dialect.
+//!
+//! ## Operator precedence
+//!
+//! Formula level (loosest to tightest): `||`, then `|` / `#`, then `&&`,
+//! then `!`, then comparisons. Pattern-level `|` / `#` are recognized on the
+//! right-hand side of a comparison (`x = 1 | 2`, `this = zero() | succ(_)`),
+//! which matches how the paper's examples read; a disjunction of comparisons
+//! therefore needs no parentheses (`h = nil() && ... | h = cons(...) && ...`
+//! groups as `(h = nil() && ...) | (h = cons(...) && ...)`).
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Pos, Spanned, Token};
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// Position where the error occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
+    }
+}
+
+/// Parses a complete JMatch program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, idx: 0 };
+    parser.program()
+}
+
+/// Parses a single formula (used by tests and by the verification API).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_formula(source: &str) -> Result<Formula, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, idx: 0 };
+    let f = parser.formula()?;
+    parser.expect_eof()?;
+    Ok(f)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    idx: usize,
+}
+
+const MODIFIER_WORDS: &[&str] = &["public", "private", "protected", "static", "abstract", "final"];
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        self.tokens.get(self.idx).map(|s| &s.token).unwrap_or(&Token::Eof)
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        self.tokens
+            .get(self.idx + offset)
+            .map(|s| &s.token)
+            .unwrap_or(&Token::Eof)
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens
+            .get(self.idx)
+            .map(|s| s.pos)
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.pos).unwrap_or_default())
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        self.idx += 1;
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            pos: self.pos(),
+        })
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), ParseError> {
+        if *self.peek() == token {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected `{}`, found `{}`", token, self.peek()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.idx >= self.tokens.len() {
+            Ok(())
+        } else {
+            self.error(format!("expected end of input, found `{}`", self.peek()))
+        }
+    }
+
+    fn is_kw(&self, word: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == word)
+    }
+
+    fn is_kw_at(&self, offset: usize, word: &str) -> bool {
+        matches!(self.peek_at(offset), Token::Ident(s) if s == word)
+    }
+
+    fn eat_kw(&mut self, word: &str) -> bool {
+        if self.is_kw(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.eat_kw(word) {
+            Ok(())
+        } else {
+            self.error(format!("expected `{word}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    // ----- declarations -----
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut decls = Vec::new();
+        while !matches!(self.peek(), Token::Eof) && self.idx < self.tokens.len() {
+            decls.push(self.decl()?);
+        }
+        Ok(Program { decls })
+    }
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        // Look ahead past modifiers for `interface` / `class`.
+        let mut look = 0;
+        while let Token::Ident(word) = self.peek_at(look) {
+            if MODIFIER_WORDS.contains(&word.as_str()) {
+                look += 1;
+            } else {
+                break;
+            }
+        }
+        if self.is_kw_at(look, "interface") {
+            Ok(Decl::Interface(self.interface_decl()?))
+        } else if self.is_kw_at(look, "class") {
+            Ok(Decl::Class(self.class_decl()?))
+        } else {
+            let (vis, is_static, is_abstract) = self.modifiers();
+            let m = self.method_decl(vis, is_static, is_abstract, None)?;
+            Ok(Decl::Method(m))
+        }
+    }
+
+    fn modifiers(&mut self) -> (Visibility, bool, bool) {
+        let mut vis = Visibility::Package;
+        let mut is_static = false;
+        let mut is_abstract = false;
+        loop {
+            if self.eat_kw("public") {
+                vis = Visibility::Public;
+            } else if self.eat_kw("private") {
+                vis = Visibility::Private;
+            } else if self.eat_kw("protected") {
+                vis = Visibility::Protected;
+            } else if self.eat_kw("static") {
+                is_static = true;
+            } else if self.eat_kw("abstract") {
+                is_abstract = true;
+            } else if self.eat_kw("final") {
+                // accepted and ignored
+            } else {
+                break;
+            }
+        }
+        (vis, is_static, is_abstract)
+    }
+
+    fn interface_decl(&mut self) -> Result<InterfaceDecl, ParseError> {
+        let pos = self.pos();
+        let _ = self.modifiers();
+        self.expect_kw("interface")?;
+        let name = self.expect_ident()?;
+        let mut extends = Vec::new();
+        if self.eat_kw("extends") {
+            extends.push(self.expect_ident()?);
+            while *self.peek() == Token::Comma {
+                self.bump();
+                extends.push(self.expect_ident()?);
+            }
+        }
+        self.expect(Token::LBrace)?;
+        let mut invariants = Vec::new();
+        let mut methods = Vec::new();
+        while *self.peek() != Token::RBrace {
+            let (vis, is_static, _) = self.modifiers();
+            if self.is_kw("invariant") {
+                invariants.push(self.invariant_decl(vis)?);
+            } else {
+                let mut m = self.method_decl(vis, is_static, true, None)?;
+                m.is_abstract = true;
+                methods.push(m);
+            }
+        }
+        self.expect(Token::RBrace)?;
+        Ok(InterfaceDecl {
+            name,
+            extends,
+            invariants,
+            methods,
+            pos,
+        })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, ParseError> {
+        let pos = self.pos();
+        let (_vis, _is_static, is_abstract) = self.modifiers();
+        self.expect_kw("class")?;
+        let name = self.expect_ident()?;
+        let mut implements = Vec::new();
+        let mut extends = None;
+        loop {
+            if self.eat_kw("implements") {
+                implements.push(self.expect_ident()?);
+                while *self.peek() == Token::Comma {
+                    self.bump();
+                    implements.push(self.expect_ident()?);
+                }
+            } else if self.eat_kw("extends") {
+                extends = Some(self.expect_ident()?);
+            } else {
+                break;
+            }
+        }
+        self.expect(Token::LBrace)?;
+        let mut fields = Vec::new();
+        let mut invariants = Vec::new();
+        let mut methods = Vec::new();
+        while *self.peek() != Token::RBrace {
+            let member_pos = self.pos();
+            let (vis, is_static, member_abstract) = self.modifiers();
+            if self.is_kw("invariant") {
+                invariants.push(self.invariant_decl(vis)?);
+                continue;
+            }
+            if self.is_kw("constructor") {
+                methods.push(self.method_decl(vis, is_static, member_abstract, Some(&name))?);
+                continue;
+            }
+            // Class constructor: `Name ( ...` where Name is the class name.
+            if self.is_kw(&name) && *self.peek_at(1) == Token::LParen {
+                methods.push(self.method_decl(vis, is_static, member_abstract, Some(&name))?);
+                continue;
+            }
+            // Otherwise: a type followed by a name, then either a field or a
+            // method.
+            let ty = self.parse_type()?;
+            let member_name = self.expect_ident()?;
+            if *self.peek() == Token::LParen {
+                methods.push(self.method_rest(
+                    vis,
+                    is_static,
+                    member_abstract,
+                    MethodKind::Method,
+                    Some(ty),
+                    member_name,
+                    member_pos,
+                )?);
+            } else {
+                let init = if *self.peek() == Token::Eq {
+                    self.bump();
+                    Some(self.pattern_or()?)
+                } else {
+                    None
+                };
+                self.expect(Token::Semi)?;
+                fields.push(FieldDecl {
+                    visibility: vis,
+                    is_static,
+                    ty,
+                    name: member_name,
+                    init,
+                    pos: member_pos,
+                });
+            }
+        }
+        self.expect(Token::RBrace)?;
+        Ok(ClassDecl {
+            name,
+            implements,
+            extends,
+            is_abstract,
+            fields,
+            invariants,
+            methods,
+            pos,
+        })
+    }
+
+    fn invariant_decl(&mut self, visibility: Visibility) -> Result<InvariantDecl, ParseError> {
+        let pos = self.pos();
+        self.expect_kw("invariant")?;
+        self.expect(Token::LParen)?;
+        let formula = self.formula()?;
+        self.expect(Token::RParen)?;
+        self.expect(Token::Semi)?;
+        Ok(InvariantDecl {
+            visibility,
+            formula,
+            pos,
+        })
+    }
+
+    /// Parses a method, named constructor, or class constructor declaration,
+    /// starting at the type / `constructor` keyword / class name.
+    fn method_decl(
+        &mut self,
+        vis: Visibility,
+        is_static: bool,
+        is_abstract: bool,
+        enclosing_class: Option<&str>,
+    ) -> Result<MethodDecl, ParseError> {
+        let pos = self.pos();
+        if self.eat_kw("constructor") {
+            let name = self.expect_ident()?;
+            return self.method_rest(
+                vis,
+                is_static,
+                is_abstract,
+                MethodKind::NamedConstructor,
+                None,
+                name,
+                pos,
+            );
+        }
+        if let Some(class_name) = enclosing_class {
+            if self.is_kw(class_name) && *self.peek_at(1) == Token::LParen {
+                let name = self.expect_ident()?;
+                return self.method_rest(
+                    vis,
+                    is_static,
+                    is_abstract,
+                    MethodKind::ClassConstructor,
+                    None,
+                    name,
+                    pos,
+                );
+            }
+        }
+        let ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.method_rest(
+            vis,
+            is_static,
+            is_abstract,
+            MethodKind::Method,
+            Some(ty),
+            name,
+            pos,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn method_rest(
+        &mut self,
+        visibility: Visibility,
+        is_static: bool,
+        is_abstract: bool,
+        kind: MethodKind,
+        return_type: Option<Type>,
+        name: String,
+        pos: Pos,
+    ) -> Result<MethodDecl, ParseError> {
+        self.expect(Token::LParen)?;
+        let mut params = Vec::new();
+        while *self.peek() != Token::RParen {
+            let ty = self.parse_type()?;
+            let pname = self.expect_ident()?;
+            params.push(Param { ty, name: pname });
+            if *self.peek() == Token::Comma {
+                self.bump();
+            }
+        }
+        self.expect(Token::RParen)?;
+
+        // Mode and specification clauses, in any order.
+        let mut modes = Vec::new();
+        let mut matches = None;
+        let mut ensures = None;
+        loop {
+            if self.is_kw("returns") || self.is_kw("iterates") {
+                let iterative = self.is_kw("iterates");
+                self.bump();
+                self.expect(Token::LParen)?;
+                let mut outputs = Vec::new();
+                while *self.peek() != Token::RParen {
+                    outputs.push(self.expect_ident()?);
+                    if *self.peek() == Token::Comma {
+                        self.bump();
+                    }
+                }
+                self.expect(Token::RParen)?;
+                modes.push(ModeDecl { iterative, outputs });
+            } else if self.is_kw("matches") {
+                self.bump();
+                if self.is_kw("ensures") {
+                    // `matches ensures(f)` shorthand.
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    let f = self.formula()?;
+                    self.expect(Token::RParen)?;
+                    matches = Some(f.clone());
+                    ensures = Some(f);
+                } else {
+                    self.expect(Token::LParen)?;
+                    let f = self.formula()?;
+                    self.expect(Token::RParen)?;
+                    matches = Some(f);
+                }
+            } else if self.is_kw("ensures") {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let f = self.formula()?;
+                self.expect(Token::RParen)?;
+                ensures = Some(f);
+            } else {
+                break;
+            }
+        }
+
+        // Body: `;` (absent), `(formula)`, or `{ statements }`.
+        let body = match self.peek() {
+            Token::Semi => {
+                self.bump();
+                MethodBody::Absent
+            }
+            Token::LParen => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(Token::RParen)?;
+                MethodBody::Formula(f)
+            }
+            Token::LBrace => {
+                let stmts = self.block()?;
+                MethodBody::Block(stmts)
+            }
+            other => {
+                return self.error(format!(
+                    "expected method body (`;`, `(formula)`, or `{{...}}`), found `{other}`"
+                ))
+            }
+        };
+
+        Ok(MethodDecl {
+            visibility,
+            is_static,
+            is_abstract: is_abstract && matches!(body, MethodBody::Absent),
+            kind,
+            return_type,
+            name,
+            params,
+            modes,
+            matches,
+            ensures,
+            body,
+            pos,
+        })
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let base = match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                match s.as_str() {
+                    "int" => Type::Int,
+                    "boolean" => Type::Boolean,
+                    "void" => Type::Void,
+                    "Object" => Type::Object,
+                    _ => Type::Named(s),
+                }
+            }
+            other => return self.error(format!("expected a type, found `{other}`")),
+        };
+        let mut ty = base;
+        while *self.peek() == Token::LBracket && *self.peek_at(1) == Token::RBracket {
+            self.bump();
+            self.bump();
+            ty = Type::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    // ----- statements -----
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Token::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::LBrace => Ok(Stmt::Block(self.block()?)),
+            Token::Ident(word) => match word.as_str() {
+                "let" => {
+                    self.bump();
+                    let f = self.formula()?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::Let(f))
+                }
+                "return" => {
+                    self.bump();
+                    if *self.peek() == Token::Semi {
+                        self.bump();
+                        Ok(Stmt::Return(None))
+                    } else {
+                        let e = self.pattern_or()?;
+                        self.expect(Token::Semi)?;
+                        Ok(Stmt::Return(Some(e)))
+                    }
+                }
+                "switch" => self.switch_stmt(),
+                "cond" => self.cond_stmt(),
+                "if" => self.if_stmt(),
+                "foreach" => {
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    let f = self.formula()?;
+                    self.expect(Token::RParen)?;
+                    let body = self.stmt_or_block()?;
+                    Ok(Stmt::Foreach { formula: f, body })
+                }
+                "while" => {
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    let f = self.formula()?;
+                    self.expect(Token::RParen)?;
+                    let body = self.stmt_or_block()?;
+                    Ok(Stmt::While { cond: f, body })
+                }
+                _ => self.simple_stmt(),
+            },
+            _ => self.simple_stmt(),
+        }
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if *self.peek() == Token::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// Variable declarations, assignments and expression statements.
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Variable declaration: `Type name ...` where Type is an identifier
+        // (possibly with []) and name is another identifier.
+        if self.looks_like_var_decl() {
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            if *self.peek() == Token::Eq {
+                self.bump();
+                let rhs = self.pattern_or()?;
+                self.expect(Token::Semi)?;
+                return Ok(Stmt::Let(Formula::Cmp(CmpOp::Eq, Expr::Decl(ty, name), rhs)));
+            }
+            self.expect(Token::Semi)?;
+            // An uninitialized declaration: bind the variable to an arbitrary
+            // value of its type (a declaration pattern equal to a wildcard).
+            return Ok(Stmt::Let(Formula::Atom(Expr::Decl(ty, name))));
+        }
+        let lhs = self.pattern_no_or()?;
+        if *self.peek() == Token::Eq {
+            self.bump();
+            let rhs = self.pattern_or()?;
+            self.expect(Token::Semi)?;
+            return Ok(Stmt::Assign(lhs, rhs));
+        }
+        self.expect(Token::Semi)?;
+        Ok(Stmt::ExprStmt(lhs))
+    }
+
+    fn looks_like_var_decl(&self) -> bool {
+        let Token::Ident(first) = self.peek() else {
+            return false;
+        };
+        if MODIFIER_WORDS.contains(&first.as_str()) {
+            return true;
+        }
+        let mut offset = 1;
+        // Skip array brackets.
+        while *self.peek_at(offset) == Token::LBracket && *self.peek_at(offset + 1) == Token::RBracket
+        {
+            offset += 2;
+        }
+        matches!(self.peek_at(offset), Token::Ident(_))
+            && matches!(
+                self.peek_at(offset + 1),
+                Token::Eq | Token::Semi
+            )
+    }
+
+    fn switch_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("switch")?;
+        self.expect(Token::LParen)?;
+        let mut scrutinees = vec![self.pattern_no_or()?];
+        while *self.peek() == Token::Comma {
+            self.bump();
+            scrutinees.push(self.pattern_no_or()?);
+        }
+        self.expect(Token::RParen)?;
+        self.expect(Token::LBrace)?;
+        let mut cases = Vec::new();
+        let mut default = None;
+        while *self.peek() != Token::RBrace {
+            if self.eat_kw("default") {
+                self.expect(Token::Colon)?;
+                let mut body = Vec::new();
+                while !self.is_kw("case") && !self.is_kw("default") && *self.peek() != Token::RBrace
+                {
+                    body.push(self.stmt()?);
+                }
+                default = Some(body);
+                continue;
+            }
+            let pos = self.pos();
+            self.expect_kw("case")?;
+            let pattern = self.pattern_or()?;
+            // A tuple case `(p1, p2)` arrives as a Tuple expression; a single
+            // pattern stays as is. Normalize to one pattern per scrutinee.
+            let patterns = match pattern {
+                Expr::Tuple(ps) if scrutinees.len() > 1 => ps,
+                other => vec![other],
+            };
+            self.expect(Token::Colon)?;
+            let mut body = Vec::new();
+            while !self.is_kw("case") && !self.is_kw("default") && *self.peek() != Token::RBrace {
+                body.push(self.stmt()?);
+            }
+            cases.push(SwitchCase {
+                patterns,
+                body,
+                pos,
+            });
+        }
+        self.expect(Token::RBrace)?;
+        Ok(Stmt::Switch {
+            scrutinees,
+            cases,
+            default,
+        })
+    }
+
+    fn cond_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("cond")?;
+        self.expect(Token::LBrace)?;
+        let mut arms = Vec::new();
+        let mut else_arm = None;
+        while *self.peek() != Token::RBrace {
+            if self.eat_kw("else") {
+                else_arm = Some(self.block()?);
+                continue;
+            }
+            self.expect(Token::LParen)?;
+            let f = self.formula()?;
+            self.expect(Token::RParen)?;
+            let body = self.block()?;
+            arms.push((f, body));
+        }
+        self.expect(Token::RBrace)?;
+        Ok(Stmt::Cond { arms, else_arm })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("if")?;
+        self.expect(Token::LParen)?;
+        let cond = self.formula()?;
+        self.expect(Token::RParen)?;
+        let then = self.stmt_or_block()?;
+        let els = if self.eat_kw("else") {
+            Some(self.stmt_or_block()?)
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then, els })
+    }
+
+    // ----- formulas -----
+
+    /// formula := disj ("||" disj)*
+    pub(crate) fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.formula_disj()?;
+        while *self.peek() == Token::OrOr {
+            self.bump();
+            let rhs = self.formula_disj()?;
+            f = Formula::or(f, rhs);
+        }
+        Ok(f)
+    }
+
+    /// disj := conj (("|" | "#") conj)*
+    fn formula_disj(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.formula_conj()?;
+        loop {
+            match self.peek() {
+                Token::Pipe => {
+                    self.bump();
+                    let rhs = self.formula_conj()?;
+                    f = Formula::DisjointOr(Box::new(f), Box::new(rhs));
+                }
+                Token::Hash => {
+                    self.bump();
+                    let rhs = self.formula_conj()?;
+                    f = Formula::or(f, rhs);
+                }
+                _ => break,
+            }
+        }
+        Ok(f)
+    }
+
+    /// conj := unary ("&&" unary)*
+    fn formula_conj(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.formula_unary()?;
+        while *self.peek() == Token::AndAnd {
+            self.bump();
+            let rhs = self.formula_unary()?;
+            f = Formula::and(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn formula_unary(&mut self) -> Result<Formula, ParseError> {
+        if *self.peek() == Token::Bang {
+            self.bump();
+            let f = self.formula_unary()?;
+            return Ok(Formula::not(f));
+        }
+        self.formula_primary()
+    }
+
+    /// primary := "(" formula ")" | pattern (cmpOp patternOr)?
+    ///
+    /// A leading `(` is ambiguous between a parenthesized formula
+    /// (`(y = x || y.greater(x))`) and a parenthesized or tuple pattern
+    /// (`(e, result) = ...`). We first try the formula reading and fall back
+    /// to the pattern reading if the formula parse fails or the parenthesized
+    /// group is followed by an operator that can only apply to patterns.
+    fn formula_primary(&mut self) -> Result<Formula, ParseError> {
+        if *self.peek() == Token::LParen {
+            let save = self.idx;
+            self.bump();
+            if let Ok(f) = self.formula() {
+                if *self.peek() == Token::RParen {
+                    self.bump();
+                    let continues_as_pattern = matches!(
+                        self.peek(),
+                        Token::Eq
+                            | Token::EqEq
+                            | Token::Ne
+                            | Token::Le
+                            | Token::Lt
+                            | Token::Ge
+                            | Token::Gt
+                            | Token::Plus
+                            | Token::Minus
+                            | Token::Star
+                            | Token::Slash
+                            | Token::Percent
+                            | Token::Dot
+                            | Token::LBracket
+                    ) || self.is_kw("as")
+                        || self.is_kw("where");
+                    if !continues_as_pattern {
+                        return Ok(f);
+                    }
+                }
+            }
+            self.idx = save;
+        }
+        let lhs = self.pattern_no_or()?;
+        let op = match self.peek() {
+            Token::Eq => Some(CmpOp::Eq),
+            Token::EqEq => Some(CmpOp::Eq),
+            Token::Ne => Some(CmpOp::Ne),
+            Token::Le => Some(CmpOp::Le),
+            Token::Lt => Some(CmpOp::Lt),
+            Token::Ge => Some(CmpOp::Ge),
+            Token::Gt => Some(CmpOp::Gt),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.pattern_or()?;
+                Ok(Formula::Cmp(op, lhs, rhs))
+            }
+            None => match lhs {
+                Expr::BoolLit(b) => Ok(Formula::Bool(b)),
+                other => Ok(Formula::Atom(other)),
+            },
+        }
+    }
+
+    // ----- patterns / expressions -----
+
+    /// A pattern that may use `|` / `#` at its top level (comparison RHS).
+    fn pattern_or(&mut self) -> Result<Expr, ParseError> {
+        let mut p = self.pattern_no_or()?;
+        loop {
+            match self.peek() {
+                Token::Pipe => {
+                    self.bump();
+                    let rhs = self.pattern_no_or()?;
+                    p = Expr::DisjointOr(Box::new(p), Box::new(rhs));
+                }
+                Token::Hash => {
+                    self.bump();
+                    let rhs = self.pattern_no_or()?;
+                    p = Expr::OrPat(Box::new(p), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(p)
+    }
+
+    /// A pattern without top-level `|` / `#` (so formula-level disjunction
+    /// still sees those operators).
+    fn pattern_no_or(&mut self) -> Result<Expr, ParseError> {
+        self.pattern_as()
+    }
+
+    /// as-patterns: `p1 as p2`.
+    fn pattern_as(&mut self) -> Result<Expr, ParseError> {
+        let mut p = self.pattern_additive()?;
+        loop {
+            if self.is_kw("as") {
+                self.bump();
+                let rhs = self.pattern_additive()?;
+                p = Expr::As(Box::new(p), Box::new(rhs));
+            } else if self.is_kw("where") {
+                self.bump();
+                let f = if *self.peek() == Token::LParen {
+                    self.bump();
+                    let f = self.formula()?;
+                    self.expect(Token::RParen)?;
+                    f
+                } else {
+                    self.formula()?
+                };
+                p = Expr::Where(Box::new(p), Box::new(f));
+            } else {
+                break;
+            }
+        }
+        Ok(p)
+    }
+
+    fn pattern_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut p = self.pattern_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.pattern_multiplicative()?;
+            p = Expr::Binary(op, Box::new(p), Box::new(rhs));
+        }
+        Ok(p)
+    }
+
+    fn pattern_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut p = self.pattern_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.pattern_unary()?;
+            p = Expr::Binary(op, Box::new(p), Box::new(rhs));
+        }
+        Ok(p)
+    }
+
+    fn pattern_unary(&mut self) -> Result<Expr, ParseError> {
+        if *self.peek() == Token::Minus {
+            self.bump();
+            let p = self.pattern_unary()?;
+            return Ok(Expr::Neg(Box::new(p)));
+        }
+        self.pattern_postfix()
+    }
+
+    fn pattern_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut p = self.pattern_primary()?;
+        loop {
+            match self.peek() {
+                Token::Dot => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    if *self.peek() == Token::LParen {
+                        let args = self.call_args()?;
+                        p = Expr::Call {
+                            receiver: Some(Box::new(p)),
+                            name,
+                            args,
+                        };
+                    } else {
+                        p = Expr::Field(Box::new(p), name);
+                    }
+                }
+                Token::LBracket => {
+                    self.bump();
+                    let idx = self.pattern_or()?;
+                    self.expect(Token::RBracket)?;
+                    p = Expr::Index(Box::new(p), Box::new(idx));
+                }
+                _ => break,
+            }
+        }
+        Ok(p)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(Token::LParen)?;
+        let mut args = Vec::new();
+        while *self.peek() != Token::RParen {
+            args.push(self.pattern_or()?);
+            if *self.peek() == Token::Comma {
+                self.bump();
+            }
+        }
+        self.expect(Token::RParen)?;
+        Ok(args)
+    }
+
+    fn pattern_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(n) => {
+                self.bump();
+                Ok(Expr::IntLit(n))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::StrLit(s))
+            }
+            Token::Underscore => {
+                self.bump();
+                Ok(Expr::Wildcard)
+            }
+            Token::LParen => {
+                self.bump();
+                let first = self.pattern_or()?;
+                if *self.peek() == Token::Comma {
+                    let mut elems = vec![first];
+                    while *self.peek() == Token::Comma {
+                        self.bump();
+                        elems.push(self.pattern_or()?);
+                    }
+                    self.expect(Token::RParen)?;
+                    Ok(Expr::Tuple(elems))
+                } else {
+                    self.expect(Token::RParen)?;
+                    Ok(first)
+                }
+            }
+            Token::Ident(word) => match word.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::BoolLit(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::BoolLit(false))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Null)
+                }
+                "this" => {
+                    self.bump();
+                    Ok(Expr::This)
+                }
+                "result" => {
+                    self.bump();
+                    Ok(Expr::Result)
+                }
+                "new" => {
+                    self.bump();
+                    let ty = self.parse_type()?;
+                    if *self.peek() == Token::LBracket {
+                        self.bump();
+                        let len = self.pattern_or()?;
+                        self.expect(Token::RBracket)?;
+                        return Ok(Expr::NewArray(ty, Box::new(len)));
+                    }
+                    let args = self.call_args()?;
+                    Ok(Expr::call(ty.name(), args))
+                }
+                _ => {
+                    self.bump();
+                    // `T x` / `T _` declaration patterns, `f(args)` calls,
+                    // plain variables.
+                    match self.peek().clone() {
+                        Token::Ident(second)
+                            if !MODIFIER_WORDS.contains(&second.as_str())
+                                && !self.is_reserved_follower(&second) =>
+                        {
+                            self.bump();
+                            Ok(Expr::Decl(named_type(&word), second))
+                        }
+                        Token::Underscore => {
+                            self.bump();
+                            Ok(Expr::Decl(named_type(&word), "_".into()))
+                        }
+                        Token::LParen => {
+                            let args = self.call_args()?;
+                            Ok(Expr::call(word, args))
+                        }
+                        Token::LBracket
+                            if *self.peek_at(1) == Token::RBracket
+                                && matches!(self.peek_at(2), Token::Ident(_)) =>
+                        {
+                            // `T[] x` declaration pattern.
+                            self.bump();
+                            self.bump();
+                            let name = self.expect_ident()?;
+                            Ok(Expr::Decl(Type::Array(Box::new(named_type(&word))), name))
+                        }
+                        _ => Ok(Expr::Var(word)),
+                    }
+                }
+            },
+            other => self.error(format!("expected a pattern, found `{other}`")),
+        }
+    }
+
+    /// Words that may directly follow an identifier without forming a
+    /// declaration pattern (`x as y`, `p where f`, etc.).
+    fn is_reserved_follower(&self, word: &str) -> bool {
+        matches!(word, "as" | "where" | "instanceof")
+    }
+}
+
+fn named_type(name: &str) -> Type {
+    match name {
+        "int" => Type::Int,
+        "boolean" => Type::Boolean,
+        "void" => Type::Void,
+        "Object" => Type::Object,
+        _ => Type::Named(name.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_nat_interface() {
+        let src = r#"
+            interface Nat {
+                invariant(this = zero() | succ(_));
+                constructor zero() returns();
+                constructor succ(Nat n) returns(n);
+                constructor equals(Nat n);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let nat = p.interface("Nat").unwrap();
+        assert_eq!(nat.invariants.len(), 1);
+        assert_eq!(nat.methods.len(), 3);
+        assert!(nat.methods.iter().all(|m| m.kind == MethodKind::NamedConstructor));
+        assert!(nat.methods[2].is_equality_constructor());
+        // The invariant should be `this = (zero() | succ(_))`.
+        match &nat.invariants[0].formula {
+            Formula::Cmp(CmpOp::Eq, Expr::This, Expr::DisjointOr(a, b)) => {
+                assert!(matches!(**a, Expr::Call { ref name, .. } if name == "zero"));
+                assert!(matches!(**b, Expr::Call { ref name, .. } if name == "succ"));
+            }
+            other => panic!("unexpected invariant parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_znat_class() {
+        let src = r#"
+            class ZNat implements Nat {
+                int val;
+                private invariant(val >= 0);
+                private ZNat(int n) matches(n >= 0) returns(n)
+                    ( val = n && n >= 0 )
+                constructor zero() returns()
+                    ( val = 0 )
+                constructor succ(Nat n) returns(n)
+                    ( val >= 1 && ZNat(val - 1) = n )
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let znat = p.class("ZNat").unwrap();
+        assert_eq!(znat.fields.len(), 1);
+        assert_eq!(znat.fields[0].name, "val");
+        assert_eq!(znat.invariants.len(), 1);
+        assert_eq!(znat.invariants[0].visibility, Visibility::Private);
+        assert_eq!(znat.methods.len(), 3);
+        let ctor = &znat.methods[0];
+        assert_eq!(ctor.kind, MethodKind::ClassConstructor);
+        assert!(ctor.matches.is_some());
+        assert_eq!(ctor.modes.len(), 1);
+        assert_eq!(ctor.modes[0].outputs, vec!["n".to_string()]);
+        assert!(matches!(ctor.body, MethodBody::Formula(_)));
+    }
+
+    #[test]
+    fn parse_plus_with_switch() {
+        let src = r#"
+            static Nat plus(Nat m, Nat n) {
+                switch (m, n) {
+                    case (zero(), Nat x):
+                    case (x, zero()):
+                        return x;
+                    case (succ(Nat k), _):
+                        return plus(k, Nat.succ(n));
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let plus = p.methods().next().unwrap();
+        assert!(plus.is_static);
+        let MethodBody::Block(stmts) = &plus.body else {
+            panic!("expected block body")
+        };
+        let Stmt::Switch {
+            scrutinees, cases, ..
+        } = &stmts[0]
+        else {
+            panic!("expected switch")
+        };
+        assert_eq!(scrutinees.len(), 2);
+        assert_eq!(cases.len(), 3);
+        assert!(cases[0].body.is_empty(), "first case falls through");
+        assert_eq!(cases[0].patterns.len(), 2);
+        assert_eq!(cases[1].body.len(), 1);
+    }
+
+    #[test]
+    fn parse_iterative_mode_and_foreach() {
+        let src = r#"
+            class NatOps {
+                boolean greater(Nat x) iterates(x)
+                    (this = succ(Nat y) && (y = x || y.greater(x)))
+                void demo(Nat n) {
+                    foreach (n.greater(Nat x)) {
+                        use(x);
+                    }
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let c = p.class("NatOps").unwrap();
+        let greater = &c.methods[0];
+        assert!(greater.modes[0].iterative);
+        let MethodBody::Block(body) = &c.methods[1].body else {
+            panic!()
+        };
+        assert!(matches!(body[0], Stmt::Foreach { .. }));
+    }
+
+    #[test]
+    fn parse_matches_ensures_shorthand() {
+        let src = r#"
+            interface List {
+                constructor snoc(List hd, Object tl)
+                    matches ensures(cons(_, _)) returns(hd, tl);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let list = p.interface("List").unwrap();
+        let snoc = &list.methods[0];
+        assert!(snoc.matches.is_some());
+        assert_eq!(snoc.matches, snoc.ensures);
+    }
+
+    #[test]
+    fn parse_formula_level_disjunction() {
+        // Figure 4: equality constructor of ZNat.
+        let f = parse_formula("zero() && n.zero() | succ(Nat y) && n.succ(y)").unwrap();
+        match f {
+            Formula::DisjointOr(a, b) => {
+                assert!(matches!(*a, Formula::And(..)));
+                assert!(matches!(*b, Formula::And(..)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_pattern_level_disjunction() {
+        let f = parse_formula("int x = y - 1 # y + 1").unwrap();
+        match f {
+            Formula::Cmp(CmpOp::Eq, Expr::Decl(Type::Int, x), Expr::OrPat(..)) => {
+                assert_eq!(x, "x");
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let g = parse_formula("x = 1 | 2").unwrap();
+        assert!(matches!(
+            g,
+            Formula::Cmp(CmpOp::Eq, Expr::Var(_), Expr::DisjointOr(..))
+        ));
+    }
+
+    #[test]
+    fn parse_where_and_as_patterns() {
+        let f =
+            parse_formula(r#"e = (Var("v") as Var va where Var f = freshVar("f", arg))"#).unwrap();
+        let Formula::Cmp(CmpOp::Eq, _, rhs) = f else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Where(..)));
+    }
+
+    #[test]
+    fn parse_cond_with_else() {
+        let src = r#"
+            class C {
+                int f(int x) {
+                    cond {
+                        (x >= 1) { return 1; }
+                        (x <= -1) { return -1; }
+                        else { return 0; }
+                    }
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let MethodBody::Block(b) = &p.class("C").unwrap().methods[0].body else {
+            panic!()
+        };
+        let Stmt::Cond { arms, else_arm } = &b[0] else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 2);
+        assert!(else_arm.is_some());
+    }
+
+    #[test]
+    fn parse_tuple_comparison() {
+        let f = parse_formula("(e, result) = (Var(_), Lambda(k, Apply(k, e))) | (x, y)").unwrap();
+        let Formula::Cmp(CmpOp::Eq, lhs, rhs) = f else {
+            panic!()
+        };
+        assert!(matches!(lhs, Expr::Tuple(ref xs) if xs.len() == 2));
+        assert!(matches!(rhs, Expr::DisjointOr(..)));
+    }
+
+    #[test]
+    fn parse_field_access_and_arithmetic() {
+        let f = parse_formula("result = Nat(n.value + 1)").unwrap();
+        let Formula::Cmp(CmpOp::Eq, Expr::Result, rhs) = f else {
+            panic!()
+        };
+        let Expr::Call { name, args, .. } = rhs else {
+            panic!()
+        };
+        assert_eq!(name, "Nat");
+        assert!(matches!(args[0], Expr::Binary(BinOp::Add, ..)));
+    }
+
+    #[test]
+    fn parse_var_decl_statements() {
+        let src = r#"
+            class C {
+                void m() {
+                    Nat n;
+                    int x = 2;
+                    List l = EmptyList.nil();
+                    l = ConsList.snoc(l, 1);
+                    let l = reverse(List r1);
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let MethodBody::Block(b) = &p.class("C").unwrap().methods[0].body else {
+            panic!()
+        };
+        assert_eq!(b.len(), 5);
+        assert!(matches!(b[0], Stmt::Let(Formula::Atom(Expr::Decl(..)))));
+        assert!(matches!(b[1], Stmt::Let(Formula::Cmp(..))));
+        assert!(matches!(b[2], Stmt::Let(Formula::Cmp(..))));
+        assert!(matches!(b[3], Stmt::Assign(..)));
+        assert!(matches!(b[4], Stmt::Let(Formula::Cmp(..))));
+    }
+
+    #[test]
+    fn parse_interface_with_plain_methods() {
+        let src = r#"
+            interface Tree {
+                invariant(leaf() | branch(_, _, _));
+                constructor leaf() matches(height() = 0) ensures(height() = 0);
+                constructor branch(Tree l, int v, Tree r)
+                    matches(height() > 0)
+                    ensures(height() > 0)
+                    returns(l, v, r);
+                int height() ensures(result >= 0);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let t = p.interface("Tree").unwrap();
+        assert_eq!(t.methods.len(), 3);
+        assert!(matches!(
+            t.invariants[0].formula,
+            Formula::DisjointOr(..)
+        ));
+        let height = &t.methods[2];
+        assert_eq!(height.kind, MethodKind::Method);
+        assert!(height.ensures.is_some());
+    }
+
+    #[test]
+    fn error_reporting_has_position() {
+        let err = parse_program("class C { int }").unwrap_err();
+        assert!(err.pos.line >= 1);
+        assert!(!err.message.is_empty());
+    }
+
+    #[test]
+    fn parse_notall_in_matches() {
+        let src = r#"
+            interface List {
+                constructor nil() matches(notall(result));
+                constructor cons(Object hd, List tl)
+                    matches(notall(result)) returns(hd, tl);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let l = p.interface("List").unwrap();
+        let nil = &l.methods[0];
+        assert!(matches!(
+            nil.matches,
+            Some(Formula::Atom(Expr::Call { ref name, .. })) if name == "notall"
+        ));
+    }
+}

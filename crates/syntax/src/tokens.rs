@@ -1,0 +1,86 @@
+//! Token counting for the Table 1 conciseness comparison.
+//!
+//! The paper compares implementations by the *number of language tokens*
+//! (§7.2, Table 1), not lines, so formatting differences do not matter. The
+//! JMatch dialect and Java share the same token-level syntax, so a single
+//! lexer serves both; a count is simply the number of non-comment tokens.
+
+use crate::lexer::{lex, LexError};
+
+/// Counts the language tokens of a JMatch or Java source file.
+///
+/// Comments and whitespace are not counted. String and character literals
+/// count as one token each.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] if the source cannot be tokenized.
+pub fn count_tokens(source: &str) -> Result<usize, LexError> {
+    Ok(lex(source)?.len())
+}
+
+/// A token-count comparison between a JMatch implementation and its Java
+/// counterpart, as reported in one row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenComparison {
+    /// Token count of the JMatch 2.0 implementation.
+    pub jmatch: usize,
+    /// Token count of the Java implementation.
+    pub java: usize,
+}
+
+impl TokenComparison {
+    /// Computes the comparison for a pair of sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] if either source cannot be tokenized.
+    pub fn measure(jmatch_source: &str, java_source: &str) -> Result<Self, LexError> {
+        Ok(TokenComparison {
+            jmatch: count_tokens(jmatch_source)?,
+            java: count_tokens(java_source)?,
+        })
+    }
+
+    /// How much shorter the JMatch implementation is, as a fraction of the
+    /// Java token count (the paper reports 42.5 % on average).
+    pub fn savings(&self) -> f64 {
+        if self.java == 0 {
+            0.0
+        } else {
+            1.0 - (self.jmatch as f64 / self.java as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ignore_comments_and_whitespace() {
+        let a = count_tokens("class C { int x; }").unwrap();
+        let b = count_tokens("class   C {\n  // comment\n  int x; /* more */ }").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, 7);
+    }
+
+    #[test]
+    fn savings_computation() {
+        let cmp = TokenComparison {
+            jmatch: 60,
+            java: 100,
+        };
+        assert!((cmp.savings() - 0.4).abs() < 1e-9);
+        let zero = TokenComparison { jmatch: 10, java: 0 };
+        assert_eq!(zero.savings(), 0.0);
+    }
+
+    #[test]
+    fn measure_pairs() {
+        let jm = "class Nat { constructor zero() returns() ( val = 0 ) }";
+        let java = "class Nat { public boolean isZero() { return this.val == 0; } }";
+        let cmp = TokenComparison::measure(jm, java).unwrap();
+        assert!(cmp.jmatch > 0 && cmp.java > 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Verifying the AVL tree of Figure 13: the `Tree` invariant and the
+//! `ensures` clause of `branch` are what let the verifier reason about the
+//! rebalance `cond`, and removing the invariant loses that information.
+//!
+//! Run with `cargo run --example avl_verification`.
+
+use jmatch::core::{compile, CompileOptions, WarningKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entry = jmatch::corpus::entry("AVLTree").expect("corpus entry");
+    let compiled = compile(
+        &entry.combined_jmatch(),
+        &CompileOptions {
+            verify: true,
+            max_expansion_depth: 2,
+        },
+    )?;
+    println!("AVL tree verification diagnostics:");
+    if compiled.diagnostics.warnings.is_empty() {
+        println!("  (none)");
+    }
+    for w in &compiled.diagnostics.warnings {
+        println!("  {w}");
+    }
+    // The insert/member switches over leaf()/branch() must not be flagged
+    // non-exhaustive: the Tree invariant covers them.
+    let spurious: Vec<_> = compiled
+        .diagnostics
+        .warnings_of(WarningKind::NonExhaustive)
+        .into_iter()
+        .filter(|w| w.context.contains("insert") || w.context.contains("member"))
+        .collect();
+    assert!(
+        spurious.is_empty(),
+        "insert/member should verify exhaustive: {spurious:?}"
+    );
+
+    // The same switch without the interface invariant cannot be proven
+    // exhaustive (mirrors the paper's TreeMap observation in §7.3).
+    let no_invariant = r#"
+        interface Tree {
+            constructor leaf() matches(height() = 0) ensures(height() = 0);
+            constructor branch(Tree l, int v, Tree r)
+                matches(height() > 0) ensures(height() > 0) returns(l, v, r);
+            int height() ensures(result >= 0);
+        }
+        static int depth(Tree t) {
+            switch (t) {
+                case leaf(): return 0;
+                case branch(Tree l, _, Tree r): return 1;
+            }
+        }
+    "#;
+    let compiled = compile(no_invariant, &CompileOptions::default())?;
+    println!("\nwithout the Tree invariant:");
+    for w in &compiled.diagnostics.warnings {
+        println!("  {w}");
+    }
+    assert!(
+        compiled.diagnostics.has_warning(WarningKind::NonExhaustive)
+            || compiled.diagnostics.has_warning(WarningKind::Unknown)
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! List pattern matching with data abstraction (Figure 12): the same `List`
+//! interface is checked for exhaustiveness and redundancy regardless of which
+//! implementation (`EmptyList`, `ConsList`, `SnocList`, `ArrList`) is used.
+//!
+//! Run with `cargo run --example list_views`.
+
+use jmatch::core::{compile, CompileOptions, WarningKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let list = jmatch::corpus::jmatch::LIST_INTERFACE;
+
+    // Figure 12's `length`: the cons arm after snoc is redundant because
+    // snoc's matches clause already guarantees a cons shape.
+    let fig12 = format!(
+        "{list}
+         static int length(List l) {{
+             switch (l) {{
+                 case nil(): return 0;
+                 case snoc(List t, _): return length(t) + 1;
+                 case cons(_, List t): return length(t) + 1;
+             }}
+         }}"
+    );
+    let compiled = compile(&fig12, &CompileOptions::default())?;
+    println!("Figure 12 (nil / snoc / cons):");
+    for w in &compiled.diagnostics.warnings {
+        println!("  {w}");
+    }
+    assert!(compiled.diagnostics.has_warning(WarningKind::RedundantArm));
+    assert!(!compiled.diagnostics.has_warning(WarningKind::NonExhaustive));
+
+    // Dropping the redundant arm keeps the switch exhaustive and clean.
+    let clean = format!(
+        "{list}
+         static int length(List l) {{
+             switch (l) {{
+                 case nil(): return 0;
+                 case cons(_, List t): return length(t) + 1;
+             }}
+         }}"
+    );
+    let compiled = compile(&clean, &CompileOptions::default())?;
+    println!("\nnil / cons only:");
+    println!(
+        "  warnings: {} (expected none)",
+        compiled.diagnostics.warnings.len()
+    );
+    assert!(!compiled.diagnostics.has_warning(WarningKind::RedundantArm));
+    assert!(!compiled.diagnostics.has_warning(WarningKind::NonExhaustive));
+
+    // Forgetting nil() is caught.
+    let missing = format!(
+        "{list}
+         static int length(List l) {{
+             switch (l) {{
+                 case cons(_, List t): return length(t) + 1;
+             }}
+         }}"
+    );
+    let compiled = compile(&missing, &CompileOptions::default())?;
+    println!("\ncons only:");
+    for w in &compiled.diagnostics.warnings {
+        println!("  {w}");
+    }
+    assert!(
+        compiled.diagnostics.has_warning(WarningKind::NonExhaustive)
+            || compiled.diagnostics.has_warning(WarningKind::Unknown)
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart: compile a JMatch 2.0 program, inspect the verifier's
+//! exhaustiveness warnings, fix the program, and run it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use jmatch::core::{compile, CompileOptions, WarningKind};
+use jmatch::runtime::{Interp, Value};
+
+const MISSING_CASE: &str = r#"
+interface Nat {
+    invariant(this = zero() | succ(_));
+    constructor zero() returns();
+    constructor succ(Nat n) returns(n);
+}
+class ZNat implements Nat {
+    int val;
+    private invariant(val >= 0);
+    private ZNat(int n) matches(n >= 0) returns(n) ( val = n && n >= 0 )
+    constructor zero() returns() ( val = 0 )
+    constructor succ(Nat n) returns(n) ( val >= 1 && ZNat(val - 1) = n )
+}
+static int toInt(Nat m) {
+    switch (m) {
+        case succ(Nat k): return toInt(k) + 1;
+    }
+}
+"#;
+
+const FIXED: &str = r#"
+interface Nat {
+    invariant(this = zero() | succ(_));
+    constructor zero() returns();
+    constructor succ(Nat n) returns(n);
+}
+class ZNat implements Nat {
+    int val;
+    private invariant(val >= 0);
+    private ZNat(int n) matches(n >= 0) returns(n) ( val = n && n >= 0 )
+    constructor zero() returns() ( val = 0 )
+    constructor succ(Nat n) returns(n) ( val >= 1 && ZNat(val - 1) = n )
+}
+static int toInt(Nat m) {
+    switch (m) {
+        case zero(): return 0;
+        case succ(Nat k): return toInt(k) + 1;
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The incomplete switch: the verifier reports the missing zero() case.
+    let broken = compile(MISSING_CASE, &CompileOptions::default())?;
+    println!("verifying the incomplete program:");
+    for w in &broken.diagnostics.warnings {
+        println!("  {w}");
+    }
+    assert!(
+        broken.diagnostics.has_warning(WarningKind::NonExhaustive)
+            || broken.diagnostics.has_warning(WarningKind::Unknown)
+    );
+
+    // 2. The fixed program verifies without exhaustiveness warnings.
+    let fixed = compile(FIXED, &CompileOptions::default())?;
+    println!("\nverifying the fixed program:");
+    println!(
+        "  non-exhaustive warnings: {}",
+        fixed
+            .diagnostics
+            .warnings_of(WarningKind::NonExhaustive)
+            .len()
+    );
+
+    // 3. And it runs: build succ(succ(succ(zero))) and convert it to an int.
+    let interp = Interp::new(fixed.table.clone());
+    let mut n = interp.construct("ZNat", "zero", vec![])?;
+    for _ in 0..3 {
+        n = interp.construct("ZNat", "succ", vec![n])?;
+    }
+    let as_int = interp.call_free("toInt", vec![n])?;
+    println!("\ntoInt(succ(succ(succ(zero())))) = {as_int}");
+    assert_eq!(as_int, Value::Int(3));
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # jmatch
+//!
+//! Facade crate for the reproduction of *Reconciling Exhaustive Pattern
+//! Matching with Objects* (Isradisaikul & Myers, PLDI 2013): JMatch 2.0 as a
+//! Rust library.
+//!
+//! The workspace is split into focused crates, all re-exported here:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`syntax`] | lexer, AST, parser, token counter for the JMatch 2.0 dialect |
+//! | [`smt`] | the from-scratch SMT solver standing in for Z3 |
+//! | [`core`] | class table, modes, `ExtractM`, VC generation, the verifier |
+//! | [`runtime`] | the interpreter giving modal abstractions their dynamic semantics |
+//! | [`corpus`] | the paper's Table 1 evaluation programs |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use jmatch::core::{compile, CompileOptions, WarningKind};
+//!
+//! let source = "
+//!     interface Nat {
+//!         invariant(this = zero() | succ(_));
+//!         constructor zero() returns();
+//!         constructor succ(Nat n) returns(n);
+//!     }
+//!     static Nat pred(Nat m) {
+//!         switch (m) {
+//!             case succ(Nat k): return k;
+//!         }
+//!     }
+//! ";
+//! let compiled = compile(source, &CompileOptions::default())?;
+//! assert!(compiled.diagnostics.has_warning(WarningKind::NonExhaustive)
+//!     || compiled.diagnostics.has_warning(WarningKind::Unknown));
+//! # Ok::<(), jmatch::syntax::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use jmatch_core as core;
+pub use jmatch_corpus as corpus;
+pub use jmatch_runtime as runtime;
+pub use jmatch_smt as smt;
+pub use jmatch_syntax as syntax;

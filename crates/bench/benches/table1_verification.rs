@@ -7,7 +7,15 @@ use jmatch_core::{compile, CompileOptions};
 fn bench_verification_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_verification");
     group.sample_size(10);
-    let fast = ["Nat", "ZNat", "PZero", "List", "EmptyList", "Tree", "TreeLeaf"];
+    let fast = [
+        "Nat",
+        "ZNat",
+        "PZero",
+        "List",
+        "EmptyList",
+        "Tree",
+        "TreeLeaf",
+    ];
     for entry in jmatch_corpus::entries()
         .into_iter()
         .filter(|e| fast.contains(&e.name))

@@ -8,10 +8,12 @@ fn main() {
     let report = jmatch_bench::effectiveness();
     println!("§7.3 effectiveness checks\n");
     for (description, expected, observed) in &report.checks {
-        let status = if expected == observed { "ok " } else { "MISMATCH" };
-        println!(
-            "[{status}] {description} (expected warning: {expected}, observed: {observed})"
-        );
+        let status = if expected == observed {
+            "ok "
+        } else {
+            "MISMATCH"
+        };
+        println!("[{status}] {description} (expected warning: {expected}, observed: {observed})");
     }
     println!(
         "\n{}",

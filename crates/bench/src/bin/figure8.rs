@@ -6,7 +6,9 @@
 
 fn main() {
     println!("Figure 8(a)/(b): the ZNat relation and its matches-clause region");
-    println!("(rows: result = 4..0, columns: n = -1..4; '#' in relation, '.' in region, ' ' outside)\n");
+    println!(
+        "(rows: result = 4..0, columns: n = -1..4; '#' in relation, '.' in region, ' ' outside)\n"
+    );
     let points = jmatch_bench::figure8_points(-1..=4);
     for result in (0..=4).rev() {
         let mut line = format!("result={result} | ");

@@ -1,0 +1,49 @@
+//! Prints the incremental-vs-fresh verification comparison over the Table 1
+//! corpus: one shared solver session (`push`/`pop` per VC, lemma replay,
+//! result cache) against rebuilding the solver for every individual query.
+//!
+//! Run with `cargo run -p jmatch-bench --bin incremental_session --release`.
+
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut totals = (Duration::ZERO, Duration::ZERO);
+    println!(
+        "{:<12} {:>14} {:>17} {:>9}  agree",
+        "Impl", "incremental", "fresh-per-query", "speedup"
+    );
+    for entry in jmatch_corpus::entries() {
+        let compiled = jmatch_core::compile(
+            &entry.combined_jmatch(),
+            &jmatch_core::CompileOptions {
+                verify: false,
+                max_expansion_depth: 2,
+            },
+        )
+        .expect("corpus entry must parse");
+
+        let t = Instant::now();
+        let with_session = jmatch_bench::verify_shared_session(&compiled.table, 2);
+        let incremental = t.elapsed();
+        let t = Instant::now();
+        let fresh_diags = jmatch_bench::verify_fresh_per_query(&compiled.table, 2);
+        let fresh = t.elapsed();
+
+        totals.0 += incremental;
+        totals.1 += fresh;
+        println!(
+            "{:<12} {:>14} {:>17} {:>8.2}x  {}",
+            entry.name,
+            format!("{incremental:.3?}"),
+            format!("{fresh:.3?}"),
+            fresh.as_secs_f64() / incremental.as_secs_f64().max(1e-12),
+            with_session == fresh_diags,
+        );
+    }
+    println!(
+        "\nwhole corpus: incremental {:.3?} vs fresh-per-query {:.3?} ({:.2}x)",
+        totals.0,
+        totals.1,
+        totals.1.as_secs_f64() / totals.0.as_secs_f64()
+    );
+}

@@ -13,9 +13,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use jmatch_core::{compile, extract, CompileOptions, Diagnostics};
+use jmatch_core::table::ClassTable;
+use jmatch_core::{compile, extract, CompileOptions, Diagnostics, Verifier, VerifyOptions};
 use jmatch_corpus::CorpusEntry;
 use jmatch_syntax::{count_tokens, parse_formula};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// One measured row of Table 1.
@@ -157,6 +159,88 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     out
 }
 
+/// Verifies a resolved program through **one shared solver session** (the
+/// production path): a single term store, solver, and expander carry learned
+/// clauses, Tseitin encodings, and expansion lemmas across every VC query,
+/// which are delimited by `push`/`pop` and memoized in the session's
+/// canonical-formula cache.
+pub fn verify_shared_session(table: &Rc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
+    verify_shared_session_with_stats(table, max_expansion_depth).0
+}
+
+/// Like [`verify_shared_session`], also returning the session counters.
+pub fn verify_shared_session_with_stats(
+    table: &Rc<ClassTable>,
+    max_expansion_depth: u32,
+) -> (Diagnostics, jmatch_core::verify::SessionStats) {
+    let verifier = Verifier::new(
+        Rc::clone(table),
+        VerifyOptions {
+            max_expansion_depth,
+            report_unknown: false,
+            session_reuse: true,
+        },
+    );
+    verifier.verify_program_with_stats()
+}
+
+/// Verifies a resolved program rebuilding the solver and expander for
+/// **every individual VC query** — the pre-incremental architecture (the
+/// seed's four `TermStore::new()` sites), and the baseline the
+/// `incremental_vs_fresh` bench measures the session against.
+pub fn verify_fresh_per_query(table: &Rc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
+    let verifier = Verifier::new(
+        Rc::clone(table),
+        VerifyOptions {
+            max_expansion_depth,
+            report_unknown: false,
+            session_reuse: false,
+        },
+    );
+    verifier.verify_program()
+}
+
+/// Verifies a resolved program with **fresh solver state per method**, an
+/// intermediate baseline: every method rebuilds its term store, solver, and
+/// expander from scratch, so no learned clause, encoding, or expanded lemma
+/// is ever reused across methods.
+pub fn verify_fresh_per_method(table: &Rc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
+    verify_fresh_per_method_with_stats(table, max_expansion_depth).0
+}
+
+/// Like [`verify_fresh_per_method`], also returning the aggregated counters
+/// of the per-method sessions.
+pub fn verify_fresh_per_method_with_stats(
+    table: &Rc<ClassTable>,
+    max_expansion_depth: u32,
+) -> (Diagnostics, jmatch_core::verify::SessionStats) {
+    let verifier = Verifier::new(
+        Rc::clone(table),
+        VerifyOptions {
+            max_expansion_depth,
+            report_unknown: false,
+            session_reuse: true,
+        },
+    );
+    let mut diags = Diagnostics::new();
+    let mut stats = jmatch_core::verify::SessionStats::default();
+    let mut run = |owner, minfo, diags: &mut Diagnostics| {
+        let mut sess = verifier.new_session();
+        verifier.verify_method_in(&mut sess, owner, minfo, diags);
+        stats.absorb(sess.stats());
+    };
+    let types: Vec<_> = table.types().cloned().collect();
+    for ty in &types {
+        for m in &ty.methods {
+            run(Some(ty), m, &mut diags);
+        }
+    }
+    for m in table.free_methods() {
+        run(None, m, &mut diags);
+    }
+    (diags, stats)
+}
+
 /// A point of Figure 8: whether `(n, result)` is in the relation / region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Figure8Point {
@@ -201,18 +285,8 @@ pub fn figure8_preconditions() -> Vec<(String, String)> {
     )
     .expect("ZNat corpus entry must compile");
     let clause = parse_formula("n >= 0").unwrap();
-    let forward = extract(
-        &compiled.table,
-        &clause,
-        &["n".into()],
-        &["result".into()],
-    );
-    let backward = extract(
-        &compiled.table,
-        &clause,
-        &["result".into()],
-        &["n".into()],
-    );
+    let forward = extract(&compiled.table, &clause, &["n".into()], &["result".into()]);
+    let backward = extract(&compiled.table, &clause, &["result".into()], &["n".into()]);
     let clause_predicate = parse_formula("n >= 0 && notall(result, n)").unwrap();
     let predicate = extract(
         &compiled.table,
@@ -259,7 +333,9 @@ pub fn effectiveness() -> EffectivenessReport {
              }}
          }}"
     );
-    let d = compile(&fig6, &CompileOptions::default()).unwrap().diagnostics;
+    let d = compile(&fig6, &CompileOptions::default())
+        .unwrap()
+        .diagnostics;
     checks.push((
         "Figure 6: nested succ arm reported redundant".into(),
         true,
@@ -278,7 +354,9 @@ pub fn effectiveness() -> EffectivenessReport {
              switch (m) {{ case succ(Nat k): return k; }}
          }}"
     );
-    let d = compile(&missing, &CompileOptions::default()).unwrap().diagnostics;
+    let d = compile(&missing, &CompileOptions::default())
+        .unwrap()
+        .diagnostics;
     checks.push((
         "missing zero() case reported".into(),
         true,
@@ -297,7 +375,9 @@ pub fn effectiveness() -> EffectivenessReport {
              }}
          }}"
     );
-    let d = compile(&fig12, &CompileOptions::default()).unwrap().diagnostics;
+    let d = compile(&fig12, &CompileOptions::default())
+        .unwrap()
+        .diagnostics;
     checks.push((
         "Figure 12: cons arm after snoc reported redundant".into(),
         true,
@@ -306,7 +386,9 @@ pub fn effectiveness() -> EffectivenessReport {
 
     // ZNat verifies totality thanks to its private invariant.
     let znat = jmatch_corpus::entry("ZNat").unwrap().combined_jmatch();
-    let d = compile(&znat, &CompileOptions::default()).unwrap().diagnostics;
+    let d = compile(&znat, &CompileOptions::default())
+        .unwrap()
+        .diagnostics;
     checks.push((
         "ZNat class constructor verifies total".into(),
         false,
@@ -352,5 +434,29 @@ mod tests {
         let row = measure_entry(&e, 2);
         assert!(row.jmatch_tokens > 0 && row.java_tokens > 0);
         assert!(row.time_with >= Duration::from_nanos(1));
+    }
+
+    /// Asserting inside `push`/`pop` scopes, popping, and re-asserting must
+    /// give the same verdicts as fresh solvers on the same formulas — here
+    /// checked end-to-end: the shared session, fresh-per-query, and
+    /// fresh-per-method verification modes produce identical diagnostics.
+    #[test]
+    fn session_modes_agree_on_the_corpus() {
+        for name in ["Nat", "ZNat", "List", "ConsList", "TreeLeaf"] {
+            let entry = jmatch_corpus::entry(name).unwrap();
+            let compiled = compile(
+                &entry.combined_jmatch(),
+                &CompileOptions {
+                    verify: false,
+                    max_expansion_depth: 2,
+                },
+            )
+            .unwrap();
+            let shared = verify_shared_session(&compiled.table, 2);
+            let per_query = verify_fresh_per_query(&compiled.table, 2);
+            let per_method = verify_fresh_per_method(&compiled.table, 2);
+            assert_eq!(shared, per_query, "{name}: shared vs fresh-per-query");
+            assert_eq!(shared, per_method, "{name}: shared vs fresh-per-method");
+        }
     }
 }

@@ -69,7 +69,11 @@ pub struct Warning {
 
 impl fmt::Display for Warning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "warning[{}] {}: {}", self.kind, self.context, self.message)?;
+        write!(
+            f,
+            "warning[{}] {}: {}",
+            self.kind, self.context, self.message
+        )?;
         if let Some(ce) = &self.counterexample {
             write!(f, " (counterexample: {ce})")?;
         }

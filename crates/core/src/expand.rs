@@ -18,9 +18,9 @@
 //! iterative deepening — exactly the architecture the paper builds on Z3's
 //! external theory plugin.
 
+use crate::extract;
 use crate::table::MethodInfo;
 use crate::vc::{Env, Seq, VcGen, F};
-use crate::extract;
 use jmatch_smt::{Expansion, LazyExpander, Sort, TermData, TermId, TermStore};
 use jmatch_syntax::ast::Type;
 
@@ -210,7 +210,8 @@ impl JMatchExpander {
             }
         }
         let mut seq = Seq::new();
-        self.gen.declare_formula_vars(store, &mut env, &mut seq, &clause);
+        self.gen
+            .declare_formula_vars(store, &mut env, &mut seq, &clause);
         if self.gen.vf(store, &mut env, &mut seq, &clause).is_err() {
             return Vec::new();
         }
@@ -221,14 +222,10 @@ impl JMatchExpander {
     /// Splits `ok$Owner$name$mN` into its parts.
     fn parse_ok_name(name: &str) -> Option<(String, String, usize)> {
         let rest = name.strip_prefix("ok$")?;
-        let mut parts = rest.rsplitn(2, '$');
-        let mode_part = parts.next()?;
-        let owner_and_name = parts.next()?;
+        let (owner_and_name, mode_part) = rest.rsplit_once('$')?;
         let mode_idx: usize = mode_part.strip_prefix('m')?.parse().ok()?;
-        let mut on = owner_and_name.splitn(2, '$');
-        let owner = on.next()?.to_owned();
-        let mname = on.next()?.to_owned();
-        Some((owner, mname, mode_idx))
+        let (owner, mname) = owner_and_name.split_once('$')?;
+        Some((owner.to_owned(), mname.to_owned(), mode_idx))
     }
 
     fn parse_ens_name(name: &str) -> Option<(String, String)> {

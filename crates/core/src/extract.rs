@@ -320,26 +320,28 @@ fn is_notall(e: &Expr) -> bool {
 
 /// Applies the §4.4 interpretation of `notall`: dropped (`true`) when any
 /// argument is unknown/unsolved, `false` when all are known.
-fn normalize_notall(atom: &Formula, unknowns: &HashSet<String>, solved: &HashSet<String>) -> Formula {
-    if let Formula::Atom(e) = atom {
-        if let Expr::Call {
-            receiver: None,
-            name,
-            args,
-        } = e
-        {
-            if name == "notall" {
-                let any_unknown = args.iter().any(|a| {
-                    collect_vars(a)
-                        .iter()
-                        .any(|v| unknowns.contains(v) && !solved.contains(v))
-                });
-                return if any_unknown {
-                    Formula::Bool(true)
-                } else {
-                    Formula::Bool(false)
-                };
-            }
+fn normalize_notall(
+    atom: &Formula,
+    unknowns: &HashSet<String>,
+    solved: &HashSet<String>,
+) -> Formula {
+    if let Formula::Atom(Expr::Call {
+        receiver: None,
+        name,
+        args,
+    }) = atom
+    {
+        if name == "notall" {
+            let any_unknown = args.iter().any(|a| {
+                collect_vars(a)
+                    .iter()
+                    .any(|v| unknowns.contains(v) && !solved.contains(v))
+            });
+            return if any_unknown {
+                Formula::Bool(true)
+            } else {
+                Formula::Bool(false)
+            };
         }
     }
     atom.clone()
@@ -479,11 +481,7 @@ fn collect_expr_vars(e: &Expr, out: &mut Vec<String>) {
         // variables, under their reserved names.
         Expr::This => out.push("this".to_owned()),
         Expr::Result => out.push("result".to_owned()),
-        Expr::IntLit(_)
-        | Expr::BoolLit(_)
-        | Expr::StrLit(_)
-        | Expr::Null
-        | Expr::Wildcard => {}
+        Expr::IntLit(_) | Expr::BoolLit(_) | Expr::StrLit(_) | Expr::Null | Expr::Wildcard => {}
     }
 }
 
@@ -630,12 +628,7 @@ mod tests {
         flatten_and(&forward.formula, &mut flat);
         assert!(flat.contains(&parse_formula("n >= 0").unwrap()));
         assert!(flat.contains(&Formula::Bool(true)));
-        let predicate = extract(
-            &table,
-            &clause,
-            &["n".into(), "result".into()],
-            &[],
-        );
+        let predicate = extract(&table, &clause, &["n".into(), "result".into()], &[]);
         let mut flat2 = Vec::new();
         flatten_and(&predicate.formula, &mut flat2);
         assert!(flat2.contains(&Formula::Bool(false)));

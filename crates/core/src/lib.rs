@@ -46,7 +46,7 @@ pub use expand::JMatchExpander;
 pub use extract::{extract, Extracted};
 pub use table::{ClassTable, MethodInfo, Mode, TypeInfo};
 pub use vc::{Env, Seq, VcGen, F};
-pub use verify::{Verifier, VerifyOptions};
+pub use verify::{Session, SessionStats, Verifier, VerifyOptions};
 
 use jmatch_syntax::{parse_program, ParseError, Program};
 use std::rc::Rc;
@@ -84,6 +84,12 @@ pub struct Compilation {
 
 /// Parses, resolves, and (optionally) verifies a JMatch program.
 ///
+/// Verification reuses **one incremental solver session** for the entire
+/// compilation (the paper's single-Z3-process architecture): every VC query
+/// runs inside a `push`/`pop` scope of a shared [`jmatch_smt::Solver`], with
+/// lemma replay and a canonical-formula result cache — see
+/// [`verify::Session`].
+///
 /// # Errors
 ///
 /// Returns a [`ParseError`] if the source is not syntactically valid; semantic
@@ -98,6 +104,7 @@ pub fn compile(source: &str, options: &CompileOptions) -> Result<Compilation, Pa
             VerifyOptions {
                 max_expansion_depth: options.max_expansion_depth,
                 report_unknown: false,
+                session_reuse: true,
             },
         );
         diagnostics.extend(verifier.verify_program());

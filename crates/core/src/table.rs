@@ -522,9 +522,8 @@ mod tests {
 
     #[test]
     fn iterative_modes_are_flagged() {
-        let (table, diags) = table_for(
-            "interface Collection { boolean contains(Object x) iterates(x); }",
-        );
+        let (table, diags) =
+            table_for("interface Collection { boolean contains(Object x) iterates(x); }");
         assert!(diags.errors.is_empty());
         let m = table.lookup_method("Collection", "contains").unwrap();
         assert_eq!(m.modes.len(), 2);

@@ -506,10 +506,20 @@ impl VcGen {
         }
     }
 
-    fn vf_atom(&self, store: &mut TermStore, env: &mut Env, seq: &mut Seq, e: &Expr) -> VcResult<()> {
+    fn vf_atom(
+        &self,
+        store: &mut TermStore,
+        env: &mut Env,
+        seq: &mut Seq,
+        e: &Expr,
+    ) -> VcResult<()> {
         match e {
             // The opaque `notall` predicate: sound to treat as true (§4.5).
-            Expr::Call { receiver: None, name, .. } if name == "notall" => Ok(()),
+            Expr::Call {
+                receiver: None,
+                name,
+                ..
+            } if name == "notall" => Ok(()),
             Expr::Call { .. } => {
                 let (value, _) = self.tr_value(store, env, seq, e)?;
                 // A predicate-position call must produce `true`.
@@ -1024,11 +1034,9 @@ impl VcGen {
             }
         }
         // Matching a value: resolve through the value's static type.
-        if let Some((_, ty)) = match_target {
-            if let Type::Named(ty_name) = ty {
-                if let Some(m) = self.table.lookup_method(ty_name, name) {
-                    return Some((ty_name.clone(), m.clone()));
-                }
+        if let Some((_, Type::Named(ty_name))) = match_target {
+            if let Some(m) = self.table.lookup_method(ty_name, name) {
+                return Some((ty_name.clone(), m.clone()));
             }
         }
         // Class constructor: `ZNat(...)`.
@@ -1139,10 +1147,7 @@ impl VcGen {
         field: &str,
     ) -> VcResult<(TermId, Type)> {
         let owner = base_ty.name();
-        let fty = self
-            .table
-            .field_type(&owner, field)
-            .unwrap_or(Type::Object);
+        let fty = self.table.field_type(&owner, field).unwrap_or(Type::Object);
         let sort = self.sort_of(store, &fty);
         let t = store.app(&format!("field${owner}${field}"), vec![base], sort);
         if let Some(f) = self.type_membership(store, t, &fty) {
@@ -1190,7 +1195,10 @@ impl VcGen {
     fn err(&self, env: &Env, message: impl Into<String>) -> CompileError {
         CompileError {
             message: message.into(),
-            context: env.self_class.clone().unwrap_or_else(|| "<toplevel>".into()),
+            context: env
+                .self_class
+                .clone()
+                .unwrap_or_else(|| "<toplevel>".into()),
         }
     }
 
@@ -1298,7 +1306,10 @@ mod tests {
         let mut store = TermStore::new();
         let p = store.var("p", Sort::Bool);
         let q = store.var("q", Sort::Bool);
-        let f = F::and(vec![F::Smt(p), F::Assume(Box::new(F::Smt(q)), Box::new(F::True))]);
+        let f = F::and(vec![
+            F::Smt(p),
+            F::Assume(Box::new(F::Smt(q)), Box::new(F::True)),
+        ]);
         let lowered = f.lower(&mut store);
         let expected = store.and2(p, q);
         assert_eq!(lowered, expected);
@@ -1309,7 +1320,13 @@ mod tests {
         let (gen, mut store) = setup(NAT_SRC);
         let mut env = Env::new();
         let mut seq = Seq::new();
-        let n = gen.declare_var(&mut store, &mut env, &mut seq, "n", &Type::Named("Nat".into()));
+        let n = gen.declare_var(
+            &mut store,
+            &mut env,
+            &mut seq,
+            "n",
+            &Type::Named("Nat".into()),
+        );
         // n = succ(Nat k)
         let f = parse_formula("n = succ(Nat k)").unwrap();
         gen.declare_formula_vars(&mut store, &mut env, &mut seq, &f);
@@ -1390,7 +1407,10 @@ mod tests {
         let lowered = seq.close(F::True).lower(&mut store);
         let text = store.display(lowered);
         assert!(text.contains("||"), "{text}");
-        assert!(text.contains("(x = 1)") || text.contains("(1 = x)"), "{text}");
+        assert!(
+            text.contains("(x = 1)") || text.contains("(1 = x)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -18,6 +18,19 @@
 //! All checks reduce to (un)satisfiability queries against [`jmatch_smt`]
 //! with the lazy [`crate::expand::JMatchExpander`] plugin, exactly as the
 //! paper discharges them with Z3.
+//!
+//! ## One solver session per compilation
+//!
+//! The paper keeps a single Z3 process alive across all queries (§6.2); this
+//! verifier does the same with [`jmatch_smt::Solver`]'s assertion scopes. A
+//! [`Session`] — one shared [`TermStore`], one solver, one
+//! [`JMatchExpander`] — is threaded through every per-method check, each VC
+//! query being delimited by `push`/`pop` so that learned clauses, Tseitin
+//! encodings, and expanded invariant/`matches`/`ensures` lemmas carry over
+//! from query to query. On top of that, query results are memoized in a
+//! per-compilation cache keyed on the canonicalized (sorted, deduplicated)
+//! fact set — hash-consing in the shared store makes structurally equal
+//! formulas share a [`TermId`], so the key is canonical by construction.
 
 use crate::diag::{Diagnostics, WarningKind};
 use crate::expand::JMatchExpander;
@@ -26,7 +39,7 @@ use crate::table::{ClassTable, MethodInfo, TypeInfo};
 use crate::vc::{Env, Seq, VcGen, F};
 use jmatch_smt::{SatResult, Solver, SolverConfig, TermId, TermStore};
 use jmatch_syntax::ast::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// Options controlling verification.
@@ -37,6 +50,12 @@ pub struct VerifyOptions {
     /// Whether to emit [`WarningKind::Unknown`] warnings when the solver gives
     /// up rather than staying silent.
     pub report_unknown: bool,
+    /// Whether VC queries share one incremental solver session (the default,
+    /// mirroring the paper's single Z3 process). Turning this off rebuilds a
+    /// solver and expander for every individual query — the pre-incremental
+    /// architecture — and exists as the baseline for the
+    /// `incremental_vs_fresh` bench.
+    pub session_reuse: bool,
 }
 
 impl Default for VerifyOptions {
@@ -44,6 +63,7 @@ impl Default for VerifyOptions {
         VerifyOptions {
             max_expansion_depth: 3,
             report_unknown: false,
+            session_reuse: true,
         }
     }
 }
@@ -53,6 +73,68 @@ impl Default for VerifyOptions {
 pub struct Verifier {
     gen: VcGen,
     options: VerifyOptions,
+}
+
+/// The shared solver session threaded through a whole verification run: one
+/// term store, one incremental solver, one lazy expander, and a cache of VC
+/// query results keyed on canonicalized fact sets.
+#[derive(Debug)]
+pub struct Session {
+    store: TermStore,
+    solver: Solver,
+    expander: JMatchExpander,
+    cache: HashMap<Vec<TermId>, SatResult>,
+    stats: SessionStats,
+}
+
+/// Counters describing how a [`Session`] discharged its VC queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// VC queries answered by actually running the solver.
+    pub solver_queries: u64,
+    /// VC queries answered from the canonical-formula cache.
+    pub cache_hits: u64,
+    /// Candidate boolean models examined across all queries.
+    pub rounds: u64,
+    /// Theory conflicts (blocking clauses) across all queries.
+    pub theory_conflicts: u64,
+    /// Lazy-expansion lemmas asserted across all queries.
+    pub lemmas: u64,
+    /// CDCL conflicts across the whole session.
+    pub sat_conflicts: u64,
+    /// CDCL decisions across the whole session.
+    pub sat_decisions: u64,
+    /// CDCL unit propagations across the whole session.
+    pub sat_propagations: u64,
+}
+
+impl SessionStats {
+    /// Adds the counters of another session (used when aggregating over
+    /// several sessions, e.g. one per method).
+    pub fn absorb(&mut self, other: SessionStats) {
+        self.solver_queries += other.solver_queries;
+        self.cache_hits += other.cache_hits;
+        self.rounds += other.rounds;
+        self.theory_conflicts += other.theory_conflicts;
+        self.lemmas += other.lemmas;
+        self.sat_conflicts += other.sat_conflicts;
+        self.sat_decisions += other.sat_decisions;
+        self.sat_propagations += other.sat_propagations;
+    }
+}
+
+impl Session {
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        let mut stats = self.stats;
+        // The shared solver's CDCL counters are cumulative; per-query
+        // throwaway solvers (`session_reuse: false`) were already folded in.
+        let (c, d, p) = self.solver.sat_counters();
+        stats.sat_conflicts += c;
+        stats.sat_decisions += d;
+        stats.sat_propagations += p;
+        stats
+    }
 }
 
 /// Verification context threaded through statement checking: accumulated
@@ -72,33 +154,71 @@ impl Verifier {
         }
     }
 
+    /// Creates the shared solver session used for one verification run.
+    pub fn new_session(&self) -> Session {
+        Session {
+            store: TermStore::new(),
+            solver: Solver::with_config(SolverConfig {
+                max_expansion_depth: self.options.max_expansion_depth,
+                ..SolverConfig::default()
+            }),
+            expander: JMatchExpander::new(self.gen.clone()),
+            cache: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
     /// Runs every check over the whole program.
     pub fn verify_program(&self) -> Diagnostics {
+        self.verify_program_with_stats().0
+    }
+
+    /// Runs every check over the whole program, also returning the session's
+    /// query/cache counters.
+    pub fn verify_program_with_stats(&self) -> (Diagnostics, SessionStats) {
         let mut diags = Diagnostics::new();
+        let mut sess = self.new_session();
         let types: Vec<TypeInfo> = self.gen.table.types().cloned().collect();
         for ty in &types {
             for m in &ty.methods {
-                self.verify_method(Some(ty), m, &mut diags);
+                self.verify_method_in(&mut sess, Some(ty), m, &mut diags);
             }
         }
         for m in self.gen.table.free_methods() {
-            self.verify_method(None, m, &mut diags);
+            self.verify_method_in(&mut sess, None, m, &mut diags);
         }
-        diags
+        (diags, sess.stats())
     }
 
-    /// Verifies a single method (all applicable checks).
-    pub fn verify_method(&self, owner: Option<&TypeInfo>, minfo: &MethodInfo, diags: &mut Diagnostics) {
+    /// Verifies a single method (all applicable checks) in a fresh session.
+    pub fn verify_method(
+        &self,
+        owner: Option<&TypeInfo>,
+        minfo: &MethodInfo,
+        diags: &mut Diagnostics,
+    ) {
+        let mut sess = self.new_session();
+        self.verify_method_in(&mut sess, owner, minfo, diags);
+    }
+
+    /// Verifies a single method inside a shared session.
+    pub fn verify_method_in(
+        &self,
+        sess: &mut Session,
+        owner: Option<&TypeInfo>,
+        minfo: &MethodInfo,
+        diags: &mut Diagnostics,
+    ) {
         let context = minfo.qualified_name();
         match &minfo.decl.body {
-            MethodBody::Absent => self.verify_abstract_specs(minfo, &context, diags),
+            MethodBody::Absent => self.verify_abstract_specs(sess, minfo, &context, diags),
             MethodBody::Formula(body) => {
-                self.verify_declarative(owner, minfo, body, &context, diags);
-                self.verify_disjointness_in_formula(owner, minfo, body, &context, diags);
+                self.verify_declarative(sess, owner, minfo, body, &context, diags);
+                self.verify_disjointness_in_formula(sess, owner, minfo, body, &context, diags);
                 self.verify_multiplicity(minfo, body, &context, diags);
             }
             MethodBody::Block(stmts) => {
-                self.verify_block(owner, minfo, stmts, &context, diags);
+                self.verify_block(sess, owner, minfo, stmts, &context, diags);
             }
         }
     }
@@ -107,34 +227,87 @@ impl Verifier {
     // Solver plumbing
     // ------------------------------------------------------------------
 
-    fn check_sat(&self, store: &mut TermStore, facts: &[TermId]) -> SatResult {
-        let mut solver = Solver::with_config(SolverConfig {
-            max_expansion_depth: self.options.max_expansion_depth,
-            ..SolverConfig::default()
-        });
-        for &f in facts {
-            solver.assert_formula(store, f);
+    /// Discharges one VC query through the shared session: the fact set is
+    /// canonicalized (hash-consed ids, sorted, deduplicated) and looked up in
+    /// the cache; on a miss the facts are asserted inside a `push`/`pop`
+    /// scope so learned clauses and expansion lemmas persist while the
+    /// query-local assertions retire.
+    fn check_sat(&self, sess: &mut Session, facts: &[TermId]) -> SatResult {
+        let mut key: Vec<TermId> = facts.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if !self.options.session_reuse {
+            // Baseline architecture: a throwaway solver and expander per
+            // query, and no session state beyond the term store — in
+            // particular no VC result cache, so benchmarks against this mode
+            // measure the full pre-incremental cost of every query.
+            sess.stats.solver_queries += 1;
+            let mut solver = Solver::with_config(SolverConfig {
+                max_expansion_depth: self.options.max_expansion_depth,
+                ..SolverConfig::default()
+            });
+            for &f in &key {
+                solver.assert_formula(&sess.store, f);
+            }
+            let mut expander = JMatchExpander::new(self.gen.clone());
+            let result = solver.check_with_expander(&mut sess.store, &mut expander);
+            let qs = solver.stats();
+            sess.stats.rounds += qs.rounds;
+            sess.stats.theory_conflicts += qs.theory_conflicts;
+            sess.stats.lemmas += qs.lemmas;
+            let (c, d, p) = solver.sat_counters();
+            sess.stats.sat_conflicts += c;
+            sess.stats.sat_decisions += d;
+            sess.stats.sat_propagations += p;
+            return result;
         }
-        let mut expander = JMatchExpander::new(self.gen.clone());
-        solver.check_with_expander(store, &mut expander)
+        if let Some(hit) = sess.cache.get(&key) {
+            sess.stats.cache_hits += 1;
+            return hit.clone();
+        }
+        sess.stats.solver_queries += 1;
+        sess.solver.push();
+        for &f in &key {
+            sess.solver.assert_formula(&sess.store, f);
+        }
+        let result = sess
+            .solver
+            .check_with_expander(&mut sess.store, &mut sess.expander);
+        sess.solver.pop();
+        let qs = sess.solver.stats();
+        sess.stats.rounds += qs.rounds;
+        sess.stats.theory_conflicts += qs.theory_conflicts;
+        sess.stats.lemmas += qs.lemmas;
+        sess.cache.insert(key, result.clone());
+        result
     }
 
     /// Sets up the environment for verifying a method of `owner`: `this`,
     /// parameters, and the invariants visible from inside the class.
-    fn method_ctx(&self, store: &mut TermStore, owner: Option<&TypeInfo>, minfo: &MethodInfo) -> Ctx {
+    fn method_ctx(
+        &self,
+        store: &mut TermStore,
+        owner: Option<&TypeInfo>,
+        minfo: &MethodInfo,
+    ) -> Ctx {
         let mut env = Env::new();
         let mut seq = Seq::new();
         if let Some(ty) = owner {
             env.self_class = Some(ty.name.clone());
             if !minfo.decl.is_static {
-                let this =
-                    self.gen
-                        .declare_var(store, &mut env, &mut seq, "this", &Type::Named(ty.name.clone()));
+                let this = self.gen.declare_var(
+                    store,
+                    &mut env,
+                    &mut seq,
+                    "this",
+                    &Type::Named(ty.name.clone()),
+                );
                 env.this_term = Some(this);
             }
         }
         for p in &minfo.decl.params {
-            self.gen.declare_var(store, &mut env, &mut seq, &p.name, &p.ty);
+            self.gen
+                .declare_var(store, &mut env, &mut seq, &p.name, &p.ty);
         }
         env.result_type = Some(minfo.result_type());
         let mut facts = vec![seq.close(F::True).lower(store)];
@@ -193,6 +366,7 @@ impl Verifier {
 
     fn verify_declarative(
         &self,
+        sess: &mut Session,
         owner: Option<&TypeInfo>,
         minfo: &MethodInfo,
         body: &Formula,
@@ -206,8 +380,7 @@ impl Verifier {
             return;
         }
         for (mode_idx, mode) in minfo.modes.iter().enumerate() {
-            let mut store = TermStore::new();
-            let mut ctx = self.method_ctx(&mut store, owner, minfo);
+            let mut ctx = self.method_ctx(&mut sess.store, owner, minfo);
 
             // In this mode the unknown parameters are unknowns to be solved by
             // the body; the known parameters keep the terms from the context.
@@ -220,8 +393,13 @@ impl Verifier {
             let mut mode_seq = Seq::new();
             for p in &minfo.decl.params {
                 if unknown_names.contains(&p.name) {
-                    self.gen
-                        .declare_var(&mut store, &mut env_for_body, &mut mode_seq, &p.name, &p.ty);
+                    self.gen.declare_var(
+                        &mut sess.store,
+                        &mut env_for_body,
+                        &mut mode_seq,
+                        &p.name,
+                        &p.ty,
+                    );
                     env_for_body.mark_unknown(&p.name);
                 } else if let Some((t, ty)) = env.lookup(&p.name) {
                     env_for_body.bind(p.name.clone(), *t, ty.clone());
@@ -232,7 +410,7 @@ impl Verifier {
                 // The result (the matched object) is a known of this mode.
                 let rty = minfo.result_type();
                 let r = self.gen.declare_var(
-                    &mut store,
+                    &mut sess.store,
                     &mut env_for_body,
                     &mut mode_seq,
                     "$result",
@@ -243,7 +421,7 @@ impl Verifier {
                     env_for_body.this_term = Some(r);
                     if let Some(on) = &owner_name_opt {
                         ctx.facts
-                            .extend(self.private_invariant_facts(&mut store, on, r));
+                            .extend(self.private_invariant_facts(&mut sess.store, on, r));
                     }
                 }
             } else if minfo.constructs_owner() {
@@ -252,7 +430,7 @@ impl Verifier {
                 if let Some(ty) = owner {
                     for field in &ty.fields {
                         self.gen.declare_var(
-                            &mut store,
+                            &mut sess.store,
                             &mut env_for_body,
                             &mut mode_seq,
                             &field.name,
@@ -262,7 +440,8 @@ impl Verifier {
                     }
                 }
             }
-            ctx.facts.push(mode_seq.close(F::True).lower(&mut store));
+            ctx.facts
+                .push(mode_seq.close(F::True).lower(&mut sess.store));
 
             // Assertion (2): ExtractM(matches) ∧ ¬VF(body) is unsatisfiable.
             if let Some(mclause) = &matches_clause {
@@ -277,31 +456,40 @@ impl Verifier {
                 let extracted = extract::extract(&self.gen.table, mclause, &knowns, &unknowns);
                 let mut e_env = env_for_body.clone();
                 let mut e_seq = Seq::new();
-                self.gen
-                    .declare_formula_vars(&mut store, &mut e_env, &mut e_seq, &extracted.formula);
+                self.gen.declare_formula_vars(
+                    &mut sess.store,
+                    &mut e_env,
+                    &mut e_seq,
+                    &extracted.formula,
+                );
                 if self
                     .gen
-                    .vf(&mut store, &mut e_env, &mut e_seq, &extracted.formula)
+                    .vf(&mut sess.store, &mut e_env, &mut e_seq, &extracted.formula)
                     .is_err()
                 {
                     continue;
                 }
-                let extract_term = e_seq.close(F::True).lower(&mut store);
+                let extract_term = e_seq.close(F::True).lower(&mut sess.store);
 
                 let mut b_env = env_for_body.clone();
                 let mut b_seq = Seq::new();
-                self.gen.declare_formula_vars(&mut store, &mut b_env, &mut b_seq, body);
-                if self.gen.vf(&mut store, &mut b_env, &mut b_seq, body).is_err() {
+                self.gen
+                    .declare_formula_vars(&mut sess.store, &mut b_env, &mut b_seq, body);
+                if self
+                    .gen
+                    .vf(&mut sess.store, &mut b_env, &mut b_seq, body)
+                    .is_err()
+                {
                     continue;
                 }
-                let body_neg = b_seq.close(F::True).negate().lower(&mut store);
+                let body_neg = b_seq.close(F::True).negate().lower(&mut sess.store);
 
                 let mut facts = ctx.facts.clone();
                 facts.push(extract_term);
                 facts.push(body_neg);
-                match self.check_sat(&mut store, &facts) {
+                match self.check_sat(sess, &facts) {
                     SatResult::Sat(model) => {
-                        let ce = self.counterexample(&store, &model, &ctx);
+                        let ce = self.counterexample(&sess.store, &model, &ctx);
                         diags.warn_with_counterexample(
                             WarningKind::TotalityViolation,
                             context,
@@ -326,25 +514,35 @@ impl Verifier {
             if let Some(eclause) = &ensures_clause {
                 let mut b_env = env_for_body.clone();
                 let mut b_seq = Seq::new();
-                self.gen.declare_formula_vars(&mut store, &mut b_env, &mut b_seq, body);
-                if self.gen.vf(&mut store, &mut b_env, &mut b_seq, body).is_err() {
+                self.gen
+                    .declare_formula_vars(&mut sess.store, &mut b_env, &mut b_seq, body);
+                if self
+                    .gen
+                    .vf(&mut sess.store, &mut b_env, &mut b_seq, body)
+                    .is_err()
+                {
                     continue;
                 }
-                let body_term = b_seq.close(F::True).lower(&mut store);
+                let body_term = b_seq.close(F::True).lower(&mut sess.store);
                 // The ensures clause is evaluated in the environment *after*
                 // the body bound its unknowns.
                 let mut e_seq = Seq::new();
-                self.gen.declare_formula_vars(&mut store, &mut b_env, &mut e_seq, eclause);
-                if self.gen.vf(&mut store, &mut b_env, &mut e_seq, eclause).is_err() {
+                self.gen
+                    .declare_formula_vars(&mut sess.store, &mut b_env, &mut e_seq, eclause);
+                if self
+                    .gen
+                    .vf(&mut sess.store, &mut b_env, &mut e_seq, eclause)
+                    .is_err()
+                {
                     continue;
                 }
-                let ens_neg = e_seq.close(F::True).negate().lower(&mut store);
+                let ens_neg = e_seq.close(F::True).negate().lower(&mut sess.store);
                 let mut facts = ctx.facts.clone();
                 facts.push(body_term);
                 facts.push(ens_neg);
-                match self.check_sat(&mut store, &facts) {
+                match self.check_sat(sess, &facts) {
                     SatResult::Sat(model) => {
-                        let ce = self.counterexample(&store, &model, &ctx);
+                        let ce = self.counterexample(&sess.store, &model, &ctx);
                         diags.warn_with_counterexample(
                             WarningKind::PostconditionViolation,
                             context,
@@ -366,7 +564,13 @@ impl Verifier {
     }
 
     /// Interface / abstract methods: `ExtractM(matches) ⇒ ExtractM(ensures)`.
-    fn verify_abstract_specs(&self, minfo: &MethodInfo, context: &str, diags: &mut Diagnostics) {
+    fn verify_abstract_specs(
+        &self,
+        sess: &mut Session,
+        minfo: &MethodInfo,
+        context: &str,
+        diags: &mut Diagnostics,
+    ) {
         let (Some(mclause), Some(eclause)) = (&minfo.decl.matches, &minfo.decl.ensures) else {
             return;
         };
@@ -374,8 +578,7 @@ impl Verifier {
             return; // `matches ensures(f)` shorthand is trivially consistent.
         }
         for (mode_idx, mode) in minfo.modes.iter().enumerate() {
-            let mut store = TermStore::new();
-            let mut ctx = self.method_ctx(&mut store, None, minfo);
+            let mut ctx = self.method_ctx(&mut sess.store, None, minfo);
             ctx.env.self_class = Some(minfo.owner.clone());
             let knowns = self.gen.mode_knowns(minfo, mode, mode_idx);
             let unknowns: Vec<String> = {
@@ -391,36 +594,50 @@ impl Verifier {
             if !mode.result_unknown {
                 let rty = minfo.result_type();
                 let mut seq = Seq::new();
-                let r = self.gen.declare_var(&mut store, &mut env, &mut seq, "$result", &rty);
+                let r = self
+                    .gen
+                    .declare_var(&mut sess.store, &mut env, &mut seq, "$result", &rty);
                 env.result_term = Some(r);
                 if minfo.is_named_constructor() {
                     env.this_term = Some(r);
                 }
-                ctx.facts.push(seq.close(F::True).lower(&mut store));
+                ctx.facts.push(seq.close(F::True).lower(&mut sess.store));
             }
             let mut s1 = Seq::new();
             let mut env1 = env.clone();
-            self.gen.declare_formula_vars(&mut store, &mut env1, &mut s1, &em.formula);
-            if self.gen.vf(&mut store, &mut env1, &mut s1, &em.formula).is_err() {
+            self.gen
+                .declare_formula_vars(&mut sess.store, &mut env1, &mut s1, &em.formula);
+            if self
+                .gen
+                .vf(&mut sess.store, &mut env1, &mut s1, &em.formula)
+                .is_err()
+            {
                 continue;
             }
-            let m_term = s1.close(F::True).lower(&mut store);
+            let m_term = s1.close(F::True).lower(&mut sess.store);
             let mut s2 = Seq::new();
             let mut env2 = env.clone();
-            self.gen.declare_formula_vars(&mut store, &mut env2, &mut s2, &ee.formula);
-            if self.gen.vf(&mut store, &mut env2, &mut s2, &ee.formula).is_err() {
+            self.gen
+                .declare_formula_vars(&mut sess.store, &mut env2, &mut s2, &ee.formula);
+            if self
+                .gen
+                .vf(&mut sess.store, &mut env2, &mut s2, &ee.formula)
+                .is_err()
+            {
                 continue;
             }
-            let e_neg = s2.close(F::True).negate().lower(&mut store);
+            let e_neg = s2.close(F::True).negate().lower(&mut sess.store);
             let mut facts = ctx.facts.clone();
             facts.push(m_term);
             facts.push(e_neg);
-            if let SatResult::Sat(model) = self.check_sat(&mut store, &facts) {
-                let ce = self.counterexample(&store, &model, &ctx);
+            if let SatResult::Sat(model) = self.check_sat(sess, &facts) {
+                let ce = self.counterexample(&sess.store, &model, &ctx);
                 diags.warn_with_counterexample(
                     WarningKind::SpecificationMismatch,
                     context,
-                    format!("mode {mode_idx}: matches clause does not guarantee the ensures clause"),
+                    format!(
+                        "mode {mode_idx}: matches clause does not guarantee the ensures clause"
+                    ),
                     ce,
                 );
             }
@@ -433,6 +650,7 @@ impl Verifier {
 
     fn verify_disjointness_in_formula(
         &self,
+        sess: &mut Session,
         owner: Option<&TypeInfo>,
         minfo: &MethodInfo,
         body: &Formula,
@@ -445,26 +663,33 @@ impl Verifier {
             collect_disjoint_pairs(&inv.formula, &mut pairs);
         }
         for (a, b) in pairs {
-            let mut store = TermStore::new();
-            let ctx = self.method_ctx(&mut store, owner, minfo);
+            let ctx = self.method_ctx(&mut sess.store, owner, minfo);
             let mut env_a = ctx.env.clone();
             let mut seq_a = Seq::new();
-            self.gen.declare_formula_vars(&mut store, &mut env_a, &mut seq_a, &a);
+            self.gen
+                .declare_formula_vars(&mut sess.store, &mut env_a, &mut seq_a, &a);
             let mut env_b = ctx.env.clone();
             let mut seq_b = Seq::new();
-            self.gen.declare_formula_vars(&mut store, &mut env_b, &mut seq_b, &b);
-            if self.gen.vf(&mut store, &mut env_a, &mut seq_a, &a).is_err()
-                || self.gen.vf(&mut store, &mut env_b, &mut seq_b, &b).is_err()
+            self.gen
+                .declare_formula_vars(&mut sess.store, &mut env_b, &mut seq_b, &b);
+            if self
+                .gen
+                .vf(&mut sess.store, &mut env_a, &mut seq_a, &a)
+                .is_err()
+                || self
+                    .gen
+                    .vf(&mut sess.store, &mut env_b, &mut seq_b, &b)
+                    .is_err()
             {
                 continue;
             }
-            let ta = seq_a.close(F::True).lower(&mut store);
-            let tb = seq_b.close(F::True).lower(&mut store);
+            let ta = seq_a.close(F::True).lower(&mut sess.store);
+            let tb = seq_b.close(F::True).lower(&mut sess.store);
             let mut facts = ctx.facts.clone();
             facts.push(ta);
             facts.push(tb);
-            if let SatResult::Sat(model) = self.check_sat(&mut store, &facts) {
-                let ce = self.counterexample(&store, &model, &ctx);
+            if let SatResult::Sat(model) = self.check_sat(sess, &facts) {
+                let ce = self.counterexample(&sess.store, &model, &ctx);
                 diags.warn_with_counterexample(
                     WarningKind::NotDisjoint,
                     context,
@@ -505,33 +730,33 @@ impl Verifier {
 
     fn verify_block(
         &self,
+        sess: &mut Session,
         owner: Option<&TypeInfo>,
         minfo: &MethodInfo,
         stmts: &[Stmt],
         context: &str,
         diags: &mut Diagnostics,
     ) {
-        let mut store = TermStore::new();
-        let mut ctx = self.method_ctx(&mut store, owner, minfo);
-        self.verify_stmts(&mut store, &mut ctx, stmts, context, diags);
+        let mut ctx = self.method_ctx(&mut sess.store, owner, minfo);
+        self.verify_stmts(sess, &mut ctx, stmts, context, diags);
     }
 
     fn verify_stmts(
         &self,
-        store: &mut TermStore,
+        sess: &mut Session,
         ctx: &mut Ctx,
         stmts: &[Stmt],
         context: &str,
         diags: &mut Diagnostics,
     ) {
         for stmt in stmts {
-            self.verify_stmt(store, ctx, stmt, context, diags);
+            self.verify_stmt(sess, ctx, stmt, context, diags);
         }
     }
 
     fn verify_stmt(
         &self,
-        store: &mut TermStore,
+        sess: &mut Session,
         ctx: &mut Ctx,
         stmt: &Stmt,
         context: &str,
@@ -542,17 +767,18 @@ impl Verifier {
                 // Totality of the binding (§5.1): negate(VF⟦f⟧) must be unsat.
                 let mut env = ctx.env.clone();
                 let mut seq = Seq::new();
-                self.gen.declare_formula_vars(store, &mut env, &mut seq, f);
-                if self.gen.vf(store, &mut env, &mut seq, f).is_err() {
+                self.gen
+                    .declare_formula_vars(&mut sess.store, &mut env, &mut seq, f);
+                if self.gen.vf(&mut sess.store, &mut env, &mut seq, f).is_err() {
                     return;
                 }
                 let closed = seq.close(F::True);
-                let neg = closed.negate().lower(store);
+                let neg = closed.clone().negate().lower(&mut sess.store);
                 let mut facts = ctx.facts.clone();
                 facts.push(neg);
-                match self.check_sat(store, &facts) {
+                match self.check_sat(sess, &facts) {
                     SatResult::Sat(model) => {
-                        let ce = self.counterexample(store, &model, ctx);
+                        let ce = self.counterexample(&sess.store, &model, ctx);
                         diags.warn_with_counterexample(
                             WarningKind::LetMayFail,
                             context,
@@ -561,12 +787,16 @@ impl Verifier {
                         );
                     }
                     SatResult::Unknown if self.options.report_unknown => {
-                        diags.warn(WarningKind::Unknown, context, "could not verify `let` totality");
+                        diags.warn(
+                            WarningKind::Unknown,
+                            context,
+                            "could not verify `let` totality",
+                        );
                     }
                     _ => {}
                 }
                 // The bindings and facts remain available afterwards.
-                ctx.facts.push(closed.lower(store));
+                ctx.facts.push(closed.lower(&mut sess.store));
                 ctx.env = env;
             }
             Stmt::Switch {
@@ -578,9 +808,12 @@ impl Verifier {
                 let mut scrutinee_terms = Vec::new();
                 for s in scrutinees {
                     let mut seq = Seq::new();
-                    match self.gen.tr_value(store, &mut ctx.env, &mut seq, s) {
+                    match self
+                        .gen
+                        .tr_value(&mut sess.store, &mut ctx.env, &mut seq, s)
+                    {
                         Ok((t, ty)) => {
-                            ctx.facts.push(seq.close(F::True).lower(store));
+                            ctx.facts.push(seq.close(F::True).lower(&mut sess.store));
                             scrutinee_terms.push((t, ty));
                         }
                         Err(_) => return,
@@ -594,25 +827,33 @@ impl Verifier {
                         for p in &case.patterns {
                             for (ty, name) in p.declared_vars() {
                                 if name != "_" && env.lookup(&name).is_none() {
-                                    self.gen.declare_var(store, &mut env, &mut seq, &name, &ty);
+                                    self.gen.declare_var(
+                                        &mut sess.store,
+                                        &mut env,
+                                        &mut seq,
+                                        &name,
+                                        &ty,
+                                    );
                                 }
                             }
                         }
                         for (i, p) in case.patterns.iter().enumerate() {
                             let (t, ty) = scrutinee_terms.get(i)?.clone();
-                            self.gen.tr_match(store, &mut env, &mut seq, p, t, &ty).ok()?;
+                            self.gen
+                                .tr_match(&mut sess.store, &mut env, &mut seq, p, t, &ty)
+                                .ok()?;
                         }
                         Some(seq.close(F::True))
                     })
                     .collect();
                 if arms.len() == cases.len() {
-                    self.check_cond_arms(store, ctx, &arms, default.is_some(), context, diags);
+                    self.check_cond_arms(sess, ctx, &arms, default.is_some(), context, diags);
                 }
                 for case in cases {
-                    self.verify_stmts(store, ctx, &case.body, context, diags);
+                    self.verify_stmts(sess, ctx, &case.body, context, diags);
                 }
                 if let Some(d) = default {
-                    self.verify_stmts(store, ctx, d, context, diags);
+                    self.verify_stmts(sess, ctx, d, context, diags);
                 }
             }
             Stmt::Cond { arms, else_arm } => {
@@ -620,63 +861,80 @@ impl Verifier {
                 for (f, _) in arms {
                     let mut env = ctx.env.clone();
                     let mut seq = Seq::new();
-                    self.gen.declare_formula_vars(store, &mut env, &mut seq, f);
-                    if self.gen.vf(store, &mut env, &mut seq, f).is_err() {
+                    self.gen
+                        .declare_formula_vars(&mut sess.store, &mut env, &mut seq, f);
+                    if self.gen.vf(&mut sess.store, &mut env, &mut seq, f).is_err() {
                         return;
                     }
                     translated.push(seq.close(F::True));
                 }
-                self.check_cond_arms(store, ctx, &translated, else_arm.is_some(), context, diags);
+                self.check_cond_arms(sess, ctx, &translated, else_arm.is_some(), context, diags);
                 for ((f, body), closed) in arms.iter().zip(translated.iter()) {
                     let mut inner = Ctx {
                         facts: ctx.facts.clone(),
                         env: ctx.env.clone(),
                     };
                     // Refine the context with the arm's formula (§5.1).
-                    inner.facts.push(closed.clone().lower(store));
+                    inner.facts.push(closed.clone().lower(&mut sess.store));
                     let _ = f;
-                    self.verify_stmts(store, &mut inner, body, context, diags);
+                    self.verify_stmts(sess, &mut inner, body, context, diags);
                 }
                 if let Some(body) = else_arm {
-                    self.verify_stmts(store, ctx, body, context, diags);
+                    self.verify_stmts(sess, ctx, body, context, diags);
                 }
             }
             Stmt::If { cond, then, els } => {
                 let mut env = ctx.env.clone();
                 let mut seq = Seq::new();
-                self.gen.declare_formula_vars(store, &mut env, &mut seq, cond);
-                if self.gen.vf(store, &mut env, &mut seq, cond).is_ok() {
+                self.gen
+                    .declare_formula_vars(&mut sess.store, &mut env, &mut seq, cond);
+                if self
+                    .gen
+                    .vf(&mut sess.store, &mut env, &mut seq, cond)
+                    .is_ok()
+                {
                     let closed = seq.close(F::True);
                     let mut inner = Ctx {
                         facts: ctx.facts.clone(),
                         env,
                     };
-                    inner.facts.push(closed.clone().lower(store));
-                    self.verify_stmts(store, &mut inner, then, context, diags);
+                    inner.facts.push(closed.clone().lower(&mut sess.store));
+                    self.verify_stmts(sess, &mut inner, then, context, diags);
                     if let Some(e) = els {
                         let mut inner_else = Ctx {
                             facts: ctx.facts.clone(),
                             env: ctx.env.clone(),
                         };
-                        inner_else.facts.push(closed.negate().lower(store));
-                        self.verify_stmts(store, &mut inner_else, e, context, diags);
+                        inner_else
+                            .facts
+                            .push(closed.negate().lower(&mut sess.store));
+                        self.verify_stmts(sess, &mut inner_else, e, context, diags);
                     }
                 }
             }
-            Stmt::Foreach { formula, body } | Stmt::While { cond: formula, body } => {
+            Stmt::Foreach { formula, body }
+            | Stmt::While {
+                cond: formula,
+                body,
+            } => {
                 let mut env = ctx.env.clone();
                 let mut seq = Seq::new();
-                self.gen.declare_formula_vars(store, &mut env, &mut seq, formula);
-                if self.gen.vf(store, &mut env, &mut seq, formula).is_ok() {
+                self.gen
+                    .declare_formula_vars(&mut sess.store, &mut env, &mut seq, formula);
+                if self
+                    .gen
+                    .vf(&mut sess.store, &mut env, &mut seq, formula)
+                    .is_ok()
+                {
                     let mut inner = Ctx {
                         facts: ctx.facts.clone(),
                         env,
                     };
-                    inner.facts.push(seq.close(F::True).lower(store));
-                    self.verify_stmts(store, &mut inner, body, context, diags);
+                    inner.facts.push(seq.close(F::True).lower(&mut sess.store));
+                    self.verify_stmts(sess, &mut inner, body, context, diags);
                 }
             }
-            Stmt::Block(stmts) => self.verify_stmts(store, ctx, stmts, context, diags),
+            Stmt::Block(stmts) => self.verify_stmts(sess, ctx, stmts, context, diags),
             Stmt::Return(_) | Stmt::Assign(..) | Stmt::ExprStmt(_) => {}
         }
     }
@@ -684,7 +942,7 @@ impl Verifier {
     /// The cond-verification algorithm of §5.1 over already-translated arms.
     fn check_cond_arms(
         &self,
-        store: &mut TermStore,
+        sess: &mut Session,
         ctx: &Ctx,
         arms: &[F],
         has_default: bool,
@@ -694,10 +952,10 @@ impl Verifier {
         let mut invariant = ctx.facts.clone();
         for (idx, arm) in arms.iter().enumerate() {
             // Redundancy: I_i ∧ VF⟦f_i⟧ must be satisfiable.
-            let arm_term = arm.clone().lower(store);
+            let arm_term = arm.clone().lower(&mut sess.store);
             let mut facts = invariant.clone();
             facts.push(arm_term);
-            match self.check_sat(store, &facts) {
+            match self.check_sat(sess, &facts) {
                 SatResult::Unsat => {
                     diags.warn(
                         WarningKind::RedundantArm,
@@ -708,14 +966,14 @@ impl Verifier {
                 SatResult::Sat(_) | SatResult::Unknown => {}
             }
             // I_{i+1} = I_i ∧ negate(VF⟦f_i⟧).
-            invariant.push(arm.negate().lower(store));
+            invariant.push(arm.negate().lower(&mut sess.store));
         }
         if has_default {
             return;
         }
-        match self.check_sat(store, &invariant) {
+        match self.check_sat(sess, &invariant) {
             SatResult::Sat(model) => {
-                let ce = self.counterexample(store, &model, ctx);
+                let ce = self.counterexample(&sess.store, &model, ctx);
                 diags.warn_with_counterexample(
                     WarningKind::NonExhaustive,
                     context,
@@ -845,8 +1103,16 @@ mod tests {
              }}"
         );
         let d = verify(&src);
-        assert!(!d.has_warning(WarningKind::NonExhaustive), "{:?}", d.warnings);
-        assert!(!d.has_warning(WarningKind::RedundantArm), "{:?}", d.warnings);
+        assert!(
+            !d.has_warning(WarningKind::NonExhaustive),
+            "{:?}",
+            d.warnings
+        );
+        assert!(
+            !d.has_warning(WarningKind::RedundantArm),
+            "{:?}",
+            d.warnings
+        );
     }
 
     #[test]
@@ -889,7 +1155,11 @@ mod tests {
         let redundant = d.warnings_of(WarningKind::RedundantArm);
         assert_eq!(redundant.len(), 1, "{redundant:?}");
         assert!(redundant[0].message.contains("arm 2"), "{redundant:?}");
-        assert!(!d.has_warning(WarningKind::NonExhaustive), "{:?}", d.warnings);
+        assert!(
+            !d.has_warning(WarningKind::NonExhaustive),
+            "{:?}",
+            d.warnings
+        );
     }
 
     #[test]
@@ -998,7 +1268,11 @@ mod tests {
             }
         "#;
         let d = verify(src);
-        assert!(!d.has_warning(WarningKind::Multiplicity), "{:?}", d.warnings);
+        assert!(
+            !d.has_warning(WarningKind::Multiplicity),
+            "{:?}",
+            d.warnings
+        );
     }
 
     #[test]
@@ -1013,6 +1287,10 @@ mod tests {
              }}"
         );
         let d = verify(&src);
-        assert!(!d.has_warning(WarningKind::NonExhaustive), "{:?}", d.warnings);
+        assert!(
+            !d.has_warning(WarningKind::NonExhaustive),
+            "{:?}",
+            d.warnings
+        );
     }
 }

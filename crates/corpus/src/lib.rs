@@ -129,7 +129,11 @@ pub fn entries() -> Vec<CorpusEntry> {
         CorpusEntry {
             name: "SnocList",
             jmatch_source: jmatch::SNOC_LIST,
-            jmatch_deps: &[jmatch::LIST_INTERFACE, jmatch::EMPTY_LIST, jmatch::CONS_LIST],
+            jmatch_deps: &[
+                jmatch::LIST_INTERFACE,
+                jmatch::EMPTY_LIST,
+                jmatch::CONS_LIST,
+            ],
             java_source: java::SNOC_LIST,
             paper_jmatch_tokens: 311,
             paper_java_tokens: 1006,
@@ -139,7 +143,11 @@ pub fn entries() -> Vec<CorpusEntry> {
         CorpusEntry {
             name: "ArrList",
             jmatch_source: jmatch::ARR_LIST,
-            jmatch_deps: &[jmatch::LIST_INTERFACE, jmatch::EMPTY_LIST, jmatch::CONS_LIST],
+            jmatch_deps: &[
+                jmatch::LIST_INTERFACE,
+                jmatch::EMPTY_LIST,
+                jmatch::CONS_LIST,
+            ],
             java_source: java::ARR_LIST,
             paper_jmatch_tokens: 473,
             paper_java_tokens: 1208,
@@ -234,7 +242,11 @@ pub fn entries() -> Vec<CorpusEntry> {
         CorpusEntry {
             name: "AVLTree",
             jmatch_source: jmatch::AVL_TREE,
-            jmatch_deps: &[jmatch::TREE_INTERFACE, jmatch::TREE_LEAF, jmatch::TREE_BRANCH],
+            jmatch_deps: &[
+                jmatch::TREE_INTERFACE,
+                jmatch::TREE_LEAF,
+                jmatch::TREE_BRANCH,
+            ],
             java_source: java::AVL_TREE,
             paper_jmatch_tokens: 535,
             paper_java_tokens: 720,

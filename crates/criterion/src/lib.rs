@@ -1,0 +1,314 @@
+//! A minimal, API-compatible stand-in for the [`criterion`] benchmark
+//! harness, vendored so the workspace builds without network access.
+//!
+//! It implements exactly the subset the `jmatch-bench` benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and [`black_box`].
+//! Two execution modes are supported, selected by the CLI arguments that
+//! `cargo bench` forwards to the harness binary:
+//!
+//! * default: each benchmark is warmed up and timed, and a mean
+//!   per-iteration time is printed;
+//! * `--test` (the CI bench-smoke mode): each benchmark body runs exactly
+//!   once so the bench code is type-checked *and* executed, without paying
+//!   for measurement.
+//!
+//! A positional argument acts as a substring filter on benchmark names, like
+//! the real harness. Unknown flags are ignored.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point of a benchmark harness; mirrors `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long each benchmark is warmed up before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies the CLI arguments `cargo bench` forwards to the harness:
+    /// `--test` switches to run-once smoke mode, a positional argument is a
+    /// name filter, and everything else is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags with a value that the real harness accepts.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--color"
+                | "--sample-size" | "--warm-up-time" | "--measurement-time" | "--output-format" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => {
+                    if self.filter.is_none() {
+                        self.filter = Some(s.to_owned());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, name.as_ref(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_owned(),
+        }
+    }
+}
+
+/// A named group of benchmarks; mirrors `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up time for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark inside the group (name-spaced by the group name).
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark bodies; mirrors `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of the routine (one run in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, mut f: F) {
+    if !c.selected(name) {
+        return;
+    }
+    if c.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("Testing {name} ... ok");
+        return;
+    }
+    // Warm-up: run single iterations until the warm-up budget is spent, and
+    // use the observed speed to size the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < c.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+    let budget_per_sample = c.measurement_time / c.sample_size as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+    }
+    let mean = if total_iters == 0 {
+        Duration::ZERO
+    } else {
+        total / total_iters as u32
+    };
+    println!("{name:<50} time: {}", format_duration(mean));
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions into a
+/// single callable group, optionally with an explicit configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `fn main` running groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/identity", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("grouped", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn measurement_mode_times_benchmarks() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+            test_mode: true,
+            ..Criterion::default()
+        };
+        c.bench_function("unmatched", |_| panic!("must be filtered out"));
+    }
+
+    #[test]
+    fn durations_format_across_magnitudes() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(format_duration(Duration::from_micros(10)), "10.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(10)), "10.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(10)), "10.000 s");
+    }
+}

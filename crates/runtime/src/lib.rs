@@ -367,7 +367,7 @@ impl Interp {
             )));
         }
         let mut env = Bindings::new();
-        for (p, v) in minfo.decl.params.iter().zip(args.into_iter()) {
+        for (p, v) in minfo.decl.params.iter().zip(args) {
             env.insert(p.name.clone(), v);
         }
         match &minfo.decl.body {
@@ -558,7 +558,9 @@ impl Interp {
             .iter()
             .position(|c| self.conjunct_ready(env, this, c))
             .ok_or_else(|| {
-                RtError::new("formula is not solvable: no conjunct can run with the current bindings")
+                RtError::new(
+                    "formula is not solvable: no conjunct can run with the current bindings",
+                )
             })?;
         let chosen = &conjuncts[ready_idx];
         let rest: Vec<Formula> = conjuncts
@@ -568,15 +570,19 @@ impl Interp {
             .map(|(_, c)| c.clone())
             .collect();
         let mut err = None;
-        self.solve(env, this, chosen, depth + 1, &mut |e1| {
-            match self.solve_conjuncts(e1, this, &rest, depth + 1, emit) {
+        self.solve(
+            env,
+            this,
+            chosen,
+            depth + 1,
+            &mut |e1| match self.solve_conjuncts(e1, this, &rest, depth + 1, emit) {
                 Ok(()) => true,
                 Err(e) => {
                     err = Some(e);
                     false
                 }
-            }
-        })?;
+            },
+        )?;
         err.map_or(Ok(()), Err)
     }
 
@@ -600,6 +606,7 @@ impl Interp {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn solve_cmp(
         &self,
         env: &Bindings,
@@ -807,13 +814,13 @@ impl Interp {
             },
             Expr::As(a, b) => {
                 let mut err = None;
-                self.match_pattern(env, this, a, value, depth + 1, &mut |e1| {
-                    match self.match_pattern(e1, this, b, value, depth + 1, emit) {
-                        Ok(()) => true,
-                        Err(e) => {
-                            err = Some(e);
-                            false
-                        }
+                self.match_pattern(env, this, a, value, depth + 1, &mut |e1| match self
+                    .match_pattern(e1, this, b, value, depth + 1, emit)
+                {
+                    Ok(()) => true,
+                    Err(e) => {
+                        err = Some(e);
+                        false
                     }
                 })?;
                 err.map_or(Ok(()), Err)
@@ -824,13 +831,17 @@ impl Interp {
             }
             Expr::Where(p, f) => {
                 let mut err = None;
-                self.match_pattern(env, this, p, value, depth + 1, &mut |e1| {
-                    match self.solve(e1, this, f, depth + 1, emit) {
-                        Ok(()) => true,
-                        Err(e) => {
-                            err = Some(e);
-                            false
-                        }
+                self.match_pattern(env, this, p, value, depth + 1, &mut |e1| match self.solve(
+                    e1,
+                    this,
+                    f,
+                    depth + 1,
+                    emit,
+                ) {
+                    Ok(()) => true,
+                    Err(e) => {
+                        err = Some(e);
+                        false
                     }
                 })?;
                 err.map_or(Ok(()), Err)
@@ -861,7 +872,9 @@ impl Interp {
                 } else {
                     name.clone()
                 };
-                let target = if self.table.is_subtype(value.class().unwrap_or_default(), &class)
+                let target = if self
+                    .table
+                    .is_subtype(value.class().unwrap_or_default(), &class)
                     || value.class().is_none()
                 {
                     value.clone()
@@ -1032,11 +1045,8 @@ impl Interp {
                                     // constructor, then rebuild in `class`.
                                     if let Ok(rows) = self.deconstruct(target, other_name) {
                                         if let Some(row) = rows.first() {
-                                            let rebuilt = self.construct(
-                                                class,
-                                                own_name,
-                                                row.clone(),
-                                            )?;
+                                            let rebuilt =
+                                                self.construct(class, own_name, row.clone())?;
                                             let _ = (own_args, other_args);
                                             *result = Some(rebuilt);
                                         }
@@ -1533,7 +1543,9 @@ mod tests {
         let interp = interp_for(NAT_PROGRAM);
         let zero = znat(&interp, 0);
         let four = znat(&interp, 4);
-        let s1 = interp.call_free("plus", vec![zero.clone(), four.clone()]).unwrap();
+        let s1 = interp
+            .call_free("plus", vec![zero.clone(), four.clone()])
+            .unwrap();
         assert_eq!(znat_value(&s1), 4);
         let s2 = interp.call_free("plus", vec![four, zero]).unwrap();
         assert_eq!(znat_value(&s2), 4);
@@ -1569,7 +1581,11 @@ mod tests {
             class: "Range".into(),
             fields: HashMap::new(),
         }));
-        let minfo = interp.table().lookup_method("Range", "below").unwrap().clone();
+        let minfo = interp
+            .table()
+            .lookup_method("Range", "below")
+            .unwrap()
+            .clone();
         let MethodBody::Formula(f) = &minfo.decl.body else {
             panic!()
         };
@@ -1605,15 +1621,21 @@ mod tests {
             fields: HashMap::new(),
         }));
         assert_eq!(
-            interp.call_method(&obj, "classify", vec![Value::Int(6)]).unwrap(),
+            interp
+                .call_method(&obj, "classify", vec![Value::Int(6)])
+                .unwrap(),
             Value::Int(1)
         );
         assert_eq!(
-            interp.call_method(&obj, "classify", vec![Value::Int(2)]).unwrap(),
+            interp
+                .call_method(&obj, "classify", vec![Value::Int(2)])
+                .unwrap(),
             Value::Int(0)
         );
         assert_eq!(
-            interp.call_method(&obj, "classify", vec![Value::Int(-3)]).unwrap(),
+            interp
+                .call_method(&obj, "classify", vec![Value::Int(-3)])
+                .unwrap(),
             Value::Int(-1)
         );
     }

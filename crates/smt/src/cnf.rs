@@ -6,23 +6,84 @@
 //! theory plugins reuse the atom variables introduced earlier. This is what
 //! lets the DPLL(T) loop add blocking clauses and expansion lemmas
 //! incrementally without re-encoding the whole problem.
+//!
+//! ## Scoped encodings
+//!
+//! Theory **atoms** (variables, applications, comparisons, equalities) have
+//! no defining clauses; their propositional variables are allocated once and
+//! cached forever, which keeps atom identity stable across an entire solver
+//! session (blocking clauses and models keep referring to the same
+//! variables).
+//!
+//! **Composite** formulas need Tseitin definition clauses. When encoded
+//! while an assertion scope is open ([`Encoder::push_scope`]), those clauses
+//! are added scoped — they retire with the scope, and the cache entry is
+//! dropped at [`Encoder::pop_scope`] so a later use re-encodes the formula.
+//! Queries in a long-lived session therefore pay only for their own boolean
+//! structure instead of dragging every previous query's definitions through
+//! the SAT core. Encoded outside any scope, definitions are permanent,
+//! matching the classic one-shot behavior.
 
 use crate::sat::{Lit, PVar, SatSolver};
 use crate::term::{TermData, TermId, TermStore};
 use std::collections::HashMap;
 
 /// Persistent Tseitin encoder.
+///
+/// A cache entry's lifetime is tracked by `scope_log` alone: composite
+/// formulas encoded inside a scope are logged there and purged on
+/// [`Encoder::pop_scope`]; everything else (atoms, constants, composites
+/// encoded outside any scope) stays cached forever.
 #[derive(Debug, Default)]
 pub struct Encoder {
     lit_of: HashMap<TermId, Lit>,
     atom_of_var: HashMap<PVar, TermId>,
     true_lit: Option<Lit>,
+    /// Composite formulas encoded per open scope (for cache purging).
+    scope_log: Vec<Vec<TermId>>,
 }
 
 impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opens an encoding scope: definition clauses of composite formulas
+    /// encoded from now on live until the matching [`Encoder::pop_scope`].
+    /// Must be kept in lockstep with [`SatSolver::push`].
+    pub fn push_scope(&mut self) {
+        self.scope_log.push(Vec::new());
+    }
+
+    /// Closes the innermost encoding scope, forgetting the cached literals
+    /// whose definitions retire with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop_scope(&mut self) {
+        let retired = self
+            .scope_log
+            .pop()
+            .expect("Encoder::pop_scope without a matching push_scope");
+        for t in retired {
+            self.lit_of.remove(&t);
+        }
+    }
+
+    fn in_scope(&self) -> bool {
+        !self.scope_log.is_empty()
+    }
+
+    /// Caches `lit` for `t`; inside a scope the entry is logged for purging
+    /// at the matching `pop_scope`.
+    fn remember(&mut self, t: TermId, lit: Lit) -> Lit {
+        self.lit_of.insert(t, lit);
+        if self.in_scope() {
+            self.scope_log.last_mut().expect("scope is open").push(t);
+        }
+        lit
     }
 
     /// The literal that is constrained to be true (used for boolean constants).
@@ -54,7 +115,17 @@ impl Encoder {
         self.atom_of_var.iter().map(|(&v, &t)| (t, v))
     }
 
-    /// Encodes `t` and returns a literal that is equivalent to it.
+    /// Adds a definition clause with the lifetime of the current mode.
+    fn def_clause(&self, sat: &mut SatSolver, lits: &[Lit]) {
+        if self.in_scope() {
+            sat.add_scoped_clause(lits);
+        } else {
+            sat.add_clause(lits);
+        }
+    }
+
+    /// Encodes `t` and returns a literal that is equivalent to it (within the
+    /// current scope, if one is open).
     ///
     /// # Panics
     ///
@@ -68,80 +139,97 @@ impl Encoder {
         if let Some(&l) = self.lit_of.get(&t) {
             return l;
         }
-        let lit = match store.data(t).clone() {
+        match store.data(t).clone() {
             TermData::BoolConst(true) => self.true_literal(sat),
             TermData::BoolConst(false) => self.true_literal(sat).negate(),
             TermData::Not(inner) => {
-                let l = self.encode(store, sat, inner);
-                l.negate()
+                // No clauses of its own: do not cache, so the lifetime is
+                // exactly the inner encoding's.
+                self.encode(store, sat, inner).negate()
             }
-            TermData::Var(..) | TermData::App(..) | TermData::Le(..) | TermData::Lt(..)
+            TermData::Var(..)
+            | TermData::App(..)
+            | TermData::Le(..)
+            | TermData::Lt(..)
             | TermData::Eq(..) => {
+                // Theory atoms have no defining clauses; their variables are
+                // allocated once and stay valid for the whole session.
                 let v = sat.new_var();
                 self.atom_of_var.insert(v, t);
-                Lit::pos(v)
+                let lit = Lit::pos(v);
+                self.lit_of.insert(t, lit);
+                lit
             }
             TermData::And(xs) => {
                 let ls: Vec<Lit> = xs.iter().map(|&x| self.encode(store, sat, x)).collect();
                 let p = Lit::pos(sat.new_var());
                 // p -> each x
                 for &l in &ls {
-                    sat.add_clause(&[p.negate(), l]);
+                    self.def_clause(sat, &[p.negate(), l]);
                 }
                 // all x -> p
                 let mut big: Vec<Lit> = ls.iter().map(|l| l.negate()).collect();
                 big.push(p);
-                sat.add_clause(&big);
-                p
+                self.def_clause(sat, &big);
+                self.remember(t, p)
             }
             TermData::Or(xs) => {
                 let ls: Vec<Lit> = xs.iter().map(|&x| self.encode(store, sat, x)).collect();
                 let p = Lit::pos(sat.new_var());
                 // each x -> p
                 for &l in &ls {
-                    sat.add_clause(&[l.negate(), p]);
+                    self.def_clause(sat, &[l.negate(), p]);
                 }
                 // p -> some x
                 let mut big: Vec<Lit> = ls.clone();
                 big.push(p.negate());
-                sat.add_clause(&big);
-                p
+                self.def_clause(sat, &big);
+                self.remember(t, p)
             }
             TermData::Implies(a, b) => {
                 let la = self.encode(store, sat, a);
                 let lb = self.encode(store, sat, b);
                 let p = Lit::pos(sat.new_var());
                 // p -> (a -> b)
-                sat.add_clause(&[p.negate(), la.negate(), lb]);
+                self.def_clause(sat, &[p.negate(), la.negate(), lb]);
                 // (a -> b) -> p, i.e. (~a -> p) and (b -> p)
-                sat.add_clause(&[la, p]);
-                sat.add_clause(&[lb.negate(), p]);
-                p
+                self.def_clause(sat, &[la, p]);
+                self.def_clause(sat, &[lb.negate(), p]);
+                self.remember(t, p)
             }
             TermData::Iff(a, b) => {
                 let la = self.encode(store, sat, a);
                 let lb = self.encode(store, sat, b);
                 let p = Lit::pos(sat.new_var());
-                sat.add_clause(&[p.negate(), la.negate(), lb]);
-                sat.add_clause(&[p.negate(), la, lb.negate()]);
-                sat.add_clause(&[p, la, lb]);
-                sat.add_clause(&[p, la.negate(), lb.negate()]);
-                p
+                self.def_clause(sat, &[p.negate(), la.negate(), lb]);
+                self.def_clause(sat, &[p.negate(), la, lb.negate()]);
+                self.def_clause(sat, &[p, la, lb]);
+                self.def_clause(sat, &[p, la.negate(), lb.negate()]);
+                self.remember(t, p)
             }
             other => panic!(
                 "non-boolean construct reached the encoder: {:?} in {}",
                 other,
                 store.display(t)
             ),
-        };
-        self.lit_of.insert(t, lit);
-        lit
+        }
     }
 
-    /// Encodes `t` and asserts it as a unit clause.
+    /// Encodes `t` and asserts it as a permanent unit clause. Outside any
+    /// scope, definitions are permanent too (the classic one-shot behavior).
     pub fn assert_formula(&mut self, store: &TermStore, sat: &mut SatSolver, t: TermId) {
         let l = self.encode(store, sat, t);
         sat.add_clause(&[l]);
+    }
+
+    /// Encodes `t` and asserts it as a unit clause scoped to the innermost
+    /// open assertion scope (see [`SatSolver::add_scoped_clause`]): the
+    /// assertion — and the definitions encoded inside the scope — retires
+    /// when that scope pops, while atom variables (and any clauses the solver
+    /// learned that do not depend on the scope) survive for later queries.
+    pub fn assert_scoped_formula(&mut self, store: &TermStore, sat: &mut SatSolver, t: TermId) {
+        let l = self.encode(store, sat, t);
+        sat.add_scoped_clause(&[l]);
     }
 }
 
@@ -238,6 +326,52 @@ mod tests {
         let f = store.or2(p, q);
         let l1 = enc.encode(&store, &mut sat, f);
         let l2 = enc.encode(&store, &mut sat, f);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn scoped_definitions_are_purged_and_reencoded() {
+        let (mut store, mut sat, mut enc) = setup();
+        let p = store.var("p", Sort::Bool);
+        let q = store.var("q", Sort::Bool);
+        let f = store.and2(p, q);
+
+        sat.push();
+        enc.push_scope();
+        let l1 = enc.encode(&store, &mut sat, f);
+        enc.assert_scoped_formula(&store, &mut sat, f);
+        assert_eq!(sat.solve(), SatOutcome::Sat);
+        enc.pop_scope();
+        sat.pop();
+
+        // The composite's cache entry retired with the scope; atoms did not.
+        let vp = enc.var_for_atom(p).unwrap();
+        sat.push();
+        enc.push_scope();
+        let l2 = enc.encode(&store, &mut sat, f);
+        assert_ne!(l1, l2, "scoped composite must be re-encoded");
+        assert_eq!(enc.var_for_atom(p), Some(vp), "atom variables are stable");
+        enc.assert_scoped_formula(&store, &mut sat, f);
+        let nq = store.not(q);
+        enc.assert_scoped_formula(&store, &mut sat, nq);
+        assert_eq!(sat.solve(), SatOutcome::Unsat);
+        enc.pop_scope();
+        sat.pop();
+        assert_eq!(sat.solve(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn atoms_stay_permanent_across_scopes() {
+        let (mut store, mut sat, mut enc) = setup();
+        let x = store.var("x", Sort::Int);
+        let zero = store.int(0);
+        let atom = store.le(zero, x);
+        sat.push();
+        enc.push_scope();
+        let l1 = enc.encode(&store, &mut sat, atom);
+        enc.pop_scope();
+        sat.pop();
+        let l2 = enc.encode(&store, &mut sat, atom);
         assert_eq!(l1, l2);
     }
 }

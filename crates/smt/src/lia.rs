@@ -420,12 +420,12 @@ fn fourier_motzkin(constraints: &[Constraint]) -> Option<HashMap<TermId, Rat>> {
             // coeff*x + rest <= bound
             let coeff = row.coeffs[*vi];
             let mut rest = Rat::int(-(row.bound as i128));
-            for k in 0..vars.len() {
-                if k == *vi || row.coeffs[k] == 0 {
+            for (k, (&coeff_k, var_k)) in row.coeffs.iter().zip(vars.iter()).enumerate() {
+                if k == *vi || coeff_k == 0 {
                     continue;
                 }
-                let val = model.get(&vars[k]).copied().unwrap_or(Rat::ZERO);
-                rest = rest + Rat::int(row.coeffs[k] as i128) * val;
+                let val = model.get(var_k).copied().unwrap_or(Rat::ZERO);
+                rest = rest + Rat::int(coeff_k as i128) * val;
             }
             // coeff*x <= -rest
             let limit = -rest / Rat::int(coeff as i128);

@@ -55,9 +55,7 @@ impl Model {
     pub fn eval_bool(&self, store: &TermStore, t: TermId) -> bool {
         match store.data(t) {
             TermData::BoolConst(b) => *b,
-            TermData::Var(..) | TermData::App(..) => {
-                self.bools.get(&t).copied().unwrap_or(false)
-            }
+            TermData::Var(..) | TermData::App(..) => self.bools.get(&t).copied().unwrap_or(false),
             TermData::Le(a, b) => self.eval_int(store, *a) <= self.eval_int(store, *b),
             TermData::Lt(a, b) => self.eval_int(store, *a) < self.eval_int(store, *b),
             TermData::Eq(a, b) => {

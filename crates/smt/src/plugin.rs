@@ -38,13 +38,8 @@ pub trait LazyExpander {
     /// `depth` is zero for atoms appearing in the original assertion and grows
     /// by one for predicates introduced inside lemmas. The solver guarantees
     /// `depth < max_expansion_depth` when it calls this method.
-    fn expand(
-        &mut self,
-        store: &mut TermStore,
-        atom: TermId,
-        value: bool,
-        depth: u32,
-    ) -> Expansion;
+    fn expand(&mut self, store: &mut TermStore, atom: TermId, value: bool, depth: u32)
+        -> Expansion;
 }
 
 /// A plugin that never expands anything; plain QF_LIA + EUF solving.

@@ -6,6 +6,20 @@
 //! backjumping, VSIDS-like activity-based decision ordering, and phase saving.
 //! Clause-database reduction and restarts are deliberately simple because the
 //! formulas produced by the JMatch verifier are small (hundreds of clauses).
+//!
+//! ## Assertion scopes
+//!
+//! The solver supports incremental use through *assertion scopes*
+//! ([`SatSolver::push`] / [`SatSolver::pop`]), implemented with the classic
+//! selector-variable idiom: every scope owns a fresh selector variable `s`,
+//! clauses added inside the scope via [`SatSolver::add_scoped_clause`] carry
+//! the extra literal `~s`, and [`SatSolver::solve`] assumes `s` for every
+//! active scope. Popping a scope permanently asserts `~s`, which disables the
+//! scope's clauses while keeping the clause database — in particular all
+//! learnt clauses, which mention `~s` whenever they were derived from the
+//! scope's clauses — sound for later queries. This is what lets the SMT layer
+//! keep one session (and its learned knowledge) alive across an entire
+//! verification run instead of rebuilding a solver per query.
 
 use std::fmt;
 
@@ -98,7 +112,26 @@ pub struct SatSolver {
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    scope_selectors: Vec<PVar>,
+    /// `clauses.len()` at each `push`: clauses older than a scope's mark
+    /// cannot mention its selector, bounding the pop-time garbage scan.
+    scope_clause_marks: Vec<usize>,
+    /// Activity-ordered max-heap of (candidate) decision variables, MiniSat's
+    /// order heap: every unassigned variable is in the heap; assigned
+    /// variables are removed lazily when popped. Keeps each decision at
+    /// `O(log n)` instead of an `O(n)` scan — essential for long-lived
+    /// incremental sessions that accumulate many variables.
+    heap: Vec<PVar>,
+    /// Position of each variable in `heap` (`usize::MAX` when absent).
+    heap_pos: Vec<usize>,
+    /// Number of stored clauses each variable occurs in. Variables with no
+    /// occurrences are skipped as decision candidates: they cannot affect any
+    /// clause, and gating them keeps long-lived sessions from re-deciding
+    /// every variable retired scopes left behind.
+    occs: Vec<u32>,
 }
+
+const NOT_IN_HEAP: usize = usize::MAX;
 
 impl SatSolver {
     /// Creates an empty solver.
@@ -119,7 +152,80 @@ impl SatSolver {
         self.phase.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.heap_pos.push(NOT_IN_HEAP);
+        self.occs.push(0);
+        self.heap_insert(v);
         v
+    }
+
+    // ------------------------------------------------------------------
+    // Decision order heap
+    // ------------------------------------------------------------------
+
+    fn heap_less(&self, a: PVar, b: PVar) -> bool {
+        // Ties break toward the lower variable index, matching the order the
+        // previous linear scan produced (decision order strongly shapes which
+        // candidate models the DPLL(T) loop enumerates first).
+        let (aa, ab) = (self.activity[a as usize], self.activity[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i] as usize] = i;
+        self.heap_pos[self.heap[j] as usize] = j;
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            let right = left + 1;
+            let mut best = i;
+            if left < self.heap.len() && self.heap_less(self.heap[left], self.heap[best]) {
+                best = left;
+            }
+            if right < self.heap.len() && self.heap_less(self.heap[right], self.heap[best]) {
+                best = right;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_insert(&mut self, v: PVar) {
+        if self.heap_pos[v as usize] != NOT_IN_HEAP {
+            return;
+        }
+        self.heap_pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<PVar> {
+        let top = *self.heap.first()?;
+        self.heap_pos[top as usize] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
     }
 
     /// Number of variables allocated.
@@ -155,6 +261,106 @@ impl SatSolver {
     /// Current value of a variable in the last model (or current trail).
     pub fn value(&self, var: PVar) -> Option<bool> {
         self.assign[var as usize]
+    }
+
+    /// Opens a new assertion scope: clauses added with
+    /// [`SatSolver::add_scoped_clause`] from now on live until the matching
+    /// [`SatSolver::pop`].
+    pub fn push(&mut self) {
+        let selector = self.new_var();
+        self.scope_selectors.push(selector);
+        self.scope_clause_marks.push(self.clauses.len());
+    }
+
+    /// Closes the innermost assertion scope, retiring its clauses.
+    ///
+    /// Learnt clauses survive the pop (they are tagged with the scope's
+    /// selector wherever they depended on scoped clauses), so knowledge
+    /// gained inside the scope keeps accelerating later queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let selector = self
+            .scope_selectors
+            .pop()
+            .expect("SatSolver::pop without a matching push");
+        let mark = self
+            .scope_clause_marks
+            .pop()
+            .expect("clause marks track scopes");
+        // Physically delete the scope's clauses — and every learnt clause
+        // derived from them, recognizable by the `~selector` literal conflict
+        // analysis leaves behind — so long sessions do not drag a growing
+        // tail of dead clauses through their watch lists.
+        self.collect_garbage(Lit::neg(selector), mark);
+        // Record `~selector` as a level-0 fact (no clause needed: nothing
+        // mentions the selector any more), keeping it out of future decisions.
+        self.add_clause(&[Lit::neg(selector)]);
+    }
+
+    /// Removes every clause at index `from` or later that contains
+    /// `dead_lit` and compacts the tail. Clauses older than `from` cannot
+    /// mention the popped scope's selector (it did not exist yet), so the
+    /// pop cost is proportional to what the scope added — not to the
+    /// session's whole clause database.
+    fn collect_garbage(&mut self, dead_lit: Lit, from: usize) {
+        if self.unsat || from >= self.clauses.len() {
+            return;
+        }
+        self.cancel_until(0);
+        // Purge the tail's watch entries. Watch lists may interleave entries
+        // for older clauses, which keep their indices and stay put.
+        for i in from..self.clauses.len() {
+            let w0 = self.clauses[i].lits[0].negate().index();
+            let w1 = self.clauses[i].lits[1].negate().index();
+            self.watches[w0].retain(|&idx| idx < from);
+            self.watches[w1].retain(|&idx| idx < from);
+        }
+        // Drop dead tail clauses; survivors (e.g. learnt clauses that do not
+        // depend on the scope) are re-attached at their new indices.
+        let tail: Vec<Clause> = self.clauses.drain(from..).collect();
+        for c in tail {
+            if c.lits.contains(&dead_lit) {
+                for &l in &c.lits {
+                    self.occs[l.var() as usize] -= 1;
+                }
+            } else {
+                let idx = self.clauses.len();
+                self.watches[c.lits[0].negate().index()].push(idx);
+                self.watches[c.lits[1].negate().index()].push(idx);
+                self.clauses.push(c);
+            }
+        }
+        // Tail indices moved; stale reasons would be unsound to resolve on.
+        // Only trail variables can hold one (everything else was reset when
+        // it was unassigned), they all sit at level 0 now, and conflict
+        // analysis never resolves at level 0 — so drop them.
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var() as usize] = INVALID_CLAUSE;
+        }
+    }
+
+    /// Number of currently open assertion scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scope_selectors.len()
+    }
+
+    /// Adds a clause that lives only as long as the innermost open scope.
+    ///
+    /// Outside any scope this is identical to [`SatSolver::add_clause`].
+    /// Returns `false` if the clause set became trivially unsatisfiable.
+    pub fn add_scoped_clause(&mut self, lits: &[Lit]) -> bool {
+        match self.scope_selectors.last().copied() {
+            None => self.add_clause(lits),
+            Some(selector) => {
+                let mut guarded = Vec::with_capacity(lits.len() + 1);
+                guarded.extend_from_slice(lits);
+                guarded.push(Lit::neg(selector));
+                self.add_clause(&guarded)
+            }
+        }
     }
 
     fn lit_value(&self, lit: Lit) -> Option<bool> {
@@ -217,6 +423,13 @@ impl SatSolver {
         let idx = self.clauses.len();
         self.watches[lits[0].negate().index()].push(idx);
         self.watches[lits[1].negate().index()].push(idx);
+        for &l in &lits {
+            self.occs[l.var() as usize] += 1;
+            // A variable gaining its first occurrence becomes decidable again.
+            if self.assign[l.var() as usize].is_none() {
+                self.heap_insert(l.var());
+            }
+        }
         self.clauses.push(Clause { lits, learnt });
         idx
     }
@@ -280,10 +493,15 @@ impl SatSolver {
     fn bump_var(&mut self, v: PVar) {
         self.activity[v as usize] += self.var_inc;
         if self.activity[v as usize] > 1e100 {
+            // Rescaling preserves the relative order, so the heap stays valid.
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
             self.var_inc *= 1e-100;
+        }
+        let pos = self.heap_pos[v as usize];
+        if pos != NOT_IN_HEAP {
+            self.heap_sift_up(pos);
         }
     }
 
@@ -342,8 +560,7 @@ impl SatSolver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize]
-                {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
                     max_i = i;
                 }
             }
@@ -363,29 +580,41 @@ impl SatSolver {
             let v = l.var() as usize;
             self.assign[v] = None;
             self.reason[v] = INVALID_CLAUSE;
+            self.heap_insert(l.var());
         }
         self.trail_lim.truncate(target as usize);
         self.qhead = self.trail.len();
     }
 
     fn pick_branch_var(&mut self) -> Option<PVar> {
-        let mut best: Option<PVar> = None;
-        let mut best_act = -1.0f64;
-        for v in 0..self.num_vars() {
-            if self.assign[v].is_none() && self.activity[v] > best_act {
-                best_act = self.activity[v];
-                best = Some(v as PVar);
+        // Lazy deletion: assigned variables may linger in the heap; skip
+        // them, as well as variables no stored clause mentions (they cannot
+        // affect satisfiability, and `attach_clause` re-inserts them should
+        // they gain an occurrence later).
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v as usize].is_none() && self.occs[v as usize] > 0 {
+                return Some(v);
             }
         }
-        best
+        None
     }
 
-    /// Solves the current clause set.
+    /// Solves the current clause set under all active assertion scopes.
     ///
-    /// After [`SatOutcome::Sat`], every allocated variable has a value
-    /// retrievable via [`SatSolver::value`] (unconstrained variables get their
-    /// saved phase, defaulting to `false`).
+    /// After [`SatOutcome::Sat`], every variable occurring in a stored
+    /// clause has a value retrievable via [`SatSolver::value`]. Variables no
+    /// clause mentions may remain unassigned (`None`): they are
+    /// unconstrained, so any value completes the model.
     pub fn solve(&mut self) -> SatOutcome {
+        if self.scope_selectors.is_empty() {
+            self.solve_plain()
+        } else {
+            let assumptions: Vec<Lit> = self.scope_selectors.iter().map(|&v| Lit::pos(v)).collect();
+            self.solve_under(&assumptions)
+        }
+    }
+
+    fn solve_plain(&mut self) -> SatOutcome {
         if self.unsat {
             return SatOutcome::Unsat;
         }
@@ -425,13 +654,27 @@ impl SatSolver {
         }
     }
 
-    /// Solves under the given assumption literals.
+    /// Solves under the given assumption literals (in addition to the
+    /// selectors of all active assertion scopes).
     ///
     /// Returns `Sat` if the clause set together with the assumptions is
     /// satisfiable. Unlike incremental SAT solvers this implementation does
     /// not produce a final conflict clause over the assumptions; it is only
     /// used by tests and the core-minimization helper in the SMT layer.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatOutcome {
+        if self.scope_selectors.is_empty() {
+            self.solve_under(assumptions)
+        } else {
+            let mut all: Vec<Lit> = self.scope_selectors.iter().map(|&v| Lit::pos(v)).collect();
+            all.extend_from_slice(assumptions);
+            self.solve_under(&all)
+        }
+    }
+
+    fn solve_under(&mut self, assumptions: &[Lit]) -> SatOutcome {
+        if assumptions.is_empty() {
+            return self.solve_plain();
+        }
         if self.unsat {
             return SatOutcome::Unsat;
         }
@@ -575,6 +818,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index-style loops mirror the PHP encoding
     fn pigeonhole_php_3_2_unsat() {
         // 3 pigeons, 2 holes: unsatisfiable. Exercises conflict analysis.
         let mut s = SatSolver::new();
@@ -645,6 +889,96 @@ mod tests {
         );
         // Solver remains usable afterwards.
         assert_eq!(s.solve(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn scoped_clause_dies_with_its_scope() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        s.push();
+        s.add_scoped_clause(&[lit(a, false)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+        s.pop();
+        // The contradiction retired with the scope.
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn nested_scopes_pop_innermost_first() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.push();
+        s.add_scoped_clause(&[lit(a, true)]);
+        s.push();
+        s.add_scoped_clause(&[lit(b, true)]);
+        s.add_scoped_clause(&[lit(a, false), lit(b, false)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+        s.pop();
+        // Only the outer scope (a must be true) is left.
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(true));
+        s.pop();
+        assert_eq!(s.scope_depth(), 0);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn reasserting_after_pop_matches_a_fresh_solver() {
+        // The same clause set must give the same outcome whether solved by a
+        // fresh solver or by a session that asserted, popped, and re-asserted.
+        let clause_sets: [&[&[(PVar, bool)]]; 3] = [
+            &[&[(0, true)], &[(0, false)]],
+            &[&[(0, true), (1, true)], &[(0, false)], &[(1, false)]],
+            &[&[(0, true), (1, false)], &[(1, true)]],
+        ];
+        for clauses in clause_sets {
+            // Variables are allocated up front so scope selectors (which are
+            // ordinary solver variables) cannot collide with them.
+            let solve_in = |s: &mut SatSolver, vars: &[PVar]| {
+                for c in clauses {
+                    let lits: Vec<Lit> = c.iter().map(|&(v, p)| lit(vars[v as usize], p)).collect();
+                    s.add_scoped_clause(&lits);
+                }
+                s.solve()
+            };
+            let mut fresh = SatSolver::new();
+            let fresh_vars = [fresh.new_var(), fresh.new_var()];
+            let expected = solve_in(&mut fresh, &fresh_vars);
+
+            let mut session = SatSolver::new();
+            let session_vars = [session.new_var(), session.new_var()];
+            session.push();
+            let first = solve_in(&mut session, &session_vars);
+            assert_eq!(first, expected);
+            session.pop();
+            // After the pop the session is unconstrained again.
+            assert_eq!(session.solve(), SatOutcome::Sat);
+            session.push();
+            let again = solve_in(&mut session, &session_vars);
+            assert_eq!(again, expected, "re-assertion disagreed with fresh solve");
+            session.pop();
+        }
+    }
+
+    #[test]
+    fn permanent_clauses_survive_scopes() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.push();
+        // Permanent clause added while a scope is open.
+        s.add_clause(&[lit(a, false), lit(b, true)]);
+        s.add_scoped_clause(&[lit(a, true)]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert_eq!(s.value(b), Some(true));
+        s.pop();
+        s.add_clause(&[lit(a, true)]);
+        s.add_clause(&[lit(b, false)]);
+        // a -> b is still in force after the pop.
+        assert_eq!(s.solve(), SatOutcome::Unsat);
     }
 
     #[test]

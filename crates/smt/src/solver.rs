@@ -19,6 +19,44 @@
 //! The loop terminates because each blocking clause eliminates at least one
 //! assignment of the (finite) atom vocabulary, the plugin is called at most
 //! once per (atom, polarity, depth), and a round budget backstops everything.
+//!
+//! ## Sessions: `push` / `pop` and persistent learning
+//!
+//! A [`Solver`] is an incremental *session*, mirroring how the paper keeps a
+//! single Z3 process alive across all verification conditions. Between
+//! queries (delimited with [`Solver::push`] / [`Solver::pop`]), the state
+//! that persists is exactly the state later queries can profit from:
+//!
+//! * the caller's **term store** and the **atom encodings** (theory atoms
+//!   keep their propositional variables for the whole session, so models and
+//!   blocking clauses stay meaningful),
+//! * theory **blocking clauses** (an atom set found LIA/EUF-inconsistent
+//!   stays blocked forever — theory conflicts are valid in every context),
+//!   along with any CDCL clauses learned from scope-independent clauses,
+//! * the expansion **lemma cache**: lemmas are recorded guarded by the
+//!   polarity that triggered them (`guard ⇒ lemma` / `¬guard ⇒ lemma`) —
+//!   globally valid facts — and later queries *replay* them directly instead
+//!   of re-running the (expensive) plugin derivation.
+//!
+//! Query-local state retires with the query's scope: its assertions, the
+//! Tseitin definitions of its (typically one-off) composite formulas, its
+//! lemma instantiations, and CDCL clauses learned from any of those — the
+//! selector literal that conflict analysis threads through them lets the pop
+//! garbage-collect the lot. The SAT core therefore only ever carries the
+//! clauses of the query at hand, while decisions are further gated to
+//! variables that still occur in live clauses. This is what makes a
+//! long-lived session strictly cheaper than rebuilding a solver per query,
+//! instead of drowning in its own history.
+//!
+//! Each query theory-checks and expands only the atoms reachable from its own
+//! active assertions (closed over the lemmas previously attached to them), so
+//! atoms left over from unrelated queries can neither produce spurious
+//! `Unknown`s nor slow down theory checks.
+//!
+//! Because encodings are cached by [`TermId`], a session must always be used
+//! with the **same** [`TermStore`], and — since expansion state persists —
+//! with expanders that agree on the meaning of the interpreted predicates
+//! (e.g. one `JMatchExpander` per compiled program).
 
 use crate::cnf::Encoder;
 use crate::euf::{self, EufResult};
@@ -93,34 +131,66 @@ pub struct SolverStats {
     pub theory_conflicts: u64,
     /// Number of plugin lemmas asserted.
     pub lemmas: u64,
+    /// Of the asserted lemmas, how many came from the session's replay cache
+    /// instead of a plugin call (cross-query expansion reuse).
+    pub lemmas_replayed: u64,
     /// Deepest expansion level reached.
     pub max_depth_reached: u32,
 }
 
-/// An SMT solver instance.
+/// An incremental SMT solver session.
 ///
 /// Formulas are built in a caller-owned [`TermStore`] and asserted with
 /// [`Solver::assert_formula`]; [`Solver::check`] then decides satisfiability
-/// of their conjunction.
-#[derive(Debug, Default)]
+/// of their conjunction. Queries can be delimited with [`Solver::push`] /
+/// [`Solver::pop`]: popped assertions retire, while learned clauses, the
+/// Tseitin encoding, and expansion lemmas persist and accelerate later
+/// queries (see the [module documentation](self) for the session model).
+#[derive(Debug)]
 pub struct Solver {
     assertions: Vec<TermId>,
+    /// Watermarks into `assertions`, one per open scope.
+    scopes: Vec<usize>,
     config: SolverConfig,
     stats: SolverStats,
+    sat: SatSolver,
+    encoder: Encoder,
+    /// Polarity-guarded lemmas previously derived for each `(atom, polarity)`
+    /// pair. Later queries replay these directly instead of calling the
+    /// expander again — the session's semantic learning.
+    lemma_cache: HashMap<(TermId, bool), Vec<TermId>>,
+    /// Iterative-deepening depth at which each atom first appeared (0 for
+    /// atoms of directly asserted formulas).
+    atom_depth: HashMap<TermId, u32>,
+    /// For each expanded guard atom, the atoms its lemmas introduced — used
+    /// to close each query's set of theory-relevant atoms.
+    lemma_atoms: HashMap<TermId, Vec<TermId>>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
 }
 
 impl Solver {
     /// Creates a solver with the default configuration.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(SolverConfig::default())
     }
 
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             assertions: Vec::new(),
+            scopes: Vec::new(),
             config,
             stats: SolverStats::default(),
+            sat: SatSolver::new(),
+            encoder: Encoder::new(),
+            lemma_cache: HashMap::new(),
+            atom_depth: HashMap::new(),
+            lemma_atoms: HashMap::new(),
         }
     }
 
@@ -139,7 +209,20 @@ impl Solver {
         self.stats
     }
 
-    /// Asserts a boolean formula.
+    /// Cumulative counters of the underlying CDCL core over the whole
+    /// session: `(conflicts, decisions, propagations)`.
+    pub fn sat_counters(&self) -> (u64, u64, u64) {
+        (
+            self.sat.conflicts(),
+            self.sat.decisions(),
+            self.sat.propagations(),
+        )
+    }
+
+    /// Asserts a boolean formula in the innermost open scope.
+    ///
+    /// The formula is encoded into the persistent SAT core immediately, so
+    /// the term must come from the same [`TermStore`] on every call.
     ///
     /// # Panics
     ///
@@ -150,12 +233,51 @@ impl Solver {
             "assert_formula: {} is not a formula",
             store.display(f)
         );
+        self.encoder.assert_scoped_formula(store, &mut self.sat, f);
+        for a in store.atoms(f) {
+            self.atom_depth.insert(a, 0);
+        }
         self.assertions.push(f);
     }
 
-    /// All formulas asserted so far.
+    /// All currently active assertions (those of open scopes, oldest first).
     pub fn assertions(&self) -> &[TermId] {
         &self.assertions
+    }
+
+    /// Opens an assertion scope: assertions made until the matching
+    /// [`Solver::pop`] retire with it.
+    pub fn push(&mut self) {
+        self.scopes.push(self.assertions.len());
+        self.sat.push();
+        self.encoder.push_scope();
+    }
+
+    /// Closes the innermost assertion scope, retiring its assertions while
+    /// keeping everything the session learned from them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let mark = self
+            .scopes
+            .pop()
+            .expect("Solver::pop without a matching push");
+        self.assertions.truncate(mark);
+        self.encoder.pop_scope();
+        self.sat.pop();
+    }
+
+    /// Number of currently open assertion scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Discards the entire session state (assertions, scopes, learned
+    /// clauses, encodings, expansion lemmas), keeping the configuration.
+    pub fn reset(&mut self) {
+        *self = Solver::with_config(self.config.clone());
     }
 
     /// Decides satisfiability without lazy expansion.
@@ -172,9 +294,13 @@ impl Solver {
         expander: &mut dyn LazyExpander,
     ) -> SatResult {
         self.stats = SolverStats::default();
+        // Guard atoms whose lemmas were asserted during this check. Lemma
+        // assertions are scoped, so the set is per-check: a later check in
+        // the same session re-asserts them (cheaply, via the replay cache).
+        let mut expanded: HashSet<(TermId, bool)> = HashSet::new();
         let mut last = SatResult::Unknown;
         for depth in 1..=self.config.max_expansion_depth.max(1) {
-            last = self.check_at_depth(store, expander, depth);
+            last = self.solve_round(store, expander, &mut expanded, depth);
             match last {
                 SatResult::Sat(_) | SatResult::Unsat => return last,
                 SatResult::Unknown => continue,
@@ -183,46 +309,55 @@ impl Solver {
         last
     }
 
-    /// One run of the DPLL(T) loop with a fixed expansion-depth bound.
-    fn check_at_depth(
+    /// One run of the DPLL(T) loop with a fixed expansion-depth bound,
+    /// against the persistent session state.
+    fn solve_round(
         &mut self,
         store: &mut TermStore,
         expander: &mut dyn LazyExpander,
+        expanded: &mut HashSet<(TermId, bool)>,
         max_depth: u32,
     ) -> SatResult {
-        let mut sat = SatSolver::new();
-        let mut encoder = Encoder::new();
-        // The set of formulas asserted in this run: original assertions plus
-        // lemmas produced by the plugin.
-        let mut asserted: Vec<TermId> = self.assertions.clone();
-        for &f in &asserted {
-            encoder.assert_formula(store, &mut sat, f);
-        }
-        // Depth of each guard atom; atoms of the original assertions are at 0.
-        let mut atom_depth: HashMap<TermId, u32> = HashMap::new();
-        for &f in &asserted {
+        // The atoms this query is about: those of the active assertions,
+        // closed over the lemmas previously attached to them. Only these are
+        // theory-checked and offered for expansion, so leftover atoms from
+        // other queries in the same session cannot influence the verdict.
+        let mut relevant: HashSet<TermId> = HashSet::new();
+        let mut seed: Vec<TermId> = Vec::new();
+        for &f in &self.assertions {
             for a in store.atoms(f) {
-                atom_depth.entry(a).or_insert(0);
+                if relevant.insert(a) {
+                    seed.push(a);
+                }
             }
         }
-        let mut expanded: HashSet<(TermId, bool)> = HashSet::new();
-        let mut rounds = 0u64;
+        close_over_lemmas(&self.lemma_atoms, &mut relevant, seed);
+        // Deterministically ordered view of `relevant`, so theory checks and
+        // conflict minimization see a stable atom order regardless of hash
+        // iteration order.
+        let mut rel_sorted: Vec<TermId> = relevant.iter().copied().collect();
+        rel_sorted.sort_unstable();
 
+        let mut rounds = 0u64;
         loop {
             rounds += 1;
             self.stats.rounds += 1;
             if rounds > self.config.max_rounds {
                 return SatResult::Unknown;
             }
-            match sat.solve() {
+            match self.sat.solve() {
                 SatOutcome::Unsat => return SatResult::Unsat,
                 SatOutcome::Sat => {}
             }
 
-            // Gather the atom assignment chosen by the SAT core.
-            let assignment: Vec<(TermId, bool)> = encoder
-                .atom_vars()
-                .filter_map(|(t, v)| sat.value(v).map(|b| (t, b)))
+            // Gather the relevant part of the atom assignment chosen by the
+            // SAT core.
+            let assignment: Vec<(TermId, bool)> = rel_sorted
+                .iter()
+                .filter_map(|&t| {
+                    let v = self.encoder.var_for_atom(t)?;
+                    self.sat.value(v).map(|b| (t, b))
+                })
                 .collect();
 
             let arith: Vec<(TermId, bool)> = assignment
@@ -245,7 +380,7 @@ impl Solver {
                     let core = self.minimize(store, &arith, |s, sub| {
                         matches!(lia::check(s, sub), LiaResult::Infeasible(_))
                     });
-                    self.block(store, &mut sat, &mut encoder, &core);
+                    self.block(store, &core);
                     continue;
                 }
                 LiaResult::Unknown => lia_unknown = true,
@@ -259,14 +394,17 @@ impl Solver {
                     let core = self.minimize(store, &equality, |s, sub| {
                         matches!(euf::check(s, sub), EufResult::Inconsistent(_))
                     });
-                    self.block(store, &mut sat, &mut encoder, &core);
+                    self.block(store, &core);
                     continue;
                 }
                 EufResult::Consistent => {}
             }
 
-            // Lazy expansion of interpreted predicates.
-            let mut new_lemmas: Vec<(TermId, u32)> = Vec::new();
+            // Lazy expansion of interpreted predicates. Guards already seen
+            // by this session replay their cached lemmas without consulting
+            // the plugin; new guards are expanded and their (polarity-
+            // guarded) lemmas cached for the rest of the session.
+            let mut new_lemmas: Vec<(TermId, TermId, u32, bool)> = Vec::new();
             let mut beyond_depth = false;
             for &(atom, value) in &assignment {
                 if !matches!(store.data(atom), TermData::App(_, _, Sort::Bool)) {
@@ -275,12 +413,21 @@ impl Solver {
                 if expanded.contains(&(atom, value)) {
                     continue;
                 }
-                if !expander.can_expand(store, atom, value) {
+                let cached = self.lemma_cache.contains_key(&(atom, value));
+                if !cached && !expander.can_expand(store, atom, value) {
                     continue;
                 }
-                let depth = atom_depth.get(&atom).copied().unwrap_or(0);
+                let depth = self.atom_depth.get(&atom).copied().unwrap_or(0);
                 if depth >= max_depth {
                     beyond_depth = true;
+                    continue;
+                }
+                if cached {
+                    expanded.insert((atom, value));
+                    self.stats.max_depth_reached = self.stats.max_depth_reached.max(depth + 1);
+                    for &g in &self.lemma_cache[&(atom, value)] {
+                        new_lemmas.push((atom, g, depth + 1, true));
+                    }
                     continue;
                 }
                 match expander.expand(store, atom, value, depth) {
@@ -288,20 +435,58 @@ impl Solver {
                     Expansion::Lemmas(lemmas) => {
                         expanded.insert((atom, value));
                         self.stats.max_depth_reached = self.stats.max_depth_reached.max(depth + 1);
-                        for l in lemmas {
-                            new_lemmas.push((l, depth + 1));
+                        // Guard each lemma with the polarity that triggered
+                        // it: the plugin contract is "when `atom` has value
+                        // `value`, the lemma holds", so the guarded
+                        // implication is a valid fact in every context and
+                        // can be replayed by any later query.
+                        let antecedent = if value { atom } else { store.not(atom) };
+                        let guarded: Vec<TermId> = lemmas
+                            .into_iter()
+                            .map(|l| store.implies(antecedent, l))
+                            .collect();
+                        for &g in &guarded {
+                            new_lemmas.push((atom, g, depth + 1, false));
                         }
+                        self.lemma_cache.insert((atom, value), guarded);
                     }
                 }
             }
             if !new_lemmas.is_empty() {
-                for (lemma, depth) in new_lemmas {
+                for (guard, guarded, depth, replayed) in new_lemmas {
                     self.stats.lemmas += 1;
-                    encoder.assert_formula(store, &mut sat, lemma);
-                    asserted.push(lemma);
-                    for a in store.atoms(lemma) {
-                        atom_depth.entry(a).or_insert(depth);
+                    if replayed {
+                        self.stats.lemmas_replayed += 1;
                     }
+                    // Lemma instantiations are scoped: they retire with the
+                    // query and are re-asserted from the cache when a later
+                    // query needs them, so the SAT core only ever carries the
+                    // clauses of the query at hand.
+                    self.encoder
+                        .assert_scoped_formula(store, &mut self.sat, guarded);
+                    let introduced = store.atoms(guarded);
+                    let mut newly: Vec<TermId> = Vec::new();
+                    for &a in &introduced {
+                        self.atom_depth
+                            .entry(a)
+                            .and_modify(|d| *d = (*d).min(depth))
+                            .or_insert(depth);
+                        if relevant.insert(a) {
+                            newly.push(a);
+                        }
+                    }
+                    close_over_lemmas(&self.lemma_atoms, &mut relevant, newly);
+                    if !replayed {
+                        self.lemma_atoms
+                            .entry(guard)
+                            .or_default()
+                            .extend(introduced);
+                    }
+                }
+                // Lemmas may have introduced new relevant atoms.
+                if rel_sorted.len() != relevant.len() {
+                    rel_sorted = relevant.iter().copied().collect();
+                    rel_sorted.sort_unstable();
                 }
                 continue;
             }
@@ -350,18 +535,14 @@ impl Solver {
         core
     }
 
-    /// Adds a blocking clause ruling out the given partial atom assignment.
-    fn block(
-        &self,
-        store: &TermStore,
-        sat: &mut SatSolver,
-        encoder: &mut Encoder,
-        core: &[(TermId, bool)],
-    ) {
+    /// Adds a permanent blocking clause ruling out the given theory-
+    /// inconsistent partial atom assignment (valid in every context, so it
+    /// survives scope pops).
+    fn block(&mut self, store: &TermStore, core: &[(TermId, bool)]) {
         let clause: Vec<Lit> = core
             .iter()
             .map(|&(atom, value)| {
-                let lit = encoder.encode(store, sat, atom);
+                let lit = self.encoder.encode(store, &mut self.sat, atom);
                 if value {
                     lit.negate()
                 } else {
@@ -369,7 +550,25 @@ impl Solver {
                 }
             })
             .collect();
-        sat.add_clause(&clause);
+        self.sat.add_clause(&clause);
+    }
+}
+
+/// Extends `relevant` with every atom reachable from `frontier` through the
+/// recorded guard-atom → lemma-atoms edges.
+fn close_over_lemmas(
+    lemma_atoms: &HashMap<TermId, Vec<TermId>>,
+    relevant: &mut HashSet<TermId>,
+    mut frontier: Vec<TermId>,
+) {
+    while let Some(a) = frontier.pop() {
+        if let Some(children) = lemma_atoms.get(&a) {
+            for &b in children {
+                if relevant.insert(b) {
+                    frontier.push(b);
+                }
+            }
+        }
     }
 }
 
@@ -590,5 +789,190 @@ mod tests {
         let f = store.ff();
         solver.assert_formula(&store, f);
         assert!(solver.check(&mut store).is_unsat());
+    }
+
+    // ------------------------------------------------------------------
+    // Session (push/pop) semantics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn popped_assertions_retire() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let x = store.var("x", Sort::Int);
+        let zero = store.int(0);
+        let pos = store.gt(x, zero);
+        let neg = store.lt(x, zero);
+        solver.assert_formula(&store, pos);
+        solver.push();
+        solver.assert_formula(&store, neg);
+        assert_eq!(solver.assertions().len(), 2);
+        assert_eq!(solver.check(&mut store), SatResult::Unsat);
+        solver.pop();
+        assert_eq!(solver.assertions(), &[pos]);
+        // Only x > 0 is left; the session must be satisfiable again.
+        match solver.check(&mut store) {
+            SatResult::Sat(m) => assert!(m.eval_int(&store, x) > 0),
+            other => panic!("expected sat after pop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_pop_reassert_matches_fresh_solver() {
+        // Asserting, popping, and re-asserting must give the same SatResult
+        // as a fresh solver on the same formulas — for both polarities of
+        // outcome, across a session that interleaves unrelated queries.
+        let build = |store: &mut TermStore| {
+            let x = store.var("x", Sort::Int);
+            let y = store.var("y", Sort::Int);
+            let zero = store.int(0);
+            let ten = store.int(10);
+            let f_sat = vec![store.ge(x, zero), store.le(x, ten), store.eq(y, x)];
+            let lt = store.lt(x, zero);
+            let ge = store.ge(x, zero);
+            let f_unsat = vec![lt, ge];
+            (f_sat, f_unsat)
+        };
+
+        // Fresh-solver verdicts.
+        let mut fresh_store = TermStore::new();
+        let (f_sat, f_unsat) = build(&mut fresh_store);
+        let fresh_verdict = |fs: &[TermId], store: &mut TermStore| {
+            let mut s = Solver::new();
+            for &f in fs {
+                s.assert_formula(store, f);
+            }
+            s.check(store)
+        };
+        assert!(fresh_verdict(&f_sat, &mut fresh_store).is_sat());
+        assert!(fresh_verdict(&f_unsat, &mut fresh_store).is_unsat());
+
+        // One session, same formulas, exercised twice with a pop in between.
+        let mut store = TermStore::new();
+        let (f_sat, f_unsat) = build(&mut store);
+        let mut session = Solver::new();
+        for round in 0..2 {
+            session.push();
+            for &f in &f_unsat {
+                session.assert_formula(&store, f);
+            }
+            assert!(
+                session.check(&mut store).is_unsat(),
+                "round {round}: unsat query flipped"
+            );
+            session.pop();
+
+            session.push();
+            for &f in &f_sat {
+                session.assert_formula(&store, f);
+            }
+            assert!(
+                session.check(&mut store).is_sat(),
+                "round {round}: sat query flipped"
+            );
+            session.pop();
+        }
+        assert_eq!(session.scope_depth(), 0);
+    }
+
+    #[test]
+    fn expansion_lemmas_replay_across_queries() {
+        // The first query expands even(x) through the plugin; the second
+        // query over the same atom must reach the same verdict by replaying
+        // the cached lemma, without calling the plugin again.
+        struct CountingEven(u32);
+        impl LazyExpander for CountingEven {
+            fn can_expand(&self, store: &TermStore, atom: TermId, value: bool) -> bool {
+                EvenExpander.can_expand(store, atom, value)
+            }
+            fn expand(
+                &mut self,
+                store: &mut TermStore,
+                atom: TermId,
+                value: bool,
+                depth: u32,
+            ) -> Expansion {
+                self.0 += 1;
+                EvenExpander.expand(store, atom, value, depth)
+            }
+        }
+
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let x = store.var("x", Sort::Int);
+        let even = store.app("even", vec![x], Sort::Bool);
+        let zero = store.int(0);
+        let neg = store.lt(x, zero);
+        let mut plugin = CountingEven(0);
+
+        solver.push();
+        solver.assert_formula(&store, even);
+        solver.assert_formula(&store, neg);
+        assert_eq!(
+            solver.check_with_expander(&mut store, &mut plugin),
+            SatResult::Unsat
+        );
+        assert!(solver.stats().lemmas >= 1, "first query must expand");
+        assert_eq!(solver.stats().lemmas_replayed, 0);
+        let calls_after_first = plugin.0;
+        assert!(calls_after_first >= 1);
+        solver.pop();
+
+        solver.push();
+        solver.assert_formula(&store, even);
+        solver.assert_formula(&store, neg);
+        assert_eq!(
+            solver.check_with_expander(&mut store, &mut plugin),
+            SatResult::Unsat
+        );
+        assert!(
+            solver.stats().lemmas_replayed >= 1,
+            "second query must replay cached lemmas"
+        );
+        assert_eq!(
+            plugin.0, calls_after_first,
+            "the plugin must not be consulted again"
+        );
+        solver.pop();
+    }
+
+    #[test]
+    fn expansion_lemmas_do_not_leak_unconditionally() {
+        // Query 1 expands even(x) into x >= 0. Query 2 asserts only x < 0:
+        // the lemma must stay guarded by even(x) and the query must be Sat.
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let x = store.var("x", Sort::Int);
+        let even = store.app("even", vec![x], Sort::Bool);
+        let zero = store.int(0);
+        let neg = store.lt(x, zero);
+        let mut plugin = EvenExpander;
+
+        solver.push();
+        solver.assert_formula(&store, even);
+        assert!(solver.check_with_expander(&mut store, &mut plugin).is_sat());
+        solver.pop();
+
+        solver.push();
+        solver.assert_formula(&store, neg);
+        match solver.check_with_expander(&mut store, &mut plugin) {
+            SatResult::Sat(m) => assert!(m.eval_int(&store, x) < 0),
+            other => panic!("x < 0 alone must be sat, got {other:?}"),
+        }
+        solver.pop();
+    }
+
+    #[test]
+    fn reset_clears_the_session() {
+        let mut store = TermStore::new();
+        let mut solver = Solver::new();
+        let f = store.ff();
+        solver.assert_formula(&store, f);
+        assert!(solver.check(&mut store).is_unsat());
+        solver.reset();
+        assert!(solver.assertions().is_empty());
+        let t = store.tt();
+        solver.assert_formula(&store, t);
+        assert!(solver.check(&mut store).is_sat());
     }
 }

@@ -427,12 +427,7 @@ impl TermStore {
         }
     }
 
-    fn walk(
-        &self,
-        t: TermId,
-        seen: &mut HashSet<TermId>,
-        f: &mut impl FnMut(&TermStore, TermId),
-    ) {
+    fn walk(&self, t: TermId, seen: &mut HashSet<TermId>, f: &mut impl FnMut(&TermStore, TermId)) {
         if !seen.insert(t) {
             return;
         }
@@ -453,9 +448,7 @@ impl TermStore {
                 self.walk(a, seen, f);
                 self.walk(b, seen, f);
             }
-            TermData::Neg(a) | TermData::MulConst(_, a) | TermData::Not(a) => {
-                self.walk(a, seen, f)
-            }
+            TermData::Neg(a) | TermData::MulConst(_, a) | TermData::Not(a) => self.walk(a, seen, f),
             TermData::And(xs) | TermData::Or(xs) => {
                 for x in xs {
                     self.walk(x, seen, f);

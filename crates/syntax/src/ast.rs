@@ -58,6 +58,9 @@ impl Program {
 }
 
 /// A top-level declaration.
+// The variants intentionally carry their declarations inline; programs hold
+// few `Decl`s, so the size skew has no practical cost.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Decl {
     /// An interface.
@@ -378,6 +381,7 @@ impl Formula {
     }
 
     /// Convenience constructor for negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Formula) -> Formula {
         Formula::Not(Box::new(a))
     }

@@ -68,11 +68,21 @@ struct Parser {
     idx: usize,
 }
 
-const MODIFIER_WORDS: &[&str] = &["public", "private", "protected", "static", "abstract", "final"];
+const MODIFIER_WORDS: &[&str] = &[
+    "public",
+    "private",
+    "protected",
+    "static",
+    "abstract",
+    "final",
+];
 
 impl Parser {
     fn peek(&self) -> &Token {
-        self.tokens.get(self.idx).map(|s| &s.token).unwrap_or(&Token::Eof)
+        self.tokens
+            .get(self.idx)
+            .map(|s| &s.token)
+            .unwrap_or(&Token::Eof)
     }
 
     fn peek_at(&self, offset: usize) -> &Token {
@@ -600,7 +610,11 @@ impl Parser {
                 self.bump();
                 let rhs = self.pattern_or()?;
                 self.expect(Token::Semi)?;
-                return Ok(Stmt::Let(Formula::Cmp(CmpOp::Eq, Expr::Decl(ty, name), rhs)));
+                return Ok(Stmt::Let(Formula::Cmp(
+                    CmpOp::Eq,
+                    Expr::Decl(ty, name),
+                    rhs,
+                )));
             }
             self.expect(Token::Semi)?;
             // An uninitialized declaration: bind the variable to an arbitrary
@@ -627,15 +641,13 @@ impl Parser {
         }
         let mut offset = 1;
         // Skip array brackets.
-        while *self.peek_at(offset) == Token::LBracket && *self.peek_at(offset + 1) == Token::RBracket
+        while *self.peek_at(offset) == Token::LBracket
+            && *self.peek_at(offset + 1) == Token::RBracket
         {
             offset += 2;
         }
         matches!(self.peek_at(offset), Token::Ident(_))
-            && matches!(
-                self.peek_at(offset + 1),
-                Token::Eq | Token::Semi
-            )
+            && matches!(self.peek_at(offset + 1), Token::Eq | Token::Semi)
     }
 
     fn switch_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -1114,7 +1126,10 @@ mod tests {
         let nat = p.interface("Nat").unwrap();
         assert_eq!(nat.invariants.len(), 1);
         assert_eq!(nat.methods.len(), 3);
-        assert!(nat.methods.iter().all(|m| m.kind == MethodKind::NamedConstructor));
+        assert!(nat
+            .methods
+            .iter()
+            .all(|m| m.kind == MethodKind::NamedConstructor));
         assert!(nat.methods[2].is_equality_constructor());
         // The invariant should be `this = (zero() | succ(_))`.
         match &nat.invariants[0].formula {
@@ -1352,10 +1367,7 @@ mod tests {
         let p = parse_program(src).unwrap();
         let t = p.interface("Tree").unwrap();
         assert_eq!(t.methods.len(), 3);
-        assert!(matches!(
-            t.invariants[0].formula,
-            Formula::DisjointOr(..)
-        ));
+        assert!(matches!(t.invariants[0].formula, Formula::DisjointOr(..)));
         let height = &t.methods[2];
         assert_eq!(height.kind, MethodKind::Method);
         assert!(height.ensures.is_some());

@@ -72,7 +72,10 @@ mod tests {
             java: 100,
         };
         assert!((cmp.savings() - 0.4).abs() < 1e-9);
-        let zero = TokenComparison { jmatch: 10, java: 0 };
+        let zero = TokenComparison {
+            jmatch: 10,
+            java: 0,
+        };
         assert_eq!(zero.savings(), 0.0);
     }
 

@@ -9,10 +9,20 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`syntax`] | lexer, AST, parser, token counter for the JMatch 2.0 dialect |
-//! | [`smt`] | the from-scratch SMT solver standing in for Z3 |
+//! | [`smt`] | the from-scratch incremental SMT solver standing in for Z3 |
 //! | [`core`] | class table, modes, `ExtractM`, VC generation, the verifier |
 //! | [`runtime`] | the interpreter giving modal abstractions their dynamic semantics |
 //! | [`corpus`] | the paper's Table 1 evaluation programs |
+//!
+//! ## One solver session per compilation
+//!
+//! Just as the paper keeps a single Z3 process alive across its checks
+//! (§6.2), [`core::compile`] discharges **all** verification conditions of a
+//! compilation through one shared [`smt::Solver`] session: each VC query is
+//! delimited with `push`/`pop`, the hash-consed term store and atom
+//! encodings persist, invariant/`matches`/`ensures` expansion lemmas are
+//! replayed from a session cache instead of being re-derived, and query
+//! results are memoized by their canonicalized fact sets.
 //!
 //! ## Quick start
 //!

@@ -12,9 +12,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use jmatch_bench::{verify_fresh_per_query, verify_shared_session};
 use jmatch_core::table::ClassTable;
 use jmatch_core::{compile, CompileOptions};
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn corpus_tables() -> Vec<(&'static str, Rc<ClassTable>)> {
+fn corpus_tables() -> Vec<(&'static str, Arc<ClassTable>)> {
     jmatch_corpus::entries()
         .iter()
         .map(|e| {

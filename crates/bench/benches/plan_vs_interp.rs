@@ -1,0 +1,51 @@
+//! `plan_vs_interp` — the plan evaluator versus the tree-walking
+//! interpreter on iterator-heavy runtime workloads.
+//!
+//! The lowering layer converts per-call mode search into one-time compile
+//! work: solved forms are scheduled statically, variables live in flat
+//! frame slots, and dispatch goes through precompiled indices. This bench
+//! quantifies what that buys on the workloads the paper's translation
+//! targets — recursive backward matching (`ZNat` addition), list traversal
+//! with iterative modes, and `foreach` enumeration — by running the same
+//! workload through both engines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jmatch_bench::{enumeration_workload, list_workload, nat_plus_workload, runtime_interp};
+use jmatch_runtime::Engine;
+
+fn bench_plan_vs_interp(c: &mut Criterion) {
+    let plan = runtime_interp(Engine::Plan);
+    let tree = runtime_interp(Engine::TreeWalk);
+
+    // The engines must agree before their speeds are worth comparing.
+    assert_eq!(nat_plus_workload(&plan, 6), nat_plus_workload(&tree, 6));
+    assert_eq!(list_workload(&plan, 12), list_workload(&tree, 12));
+    assert_eq!(
+        enumeration_workload(&plan, 40),
+        enumeration_workload(&tree, 40)
+    );
+
+    let mut group = c.benchmark_group("plan_vs_interp");
+    group.bench_function("nat_plus/plan", |b| {
+        b.iter(|| black_box(nat_plus_workload(&plan, 6)))
+    });
+    group.bench_function("nat_plus/tree_walk", |b| {
+        b.iter(|| black_box(nat_plus_workload(&tree, 6)))
+    });
+    group.bench_function("list/plan", |b| {
+        b.iter(|| black_box(list_workload(&plan, 12)))
+    });
+    group.bench_function("list/tree_walk", |b| {
+        b.iter(|| black_box(list_workload(&tree, 12)))
+    });
+    group.bench_function("enumeration/plan", |b| {
+        b.iter(|| black_box(enumeration_workload(&plan, 40)))
+    });
+    group.bench_function("enumeration/tree_walk", |b| {
+        b.iter(|| black_box(enumeration_workload(&tree, 40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_vs_interp);
+criterion_main!(benches);

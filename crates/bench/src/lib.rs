@@ -16,8 +16,10 @@
 use jmatch_core::table::ClassTable;
 use jmatch_core::{compile, extract, CompileOptions, Diagnostics, Verifier, VerifyOptions};
 use jmatch_corpus::CorpusEntry;
+use jmatch_runtime::{Engine, Interp, Object, Value};
 use jmatch_syntax::{count_tokens, parse_formula};
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One measured row of Table 1.
@@ -164,17 +166,17 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 /// clauses, Tseitin encodings, and expansion lemmas across every VC query,
 /// which are delimited by `push`/`pop` and memoized in the session's
 /// canonical-formula cache.
-pub fn verify_shared_session(table: &Rc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
+pub fn verify_shared_session(table: &Arc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
     verify_shared_session_with_stats(table, max_expansion_depth).0
 }
 
 /// Like [`verify_shared_session`], also returning the session counters.
 pub fn verify_shared_session_with_stats(
-    table: &Rc<ClassTable>,
+    table: &Arc<ClassTable>,
     max_expansion_depth: u32,
 ) -> (Diagnostics, jmatch_core::verify::SessionStats) {
     let verifier = Verifier::new(
-        Rc::clone(table),
+        Arc::clone(table),
         VerifyOptions {
             max_expansion_depth,
             report_unknown: false,
@@ -188,9 +190,9 @@ pub fn verify_shared_session_with_stats(
 /// **every individual VC query** — the pre-incremental architecture (the
 /// seed's four `TermStore::new()` sites), and the baseline the
 /// `incremental_vs_fresh` bench measures the session against.
-pub fn verify_fresh_per_query(table: &Rc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
+pub fn verify_fresh_per_query(table: &Arc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
     let verifier = Verifier::new(
-        Rc::clone(table),
+        Arc::clone(table),
         VerifyOptions {
             max_expansion_depth,
             report_unknown: false,
@@ -204,18 +206,18 @@ pub fn verify_fresh_per_query(table: &Rc<ClassTable>, max_expansion_depth: u32) 
 /// intermediate baseline: every method rebuilds its term store, solver, and
 /// expander from scratch, so no learned clause, encoding, or expanded lemma
 /// is ever reused across methods.
-pub fn verify_fresh_per_method(table: &Rc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
+pub fn verify_fresh_per_method(table: &Arc<ClassTable>, max_expansion_depth: u32) -> Diagnostics {
     verify_fresh_per_method_with_stats(table, max_expansion_depth).0
 }
 
 /// Like [`verify_fresh_per_method`], also returning the aggregated counters
 /// of the per-method sessions.
 pub fn verify_fresh_per_method_with_stats(
-    table: &Rc<ClassTable>,
+    table: &Arc<ClassTable>,
     max_expansion_depth: u32,
 ) -> (Diagnostics, jmatch_core::verify::SessionStats) {
     let verifier = Verifier::new(
-        Rc::clone(table),
+        Arc::clone(table),
         VerifyOptions {
             max_expansion_depth,
             report_unknown: false,
@@ -398,6 +400,134 @@ pub fn effectiveness() -> EffectivenessReport {
     ));
 
     EffectivenessReport { checks }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime workloads (the `plan_vs_interp` bench)
+// ---------------------------------------------------------------------------
+
+/// The iterator-heavy program behind the `plan_vs_interp` bench: Figure 1's
+/// `ZNat` naturals (recursive `succ` matching), the cons-list family, and a
+/// loop-heavy imperative grinder.
+pub fn runtime_workload_source() -> String {
+    let mut src = String::new();
+    src.push_str(jmatch_corpus::jmatch::NAT_INTERFACE);
+    src.push_str(jmatch_corpus::jmatch::ZNAT);
+    src.push_str(jmatch_corpus::jmatch::LIST_INTERFACE);
+    src.push_str(jmatch_corpus::jmatch::EMPTY_LIST);
+    src.push_str(jmatch_corpus::jmatch::CONS_LIST);
+    src.push_str(
+        r#"
+        class Gen {
+            int burn(int n) {
+                int total = 0;
+                int i = 0;
+                while (i < n) {
+                    foreach (int x = 0 # 1 # 2 # 3 # 4 # 5 # 6 # 7) {
+                        total = total + x + i;
+                    }
+                    i = i + 1;
+                }
+                return total;
+            }
+        }
+        "#,
+    );
+    src
+}
+
+/// Builds an interpreter over [`runtime_workload_source`] with the given
+/// engine. For the plan engine this includes the one-time lowering cost,
+/// which the per-call workloads then amortize.
+pub fn runtime_interp(engine: Engine) -> Interp {
+    let compiled = compile(
+        &runtime_workload_source(),
+        &CompileOptions {
+            verify: false,
+            max_expansion_depth: 2,
+        },
+    )
+    .expect("runtime workload program parses");
+    assert!(
+        compiled.diagnostics.errors.is_empty(),
+        "{:?}",
+        compiled.diagnostics.errors
+    );
+    Interp::with_engine(compiled.table, engine)
+}
+
+/// Peano addition over `ZNat`: builds the naturals `0..=n` and sums
+/// `plus(a, b)` over every pair. Each recursive `plus` step pattern-matches
+/// `succ` backwards, so the work is dominated by declarative solving.
+pub fn nat_plus_workload(interp: &Interp, n: i64) -> i64 {
+    let mut nats = Vec::new();
+    let mut v = interp.construct("ZNat", "zero", vec![]).unwrap();
+    nats.push(v.clone());
+    for _ in 0..n {
+        v = interp.construct("ZNat", "succ", vec![v]).unwrap();
+        nats.push(v.clone());
+    }
+    let mut total = 0;
+    for a in &nats {
+        for b in &nats {
+            let s = interp
+                .call_free("plus", vec![a.clone(), b.clone()])
+                .unwrap();
+            total += interp
+                .call_method(&s, "toInt", vec![])
+                .unwrap()
+                .as_int()
+                .unwrap();
+        }
+    }
+    total
+}
+
+/// Cons-list traversal: `size`, the iterative `contains`, and deep equality
+/// over two structurally equal lists of length `n`.
+pub fn list_workload(interp: &Interp, n: i64) -> i64 {
+    let mk = || {
+        let mut l = interp.construct("EmptyList", "nil", vec![]).unwrap();
+        for i in 0..n {
+            l = interp
+                .construct("ConsList", "cons", vec![Value::Int(i), l])
+                .unwrap();
+        }
+        l
+    };
+    let a = mk();
+    let b = mk();
+    let mut total = interp
+        .call_method(&a, "size", vec![])
+        .unwrap()
+        .as_int()
+        .unwrap();
+    for i in 0..n {
+        let hit = interp
+            .call_method(&a, "contains", vec![Value::Int(i)])
+            .unwrap();
+        if hit.as_bool() == Some(true) {
+            total += 1;
+        }
+    }
+    if interp.values_equal(&a, &b).unwrap() {
+        total += 1;
+    }
+    total
+}
+
+/// `while` + `foreach` over an 8-way pattern disjunction: pure enumeration
+/// of formula solutions inside an imperative body.
+pub fn enumeration_workload(interp: &Interp, rounds: i64) -> i64 {
+    let gen = Value::Obj(Arc::new(Object {
+        class: "Gen".into(),
+        fields: HashMap::new(),
+    }));
+    interp
+        .call_method(&gen, "burn", vec![Value::Int(rounds)])
+        .unwrap()
+        .as_int()
+        .unwrap()
 }
 
 #[cfg(test)]

@@ -533,9 +533,9 @@ mod tests {
     use super::*;
     use crate::diag::Diagnostics;
     use jmatch_syntax::{parse_formula, parse_program};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn empty_table() -> Rc<ClassTable> {
+    fn empty_table() -> Arc<ClassTable> {
         let program = parse_program("").unwrap();
         let mut d = Diagnostics::new();
         ClassTable::build(&program, &mut d)

@@ -37,6 +37,7 @@
 pub mod diag;
 pub mod expand;
 pub mod extract;
+pub mod lower;
 pub mod table;
 pub mod vc;
 pub mod verify;
@@ -44,12 +45,13 @@ pub mod verify;
 pub use diag::{CompileError, Diagnostics, Warning, WarningKind};
 pub use expand::JMatchExpander;
 pub use extract::{extract, Extracted};
+pub use lower::{MethodPlan, PlanId, ProgramPlan, SlotId};
 pub use table::{ClassTable, MethodInfo, Mode, TypeInfo};
 pub use vc::{Env, Seq, VcGen, F};
 pub use verify::{Session, SessionStats, Verifier, VerifyOptions};
 
 use jmatch_syntax::{parse_program, ParseError, Program};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Options for [`compile`].
 #[derive(Debug, Clone)]
@@ -77,7 +79,7 @@ pub struct Compilation {
     /// The parsed program.
     pub program: Program,
     /// The resolved class table.
-    pub table: Rc<ClassTable>,
+    pub table: Arc<ClassTable>,
     /// Warnings and errors produced by resolution and verification.
     pub diagnostics: Diagnostics,
 }
@@ -100,7 +102,7 @@ pub fn compile(source: &str, options: &CompileOptions) -> Result<Compilation, Pa
     let table = ClassTable::build(&program, &mut diagnostics);
     if options.verify {
         let verifier = Verifier::new(
-            Rc::clone(&table),
+            Arc::clone(&table),
             VerifyOptions {
                 max_expansion_depth: options.max_expansion_depth,
                 report_unknown: false,

@@ -1,0 +1,1585 @@
+//! Lowering declarative methods to mode-specialized query plans.
+//!
+//! The paper compiles JMatch to Java_yield by *statically* selecting a
+//! solved form per mode (§2.3): given which relation variables are knowns,
+//! the compiler orders the conjuncts of a declarative body once, at compile
+//! time, so the generated code never searches for a solving order at run
+//! time. This module is that translation for the reproduction: it runs after
+//! class-table/mode resolution and compiles every method body — declarative
+//! formulas, `switch` dispatch, `foreach` enumeration, imperative blocks —
+//! into a [`Plan`] IR that `jmatch-runtime`'s plan evaluator executes
+//! directly.
+//!
+//! The lowering performs three jobs the tree-walking interpreter used to
+//! redo on every call:
+//!
+//! 1. **Slot allocation** — every variable of a method body is assigned a
+//!    fixed frame slot ([`SlotId`]), so the evaluator works on a flat
+//!    `Vec<Option<Value>>` frame instead of cloning `HashMap` environments.
+//! 2. **Solved-form selection** — conjunctions are scheduled statically by a
+//!    *must/may* binding analysis (see [`Goal::Seq`]): at each step the
+//!    lowering simulates the interpreter's "first ready conjunct" rule under
+//!    both the variables that are *certainly* bound and those that *might*
+//!    be. When both agree, the order is fixed in the plan; when they
+//!    disagree (the mode analysis cannot pin the order), the conjunction is
+//!    emitted as [`Goal::DynSeq`] and scheduled at run time exactly like the
+//!    tree-walker would.
+//! 3. **Dispatch resolution** — method lookup along the supertype chain
+//!    (`find_impl` in the interpreter) is precomputed into per-class plan
+//!    indices, and `switch` fall-through targets are resolved into a
+//!    [`CaseTarget`] jump table.
+//!
+//! # Worked example
+//!
+//! `ZNat.succ` from Figure 1 of the paper has the declarative body
+//! `val >= 1 && ZNat(val - 1) = n`. In the *forward* mode (construction:
+//! `n` known, the field `val` unknown) the guard `val >= 1` cannot run
+//! first, so the solved form inverts the body: solve `ZNat(val - 1) = n`
+//! (binding `val` through the invertible subtraction), then check the
+//! guard. In the *backward* mode (pattern matching: `this` known, `n`
+//! unknown) the source order is already solved. The plan records both:
+//!
+//! ```
+//! use jmatch_core::{compile, CompileOptions};
+//! use jmatch_core::lower::{Goal, ProgramPlan};
+//!
+//! let source = r#"
+//!     interface Nat {
+//!         constructor zero() returns();
+//!         constructor succ(Nat n) returns(n);
+//!     }
+//!     class ZNat implements Nat {
+//!         int val;
+//!         private ZNat(int n) returns(n) ( val = n && n >= 0 )
+//!         constructor zero() returns() ( val = 0 )
+//!         constructor succ(Nat n) returns(n) ( val >= 1 && ZNat(val - 1) = n )
+//!     }
+//! "#;
+//! let compiled = compile(source, &CompileOptions { verify: false, ..Default::default() })?;
+//! let plan = ProgramPlan::compile(compiled.table.clone());
+//! let succ = plan.method(plan.lookup_impl("ZNat", "succ").unwrap());
+//! let (forward, matching) = succ.body.solved_forms().unwrap();
+//!
+//! // Forward mode: the equation runs before the guard (indices swapped)...
+//! let Goal::Seq(fwd) = &forward.goal else { panic!() };
+//! assert!(matches!(fwd[0], Goal::Unify(..)));
+//! assert!(matches!(fwd[1], Goal::Compare(..)));
+//! // ...while the backward mode keeps the source order.
+//! let Goal::Seq(bwd) = &matching.goal else { panic!() };
+//! assert!(matches!(bwd[0], Goal::Compare(..)));
+//! assert!(matches!(bwd[1], Goal::Unify(..)));
+//! # Ok::<(), jmatch_syntax::ParseError>(())
+//! ```
+//!
+//! [`Plan`]: ProgramPlan
+
+use crate::table::{ClassTable, MethodInfo};
+use jmatch_syntax::ast::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index of a variable slot in a plan frame.
+pub type SlotId = u32;
+
+/// Index of a [`MethodPlan`] inside a [`ProgramPlan`].
+pub type PlanId = usize;
+
+// ---------------------------------------------------------------------------
+// Frame layout
+// ---------------------------------------------------------------------------
+
+/// The slot layout of one lowered frame: which variable lives in which slot.
+#[derive(Debug, Clone, Default)]
+pub struct FrameLayout {
+    names: Vec<String>,
+    index: HashMap<String, SlotId>,
+}
+
+impl FrameLayout {
+    /// Number of slots in the frame.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the frame has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The slot of a variable name, if it occurs in the plan.
+    pub fn slot_of(&self, name: &str) -> Option<SlotId> {
+        self.index.get(name).copied()
+    }
+
+    /// The variable name stored in a slot.
+    pub fn name_of(&self, slot: SlotId) -> &str {
+        &self.names[slot as usize]
+    }
+
+    fn slot(&mut self, name: &str) -> SlotId {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = self.names.len() as SlotId;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), s);
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan expressions (patterns and expressions share one shape, like the AST)
+// ---------------------------------------------------------------------------
+
+/// How a call expression resolves, precomputed where the AST allows it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallKind {
+    /// `Class.name(args)` — a (named-)constructor invocation on a class.
+    StaticConstruct(String),
+    /// `recv.name(args)` with an object receiver — dynamic dispatch.
+    Instance,
+    /// `Class(args)` — the class constructor of the named class.
+    ClassCtor(String),
+    /// `name(args)` resolving to a free-standing method.
+    Free,
+    /// `name(args)` falling back to a method on `this`.
+    ThisMethod,
+    /// `name(args)` that resolves to nothing — a runtime error when reached.
+    Unresolved,
+}
+
+/// A lowered pattern/expression. Mirrors [`Expr`] with variables resolved to
+/// frame slots and embedded formulas lowered to [`Goal`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// `null`.
+    Null,
+    /// `this`.
+    This,
+    /// `result`, resolved to its slot.
+    Result(SlotId),
+    /// `_`.
+    Wildcard,
+    /// A variable occurrence: its slot plus the static resolution facts the
+    /// evaluator needs (field-of-`this` fallback, class-name reference).
+    Name {
+        /// The frame slot backing the variable.
+        slot: SlotId,
+        /// Source name (needed for the runtime field-of-`this` fallback).
+        name: String,
+        /// Whether the name is a type in the class table.
+        class_ref: bool,
+    },
+    /// A declaration pattern `T x` (`None` slot for `T _`).
+    Decl(Type, Option<SlotId>),
+    /// Field access `e.f`.
+    Field(Box<PExpr>, String),
+    /// A call / constructor pattern.
+    Call {
+        /// Receiver, if any.
+        receiver: Option<Box<PExpr>>,
+        /// Method or constructor name.
+        name: String,
+        /// Argument patterns.
+        args: Vec<PExpr>,
+        /// Precomputed resolution for ground (evaluation) position.
+        kind: CallKind,
+    },
+    /// Indexing (unsupported at run time, kept for faithful errors).
+    Index(Box<PExpr>, Box<PExpr>),
+    /// Array allocation (unsupported at run time).
+    NewArray(Type, Box<PExpr>),
+    /// Binary arithmetic (invertible in pattern position).
+    Binary(BinOp, Box<PExpr>, Box<PExpr>),
+    /// Unary minus.
+    Neg(Box<PExpr>),
+    /// Tuple (only meaningful inside equations; eliminated during lowering
+    /// when both sides are tuples of equal length).
+    Tuple(Vec<PExpr>),
+    /// `p1 as p2`.
+    As(Box<PExpr>, Box<PExpr>),
+    /// `p1 # p2` / `p1 | p2` pattern disjunction.
+    OrPat(Box<PExpr>, Box<PExpr>),
+    /// `p where (f)` — the formula is lowered to a goal.
+    Where(Box<PExpr>, Box<Goal>),
+}
+
+// ---------------------------------------------------------------------------
+// Goals (lowered formulas)
+// ---------------------------------------------------------------------------
+
+/// The readiness test of one conjunct, used by [`Goal::DynSeq`] to reproduce
+/// the interpreter's dynamic "first ready conjunct" scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadyCheck {
+    /// Always ready.
+    Always,
+    /// Never ready (a bare declaration atom).
+    Never,
+    /// Ready when the expression is ground.
+    Ground(PExpr),
+    /// Ready when either side is ground (an equation).
+    EitherGround(Box<PExpr>, Box<PExpr>),
+    /// Ready when both sides are ground (an ordering comparison).
+    BothGround(Box<PExpr>, Box<PExpr>),
+    /// Ready when all sub-checks are ready (nested connectives).
+    All(Vec<ReadyCheck>),
+}
+
+/// A lowered formula: the executable query plan of one declarative body in
+/// one mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Goal {
+    /// Trivially true: emit the current bindings.
+    True,
+    /// Trivially false: no solutions.
+    Fail,
+    /// A statically scheduled conjunction — the solved form of §2.3. The
+    /// goals run in order; each solution of a goal feeds the next.
+    Seq(Vec<Goal>),
+    /// A conjunction whose order the mode analysis could not pin down
+    /// statically; the evaluator selects the first ready conjunct at run
+    /// time, exactly like the tree-walking interpreter.
+    DynSeq(Vec<(ReadyCheck, Goal)>),
+    /// Disjunction: enumerate each branch's solutions in order.
+    Any(Vec<Goal>),
+    /// Negation as failure: succeeds (binding nothing) iff the inner goal
+    /// has no solution.
+    Not(Box<Goal>),
+    /// An equation `l = r`: evaluate the ground side, match the other.
+    Unify(PExpr, PExpr),
+    /// An ordering comparison over ground operands.
+    Compare(CmpOp, PExpr, PExpr),
+    /// A predicate / constructor-match atom `recv.name(args)`: solve the
+    /// callee's matching plan against the receiver and match the solutions'
+    /// parameter values against `args`.
+    Invoke {
+        /// Ground receiver (`None` means `this`).
+        receiver: Option<PExpr>,
+        /// Constructor / method name (dispatched on the runtime class).
+        name: String,
+        /// Argument patterns, matched in the caller's frame.
+        args: Vec<PExpr>,
+    },
+    /// A ground boolean test.
+    Test(PExpr),
+    /// A bare declaration atom: emits the current bindings unchanged.
+    Trivial,
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// Where a matched `switch` case transfers control, with fall-through
+/// resolved at lowering time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseTarget {
+    /// Execute the body of case `i`.
+    Body(usize),
+    /// Fall through past the last case into the `default` arm.
+    Default,
+    /// Fall off the end — a runtime error.
+    FellOff,
+}
+
+/// One lowered `case` arm.
+#[derive(Debug, Clone)]
+pub struct CasePlan {
+    /// One pattern per scrutinee.
+    pub patterns: Vec<PExpr>,
+    /// Precomputed fall-through target.
+    pub target: CaseTarget,
+}
+
+/// A lowered statement.
+#[derive(Debug, Clone)]
+pub enum StmtPlan {
+    /// `let f;` — commit to the first solution of the goal.
+    Let(Goal),
+    /// A `switch` with its dispatch plan.
+    Switch {
+        /// Scrutinee expressions.
+        scrutinees: Vec<PExpr>,
+        /// The case arms with resolved targets.
+        cases: Vec<CasePlan>,
+        /// Lowered case bodies (indexed by [`CaseTarget::Body`]).
+        bodies: Vec<Vec<StmtPlan>>,
+        /// The lowered `default` body, if any.
+        default: Option<Vec<StmtPlan>>,
+    },
+    /// `cond { (f) {s} ... else {s} }`.
+    Cond {
+        /// The arms in order.
+        arms: Vec<(Goal, Vec<StmtPlan>)>,
+        /// The `else` arm.
+        else_arm: Option<Vec<StmtPlan>>,
+    },
+    /// `if (f) s else s`.
+    If {
+        /// Condition goal.
+        cond: Goal,
+        /// Then branch.
+        then: Vec<StmtPlan>,
+        /// Else branch.
+        els: Option<Vec<StmtPlan>>,
+    },
+    /// `foreach (f) { s }`.
+    Foreach {
+        /// The iterated goal.
+        goal: Goal,
+        /// Slots of variables the formula *declares* (used for the
+        /// outer-update merge semantics).
+        declared: Vec<SlotId>,
+        /// Loop body.
+        body: Vec<StmtPlan>,
+    },
+    /// `while (f) { s }`.
+    While {
+        /// Loop condition goal.
+        cond: Goal,
+        /// Loop body.
+        body: Vec<StmtPlan>,
+    },
+    /// `return e;` / `return;`.
+    Return(Option<PExpr>),
+    /// Assignment to a variable slot.
+    Assign(SlotId, PExpr),
+    /// Assignment to anything else — the right-hand side is still evaluated
+    /// (for faithful error ordering), then the statement fails.
+    AssignUnsupported(PExpr),
+    /// An expression evaluated for effect.
+    Expr(PExpr),
+    /// A nested block (inner-only bindings are dropped on exit).
+    Block(Vec<StmtPlan>),
+}
+
+// ---------------------------------------------------------------------------
+// Method plans
+// ---------------------------------------------------------------------------
+
+/// One mode-specialized solved form of a declarative body.
+#[derive(Debug, Clone)]
+pub struct SolvedForm {
+    /// The lowered body.
+    pub goal: Goal,
+    /// Slot layout of the frame the goal runs in.
+    pub frame: FrameLayout,
+    /// Slot of each declared parameter, in declaration order.
+    pub param_slots: Vec<SlotId>,
+    /// Slot of `result`.
+    pub result_slot: SlotId,
+    /// Slots of the owner's fields (used when constructing instances).
+    pub field_slots: Vec<(String, SlotId)>,
+    /// Whether `this` is in scope in this mode.
+    pub this_present: bool,
+}
+
+/// A lowered imperative body.
+#[derive(Debug, Clone)]
+pub struct BlockPlan {
+    /// The lowered statements.
+    pub stmts: Vec<StmtPlan>,
+    /// Slot layout of the method frame.
+    pub frame: FrameLayout,
+    /// Slot of each declared parameter, in declaration order.
+    pub param_slots: Vec<SlotId>,
+}
+
+/// The lowered body of one method.
+// A program holds one `BodyPlan` per method, so the size skew between the
+// solved-form-carrying variants and `Absent` has no practical cost.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum BodyPlan {
+    /// No implementation (interface / abstract method).
+    Absent,
+    /// A declarative body with its mode-specialized solved forms.
+    Formula {
+        /// Forward mode: parameters known, `result` / fields unknown.
+        forward: SolvedForm,
+        /// Backward / iterative modes: `this` known, parameters unknown.
+        matching: SolvedForm,
+        /// For methods named `equals` only: `this` *and* the parameter known
+        /// — the mode the runtime's deep-equality check solves in when it
+        /// bridges two implementations through an equality constructor
+        /// (§3.2).
+        equals_bound: Option<SolvedForm>,
+    },
+    /// An imperative body.
+    Block(BlockPlan),
+}
+
+impl BodyPlan {
+    /// The forward and matching solved forms of a declarative body.
+    pub fn solved_forms(&self) -> Option<(&SolvedForm, &SolvedForm)> {
+        match self {
+            BodyPlan::Formula {
+                forward, matching, ..
+            } => Some((forward, matching)),
+            _ => None,
+        }
+    }
+}
+
+/// A method together with its compiled plans.
+#[derive(Debug, Clone)]
+pub struct MethodPlan {
+    /// The resolved method (owner, declaration, modes).
+    pub info: MethodInfo,
+    /// The compiled body.
+    pub body: BodyPlan,
+}
+
+// ---------------------------------------------------------------------------
+// Program plans
+// ---------------------------------------------------------------------------
+
+/// The compiled program: every method body lowered to its query plans, plus
+/// the dispatch indices the evaluator needs to resolve calls without
+/// searching the class table.
+#[derive(Debug, Clone)]
+pub struct ProgramPlan {
+    table: Arc<ClassTable>,
+    methods: Vec<MethodPlan>,
+    /// First method declared under `(owner, name)` (any kind, any body).
+    declared: HashMap<(String, String), PlanId>,
+    /// First method declared under `(owner, name)` *with* a body.
+    declared_impl: HashMap<(String, String), PlanId>,
+    /// The class constructor of each class.
+    class_ctors: HashMap<String, PlanId>,
+    /// Free-standing methods by name (first wins, like the table).
+    free: HashMap<String, PlanId>,
+}
+
+impl ProgramPlan {
+    /// Lowers every method of a resolved program. This is the one-time
+    /// compile work that replaces the interpreter's per-call mode search.
+    pub fn compile(table: Arc<ClassTable>) -> Arc<ProgramPlan> {
+        let mut plan = ProgramPlan {
+            table: Arc::clone(&table),
+            methods: Vec::new(),
+            declared: HashMap::new(),
+            declared_impl: HashMap::new(),
+            class_ctors: HashMap::new(),
+            free: HashMap::new(),
+        };
+        for ty in table.types() {
+            for m in &ty.methods {
+                let id = plan.methods.len();
+                plan.methods.push(lower_method(&table, m));
+                let key = (ty.name.clone(), m.decl.name.clone());
+                plan.declared.entry(key.clone()).or_insert(id);
+                if !matches!(m.decl.body, MethodBody::Absent) {
+                    plan.declared_impl.entry(key).or_insert(id);
+                }
+                if m.decl.kind == MethodKind::ClassConstructor {
+                    plan.class_ctors.entry(ty.name.clone()).or_insert(id);
+                }
+            }
+        }
+        for m in table.free_methods() {
+            let id = plan.methods.len();
+            plan.methods.push(lower_method(&table, m));
+            plan.free.entry(m.decl.name.clone()).or_insert(id);
+        }
+        Arc::new(plan)
+    }
+
+    /// The class table the plan was compiled from.
+    pub fn table(&self) -> &Arc<ClassTable> {
+        &self.table
+    }
+
+    /// All compiled method plans.
+    pub fn methods(&self) -> &[MethodPlan] {
+        &self.methods
+    }
+
+    /// A method plan by id.
+    pub fn method(&self, id: PlanId) -> &MethodPlan {
+        &self.methods[id]
+    }
+
+    /// Resolves `name` on `ty` like `ClassTable::lookup_method`: the first
+    /// declaration found on the type itself, then on supertypes.
+    pub fn lookup_declared(&self, ty: &str, name: &str) -> Option<PlanId> {
+        if let Some(&id) = self.declared.get(&(ty.to_owned(), name.to_owned())) {
+            return Some(id);
+        }
+        let info = self.table.type_info(ty)?;
+        info.supertypes
+            .iter()
+            .find_map(|sup| self.lookup_declared(sup, name))
+    }
+
+    /// Resolves the *implementation* of `name` reachable from the concrete
+    /// class `class` (the interpreter's `find_impl`): the first declaration
+    /// with a body on the class itself, then on supertypes.
+    pub fn lookup_impl(&self, class: &str, name: &str) -> Option<PlanId> {
+        if let Some(&id) = self.declared_impl.get(&(class.to_owned(), name.to_owned())) {
+            return Some(id);
+        }
+        let info = self.table.type_info(class)?;
+        info.supertypes
+            .iter()
+            .find_map(|sup| self.lookup_impl(sup, name))
+    }
+
+    /// The class constructor plan of a class.
+    pub fn class_ctor(&self, class: &str) -> Option<PlanId> {
+        self.class_ctors.get(class).copied()
+    }
+
+    /// A free-standing method plan by name.
+    pub fn lookup_free(&self, name: &str) -> Option<PlanId> {
+        self.free.get(name).copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binding state for the must/may analysis
+// ---------------------------------------------------------------------------
+
+/// What the lowering knows about one variable's boundness at a program
+/// point: `must` ⊆ (actually bound at run time) ⊆ `may`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Bound {
+    must: bool,
+    may: bool,
+}
+
+/// Per-slot binding state during lowering.
+#[derive(Debug, Clone, Default)]
+struct SlotState {
+    slots: Vec<Bound>,
+}
+
+impl SlotState {
+    fn get(&self, s: SlotId) -> Bound {
+        self.slots.get(s as usize).copied().unwrap_or_default()
+    }
+
+    fn ensure(&mut self, s: SlotId) {
+        if self.slots.len() <= s as usize {
+            self.slots.resize(s as usize + 1, Bound::default());
+        }
+    }
+
+    fn bind_must(&mut self, s: SlotId) {
+        self.ensure(s);
+        self.slots[s as usize] = Bound {
+            must: true,
+            may: true,
+        };
+    }
+
+    fn bind_may(&mut self, s: SlotId) {
+        self.ensure(s);
+        self.slots[s as usize].may = true;
+    }
+
+    fn apply(&mut self, binds: &Binds) {
+        for &s in &binds.must {
+            self.bind_must(s);
+        }
+        for &s in &binds.may {
+            self.bind_may(s);
+        }
+    }
+
+    /// Intersection of musts / union of mays across branches.
+    fn join(&mut self, other: &SlotState) {
+        let n = self.slots.len().max(other.slots.len());
+        self.slots.resize(n, Bound::default());
+        for (i, b) in self.slots.iter_mut().enumerate() {
+            let o = other.slots.get(i).copied().unwrap_or_default();
+            b.must &= o.must;
+            b.may |= o.may;
+        }
+    }
+}
+
+/// Slots a conjunct binds when it succeeds.
+#[derive(Debug, Clone, Default)]
+struct Binds {
+    /// Bound on every success path.
+    must: Vec<SlotId>,
+    /// Bound on at least one success path.
+    may: Vec<SlotId>,
+}
+
+impl Binds {
+    fn add_must(&mut self, s: SlotId) {
+        if !self.must.contains(&s) {
+            self.must.push(s);
+        }
+        self.add_may(s);
+    }
+
+    fn add_may(&mut self, s: SlotId) {
+        if !self.may.contains(&s) {
+            self.may.push(s);
+        }
+    }
+
+    fn union(&mut self, other: &Binds) {
+        for &s in &other.must {
+            self.add_must(s);
+        }
+        for &s in &other.may {
+            self.add_may(s);
+        }
+    }
+
+    /// Branch combination: intersect musts, union mays.
+    fn branch(&mut self, other: &Binds) {
+        self.must.retain(|s| other.must.contains(s));
+        for &s in &other.may {
+            self.add_may(s);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The lowering context
+// ---------------------------------------------------------------------------
+
+/// Mutable lowering state for one solved form / block plan.
+struct Lowerer<'t> {
+    table: &'t ClassTable,
+    frame: FrameLayout,
+    /// `Some(owner)` when `this` is statically in scope; the owner class is
+    /// used for the field-of-`this` must-groundness test.
+    this_owner: Option<String>,
+}
+
+/// Which groundness approximation a query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Approx {
+    Must,
+    May,
+}
+
+impl<'t> Lowerer<'t> {
+    fn new(table: &'t ClassTable, this_owner: Option<String>) -> Self {
+        Lowerer {
+            table,
+            frame: FrameLayout::default(),
+            this_owner,
+        }
+    }
+
+    fn slot(&mut self, name: &str) -> SlotId {
+        self.frame.slot(name)
+    }
+
+    // -- expression lowering ------------------------------------------------
+
+    fn lower_expr(&mut self, e: &Expr, st: &SlotState) -> PExpr {
+        match e {
+            Expr::IntLit(n) => PExpr::Int(*n),
+            Expr::BoolLit(b) => PExpr::Bool(*b),
+            Expr::StrLit(s) => PExpr::Str(s.clone()),
+            Expr::Null => PExpr::Null,
+            Expr::This => PExpr::This,
+            Expr::Result => PExpr::Result(self.slot("result")),
+            Expr::Wildcard => PExpr::Wildcard,
+            Expr::Var(name) => PExpr::Name {
+                slot: self.slot(name),
+                name: name.clone(),
+                class_ref: self.table.type_info(name).is_some(),
+            },
+            Expr::Decl(ty, name) => {
+                let slot = if name == "_" {
+                    None
+                } else {
+                    Some(self.slot(name))
+                };
+                PExpr::Decl(ty.clone(), slot)
+            }
+            Expr::Field(b, f) => PExpr::Field(Box::new(self.lower_expr(b, st)), f.clone()),
+            Expr::Call {
+                receiver,
+                name,
+                args,
+            } => {
+                let kind = match receiver.as_deref() {
+                    Some(Expr::Var(class)) if self.table.type_info(class).is_some() => {
+                        CallKind::StaticConstruct(class.clone())
+                    }
+                    Some(_) => CallKind::Instance,
+                    None => {
+                        if self.table.type_info(name).is_some() {
+                            CallKind::ClassCtor(name.clone())
+                        } else if self.table.lookup_free_method(name).is_some() {
+                            CallKind::Free
+                        } else if self.this_owner.is_some() {
+                            CallKind::ThisMethod
+                        } else {
+                            CallKind::Unresolved
+                        }
+                    }
+                };
+                // Argument patterns are matched left to right; later args
+                // (and their `where` clauses) see the binds of earlier ones.
+                let mut inner = st.clone();
+                let recv = receiver
+                    .as_deref()
+                    .map(|r| Box::new(self.lower_expr(r, &inner)));
+                let mut lowered_args = Vec::with_capacity(args.len());
+                for a in args {
+                    lowered_args.push(self.lower_expr(a, &inner));
+                    let b = self.pat_binds(a);
+                    inner.apply(&b);
+                }
+                PExpr::Call {
+                    receiver: recv,
+                    name: name.clone(),
+                    args: lowered_args,
+                    kind,
+                }
+            }
+            Expr::Index(a, b) => PExpr::Index(
+                Box::new(self.lower_expr(a, st)),
+                Box::new(self.lower_expr(b, st)),
+            ),
+            Expr::NewArray(ty, a) => PExpr::NewArray(ty.clone(), Box::new(self.lower_expr(a, st))),
+            Expr::Binary(op, a, b) => PExpr::Binary(
+                *op,
+                Box::new(self.lower_expr(a, st)),
+                Box::new(self.lower_expr(b, st)),
+            ),
+            Expr::Neg(a) => PExpr::Neg(Box::new(self.lower_expr(a, st))),
+            Expr::Tuple(xs) => PExpr::Tuple(xs.iter().map(|x| self.lower_expr(x, st)).collect()),
+            Expr::As(a, b) => {
+                let la = self.lower_expr(a, st);
+                let mut inner = st.clone();
+                let ba = self.pat_binds(a);
+                inner.apply(&ba);
+                let lb = self.lower_expr(b, &inner);
+                PExpr::As(Box::new(la), Box::new(lb))
+            }
+            Expr::OrPat(a, b) | Expr::DisjointOr(a, b) => PExpr::OrPat(
+                Box::new(self.lower_expr(a, st)),
+                Box::new(self.lower_expr(b, st)),
+            ),
+            Expr::Where(p, f) => {
+                let lp = self.lower_expr(p, st);
+                // The refinement formula runs after the pattern matched.
+                let mut inner = st.clone();
+                let bp = self.pat_binds(p);
+                inner.apply(&bp);
+                let goal = self.lower_formula(f, &mut inner);
+                PExpr::Where(Box::new(lp), Box::new(goal))
+            }
+        }
+    }
+
+    // -- groundness (static, must/may) --------------------------------------
+
+    fn ground(&mut self, e: &Expr, st: &SlotState, approx: Approx) -> bool {
+        match e {
+            Expr::IntLit(_) | Expr::BoolLit(_) | Expr::StrLit(_) | Expr::Null => true,
+            Expr::This => self.this_owner.is_some(),
+            Expr::Result => {
+                let s = self.slot("result");
+                let b = st.get(s);
+                match approx {
+                    Approx::Must => b.must,
+                    Approx::May => b.may,
+                }
+            }
+            Expr::Wildcard | Expr::Decl(..) => false,
+            Expr::Var(name) => {
+                let s = self.slot(name);
+                let b = st.get(s);
+                let bound = match approx {
+                    Approx::Must => b.must,
+                    Approx::May => b.may,
+                };
+                bound || self.field_ground(name, approx) || self.table.type_info(name).is_some()
+            }
+            Expr::Field(b, _) => self.ground(b, st, approx),
+            Expr::Call { receiver, args, .. } => {
+                receiver
+                    .as_deref()
+                    .map(|r| self.ground(r, st, approx))
+                    .unwrap_or(true)
+                    && args.iter().all(|a| self.ground(a, st, approx))
+            }
+            Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+                self.ground(a, st, approx) && self.ground(b, st, approx)
+            }
+            Expr::NewArray(_, a) | Expr::Neg(a) => self.ground(a, st, approx),
+            Expr::Tuple(xs) => xs.iter().all(|x| self.ground(x, st, approx)),
+            Expr::As(a, b) | Expr::OrPat(a, b) | Expr::DisjointOr(a, b) => {
+                self.ground(a, st, approx) && self.ground(b, st, approx)
+            }
+            Expr::Where(p, _) => self.ground(p, st, approx),
+        }
+    }
+
+    /// Whether `name` resolves to a field of `this`. The must variant uses
+    /// the static owner class; the may variant admits any subtype of it
+    /// (the runtime class of `this` may declare more fields).
+    fn field_ground(&self, name: &str, approx: Approx) -> bool {
+        let Some(owner) = &self.this_owner else {
+            return false;
+        };
+        match approx {
+            Approx::Must => self.table.field_type(owner, name).is_some(),
+            Approx::May => self.table.types().any(|t| {
+                self.table.is_subtype(&t.name, owner)
+                    && self.table.field_type(&t.name, name).is_some()
+            }),
+        }
+    }
+
+    // -- binds analysis ------------------------------------------------------
+
+    /// Slots a *pattern* binds when matched successfully.
+    fn pat_binds(&mut self, e: &Expr) -> Binds {
+        let mut b = Binds::default();
+        self.collect_pat_binds(e, &mut b);
+        b
+    }
+
+    fn collect_pat_binds(&mut self, e: &Expr, out: &mut Binds) {
+        match e {
+            Expr::Var(name) => {
+                let s = self.slot(name);
+                out.add_must(s);
+            }
+            Expr::Decl(_, name) if name != "_" => {
+                let s = self.slot(name);
+                out.add_must(s);
+            }
+            Expr::Result => {
+                let s = self.slot("result");
+                out.add_must(s);
+            }
+            Expr::Call { args, .. } => {
+                // The receiver is only used for dispatch; args are matched.
+                for a in args {
+                    self.collect_pat_binds(a, out);
+                }
+            }
+            Expr::Binary(_, a, b) | Expr::As(a, b) => {
+                self.collect_pat_binds(a, out);
+                self.collect_pat_binds(b, out);
+            }
+            Expr::Neg(a) => self.collect_pat_binds(a, out),
+            Expr::Tuple(xs) => {
+                for x in xs {
+                    self.collect_pat_binds(x, out);
+                }
+            }
+            Expr::OrPat(a, b) | Expr::DisjointOr(a, b) => {
+                let mut ba = Binds::default();
+                self.collect_pat_binds(a, &mut ba);
+                let mut bb = Binds::default();
+                self.collect_pat_binds(b, &mut bb);
+                ba.branch(&bb);
+                out.union(&ba);
+            }
+            Expr::Where(p, f) => {
+                self.collect_pat_binds(p, out);
+                let fb = self.formula_binds(f);
+                out.union(&fb);
+            }
+            // Field access, indexing, literals, `this`, wildcards and
+            // declarations of `_` bind nothing when matched (field and index
+            // patterns are evaluated, not inverted).
+            _ => {}
+        }
+    }
+
+    /// Slots a formula binds when it succeeds.
+    fn formula_binds(&mut self, f: &Formula) -> Binds {
+        match f {
+            Formula::Bool(_) => Binds::default(),
+            Formula::Cmp(CmpOp::Eq, l, r) => {
+                let mut b = self.pat_binds(l);
+                let rb = self.pat_binds(r);
+                b.union(&rb);
+                b
+            }
+            // Ordering comparisons evaluate both sides; nothing is bound.
+            Formula::Cmp(..) => Binds::default(),
+            Formula::And(a, b) => {
+                let mut ba = self.formula_binds(a);
+                let bb = self.formula_binds(b);
+                ba.union(&bb);
+                ba
+            }
+            Formula::Or(a, b) | Formula::DisjointOr(a, b) => {
+                let mut ba = self.formula_binds(a);
+                let bb = self.formula_binds(b);
+                ba.branch(&bb);
+                ba
+            }
+            // Negation emits the *original* bindings.
+            Formula::Not(_) => Binds::default(),
+            Formula::Atom(Expr::Call { args, .. }) => {
+                let mut b = Binds::default();
+                for a in args {
+                    let ab = self.pat_binds(a);
+                    b.union(&ab);
+                }
+                b
+            }
+            // A bare declaration atom and ground boolean atoms bind nothing.
+            Formula::Atom(_) => Binds::default(),
+        }
+    }
+
+    // -- readiness -----------------------------------------------------------
+
+    /// Lowers the interpreter's `conjunct_ready` test for one conjunct.
+    fn lower_ready(&mut self, f: &Formula, st: &SlotState) -> ReadyCheck {
+        match f {
+            Formula::Bool(_) => ReadyCheck::Always,
+            Formula::Cmp(CmpOp::Eq, l, r) => ReadyCheck::EitherGround(
+                Box::new(self.lower_expr(l, st)),
+                Box::new(self.lower_expr(r, st)),
+            ),
+            Formula::Cmp(_, l, r) => ReadyCheck::BothGround(
+                Box::new(self.lower_expr(l, st)),
+                Box::new(self.lower_expr(r, st)),
+            ),
+            Formula::Atom(Expr::Call { receiver, .. }) => match receiver {
+                Some(r) => ReadyCheck::Ground(self.lower_expr(r, st)),
+                None => ReadyCheck::Always,
+            },
+            Formula::Atom(Expr::Decl(..)) | Formula::Atom(Expr::Wildcard) => ReadyCheck::Never,
+            Formula::Atom(e) => ReadyCheck::Ground(self.lower_expr(e, st)),
+            Formula::Not(inner) => self.lower_ready(inner, st),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::DisjointOr(a, b) => {
+                ReadyCheck::All(vec![self.lower_ready(a, st), self.lower_ready(b, st)])
+            }
+        }
+    }
+
+    /// Static readiness of a conjunct under an approximation.
+    fn ready(&mut self, f: &Formula, st: &SlotState, approx: Approx) -> bool {
+        match f {
+            Formula::Bool(_) => true,
+            Formula::Cmp(CmpOp::Eq, l, r) => {
+                self.ground(l, st, approx) || self.ground(r, st, approx)
+            }
+            Formula::Cmp(_, l, r) => self.ground(l, st, approx) && self.ground(r, st, approx),
+            Formula::Atom(Expr::Call { receiver, .. }) => match receiver {
+                Some(r) => self.ground(r, st, approx),
+                None => true,
+            },
+            Formula::Atom(e) => self.ground(e, st, approx),
+            Formula::Not(inner) => self.ready(inner, st, approx),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::DisjointOr(a, b) => {
+                self.ready(a, st, approx) && self.ready(b, st, approx)
+            }
+        }
+    }
+
+    // -- formula lowering ----------------------------------------------------
+
+    /// Lowers a formula under the current binding state, updating the state
+    /// with the formula's binds.
+    fn lower_formula(&mut self, f: &Formula, st: &mut SlotState) -> Goal {
+        let goal = match f {
+            Formula::Bool(true) => Goal::True,
+            Formula::Bool(false) => Goal::Fail,
+            Formula::And(..) => {
+                let mut conjuncts = Vec::new();
+                flatten_and(f, &mut conjuncts);
+                return self.lower_conjunction(&conjuncts, st);
+            }
+            Formula::Or(a, b) | Formula::DisjointOr(a, b) => {
+                let mut branches = Vec::new();
+                let mut sa = st.clone();
+                branches.push(self.lower_formula(a, &mut sa));
+                let mut sb = st.clone();
+                branches.push(self.lower_formula(b, &mut sb));
+                Goal::Any(branches)
+            }
+            Formula::Not(inner) => {
+                let mut si = st.clone();
+                Goal::Not(Box::new(self.lower_formula(inner, &mut si)))
+            }
+            Formula::Cmp(CmpOp::Eq, lhs, rhs) => return self.lower_equation(lhs, rhs, st),
+            Formula::Cmp(op, lhs, rhs) => {
+                Goal::Compare(*op, self.lower_expr(lhs, st), self.lower_expr(rhs, st))
+            }
+            Formula::Atom(e) => match e {
+                Expr::Call {
+                    receiver,
+                    name,
+                    args,
+                } => {
+                    let recv = receiver.as_deref().map(|r| self.lower_expr(r, st));
+                    let mut inner = st.clone();
+                    let mut lowered_args = Vec::with_capacity(args.len());
+                    for a in args {
+                        lowered_args.push(self.lower_expr(a, &inner));
+                        let b = self.pat_binds(a);
+                        inner.apply(&b);
+                    }
+                    Goal::Invoke {
+                        receiver: recv,
+                        name: name.clone(),
+                        args: lowered_args,
+                    }
+                }
+                Expr::Decl(..) => Goal::Trivial,
+                other => Goal::Test(self.lower_expr(other, st)),
+            },
+        };
+        let binds = self.formula_binds(f);
+        st.apply(&binds);
+        goal
+    }
+
+    /// Lowers an equation, mirroring the interpreter's `solve_cmp`
+    /// preprocessing: pattern disjunction distributes over the equation and
+    /// tuple equations decompose componentwise.
+    fn lower_equation(&mut self, lhs: &Expr, rhs: &Expr, st: &mut SlotState) -> Goal {
+        if let Expr::OrPat(a, b) | Expr::DisjointOr(a, b) = rhs {
+            let mut sa = st.clone();
+            let ga = self.lower_equation(lhs, a, &mut sa);
+            let mut sb = st.clone();
+            let gb = self.lower_equation(lhs, b, &mut sb);
+            sa.join(&sb);
+            *st = sa;
+            return Goal::Any(vec![ga, gb]);
+        }
+        if let Expr::OrPat(a, b) | Expr::DisjointOr(a, b) = lhs {
+            let mut sa = st.clone();
+            let ga = self.lower_equation(a, rhs, &mut sa);
+            let mut sb = st.clone();
+            let gb = self.lower_equation(b, rhs, &mut sb);
+            sa.join(&sb);
+            *st = sa;
+            return Goal::Any(vec![ga, gb]);
+        }
+        if let (Expr::Tuple(ls), Expr::Tuple(rs)) = (lhs, rhs) {
+            if ls.len() == rs.len() {
+                let conjuncts: Vec<Formula> = ls
+                    .iter()
+                    .zip(rs.iter())
+                    .map(|(l, r)| Formula::Cmp(CmpOp::Eq, l.clone(), r.clone()))
+                    .collect();
+                if conjuncts.is_empty() {
+                    return Goal::True;
+                }
+                return self.lower_conjunction(&conjuncts, st);
+            }
+        }
+        let goal = Goal::Unify(self.lower_expr(lhs, st), self.lower_expr(rhs, st));
+        let f = Formula::Cmp(CmpOp::Eq, lhs.clone(), rhs.clone());
+        let binds = self.formula_binds(&f);
+        st.apply(&binds);
+        goal
+    }
+
+    /// Schedules and lowers a conjunction: the static solved form when the
+    /// must/may analysis agrees on the order, the dynamic fallback
+    /// otherwise.
+    fn lower_conjunction(&mut self, conjuncts: &[Formula], st: &mut SlotState) -> Goal {
+        // Simulate the interpreter's dynamic scheduling under both
+        // approximations.
+        let mut sim = st.clone();
+        let mut remaining: Vec<usize> = (0..conjuncts.len()).collect();
+        let mut order = Vec::with_capacity(conjuncts.len());
+        let mut exact = true;
+        while !remaining.is_empty() {
+            let i_must = remaining
+                .iter()
+                .position(|&i| self.ready(&conjuncts[i], &sim, Approx::Must));
+            let i_may = remaining
+                .iter()
+                .position(|&i| self.ready(&conjuncts[i], &sim, Approx::May));
+            match (i_must, i_may) {
+                (Some(a), Some(b)) if a == b => {
+                    let chosen = remaining.remove(a);
+                    order.push(chosen);
+                    let binds = self.formula_binds(&conjuncts[chosen]);
+                    sim.apply(&binds);
+                }
+                _ => {
+                    exact = false;
+                    break;
+                }
+            }
+        }
+        if exact {
+            // Lower each conjunct in its scheduled position.
+            let mut goals = Vec::with_capacity(order.len());
+            for &i in &order {
+                goals.push(self.lower_formula(&conjuncts[i], st));
+            }
+            return Goal::Seq(goals);
+        }
+        // Dynamic fallback: the run-time scheduler may run the conjuncts in
+        // any order, so each is lowered with every other conjunct's possible
+        // binds in the may-set.
+        let mut widened = st.clone();
+        for c in conjuncts {
+            let b = self.formula_binds(c);
+            for &s in &b.may {
+                widened.bind_may(s);
+            }
+        }
+        let mut lowered = Vec::with_capacity(conjuncts.len());
+        for c in conjuncts {
+            let check = self.lower_ready(c, &widened);
+            let mut sc = widened.clone();
+            let goal = self.lower_formula(c, &mut sc);
+            lowered.push((check, goal));
+        }
+        // After the whole conjunction, every conjunct has run.
+        for c in conjuncts {
+            let b = self.formula_binds(c);
+            st.apply(&b);
+        }
+        Goal::DynSeq(lowered)
+    }
+
+    // -- statement lowering --------------------------------------------------
+
+    fn lower_block(&mut self, stmts: &[Stmt], st: &mut SlotState) -> Vec<StmtPlan> {
+        stmts.iter().map(|s| self.lower_stmt(s, st)).collect()
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, st: &mut SlotState) -> StmtPlan {
+        match stmt {
+            Stmt::Let(f) => StmtPlan::Let(self.lower_formula(f, st)),
+            Stmt::Switch {
+                scrutinees,
+                cases,
+                default,
+            } => {
+                let lowered_scrutinees: Vec<PExpr> =
+                    scrutinees.iter().map(|s| self.lower_expr(s, st)).collect();
+                // Resolve fall-through targets once.
+                let mut case_plans = Vec::with_capacity(cases.len());
+                let mut bodies = Vec::with_capacity(cases.len());
+                for (idx, case) in cases.iter().enumerate() {
+                    let mut inner = st.clone();
+                    let mut pats = Vec::with_capacity(case.patterns.len());
+                    for p in &case.patterns {
+                        pats.push(self.lower_expr(p, &inner));
+                        let b = self.pat_binds(p);
+                        inner.apply(&b);
+                    }
+                    let target = match (idx..cases.len()).find(|&j| !cases[j].body.is_empty()) {
+                        Some(j) => CaseTarget::Body(j),
+                        None if default.is_some() => CaseTarget::Default,
+                        None => CaseTarget::FellOff,
+                    };
+                    case_plans.push(CasePlan {
+                        patterns: pats,
+                        target,
+                    });
+                    bodies.push(self.lower_block(&case.body, &mut inner));
+                }
+                let default_plan = default.as_ref().map(|d| {
+                    let mut inner = st.clone();
+                    self.lower_block(d, &mut inner)
+                });
+                StmtPlan::Switch {
+                    scrutinees: lowered_scrutinees,
+                    cases: case_plans,
+                    bodies,
+                    default: default_plan,
+                }
+            }
+            Stmt::Cond { arms, else_arm } => {
+                let lowered_arms = arms
+                    .iter()
+                    .map(|(f, body)| {
+                        let mut inner = st.clone();
+                        let goal = self.lower_formula(f, &mut inner);
+                        (goal, self.lower_block(body, &mut inner))
+                    })
+                    .collect();
+                let lowered_else = else_arm.as_ref().map(|b| {
+                    let mut inner = st.clone();
+                    self.lower_block(b, &mut inner)
+                });
+                StmtPlan::Cond {
+                    arms: lowered_arms,
+                    else_arm: lowered_else,
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                let mut then_state = st.clone();
+                let goal = self.lower_formula(cond, &mut then_state);
+                let lowered_then = self.lower_block(then, &mut then_state);
+                // The else branch executes on the unmodified environment and
+                // its mutations persist; approximate its binds as may-only.
+                let lowered_else = els.as_ref().map(|b| {
+                    let mut inner = st.clone();
+                    let plan = self.lower_block(b, &mut inner);
+                    for (i, bound) in inner.slots.iter().enumerate() {
+                        if bound.may {
+                            st.bind_may(i as SlotId);
+                        }
+                    }
+                    plan
+                });
+                StmtPlan::If {
+                    cond: goal,
+                    then: lowered_then,
+                    els: lowered_else,
+                }
+            }
+            Stmt::Foreach { formula, body } => {
+                let mut inner = st.clone();
+                let goal = self.lower_formula(formula, &mut inner);
+                let declared = formula
+                    .declared_vars()
+                    .into_iter()
+                    .map(|(_, n)| self.slot(&n))
+                    .collect();
+                let lowered_body = self.lower_block(body, &mut inner);
+                StmtPlan::Foreach {
+                    goal,
+                    declared,
+                    body: lowered_body,
+                }
+            }
+            Stmt::While { cond, body } => {
+                let mut inner = st.clone();
+                let goal = self.lower_formula(cond, &mut inner);
+                let lowered_body = self.lower_block(body, &mut inner);
+                // Bindings persist across iterations only as possibilities.
+                for (i, bound) in inner.slots.iter().enumerate() {
+                    if bound.may {
+                        st.bind_may(i as SlotId);
+                    }
+                }
+                StmtPlan::While {
+                    cond: goal,
+                    body: lowered_body,
+                }
+            }
+            Stmt::Return(e) => StmtPlan::Return(e.as_ref().map(|e| self.lower_expr(e, st))),
+            Stmt::Assign(lhs, rhs) => {
+                let value = self.lower_expr(rhs, st);
+                match lhs {
+                    Expr::Var(name) => {
+                        let s = self.slot(name);
+                        st.bind_must(s);
+                        StmtPlan::Assign(s, value)
+                    }
+                    _ => StmtPlan::AssignUnsupported(value),
+                }
+            }
+            Stmt::ExprStmt(e) => StmtPlan::Expr(self.lower_expr(e, st)),
+            Stmt::Block(stmts) => {
+                let mut inner = st.clone();
+                StmtPlan::Block(self.lower_block(stmts, &mut inner))
+            }
+        }
+    }
+}
+
+/// Flattens nested conjunctions into a conjunct list (the interpreter's
+/// `flatten_and`).
+fn flatten_and(f: &Formula, out: &mut Vec<Formula>) {
+    match f {
+        Formula::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Method lowering
+// ---------------------------------------------------------------------------
+
+/// The binding assumptions of one lowered mode.
+struct ModeCtx {
+    /// Whether `this` is in scope (and its static class).
+    this_owner: Option<String>,
+    /// Whether the declared parameters start out bound.
+    params_bound: bool,
+}
+
+fn lower_method(table: &ClassTable, m: &MethodInfo) -> MethodPlan {
+    let body = match &m.decl.body {
+        MethodBody::Absent => BodyPlan::Absent,
+        MethodBody::Formula(f) => {
+            let has_receiver = m.owner != "<toplevel>";
+            // Forward mode: constructors run without `this` (the object is
+            // being built); ordinary instance methods run with it.
+            let forward_ctx = ModeCtx {
+                this_owner: (has_receiver && m.decl.kind == MethodKind::Method)
+                    .then(|| m.owner.clone()),
+                params_bound: true,
+            };
+            let matching_ctx = ModeCtx {
+                this_owner: has_receiver.then(|| m.owner.clone()),
+                params_bound: false,
+            };
+            let forward = lower_solved_form(table, m, f, &forward_ctx);
+            let matching = lower_solved_form(table, m, f, &matching_ctx);
+            let equals_bound = (m.decl.name == "equals").then(|| {
+                lower_solved_form(
+                    table,
+                    m,
+                    f,
+                    &ModeCtx {
+                        this_owner: Some(m.owner.clone()),
+                        params_bound: true,
+                    },
+                )
+            });
+            BodyPlan::Formula {
+                forward,
+                matching,
+                equals_bound,
+            }
+        }
+        MethodBody::Block(stmts) => {
+            let has_receiver = m.owner != "<toplevel>";
+            let mut lo = Lowerer::new(table, has_receiver.then(|| m.owner.clone()));
+            let mut st = SlotState::default();
+            let param_slots: Vec<SlotId> = m
+                .decl
+                .params
+                .iter()
+                .map(|p| {
+                    let s = lo.slot(&p.name);
+                    st.bind_must(s);
+                    s
+                })
+                .collect();
+            let stmts = lo.lower_block(stmts, &mut st);
+            BodyPlan::Block(BlockPlan {
+                stmts,
+                frame: lo.frame,
+                param_slots,
+            })
+        }
+    };
+    MethodPlan {
+        info: m.clone(),
+        body,
+    }
+}
+
+fn lower_solved_form(table: &ClassTable, m: &MethodInfo, f: &Formula, ctx: &ModeCtx) -> SolvedForm {
+    let mut lo = Lowerer::new(table, ctx.this_owner.clone());
+    let mut st = SlotState::default();
+    // Parameters, `result` and the owner's fields always get slots so the
+    // evaluator can seed and read them by index.
+    let param_slots: Vec<SlotId> = m
+        .decl
+        .params
+        .iter()
+        .map(|p| {
+            let s = lo.slot(&p.name);
+            if ctx.params_bound {
+                st.bind_must(s);
+            }
+            s
+        })
+        .collect();
+    let result_slot = lo.slot("result");
+    let field_slots: Vec<(String, SlotId)> = table
+        .type_info(&m.owner)
+        .map(|info| {
+            info.fields
+                .iter()
+                .map(|fd| (fd.name.clone(), lo.slot(&fd.name)))
+                .collect()
+        })
+        .unwrap_or_default();
+    let goal = lo.lower_formula(f, &mut st);
+    SolvedForm {
+        goal,
+        frame: lo.frame,
+        param_slots,
+        result_slot,
+        field_slots,
+        this_present: ctx.this_owner.is_some(),
+    }
+}
+
+/// Lowers a standalone formula (the ad-hoc `solve` entry point of the
+/// runtime): `bound` names the variables known at entry, `this_class` the
+/// runtime class of `this` if it is in scope.
+pub fn lower_standalone(
+    table: &ClassTable,
+    f: &Formula,
+    bound: &[&str],
+    this_class: Option<&str>,
+) -> SolvedForm {
+    let mut lo = Lowerer::new(table, this_class.map(str::to_owned));
+    let mut st = SlotState::default();
+    for name in bound {
+        let s = lo.slot(name);
+        st.bind_must(s);
+    }
+    let result_slot = lo.slot("result");
+    let goal = lo.lower_formula(f, &mut st);
+    SolvedForm {
+        goal,
+        frame: lo.frame,
+        param_slots: Vec::new(),
+        result_slot,
+        field_slots: Vec::new(),
+        this_present: this_class.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostics;
+    use jmatch_syntax::parse_program;
+
+    fn plan_for(src: &str) -> Arc<ProgramPlan> {
+        let program = parse_program(src).unwrap();
+        let mut diags = Diagnostics::new();
+        let table = ClassTable::build(&program, &mut diags);
+        assert!(diags.errors.is_empty(), "{:?}", diags.errors);
+        ProgramPlan::compile(table)
+    }
+
+    const ZNAT: &str = r#"
+        interface Nat {
+            constructor zero() returns();
+            constructor succ(Nat n) returns(n);
+        }
+        class ZNat implements Nat {
+            int val;
+            private ZNat(int n) returns(n) ( val = n && n >= 0 )
+            constructor zero() returns() ( val = 0 )
+            constructor succ(Nat n) returns(n) ( val >= 1 && ZNat(val - 1) = n )
+        }
+    "#;
+
+    #[test]
+    fn succ_solved_forms_differ_by_mode() {
+        let plan = plan_for(ZNAT);
+        let succ = plan.method(plan.lookup_impl("ZNat", "succ").unwrap());
+        let (forward, matching) = succ.body.solved_forms().unwrap();
+        // Forward (construction): the equation binds `val` before the guard.
+        let Goal::Seq(fwd) = &forward.goal else {
+            panic!("forward not statically scheduled: {:?}", forward.goal)
+        };
+        assert!(matches!(fwd[0], Goal::Unify(..)));
+        assert!(matches!(fwd[1], Goal::Compare(..)));
+        // Backward (matching): `val` is a field of the known `this`, so the
+        // source order is already solved.
+        let Goal::Seq(bwd) = &matching.goal else {
+            panic!("matching not statically scheduled: {:?}", matching.goal)
+        };
+        assert!(matches!(bwd[0], Goal::Compare(..)));
+        assert!(matches!(bwd[1], Goal::Unify(..)));
+    }
+
+    #[test]
+    fn class_ctor_schedules_statically_in_both_modes() {
+        let plan = plan_for(ZNAT);
+        let ctor = plan.method(plan.class_ctor("ZNat").unwrap());
+        let (forward, matching) = ctor.body.solved_forms().unwrap();
+        assert!(matches!(forward.goal, Goal::Seq(_)));
+        assert!(matches!(matching.goal, Goal::Seq(_)));
+        // The constructor frame exposes slots for params, result and fields.
+        assert_eq!(forward.param_slots.len(), 1);
+        assert_eq!(forward.field_slots.len(), 1);
+        assert_eq!(forward.field_slots[0].0, "val");
+    }
+
+    #[test]
+    fn unresolvable_order_falls_back_to_dynamic() {
+        // `int x = int y && int y = 3` — under the entry bindings neither
+        // side of the first equation is ever ground, and readiness depends
+        // on the solving order, which the analysis cannot pin down: the
+        // second conjunct must run first at run time.
+        let plan = plan_for(
+            "static int weird() {
+                 let (int x = int y && int y = 3);
+                 return x;
+             }",
+        );
+        let m = plan.method(plan.lookup_free("weird").unwrap());
+        let BodyPlan::Block(block) = &m.body else {
+            panic!()
+        };
+        let StmtPlan::Let(goal) = &block.stmts[0] else {
+            panic!()
+        };
+        // Conjunct 0 (`int x = int y`) is never must-ready, so scheduling
+        // cannot be exact.
+        assert!(
+            matches!(goal, Goal::DynSeq(_)),
+            "expected dynamic fallback, got {goal:?}"
+        );
+    }
+
+    #[test]
+    fn switch_fall_through_targets_are_resolved() {
+        let plan = plan_for(
+            "static int pick(int n) {
+                 switch (n) {
+                     case 0:
+                     case 1: return 10;
+                     case 2: return 20;
+                     default: return 30;
+                 }
+             }",
+        );
+        let m = plan.method(plan.lookup_free("pick").unwrap());
+        let BodyPlan::Block(block) = &m.body else {
+            panic!()
+        };
+        let StmtPlan::Switch { cases, .. } = &block.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(cases[0].target, CaseTarget::Body(1));
+        assert_eq!(cases[1].target, CaseTarget::Body(1));
+        assert_eq!(cases[2].target, CaseTarget::Body(2));
+    }
+
+    #[test]
+    fn dispatch_indices_mirror_table_lookup() {
+        let plan = plan_for(ZNAT);
+        // The interface declares `succ` without a body; the class implements
+        // it.
+        let declared = plan.lookup_declared("Nat", "succ").unwrap();
+        assert_eq!(plan.method(declared).info.owner, "Nat");
+        let implemented = plan.lookup_impl("ZNat", "succ").unwrap();
+        assert_eq!(plan.method(implemented).info.owner, "ZNat");
+        assert!(plan.lookup_impl("Nat", "succ").is_none());
+        assert!(plan.class_ctor("ZNat").is_some());
+        assert!(plan.class_ctor("Nat").is_none());
+    }
+
+    #[test]
+    fn standalone_lowering_respects_entry_bindings() {
+        let program =
+            parse_program("class R { boolean below(int n, int x) iterates(x) ( x = 0 || x = 1 ) }")
+                .unwrap();
+        let mut diags = Diagnostics::new();
+        let table = ClassTable::build(&program, &mut diags);
+        let body = match &table.lookup_method("R", "below").unwrap().decl.body {
+            MethodBody::Formula(f) => f.clone(),
+            _ => panic!(),
+        };
+        let form = lower_standalone(&table, &body, &["n"], Some("R"));
+        assert!(form.frame.slot_of("x").is_some());
+        assert!(matches!(form.goal, Goal::Any(_)));
+    }
+}

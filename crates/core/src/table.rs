@@ -11,7 +11,7 @@
 use crate::diag::Diagnostics;
 use jmatch_syntax::ast::*;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifies one mode of a method.
 ///
@@ -122,7 +122,7 @@ impl ClassTable {
     /// Resolution problems (duplicate types, unknown supertypes) are recorded
     /// in `diags` as errors; the table is still returned so later phases can
     /// proceed best-effort.
-    pub fn build(program: &Program, diags: &mut Diagnostics) -> Rc<ClassTable> {
+    pub fn build(program: &Program, diags: &mut Diagnostics) -> Arc<ClassTable> {
         let mut table = ClassTable::default();
         for decl in &program.decls {
             match decl {
@@ -188,7 +188,7 @@ impl ClassTable {
                 }
             }
         }
-        Rc::new(table)
+        Arc::new(table)
     }
 
     fn insert_type(&mut self, info: TypeInfo, diags: &mut Diagnostics) {
@@ -387,7 +387,7 @@ mod tests {
     use super::*;
     use jmatch_syntax::parse_program;
 
-    fn table_for(src: &str) -> (Rc<ClassTable>, Diagnostics) {
+    fn table_for(src: &str) -> (Arc<ClassTable>, Diagnostics) {
         let program = parse_program(src).unwrap();
         let mut diags = Diagnostics::new();
         let table = ClassTable::build(&program, &mut diags);

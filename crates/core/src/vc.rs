@@ -31,7 +31,7 @@ use crate::table::{ClassTable, MethodInfo, Mode, ModeIndex};
 use jmatch_smt::{Sort, TermId, TermStore};
 use jmatch_syntax::ast::{BinOp, CmpOp, Expr, Formula, Type};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The single uninterpreted sort used for every JMatch reference type.
 /// Type membership is tracked by `is$T` predicates instead of SMT sorts so
@@ -233,7 +233,7 @@ impl Env {
 #[derive(Debug, Clone)]
 pub struct VcGen {
     /// The resolved program.
-    pub table: Rc<ClassTable>,
+    pub table: Arc<ClassTable>,
 }
 
 /// Result alias for translation functions.
@@ -241,7 +241,7 @@ pub type VcResult<T> = Result<T, CompileError>;
 
 impl VcGen {
     /// Creates a generator over a class table.
-    pub fn new(table: Rc<ClassTable>) -> Self {
+    pub fn new(table: Arc<ClassTable>) -> Self {
         VcGen { table }
     }
 

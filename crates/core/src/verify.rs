@@ -40,7 +40,7 @@ use crate::vc::{Env, Seq, VcGen, F};
 use jmatch_smt::{SatResult, Solver, SolverConfig, TermId, TermStore};
 use jmatch_syntax::ast::*;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Options controlling verification.
 #[derive(Debug, Clone)]
@@ -147,7 +147,7 @@ struct Ctx {
 
 impl Verifier {
     /// Creates a verifier for a resolved program.
-    pub fn new(table: Rc<ClassTable>, options: VerifyOptions) -> Self {
+    pub fn new(table: Arc<ClassTable>, options: VerifyOptions) -> Self {
         Verifier {
             gen: VcGen::new(table),
             options,

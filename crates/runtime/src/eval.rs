@@ -1,0 +1,1321 @@
+//! The plan evaluator: executes the query plans produced by
+//! [`jmatch_core::lower`].
+//!
+//! Where the legacy tree-walker re-derives a solving order for every formula
+//! at every call and clones a `HashMap` environment per emitted solution,
+//! the evaluator runs a [`SolvedForm`](jmatch_core::lower::SolvedForm)'s
+//! goal over a flat frame of variable slots (`Vec<Option<Value>>`):
+//!
+//! * **bindings** are slot writes, undone by scope when a choice point is
+//!   exhausted (the moral equivalent of a trail in a WAM-style machine);
+//! * **conjunctions** follow the statically scheduled order of
+//!   [`Goal::Seq`], falling back to run-time selection only for
+//!   [`Goal::DynSeq`];
+//! * **calls** resolve through the plan's precompiled dispatch indices
+//!   instead of walking the supertype chain;
+//! * **choice points** (disjunctions, constructor matches) are explored by
+//!   enumerating each branch against the continuation, so deeper frames
+//!   stack explicitly per invocation rather than per cloned environment.
+//!
+//! The observable behavior — values, bindings, enumeration order, and
+//! failures — is kept identical to the tree-walker's; `tests/differential.rs`
+//! runs every corpus program through both engines and asserts it.
+
+use crate::{Bindings, Flow, Object, RtError, RtResult, Value};
+use jmatch_core::lower::{
+    BodyPlan, CallKind, CaseTarget, Goal, PExpr, PlanId, ProgramPlan, ReadyCheck, SlotId, StmtPlan,
+};
+use jmatch_core::table::ClassTable;
+use jmatch_syntax::ast::{BinOp, CmpOp, Expr, Formula, MethodBody, Type};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A frame of variable slots.
+type Frame = Vec<Option<Value>>;
+
+/// The continuation invoked per solution; returns `Ok(true)` to keep
+/// enumerating.
+type Emit<'a> = &'a mut dyn FnMut(&mut Ev<'_>, &mut Frame) -> RtResult<bool>;
+
+/// The plan-based execution engine.
+#[derive(Debug, Clone)]
+pub struct PlanInterp {
+    plan: Arc<ProgramPlan>,
+}
+
+impl PlanInterp {
+    /// Creates an engine over a compiled program plan.
+    pub fn new(plan: Arc<ProgramPlan>) -> Self {
+        PlanInterp { plan }
+    }
+
+    /// The compiled program plan.
+    pub fn plan(&self) -> &Arc<ProgramPlan> {
+        &self.plan
+    }
+
+    fn ev(&self) -> Ev<'_> {
+        Ev {
+            plan: &self.plan,
+            table: self.plan.table(),
+            depth: 0,
+        }
+    }
+
+    /// Invokes a named or class constructor of `class` in the forward mode.
+    pub fn construct(&self, class: &str, ctor: &str, args: Vec<Value>) -> RtResult<Value> {
+        self.ev().construct(class, ctor, args)
+    }
+
+    /// Calls a free-standing (top-level) method.
+    pub fn call_free(&self, name: &str, args: Vec<Value>) -> RtResult<Value> {
+        self.ev().call_free(name, args)
+    }
+
+    /// Calls an instance method in the forward mode.
+    pub fn call_method(&self, receiver: &Value, name: &str, args: Vec<Value>) -> RtResult<Value> {
+        self.ev().call_method(receiver, name, args)
+    }
+
+    /// Enumerates the solutions of matching `value` against the named
+    /// constructor `ctor` (the backward mode).
+    pub fn deconstruct(&self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
+        self.ev().deconstruct(value, ctor)
+    }
+
+    /// Tests whether `value` matches the named constructor `ctor`.
+    pub fn matches_constructor(&self, value: &Value, ctor: &str) -> RtResult<bool> {
+        self.ev().matches_constructor(value, ctor)
+    }
+
+    /// Deep equality, using equality constructors across implementations.
+    pub fn values_equal(&self, a: &Value, b: &Value) -> RtResult<bool> {
+        self.ev().values_equal(a, b)
+    }
+
+    /// Enumerates the solutions of an ad-hoc formula: the formula is lowered
+    /// on the fly against the entry bindings (a standalone solved form) and
+    /// run by the plan evaluator.
+    pub fn solve(
+        &self,
+        env: &Bindings,
+        this: Option<&Value>,
+        f: &Formula,
+        emit: &mut dyn FnMut(&Bindings) -> bool,
+    ) -> RtResult<()> {
+        let bound: Vec<&str> = env.keys().map(String::as_str).collect();
+        let this_class = this.map(|t| t.class().unwrap_or(""));
+        let form = jmatch_core::lower::lower_standalone(self.plan.table(), f, &bound, this_class);
+        let mut fr: Frame = vec![None; form.frame.len()];
+        for (name, v) in env {
+            if let Some(s) = form.frame.slot_of(name) {
+                fr[s as usize] = Some(v.clone());
+            }
+        }
+        let mut ev = self.ev();
+        ev.solve(&mut fr, this, &form.goal, &mut |_, fr| {
+            let mut out = Bindings::new();
+            for (i, v) in fr.iter().enumerate() {
+                if let Some(v) = v {
+                    out.insert(form.frame.name_of(i as SlotId).to_owned(), v.clone());
+                }
+            }
+            Ok(emit(&out))
+        })?;
+        Ok(())
+    }
+}
+
+/// One evaluation session: borrows the plan and tracks the recursion guard.
+struct Ev<'p> {
+    plan: &'p ProgramPlan,
+    table: &'p ClassTable,
+    depth: usize,
+}
+
+/// Bound on the solver's nesting depth (goal recursion plus nested
+/// invocations). Each level costs native stack, so the limit must trip well
+/// before the stack itself is exhausted — ~0.5KB per level against the 2MB
+/// stack of a Rust test thread puts exhaustion around depth 3–5k; 1_000
+/// leaves a comfortable margin while staying far above what any corpus
+/// program reaches.
+const MAX_DEPTH: usize = 1_000;
+
+impl<'p> Ev<'p> {
+    // ------------------------------------------------------------------
+    // Entry points
+    // ------------------------------------------------------------------
+
+    fn construct(&mut self, class: &str, ctor: &str, args: Vec<Value>) -> RtResult<Value> {
+        let declared = self
+            .plan
+            .lookup_declared(class, ctor)
+            .or_else(|| self.plan.class_ctor(class))
+            .ok_or_else(|| RtError::method_not_found(class, ctor))?;
+        // Resolve to the concrete implementation declared on `class` itself
+        // if the interface only declares the signature.
+        let pid = if matches!(self.plan.method(declared).body, BodyPlan::Absent) {
+            self.plan
+                .lookup_impl(class, ctor)
+                .ok_or_else(|| RtError::new(format!("`{class}.{ctor}` has no implementation")))?
+        } else {
+            declared
+        };
+        self.run_forward(pid, None, args)
+    }
+
+    fn call_free(&mut self, name: &str, args: Vec<Value>) -> RtResult<Value> {
+        let pid = self
+            .plan
+            .lookup_free(name)
+            .ok_or_else(|| RtError::method_not_found("<toplevel>", name))?;
+        self.run_forward(pid, None, args)
+    }
+
+    fn call_method(&mut self, receiver: &Value, name: &str, args: Vec<Value>) -> RtResult<Value> {
+        let class = receiver
+            .class()
+            .ok_or_else(|| RtError::new("receiver is not an object"))?
+            .to_owned();
+        let pid = self
+            .plan
+            .lookup_impl(&class, name)
+            .ok_or_else(|| RtError::method_not_found(&class, name))?;
+        self.run_forward(pid, Some(receiver.clone()), args)
+    }
+
+    fn deconstruct(&mut self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
+        let class = value
+            .class()
+            .ok_or_else(|| RtError::new("can only deconstruct objects"))?
+            .to_owned();
+        let pid = self
+            .plan
+            .lookup_impl(&class, ctor)
+            .ok_or_else(|| RtError::method_not_found(&class, ctor))?;
+        let plan = self.plan;
+        let table = self.table;
+        let params = &plan.method(pid).info.decl.params;
+        let mut solutions = Vec::new();
+        self.each_constructor_solution(value, pid, &mut |_, row| {
+            // Apply the declared parameter types as patterns, like matching
+            // `T name` against each solution value.
+            for (p, v) in params.iter().zip(row.iter()) {
+                if let Type::Named(t) = &p.ty {
+                    if let Some(class) = v.class() {
+                        if !table.is_subtype(class, t) {
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+            solutions.push(row.to_vec());
+            Ok(true)
+        })?;
+        Ok(solutions)
+    }
+
+    fn matches_constructor(&mut self, value: &Value, ctor: &str) -> RtResult<bool> {
+        Ok(!self.deconstruct(value, ctor)?.is_empty() || {
+            // Zero-parameter constructors produce an empty solution row set
+            // only when they fail; re-check via a direct predicate solve.
+            let class = value.class().unwrap_or_default().to_owned();
+            if let Some(pid) = self.plan.lookup_impl(&class, ctor) {
+                if self.plan.method(pid).info.decl.params.is_empty() {
+                    let mut found = false;
+                    self.each_constructor_solution(value, pid, &mut |_, _| {
+                        found = true;
+                        Ok(false)
+                    })?;
+                    found
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        })
+    }
+
+    fn values_equal(&mut self, a: &Value, b: &Value) -> RtResult<bool> {
+        match (a, b) {
+            (Value::Obj(oa), Value::Obj(ob)) => {
+                if Arc::ptr_eq(oa, ob) {
+                    return Ok(true);
+                }
+                if oa.class == ob.class {
+                    if oa.fields.len() == ob.fields.len() {
+                        for (k, va) in &oa.fields {
+                            let Some(vb) = ob.fields.get(k) else {
+                                return Ok(false);
+                            };
+                            if !self.values_equal(va, vb)? {
+                                return Ok(false);
+                            }
+                        }
+                        return Ok(true);
+                    }
+                    return Ok(false);
+                }
+                // Different classes: try an equality constructor on either
+                // side, in its `this`-and-parameter-bound solved form.
+                let plan = self.plan;
+                for (lhs, rhs) in [(a, b), (b, a)] {
+                    let class = lhs.class().unwrap_or_default().to_owned();
+                    if let Some(pid) = plan.lookup_impl(&class, "equals") {
+                        if let BodyPlan::Formula {
+                            equals_bound: Some(form),
+                            ..
+                        } = &plan.method(pid).body
+                        {
+                            let mut fr: Frame = vec![None; form.frame.len()];
+                            if let Some(&ps) = form.param_slots.first() {
+                                fr[ps as usize] = Some(rhs.clone());
+                            }
+                            let mut found = false;
+                            self.solve(&mut fr, Some(lhs), &form.goal, &mut |_, _| {
+                                found = true;
+                                Ok(false)
+                            })?;
+                            return Ok(found);
+                        }
+                    }
+                }
+                Ok(false)
+            }
+            _ => Ok(a == b),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forward execution
+    // ------------------------------------------------------------------
+
+    fn run_forward(
+        &mut self,
+        pid: PlanId,
+        this: Option<Value>,
+        args: Vec<Value>,
+    ) -> RtResult<Value> {
+        let mp = {
+            let plan = self.plan;
+            plan.method(pid)
+        };
+        if args.len() != mp.info.decl.params.len() {
+            return Err(RtError::arity_mismatch(
+                &mp.info.qualified_name(),
+                mp.info.decl.params.len(),
+                args.len(),
+            ));
+        }
+        match &mp.body {
+            BodyPlan::Absent => Err(RtError::new(format!(
+                "{} has no implementation",
+                mp.info.qualified_name()
+            ))),
+            BodyPlan::Formula { forward, .. } => {
+                let mut fr: Frame = vec![None; forward.frame.len()];
+                for (&s, v) in forward.param_slots.iter().zip(args) {
+                    fr[s as usize] = Some(v);
+                }
+                if mp.info.constructs_owner() {
+                    // Construction: the fields of the new object are unknowns
+                    // solved by the body.
+                    let owner = &mp.info.owner;
+                    let field_slots = &forward.field_slots;
+                    let result_slot = forward.result_slot;
+                    let mut result = None;
+                    self.solve(&mut fr, this.as_ref(), &forward.goal, &mut |_, fr| {
+                        let mut fields = HashMap::new();
+                        for (fname, s) in field_slots {
+                            fields.insert(
+                                fname.clone(),
+                                fr[*s as usize].clone().unwrap_or(Value::Null),
+                            );
+                        }
+                        // A `result = ...` equation (as in Figure 1) takes
+                        // precedence over field solving.
+                        result = Some(fr[result_slot as usize].clone().unwrap_or_else(|| {
+                            Value::Obj(Arc::new(Object {
+                                class: owner.clone(),
+                                fields,
+                            }))
+                        }));
+                        Ok(false)
+                    })?;
+                    result.ok_or_else(|| {
+                        RtError::new(format!("{} failed to match", mp.info.qualified_name()))
+                    })
+                } else {
+                    // Ordinary method: solve for `result` (boolean methods
+                    // default to "is the body satisfiable").
+                    let result_slot = forward.result_slot;
+                    let mut result = None;
+                    let mut any = false;
+                    self.solve(&mut fr, this.as_ref(), &forward.goal, &mut |_, fr| {
+                        any = true;
+                        result = fr[result_slot as usize].clone();
+                        Ok(false)
+                    })?;
+                    match (&mp.info.decl.return_type, result) {
+                        (Some(Type::Boolean), r) => Ok(r.unwrap_or(Value::Bool(any))),
+                        (_, Some(r)) => Ok(r),
+                        (Some(Type::Void), None) => Ok(Value::Null),
+                        (_, None) if any => Ok(Value::Bool(true)),
+                        (_, None) => Err(RtError::new(format!(
+                            "{} produced no result",
+                            mp.info.qualified_name()
+                        ))),
+                    }
+                }
+            }
+            BodyPlan::Block(bp) => {
+                let mut fr: Frame = vec![None; bp.frame.len()];
+                for (&s, v) in bp.param_slots.iter().zip(args) {
+                    fr[s as usize] = Some(v);
+                }
+                match self.exec_block(&mut fr, this.as_ref(), &bp.stmts)? {
+                    Flow::Return(v) => Ok(v),
+                    Flow::Normal => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Constructor matching (backward / iterative modes)
+    // ------------------------------------------------------------------
+
+    /// Solves `pid`'s matching plan against `value` and feeds each
+    /// solution's parameter-value row to `each`.
+    fn each_constructor_solution(
+        &mut self,
+        value: &Value,
+        pid: PlanId,
+        each: &mut dyn FnMut(&mut Ev<'_>, &[Value]) -> RtResult<bool>,
+    ) -> RtResult<()> {
+        let plan = self.plan;
+        let mp = plan.method(pid);
+        let BodyPlan::Formula { matching, .. } = &mp.body else {
+            return Err(RtError::mode_mismatch(
+                &mp.info.qualified_name(),
+                "backward (pattern-matching)",
+            ));
+        };
+        let param_slots = &matching.param_slots;
+        let mut fr: Frame = vec![None; matching.frame.len()];
+        self.solve(&mut fr, Some(value), &matching.goal, &mut |ev, fr| {
+            let mut row = Vec::with_capacity(param_slots.len());
+            for &s in param_slots {
+                match &fr[s as usize] {
+                    Some(v) => row.push(v.clone()),
+                    // A parameter the solution left unbound: skip it, like
+                    // the tree-walker.
+                    None => return Ok(true),
+                }
+            }
+            each(ev, &row)
+        })?;
+        Ok(())
+    }
+
+    /// Matches `value` against the constructor plan `pid` with argument
+    /// patterns in the caller's frame — the plan-level counterpart of the
+    /// walker's `match_constructor`.
+    fn match_constructor(
+        &mut self,
+        caller: &mut Frame,
+        value: &Value,
+        pid: PlanId,
+        args: &[PExpr],
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        let plan = self.plan;
+        let mp = plan.method(pid);
+        let BodyPlan::Formula { matching, .. } = &mp.body else {
+            return Err(RtError::mode_mismatch(
+                &mp.info.qualified_name(),
+                "backward (pattern-matching)",
+            ));
+        };
+        let param_slots = &matching.param_slots;
+        let mut fr: Frame = vec![None; matching.frame.len()];
+        self.solve(&mut fr, Some(value), &matching.goal, &mut |ev, fr| {
+            let mut row = Vec::with_capacity(param_slots.len());
+            for &s in param_slots {
+                match &fr[s as usize] {
+                    Some(v) => row.push(v.clone()),
+                    None => return Ok(true),
+                }
+            }
+            ev.match_args_then(caller, args, &row, emit)
+        })
+    }
+
+    /// Matches argument patterns against a solution row (first solution per
+    /// pattern, accumulating bindings left to right), runs `k`, then
+    /// restores the caller frame. Pattern-match errors skip the row, like
+    /// the tree-walker.
+    fn match_args_then(
+        &mut self,
+        fr: &mut Frame,
+        args: &[PExpr],
+        values: &[Value],
+        k: Emit<'_>,
+    ) -> RtResult<bool> {
+        let save = fr.clone();
+        let mut failed = false;
+        for (i, v) in values.iter().enumerate() {
+            let Some(pat) = args.get(i) else {
+                continue;
+            };
+            let mut sol: Option<Frame> = None;
+            let r = self.match_pat(fr, None, pat, v, &mut |_, fr2| {
+                sol = Some(fr2.clone());
+                Ok(false)
+            });
+            if r.is_err() {
+                failed = true;
+                break;
+            }
+            match sol {
+                Some(s) => *fr = s,
+                None => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        let out = if failed { Ok(true) } else { k(self, fr) };
+        *fr = save;
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Goal solving
+    // ------------------------------------------------------------------
+
+    /// Enumerates the solutions of a goal. Returns `Ok(false)` when the
+    /// continuation asked to stop.
+    fn solve(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        g: &Goal,
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(RtError::new("solver recursion limit exceeded"));
+        }
+        let r = self.solve_inner(fr, this, g, emit);
+        self.depth -= 1;
+        r
+    }
+
+    fn solve_inner(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        g: &Goal,
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        match g {
+            Goal::True | Goal::Trivial => emit(self, fr),
+            Goal::Fail => Ok(true),
+            Goal::Seq(goals) => self.solve_seq(fr, this, goals, emit),
+            Goal::DynSeq(items) => {
+                let remaining: Vec<usize> = (0..items.len()).collect();
+                self.solve_dynseq(fr, this, items, &remaining, emit)
+            }
+            Goal::Any(branches) => {
+                for b in branches {
+                    if !self.solve(fr, this, b, emit)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Goal::Not(inner) => {
+                let mut found = false;
+                self.solve(fr, this, inner, &mut |_, _| {
+                    found = true;
+                    Ok(false)
+                })?;
+                if !found {
+                    emit(self, fr)
+                } else {
+                    Ok(true)
+                }
+            }
+            Goal::Unify(lhs, rhs) => {
+                let lg = self.ground(fr, this, lhs);
+                let rg = self.ground(fr, this, rhs);
+                match (lg, rg) {
+                    (true, true) => {
+                        let a = self.eval(fr, this, lhs)?;
+                        let b = self.eval(fr, this, rhs)?;
+                        if self.values_equal(&a, &b)? {
+                            emit(self, fr)
+                        } else {
+                            Ok(true)
+                        }
+                    }
+                    (true, false) => {
+                        let v = self.eval(fr, this, lhs)?;
+                        self.match_pat(fr, this, rhs, &v, emit)
+                    }
+                    (false, true) => {
+                        let v = self.eval(fr, this, rhs)?;
+                        self.match_pat(fr, this, lhs, &v, emit)
+                    }
+                    (false, false) => Err(RtError::new(format!(
+                        "equation with unknowns on both sides is not solvable: {lhs:?} = {rhs:?}"
+                    ))),
+                }
+            }
+            Goal::Compare(op, lhs, rhs) => {
+                let a = self.eval(fr, this, lhs)?;
+                let b = self.eval(fr, this, rhs)?;
+                let (x, y) = match (a.as_int(), b.as_int()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        if *op == CmpOp::Ne {
+                            if !self.values_equal(&a, &b)? {
+                                return emit(self, fr);
+                            }
+                            return Ok(true);
+                        }
+                        return Err(RtError::new("ordering comparison on non-integers"));
+                    }
+                };
+                let holds = match op {
+                    CmpOp::Le => x <= y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Eq => x == y,
+                };
+                if holds {
+                    emit(self, fr)
+                } else {
+                    Ok(true)
+                }
+            }
+            Goal::Invoke {
+                receiver,
+                name,
+                args,
+            } => {
+                let subject: Value = match receiver {
+                    Some(r) if self.ground(fr, this, r) => self.eval(fr, this, r)?,
+                    None => this
+                        .cloned()
+                        .ok_or_else(|| RtError::new("predicate call without a receiver"))?,
+                    Some(_) => {
+                        return Err(RtError::new("predicate receiver is not ground"));
+                    }
+                };
+                match &subject {
+                    Value::Obj(o) => {
+                        let class = o.class.clone();
+                        let Some(pid) = self.plan.lookup_impl(&class, name) else {
+                            return Err(RtError::method_not_found(&class, name));
+                        };
+                        self.match_constructor(fr, &subject, pid, args, emit)
+                    }
+                    Value::Bool(b) => {
+                        if *b {
+                            emit(self, fr)
+                        } else {
+                            Ok(true)
+                        }
+                    }
+                    other => Err(RtError::new(format!(
+                        "cannot use `{other}` as a predicate receiver"
+                    ))),
+                }
+            }
+            Goal::Test(e) => {
+                let v = self.eval(fr, this, e)?;
+                if v.as_bool() == Some(true) {
+                    emit(self, fr)
+                } else {
+                    Ok(true)
+                }
+            }
+        }
+    }
+
+    fn solve_seq(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        goals: &[Goal],
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        match goals.split_first() {
+            None => emit(self, fr),
+            Some((g, rest)) => self.solve(fr, this, g, &mut |ev, fr| {
+                ev.solve_seq(fr, this, rest, emit)
+            }),
+        }
+    }
+
+    fn solve_dynseq(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        items: &[(ReadyCheck, Goal)],
+        remaining: &[usize],
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        let Some(&chosen) = remaining
+            .iter()
+            .find(|&&i| self.check_ready(fr, this, &items[i].0))
+        else {
+            if remaining.is_empty() {
+                return emit(self, fr);
+            }
+            return Err(RtError::new(
+                "formula is not solvable: no conjunct can run with the current bindings",
+            ));
+        };
+        let rest: Vec<usize> = remaining.iter().copied().filter(|&i| i != chosen).collect();
+        self.solve(fr, this, &items[chosen].1, &mut |ev, fr| {
+            ev.solve_dynseq(fr, this, items, &rest, emit)
+        })
+    }
+
+    fn check_ready(&self, fr: &Frame, this: Option<&Value>, c: &ReadyCheck) -> bool {
+        match c {
+            ReadyCheck::Always => true,
+            ReadyCheck::Never => false,
+            ReadyCheck::Ground(e) => self.ground(fr, this, e),
+            ReadyCheck::EitherGround(a, b) => self.ground(fr, this, a) || self.ground(fr, this, b),
+            ReadyCheck::BothGround(a, b) => self.ground(fr, this, a) && self.ground(fr, this, b),
+            ReadyCheck::All(cs) => cs.iter().all(|c| self.check_ready(fr, this, c)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pattern matching
+    // ------------------------------------------------------------------
+
+    /// Binds a slot around the continuation, restoring the old value after.
+    fn bind_then(
+        &mut self,
+        fr: &mut Frame,
+        slot: SlotId,
+        value: Value,
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        let old = fr[slot as usize].replace(value);
+        let r = emit(self, fr);
+        fr[slot as usize] = old;
+        r
+    }
+
+    fn match_pat(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        pat: &PExpr,
+        value: &Value,
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        match pat {
+            PExpr::Wildcard => emit(self, fr),
+            PExpr::Decl(ty, slot) => {
+                if let Type::Named(t) = ty {
+                    if let Some(class) = value.class() {
+                        if !self.table.is_subtype(class, t) {
+                            return Ok(true);
+                        }
+                    }
+                }
+                match slot {
+                    Some(s) => self.bind_then(fr, *s, value.clone(), emit),
+                    None => emit(self, fr),
+                }
+            }
+            PExpr::Name { slot, .. } => match fr[*slot as usize].clone() {
+                Some(bound) => {
+                    if self.values_equal(&bound, value)? {
+                        emit(self, fr)
+                    } else {
+                        Ok(true)
+                    }
+                }
+                None => self.bind_then(fr, *slot, value.clone(), emit),
+            },
+            PExpr::Result(slot) => match fr[*slot as usize].clone() {
+                Some(bound) => {
+                    if self.values_equal(&bound, value)? {
+                        emit(self, fr)
+                    } else {
+                        Ok(true)
+                    }
+                }
+                None => self.bind_then(fr, *slot, value.clone(), emit),
+            },
+            PExpr::As(a, b) => self.match_pat(fr, this, a, value, &mut |ev, fr| {
+                ev.match_pat(fr, this, b, value, emit)
+            }),
+            PExpr::OrPat(a, b) => {
+                if !self.match_pat(fr, this, a, value, emit)? {
+                    return Ok(false);
+                }
+                self.match_pat(fr, this, b, value, emit)
+            }
+            PExpr::Where(p, goal) => self.match_pat(fr, this, p, value, &mut |ev, fr| {
+                ev.solve(fr, this, goal, emit)
+            }),
+            PExpr::Call {
+                receiver,
+                name,
+                args,
+                kind,
+            } => {
+                // Constructor pattern: dispatch on the matched value's class
+                // (or the statically named class).
+                let class: String = match (kind, receiver) {
+                    (CallKind::StaticConstruct(c), _) => c.clone(),
+                    (CallKind::ClassCtor(c), None) => c.clone(),
+                    _ => value.class().unwrap_or_default().to_owned(),
+                };
+                let Some(pid) = self
+                    .plan
+                    .lookup_impl(&class, name)
+                    .or_else(|| self.plan.class_ctor(&class))
+                else {
+                    return Err(RtError::method_not_found(&class, name));
+                };
+                // If the runtime class differs and an equality constructor
+                // exists, convert first.
+                if let Some(vclass) = value.class() {
+                    if !self.table.is_subtype(vclass, &class) {
+                        if let Some(converted) = self.convert_via_equals(&class, value)? {
+                            return self.match_constructor(fr, &converted, pid, args, emit);
+                        }
+                        return Ok(true);
+                    }
+                }
+                self.match_constructor(fr, value, pid, args, emit)
+            }
+            PExpr::Binary(op, a, b) => {
+                // Invertible integer arithmetic: exactly one non-ground side.
+                let Some(target) = value.as_int() else {
+                    return Ok(true);
+                };
+                let a_ground = self.ground(fr, this, a);
+                let b_ground = self.ground(fr, this, b);
+                match (op, a_ground, b_ground) {
+                    (_, true, true) => {
+                        let v = self.eval(fr, this, pat)?;
+                        if self.values_equal(&v, value)? {
+                            emit(self, fr)
+                        } else {
+                            Ok(true)
+                        }
+                    }
+                    (BinOp::Add, true, false) => {
+                        let av = self.eval(fr, this, a)?.as_int().unwrap_or(0);
+                        self.match_pat(fr, this, b, &Value::Int(target - av), emit)
+                    }
+                    (BinOp::Add, false, true) => {
+                        let bv = self.eval(fr, this, b)?.as_int().unwrap_or(0);
+                        self.match_pat(fr, this, a, &Value::Int(target - bv), emit)
+                    }
+                    (BinOp::Sub, false, true) => {
+                        let bv = self.eval(fr, this, b)?.as_int().unwrap_or(0);
+                        self.match_pat(fr, this, a, &Value::Int(target + bv), emit)
+                    }
+                    (BinOp::Sub, true, false) => {
+                        let av = self.eval(fr, this, a)?.as_int().unwrap_or(0);
+                        self.match_pat(fr, this, b, &Value::Int(av - target), emit)
+                    }
+                    _ => Err(RtError::new(
+                        "cannot invert this arithmetic pattern at run time",
+                    )),
+                }
+            }
+            PExpr::Neg(a) => {
+                let Some(target) = value.as_int() else {
+                    return Ok(true);
+                };
+                self.match_pat(fr, this, a, &Value::Int(-target), emit)
+            }
+            other => {
+                let v = self.eval(fr, this, other)?;
+                if self.values_equal(&v, value)? {
+                    emit(self, fr)
+                } else {
+                    Ok(true)
+                }
+            }
+        }
+    }
+
+    /// Converts `value` into an instance of `class` using `class`'s equality
+    /// constructor (operationally: find a `class` object equal to `value`).
+    fn convert_via_equals(&mut self, class: &str, value: &Value) -> RtResult<Option<Value>> {
+        let plan = self.plan;
+        let Some(pid) = plan.lookup_impl(class, "equals") else {
+            return Ok(None);
+        };
+        let decl = &plan.method(pid).info.decl;
+        let MethodBody::Formula(body) = &decl.body else {
+            return Ok(None);
+        };
+        let mut env = Bindings::new();
+        if let Some(p) = decl.params.first() {
+            env.insert(p.name.clone(), value.clone());
+        }
+        let mut result = None;
+        self.try_equals_reconstruction(class, body, &env, &mut result)?;
+        Ok(result)
+    }
+
+    /// Handles equality-constructor bodies of the shape used in the paper
+    /// (Figure 4): a disjunction of `ctor_i(..) && n.ctor_i(..)` conjuncts.
+    fn try_equals_reconstruction(
+        &mut self,
+        class: &str,
+        body: &Formula,
+        env: &Bindings,
+        result: &mut Option<Value>,
+    ) -> RtResult<()> {
+        match body {
+            Formula::Or(a, b) | Formula::DisjointOr(a, b) => {
+                self.try_equals_reconstruction(class, a, env, result)?;
+                if result.is_none() {
+                    self.try_equals_reconstruction(class, b, env, result)?;
+                }
+                Ok(())
+            }
+            Formula::And(a, b) => {
+                // Expect `ctor(args...) && n.ctor(args...)`.
+                if let (Formula::Atom(own), Formula::Atom(other)) = (a.as_ref(), b.as_ref()) {
+                    if let (
+                        Expr::Call {
+                            name: own_name,
+                            receiver: None,
+                            ..
+                        },
+                        Expr::Call {
+                            name: other_name,
+                            receiver: Some(recv),
+                            ..
+                        },
+                    ) = (own, other)
+                    {
+                        if own_name == other_name {
+                            if let Expr::Var(param) = recv.as_ref() {
+                                if let Some(target) = env.get(param).cloned() {
+                                    // Deconstruct the target with the shared
+                                    // constructor, then rebuild in `class`.
+                                    if let Ok(rows) = self.deconstruct(&target, other_name) {
+                                        if let Some(row) = rows.first() {
+                                            let rebuilt =
+                                                self.construct(class, own_name, row.clone())?;
+                                            *result = Some(rebuilt);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Formula::Atom(Expr::Call {
+                receiver: Some(recv),
+                name,
+                ..
+            }) => {
+                // `n.zero()` style: the whole body is a predicate on the
+                // other object; rebuild the matching nullary constructor.
+                if let Expr::Var(param) = recv.as_ref() {
+                    if let Some(target) = env.get(param).cloned() {
+                        if self.matches_constructor(&target, name)? {
+                            *result = Some(self.construct(class, name, Vec::new())?);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ground evaluation
+    // ------------------------------------------------------------------
+
+    /// Whether every variable mentioned by the expression is bound.
+    fn ground(&self, fr: &Frame, this: Option<&Value>, e: &PExpr) -> bool {
+        match e {
+            PExpr::Int(_) | PExpr::Bool(_) | PExpr::Str(_) | PExpr::Null => true,
+            PExpr::This => this.is_some(),
+            PExpr::Result(s) => fr[*s as usize].is_some(),
+            PExpr::Wildcard | PExpr::Decl(..) => false,
+            PExpr::Name {
+                slot,
+                name,
+                class_ref,
+            } => {
+                fr[*slot as usize].is_some()
+                    || this
+                        .and_then(|t| t.class())
+                        .map(|c| self.table.field_type(c, name).is_some())
+                        .unwrap_or(false)
+                    || *class_ref
+            }
+            PExpr::Field(b, _) => self.ground(fr, this, b),
+            PExpr::Call { receiver, args, .. } => {
+                receiver
+                    .as_deref()
+                    .map(|r| self.ground(fr, this, r))
+                    .unwrap_or(true)
+                    && args.iter().all(|a| self.ground(fr, this, a))
+            }
+            PExpr::Index(a, b) | PExpr::Binary(_, a, b) => {
+                self.ground(fr, this, a) && self.ground(fr, this, b)
+            }
+            PExpr::NewArray(_, a) | PExpr::Neg(a) => self.ground(fr, this, a),
+            PExpr::Tuple(xs) => xs.iter().all(|x| self.ground(fr, this, x)),
+            PExpr::As(a, b) | PExpr::OrPat(a, b) => {
+                self.ground(fr, this, a) && self.ground(fr, this, b)
+            }
+            PExpr::Where(p, _) => self.ground(fr, this, p),
+        }
+    }
+
+    /// Evaluates a ground expression.
+    fn eval(&mut self, fr: &Frame, this: Option<&Value>, e: &PExpr) -> RtResult<Value> {
+        match e {
+            PExpr::Int(n) => Ok(Value::Int(*n)),
+            PExpr::Bool(b) => Ok(Value::Bool(*b)),
+            PExpr::Str(s) => Ok(Value::Str(s.clone())),
+            PExpr::Null => Ok(Value::Null),
+            PExpr::This => this
+                .cloned()
+                .ok_or_else(|| RtError::new("`this` is not in scope")),
+            PExpr::Result(s) => fr[*s as usize]
+                .clone()
+                .ok_or_else(|| RtError::new("`result` is not bound")),
+            PExpr::Name { slot, name, .. } => {
+                if let Some(v) = &fr[*slot as usize] {
+                    return Ok(v.clone());
+                }
+                if let Some(Value::Obj(o)) = this {
+                    if let Some(v) = o.fields.get(name) {
+                        return Ok(v.clone());
+                    }
+                }
+                Err(RtError::new(format!("unbound variable `{name}`")))
+            }
+            PExpr::Field(base, field) => {
+                let b = self.eval(fr, this, base)?;
+                match b {
+                    Value::Obj(o) => o
+                        .fields
+                        .get(field)
+                        .cloned()
+                        .ok_or_else(|| RtError::new(format!("no field `{field}`"))),
+                    other => Err(RtError::new(format!("field access on non-object {other}"))),
+                }
+            }
+            PExpr::Binary(op, a, b) => {
+                let x = self
+                    .eval(fr, this, a)?
+                    .as_int()
+                    .ok_or_else(|| RtError::new("arithmetic on non-integer"))?;
+                let y = self
+                    .eval(fr, this, b)?
+                    .as_int()
+                    .ok_or_else(|| RtError::new("arithmetic on non-integer"))?;
+                let v = match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(RtError::new("division by zero"));
+                        }
+                        x / y
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return Err(RtError::new("remainder by zero"));
+                        }
+                        x % y
+                    }
+                };
+                Ok(Value::Int(v))
+            }
+            PExpr::Neg(a) => {
+                let x = self
+                    .eval(fr, this, a)?
+                    .as_int()
+                    .ok_or_else(|| RtError::new("negation of non-integer"))?;
+                Ok(Value::Int(-x))
+            }
+            PExpr::Call {
+                receiver,
+                name,
+                args,
+                kind,
+            } => {
+                let arg_values: RtResult<Vec<Value>> =
+                    args.iter().map(|a| self.eval(fr, this, a)).collect();
+                let arg_values = arg_values?;
+                match kind {
+                    CallKind::StaticConstruct(class) => {
+                        self.construct(&class.clone(), name, arg_values)
+                    }
+                    CallKind::Instance => {
+                        let r = receiver
+                            .as_deref()
+                            .expect("instance call without a receiver");
+                        let recv = self.eval(fr, this, r)?;
+                        self.call_method(&recv, name, arg_values)
+                    }
+                    CallKind::ClassCtor(class) => {
+                        let pid = self.plan.class_ctor(class).ok_or_else(|| {
+                            RtError::new(format!("no class constructor for `{name}`"))
+                        })?;
+                        self.run_forward(pid, None, arg_values)
+                    }
+                    CallKind::Free => self.call_free(name, arg_values),
+                    CallKind::ThisMethod => match this {
+                        Some(t) => {
+                            let t = t.clone();
+                            self.call_method(&t, name, arg_values)
+                        }
+                        None => Err(RtError::new(format!("cannot resolve call `{name}`"))),
+                    },
+                    CallKind::Unresolved => {
+                        Err(RtError::new(format!("cannot resolve call `{name}`")))
+                    }
+                }
+            }
+            PExpr::Tuple(_) => Err(RtError::new("tuples are not first-class values")),
+            other => Err(RtError::new(format!("cannot evaluate {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn exec_block(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        stmts: &[StmtPlan],
+    ) -> RtResult<Flow> {
+        for stmt in stmts {
+            match self.exec_stmt(fr, this, stmt)? {
+                Flow::Normal => {}
+                r @ Flow::Return(_) => return Ok(r),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// First solution of a goal, as a frame snapshot.
+    fn first_solution(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        goal: &Goal,
+    ) -> RtResult<Option<Frame>> {
+        let mut sol = None;
+        self.solve(fr, this, goal, &mut |_, f| {
+            sol = Some(f.clone());
+            Ok(false)
+        })?;
+        Ok(sol)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        stmt: &StmtPlan,
+    ) -> RtResult<Flow> {
+        match stmt {
+            StmtPlan::Let(goal) => match self.first_solution(fr, this, goal)? {
+                Some(sol) => {
+                    *fr = sol;
+                    Ok(Flow::Normal)
+                }
+                None => Err(RtError::new("let statement failed to match")),
+            },
+            StmtPlan::Switch {
+                scrutinees,
+                cases,
+                bodies,
+                default,
+            } => {
+                let values: RtResult<Vec<Value>> =
+                    scrutinees.iter().map(|s| self.eval(fr, this, s)).collect();
+                let values = values?;
+                let save = fr.clone();
+                for case in cases {
+                    let mut matched = true;
+                    for (p, v) in case.patterns.iter().zip(values.iter()) {
+                        let mut sol: Option<Frame> = None;
+                        self.match_pat(fr, this, p, v, &mut |_, f| {
+                            sol = Some(f.clone());
+                            Ok(false)
+                        })?;
+                        match sol {
+                            Some(s) => *fr = s,
+                            None => {
+                                matched = false;
+                                break;
+                            }
+                        }
+                    }
+                    if matched {
+                        let body: &[StmtPlan] = match case.target {
+                            CaseTarget::Body(j) => &bodies[j],
+                            CaseTarget::Default => default.as_deref().unwrap_or(&[]),
+                            CaseTarget::FellOff => {
+                                *fr = save;
+                                return Err(RtError::new("switch fell off the end"));
+                            }
+                        };
+                        let flow = self.exec_block(fr, this, body);
+                        // The case's bindings are local to its body.
+                        *fr = save;
+                        return flow;
+                    }
+                    *fr = save.clone();
+                }
+                if let Some(d) = default {
+                    return self.exec_block(fr, this, d);
+                }
+                Err(RtError::new("non-exhaustive switch at run time"))
+            }
+            StmtPlan::Cond { arms, else_arm } => {
+                for (goal, body) in arms {
+                    if let Some(sol) = self.first_solution(fr, this, goal)? {
+                        let save = std::mem::replace(fr, sol);
+                        let flow = self.exec_block(fr, this, body);
+                        *fr = save;
+                        return flow;
+                    }
+                }
+                if let Some(body) = else_arm {
+                    return self.exec_block(fr, this, body);
+                }
+                Err(RtError::new("non-exhaustive cond at run time"))
+            }
+            StmtPlan::If { cond, then, els } => match self.first_solution(fr, this, cond)? {
+                Some(sol) => {
+                    let save = std::mem::replace(fr, sol);
+                    let flow = self.exec_block(fr, this, then);
+                    *fr = save;
+                    flow
+                }
+                None => match els {
+                    Some(e) => self.exec_block(fr, this, e),
+                    None => Ok(Flow::Normal),
+                },
+            },
+            StmtPlan::Foreach {
+                goal,
+                declared,
+                body,
+            } => {
+                let mut solutions: Vec<Frame> = Vec::new();
+                self.solve(fr, this, goal, &mut |_, f| {
+                    solutions.push(f.clone());
+                    Ok(true)
+                })?;
+                for mut b in solutions {
+                    // The loop body sees the solution's bindings plus any
+                    // updates made by earlier iterations to outer variables;
+                    // outer updates win over stale solution copies, except
+                    // for variables the formula declares.
+                    for s in 0..fr.len() {
+                        match (&fr[s], &b[s]) {
+                            (Some(v), None) => b[s] = Some(v.clone()),
+                            (Some(v), Some(w)) if w != v && !declared.contains(&(s as SlotId)) => {
+                                b[s] = Some(v.clone())
+                            }
+                            _ => {}
+                        }
+                    }
+                    let flow = self.exec_block(&mut b, this, body)?;
+                    // Propagate updates to variables that already existed.
+                    for s in 0..fr.len() {
+                        if fr[s].is_some() {
+                            fr[s] = b[s].clone();
+                        }
+                    }
+                    if let Flow::Return(v) = flow {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtPlan::While { cond, body } => {
+                let mut guard = 0;
+                loop {
+                    guard += 1;
+                    if guard > 1_000_000 {
+                        return Err(RtError::new("while loop exceeded iteration budget"));
+                    }
+                    match self.first_solution(fr, this, cond)? {
+                        Some(sol) => {
+                            *fr = sol;
+                            if let Flow::Return(v) = self.exec_block(fr, this, body)? {
+                                return Ok(Flow::Return(v));
+                            }
+                        }
+                        None => return Ok(Flow::Normal),
+                    }
+                }
+            }
+            StmtPlan::Return(e) => {
+                let v = match e {
+                    Some(expr) => self.eval(fr, this, expr)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtPlan::Assign(slot, e) => {
+                let v = self.eval(fr, this, e)?;
+                fr[*slot as usize] = Some(v);
+                Ok(Flow::Normal)
+            }
+            StmtPlan::AssignUnsupported(e) => {
+                let _ = self.eval(fr, this, e)?;
+                Err(RtError::new("unsupported assignment target"))
+            }
+            StmtPlan::Expr(e) => {
+                let _ = self.eval(fr, this, e)?;
+                Ok(Flow::Normal)
+            }
+            StmtPlan::Block(stmts) => {
+                let save = fr.clone();
+                let flow = self.exec_block(fr, this, stmts)?;
+                // Inner-only bindings are dropped; updates to outer
+                // variables persist.
+                for s in 0..fr.len() {
+                    if save[s].is_none() {
+                        fr[s] = None;
+                    }
+                }
+                Ok(flow)
+            }
+        }
+    }
+}

@@ -1,13 +1,22 @@
 //! # jmatch-runtime
 //!
-//! Dynamic semantics for the JMatch 2.0 reproduction: a tree-walking
-//! interpreter that gives modal abstractions their operational meaning. The
-//! paper compiles JMatch to Java_yield (coroutines) and then to Java (§2.3);
-//! this crate interprets the same programs directly, enumerating the
-//! solutions of declarative formulas with a callback-based generator — the
-//! moral equivalent of the `yield`-based translation.
+//! Dynamic semantics for the JMatch 2.0 reproduction. The paper compiles
+//! JMatch to Java_yield (coroutines) and then to Java, *statically* selecting
+//! a solved form per mode (§2.3); this crate executes the same programs
+//! through the corresponding two-stage pipeline:
 //!
-//! The interpreter supports:
+//! 1. [`jmatch_core::lower`] compiles every method body into a
+//!    mode-specialized query plan (one-time work per program), and
+//! 2. the **plan evaluator** ([`PlanInterp`]) runs those plans over flat
+//!    slot frames with explicit choice points.
+//!
+//! The original **tree-walking interpreter** ([`TreeWalker`]) — which
+//! re-discovers the solving order for every formula at every call — remains
+//! callable behind [`Engine::TreeWalk`] as a differential-testing oracle;
+//! `tests/differential.rs` runs every corpus program through both engines
+//! and asserts identical values, bindings, and enumeration order.
+//!
+//! Both engines support:
 //!
 //! * forward, backward (pattern-matching) and iterative modes of methods with
 //!   declarative bodies,
@@ -47,11 +56,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use jmatch_core::table::{ClassTable, MethodInfo};
-use jmatch_syntax::ast::*;
+pub mod eval;
+pub mod tree;
+
+pub use eval::PlanInterp;
+pub use tree::TreeWalker;
+
+use jmatch_core::lower::ProgramPlan;
+use jmatch_core::table::ClassTable;
+use jmatch_syntax::ast::{Expr, Formula};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A runtime value.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +81,7 @@ pub enum Value {
     /// The null reference.
     Null,
     /// An object: its runtime class and field values.
-    Obj(Rc<Object>),
+    Obj(Arc<Object>),
 }
 
 /// A heap object.
@@ -126,17 +142,84 @@ impl fmt::Display for Value {
     }
 }
 
+/// What went wrong, in a machine-inspectable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtErrorKind {
+    /// A method / constructor lookup failed.
+    MethodNotFound {
+        /// The class (or `<toplevel>`) the lookup started from.
+        scope: String,
+        /// The requested method name.
+        name: String,
+    },
+    /// A call supplied the wrong number of arguments.
+    ArityMismatch {
+        /// The qualified method name.
+        method: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        actual: usize,
+    },
+    /// A method was used in a mode it does not support.
+    ModeMismatch {
+        /// The qualified method name.
+        method: String,
+        /// The requested mode.
+        requested: String,
+    },
+    /// Any other runtime failure.
+    Other,
+}
+
 /// A runtime error (match failure, unsolvable formula, missing method, ...).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RtError {
     /// Description of the failure.
     pub message: String,
+    /// The structured failure category.
+    pub kind: RtErrorKind,
 }
 
 impl RtError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         RtError {
             message: message.into(),
+            kind: RtErrorKind::Other,
+        }
+    }
+
+    pub(crate) fn method_not_found(scope: &str, name: &str) -> Self {
+        RtError {
+            message: format!("method `{name}` not found on `{scope}`"),
+            kind: RtErrorKind::MethodNotFound {
+                scope: scope.to_owned(),
+                name: name.to_owned(),
+            },
+        }
+    }
+
+    pub(crate) fn arity_mismatch(method: &str, expected: usize, actual: usize) -> Self {
+        RtError {
+            message: format!("{method} expects {expected} argument(s), got {actual}"),
+            kind: RtErrorKind::ArityMismatch {
+                method: method.to_owned(),
+                expected,
+                actual,
+            },
+        }
+    }
+
+    pub(crate) fn mode_mismatch(method: &str, requested: &str) -> Self {
+        RtError {
+            message: format!(
+                "{method} does not support the {requested} mode: it has no declarative body"
+            ),
+            kind: RtErrorKind::ModeMismatch {
+                method: method.to_owned(),
+                requested: requested.to_owned(),
+            },
         }
     }
 }
@@ -156,347 +239,126 @@ pub type RtResult<T> = Result<T, RtError>;
 pub type Bindings = HashMap<String, Value>;
 
 /// Control flow out of a statement.
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return(Value),
 }
 
-/// The interpreter.
+/// Which execution engine an [`Interp`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The plan evaluator over lowered query plans (the default).
+    #[default]
+    Plan,
+    /// The legacy tree-walking interpreter, kept as a differential-testing
+    /// oracle.
+    TreeWalk,
+}
+
+/// The interpreter facade: one API, two engines.
+///
+/// [`Interp::new`] compiles the program's query plans once and executes them
+/// with the plan evaluator; [`Interp::with_engine`] selects the legacy
+/// tree-walker instead.
 #[derive(Debug, Clone)]
 pub struct Interp {
-    table: Rc<ClassTable>,
-    /// Safety valve against runaway recursion in declarative solving.
-    max_depth: usize,
+    engine: Engine,
+    tree: TreeWalker,
+    plan: Option<PlanInterp>,
 }
 
 impl Interp {
-    /// Creates an interpreter over a resolved program.
-    pub fn new(table: Rc<ClassTable>) -> Self {
+    /// Creates an interpreter over a resolved program, using the plan
+    /// evaluator. Lowering runs here — once per program, not per call.
+    pub fn new(table: Arc<ClassTable>) -> Self {
+        Self::with_engine(table, Engine::Plan)
+    }
+
+    /// Creates an interpreter with an explicit engine choice.
+    pub fn with_engine(table: Arc<ClassTable>, engine: Engine) -> Self {
+        let plan = match engine {
+            Engine::Plan => Some(PlanInterp::new(ProgramPlan::compile(Arc::clone(&table)))),
+            Engine::TreeWalk => None,
+        };
         Interp {
-            table,
-            max_depth: 10_000,
+            engine,
+            tree: TreeWalker::new(table),
+            plan,
         }
+    }
+
+    /// The engine this interpreter executes with.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The class table the interpreter runs against.
     pub fn table(&self) -> &ClassTable {
-        &self.table
+        self.tree.table()
     }
 
-    // ------------------------------------------------------------------
-    // Public entry points
-    // ------------------------------------------------------------------
+    /// The compiled program plan, when the plan engine is active.
+    pub fn plan(&self) -> Option<&Arc<ProgramPlan>> {
+        self.plan.as_ref().map(PlanInterp::plan)
+    }
 
     /// Invokes a named or class constructor of `class` in the forward mode.
     pub fn construct(&self, class: &str, ctor: &str, args: Vec<Value>) -> RtResult<Value> {
-        let minfo = self
-            .table
-            .lookup_method(class, ctor)
-            .or_else(|| self.table.lookup_class_constructor(class))
-            .cloned()
-            .ok_or_else(|| RtError::new(format!("no constructor `{ctor}` on `{class}`")))?;
-        // Resolve to the concrete implementation declared on `class` itself if
-        // the interface only declares the signature.
-        let impl_info = if matches!(minfo.decl.body, MethodBody::Absent) {
-            self.find_impl(class, ctor)
-                .ok_or_else(|| RtError::new(format!("`{class}.{ctor}` has no implementation")))?
-        } else {
-            minfo
-        };
-        self.run_forward(&impl_info, None, args)
+        match &self.plan {
+            Some(p) => p.construct(class, ctor, args),
+            None => self.tree.construct(class, ctor, args),
+        }
     }
 
     /// Calls a free-standing (top-level) method.
     pub fn call_free(&self, name: &str, args: Vec<Value>) -> RtResult<Value> {
-        let minfo = self
-            .table
-            .lookup_free_method(name)
-            .cloned()
-            .ok_or_else(|| RtError::new(format!("no top-level method `{name}`")))?;
-        self.run_forward(&minfo, None, args)
+        match &self.plan {
+            Some(p) => p.call_free(name, args),
+            None => self.tree.call_free(name, args),
+        }
     }
 
     /// Calls an instance method in the forward mode.
     pub fn call_method(&self, receiver: &Value, name: &str, args: Vec<Value>) -> RtResult<Value> {
-        let class = receiver
-            .class()
-            .ok_or_else(|| RtError::new("receiver is not an object"))?
-            .to_owned();
-        let minfo = self
-            .find_impl(&class, name)
-            .ok_or_else(|| RtError::new(format!("no method `{name}` on `{class}`")))?;
-        self.run_forward(&minfo, Some(receiver.clone()), args)
+        match &self.plan {
+            Some(p) => p.call_method(receiver, name, args),
+            None => self.tree.call_method(receiver, name, args),
+        }
     }
 
     /// Enumerates the solutions of matching `value` against the named
     /// constructor `ctor` (the backward mode): each solution is the vector of
     /// values bound to the constructor's parameters.
     pub fn deconstruct(&self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
-        let class = value
-            .class()
-            .ok_or_else(|| RtError::new("can only deconstruct objects"))?
-            .to_owned();
-        let minfo = self
-            .find_impl(&class, ctor)
-            .ok_or_else(|| RtError::new(format!("no constructor `{ctor}` on `{class}`")))?;
-        let params: Vec<String> = minfo.decl.params.iter().map(|p| p.name.clone()).collect();
-        let patterns: Vec<Expr> = minfo
-            .decl
-            .params
-            .iter()
-            .map(|p| Expr::Decl(p.ty.clone(), p.name.clone()))
-            .collect();
-        let mut solutions = Vec::new();
-        self.match_constructor(value, &minfo, &patterns, &Bindings::new(), &mut |b| {
-            let row: Vec<Value> = params
-                .iter()
-                .map(|p| b.get(p).cloned().unwrap_or(Value::Null))
-                .collect();
-            solutions.push(row);
-            true
-        })?;
-        Ok(solutions)
+        match &self.plan {
+            Some(p) => p.deconstruct(value, ctor),
+            None => self.tree.deconstruct(value, ctor),
+        }
     }
 
     /// Tests whether `value` matches the named constructor `ctor` (predicate
     /// use of a named constructor, e.g. `ZNat(0).zero()`).
     pub fn matches_constructor(&self, value: &Value, ctor: &str) -> RtResult<bool> {
-        Ok(!self.deconstruct(value, ctor)?.is_empty() || {
-            // Zero-parameter constructors produce an empty solution row set
-            // only when they fail; re-check via a direct predicate solve.
-            let class = value.class().unwrap_or_default().to_owned();
-            if let Some(minfo) = self.find_impl(&class, ctor) {
-                if minfo.decl.params.is_empty() {
-                    let mut found = false;
-                    self.match_constructor(value, &minfo, &[], &Bindings::new(), &mut |_| {
-                        found = true;
-                        false
-                    })?;
-                    found
-                } else {
-                    false
-                }
-            } else {
-                false
-            }
-        })
+        match &self.plan {
+            Some(p) => p.matches_constructor(value, ctor),
+            None => self.tree.matches_constructor(value, ctor),
+        }
     }
 
     /// Deep equality, using equality constructors (§3.2) across different
     /// implementations of the same abstraction.
     pub fn values_equal(&self, a: &Value, b: &Value) -> RtResult<bool> {
-        match (a, b) {
-            (Value::Obj(oa), Value::Obj(ob)) => {
-                if Rc::ptr_eq(oa, ob) {
-                    return Ok(true);
-                }
-                if oa.class == ob.class {
-                    if oa.fields.len() == ob.fields.len() {
-                        for (k, va) in &oa.fields {
-                            let Some(vb) = ob.fields.get(k) else {
-                                return Ok(false);
-                            };
-                            if !self.values_equal(va, vb)? {
-                                return Ok(false);
-                            }
-                        }
-                        return Ok(true);
-                    }
-                    return Ok(false);
-                }
-                // Different classes: try an equality constructor on either side.
-                for (lhs, rhs) in [(a, b), (b, a)] {
-                    let class = lhs.class().unwrap_or_default().to_owned();
-                    if let Some(eq) = self.find_impl(&class, "equals") {
-                        if let MethodBody::Formula(f) = &eq.decl.body {
-                            let mut env = Bindings::new();
-                            if let Some(p) = eq.decl.params.first() {
-                                env.insert(p.name.clone(), rhs.clone());
-                            }
-                            let mut found = false;
-                            self.solve(&env, Some(lhs), f, 0, &mut |_| {
-                                found = true;
-                                false
-                            })?;
-                            return Ok(found);
-                        }
-                    }
-                }
-                Ok(false)
-            }
-            _ => Ok(a == b),
+        match &self.plan {
+            Some(p) => p.values_equal(a, b),
+            None => self.tree.values_equal(a, b),
         }
     }
-
-    // ------------------------------------------------------------------
-    // Method execution
-    // ------------------------------------------------------------------
-
-    /// Finds the implementation of `name` starting from a concrete class
-    /// (searching the class itself, then supertypes with bodies).
-    fn find_impl(&self, class: &str, name: &str) -> Option<MethodInfo> {
-        let info = self.table.type_info(class)?;
-        if let Some(m) = info
-            .methods
-            .iter()
-            .find(|m| m.decl.name == name && !matches!(m.decl.body, MethodBody::Absent))
-        {
-            return Some(m.clone());
-        }
-        for sup in &info.supertypes {
-            if let Some(m) = self.find_impl(sup, name) {
-                return Some(m);
-            }
-        }
-        None
-    }
-
-    /// Runs a method in its forward mode: parameters bound to `args`.
-    fn run_forward(
-        &self,
-        minfo: &MethodInfo,
-        this: Option<Value>,
-        args: Vec<Value>,
-    ) -> RtResult<Value> {
-        if args.len() != minfo.decl.params.len() {
-            return Err(RtError::new(format!(
-                "{} expects {} arguments, got {}",
-                minfo.qualified_name(),
-                minfo.decl.params.len(),
-                args.len()
-            )));
-        }
-        let mut env = Bindings::new();
-        for (p, v) in minfo.decl.params.iter().zip(args) {
-            env.insert(p.name.clone(), v);
-        }
-        match &minfo.decl.body {
-            MethodBody::Absent => Err(RtError::new(format!(
-                "{} has no implementation",
-                minfo.qualified_name()
-            ))),
-            MethodBody::Formula(f) => {
-                if minfo.constructs_owner() {
-                    // Construction: the fields of the new object are unknowns
-                    // solved by the body.
-                    let owner = self.table.type_info(&minfo.owner).ok_or_else(|| {
-                        RtError::new(format!("unknown owner type {}", minfo.owner))
-                    })?;
-                    let field_names: Vec<String> =
-                        owner.fields.iter().map(|f| f.name.clone()).collect();
-                    let mut result = None;
-                    self.solve(&env, this.as_ref(), f, 0, &mut |b| {
-                        let mut fields = HashMap::new();
-                        for fname in &field_names {
-                            fields.insert(
-                                fname.clone(),
-                                b.get(fname).cloned().unwrap_or(Value::Null),
-                            );
-                        }
-                        // A `result = ...` equation (as in Figure 1) takes
-                        // precedence over field solving.
-                        result = Some(b.get("result").cloned().unwrap_or(Value::Obj(Rc::new(
-                            Object {
-                                class: minfo.owner.clone(),
-                                fields,
-                            },
-                        ))));
-                        false
-                    })?;
-                    result.ok_or_else(|| {
-                        RtError::new(format!("{} failed to match", minfo.qualified_name()))
-                    })
-                } else {
-                    // Ordinary method: solve for `result` (boolean methods
-                    // default to "is the body satisfiable").
-                    let mut result = None;
-                    let mut any = false;
-                    self.solve(&env, this.as_ref(), f, 0, &mut |b| {
-                        any = true;
-                        result = b.get("result").cloned();
-                        false
-                    })?;
-                    match (&minfo.decl.return_type, result) {
-                        (Some(Type::Boolean), r) => Ok(r.unwrap_or(Value::Bool(any))),
-                        (_, Some(r)) => Ok(r),
-                        (Some(Type::Void), None) => Ok(Value::Null),
-                        (_, None) if any => Ok(Value::Bool(true)),
-                        (_, None) => Err(RtError::new(format!(
-                            "{} produced no result",
-                            minfo.qualified_name()
-                        ))),
-                    }
-                }
-            }
-            MethodBody::Block(stmts) => {
-                let mut env = env;
-                match self.exec_block(&mut env, this.as_ref(), stmts)? {
-                    Flow::Return(v) => Ok(v),
-                    Flow::Normal => Ok(Value::Null),
-                }
-            }
-        }
-    }
-
-    /// Matches `value` against a constructor with argument patterns,
-    /// enumerating solutions (the backward / iterative mode).
-    fn match_constructor(
-        &self,
-        value: &Value,
-        minfo: &MethodInfo,
-        arg_patterns: &[Expr],
-        outer: &Bindings,
-        emit: &mut dyn FnMut(&Bindings) -> bool,
-    ) -> RtResult<bool> {
-        let MethodBody::Formula(body) = &minfo.decl.body else {
-            return Err(RtError::new(format!(
-                "constructor {} has no declarative body",
-                minfo.qualified_name()
-            )));
-        };
-        // Solve the body with `this` = the matched value and the parameters
-        // unknown; then match each solution's parameter values against the
-        // argument patterns.
-        let env = Bindings::new();
-        let params: Vec<Param> = minfo.decl.params.clone();
-        let mut keep_going = true;
-        self.solve(&env, Some(value), body, 0, &mut |b| {
-            // Values for the constructor parameters under this solution.
-            let mut env2 = outer.clone();
-            let mut ok = true;
-            for (i, p) in params.iter().enumerate() {
-                let Some(v) = b.get(&p.name).cloned() else {
-                    ok = false;
-                    break;
-                };
-                if let Some(pattern) = arg_patterns.get(i) {
-                    match self.match_pattern_first(&env2, None, pattern, &v) {
-                        Ok(Some(newenv)) => env2 = newenv,
-                        Ok(None) => {
-                            ok = false;
-                            break;
-                        }
-                        Err(_) => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-            }
-            if ok {
-                keep_going = emit(&env2);
-            }
-            keep_going
-        })?;
-        Ok(!keep_going)
-    }
-
-    // ------------------------------------------------------------------
-    // Declarative solving
-    // ------------------------------------------------------------------
 
     /// Enumerates solutions of a formula. `emit` returns `false` to stop.
-    /// Returns `Ok(())`; enumeration state is carried by the callback.
+    ///
+    /// With the plan engine, the formula is lowered on the fly against the
+    /// entry bindings; `depth` is ignored. With the tree-walker, `depth`
+    /// seeds the recursion guard, as before.
     pub fn solve(
         &self,
         env: &Bindings,
@@ -505,943 +367,17 @@ impl Interp {
         depth: usize,
         emit: &mut dyn FnMut(&Bindings) -> bool,
     ) -> RtResult<()> {
-        if depth > self.max_depth {
-            return Err(RtError::new("solver recursion limit exceeded"));
-        }
-        match f {
-            Formula::Bool(true) => {
-                emit(env);
-                Ok(())
-            }
-            Formula::Bool(false) => Ok(()),
-            Formula::And(..) => {
-                let mut conjuncts = Vec::new();
-                flatten_and(f, &mut conjuncts);
-                self.solve_conjuncts(env, this, &conjuncts, depth, emit)
-            }
-            Formula::Or(a, b) | Formula::DisjointOr(a, b) => {
-                self.solve(env, this, a, depth + 1, emit)?;
-                self.solve(env, this, b, depth + 1, emit)
-            }
-            Formula::Not(inner) => {
-                let mut found = false;
-                self.solve(env, this, inner, depth + 1, &mut |_| {
-                    found = true;
-                    false
-                })?;
-                if !found {
-                    emit(env);
-                }
-                Ok(())
-            }
-            Formula::Cmp(op, lhs, rhs) => self.solve_cmp(env, this, *op, lhs, rhs, depth, emit),
-            Formula::Atom(e) => self.solve_atom(env, this, e, depth, emit),
-        }
-    }
-
-    /// Solves a conjunction, reordering so that conjuncts whose unknowns can
-    /// be bound are solved first (the paper's left-to-right-as-possible
-    /// solving order, §2.3).
-    fn solve_conjuncts(
-        &self,
-        env: &Bindings,
-        this: Option<&Value>,
-        conjuncts: &[Formula],
-        depth: usize,
-        emit: &mut dyn FnMut(&Bindings) -> bool,
-    ) -> RtResult<()> {
-        if conjuncts.is_empty() {
-            emit(env);
-            return Ok(());
-        }
-        let ready_idx = conjuncts
-            .iter()
-            .position(|c| self.conjunct_ready(env, this, c))
-            .ok_or_else(|| {
-                RtError::new(
-                    "formula is not solvable: no conjunct can run with the current bindings",
-                )
-            })?;
-        let chosen = &conjuncts[ready_idx];
-        let rest: Vec<Formula> = conjuncts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != ready_idx)
-            .map(|(_, c)| c.clone())
-            .collect();
-        let mut err = None;
-        self.solve(
-            env,
-            this,
-            chosen,
-            depth + 1,
-            &mut |e1| match self.solve_conjuncts(e1, this, &rest, depth + 1, emit) {
-                Ok(()) => true,
-                Err(e) => {
-                    err = Some(e);
-                    false
-                }
-            },
-        )?;
-        err.map_or(Ok(()), Err)
-    }
-
-    /// Whether a conjunct can be solved with the current bindings.
-    fn conjunct_ready(&self, env: &Bindings, this: Option<&Value>, f: &Formula) -> bool {
-        match f {
-            Formula::Bool(_) => true,
-            Formula::Cmp(CmpOp::Eq, l, r) => {
-                self.is_ground(env, this, l) || self.is_ground(env, this, r)
-            }
-            Formula::Cmp(_, l, r) => self.is_ground(env, this, l) && self.is_ground(env, this, r),
-            Formula::Atom(Expr::Call { receiver, .. }) => match receiver {
-                Some(r) => self.is_ground(env, this, r),
-                None => true,
-            },
-            Formula::Atom(e) => self.is_ground(env, this, e),
-            Formula::Not(inner) => self.conjunct_ready(env, this, inner),
-            Formula::And(a, b) | Formula::Or(a, b) | Formula::DisjointOr(a, b) => {
-                self.conjunct_ready(env, this, a) && self.conjunct_ready(env, this, b)
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn solve_cmp(
-        &self,
-        env: &Bindings,
-        this: Option<&Value>,
-        op: CmpOp,
-        lhs: &Expr,
-        rhs: &Expr,
-        depth: usize,
-        emit: &mut dyn FnMut(&Bindings) -> bool,
-    ) -> RtResult<()> {
-        if op == CmpOp::Eq {
-            // Pattern disjunction distributes over the equation: `x = p1 # p2`
-            // tries both alternatives (`|` behaves the same operationally, its
-            // disjointness having been verified statically).
-            if let Expr::OrPat(a, b) | Expr::DisjointOr(a, b) = rhs {
-                self.solve_cmp(env, this, CmpOp::Eq, lhs, a, depth + 1, emit)?;
-                return self.solve_cmp(env, this, CmpOp::Eq, lhs, b, depth + 1, emit);
-            }
-            if let Expr::OrPat(a, b) | Expr::DisjointOr(a, b) = lhs {
-                self.solve_cmp(env, this, CmpOp::Eq, a, rhs, depth + 1, emit)?;
-                return self.solve_cmp(env, this, CmpOp::Eq, b, rhs, depth + 1, emit);
-            }
-            // Tuple equations decompose componentwise.
-            if let (Expr::Tuple(ls), Expr::Tuple(rs)) = (lhs, rhs) {
-                if ls.len() == rs.len() {
-                    let conj = ls
-                        .iter()
-                        .zip(rs.iter())
-                        .map(|(l, r)| Formula::Cmp(CmpOp::Eq, l.clone(), r.clone()))
-                        .reduce(Formula::and)
-                        .unwrap_or(Formula::Bool(true));
-                    return self.solve(env, this, &conj, depth + 1, emit);
-                }
-            }
-            let lhs_ground = self.is_ground(env, this, lhs);
-            let rhs_ground = self.is_ground(env, this, rhs);
-            return match (lhs_ground, rhs_ground) {
-                (true, true) => {
-                    let a = self.eval(env, this, lhs)?;
-                    let b = self.eval(env, this, rhs)?;
-                    if self.values_equal(&a, &b)? {
-                        emit(env);
-                    }
-                    Ok(())
-                }
-                (true, false) => {
-                    let v = self.eval(env, this, lhs)?;
-                    self.match_pattern(env, this, rhs, &v, depth, emit)
-                }
-                (false, true) => {
-                    let v = self.eval(env, this, rhs)?;
-                    self.match_pattern(env, this, lhs, &v, depth, emit)
-                }
-                (false, false) => Err(RtError::new(format!(
-                    "equation with unknowns on both sides is not solvable: {lhs:?} = {rhs:?}"
-                ))),
-            };
-        }
-        // Ordering comparisons require both sides ground.
-        let a = self.eval(env, this, lhs)?;
-        let b = self.eval(env, this, rhs)?;
-        let (x, y) = match (a.as_int(), b.as_int()) {
-            (Some(x), Some(y)) => (x, y),
-            _ => {
-                if op == CmpOp::Ne {
-                    if !self.values_equal(&a, &b)? {
-                        emit(env);
-                    }
-                    return Ok(());
-                }
-                return Err(RtError::new("ordering comparison on non-integers"));
-            }
-        };
-        let holds = match op {
-            CmpOp::Le => x <= y,
-            CmpOp::Lt => x < y,
-            CmpOp::Ge => x >= y,
-            CmpOp::Gt => x > y,
-            CmpOp::Ne => x != y,
-            CmpOp::Eq => x == y,
-        };
-        if holds {
-            emit(env);
-        }
-        Ok(())
-    }
-
-    fn solve_atom(
-        &self,
-        env: &Bindings,
-        this: Option<&Value>,
-        e: &Expr,
-        _depth: usize,
-        emit: &mut dyn FnMut(&Bindings) -> bool,
-    ) -> RtResult<()> {
-        match e {
-            // A named-constructor predicate / pattern on the current receiver,
-            // possibly binding unknown arguments: `succ(Nat y)`, `n.zero()`.
-            Expr::Call {
-                receiver,
-                name,
-                args,
-            } => {
-                let subject: Value = match receiver {
-                    Some(r) if self.is_ground(env, this, r) => self.eval(env, this, r)?,
-                    None => this
-                        .cloned()
-                        .ok_or_else(|| RtError::new("predicate call without a receiver"))?,
-                    Some(_) => {
-                        return Err(RtError::new("predicate receiver is not ground"));
-                    }
-                };
-                match &subject {
-                    Value::Obj(o) => {
-                        let class = o.class.clone();
-                        let Some(minfo) = self.find_impl(&class, name) else {
-                            return Err(RtError::new(format!("no `{name}` on `{class}`")));
-                        };
-                        self.match_constructor(&subject, &minfo, args, env, emit)?;
-                        Ok(())
-                    }
-                    Value::Bool(b) => {
-                        if *b {
-                            emit(env);
-                        }
-                        Ok(())
-                    }
-                    other => Err(RtError::new(format!(
-                        "cannot use `{other}` as a predicate receiver"
-                    ))),
-                }
-            }
-            Expr::Decl(..) => {
-                // An uninitialized declaration binds nothing useful at runtime.
-                emit(env);
-                Ok(())
-            }
-            other => {
-                let v = self.eval(env, this, other)?;
-                if v.as_bool() == Some(true) {
-                    emit(env);
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// Matches a pattern against a known value, binding declared variables.
-    fn match_pattern(
-        &self,
-        env: &Bindings,
-        this: Option<&Value>,
-        pattern: &Expr,
-        value: &Value,
-        depth: usize,
-        emit: &mut dyn FnMut(&Bindings) -> bool,
-    ) -> RtResult<()> {
-        match pattern {
-            Expr::Wildcard => {
-                emit(env);
-                Ok(())
-            }
-            Expr::Decl(ty, name) => {
-                if let Type::Named(t) = ty {
-                    if let Some(class) = value.class() {
-                        if !self.table.is_subtype(class, t) {
-                            return Ok(());
-                        }
-                    }
-                }
-                let mut e2 = env.clone();
-                if name != "_" {
-                    e2.insert(name.clone(), value.clone());
-                }
-                emit(&e2);
-                Ok(())
-            }
-            Expr::Var(name) => match env.get(name) {
-                Some(bound) => {
-                    if self.values_equal(bound, value)? {
-                        emit(env);
-                    }
-                    Ok(())
-                }
-                None => {
-                    let mut e2 = env.clone();
-                    e2.insert(name.clone(), value.clone());
-                    emit(&e2);
-                    Ok(())
-                }
-            },
-            Expr::Result => match env.get("result") {
-                Some(bound) => {
-                    if self.values_equal(bound, value)? {
-                        emit(env);
-                    }
-                    Ok(())
-                }
-                None => {
-                    let mut e2 = env.clone();
-                    e2.insert("result".into(), value.clone());
-                    emit(&e2);
-                    Ok(())
-                }
-            },
-            Expr::As(a, b) => {
-                let mut err = None;
-                self.match_pattern(env, this, a, value, depth + 1, &mut |e1| match self
-                    .match_pattern(e1, this, b, value, depth + 1, emit)
-                {
-                    Ok(()) => true,
-                    Err(e) => {
-                        err = Some(e);
-                        false
-                    }
-                })?;
-                err.map_or(Ok(()), Err)
-            }
-            Expr::OrPat(a, b) | Expr::DisjointOr(a, b) => {
-                self.match_pattern(env, this, a, value, depth + 1, emit)?;
-                self.match_pattern(env, this, b, value, depth + 1, emit)
-            }
-            Expr::Where(p, f) => {
-                let mut err = None;
-                self.match_pattern(env, this, p, value, depth + 1, &mut |e1| match self.solve(
-                    e1,
-                    this,
-                    f,
-                    depth + 1,
-                    emit,
-                ) {
-                    Ok(()) => true,
-                    Err(e) => {
-                        err = Some(e);
-                        false
-                    }
-                })?;
-                err.map_or(Ok(()), Err)
-            }
-            Expr::Call {
-                receiver,
-                name,
-                args,
-            } => {
-                // Constructor pattern: dispatch on the matched value's class
-                // (or the statically named class for `Class(...)` patterns).
-                let class = match receiver {
-                    Some(r) => match r.as_ref() {
-                        Expr::Var(c) if self.table.type_info(c).is_some() => c.clone(),
-                        _ => value.class().unwrap_or_default().to_owned(),
-                    },
-                    None => {
-                        if self.table.type_info(name).is_some() {
-                            name.clone()
-                        } else {
-                            value.class().unwrap_or_default().to_owned()
-                        }
-                    }
-                };
-                let lookup_name = if self.table.type_info(name).is_some() {
-                    // A class-constructor pattern like `ZNat(val - 1)`.
-                    name.clone()
-                } else {
-                    name.clone()
-                };
-                let target = if self
-                    .table
-                    .is_subtype(value.class().unwrap_or_default(), &class)
-                    || value.class().is_none()
-                {
-                    value.clone()
-                } else {
-                    // The value is not an instance of the pattern's class: use
-                    // the equality constructor to shift views (§3.2).
-                    value.clone()
-                };
-                let Some(minfo) = self
-                    .find_impl(&class, &lookup_name)
-                    .or_else(|| self.table.lookup_class_constructor(&class).cloned())
-                else {
-                    return Err(RtError::new(format!("no `{name}` on `{class}`")));
-                };
-                // If the runtime class differs and an equality constructor
-                // exists, convert first.
-                if let Some(vclass) = target.class() {
-                    if !self.table.is_subtype(vclass, &class) {
-                        if let Some(converted) = self.convert_via_equals(&class, &target)? {
-                            self.match_constructor(&converted, &minfo, args, env, emit)?;
-                            return Ok(());
-                        }
-                        return Ok(());
-                    }
-                }
-                self.match_constructor(&target, &minfo, args, env, emit)?;
-                Ok(())
-            }
-            Expr::Binary(op, a, b) => {
-                // Invertible integer arithmetic: exactly one non-ground side.
-                let Some(target) = value.as_int() else {
-                    return Ok(());
-                };
-                let a_ground = self.is_ground(env, this, a);
-                let b_ground = self.is_ground(env, this, b);
-                match (op, a_ground, b_ground) {
-                    (_, true, true) => {
-                        let v = self.eval(env, this, pattern)?;
-                        if self.values_equal(&v, value)? {
-                            emit(env);
-                        }
-                        Ok(())
-                    }
-                    (BinOp::Add, true, false) => {
-                        let av = self.eval(env, this, a)?.as_int().unwrap_or(0);
-                        self.match_pattern(env, this, b, &Value::Int(target - av), depth + 1, emit)
-                    }
-                    (BinOp::Add, false, true) => {
-                        let bv = self.eval(env, this, b)?.as_int().unwrap_or(0);
-                        self.match_pattern(env, this, a, &Value::Int(target - bv), depth + 1, emit)
-                    }
-                    (BinOp::Sub, false, true) => {
-                        let bv = self.eval(env, this, b)?.as_int().unwrap_or(0);
-                        self.match_pattern(env, this, a, &Value::Int(target + bv), depth + 1, emit)
-                    }
-                    (BinOp::Sub, true, false) => {
-                        let av = self.eval(env, this, a)?.as_int().unwrap_or(0);
-                        self.match_pattern(env, this, b, &Value::Int(av - target), depth + 1, emit)
-                    }
-                    _ => Err(RtError::new(
-                        "cannot invert this arithmetic pattern at run time",
-                    )),
-                }
-            }
-            Expr::Neg(a) => {
-                let Some(target) = value.as_int() else {
-                    return Ok(());
-                };
-                self.match_pattern(env, this, a, &Value::Int(-target), depth + 1, emit)
-            }
-            other => {
-                let v = self.eval(env, this, other)?;
-                if self.values_equal(&v, value)? {
-                    emit(env);
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// First solution of a pattern match, if any.
-    fn match_pattern_first(
-        &self,
-        env: &Bindings,
-        this: Option<&Value>,
-        pattern: &Expr,
-        value: &Value,
-    ) -> RtResult<Option<Bindings>> {
-        let mut found = None;
-        self.match_pattern(env, this, pattern, value, 0, &mut |b| {
-            found = Some(b.clone());
-            false
-        })?;
-        Ok(found)
-    }
-
-    /// Converts `value` into an instance of `class` using `class`'s equality
-    /// constructor (operationally: find a `class` object equal to `value`).
-    fn convert_via_equals(&self, class: &str, value: &Value) -> RtResult<Option<Value>> {
-        let Some(eq) = self.find_impl(class, "equals") else {
-            return Ok(None);
-        };
-        let MethodBody::Formula(body) = &eq.decl.body else {
-            return Ok(None);
-        };
-        // Solve for the fields of a fresh `class` object such that
-        // `new.equals(value)` holds.
-        let Some(owner) = self.table.type_info(class) else {
-            return Ok(None);
-        };
-        let mut env = Bindings::new();
-        if let Some(p) = eq.decl.params.first() {
-            env.insert(p.name.clone(), value.clone());
-        }
-        // The receiver's fields are unknowns; represent the receiver lazily by
-        // solving with a "template" object whose fields come from bindings.
-        let field_names: Vec<String> = owner.fields.iter().map(|f| f.name.clone()).collect();
-        let mut result = None;
-        // Without full constraint solving over object fields we support the
-        // common case: the equality constructor's body only uses named
-        // constructors of `class` (e.g. `zero() && n.zero() | succ(y) && n.succ(y)`),
-        // which we can run by matching on the argument and reconstructing.
-        self.try_equals_reconstruction(class, body, &env, &mut result)?;
-        if result.is_some() {
-            return Ok(result);
-        }
-        let _ = field_names;
-        Ok(None)
-    }
-
-    /// Handles equality-constructor bodies of the shape used in the paper
-    /// (Figure 4): a disjunction of `ctor_i(..) && n.ctor_i(..)` conjuncts.
-    fn try_equals_reconstruction(
-        &self,
-        class: &str,
-        body: &Formula,
-        env: &Bindings,
-        result: &mut Option<Value>,
-    ) -> RtResult<()> {
-        match body {
-            Formula::Or(a, b) | Formula::DisjointOr(a, b) => {
-                self.try_equals_reconstruction(class, a, env, result)?;
-                if result.is_none() {
-                    self.try_equals_reconstruction(class, b, env, result)?;
-                }
-                Ok(())
-            }
-            Formula::And(a, b) => {
-                // Expect `ctor(args...) && n.ctor(args...)`.
-                if let (Formula::Atom(own), Formula::Atom(other)) = (a.as_ref(), b.as_ref()) {
-                    if let (
-                        Expr::Call {
-                            name: own_name,
-                            args: own_args,
-                            receiver: None,
-                        },
-                        Expr::Call {
-                            name: other_name,
-                            args: other_args,
-                            receiver: Some(recv),
-                        },
-                    ) = (own, other)
-                    {
-                        if own_name == other_name {
-                            if let Expr::Var(param) = recv.as_ref() {
-                                if let Some(target) = env.get(param) {
-                                    // Deconstruct the target with the shared
-                                    // constructor, then rebuild in `class`.
-                                    if let Ok(rows) = self.deconstruct(target, other_name) {
-                                        if let Some(row) = rows.first() {
-                                            let rebuilt =
-                                                self.construct(class, own_name, row.clone())?;
-                                            let _ = (own_args, other_args);
-                                            *result = Some(rebuilt);
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                Ok(())
-            }
-            Formula::Atom(Expr::Call {
-                receiver: Some(recv),
-                name,
-                ..
-            }) => {
-                // `n.zero()` style: the whole body is a predicate on the other
-                // object; rebuild the matching nullary constructor.
-                if let Expr::Var(param) = recv.as_ref() {
-                    if let Some(target) = env.get(param) {
-                        if self.matches_constructor(target, name)? {
-                            *result = Some(self.construct(class, name, Vec::new())?);
-                        }
-                    }
-                }
-                Ok(())
-            }
-            _ => Ok(()),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Ground evaluation
-    // ------------------------------------------------------------------
-
-    /// Whether every variable mentioned by the expression is bound.
-    fn is_ground(&self, env: &Bindings, this: Option<&Value>, e: &Expr) -> bool {
-        match e {
-            Expr::IntLit(_) | Expr::BoolLit(_) | Expr::StrLit(_) | Expr::Null => true,
-            Expr::This => this.is_some(),
-            Expr::Result => env.contains_key("result"),
-            Expr::Wildcard | Expr::Decl(..) => false,
-            Expr::Var(name) => {
-                env.contains_key(name)
-                    || this
-                        .and_then(|t| t.class())
-                        .map(|c| self.table.field_type(c, name).is_some())
-                        .unwrap_or(false)
-                    || self.table.type_info(name).is_some()
-            }
-            Expr::Field(b, _) => self.is_ground(env, this, b),
-            Expr::Call { receiver, args, .. } => {
-                receiver
-                    .as_deref()
-                    .map(|r| self.is_ground(env, this, r))
-                    .unwrap_or(true)
-                    && args.iter().all(|a| self.is_ground(env, this, a))
-            }
-            Expr::Index(a, b) | Expr::Binary(_, a, b) => {
-                self.is_ground(env, this, a) && self.is_ground(env, this, b)
-            }
-            Expr::NewArray(_, a) | Expr::Neg(a) => self.is_ground(env, this, a),
-            Expr::Tuple(xs) => xs.iter().all(|x| self.is_ground(env, this, x)),
-            Expr::As(a, b) | Expr::OrPat(a, b) | Expr::DisjointOr(a, b) => {
-                self.is_ground(env, this, a) && self.is_ground(env, this, b)
-            }
-            Expr::Where(p, _) => self.is_ground(env, this, p),
+        match &self.plan {
+            Some(p) => p.solve(env, this, f, emit),
+            None => self.tree.solve(env, this, f, depth, emit),
         }
     }
 
     /// Evaluates a ground expression.
     pub fn eval(&self, env: &Bindings, this: Option<&Value>, e: &Expr) -> RtResult<Value> {
-        match e {
-            Expr::IntLit(n) => Ok(Value::Int(*n)),
-            Expr::BoolLit(b) => Ok(Value::Bool(*b)),
-            Expr::StrLit(s) => Ok(Value::Str(s.clone())),
-            Expr::Null => Ok(Value::Null),
-            Expr::This => this
-                .cloned()
-                .ok_or_else(|| RtError::new("`this` is not in scope")),
-            Expr::Result => env
-                .get("result")
-                .cloned()
-                .ok_or_else(|| RtError::new("`result` is not bound")),
-            Expr::Var(name) => {
-                if let Some(v) = env.get(name) {
-                    return Ok(v.clone());
-                }
-                if let Some(Value::Obj(o)) = this {
-                    if let Some(v) = o.fields.get(name) {
-                        return Ok(v.clone());
-                    }
-                }
-                Err(RtError::new(format!("unbound variable `{name}`")))
-            }
-            Expr::Field(base, field) => {
-                let b = self.eval(env, this, base)?;
-                match b {
-                    Value::Obj(o) => o
-                        .fields
-                        .get(field)
-                        .cloned()
-                        .ok_or_else(|| RtError::new(format!("no field `{field}`"))),
-                    other => Err(RtError::new(format!("field access on non-object {other}"))),
-                }
-            }
-            Expr::Binary(op, a, b) => {
-                let x = self
-                    .eval(env, this, a)?
-                    .as_int()
-                    .ok_or_else(|| RtError::new("arithmetic on non-integer"))?;
-                let y = self
-                    .eval(env, this, b)?
-                    .as_int()
-                    .ok_or_else(|| RtError::new("arithmetic on non-integer"))?;
-                let v = match op {
-                    BinOp::Add => x + y,
-                    BinOp::Sub => x - y,
-                    BinOp::Mul => x * y,
-                    BinOp::Div => {
-                        if y == 0 {
-                            return Err(RtError::new("division by zero"));
-                        }
-                        x / y
-                    }
-                    BinOp::Rem => {
-                        if y == 0 {
-                            return Err(RtError::new("remainder by zero"));
-                        }
-                        x % y
-                    }
-                };
-                Ok(Value::Int(v))
-            }
-            Expr::Neg(a) => {
-                let x = self
-                    .eval(env, this, a)?
-                    .as_int()
-                    .ok_or_else(|| RtError::new("negation of non-integer"))?;
-                Ok(Value::Int(-x))
-            }
-            Expr::Call {
-                receiver,
-                name,
-                args,
-            } => {
-                let arg_values: RtResult<Vec<Value>> =
-                    args.iter().map(|a| self.eval(env, this, a)).collect();
-                let arg_values = arg_values?;
-                match receiver.as_deref() {
-                    Some(Expr::Var(class)) if self.table.type_info(class).is_some() => {
-                        self.construct(class, name, arg_values)
-                    }
-                    Some(r) => {
-                        let recv = self.eval(env, this, r)?;
-                        self.call_method(&recv, name, arg_values)
-                    }
-                    None => {
-                        if self.table.type_info(name).is_some() {
-                            // Class constructor `ZNat(2)`.
-                            let ctor = self
-                                .table
-                                .lookup_class_constructor(name)
-                                .cloned()
-                                .ok_or_else(|| {
-                                    RtError::new(format!("no class constructor for `{name}`"))
-                                })?;
-                            return self.run_forward(&ctor, None, arg_values);
-                        }
-                        if self.table.lookup_free_method(name).is_some() {
-                            return self.call_free(name, arg_values);
-                        }
-                        if let Some(t) = this {
-                            return self.call_method(t, name, arg_values);
-                        }
-                        Err(RtError::new(format!("cannot resolve call `{name}`")))
-                    }
-                }
-            }
-            Expr::Tuple(_) => Err(RtError::new("tuples are not first-class values")),
-            other => Err(RtError::new(format!("cannot evaluate {other:?}"))),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Statements
-    // ------------------------------------------------------------------
-
-    fn exec_block(
-        &self,
-        env: &mut Bindings,
-        this: Option<&Value>,
-        stmts: &[Stmt],
-    ) -> RtResult<Flow> {
-        for stmt in stmts {
-            match self.exec_stmt(env, this, stmt)? {
-                Flow::Normal => {}
-                r @ Flow::Return(_) => return Ok(r),
-            }
-        }
-        Ok(Flow::Normal)
-    }
-
-    fn exec_stmt(&self, env: &mut Bindings, this: Option<&Value>, stmt: &Stmt) -> RtResult<Flow> {
-        match stmt {
-            Stmt::Let(f) => {
-                let mut solution = None;
-                self.solve(env, this, f, 0, &mut |b| {
-                    solution = Some(b.clone());
-                    false
-                })?;
-                match solution {
-                    Some(b) => {
-                        *env = b;
-                        Ok(Flow::Normal)
-                    }
-                    None => Err(RtError::new("let statement failed to match")),
-                }
-            }
-            Stmt::Switch {
-                scrutinees,
-                cases,
-                default,
-            } => {
-                let values: RtResult<Vec<Value>> =
-                    scrutinees.iter().map(|s| self.eval(env, this, s)).collect();
-                let values = values?;
-                for (idx, case) in cases.iter().enumerate() {
-                    let mut bound = Some(env.clone());
-                    for (p, v) in case.patterns.iter().zip(values.iter()) {
-                        bound = match bound {
-                            Some(b) => self.match_pattern_first(&b, this, p, v)?,
-                            None => None,
-                        };
-                    }
-                    if let Some(b) = bound {
-                        // Fall through to the first non-empty body.
-                        let mut body_idx = idx;
-                        while body_idx < cases.len() && cases[body_idx].body.is_empty() {
-                            body_idx += 1;
-                        }
-                        let body: &[Stmt] = if body_idx < cases.len() {
-                            &cases[body_idx].body
-                        } else if let Some(d) = default {
-                            d
-                        } else {
-                            return Err(RtError::new("switch fell off the end"));
-                        };
-                        let mut benv = b;
-                        return self.exec_block(&mut benv, this, body);
-                    }
-                }
-                if let Some(d) = default {
-                    return self.exec_block(env, this, d);
-                }
-                Err(RtError::new("non-exhaustive switch at run time"))
-            }
-            Stmt::Cond { arms, else_arm } => {
-                for (f, body) in arms {
-                    let mut solution = None;
-                    self.solve(env, this, f, 0, &mut |b| {
-                        solution = Some(b.clone());
-                        false
-                    })?;
-                    if let Some(mut b) = solution {
-                        return self.exec_block(&mut b, this, body);
-                    }
-                }
-                if let Some(body) = else_arm {
-                    return self.exec_block(env, this, body);
-                }
-                Err(RtError::new("non-exhaustive cond at run time"))
-            }
-            Stmt::If { cond, then, els } => {
-                let mut solution = None;
-                self.solve(env, this, cond, 0, &mut |b| {
-                    solution = Some(b.clone());
-                    false
-                })?;
-                match solution {
-                    Some(mut b) => self.exec_block(&mut b, this, then),
-                    None => match els {
-                        Some(e) => self.exec_block(env, this, e),
-                        None => Ok(Flow::Normal),
-                    },
-                }
-            }
-            Stmt::Foreach { formula, body } => {
-                let mut solutions = Vec::new();
-                self.solve(env, this, formula, 0, &mut |b| {
-                    solutions.push(b.clone());
-                    true
-                })?;
-                for solution in solutions {
-                    // The loop body sees the solution's bindings plus any
-                    // updates made by earlier iterations to outer variables.
-                    let mut b = solution;
-                    for (k, v) in env.iter() {
-                        b.entry(k.clone()).or_insert_with(|| v.clone());
-                    }
-                    for (k, v) in env.iter() {
-                        if !b.contains_key(k) {
-                            b.insert(k.clone(), v.clone());
-                        }
-                    }
-                    // Outer updates win over stale solution copies.
-                    for (k, v) in env.iter() {
-                        if b.get(k) != Some(v) && !formula_binds(formula, k) {
-                            b.insert(k.clone(), v.clone());
-                        }
-                    }
-                    let flow = self.exec_block(&mut b, this, body)?;
-                    // Propagate updates to variables that already existed.
-                    for (k, v) in b.iter() {
-                        if env.contains_key(k) {
-                            env.insert(k.clone(), v.clone());
-                        }
-                    }
-                    if let Flow::Return(v) = flow {
-                        return Ok(Flow::Return(v));
-                    }
-                }
-                Ok(Flow::Normal)
-            }
-            Stmt::While { cond, body } => {
-                let mut guard = 0;
-                loop {
-                    guard += 1;
-                    if guard > 1_000_000 {
-                        return Err(RtError::new("while loop exceeded iteration budget"));
-                    }
-                    let mut solution = None;
-                    self.solve(env, this, cond, 0, &mut |b| {
-                        solution = Some(b.clone());
-                        false
-                    })?;
-                    match solution {
-                        Some(b) => {
-                            *env = b;
-                            if let Flow::Return(v) = self.exec_block(env, this, body)? {
-                                return Ok(Flow::Return(v));
-                            }
-                        }
-                        None => return Ok(Flow::Normal),
-                    }
-                }
-            }
-            Stmt::Return(e) => {
-                let v = match e {
-                    Some(expr) => self.eval(env, this, expr)?,
-                    None => Value::Null,
-                };
-                Ok(Flow::Return(v))
-            }
-            Stmt::Assign(lhs, rhs) => {
-                let v = self.eval(env, this, rhs)?;
-                match lhs {
-                    Expr::Var(name) => {
-                        env.insert(name.clone(), v);
-                        Ok(Flow::Normal)
-                    }
-                    _ => Err(RtError::new("unsupported assignment target")),
-                }
-            }
-            Stmt::ExprStmt(e) => {
-                let _ = self.eval(env, this, e)?;
-                Ok(Flow::Normal)
-            }
-            Stmt::Block(stmts) => {
-                let mut inner = env.clone();
-                let flow = self.exec_block(&mut inner, this, stmts)?;
-                for (k, v) in inner.iter() {
-                    if env.contains_key(k) {
-                        env.insert(k.clone(), v.clone());
-                    }
-                }
-                Ok(flow)
-            }
-        }
-    }
-}
-
-/// Whether a formula declares (binds) the given variable name.
-fn formula_binds(f: &Formula, name: &str) -> bool {
-    f.declared_vars().iter().any(|(_, n)| n == name)
-}
-
-/// Flattens nested conjunctions into a list of conjuncts.
-fn flatten_and(f: &Formula, out: &mut Vec<Formula>) {
-    match f {
-        Formula::And(a, b) => {
-            flatten_and(a, out);
-            flatten_and(b, out);
-        }
-        other => out.push(other.clone()),
+        // Ground evaluation has no mode choice to specialize; both engines
+        // share the tree-walker's implementation.
+        self.tree.eval(env, this, e)
     }
 }
 
@@ -1449,8 +385,9 @@ fn flatten_and(f: &Formula, out: &mut Vec<Formula>) {
 mod tests {
     use super::*;
     use jmatch_core::{compile, CompileOptions};
+    use jmatch_syntax::ast::MethodBody;
 
-    fn interp_for(src: &str) -> Interp {
+    fn interp_for(src: &str, engine: Engine) -> Interp {
         let compiled = compile(
             src,
             &CompileOptions {
@@ -1459,7 +396,14 @@ mod tests {
             },
         )
         .unwrap();
-        Interp::new(compiled.table.clone())
+        Interp::with_engine(compiled.table.clone(), engine)
+    }
+
+    fn both_engines(src: &str) -> [Interp; 2] {
+        [
+            interp_for(src, Engine::Plan),
+            interp_for(src, Engine::TreeWalk),
+        ]
     }
 
     const NAT_PROGRAM: &str = r#"
@@ -1516,56 +460,60 @@ mod tests {
 
     #[test]
     fn construct_and_deconstruct_znat() {
-        let interp = interp_for(NAT_PROGRAM);
-        let three = znat(&interp, 3);
-        assert_eq!(znat_value(&three), 3);
-        // Backward mode: succ(three) yields the predecessor.
-        let rows = interp.deconstruct(&three, "succ").unwrap();
-        assert_eq!(rows.len(), 1);
-        assert_eq!(znat_value(&rows[0][0]), 2);
-        // zero() does not match three.
-        assert!(!interp.matches_constructor(&three, "zero").unwrap());
-        let zero = znat(&interp, 0);
-        assert!(interp.matches_constructor(&zero, "zero").unwrap());
+        for interp in both_engines(NAT_PROGRAM) {
+            let three = znat(&interp, 3);
+            assert_eq!(znat_value(&three), 3);
+            // Backward mode: succ(three) yields the predecessor.
+            let rows = interp.deconstruct(&three, "succ").unwrap();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(znat_value(&rows[0][0]), 2);
+            // zero() does not match three.
+            assert!(!interp.matches_constructor(&three, "zero").unwrap());
+            let zero = znat(&interp, 0);
+            assert!(interp.matches_constructor(&zero, "zero").unwrap());
+        }
     }
 
     #[test]
     fn plus_adds_znat_numbers() {
-        let interp = interp_for(NAT_PROGRAM);
-        let a = znat(&interp, 2);
-        let b = znat(&interp, 3);
-        let sum = interp.call_free("plus", vec![a, b]).unwrap();
-        assert_eq!(znat_value(&sum), 5);
+        for interp in both_engines(NAT_PROGRAM) {
+            let a = znat(&interp, 2);
+            let b = znat(&interp, 3);
+            let sum = interp.call_free("plus", vec![a, b]).unwrap();
+            assert_eq!(znat_value(&sum), 5);
+        }
     }
 
     #[test]
     fn plus_handles_zero_cases() {
-        let interp = interp_for(NAT_PROGRAM);
-        let zero = znat(&interp, 0);
-        let four = znat(&interp, 4);
-        let s1 = interp
-            .call_free("plus", vec![zero.clone(), four.clone()])
-            .unwrap();
-        assert_eq!(znat_value(&s1), 4);
-        let s2 = interp.call_free("plus", vec![four, zero]).unwrap();
-        assert_eq!(znat_value(&s2), 4);
+        for interp in both_engines(NAT_PROGRAM) {
+            let zero = znat(&interp, 0);
+            let four = znat(&interp, 4);
+            let s1 = interp
+                .call_free("plus", vec![zero.clone(), four.clone()])
+                .unwrap();
+            assert_eq!(znat_value(&s1), 4);
+            let s2 = interp.call_free("plus", vec![four, zero]).unwrap();
+            assert_eq!(znat_value(&s2), 4);
+        }
     }
 
     #[test]
     fn peano_implementation_interoperates() {
-        let interp = interp_for(NAT_PROGRAM);
-        // Build 2 using the Peano classes: PSucc(PSucc(PZero)).
-        let p0 = interp.construct("PZero", "zero", vec![]).unwrap();
-        let p1 = interp.construct("PSucc", "succ", vec![p0]).unwrap();
-        let p2 = interp.construct("PSucc", "succ", vec![p1]).unwrap();
-        // Deconstruct with the named constructor.
-        let rows = interp.deconstruct(&p2, "succ").unwrap();
-        assert_eq!(rows.len(), 1);
-        // Equality constructors let ZNat(2) equal PSucc(PSucc(PZero)).
-        let z2 = znat(&interp, 2);
-        assert!(interp.values_equal(&z2, &p2).unwrap());
-        let z3 = znat(&interp, 3);
-        assert!(!interp.values_equal(&z3, &p2).unwrap());
+        for interp in both_engines(NAT_PROGRAM) {
+            // Build 2 using the Peano classes: PSucc(PSucc(PZero)).
+            let p0 = interp.construct("PZero", "zero", vec![]).unwrap();
+            let p1 = interp.construct("PSucc", "succ", vec![p0]).unwrap();
+            let p2 = interp.construct("PSucc", "succ", vec![p1]).unwrap();
+            // Deconstruct with the named constructor.
+            let rows = interp.deconstruct(&p2, "succ").unwrap();
+            assert_eq!(rows.len(), 1);
+            // Equality constructors let ZNat(2) equal PSucc(PSucc(PZero)).
+            let z2 = znat(&interp, 2);
+            assert!(interp.values_equal(&z2, &p2).unwrap());
+            let z3 = znat(&interp, 3);
+            assert!(!interp.values_equal(&z3, &p2).unwrap());
+        }
     }
 
     #[test]
@@ -1576,29 +524,30 @@ mod tests {
                     ( x = 0 || x = 1 || x = 2 )
             }
         "#;
-        let interp = interp_for(src);
-        let range = Value::Obj(Rc::new(Object {
-            class: "Range".into(),
-            fields: HashMap::new(),
-        }));
-        let minfo = interp
-            .table()
-            .lookup_method("Range", "below")
-            .unwrap()
-            .clone();
-        let MethodBody::Formula(f) = &minfo.decl.body else {
-            panic!()
-        };
-        let mut env = Bindings::new();
-        env.insert("n".into(), Value::Int(3));
-        let mut seen = Vec::new();
-        interp
-            .solve(&env, Some(&range), f, 0, &mut |b| {
-                seen.push(b.get("x").and_then(|v| v.as_int()).unwrap());
-                true
-            })
-            .unwrap();
-        assert_eq!(seen, vec![0, 1, 2]);
+        for interp in both_engines(src) {
+            let range = Value::Obj(Arc::new(Object {
+                class: "Range".into(),
+                fields: HashMap::new(),
+            }));
+            let minfo = interp
+                .table()
+                .lookup_method("Range", "below")
+                .unwrap()
+                .clone();
+            let MethodBody::Formula(f) = &minfo.decl.body else {
+                panic!()
+            };
+            let mut env = Bindings::new();
+            env.insert("n".into(), Value::Int(3));
+            let mut seen = Vec::new();
+            interp
+                .solve(&env, Some(&range), f, 0, &mut |b| {
+                    seen.push(b.get("x").and_then(|v| v.as_int()).unwrap());
+                    true
+                })
+                .unwrap();
+            assert_eq!(seen, vec![0, 1, 2]);
+        }
     }
 
     #[test]
@@ -1615,29 +564,30 @@ mod tests {
                 }
             }
         "#;
-        let interp = interp_for(src);
-        let obj = Value::Obj(Rc::new(Object {
-            class: "M".into(),
-            fields: HashMap::new(),
-        }));
-        assert_eq!(
-            interp
-                .call_method(&obj, "classify", vec![Value::Int(6)])
-                .unwrap(),
-            Value::Int(1)
-        );
-        assert_eq!(
-            interp
-                .call_method(&obj, "classify", vec![Value::Int(2)])
-                .unwrap(),
-            Value::Int(0)
-        );
-        assert_eq!(
-            interp
-                .call_method(&obj, "classify", vec![Value::Int(-3)])
-                .unwrap(),
-            Value::Int(-1)
-        );
+        for interp in both_engines(src) {
+            let obj = Value::Obj(Arc::new(Object {
+                class: "M".into(),
+                fields: HashMap::new(),
+            }));
+            assert_eq!(
+                interp
+                    .call_method(&obj, "classify", vec![Value::Int(6)])
+                    .unwrap(),
+                Value::Int(1)
+            );
+            assert_eq!(
+                interp
+                    .call_method(&obj, "classify", vec![Value::Int(2)])
+                    .unwrap(),
+                Value::Int(0)
+            );
+            assert_eq!(
+                interp
+                    .call_method(&obj, "classify", vec![Value::Int(-3)])
+                    .unwrap(),
+                Value::Int(-1)
+            );
+        }
     }
 
     #[test]
@@ -1653,31 +603,110 @@ mod tests {
                 }
             }
         "#;
-        let interp = interp_for(src);
-        let obj = Value::Obj(Rc::new(Object {
-            class: "M".into(),
-            fields: HashMap::new(),
-        }));
-        assert_eq!(
-            interp.call_method(&obj, "sum3", vec![]).unwrap(),
-            Value::Int(6)
-        );
+        for interp in both_engines(src) {
+            let obj = Value::Obj(Arc::new(Object {
+                class: "M".into(),
+                fields: HashMap::new(),
+            }));
+            assert_eq!(
+                interp.call_method(&obj, "sum3", vec![]).unwrap(),
+                Value::Int(6)
+            );
+        }
     }
 
     #[test]
     fn runtime_match_failure_is_an_error() {
-        let interp = interp_for(NAT_PROGRAM);
-        // ZNat's private constructor requires n >= 0.
-        let err = interp.construct("ZNat", "ZNat", vec![Value::Int(-1)]);
-        assert!(err.is_err());
+        for interp in both_engines(NAT_PROGRAM) {
+            // ZNat's private constructor requires n >= 0.
+            let err = interp.construct("ZNat", "ZNat", vec![Value::Int(-1)]);
+            assert!(err.is_err());
+        }
+    }
+
+    #[test]
+    fn arity_errors_name_the_method_and_counts() {
+        for interp in both_engines(NAT_PROGRAM) {
+            let err = interp.construct("ZNat", "succ", vec![]).unwrap_err();
+            assert_eq!(
+                err.kind,
+                RtErrorKind::ArityMismatch {
+                    method: "ZNat.succ".into(),
+                    expected: 1,
+                    actual: 0,
+                }
+            );
+            assert!(err.message.contains("ZNat.succ"));
+            assert!(err.message.contains('1') && err.message.contains('0'));
+        }
+    }
+
+    #[test]
+    fn missing_method_errors_name_scope_and_method() {
+        for interp in both_engines(NAT_PROGRAM) {
+            let err = interp.call_free("nosuch", vec![]).unwrap_err();
+            assert_eq!(
+                err.kind,
+                RtErrorKind::MethodNotFound {
+                    scope: "<toplevel>".into(),
+                    name: "nosuch".into(),
+                }
+            );
+            let two = znat(&interp, 2);
+            let err = interp.call_method(&two, "nosuch", vec![]).unwrap_err();
+            assert_eq!(
+                err.kind,
+                RtErrorKind::MethodNotFound {
+                    scope: "ZNat".into(),
+                    name: "nosuch".into(),
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn mode_errors_name_the_requested_mode() {
+        let src = r#"
+            class M {
+                int imperative(int x) { return x; }
+            }
+            static int probe(M m) {
+                switch (m) {
+                    case imperative(int n): return n;
+                }
+            }
+        "#;
+        for interp in both_engines(src) {
+            let obj = Value::Obj(Arc::new(Object {
+                class: "M".into(),
+                fields: HashMap::new(),
+            }));
+            let err = interp.call_free("probe", vec![obj]).unwrap_err();
+            assert_eq!(
+                err.kind,
+                RtErrorKind::ModeMismatch {
+                    method: "M.imperative".into(),
+                    requested: "backward (pattern-matching)".into(),
+                }
+            );
+        }
     }
 
     #[test]
     fn value_display_is_readable() {
-        let interp = interp_for(NAT_PROGRAM);
+        let interp = interp_for(NAT_PROGRAM, Engine::Plan);
         let two = znat(&interp, 2);
         let text = two.to_string();
         assert!(text.contains("ZNat"));
         assert!(text.contains("val = 2"));
+    }
+
+    #[test]
+    fn plan_engine_exposes_its_program_plan() {
+        let interp = interp_for(NAT_PROGRAM, Engine::Plan);
+        let plan = interp.plan().expect("plan engine has a plan");
+        assert!(plan.lookup_impl("ZNat", "succ").is_some());
+        let tree = interp_for(NAT_PROGRAM, Engine::TreeWalk);
+        assert!(tree.plan().is_none());
     }
 }

@@ -180,7 +180,8 @@ pub struct ModeDecl {
     pub iterative: bool,
     /// Names of the parameters that are unknowns in this mode. The return
     /// value (`result`) is an unknown exactly when it is *not* listed and the
-    /// mode is not the forward mode — see [`MethodDecl::modes_with_forward`].
+    /// mode is not the forward mode — mode resolution in `jmatch-core`
+    /// prepends the implicit forward mode and applies this rule.
     pub outputs: Vec<String>,
 }
 

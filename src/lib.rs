@@ -10,8 +10,8 @@
 //! |---|---|
 //! | [`syntax`] | lexer, AST, parser, token counter for the JMatch 2.0 dialect |
 //! | [`smt`] | the from-scratch incremental SMT solver standing in for Z3 |
-//! | [`core`] | class table, modes, `ExtractM`, VC generation, the verifier |
-//! | [`runtime`] | the interpreter giving modal abstractions their dynamic semantics |
+//! | [`core`] | class table, modes, `ExtractM`, VC generation, the verifier, and the [`core::lower`] plan compiler |
+//! | [`runtime`] | dynamic semantics: the plan evaluator plus the legacy tree-walking oracle |
 //! | [`corpus`] | the paper's Table 1 evaluation programs |
 //!
 //! ## One solver session per compilation
@@ -23,6 +23,16 @@
 //! encodings persist, invariant/`matches`/`ensures` expansion lemmas are
 //! replayed from a session cache instead of being re-derived, and query
 //! results are memoized by their canonicalized fact sets.
+//!
+//! ## One lowering pass per program
+//!
+//! The paper's translation picks a solved form per mode *statically* (§2.3).
+//! [`core::lower`] is that pass: after class-table and mode resolution it
+//! compiles every method body — declarative formulas, `switch` dispatch,
+//! `foreach` enumeration, imperative blocks — into a mode-specialized query
+//! plan, and [`runtime::Interp`] executes those plans over flat slot frames.
+//! The pre-lowering tree-walking interpreter stays available behind
+//! [`runtime::Engine::TreeWalk`] as a differential-testing oracle.
 //!
 //! ## Quick start
 //!

@@ -1,0 +1,57 @@
+//! `first_solution` — early-exit enumeration through the lazy `Solutions`
+//! iterator versus eager materialization (what the pre-redesign
+//! `Interp::deconstruct` / callback `solve` API forced on embedders).
+//!
+//! The paper compiles JMatch to Java_yield coroutines precisely so a
+//! `foreach` can stop after the first yield (§2.3, §5); the `Query` /
+//! `Solutions` surface reproduces that: `first()` over an n-way
+//! enumeration does O(1) solver work, while the legacy eager shape pays
+//! O(n) before the caller sees anything.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jmatch_bench::{
+    balanced_disjunction, first_element_lazy, first_solution_eager, first_solution_lazy, int_list,
+    runtime_program,
+};
+use jmatch_runtime::{Bindings, Engine};
+
+fn bench_first_solution(c: &mut Criterion) {
+    let program = runtime_program(Engine::Plan);
+
+    // An n-way disjunction: n solutions, constant work each. The query is
+    // prepared once (lowering happens here, not per enumeration).
+    let n = 4096;
+    let formula = balanced_disjunction(0, n - 1);
+    let empty = Bindings::new();
+    let disjunction = program.solve(&formula, &empty, None);
+    assert_eq!(first_solution_lazy(&disjunction), 0);
+    assert_eq!(first_solution_eager(&disjunction), 0);
+
+    // The iterative `contains` mode over a cons list: the first element is
+    // one constructor match away; the eager path still walks all of it.
+    let list = int_list(&program, 192);
+    let contains = program.method("ConsList", "contains").unwrap();
+    let elements = contains.iterate(Some(&list), &empty).unwrap();
+    assert_eq!(first_element_lazy(&elements), 0);
+
+    let mut group = c.benchmark_group("first_solution");
+    group.bench_function("disjunction_4096/lazy_first", |b| {
+        b.iter(|| black_box(first_solution_lazy(&disjunction)))
+    });
+    group.bench_function("disjunction_4096/eager_all", |b| {
+        b.iter(|| black_box(first_solution_eager(&disjunction)))
+    });
+    group.bench_function("list_contains_192/lazy_first", |b| {
+        b.iter(|| black_box(first_element_lazy(&elements)))
+    });
+    group.bench_function("list_contains_192/eager_all", |b| {
+        b.iter(|| {
+            let all = elements.try_collect().unwrap();
+            black_box(all.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_solution);
+criterion_main!(benches);

@@ -10,12 +10,12 @@
 //! workload through both engines.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use jmatch_bench::{enumeration_workload, list_workload, nat_plus_workload, runtime_interp};
+use jmatch_bench::{enumeration_workload, list_workload, nat_plus_workload, runtime_program};
 use jmatch_runtime::Engine;
 
 fn bench_plan_vs_interp(c: &mut Criterion) {
-    let plan = runtime_interp(Engine::Plan);
-    let tree = runtime_interp(Engine::TreeWalk);
+    let plan = runtime_program(Engine::Plan);
+    let tree = runtime_program(Engine::TreeWalk);
 
     // The engines must agree before their speeds are worth comparing.
     assert_eq!(nat_plus_workload(&plan, 6), nat_plus_workload(&tree, 6));

@@ -16,7 +16,8 @@
 use jmatch_core::table::ClassTable;
 use jmatch_core::{compile, extract, CompileOptions, Diagnostics, Verifier, VerifyOptions};
 use jmatch_corpus::CorpusEntry;
-use jmatch_runtime::{Engine, Interp, Object, Value};
+use jmatch_runtime::{args, Compiler, Engine, Object, Program, Query, Value};
+use jmatch_syntax::ast::{CmpOp, Expr, Formula};
 use jmatch_syntax::{count_tokens, parse_formula};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -436,48 +437,44 @@ pub fn runtime_workload_source() -> String {
     src
 }
 
-/// Builds an interpreter over [`runtime_workload_source`] with the given
+/// Builds a [`Program`] over [`runtime_workload_source`] with the given
 /// engine. For the plan engine this includes the one-time lowering cost,
 /// which the per-call workloads then amortize.
-pub fn runtime_interp(engine: Engine) -> Interp {
-    let compiled = compile(
-        &runtime_workload_source(),
-        &CompileOptions {
-            verify: false,
-            max_expansion_depth: 2,
-        },
-    )
-    .expect("runtime workload program parses");
+pub fn runtime_program(engine: Engine) -> Program {
+    let program = Compiler::new()
+        .verify(false)
+        .max_expansion_depth(2)
+        .engine(engine)
+        .compile(&runtime_workload_source())
+        .expect("runtime workload program parses");
     assert!(
-        compiled.diagnostics.errors.is_empty(),
+        program.diagnostics().errors.is_empty(),
         "{:?}",
-        compiled.diagnostics.errors
+        program.diagnostics().errors
     );
-    Interp::with_engine(compiled.table, engine)
+    program
 }
 
 /// Peano addition over `ZNat`: builds the naturals `0..=n` and sums
 /// `plus(a, b)` over every pair. Each recursive `plus` step pattern-matches
 /// `succ` backwards, so the work is dominated by declarative solving.
-pub fn nat_plus_workload(interp: &Interp, n: i64) -> i64 {
+pub fn nat_plus_workload(program: &Program, n: i64) -> i64 {
+    let zero = program.ctor("ZNat", "zero").unwrap();
+    let succ = program.ctor("ZNat", "succ").unwrap();
+    let plus = program.free_method("plus").unwrap();
+    let to_int = program.method("ZNat", "toInt").unwrap();
     let mut nats = Vec::new();
-    let mut v = interp.construct("ZNat", "zero", vec![]).unwrap();
+    let mut v = zero.construct(args![]).unwrap();
     nats.push(v.clone());
     for _ in 0..n {
-        v = interp.construct("ZNat", "succ", vec![v]).unwrap();
+        v = succ.construct(args![v]).unwrap();
         nats.push(v.clone());
     }
     let mut total = 0;
     for a in &nats {
         for b in &nats {
-            let s = interp
-                .call_free("plus", vec![a.clone(), b.clone()])
-                .unwrap();
-            total += interp
-                .call_method(&s, "toInt", vec![])
-                .unwrap()
-                .as_int()
-                .unwrap();
+            let s = plus.call(None, args![a.clone(), b.clone()]).unwrap();
+            total += to_int.call(Some(&s), args![]).unwrap().as_int().unwrap();
         }
     }
     total
@@ -485,32 +482,28 @@ pub fn nat_plus_workload(interp: &Interp, n: i64) -> i64 {
 
 /// Cons-list traversal: `size`, the iterative `contains`, and deep equality
 /// over two structurally equal lists of length `n`.
-pub fn list_workload(interp: &Interp, n: i64) -> i64 {
+pub fn list_workload(program: &Program, n: i64) -> i64 {
+    let nil = program.ctor("EmptyList", "nil").unwrap();
+    let cons = program.ctor("ConsList", "cons").unwrap();
+    let size = program.method("ConsList", "size").unwrap();
+    let contains = program.method("ConsList", "contains").unwrap();
     let mk = || {
-        let mut l = interp.construct("EmptyList", "nil", vec![]).unwrap();
+        let mut l = nil.construct(args![]).unwrap();
         for i in 0..n {
-            l = interp
-                .construct("ConsList", "cons", vec![Value::Int(i), l])
-                .unwrap();
+            l = cons.construct(args![i, l]).unwrap();
         }
         l
     };
     let a = mk();
     let b = mk();
-    let mut total = interp
-        .call_method(&a, "size", vec![])
-        .unwrap()
-        .as_int()
-        .unwrap();
+    let mut total = size.call(Some(&a), args![]).unwrap().as_int().unwrap();
     for i in 0..n {
-        let hit = interp
-            .call_method(&a, "contains", vec![Value::Int(i)])
-            .unwrap();
+        let hit = contains.call(Some(&a), args![i]).unwrap();
         if hit.as_bool() == Some(true) {
             total += 1;
         }
     }
-    if interp.values_equal(&a, &b).unwrap() {
+    if program.values_equal(&a, &b).unwrap() {
         total += 1;
     }
     total
@@ -518,15 +511,72 @@ pub fn list_workload(interp: &Interp, n: i64) -> i64 {
 
 /// `while` + `foreach` over an 8-way pattern disjunction: pure enumeration
 /// of formula solutions inside an imperative body.
-pub fn enumeration_workload(interp: &Interp, rounds: i64) -> i64 {
+pub fn enumeration_workload(program: &Program, rounds: i64) -> i64 {
     let gen = Value::Obj(Arc::new(Object {
         class: "Gen".into(),
         fields: HashMap::new(),
     }));
-    interp
-        .call_method(&gen, "burn", vec![Value::Int(rounds)])
+    program
+        .method("Gen", "burn")
+        .unwrap()
+        .call(Some(&gen), args![rounds])
         .unwrap()
         .as_int()
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// First-solution workloads (the `first_solution` bench)
+// ---------------------------------------------------------------------------
+
+/// A balanced `x = 0 | x = 1 | ... | x = n-1` disjunction: `n` solutions,
+/// constant work per solution — the enumeration shape that separates lazy
+/// pulling from eager materialization most cleanly.
+pub fn balanced_disjunction(lo: i64, hi: i64) -> Formula {
+    if lo == hi {
+        Formula::Cmp(CmpOp::Eq, Expr::Var("x".into()), Expr::IntLit(lo))
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        Formula::Or(
+            Box::new(balanced_disjunction(lo, mid)),
+            Box::new(balanced_disjunction(mid + 1, hi)),
+        )
+    }
+}
+
+/// Early exit: pull exactly one solution of a prepared query through the
+/// lazy [`jmatch_runtime::Solutions`] iterator. O(first solution) work —
+/// query preparation (lowering, handle resolution) happened once, outside.
+pub fn first_solution_lazy(query: &Query<'_>) -> i64 {
+    query.first().and_then(|b| b["x"].as_int()).unwrap()
+}
+
+/// The pre-redesign shape: materialize *every* solution (what the eager
+/// `Interp::deconstruct` / callback `solve` API forced on embedders), then
+/// read the first. O(n) work on the same prepared query.
+pub fn first_solution_eager(query: &Query<'_>) -> i64 {
+    let all = query.try_collect().unwrap();
+    all.first().and_then(|b| b["x"].as_int()).unwrap()
+}
+
+/// Builds a `Cons`/`Nil` integer list of length `n` from the corpus cons
+/// classes, most-recently-consed head first.
+pub fn int_list(program: &Program, n: i64) -> Value {
+    let nil = program.ctor("EmptyList", "nil").unwrap();
+    let cons = program.ctor("ConsList", "cons").unwrap();
+    let mut l = nil.construct(args![]).unwrap();
+    for i in (0..n).rev() {
+        l = cons.construct(args![i, l]).unwrap();
+    }
+    l
+}
+
+/// First solution of a prepared iterative `contains` query over a list —
+/// O(first element), independent of list length.
+pub fn first_element_lazy(query: &Query<'_>) -> i64 {
+    query
+        .first()
+        .and_then(|b| b.get("elem").and_then(Value::as_int))
         .unwrap()
 }
 

@@ -9,7 +9,11 @@ use jmatch_syntax::lexer::Pos;
 use std::fmt;
 
 /// The kind of a verification warning.
+///
+/// `#[non_exhaustive]`: future verification passes may add kinds without a
+/// semver break, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum WarningKind {
     /// A `switch`/`cond` does not cover all values (§5.1).
     NonExhaustive,

@@ -1,0 +1,1122 @@
+//! The embedding API: compile once, query many, pull solutions lazily.
+//!
+//! This is the host-language surface of the paper's Java_yield story
+//! (§2.3, §5): a JMatch program is compiled **once** into a [`Program`]
+//! (class table + lowered query plans), handles resolve method lookups
+//! **once** into [`MethodRef`] / [`CtorRef`], and every enumeration —
+//! deconstruction, iterative-mode calls, raw formula solving — is a
+//! [`Query`] whose [`Solutions`] is a genuine pull-based
+//! [`Iterator`]: `query.solutions().take(1)` does the work of the first
+//! solution, not of the whole enumeration.
+//!
+//! ```text
+//! Compiler ──compile──▶ Program ──method/ctor──▶ MethodRef / CtorRef
+//!                          │                          │
+//!                          └──deconstruct/solve──▶ Query ──solutions──▶ Solutions
+//! ```
+//!
+//! [`Program`] is cheap to clone and `Send + Sync`, so one compilation can
+//! serve any number of threads; the per-query state lives in the
+//! [`Solutions`] iterator. With [`Engine::Plan`] (the default) iteration is
+//! driven by the resumable stack machine of [`crate::machine`]; with
+//! [`Engine::TreeWalk`] the legacy callback engine runs on a worker thread
+//! behind a bounded (rendezvous) channel, so it can never race more than
+//! one solution ahead of the consumer.
+
+use crate::eval::{Budget, Ev, Frame, MAX_DEPTH};
+use crate::machine::Machine;
+use crate::tree::TreeWalker;
+use crate::{Bindings, Engine, RtError, RtResult, Value};
+use jmatch_core::diag::Diagnostics;
+use jmatch_core::lower::{BodyPlan, PlanId, ProgramPlan, SlotId, SolvedForm};
+use jmatch_core::table::ClassTable;
+use jmatch_core::{CompileOptions, Warning};
+use jmatch_syntax::ast::{Formula, MethodBody, Param, Type};
+use jmatch_syntax::ParseError;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Limits
+// ---------------------------------------------------------------------------
+
+/// Work ceilings honored **identically by both engines** on every query and
+/// call.
+///
+/// `max_depth` bounds solver nesting (goal recursion and constructor-match
+/// activation frames); `max_steps` bounds total solver steps. Either limit
+/// being hit ends the enumeration with an
+/// [`RtErrorKind::LimitExceeded`](crate::RtErrorKind::LimitExceeded) error.
+///
+/// This replaces the legacy `Interp::solve` `depth` parameter, which the
+/// tree-walker honored and the plan engine silently ignored.
+///
+/// The default `max_depth` is 1,000 on *both* engines, metered across
+/// constructor matches. That is stricter than the legacy tree-walker's
+/// fixed 10,000 budget (which reset at every constructor match, so it
+/// never bounded structural recursion at all); raise it with
+/// [`Program::with_limits`] / [`Query::limits`] for deeply recursive
+/// enumerations — the plan engine's machine keeps its activation frames on
+/// the heap, so large ceilings are safe there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Ceiling on solver nesting depth.
+    pub max_depth: usize,
+    /// Ceiling on total solver steps per query / call.
+    pub max_steps: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_depth: MAX_DEPTH,
+            max_steps: u64::MAX,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+/// Fluent builder that unifies the old `CompileOptions` / `VerifyOptions`
+/// split and produces a [`Program`].
+///
+/// ```
+/// use jmatch_runtime::{args, Compiler, Engine, Value};
+///
+/// let program = Compiler::new()
+///     .verify(false)
+///     .engine(Engine::Plan)
+///     .compile(
+///         "class Box {
+///              int v;
+///              constructor of(int n) returns(n) ( v = n )
+///          }
+///          static int unbox(Box b) {
+///              switch (b) { case of(int n): return n; }
+///          }",
+///     )?;
+/// let of = program.ctor("Box", "of")?;
+/// let unbox = program.free_method("unbox")?;
+/// let boxed = of.construct(args![7])?;
+/// assert_eq!(unbox.call(None, args![boxed])?, Value::Int(7));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    verify: bool,
+    engine: Engine,
+    max_expansion_depth: u32,
+    limits: Limits,
+}
+
+impl Compiler {
+    /// A compiler with verification on, the plan engine, and default
+    /// limits.
+    pub fn new() -> Self {
+        Compiler {
+            verify: true,
+            engine: Engine::Plan,
+            max_expansion_depth: CompileOptions::default().max_expansion_depth,
+            limits: Limits::default(),
+        }
+    }
+
+    /// Whether to run the static verification passes (exhaustiveness,
+    /// redundancy, totality, disjointness, multiplicity).
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Which execution engine queries and calls run on.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Iterative-deepening bound for the verifier's lazy expansion (§6.2).
+    pub fn max_expansion_depth(mut self, depth: u32) -> Self {
+        self.max_expansion_depth = depth;
+        self
+    }
+
+    /// Default work ceilings for every query and call of the program.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Parses, resolves, (optionally) verifies, and lowers `source` into a
+    /// [`Program`]. Lowering runs exactly once, here — never per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the source is not syntactically valid;
+    /// semantic problems are reported through [`Program::diagnostics`].
+    pub fn compile(&self, source: &str) -> Result<Program, ParseError> {
+        let compiled = jmatch_core::compile(
+            source,
+            &CompileOptions {
+                verify: self.verify,
+                max_expansion_depth: self.max_expansion_depth,
+            },
+        )?;
+        Ok(Program {
+            plan: ProgramPlan::compile(compiled.table),
+            engine: self.engine,
+            limits: self.limits,
+            diagnostics: Arc::new(compiled.diagnostics),
+        })
+    }
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+/// A compiled JMatch program: the resolved class table plus the lowered
+/// query plans, ready to be queried from any thread.
+///
+/// `Program` is cheap to clone (two `Arc`s and two small copies) and
+/// `Send + Sync`: compile once, hand clones to every worker.
+#[derive(Debug, Clone)]
+pub struct Program {
+    plan: Arc<ProgramPlan>,
+    engine: Engine,
+    limits: Limits,
+    diagnostics: Arc<Diagnostics>,
+}
+
+impl Program {
+    /// Wraps an already-resolved class table (for callers that drive
+    /// [`jmatch_core::compile`] themselves); lowering runs here, once.
+    pub fn from_table(table: Arc<ClassTable>, engine: Engine) -> Self {
+        Program {
+            plan: ProgramPlan::compile(table),
+            engine,
+            limits: Limits::default(),
+            diagnostics: Arc::new(Diagnostics::new()),
+        }
+    }
+
+    /// The resolved class table.
+    pub fn table(&self) -> &Arc<ClassTable> {
+        self.plan.table()
+    }
+
+    /// The lowered program plan.
+    pub fn plan(&self) -> &Arc<ProgramPlan> {
+        &self.plan
+    }
+
+    /// The engine queries and calls run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The default work ceilings of this program's queries and calls.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Warnings and errors produced by resolution and verification.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
+    }
+
+    /// The verification warnings (empty when compiled without `verify`).
+    pub fn warnings(&self) -> &[Warning] {
+        &self.diagnostics.warnings
+    }
+
+    /// The same program on a different engine (cheap).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The same program with different default limits (cheap).
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    // -- handle resolution ---------------------------------------------------
+
+    /// Resolves the implementation of instance method `name` reachable from
+    /// `class` into a [`MethodRef`]: the class-table walk happens here,
+    /// once, never per call.
+    ///
+    /// The handle is statically bound to the resolved implementation, like
+    /// a function pointer; re-resolve for a different receiver class.
+    ///
+    /// # Errors
+    ///
+    /// [`RtErrorKind::MethodNotFound`](crate::RtErrorKind::MethodNotFound)
+    /// when no implementation is reachable.
+    pub fn method(&self, class: &str, name: &str) -> RtResult<MethodRef> {
+        let pid = self
+            .plan
+            .lookup_impl(class, name)
+            .ok_or_else(|| RtError::method_not_found(class, name))?;
+        Ok(MethodRef {
+            program: self.clone(),
+            pid,
+            iterate_cache: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Resolves a free-standing (top-level) method into a [`MethodRef`].
+    ///
+    /// # Errors
+    ///
+    /// [`RtErrorKind::MethodNotFound`](crate::RtErrorKind::MethodNotFound)
+    /// when no such method exists.
+    pub fn free_method(&self, name: &str) -> RtResult<MethodRef> {
+        let pid = self
+            .plan
+            .lookup_free(name)
+            .ok_or_else(|| RtError::method_not_found("<toplevel>", name))?;
+        Ok(MethodRef {
+            program: self.clone(),
+            pid,
+            iterate_cache: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Resolves constructor `ctor` of `class` (named, class, or inherited)
+    /// into a [`CtorRef`].
+    ///
+    /// # Errors
+    ///
+    /// [`RtErrorKind::MethodNotFound`](crate::RtErrorKind::MethodNotFound)
+    /// when the constructor does not exist, and a generic error when only a
+    /// bodiless interface declaration is reachable.
+    pub fn ctor(&self, class: &str, ctor: &str) -> RtResult<CtorRef> {
+        let declared = self
+            .plan
+            .lookup_declared(class, ctor)
+            .or_else(|| self.plan.class_ctor(class))
+            .ok_or_else(|| RtError::method_not_found(class, ctor))?;
+        let construct_pid = if matches!(self.plan.method(declared).body, BodyPlan::Absent) {
+            self.plan
+                .lookup_impl(class, ctor)
+                .ok_or_else(|| RtError::new(format!("`{class}.{ctor}` has no implementation")))?
+        } else {
+            declared
+        };
+        Ok(CtorRef {
+            program: self.clone(),
+            class: class.to_owned(),
+            ctor: ctor.to_owned(),
+            construct_pid,
+            match_pid: self.plan.lookup_impl(class, ctor),
+        })
+    }
+
+    // -- queries -------------------------------------------------------------
+
+    /// A backward-mode query: enumerate the solutions of matching `value`
+    /// against the named constructor `ctor`, dispatched on `value`'s
+    /// runtime class. Each solution binds the constructor's parameters by
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `value` is not an object, the constructor cannot be
+    /// resolved, or it has no declarative body to match against.
+    pub fn deconstruct(&self, value: &Value, ctor: &str) -> RtResult<Query<'_>> {
+        let class = value
+            .class()
+            .ok_or_else(|| RtError::new("can only deconstruct objects"))?
+            .to_owned();
+        let pid = self
+            .plan
+            .lookup_impl(&class, ctor)
+            .ok_or_else(|| RtError::method_not_found(&class, ctor))?;
+        let mp = self.plan.method(pid);
+        if !matches!(mp.body, BodyPlan::Formula { .. }) {
+            return Err(RtError::mode_mismatch(
+                &mp.info.qualified_name(),
+                "backward (pattern-matching)",
+            ));
+        }
+        Ok(Query {
+            program: self,
+            limits: self.limits,
+            source: Source::Deconstruct {
+                pid,
+                ctor: ctor.to_owned(),
+                value: value.clone(),
+            },
+        })
+    }
+
+    /// A raw formula query: enumerate the solutions of `f` under the entry
+    /// bindings `env`, with `this` optionally in scope. The formula is
+    /// lowered once, when the query is built.
+    pub fn solve(&self, f: &Formula, env: &Bindings, this: Option<&Value>) -> Query<'_> {
+        let form = Arc::new(self.lower_formula(f, env, this));
+        Query {
+            program: self,
+            limits: self.limits,
+            source: Source::Formula {
+                ast: f.clone(),
+                form,
+                env: env.clone(),
+                this: this.cloned(),
+            },
+        }
+    }
+
+    fn lower_formula(&self, f: &Formula, env: &Bindings, this: Option<&Value>) -> SolvedForm {
+        let bound: Vec<&str> = env.keys().map(String::as_str).collect();
+        let this_class = this.map(|t| t.class().unwrap_or(""));
+        jmatch_core::lower::lower_standalone(self.plan.table(), f, &bound, this_class)
+    }
+
+    // -- whole-value operations ---------------------------------------------
+
+    /// Tests whether `value` matches the named constructor `ctor`
+    /// (predicate use of a named constructor, e.g. `ZNat(0).zero()`).
+    pub fn matches(&self, value: &Value, ctor: &str) -> RtResult<bool> {
+        match self.engine {
+            Engine::Plan => {
+                let mut budget = self.budget();
+                Ev::new(&self.plan, &mut budget).matches_constructor(value, ctor)
+            }
+            _ => self.walker().matches_constructor(value, ctor),
+        }
+    }
+
+    /// Deep equality, using equality constructors (§3.2) across different
+    /// implementations of the same abstraction.
+    pub fn values_equal(&self, a: &Value, b: &Value) -> RtResult<bool> {
+        match self.engine {
+            Engine::Plan => {
+                let mut budget = self.budget();
+                Ev::new(&self.plan, &mut budget).values_equal(a, b)
+            }
+            _ => self.walker().values_equal(a, b),
+        }
+    }
+
+    // -- internals -----------------------------------------------------------
+
+    fn budget(&self) -> Budget {
+        Budget::new(self.limits.max_depth, self.limits.max_steps)
+    }
+
+    fn walker(&self) -> TreeWalker {
+        self.walker_with(self.limits)
+    }
+
+    fn walker_with(&self, limits: Limits) -> TreeWalker {
+        TreeWalker::with_limits(
+            Arc::clone(self.plan.table()),
+            limits.max_depth,
+            limits.max_steps,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MethodRef / CtorRef
+// ---------------------------------------------------------------------------
+
+/// A resolved method handle: class-table lookup, dispatch-index resolution
+/// and mode selection happen once, at [`Program::method`] /
+/// [`Program::free_method`] time; [`MethodRef::call`] then runs the
+/// precompiled plan with no per-call hash lookups.
+///
+/// ```
+/// use jmatch_runtime::{args, Compiler, Value};
+///
+/// let program = Compiler::new().verify(false).compile(
+///     "static int double(int x) { return x + x; }",
+/// )?;
+/// // Resolve once...
+/// let double = program.free_method("double")?;
+/// // ...call many times.
+/// for i in 0..100 {
+///     assert_eq!(double.call(None, args![i])?, Value::Int(2 * i));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MethodRef {
+    program: Program,
+    pid: PlanId,
+    /// Iterative-mode solved forms, memoized per (bound-name set, `this`
+    /// class) so hot loops calling [`MethodRef::iterate`] with the same
+    /// binding shape never re-lower the body.
+    iterate_cache: Arc<Mutex<IterateCache>>,
+}
+
+/// Memoized iterative-mode solved forms, keyed by the binding shape that
+/// lowering depends on: the sorted bound names and the receiver's class
+/// (`None` = no receiver at all).
+type IterateCache = HashMap<(Vec<String>, Option<String>), Arc<SolvedForm>>;
+
+impl MethodRef {
+    /// The method's name.
+    pub fn name(&self) -> &str {
+        &self.program.plan.method(self.pid).info.decl.name
+    }
+
+    /// The `Owner.name` form of the method.
+    pub fn qualified_name(&self) -> String {
+        self.program.plan.method(self.pid).info.qualified_name()
+    }
+
+    /// The declared parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.program.plan.method(self.pid).info.decl.params
+    }
+
+    /// Calls the method in the forward mode: all parameters known,
+    /// `result` solved for. Instance methods take their receiver in
+    /// `receiver`; free methods take `None`.
+    pub fn call(&self, receiver: Option<&Value>, args: Vec<Value>) -> RtResult<Value> {
+        self.call_with(receiver, args, self.program.limits)
+    }
+
+    /// Like [`MethodRef::call`] with explicit work ceilings.
+    pub fn call_with(
+        &self,
+        receiver: Option<&Value>,
+        args: Vec<Value>,
+        limits: Limits,
+    ) -> RtResult<Value> {
+        match self.program.engine {
+            Engine::Plan => {
+                let mut budget = Budget::new(limits.max_depth, limits.max_steps);
+                Ev::new(&self.program.plan, &mut budget).run_forward(
+                    self.pid,
+                    receiver.cloned(),
+                    args,
+                )
+            }
+            _ => self.program.walker_with(limits).run_forward(
+                &self.program.plan.method(self.pid).info,
+                receiver.cloned(),
+                args,
+            ),
+        }
+    }
+
+    /// An iterative-mode query: enumerate the solutions of the method's
+    /// declarative body with the bindings of `known` as the inputs and
+    /// every other relation variable solved for — the `foreach`-driving
+    /// mode the paper compiles to Java_yield iterators.
+    ///
+    /// # Errors
+    ///
+    /// [`RtErrorKind::ModeMismatch`](crate::RtErrorKind::ModeMismatch) when
+    /// the method has an imperative (or no) body.
+    pub fn iterate(&self, receiver: Option<&Value>, known: &Bindings) -> RtResult<Query<'_>> {
+        let mp = self.program.plan.method(self.pid);
+        let MethodBody::Formula(f) = &mp.info.decl.body else {
+            return Err(RtError::mode_mismatch(
+                &mp.info.qualified_name(),
+                "iterative",
+            ));
+        };
+        // Lowering depends only on which names are bound and the receiver's
+        // class, so the solved form is memoized per binding shape: repeated
+        // iterate() calls in a hot loop do no per-call lowering.
+        let mut key: (Vec<String>, Option<String>) = (
+            known.keys().cloned().collect(),
+            // Mirrors lower_formula: a non-object receiver still puts `this`
+            // in scope (with an empty class), distinct from no receiver.
+            receiver.map(|r| r.class().unwrap_or("").to_owned()),
+        );
+        key.0.sort_unstable();
+        let form = {
+            let mut cache = self.iterate_cache.lock().expect("iterate cache poisoned");
+            Arc::clone(
+                cache
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(self.program.lower_formula(f, known, receiver))),
+            )
+        };
+        Ok(Query {
+            program: &self.program,
+            limits: self.program.limits,
+            source: Source::Formula {
+                ast: f.clone(),
+                form,
+                env: known.clone(),
+                this: receiver.cloned(),
+            },
+        })
+    }
+}
+
+/// A resolved constructor handle: construction and matching are bound to
+/// their plan indices once, at [`Program::ctor`] time.
+#[derive(Debug, Clone)]
+pub struct CtorRef {
+    program: Program,
+    class: String,
+    ctor: String,
+    construct_pid: PlanId,
+    match_pid: Option<PlanId>,
+}
+
+impl CtorRef {
+    /// The class the handle constructs.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The constructor's name.
+    pub fn name(&self) -> &str {
+        &self.ctor
+    }
+
+    /// Invokes the constructor in the forward mode, producing an instance.
+    pub fn construct(&self, args: Vec<Value>) -> RtResult<Value> {
+        match self.program.engine {
+            Engine::Plan => {
+                let mut budget = self.program.budget();
+                Ev::new(&self.program.plan, &mut budget).run_forward(self.construct_pid, None, args)
+            }
+            _ => self.program.walker().run_forward(
+                &self.program.plan.method(self.construct_pid).info,
+                None,
+                args,
+            ),
+        }
+    }
+
+    /// A backward-mode query over this constructor (see
+    /// [`Program::deconstruct`]). Values of other classes re-dispatch on
+    /// their runtime class.
+    pub fn deconstruct(&self, value: &Value) -> RtResult<Query<'_>> {
+        if let (Some(pid), Some(class)) = (self.match_pid, value.class()) {
+            if class == self.class {
+                let mp = self.program.plan.method(pid);
+                if matches!(mp.body, BodyPlan::Formula { .. }) {
+                    return Ok(Query {
+                        program: &self.program,
+                        limits: self.program.limits,
+                        source: Source::Deconstruct {
+                            pid,
+                            ctor: self.ctor.clone(),
+                            value: value.clone(),
+                        },
+                    });
+                }
+            }
+        }
+        self.program.deconstruct(value, &self.ctor)
+    }
+
+    /// Whether `value` matches this constructor (predicate mode).
+    pub fn matches(&self, value: &Value) -> RtResult<bool> {
+        self.program.matches(value, &self.ctor)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+/// What a query enumerates.
+enum Source {
+    /// Backward mode of a constructor: solve the matching plan of `pid`
+    /// against `value`.
+    Deconstruct {
+        pid: PlanId,
+        ctor: String,
+        value: Value,
+    },
+    /// A standalone formula (raw solving and iterative-mode calls): the
+    /// lowered form drives the plan engine, the AST drives the tree-walker.
+    Formula {
+        ast: Formula,
+        form: Arc<SolvedForm>,
+        env: Bindings,
+        this: Option<Value>,
+    },
+}
+
+/// A prepared enumeration: the lowering / resolution work is done, and
+/// [`Query::solutions`] can be called any number of times to re-enumerate.
+///
+/// The query owns its inputs (seed bindings, the matched value, the lowered
+/// formula), so the [`Solutions`] iterator borrows the query rather than
+/// the transient call arguments.
+pub struct Query<'p> {
+    program: &'p Program,
+    limits: Limits,
+    source: Source,
+}
+
+impl Query<'_> {
+    /// Overrides the work ceilings for this query.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The first solution, if any (errors read as "no solution"; use
+    /// [`Query::try_first`] to observe them).
+    pub fn first(&self) -> Option<Bindings> {
+        self.try_first().unwrap_or(None)
+    }
+
+    /// The first solution, surfacing enumeration errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runtime error that ended the enumeration, if any.
+    pub fn try_first(&self) -> RtResult<Option<Bindings>> {
+        if !matches!(self.program.engine, Engine::Plan) {
+            let mut first = None;
+            self.tree_run_inline(&mut |b| {
+                first = Some(b);
+                false
+            })?;
+            return Ok(first);
+        }
+        let mut solutions = self.solutions();
+        let first = solutions.next();
+        match solutions.take_error() {
+            Some(e) => Err(e),
+            None => Ok(first),
+        }
+    }
+
+    /// Collects every solution, surfacing enumeration errors.
+    ///
+    /// On the tree-walk engine this runs the callback engine directly on
+    /// the caller's thread — eager collection has no laziness to preserve,
+    /// so it skips the producer thread entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runtime error that ended the enumeration, if any.
+    pub fn try_collect(&self) -> RtResult<Vec<Bindings>> {
+        if !matches!(self.program.engine, Engine::Plan) {
+            let mut all = Vec::new();
+            self.tree_run_inline(&mut |b| {
+                all.push(b);
+                true
+            })?;
+            return Ok(all);
+        }
+        let mut solutions = self.solutions();
+        let all: Vec<Bindings> = solutions.by_ref().collect();
+        match solutions.take_error() {
+            Some(e) => Err(e),
+            None => Ok(all),
+        }
+    }
+
+    /// Collects every solution of a *deconstruction* query as ordered rows
+    /// (the constructor's parameters in declaration order, `Null` for
+    /// parameters a solution left unbound), surfacing enumeration errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-deconstruction queries and propagates the runtime
+    /// error that ended the enumeration, if any.
+    pub fn try_collect_rows(&self) -> RtResult<Vec<Vec<Value>>> {
+        let Source::Deconstruct { pid, .. } = &self.source else {
+            return Err(RtError::new(
+                "try_collect_rows applies to deconstruction queries only",
+            ));
+        };
+        let params: Vec<String> = self
+            .program
+            .plan
+            .method(*pid)
+            .info
+            .decl
+            .params
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        let all = self.try_collect()?;
+        Ok(all
+            .into_iter()
+            .map(|b| {
+                params
+                    .iter()
+                    .map(|p| b.get(p).cloned().unwrap_or(Value::Null))
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Runs the tree-walker's callback engine on the caller's thread,
+    /// feeding each solution to `emit` (return `false` to stop) — the
+    /// eager / legacy-shim path that needs no producer thread.
+    pub(crate) fn tree_run_inline(&self, emit: &mut dyn FnMut(Bindings) -> bool) -> RtResult<()> {
+        let walker = self.program.walker_with(self.limits);
+        match &self.source {
+            Source::Formula { ast, env, this, .. } => {
+                walker.solve(env, this.as_ref(), ast, 0, &mut |b| emit(b.clone()))
+            }
+            Source::Deconstruct { pid, ctor, value } => {
+                let params: Vec<String> = self
+                    .program
+                    .plan
+                    .method(*pid)
+                    .info
+                    .decl
+                    .params
+                    .iter()
+                    .map(|p| p.name.clone())
+                    .collect();
+                walker.deconstruct_each(value, ctor, &mut |row| {
+                    let mut b = Bindings::new();
+                    for (p, v) in params.iter().zip(row) {
+                        b.insert(p.clone(), v.clone());
+                    }
+                    emit(b)
+                })
+            }
+        }
+    }
+
+    /// Starts the enumeration: a pull-based iterator over the query's
+    /// solutions. Work happens inside `next()`, one solution at a time.
+    pub fn solutions(&self) -> Solutions<'_> {
+        match self.program.engine {
+            Engine::Plan => self.plan_solutions(),
+            _ => self.tree_solutions(),
+        }
+    }
+
+    fn plan_solutions(&self) -> Solutions<'_> {
+        let plan = &*self.program.plan;
+        let (machine, extract) = match &self.source {
+            Source::Deconstruct { pid, value, .. } => {
+                let mp = plan.method(*pid);
+                let BodyPlan::Formula { matching, .. } = &mp.body else {
+                    unreachable!("checked at query construction");
+                };
+                let machine = Machine::new(
+                    plan,
+                    &matching.goal,
+                    vec![None; matching.frame.len()],
+                    Some(value.clone()),
+                    self.limits.max_depth,
+                    self.limits.max_steps,
+                );
+                let extract = Extract::Params {
+                    params: &mp.info.decl.params,
+                    slots: &matching.param_slots,
+                    table: plan.table(),
+                };
+                (machine, extract)
+            }
+            Source::Formula {
+                form, env, this, ..
+            } => {
+                let mut root: Frame = vec![None; form.frame.len()];
+                for (name, v) in env {
+                    if let Some(s) = form.frame.slot_of(name) {
+                        root[s as usize] = Some(v.clone());
+                    }
+                }
+                let machine = Machine::new(
+                    plan,
+                    &form.goal,
+                    root,
+                    this.clone(),
+                    self.limits.max_depth,
+                    self.limits.max_steps,
+                );
+                (machine, Extract::Slots(&form.frame))
+            }
+        };
+        Solutions {
+            inner: Inner::Machine {
+                machine: Box::new(machine),
+                extract,
+            },
+            error: None,
+        }
+    }
+
+    /// The legacy engine behind the same iterator: the callback-based
+    /// tree-walker runs on a worker thread and hands solutions through a
+    /// **bounded (rendezvous) channel**, so the producer can never be more
+    /// than one solution ahead of the consumer; dropping the iterator
+    /// disconnects the channel and unwinds the producer.
+    fn tree_solutions(&self) -> Solutions<'_> {
+        let walker = self.program.walker_with(self.limits);
+        let (tx, rx) = mpsc::sync_channel::<RtResult<Bindings>>(1);
+        let job = match &self.source {
+            Source::Deconstruct { pid, ctor, value } => TreeJob::Deconstruct {
+                value: value.clone(),
+                ctor: ctor.clone(),
+                params: self
+                    .program
+                    .plan
+                    .method(*pid)
+                    .info
+                    .decl
+                    .params
+                    .iter()
+                    .map(|p| p.name.clone())
+                    .collect(),
+            },
+            Source::Formula { ast, env, this, .. } => TreeJob::Formula {
+                f: ast.clone(),
+                env: env.clone(),
+                this: this.clone(),
+            },
+        };
+        // The walker's native recursion is deep (one Rust frame chain per
+        // constructor match, fat in debug builds); give the producer the
+        // stack the main thread of a binary would have, times a margin.
+        let producer = std::thread::Builder::new()
+            .name("jmatch-tree-solutions".into())
+            .stack_size(64 << 20);
+        let spawned = producer.spawn(move || {
+            let outcome = match job {
+                TreeJob::Formula { f, env, this } => {
+                    walker.solve(&env, this.as_ref(), &f, 0, &mut |b| {
+                        tx.send(Ok(b.clone())).is_ok()
+                    })
+                }
+                TreeJob::Deconstruct {
+                    value,
+                    ctor,
+                    params,
+                } => walker.deconstruct_each(&value, &ctor, &mut |row| {
+                    let mut b = Bindings::new();
+                    for (p, v) in params.iter().zip(row) {
+                        b.insert(p.clone(), v.clone());
+                    }
+                    tx.send(Ok(b)).is_ok()
+                }),
+            };
+            if let Err(e) = outcome {
+                let _ = tx.send(Err(e));
+            }
+        });
+        match spawned {
+            Ok(_) => Solutions {
+                inner: Inner::Channel(rx),
+                error: None,
+            },
+            Err(e) => Solutions {
+                inner: Inner::Channel(rx),
+                error: Some(RtError::new(format!(
+                    "could not start the tree-walker producer thread: {e}"
+                ))),
+            },
+        }
+    }
+}
+
+/// Work shipped to the tree-walker's producer thread.
+enum TreeJob {
+    Formula {
+        f: Formula,
+        env: Bindings,
+        this: Option<Value>,
+    },
+    Deconstruct {
+        value: Value,
+        ctor: String,
+        params: Vec<String>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Solutions
+// ---------------------------------------------------------------------------
+
+/// How machine solutions are turned into [`Bindings`].
+enum Extract<'q> {
+    /// Every bound, named slot of the root frame (formula queries).
+    Slots(&'q jmatch_core::lower::FrameLayout),
+    /// The constructor's parameter row, filtered by the declared parameter
+    /// types (deconstruction); solutions leaving a parameter unbound are
+    /// skipped, like both recursive engines.
+    Params {
+        params: &'q [Param],
+        slots: &'q [SlotId],
+        table: &'q ClassTable,
+    },
+}
+
+enum Inner<'q> {
+    /// The resumable stack machine (plan engine).
+    Machine {
+        machine: Box<Machine<'q>>,
+        extract: Extract<'q>,
+    },
+    /// The bounded adapter over the tree-walker's callback engine.
+    Channel(mpsc::Receiver<RtResult<Bindings>>),
+}
+
+/// A lazy, pull-based stream of query solutions.
+///
+/// `Solutions` is a true [`Iterator`]: each `next()` performs only the
+/// solver work needed to reach the next solution, so `take(1)` on a large
+/// enumeration does O(first solution) work — the laziness the paper gets
+/// from compiling to Java_yield coroutines.
+///
+/// A runtime error ends the stream; inspect it with [`Solutions::error`] /
+/// [`Solutions::take_error`].
+///
+/// ```
+/// use jmatch_runtime::{Bindings, Compiler, Value};
+///
+/// let program = Compiler::new().verify(false).compile(
+///     "class Gen {
+///          boolean small(int x) iterates(x) ( x = 1 # 2 # 3 )
+///      }",
+/// )?;
+/// let small = program.method("Gen", "small")?;
+/// let gen = Value::Obj(std::sync::Arc::new(jmatch_runtime::Object {
+///     class: "Gen".into(),
+///     fields: std::collections::HashMap::new(),
+/// }));
+/// let query = small.iterate(Some(&gen), &Bindings::new())?;
+/// let first: Vec<i64> = query
+///     .solutions()
+///     .take(1) // ← only the first solution's work happens
+///     .map(|b| b["x"].as_int().unwrap())
+///     .collect();
+/// assert_eq!(first, vec![1]);
+/// let all: Vec<i64> = query.solutions().map(|b| b["x"].as_int().unwrap()).collect();
+/// assert_eq!(all, vec![1, 2, 3]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Solutions<'q> {
+    inner: Inner<'q>,
+    error: Option<RtError>,
+}
+
+impl Solutions<'_> {
+    /// The error that ended the stream, if any.
+    pub fn error(&self) -> Option<&RtError> {
+        self.error.as_ref()
+    }
+
+    /// Takes the error that ended the stream, if any.
+    pub fn take_error(&mut self) -> Option<RtError> {
+        self.error.take()
+    }
+
+    /// Solver steps spent so far, when the engine can report them (the
+    /// plan engine's stack machine; `None` on the tree-walker adapter).
+    /// This is what the O(1)-first-solution laziness test measures.
+    pub fn steps(&self) -> Option<u64> {
+        match &self.inner {
+            Inner::Machine { machine, .. } => Some(machine.steps()),
+            Inner::Channel(_) => None,
+        }
+    }
+}
+
+impl Iterator for Solutions<'_> {
+    type Item = Bindings;
+
+    fn next(&mut self) -> Option<Bindings> {
+        if self.error.is_some() {
+            return None;
+        }
+        match &mut self.inner {
+            Inner::Machine { machine, extract } => loop {
+                match machine.next_solution() {
+                    Err(e) => {
+                        self.error = Some(e);
+                        return None;
+                    }
+                    Ok(false) => return None,
+                    Ok(true) => {
+                        let frame = machine.root_frame();
+                        match extract {
+                            Extract::Slots(layout) => {
+                                let mut out = Bindings::new();
+                                for (i, v) in frame.iter().enumerate() {
+                                    if let Some(v) = v {
+                                        out.insert(
+                                            layout.name_of(i as SlotId).to_owned(),
+                                            v.clone(),
+                                        );
+                                    }
+                                }
+                                return Some(out);
+                            }
+                            Extract::Params {
+                                params,
+                                slots,
+                                table,
+                            } => {
+                                let mut out = Bindings::new();
+                                let mut ok = true;
+                                for (p, &s) in params.iter().zip(slots.iter()) {
+                                    let Some(v) = &frame[s as usize] else {
+                                        ok = false;
+                                        break;
+                                    };
+                                    if let Type::Named(t) = &p.ty {
+                                        if let Some(class) = v.class() {
+                                            if !table.is_subtype(class, t) {
+                                                ok = false;
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    out.insert(p.name.clone(), v.clone());
+                                }
+                                if ok {
+                                    return Some(out);
+                                }
+                                // Filtered row: pull the next solution.
+                            }
+                        }
+                    }
+                }
+            },
+            Inner::Channel(rx) => match rx.recv() {
+                Ok(Ok(b)) => Some(b),
+                Ok(Err(e)) => {
+                    self.error = Some(e);
+                    None
+                }
+                Err(_) => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+
+    #[test]
+    fn program_is_share_ready() {
+        assert_send_sync_clone::<Program>();
+        assert_send_sync_clone::<MethodRef>();
+        assert_send_sync_clone::<CtorRef>();
+        assert_send_sync_clone::<Limits>();
+    }
+
+    #[test]
+    fn limits_default_matches_plan_engine_depth() {
+        assert_eq!(Limits::default().max_depth, MAX_DEPTH);
+        assert_eq!(Limits::default().max_steps, u64::MAX);
+    }
+}

@@ -31,11 +31,52 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A frame of variable slots.
-type Frame = Vec<Option<Value>>;
+pub(crate) type Frame = Vec<Option<Value>>;
 
 /// The continuation invoked per solution; returns `Ok(true)` to keep
 /// enumerating.
-type Emit<'a> = &'a mut dyn FnMut(&mut Ev<'_>, &mut Frame) -> RtResult<bool>;
+type Emit<'a> = &'a mut dyn FnMut(&mut Ev<'_, '_>, &mut Frame) -> RtResult<bool>;
+
+/// The work budget of one evaluation: a shared step counter plus the
+/// depth / step ceilings, so every entry point (the recursive evaluator and
+/// the resumable [`crate::Solutions`] machine) honors the same
+/// [`crate::Limits`].
+#[derive(Debug, Clone)]
+pub(crate) struct Budget {
+    /// Steps spent so far (solver recursion plus machine steps).
+    pub(crate) steps: u64,
+    /// Ceiling on `steps`.
+    pub(crate) max_steps: u64,
+    /// Ceiling on solver nesting depth.
+    pub(crate) max_depth: usize,
+}
+
+impl Budget {
+    pub(crate) fn new(max_depth: usize, max_steps: u64) -> Self {
+        Budget {
+            steps: 0,
+            max_steps,
+            max_depth,
+        }
+    }
+
+    /// One unit of solver work; errors when the step ceiling is hit.
+    pub(crate) fn step(&mut self) -> RtResult<()> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(RtError::limit("steps", "solver step budget exceeded"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Budget {
+    /// Matches [`crate::Limits::default`]: see [`MAX_DEPTH`] for why the
+    /// depth ceiling must stay well below native stack exhaustion.
+    fn default() -> Self {
+        Budget::new(MAX_DEPTH, u64::MAX)
+    }
+}
 
 /// The plan-based execution engine.
 #[derive(Debug, Clone)]
@@ -54,43 +95,41 @@ impl PlanInterp {
         &self.plan
     }
 
-    fn ev(&self) -> Ev<'_> {
-        Ev {
-            plan: &self.plan,
-            table: self.plan.table(),
-            depth: 0,
-        }
-    }
-
     /// Invokes a named or class constructor of `class` in the forward mode.
     pub fn construct(&self, class: &str, ctor: &str, args: Vec<Value>) -> RtResult<Value> {
-        self.ev().construct(class, ctor, args)
+        let mut budget = Budget::default();
+        Ev::new(&self.plan, &mut budget).construct(class, ctor, args)
     }
 
     /// Calls a free-standing (top-level) method.
     pub fn call_free(&self, name: &str, args: Vec<Value>) -> RtResult<Value> {
-        self.ev().call_free(name, args)
+        let mut budget = Budget::default();
+        Ev::new(&self.plan, &mut budget).call_free(name, args)
     }
 
     /// Calls an instance method in the forward mode.
     pub fn call_method(&self, receiver: &Value, name: &str, args: Vec<Value>) -> RtResult<Value> {
-        self.ev().call_method(receiver, name, args)
+        let mut budget = Budget::default();
+        Ev::new(&self.plan, &mut budget).call_method(receiver, name, args)
     }
 
     /// Enumerates the solutions of matching `value` against the named
     /// constructor `ctor` (the backward mode).
     pub fn deconstruct(&self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
-        self.ev().deconstruct(value, ctor)
+        let mut budget = Budget::default();
+        Ev::new(&self.plan, &mut budget).deconstruct(value, ctor)
     }
 
     /// Tests whether `value` matches the named constructor `ctor`.
     pub fn matches_constructor(&self, value: &Value, ctor: &str) -> RtResult<bool> {
-        self.ev().matches_constructor(value, ctor)
+        let mut budget = Budget::default();
+        Ev::new(&self.plan, &mut budget).matches_constructor(value, ctor)
     }
 
     /// Deep equality, using equality constructors across implementations.
     pub fn values_equal(&self, a: &Value, b: &Value) -> RtResult<bool> {
-        self.ev().values_equal(a, b)
+        let mut budget = Budget::default();
+        Ev::new(&self.plan, &mut budget).values_equal(a, b)
     }
 
     /// Enumerates the solutions of an ad-hoc formula: the formula is lowered
@@ -112,7 +151,8 @@ impl PlanInterp {
                 fr[s as usize] = Some(v.clone());
             }
         }
-        let mut ev = self.ev();
+        let mut budget = Budget::default();
+        let mut ev = Ev::new(&self.plan, &mut budget);
         ev.solve(&mut fr, this, &form.goal, &mut |_, fr| {
             let mut out = Bindings::new();
             for (i, v) in fr.iter().enumerate() {
@@ -126,27 +166,44 @@ impl PlanInterp {
     }
 }
 
-/// One evaluation session: borrows the plan and tracks the recursion guard.
-struct Ev<'p> {
+/// One evaluation session: borrows the plan and a work budget, and tracks
+/// the recursion guard.
+pub(crate) struct Ev<'p, 'b> {
     plan: &'p ProgramPlan,
     table: &'p ClassTable,
     depth: usize,
+    budget: &'b mut Budget,
 }
 
-/// Bound on the solver's nesting depth (goal recursion plus nested
+/// Default bound on the solver's nesting depth (goal recursion plus nested
 /// invocations). Each level costs native stack, so the limit must trip well
 /// before the stack itself is exhausted — ~0.5KB per level against the 2MB
 /// stack of a Rust test thread puts exhaustion around depth 3–5k; 1_000
 /// leaves a comfortable margin while staying far above what any corpus
 /// program reaches.
-const MAX_DEPTH: usize = 1_000;
+pub(crate) const MAX_DEPTH: usize = 1_000;
 
-impl<'p> Ev<'p> {
+impl<'p, 'b> Ev<'p, 'b> {
+    /// Creates an evaluation session over a plan, drawing on `budget`.
+    pub(crate) fn new(plan: &'p ProgramPlan, budget: &'b mut Budget) -> Self {
+        Ev {
+            plan,
+            table: plan.table(),
+            depth: 0,
+            budget,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Entry points
     // ------------------------------------------------------------------
 
-    fn construct(&mut self, class: &str, ctor: &str, args: Vec<Value>) -> RtResult<Value> {
+    pub(crate) fn construct(
+        &mut self,
+        class: &str,
+        ctor: &str,
+        args: Vec<Value>,
+    ) -> RtResult<Value> {
         let declared = self
             .plan
             .lookup_declared(class, ctor)
@@ -164,7 +221,7 @@ impl<'p> Ev<'p> {
         self.run_forward(pid, None, args)
     }
 
-    fn call_free(&mut self, name: &str, args: Vec<Value>) -> RtResult<Value> {
+    pub(crate) fn call_free(&mut self, name: &str, args: Vec<Value>) -> RtResult<Value> {
         let pid = self
             .plan
             .lookup_free(name)
@@ -172,7 +229,12 @@ impl<'p> Ev<'p> {
         self.run_forward(pid, None, args)
     }
 
-    fn call_method(&mut self, receiver: &Value, name: &str, args: Vec<Value>) -> RtResult<Value> {
+    pub(crate) fn call_method(
+        &mut self,
+        receiver: &Value,
+        name: &str,
+        args: Vec<Value>,
+    ) -> RtResult<Value> {
         let class = receiver
             .class()
             .ok_or_else(|| RtError::new("receiver is not an object"))?
@@ -184,7 +246,7 @@ impl<'p> Ev<'p> {
         self.run_forward(pid, Some(receiver.clone()), args)
     }
 
-    fn deconstruct(&mut self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
+    pub(crate) fn deconstruct(&mut self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
         let class = value
             .class()
             .ok_or_else(|| RtError::new("can only deconstruct objects"))?
@@ -215,7 +277,7 @@ impl<'p> Ev<'p> {
         Ok(solutions)
     }
 
-    fn matches_constructor(&mut self, value: &Value, ctor: &str) -> RtResult<bool> {
+    pub(crate) fn matches_constructor(&mut self, value: &Value, ctor: &str) -> RtResult<bool> {
         Ok(!self.deconstruct(value, ctor)?.is_empty() || {
             // Zero-parameter constructors produce an empty solution row set
             // only when they fail; re-check via a direct predicate solve.
@@ -237,7 +299,7 @@ impl<'p> Ev<'p> {
         })
     }
 
-    fn values_equal(&mut self, a: &Value, b: &Value) -> RtResult<bool> {
+    pub(crate) fn values_equal(&mut self, a: &Value, b: &Value) -> RtResult<bool> {
         match (a, b) {
             (Value::Obj(oa), Value::Obj(ob)) => {
                 if Arc::ptr_eq(oa, ob) {
@@ -291,7 +353,7 @@ impl<'p> Ev<'p> {
     // Forward execution
     // ------------------------------------------------------------------
 
-    fn run_forward(
+    pub(crate) fn run_forward(
         &mut self,
         pid: PlanId,
         this: Option<Value>,
@@ -392,7 +454,7 @@ impl<'p> Ev<'p> {
         &mut self,
         value: &Value,
         pid: PlanId,
-        each: &mut dyn FnMut(&mut Ev<'_>, &[Value]) -> RtResult<bool>,
+        each: &mut dyn FnMut(&mut Ev<'_, '_>, &[Value]) -> RtResult<bool>,
     ) -> RtResult<()> {
         let plan = self.plan;
         let mp = plan.method(pid);
@@ -497,17 +559,18 @@ impl<'p> Ev<'p> {
 
     /// Enumerates the solutions of a goal. Returns `Ok(false)` when the
     /// continuation asked to stop.
-    fn solve(
+    pub(crate) fn solve(
         &mut self,
         fr: &mut Frame,
         this: Option<&Value>,
         g: &Goal,
         emit: Emit<'_>,
     ) -> RtResult<bool> {
+        self.budget.step()?;
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
+        if self.depth > self.budget.max_depth {
             self.depth -= 1;
-            return Err(RtError::new("solver recursion limit exceeded"));
+            return Err(RtError::limit("depth", "solver recursion limit exceeded"));
         }
         let r = self.solve_inner(fr, this, g, emit);
         self.depth -= 1;
@@ -689,7 +752,7 @@ impl<'p> Ev<'p> {
         })
     }
 
-    fn check_ready(&self, fr: &Frame, this: Option<&Value>, c: &ReadyCheck) -> bool {
+    pub(crate) fn check_ready(&self, fr: &Frame, this: Option<&Value>, c: &ReadyCheck) -> bool {
         match c {
             ReadyCheck::Always => true,
             ReadyCheck::Never => false,
@@ -718,7 +781,7 @@ impl<'p> Ev<'p> {
         r
     }
 
-    fn match_pat(
+    pub(crate) fn match_pat(
         &mut self,
         fr: &mut Frame,
         this: Option<&Value>,
@@ -861,7 +924,11 @@ impl<'p> Ev<'p> {
 
     /// Converts `value` into an instance of `class` using `class`'s equality
     /// constructor (operationally: find a `class` object equal to `value`).
-    fn convert_via_equals(&mut self, class: &str, value: &Value) -> RtResult<Option<Value>> {
+    pub(crate) fn convert_via_equals(
+        &mut self,
+        class: &str,
+        value: &Value,
+    ) -> RtResult<Option<Value>> {
         let plan = self.plan;
         let Some(pid) = plan.lookup_impl(class, "equals") else {
             return Ok(None);
@@ -956,7 +1023,7 @@ impl<'p> Ev<'p> {
     // ------------------------------------------------------------------
 
     /// Whether every variable mentioned by the expression is bound.
-    fn ground(&self, fr: &Frame, this: Option<&Value>, e: &PExpr) -> bool {
+    pub(crate) fn ground(&self, fr: &Frame, this: Option<&Value>, e: &PExpr) -> bool {
         match e {
             PExpr::Int(_) | PExpr::Bool(_) | PExpr::Str(_) | PExpr::Null => true,
             PExpr::This => this.is_some(),
@@ -995,7 +1062,7 @@ impl<'p> Ev<'p> {
     }
 
     /// Evaluates a ground expression.
-    fn eval(&mut self, fr: &Frame, this: Option<&Value>, e: &PExpr) -> RtResult<Value> {
+    pub(crate) fn eval(&mut self, fr: &Frame, this: Option<&Value>, e: &PExpr) -> RtResult<Value> {
         match e {
             PExpr::Int(n) => Ok(Value::Int(*n)),
             PExpr::Bool(b) => Ok(Value::Bool(*b)),

@@ -28,11 +28,18 @@
 //! * invertible integer arithmetic in patterns (`ZNat(val - 1) = n` solves
 //!   for `val`).
 //!
-//! ## Example
+//! ## The embedding API
+//!
+//! The paper's compilation target — Java_yield coroutines that *lazily*
+//! yield one solution at a time — is mirrored by the [`Compiler`] /
+//! [`Program`] / [`Query`] surface: compile once into a cheap-to-clone,
+//! `Send + Sync` [`Program`], resolve method lookups once into
+//! [`MethodRef`] / [`CtorRef`] handles, and pull solutions through the
+//! [`Solutions`] iterator, which does O(first solution) work for
+//! `take(1)` instead of enumerating everything.
 //!
 //! ```
-//! use jmatch_core::{compile, CompileOptions};
-//! use jmatch_runtime::{Interp, Value};
+//! use jmatch_runtime::{args, Compiler, Value};
 //!
 //! let source = r#"
 //!     class Box {
@@ -45,20 +52,26 @@
 //!         }
 //!     }
 //! "#;
-//! let compiled = compile(source, &CompileOptions { verify: false, ..Default::default() })?;
-//! let interp = Interp::new(compiled.table.clone());
-//! let boxed = interp.construct("Box", "of", vec![Value::Int(7)]).unwrap();
-//! let out = interp.call_free("unbox", vec![boxed]).unwrap();
-//! assert_eq!(out, Value::Int(7));
-//! # Ok::<(), jmatch_syntax::ParseError>(())
+//! let program = Compiler::new().verify(false).compile(source)?;
+//! let of = program.ctor("Box", "of")?;       // resolved once
+//! let unbox = program.free_method("unbox")?; // resolved once
+//! let boxed = of.construct(args![7])?;
+//! assert_eq!(unbox.call(None, args![boxed])?, Value::Int(7));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The pre-redesign [`Interp`] facade remains as a set of deprecated shims
+//! over this surface.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod api;
 pub mod eval;
+mod machine;
 pub mod tree;
 
+pub use api::{Compiler, CtorRef, Limits, MethodRef, Program, Query, Solutions};
 pub use eval::PlanInterp;
 pub use tree::TreeWalker;
 
@@ -70,7 +83,14 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A runtime value.
+///
+/// The enum is `#[non_exhaustive]`: future dialect growth (floats, arrays,
+/// ...) may add variants without a semver break, so downstream matches need
+/// a wildcard arm. Prefer the typed accessors ([`Value::as_int`],
+/// [`Value::as_str`], [`Value::field`]) and the [`From`] / [`TryFrom`]
+/// conversions over matching by hand.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Value {
     /// An integer.
     Int(i64),
@@ -110,6 +130,25 @@ impl Value {
         }
     }
 
+    /// Convenience accessor for strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A field of an object value, by name.
+    ///
+    /// Replaces the `Value::Obj(o) => o.fields["val"]` pattern every
+    /// embedder used to write by hand.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(o) => o.fields.get(name),
+            _ => None,
+        }
+    }
+
     /// The runtime class of an object value.
     pub fn class(&self) -> Option<&str> {
         match self {
@@ -117,6 +156,77 @@ impl Value {
             _ => None,
         }
     }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl TryFrom<Value> for i64 {
+    type Error = RtError;
+
+    fn try_from(v: Value) -> Result<i64, RtError> {
+        v.as_int()
+            .ok_or_else(|| RtError::new(format!("expected an int, got {v}")))
+    }
+}
+
+impl TryFrom<Value> for bool {
+    type Error = RtError;
+
+    fn try_from(v: Value) -> Result<bool, RtError> {
+        v.as_bool()
+            .ok_or_else(|| RtError::new(format!("expected a boolean, got {v}")))
+    }
+}
+
+impl TryFrom<Value> for String {
+    type Error = RtError;
+
+    fn try_from(v: Value) -> Result<String, RtError> {
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(RtError::new(format!("expected a string, got {other}"))),
+        }
+    }
+}
+
+/// Builds a `Vec<Value>` argument list from host values, converting each
+/// element with [`Value::from`] (so `i64`, `bool`, `&str`, `String` and
+/// [`Value`] itself all work).
+///
+/// ```
+/// use jmatch_runtime::{args, Value};
+///
+/// let xs = args![1, true, "hi", Value::Null];
+/// assert_eq!(xs[0], Value::Int(1));
+/// assert_eq!(xs[2], Value::Str("hi".into()));
+/// assert!(args![].is_empty());
+/// ```
+#[macro_export]
+macro_rules! args {
+    () => { ::std::vec::Vec::<$crate::Value>::new() };
+    ($($e:expr),+ $(,)?) => { ::std::vec![$($crate::Value::from($e)),+] };
 }
 
 impl fmt::Display for Value {
@@ -169,8 +279,25 @@ pub enum RtErrorKind {
         /// The requested mode.
         requested: String,
     },
+    /// A work ceiling of [`Limits`] was hit.
+    LimitExceeded {
+        /// Which resource ran out: `"depth"` or `"steps"`.
+        resource: String,
+    },
     /// Any other runtime failure.
     Other,
+}
+
+impl fmt::Display for RtErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtErrorKind::MethodNotFound { .. } => write!(f, "method-not-found"),
+            RtErrorKind::ArityMismatch { .. } => write!(f, "arity-mismatch"),
+            RtErrorKind::ModeMismatch { .. } => write!(f, "mode-mismatch"),
+            RtErrorKind::LimitExceeded { resource } => write!(f, "limit-exceeded:{resource}"),
+            RtErrorKind::Other => write!(f, "other"),
+        }
+    }
 }
 
 /// A runtime error (match failure, unsolvable formula, missing method, ...).
@@ -222,11 +349,20 @@ impl RtError {
             },
         }
     }
+
+    pub(crate) fn limit(resource: &str, message: impl Into<String>) -> Self {
+        RtError {
+            message: message.into(),
+            kind: RtErrorKind::LimitExceeded {
+                resource: resource.to_owned(),
+            },
+        }
+    }
 }
 
 impl fmt::Display for RtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "runtime error: {}", self.message)
+        write!(f, "runtime error[{}]: {}", self.kind, self.message)
     }
 }
 
@@ -244,8 +380,12 @@ pub(crate) enum Flow {
     Return(Value),
 }
 
-/// Which execution engine an [`Interp`] uses.
+/// Which execution engine a [`Program`] (or legacy [`Interp`]) uses.
+///
+/// `#[non_exhaustive]`: future engines (e.g. a compiled backend) may be
+/// added without a semver break.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum Engine {
     /// The plan evaluator over lowered query plans (the default).
     #[default]
@@ -255,16 +395,15 @@ pub enum Engine {
     TreeWalk,
 }
 
-/// The interpreter facade: one API, two engines.
+/// The pre-redesign interpreter facade, kept as thin shims over the
+/// [`Program`] / [`Query`] embedding API.
 ///
-/// [`Interp::new`] compiles the program's query plans once and executes them
-/// with the plan evaluator; [`Interp::with_engine`] selects the legacy
-/// tree-walker instead.
+/// Every operation is `#[deprecated]` in favor of its replacement on the
+/// new surface; [`Interp::program`] hands out the underlying [`Program`]
+/// for incremental migration.
 #[derive(Debug, Clone)]
 pub struct Interp {
-    engine: Engine,
-    tree: TreeWalker,
-    plan: Option<PlanInterp>,
+    program: Program,
 }
 
 impl Interp {
@@ -276,89 +415,111 @@ impl Interp {
 
     /// Creates an interpreter with an explicit engine choice.
     pub fn with_engine(table: Arc<ClassTable>, engine: Engine) -> Self {
-        let plan = match engine {
-            Engine::Plan => Some(PlanInterp::new(ProgramPlan::compile(Arc::clone(&table)))),
-            Engine::TreeWalk => None,
-        };
         Interp {
-            engine,
-            tree: TreeWalker::new(table),
-            plan,
+            program: Program::from_table(table, engine),
         }
+    }
+
+    /// The [`Program`] this facade shims over — the migration path to the
+    /// new embedding API.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// The engine this interpreter executes with.
     pub fn engine(&self) -> Engine {
-        self.engine
+        self.program.engine()
     }
 
     /// The class table the interpreter runs against.
     pub fn table(&self) -> &ClassTable {
-        self.tree.table()
+        self.program.table()
     }
 
     /// The compiled program plan, when the plan engine is active.
     pub fn plan(&self) -> Option<&Arc<ProgramPlan>> {
-        self.plan.as_ref().map(PlanInterp::plan)
+        match self.program.engine() {
+            Engine::Plan => Some(self.program.plan()),
+            _ => None,
+        }
     }
 
     /// Invokes a named or class constructor of `class` in the forward mode.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Program::ctor(class, ctor)?.construct(args)`"
+    )]
     pub fn construct(&self, class: &str, ctor: &str, args: Vec<Value>) -> RtResult<Value> {
-        match &self.plan {
-            Some(p) => p.construct(class, ctor, args),
-            None => self.tree.construct(class, ctor, args),
-        }
+        self.program.ctor(class, ctor)?.construct(args)
     }
 
     /// Calls a free-standing (top-level) method.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Program::free_method(name)?.call(None, args)`"
+    )]
     pub fn call_free(&self, name: &str, args: Vec<Value>) -> RtResult<Value> {
-        match &self.plan {
-            Some(p) => p.call_free(name, args),
-            None => self.tree.call_free(name, args),
-        }
+        self.program.free_method(name)?.call(None, args)
     }
 
     /// Calls an instance method in the forward mode.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Program::method(class, name)?.call(Some(receiver), args)`"
+    )]
     pub fn call_method(&self, receiver: &Value, name: &str, args: Vec<Value>) -> RtResult<Value> {
-        match &self.plan {
-            Some(p) => p.call_method(receiver, name, args),
-            None => self.tree.call_method(receiver, name, args),
-        }
+        let class = receiver
+            .class()
+            .ok_or_else(|| RtError::new("receiver is not an object"))?
+            .to_owned();
+        self.program
+            .method(&class, name)?
+            .call(Some(receiver), args)
     }
 
     /// Enumerates the solutions of matching `value` against the named
     /// constructor `ctor` (the backward mode): each solution is the vector of
     /// values bound to the constructor's parameters.
+    ///
+    /// Unlike the lazy [`Program::deconstruct`] query this eagerly
+    /// materializes every solution.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Program::deconstruct(value, ctor)?.solutions()` — a lazy iterator"
+    )]
     pub fn deconstruct(&self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
-        match &self.plan {
-            Some(p) => p.deconstruct(value, ctor),
-            None => self.tree.deconstruct(value, ctor),
-        }
+        self.program.deconstruct(value, ctor)?.try_collect_rows()
     }
 
     /// Tests whether `value` matches the named constructor `ctor` (predicate
     /// use of a named constructor, e.g. `ZNat(0).zero()`).
+    #[deprecated(since = "0.1.0", note = "use `Program::matches(value, ctor)`")]
     pub fn matches_constructor(&self, value: &Value, ctor: &str) -> RtResult<bool> {
-        match &self.plan {
-            Some(p) => p.matches_constructor(value, ctor),
-            None => self.tree.matches_constructor(value, ctor),
-        }
+        self.program.matches(value, ctor)
     }
 
     /// Deep equality, using equality constructors (§3.2) across different
     /// implementations of the same abstraction.
+    #[deprecated(since = "0.1.0", note = "use `Program::values_equal(a, b)`")]
     pub fn values_equal(&self, a: &Value, b: &Value) -> RtResult<bool> {
-        match &self.plan {
-            Some(p) => p.values_equal(a, b),
-            None => self.tree.values_equal(a, b),
-        }
+        self.program.values_equal(a, b)
     }
 
     /// Enumerates solutions of a formula. `emit` returns `false` to stop.
     ///
-    /// With the plan engine, the formula is lowered on the fly against the
-    /// entry bindings; `depth` is ignored. With the tree-walker, `depth`
-    /// seeds the recursion guard, as before.
+    /// `depth` shrinks the default depth ceiling; both engines honor it
+    /// identically now (the plan engine used to ignore it silently).
+    ///
+    /// Note the ceiling itself changed: the tree-walker's old fixed budget
+    /// of 10,000 (reset at every constructor match) is replaced by the
+    /// unified [`Limits::default`] `max_depth` of 1,000, metered *across*
+    /// constructor matches. Deeply recursive enumerations that relied on
+    /// the old reset now need `Program::with_limits` with a larger
+    /// `max_depth`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Program::solve(f, env, this).limits(..).solutions()` — a lazy iterator"
+    )]
     pub fn solve(
         &self,
         env: &Bindings,
@@ -367,17 +528,36 @@ impl Interp {
         depth: usize,
         emit: &mut dyn FnMut(&Bindings) -> bool,
     ) -> RtResult<()> {
-        match &self.plan {
-            Some(p) => p.solve(env, this, f, emit),
-            None => self.tree.solve(env, this, f, depth, emit),
+        let limits = Limits {
+            max_depth: self.program.limits().max_depth.saturating_sub(depth),
+            ..self.program.limits()
+        };
+        let query = self.program.solve(f, env, this).limits(limits);
+        if self.program.engine() != Engine::Plan {
+            // The legacy path: drive the callback engine on this thread.
+            return query.tree_run_inline(&mut |b| emit(&b));
+        }
+        let mut solutions = query.solutions();
+        for b in solutions.by_ref() {
+            if !emit(&b) {
+                return Ok(());
+            }
+        }
+        match solutions.take_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
     /// Evaluates a ground expression.
+    #[deprecated(
+        since = "0.1.0",
+        note = "ground evaluation is an engine detail; drive programs through `Program` queries"
+    )]
     pub fn eval(&self, env: &Bindings, this: Option<&Value>, e: &Expr) -> RtResult<Value> {
         // Ground evaluation has no mode choice to specialize; both engines
         // share the tree-walker's implementation.
-        self.tree.eval(env, this, e)
+        TreeWalker::new(Arc::clone(self.program.table())).eval(env, this, e)
     }
 }
 
@@ -385,9 +565,8 @@ impl Interp {
 mod tests {
     use super::*;
     use jmatch_core::{compile, CompileOptions};
-    use jmatch_syntax::ast::MethodBody;
 
-    fn interp_for(src: &str, engine: Engine) -> Interp {
+    fn program_for(src: &str, engine: Engine) -> Program {
         let compiled = compile(
             src,
             &CompileOptions {
@@ -396,13 +575,13 @@ mod tests {
             },
         )
         .unwrap();
-        Interp::with_engine(compiled.table.clone(), engine)
+        Program::from_table(compiled.table, engine)
     }
 
-    fn both_engines(src: &str) -> [Interp; 2] {
+    fn both_engines(src: &str) -> [Program; 2] {
         [
-            interp_for(src, Engine::Plan),
-            interp_for(src, Engine::TreeWalk),
+            program_for(src, Engine::Plan),
+            program_for(src, Engine::TreeWalk),
         ]
     }
 
@@ -443,76 +622,92 @@ mod tests {
         }
     "#;
 
-    fn znat(interp: &Interp, n: i64) -> Value {
-        let mut v = interp.construct("ZNat", "zero", vec![]).unwrap();
+    fn znat(program: &Program, n: i64) -> Value {
+        let zero = program.ctor("ZNat", "zero").unwrap();
+        let succ = program.ctor("ZNat", "succ").unwrap();
+        let mut v = zero.construct(args![]).unwrap();
         for _ in 0..n {
-            v = interp.construct("ZNat", "succ", vec![v]).unwrap();
+            v = succ.construct(args![v]).unwrap();
         }
         v
     }
 
     fn znat_value(v: &Value) -> i64 {
-        match v {
-            Value::Obj(o) => o.fields["val"].as_int().unwrap(),
-            _ => panic!("not a ZNat"),
-        }
+        v.field("val").and_then(Value::as_int).expect("not a ZNat")
+    }
+
+    fn obj(class: &str) -> Value {
+        Value::Obj(Arc::new(Object {
+            class: class.into(),
+            fields: HashMap::new(),
+        }))
     }
 
     #[test]
     fn construct_and_deconstruct_znat() {
-        for interp in both_engines(NAT_PROGRAM) {
-            let three = znat(&interp, 3);
+        for program in both_engines(NAT_PROGRAM) {
+            let three = znat(&program, 3);
             assert_eq!(znat_value(&three), 3);
-            // Backward mode: succ(three) yields the predecessor.
-            let rows = interp.deconstruct(&three, "succ").unwrap();
+            // Backward mode: succ(three) yields the predecessor, lazily.
+            let query = program.deconstruct(&three, "succ").unwrap();
+            let rows: Vec<Bindings> = query.solutions().collect();
             assert_eq!(rows.len(), 1);
-            assert_eq!(znat_value(&rows[0][0]), 2);
+            assert_eq!(znat_value(&rows[0]["n"]), 2);
             // zero() does not match three.
-            assert!(!interp.matches_constructor(&three, "zero").unwrap());
-            let zero = znat(&interp, 0);
-            assert!(interp.matches_constructor(&zero, "zero").unwrap());
+            assert!(!program.matches(&three, "zero").unwrap());
+            let zero = znat(&program, 0);
+            assert!(program.matches(&zero, "zero").unwrap());
         }
     }
 
     #[test]
     fn plus_adds_znat_numbers() {
-        for interp in both_engines(NAT_PROGRAM) {
-            let a = znat(&interp, 2);
-            let b = znat(&interp, 3);
-            let sum = interp.call_free("plus", vec![a, b]).unwrap();
+        for program in both_engines(NAT_PROGRAM) {
+            let a = znat(&program, 2);
+            let b = znat(&program, 3);
+            let plus = program.free_method("plus").unwrap();
+            let sum = plus.call(None, args![a, b]).unwrap();
             assert_eq!(znat_value(&sum), 5);
         }
     }
 
     #[test]
     fn plus_handles_zero_cases() {
-        for interp in both_engines(NAT_PROGRAM) {
-            let zero = znat(&interp, 0);
-            let four = znat(&interp, 4);
-            let s1 = interp
-                .call_free("plus", vec![zero.clone(), four.clone()])
-                .unwrap();
+        for program in both_engines(NAT_PROGRAM) {
+            let plus = program.free_method("plus").unwrap();
+            let zero = znat(&program, 0);
+            let four = znat(&program, 4);
+            let s1 = plus.call(None, args![zero.clone(), four.clone()]).unwrap();
             assert_eq!(znat_value(&s1), 4);
-            let s2 = interp.call_free("plus", vec![four, zero]).unwrap();
+            let s2 = plus.call(None, args![four, zero]).unwrap();
             assert_eq!(znat_value(&s2), 4);
         }
     }
 
     #[test]
     fn peano_implementation_interoperates() {
-        for interp in both_engines(NAT_PROGRAM) {
+        for program in both_engines(NAT_PROGRAM) {
             // Build 2 using the Peano classes: PSucc(PSucc(PZero)).
-            let p0 = interp.construct("PZero", "zero", vec![]).unwrap();
-            let p1 = interp.construct("PSucc", "succ", vec![p0]).unwrap();
-            let p2 = interp.construct("PSucc", "succ", vec![p1]).unwrap();
+            let p0 = program
+                .ctor("PZero", "zero")
+                .unwrap()
+                .construct(args![])
+                .unwrap();
+            let psucc = program.ctor("PSucc", "succ").unwrap();
+            let p1 = psucc.construct(args![p0]).unwrap();
+            let p2 = psucc.construct(args![p1]).unwrap();
             // Deconstruct with the named constructor.
-            let rows = interp.deconstruct(&p2, "succ").unwrap();
+            let rows: Vec<Bindings> = program
+                .deconstruct(&p2, "succ")
+                .unwrap()
+                .solutions()
+                .collect();
             assert_eq!(rows.len(), 1);
             // Equality constructors let ZNat(2) equal PSucc(PSucc(PZero)).
-            let z2 = znat(&interp, 2);
-            assert!(interp.values_equal(&z2, &p2).unwrap());
-            let z3 = znat(&interp, 3);
-            assert!(!interp.values_equal(&z3, &p2).unwrap());
+            let z2 = znat(&program, 2);
+            assert!(program.values_equal(&z2, &p2).unwrap());
+            let z3 = znat(&program, 3);
+            assert!(!program.values_equal(&z3, &p2).unwrap());
         }
     }
 
@@ -524,29 +719,24 @@ mod tests {
                     ( x = 0 || x = 1 || x = 2 )
             }
         "#;
-        for interp in both_engines(src) {
-            let range = Value::Obj(Arc::new(Object {
-                class: "Range".into(),
-                fields: HashMap::new(),
-            }));
-            let minfo = interp
-                .table()
-                .lookup_method("Range", "below")
-                .unwrap()
-                .clone();
-            let MethodBody::Formula(f) = &minfo.decl.body else {
-                panic!()
-            };
+        for program in both_engines(src) {
+            let range = obj("Range");
+            let below = program.method("Range", "below").unwrap();
             let mut env = Bindings::new();
             env.insert("n".into(), Value::Int(3));
-            let mut seen = Vec::new();
-            interp
-                .solve(&env, Some(&range), f, 0, &mut |b| {
-                    seen.push(b.get("x").and_then(|v| v.as_int()).unwrap());
-                    true
-                })
-                .unwrap();
+            let query = below.iterate(Some(&range), &env).unwrap();
+            let seen: Vec<i64> = query
+                .solutions()
+                .map(|b| b["x"].as_int().unwrap())
+                .collect();
             assert_eq!(seen, vec![0, 1, 2]);
+            // take(1) stops after the first solution.
+            let first: Vec<i64> = query
+                .solutions()
+                .take(1)
+                .map(|b| b["x"].as_int().unwrap())
+                .collect();
+            assert_eq!(first, vec![0]);
         }
     }
 
@@ -564,29 +754,12 @@ mod tests {
                 }
             }
         "#;
-        for interp in both_engines(src) {
-            let obj = Value::Obj(Arc::new(Object {
-                class: "M".into(),
-                fields: HashMap::new(),
-            }));
-            assert_eq!(
-                interp
-                    .call_method(&obj, "classify", vec![Value::Int(6)])
-                    .unwrap(),
-                Value::Int(1)
-            );
-            assert_eq!(
-                interp
-                    .call_method(&obj, "classify", vec![Value::Int(2)])
-                    .unwrap(),
-                Value::Int(0)
-            );
-            assert_eq!(
-                interp
-                    .call_method(&obj, "classify", vec![Value::Int(-3)])
-                    .unwrap(),
-                Value::Int(-1)
-            );
+        for program in both_engines(src) {
+            let m = obj("M");
+            let classify = program.method("M", "classify").unwrap();
+            assert_eq!(classify.call(Some(&m), args![6]).unwrap(), Value::Int(1));
+            assert_eq!(classify.call(Some(&m), args![2]).unwrap(), Value::Int(0));
+            assert_eq!(classify.call(Some(&m), args![-3]).unwrap(), Value::Int(-1));
         }
     }
 
@@ -603,31 +776,30 @@ mod tests {
                 }
             }
         "#;
-        for interp in both_engines(src) {
-            let obj = Value::Obj(Arc::new(Object {
-                class: "M".into(),
-                fields: HashMap::new(),
-            }));
-            assert_eq!(
-                interp.call_method(&obj, "sum3", vec![]).unwrap(),
-                Value::Int(6)
-            );
+        for program in both_engines(src) {
+            let m = obj("M");
+            let sum3 = program.method("M", "sum3").unwrap();
+            assert_eq!(sum3.call(Some(&m), args![]).unwrap(), Value::Int(6));
         }
     }
 
     #[test]
     fn runtime_match_failure_is_an_error() {
-        for interp in both_engines(NAT_PROGRAM) {
+        for program in both_engines(NAT_PROGRAM) {
             // ZNat's private constructor requires n >= 0.
-            let err = interp.construct("ZNat", "ZNat", vec![Value::Int(-1)]);
-            assert!(err.is_err());
+            let ctor = program.ctor("ZNat", "ZNat").unwrap();
+            assert!(ctor.construct(args![-1]).is_err());
         }
     }
 
     #[test]
     fn arity_errors_name_the_method_and_counts() {
-        for interp in both_engines(NAT_PROGRAM) {
-            let err = interp.construct("ZNat", "succ", vec![]).unwrap_err();
+        for program in both_engines(NAT_PROGRAM) {
+            let err = program
+                .ctor("ZNat", "succ")
+                .unwrap()
+                .construct(args![])
+                .unwrap_err();
             assert_eq!(
                 err.kind,
                 RtErrorKind::ArityMismatch {
@@ -643,8 +815,8 @@ mod tests {
 
     #[test]
     fn missing_method_errors_name_scope_and_method() {
-        for interp in both_engines(NAT_PROGRAM) {
-            let err = interp.call_free("nosuch", vec![]).unwrap_err();
+        for program in both_engines(NAT_PROGRAM) {
+            let err = program.free_method("nosuch").unwrap_err();
             assert_eq!(
                 err.kind,
                 RtErrorKind::MethodNotFound {
@@ -652,8 +824,7 @@ mod tests {
                     name: "nosuch".into(),
                 }
             );
-            let two = znat(&interp, 2);
-            let err = interp.call_method(&two, "nosuch", vec![]).unwrap_err();
+            let err = program.method("ZNat", "nosuch").unwrap_err();
             assert_eq!(
                 err.kind,
                 RtErrorKind::MethodNotFound {
@@ -676,12 +847,12 @@ mod tests {
                 }
             }
         "#;
-        for interp in both_engines(src) {
-            let obj = Value::Obj(Arc::new(Object {
-                class: "M".into(),
-                fields: HashMap::new(),
-            }));
-            let err = interp.call_free("probe", vec![obj]).unwrap_err();
+        for program in both_engines(src) {
+            let err = program
+                .free_method("probe")
+                .unwrap()
+                .call(None, args![obj("M")])
+                .unwrap_err();
             assert_eq!(
                 err.kind,
                 RtErrorKind::ModeMismatch {
@@ -694,19 +865,82 @@ mod tests {
 
     #[test]
     fn value_display_is_readable() {
-        let interp = interp_for(NAT_PROGRAM, Engine::Plan);
-        let two = znat(&interp, 2);
+        let program = program_for(NAT_PROGRAM, Engine::Plan);
+        let two = znat(&program, 2);
         let text = two.to_string();
         assert!(text.contains("ZNat"));
         assert!(text.contains("val = 2"));
     }
 
     #[test]
+    fn value_conversions_round_trip() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(i64::try_from(Value::Int(7)).unwrap(), 7);
+        assert!(bool::try_from(Value::Bool(false)).is_ok());
+        assert_eq!(String::try_from(Value::Str("s".into())).unwrap(), "s");
+        assert!(i64::try_from(Value::Null).is_err());
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Int(1).as_str(), None);
+        let program = program_for(NAT_PROGRAM, Engine::Plan);
+        let two = znat(&program, 2);
+        assert_eq!(two.field("val"), Some(&Value::Int(2)));
+        assert_eq!(two.field("nope"), None);
+        assert_eq!(Value::Int(1).field("val"), None);
+    }
+
+    #[test]
+    fn rt_error_display_includes_the_kind() {
+        let program = program_for(NAT_PROGRAM, Engine::Plan);
+        let err = program.free_method("nosuch").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("method-not-found"), "{text}");
+        assert!(text.contains("nosuch"), "{text}");
+        let limit = RtError::limit("depth", "solver recursion limit exceeded");
+        assert!(limit.to_string().contains("limit-exceeded:depth"));
+    }
+
+    #[test]
     fn plan_engine_exposes_its_program_plan() {
-        let interp = interp_for(NAT_PROGRAM, Engine::Plan);
+        let program = program_for(NAT_PROGRAM, Engine::Plan);
+        let interp = Interp::with_engine(Arc::clone(program.table()), Engine::Plan);
         let plan = interp.plan().expect("plan engine has a plan");
         assert!(plan.lookup_impl("ZNat", "succ").is_some());
-        let tree = interp_for(NAT_PROGRAM, Engine::TreeWalk);
+        let tree = Interp::with_engine(Arc::clone(program.table()), Engine::TreeWalk);
         assert!(tree.plan().is_none());
+    }
+
+    /// The deprecated [`Interp`] shims must keep working over the new
+    /// surface with their old signatures and semantics.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_interp_shims_still_work() {
+        for engine in [Engine::Plan, Engine::TreeWalk] {
+            let compiled = compile(
+                NAT_PROGRAM,
+                &CompileOptions {
+                    verify: false,
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+            let interp = Interp::with_engine(compiled.table, engine);
+            let mut three = interp.construct("ZNat", "zero", vec![]).unwrap();
+            for _ in 0..3 {
+                three = interp.construct("ZNat", "succ", vec![three]).unwrap();
+            }
+            let rows = interp.deconstruct(&three, "succ").unwrap();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(znat_value(&rows[0][0]), 2);
+            assert!(!interp.matches_constructor(&three, "zero").unwrap());
+            let sum = interp
+                .call_free("plus", vec![three.clone(), three.clone()])
+                .unwrap();
+            assert_eq!(znat_value(&sum), 6);
+            assert!(interp.values_equal(&three, &three.clone()).unwrap());
+            let err = interp.call_method(&Value::Int(1), "anything", vec![]);
+            assert!(err.is_err());
+        }
     }
 }

@@ -1,0 +1,876 @@
+//! The resumable solver: an explicit stack machine over lowered goals.
+//!
+//! The paper compiles JMatch to Java_yield — coroutines that *lazily* yield
+//! one solution at a time, so a `foreach` over a backward-mode method does
+//! O(1) work per element and can stop early (§2.3, §5). The recursive plan
+//! evaluator in [`crate::eval`] implements the same search as host-language
+//! recursion with an inverted `emit` callback, which cannot be suspended:
+//! the caller gets *pushed* solutions and the only way to stop is to refuse
+//! them after the work is done.
+//!
+//! This module is the pull-based counterpart. The choice-point recursion of
+//! the evaluator is reified into explicit machine state:
+//!
+//! * a **continuation stack** ([`Step`]s linked through persistent
+//!   [`Rc`] nodes, so choice points capture it in O(1)),
+//! * a **choice-point stack** recording the untried alternatives of each
+//!   disjunction / or-pattern,
+//! * a **trail** of slot writes plus a frame-arena mark per choice point, so
+//!   backtracking undoes bindings without cloning frames, and
+//! * a **frame arena** holding one flat slot frame per active constructor
+//!   match (the machine's activation records).
+//!
+//! [`Machine::next_solution`] runs the loop until the continuation stack
+//! empties (a solution — the machine *returns* with its state intact) or
+//! the choice points are exhausted. Calling it again backtracks into the
+//! most recent choice point and continues, so `query.take(1)` does exactly
+//! the work of the first solution: this is what [`crate::Solutions`] is
+//! built on, and what the `first_solution` bench and the laziness test in
+//! `tests/laziness.rs` measure.
+//!
+//! Deterministic sub-computations — ground evaluation, forward calls,
+//! negation-as-failure existence checks, deep equality — run through the
+//! recursive evaluator ([`Ev`]) on the shared [`Budget`]: they produce a
+//! single answer and never need to be resumed, so reifying them would buy
+//! nothing. The enumeration *spine* (conjunction scheduling, disjunction
+//! branches, constructor matching, pattern disjunction) is what the machine
+//! makes resumable, and its observable behavior — values, bindings,
+//! enumeration order, failures — is kept identical to the recursive
+//! evaluator's and the tree-walker's; `tests/differential.rs` asserts it.
+
+use crate::eval::{Budget, Ev, Frame};
+use crate::{RtError, RtResult, Value};
+use jmatch_core::lower::{
+    BodyPlan, CallKind, Goal, PExpr, PlanId, ProgramPlan, ReadyCheck, SlotId,
+};
+use jmatch_syntax::ast::{BinOp, CmpOp, Type};
+use std::rc::Rc;
+
+/// One pending unit of work on the continuation stack.
+#[derive(Clone)]
+enum Step<'g> {
+    /// Solve a goal in frame `fi`.
+    Goal { fi: usize, goal: &'g Goal },
+    /// A dynamically scheduled conjunction with the conjuncts still to run.
+    DynSeq {
+        fi: usize,
+        items: &'g [(ReadyCheck, Goal)],
+        remaining: Vec<usize>,
+    },
+    /// Match a pattern against a known value in frame `fi`.
+    Match {
+        fi: usize,
+        pat: &'g PExpr,
+        value: Value,
+    },
+    /// A constructor-match solution boundary: the callee frame holds one
+    /// solution of the matching plan; collect the parameter row and match
+    /// the caller's argument patterns against it (first solution per
+    /// pattern, errors skip the row — the evaluator's `match_args_then`).
+    CollectRow {
+        caller: usize,
+        callee: usize,
+        param_slots: &'g [SlotId],
+        args: &'g [PExpr],
+    },
+}
+
+/// Persistent continuation: a linked stack shared between the machine and
+/// its choice points, so capturing it costs one `Rc` clone.
+struct Cont<'g> {
+    step: Step<'g>,
+    next: ContRef<'g>,
+}
+
+type ContRef<'g> = Option<Rc<Cont<'g>>>;
+
+/// The untried alternatives of one choice point.
+enum Alt<'g> {
+    /// Remaining branches of a `Goal::Any`, starting at `next`.
+    Branches {
+        fi: usize,
+        branches: &'g [Goal],
+        next: usize,
+    },
+    /// The right branch of an or-pattern.
+    OrPat {
+        fi: usize,
+        pat: &'g PExpr,
+        value: Value,
+    },
+}
+
+/// A choice point: enough state to restore the machine to the moment the
+/// choice was made and try the next alternative.
+struct Choice<'g> {
+    cont: ContRef<'g>,
+    trail_mark: usize,
+    frames_mark: usize,
+    alt: Alt<'g>,
+}
+
+/// One undoable slot write.
+struct TrailEntry {
+    fi: usize,
+    slot: SlotId,
+    old: Option<Value>,
+}
+
+/// An activation frame: the slots of one solved form plus its `this`.
+struct FrameCtx {
+    slots: Frame,
+    this: Option<Value>,
+}
+
+/// Where the machine is in its run.
+enum Phase {
+    /// Steps or choice points remain.
+    Running,
+    /// Stopped at a solution; the next call backtracks first.
+    AtSolution,
+    /// Enumeration is complete (or an error ended it).
+    Done,
+}
+
+/// The resumable goal-solving machine. See the module docs.
+pub(crate) struct Machine<'g> {
+    plan: &'g ProgramPlan,
+    budget: Budget,
+    frames: Vec<FrameCtx>,
+    cont: ContRef<'g>,
+    choices: Vec<Choice<'g>>,
+    trail: Vec<TrailEntry>,
+    phase: Phase,
+}
+
+impl<'g> Machine<'g> {
+    /// Creates a machine that enumerates the solutions of `goal` over a
+    /// root frame seeded by the caller, with `this` in scope.
+    pub(crate) fn new(
+        plan: &'g ProgramPlan,
+        goal: &'g Goal,
+        root: Frame,
+        this: Option<Value>,
+        max_depth: usize,
+        max_steps: u64,
+    ) -> Self {
+        let mut m = Machine {
+            plan,
+            budget: Budget::new(max_depth, max_steps),
+            frames: vec![FrameCtx { slots: root, this }],
+            cont: None,
+            choices: Vec::new(),
+            trail: Vec::new(),
+            phase: Phase::Running,
+        };
+        m.push(Step::Goal { fi: 0, goal });
+        m
+    }
+
+    /// The root frame (the query's own solved form).
+    pub(crate) fn root_frame(&self) -> &Frame {
+        &self.frames[0].slots
+    }
+
+    /// Machine steps (plus recursive-evaluator steps) spent so far.
+    pub(crate) fn steps(&self) -> u64 {
+        self.budget.steps
+    }
+
+    /// Runs until the next solution. Returns `Ok(true)` with the solution's
+    /// bindings readable through [`Machine::root_frame`], `Ok(false)` when
+    /// the enumeration is exhausted. An error ends the enumeration.
+    pub(crate) fn next_solution(&mut self) -> RtResult<bool> {
+        if matches!(self.phase, Phase::AtSolution) {
+            self.phase = Phase::Running;
+            if !self.backtrack() {
+                self.phase = Phase::Done;
+            }
+        }
+        loop {
+            if matches!(self.phase, Phase::Done) {
+                return Ok(false);
+            }
+            let Some(node) = self.cont.take() else {
+                self.phase = Phase::AtSolution;
+                return Ok(true);
+            };
+            let step = match Rc::try_unwrap(node) {
+                Ok(n) => {
+                    self.cont = n.next;
+                    n.step
+                }
+                Err(rc) => {
+                    self.cont = rc.next.clone();
+                    rc.step.clone()
+                }
+            };
+            if let Err(e) = self.exec(step) {
+                self.phase = Phase::Done;
+                return Err(e);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Machine infrastructure
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, step: Step<'g>) {
+        self.cont = Some(Rc::new(Cont {
+            step,
+            next: self.cont.take(),
+        }));
+    }
+
+    /// Records a choice point capturing the current continuation and marks.
+    fn choice(&mut self, alt: Alt<'g>) {
+        self.choices.push(Choice {
+            cont: self.cont.clone(),
+            trail_mark: self.trail.len(),
+            frames_mark: self.frames.len(),
+            alt,
+        });
+    }
+
+    /// Binds a slot, recording the old value on the trail.
+    fn bind(&mut self, fi: usize, slot: SlotId, value: Option<Value>) {
+        let old = std::mem::replace(&mut self.frames[fi].slots[slot as usize], value);
+        self.trail.push(TrailEntry { fi, slot, old });
+    }
+
+    /// The current goal failed: restore the most recent choice point and
+    /// install its next alternative, or end the run.
+    fn fail(&mut self) {
+        if !self.backtrack() {
+            self.phase = Phase::Done;
+        }
+    }
+
+    fn backtrack(&mut self) -> bool {
+        let Some(ch) = self.choices.last_mut() else {
+            return false;
+        };
+        let trail_mark = ch.trail_mark;
+        let frames_mark = ch.frames_mark;
+        let cont = ch.cont.clone();
+        let (step, exhausted) = match &mut ch.alt {
+            Alt::Branches { fi, branches, next } => {
+                let step = Step::Goal {
+                    fi: *fi,
+                    goal: &branches[*next],
+                };
+                *next += 1;
+                (step, *next >= branches.len())
+            }
+            Alt::OrPat { fi, pat, value } => (
+                Step::Match {
+                    fi: *fi,
+                    pat,
+                    value: value.clone(),
+                },
+                true,
+            ),
+        };
+        if exhausted {
+            self.choices.pop();
+        }
+        while self.trail.len() > trail_mark {
+            let TrailEntry { fi, slot, old } = self.trail.pop().expect("trail underflow");
+            self.frames[fi].slots[slot as usize] = old;
+        }
+        self.frames.truncate(frames_mark);
+        self.cont = cont;
+        self.push(step);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic helpers (delegated to the recursive evaluator)
+    // ------------------------------------------------------------------
+
+    fn ground(&mut self, fi: usize, e: &PExpr) -> bool {
+        let Machine {
+            plan,
+            budget,
+            frames,
+            ..
+        } = self;
+        let f = &frames[fi];
+        Ev::new(plan, budget).ground(&f.slots, f.this.as_ref(), e)
+    }
+
+    fn eval_expr(&mut self, fi: usize, e: &PExpr) -> RtResult<Value> {
+        let Machine {
+            plan,
+            budget,
+            frames,
+            ..
+        } = self;
+        let f = &frames[fi];
+        Ev::new(plan, budget).eval(&f.slots, f.this.as_ref(), e)
+    }
+
+    fn values_equal(&mut self, a: &Value, b: &Value) -> RtResult<bool> {
+        Ev::new(self.plan, &mut self.budget).values_equal(a, b)
+    }
+
+    /// Existence check for negation-as-failure: runs the recursive solver
+    /// over a scratch copy of the frame.
+    fn exists(&mut self, fi: usize, goal: &Goal) -> RtResult<bool> {
+        let Machine {
+            plan,
+            budget,
+            frames,
+            ..
+        } = self;
+        let f = &frames[fi];
+        let mut scratch = f.slots.clone();
+        let this = f.this.clone();
+        let mut found = false;
+        Ev::new(plan, budget).solve(&mut scratch, this.as_ref(), goal, &mut |_, _| {
+            found = true;
+            Ok(false)
+        })?;
+        Ok(found)
+    }
+
+    fn is_subtype(&self, class: &str, ty: &str) -> bool {
+        self.plan.table().is_subtype(class, ty)
+    }
+
+    // ------------------------------------------------------------------
+    // Step execution
+    // ------------------------------------------------------------------
+
+    fn exec(&mut self, step: Step<'g>) -> RtResult<()> {
+        self.budget.step()?;
+        match step {
+            Step::Goal { fi, goal } => self.exec_goal(fi, goal),
+            Step::DynSeq {
+                fi,
+                items,
+                remaining,
+            } => self.exec_dynseq(fi, items, remaining),
+            Step::Match { fi, pat, value } => self.exec_match(fi, pat, value),
+            Step::CollectRow {
+                caller,
+                callee,
+                param_slots,
+                args,
+            } => self.exec_collect(caller, callee, param_slots, args),
+        }
+    }
+
+    fn exec_goal(&mut self, fi: usize, goal: &'g Goal) -> RtResult<()> {
+        match goal {
+            Goal::True | Goal::Trivial => Ok(()),
+            Goal::Fail => {
+                self.fail();
+                Ok(())
+            }
+            Goal::Seq(goals) => {
+                for g in goals.iter().rev() {
+                    self.push(Step::Goal { fi, goal: g });
+                }
+                Ok(())
+            }
+            Goal::DynSeq(items) => self.exec_dynseq(fi, items, (0..items.len()).collect()),
+            Goal::Any(branches) => {
+                match branches.len() {
+                    0 => self.fail(),
+                    1 => self.push(Step::Goal {
+                        fi,
+                        goal: &branches[0],
+                    }),
+                    _ => {
+                        self.choice(Alt::Branches {
+                            fi,
+                            branches,
+                            next: 1,
+                        });
+                        self.push(Step::Goal {
+                            fi,
+                            goal: &branches[0],
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Goal::Not(inner) => {
+                if self.exists(fi, inner)? {
+                    self.fail();
+                }
+                Ok(())
+            }
+            Goal::Unify(lhs, rhs) => {
+                let lg = self.ground(fi, lhs);
+                let rg = self.ground(fi, rhs);
+                match (lg, rg) {
+                    (true, true) => {
+                        let a = self.eval_expr(fi, lhs)?;
+                        let b = self.eval_expr(fi, rhs)?;
+                        if !self.values_equal(&a, &b)? {
+                            self.fail();
+                        }
+                        Ok(())
+                    }
+                    (true, false) => {
+                        let v = self.eval_expr(fi, lhs)?;
+                        self.push(Step::Match {
+                            fi,
+                            pat: rhs,
+                            value: v,
+                        });
+                        Ok(())
+                    }
+                    (false, true) => {
+                        let v = self.eval_expr(fi, rhs)?;
+                        self.push(Step::Match {
+                            fi,
+                            pat: lhs,
+                            value: v,
+                        });
+                        Ok(())
+                    }
+                    (false, false) => Err(RtError::new(format!(
+                        "equation with unknowns on both sides is not solvable: {lhs:?} = {rhs:?}"
+                    ))),
+                }
+            }
+            Goal::Compare(op, lhs, rhs) => {
+                let a = self.eval_expr(fi, lhs)?;
+                let b = self.eval_expr(fi, rhs)?;
+                let (x, y) = match (a.as_int(), b.as_int()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        if *op == CmpOp::Ne {
+                            if self.values_equal(&a, &b)? {
+                                self.fail();
+                            }
+                            return Ok(());
+                        }
+                        return Err(RtError::new("ordering comparison on non-integers"));
+                    }
+                };
+                let holds = match op {
+                    CmpOp::Le => x <= y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Eq => x == y,
+                };
+                if !holds {
+                    self.fail();
+                }
+                Ok(())
+            }
+            Goal::Invoke {
+                receiver,
+                name,
+                args,
+            } => {
+                let subject: Value = match receiver {
+                    Some(r) if self.ground(fi, r) => self.eval_expr(fi, r)?,
+                    None => self.frames[fi]
+                        .this
+                        .clone()
+                        .ok_or_else(|| RtError::new("predicate call without a receiver"))?,
+                    Some(_) => {
+                        return Err(RtError::new("predicate receiver is not ground"));
+                    }
+                };
+                match &subject {
+                    Value::Obj(o) => {
+                        let class = o.class.clone();
+                        let Some(pid) = self.plan.lookup_impl(&class, name) else {
+                            return Err(RtError::method_not_found(&class, name));
+                        };
+                        self.enter_constructor(fi, subject.clone(), pid, args)
+                    }
+                    Value::Bool(b) => {
+                        if !*b {
+                            self.fail();
+                        }
+                        Ok(())
+                    }
+                    other => Err(RtError::new(format!(
+                        "cannot use `{other}` as a predicate receiver"
+                    ))),
+                }
+            }
+            Goal::Test(e) => {
+                let v = self.eval_expr(fi, e)?;
+                if v.as_bool() != Some(true) {
+                    self.fail();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Selects the first ready conjunct against the *current* bindings and
+    /// re-queues the rest — the run-time scheduling of `Goal::DynSeq`,
+    /// re-evaluated after every solution of every earlier conjunct exactly
+    /// like the recursive evaluator (and the tree-walker) do.
+    fn exec_dynseq(
+        &mut self,
+        fi: usize,
+        items: &'g [(ReadyCheck, Goal)],
+        remaining: Vec<usize>,
+    ) -> RtResult<()> {
+        if remaining.is_empty() {
+            return Ok(());
+        }
+        let chosen = {
+            let Machine {
+                plan,
+                budget,
+                frames,
+                ..
+            } = self;
+            let f = &frames[fi];
+            let ev = Ev::new(plan, budget);
+            remaining
+                .iter()
+                .copied()
+                .find(|&i| ev.check_ready(&f.slots, f.this.as_ref(), &items[i].0))
+        };
+        let Some(chosen) = chosen else {
+            return Err(RtError::new(
+                "formula is not solvable: no conjunct can run with the current bindings",
+            ));
+        };
+        let rest: Vec<usize> = remaining.into_iter().filter(|&i| i != chosen).collect();
+        if !rest.is_empty() {
+            self.push(Step::DynSeq {
+                fi,
+                items,
+                remaining: rest,
+            });
+        }
+        self.push(Step::Goal {
+            fi,
+            goal: &items[chosen].1,
+        });
+        Ok(())
+    }
+
+    fn exec_match(&mut self, fi: usize, pat: &'g PExpr, value: Value) -> RtResult<()> {
+        match pat {
+            PExpr::Wildcard => Ok(()),
+            PExpr::Decl(ty, slot) => {
+                if let Type::Named(t) = ty {
+                    if let Some(class) = value.class() {
+                        if !self.is_subtype(class, t) {
+                            self.fail();
+                            return Ok(());
+                        }
+                    }
+                }
+                if let Some(s) = slot {
+                    self.bind(fi, *s, Some(value));
+                }
+                Ok(())
+            }
+            PExpr::Name { slot, .. } | PExpr::Result(slot) => {
+                match self.frames[fi].slots[*slot as usize].clone() {
+                    Some(bound) => {
+                        if !self.values_equal(&bound, &value)? {
+                            self.fail();
+                        }
+                        Ok(())
+                    }
+                    None => {
+                        self.bind(fi, *slot, Some(value));
+                        Ok(())
+                    }
+                }
+            }
+            PExpr::As(a, b) => {
+                self.push(Step::Match {
+                    fi,
+                    pat: b,
+                    value: value.clone(),
+                });
+                self.push(Step::Match { fi, pat: a, value });
+                Ok(())
+            }
+            PExpr::OrPat(a, b) => {
+                self.choice(Alt::OrPat {
+                    fi,
+                    pat: b,
+                    value: value.clone(),
+                });
+                self.push(Step::Match { fi, pat: a, value });
+                Ok(())
+            }
+            PExpr::Where(p, goal) => {
+                self.push(Step::Goal { fi, goal });
+                self.push(Step::Match { fi, pat: p, value });
+                Ok(())
+            }
+            PExpr::Call {
+                receiver,
+                name,
+                args,
+                kind,
+            } => {
+                let class: String = match (kind, receiver) {
+                    (CallKind::StaticConstruct(c), _) => c.clone(),
+                    (CallKind::ClassCtor(c), None) => c.clone(),
+                    _ => value.class().unwrap_or_default().to_owned(),
+                };
+                let plan = self.plan;
+                let Some(pid) = plan
+                    .lookup_impl(&class, name)
+                    .or_else(|| plan.class_ctor(&class))
+                else {
+                    return Err(RtError::method_not_found(&class, name));
+                };
+                if let Some(vclass) = value.class() {
+                    if !self.is_subtype(vclass, &class) {
+                        let converted = Ev::new(self.plan, &mut self.budget)
+                            .convert_via_equals(&class, &value)?;
+                        return match converted {
+                            Some(c) => self.enter_constructor(fi, c, pid, args),
+                            None => {
+                                self.fail();
+                                Ok(())
+                            }
+                        };
+                    }
+                }
+                self.enter_constructor(fi, value, pid, args)
+            }
+            PExpr::Binary(op, a, b) => {
+                let Some(target) = value.as_int() else {
+                    self.fail();
+                    return Ok(());
+                };
+                let a_ground = self.ground(fi, a);
+                let b_ground = self.ground(fi, b);
+                match (op, a_ground, b_ground) {
+                    (_, true, true) => {
+                        let v = self.eval_expr(fi, pat)?;
+                        if !self.values_equal(&v, &value)? {
+                            self.fail();
+                        }
+                        Ok(())
+                    }
+                    (BinOp::Add, true, false) => {
+                        let av = self.eval_expr(fi, a)?.as_int().unwrap_or(0);
+                        self.push(Step::Match {
+                            fi,
+                            pat: b,
+                            value: Value::Int(target - av),
+                        });
+                        Ok(())
+                    }
+                    (BinOp::Add, false, true) => {
+                        let bv = self.eval_expr(fi, b)?.as_int().unwrap_or(0);
+                        self.push(Step::Match {
+                            fi,
+                            pat: a,
+                            value: Value::Int(target - bv),
+                        });
+                        Ok(())
+                    }
+                    (BinOp::Sub, false, true) => {
+                        let bv = self.eval_expr(fi, b)?.as_int().unwrap_or(0);
+                        self.push(Step::Match {
+                            fi,
+                            pat: a,
+                            value: Value::Int(target + bv),
+                        });
+                        Ok(())
+                    }
+                    (BinOp::Sub, true, false) => {
+                        let av = self.eval_expr(fi, a)?.as_int().unwrap_or(0);
+                        self.push(Step::Match {
+                            fi,
+                            pat: b,
+                            value: Value::Int(av - target),
+                        });
+                        Ok(())
+                    }
+                    _ => Err(RtError::new(
+                        "cannot invert this arithmetic pattern at run time",
+                    )),
+                }
+            }
+            PExpr::Neg(a) => {
+                let Some(target) = value.as_int() else {
+                    self.fail();
+                    return Ok(());
+                };
+                self.push(Step::Match {
+                    fi,
+                    pat: a,
+                    value: Value::Int(-target),
+                });
+                Ok(())
+            }
+            other => {
+                let v = self.eval_expr(fi, other)?;
+                if !self.values_equal(&v, &value)? {
+                    self.fail();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Starts a constructor match: pushes the callee's activation frame
+    /// (with `this` = the matched value) and queues its matching goal with a
+    /// [`Step::CollectRow`] boundary below it, so every callee solution
+    /// flows into the caller's argument patterns and backtracking resumes
+    /// the callee's remaining choice points.
+    fn enter_constructor(
+        &mut self,
+        caller: usize,
+        value: Value,
+        pid: PlanId,
+        args: &'g [PExpr],
+    ) -> RtResult<()> {
+        let plan = self.plan;
+        let mp = plan.method(pid);
+        let BodyPlan::Formula { matching, .. } = &mp.body else {
+            return Err(RtError::mode_mismatch(
+                &mp.info.qualified_name(),
+                "backward (pattern-matching)",
+            ));
+        };
+        if self.frames.len() >= self.budget.max_depth {
+            return Err(RtError::limit("depth", "solver recursion limit exceeded"));
+        }
+        let callee = self.frames.len();
+        self.frames.push(FrameCtx {
+            slots: vec![None; matching.frame.len()],
+            this: Some(value),
+        });
+        self.push(Step::CollectRow {
+            caller,
+            callee,
+            param_slots: &matching.param_slots,
+            args,
+        });
+        self.push(Step::Goal {
+            fi: callee,
+            goal: &matching.goal,
+        });
+        Ok(())
+    }
+
+    /// One callee solution reached the row boundary: collect the parameter
+    /// values and match the caller's argument patterns (first solution per
+    /// pattern, left to right; unbound parameters and pattern errors skip
+    /// the row, like the recursive evaluator).
+    fn exec_collect(
+        &mut self,
+        caller: usize,
+        callee: usize,
+        param_slots: &[SlotId],
+        args: &[PExpr],
+    ) -> RtResult<()> {
+        let mut row = Vec::with_capacity(param_slots.len());
+        for &s in param_slots {
+            match &self.frames[callee].slots[s as usize] {
+                Some(v) => row.push(v.clone()),
+                None => {
+                    self.fail();
+                    return Ok(());
+                }
+            }
+        }
+        let (work, failed) = {
+            let Machine {
+                plan,
+                budget,
+                frames,
+                ..
+            } = self;
+            let mut work = frames[caller].slots.clone();
+            let mut failed = false;
+            let mut ev = Ev::new(plan, budget);
+            for (i, v) in row.iter().enumerate() {
+                let Some(pat) = args.get(i) else {
+                    continue;
+                };
+                // Like the evaluator's `match_args_then`, argument patterns
+                // are matched without `this` in scope.
+                let mut sol: Option<Frame> = None;
+                let r = ev.match_pat(&mut work, None, pat, v, &mut |_, fr2| {
+                    sol = Some(fr2.clone());
+                    Ok(false)
+                });
+                if r.is_err() {
+                    failed = true;
+                    break;
+                }
+                match sol {
+                    Some(s) => work = s,
+                    None => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            (work, failed)
+        };
+        if failed {
+            self.fail();
+            return Ok(());
+        }
+        let changed: Vec<(usize, Option<Value>)> = work
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| !slot_unchanged(&self.frames[caller].slots[*i], w))
+            .map(|(i, w)| (i, w.clone()))
+            .collect();
+        for (i, w) in changed {
+            self.bind(caller, i as SlotId, w);
+        }
+        Ok(())
+    }
+}
+
+/// Cheap slot comparison for the `exec_collect` diff: object identity via
+/// `Arc::ptr_eq` instead of structural equality, so an unchanged list-valued
+/// slot costs O(1) per callee solution, not O(list). Distinct-but-equal
+/// objects read as "changed", which only records a redundant trail entry.
+fn slot_unchanged(old: &Option<Value>, new: &Option<Value>) -> bool {
+    match (old, new) {
+        (None, None) => true,
+        (Some(Value::Obj(a)), Some(Value::Obj(b))) => std::sync::Arc::ptr_eq(a, b),
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// Iterative teardown of the persistent continuation chains: `Cont` is a
+/// linked list whose derived drop would recurse once per uniquely-owned
+/// node, overflowing the native stack when a deep enumeration (raised
+/// `Limits::max_depth`) is abandoned mid-run. Unlink every chain — the
+/// machine's own and each choice point's — in a loop instead.
+impl Drop for Machine<'_> {
+    fn drop(&mut self) {
+        let mut chains: Vec<ContRef<'_>> = Vec::with_capacity(self.choices.len() + 1);
+        chains.push(self.cont.take());
+        for ch in &mut self.choices {
+            chains.push(ch.cont.take());
+        }
+        for chain in chains {
+            let mut cur = chain;
+            while let Some(rc) = cur {
+                match Rc::try_unwrap(rc) {
+                    Ok(mut node) => cur = node.next.take(),
+                    // Still shared by a chain later in the list; that chain
+                    // will continue the unlinking when its turn comes.
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}

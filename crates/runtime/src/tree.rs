@@ -13,14 +13,30 @@ use crate::{Bindings, Flow, Object, RtError, RtResult, Value};
 use jmatch_core::table::{ClassTable, MethodInfo};
 use jmatch_syntax::ast::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The tree-walking interpreter (the legacy engine).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TreeWalker {
     table: Arc<ClassTable>,
     /// Safety valve against runaway recursion in declarative solving.
     max_depth: usize,
+    /// Ceiling on the number of solver steps (`solve` recursions).
+    max_steps: u64,
+    /// Solver steps spent so far across this walker's queries.
+    steps: AtomicU64,
+}
+
+impl Clone for TreeWalker {
+    fn clone(&self) -> Self {
+        TreeWalker {
+            table: Arc::clone(&self.table),
+            max_depth: self.max_depth,
+            max_steps: self.max_steps,
+            steps: AtomicU64::new(self.steps.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl TreeWalker {
@@ -29,6 +45,19 @@ impl TreeWalker {
         TreeWalker {
             table,
             max_depth: 10_000,
+            max_steps: u64::MAX,
+            steps: AtomicU64::new(0),
+        }
+    }
+
+    /// A walker with explicit depth / step ceilings (the [`crate::Limits`]
+    /// of a [`crate::Query`]).
+    pub(crate) fn with_limits(table: Arc<ClassTable>, max_depth: usize, max_steps: u64) -> Self {
+        TreeWalker {
+            table,
+            max_depth,
+            max_steps,
+            steps: AtomicU64::new(0),
         }
     }
 
@@ -86,6 +115,23 @@ impl TreeWalker {
     /// constructor `ctor` (the backward mode): each solution is the vector of
     /// values bound to the constructor's parameters.
     pub fn deconstruct(&self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
+        let mut solutions = Vec::new();
+        self.deconstruct_each(value, ctor, &mut |row| {
+            solutions.push(row.to_vec());
+            true
+        })?;
+        Ok(solutions)
+    }
+
+    /// Streaming variant of [`TreeWalker::deconstruct`]: feeds each solution
+    /// row to `each` as it is found; `each` returns `false` to stop early.
+    /// This is what the pull-based [`crate::Solutions`] adapter drives.
+    pub(crate) fn deconstruct_each(
+        &self,
+        value: &Value,
+        ctor: &str,
+        each: &mut dyn FnMut(&[Value]) -> bool,
+    ) -> RtResult<()> {
         let class = value
             .class()
             .ok_or_else(|| RtError::new("can only deconstruct objects"))?
@@ -100,16 +146,14 @@ impl TreeWalker {
             .iter()
             .map(|p| Expr::Decl(p.ty.clone(), p.name.clone()))
             .collect();
-        let mut solutions = Vec::new();
-        self.match_constructor(value, &minfo, &patterns, &Bindings::new(), &mut |b| {
+        self.match_constructor(value, &minfo, &patterns, &Bindings::new(), 0, &mut |b| {
             let row: Vec<Value> = params
                 .iter()
                 .map(|p| b.get(p).cloned().unwrap_or(Value::Null))
                 .collect();
-            solutions.push(row);
-            true
+            each(&row)
         })?;
-        Ok(solutions)
+        Ok(())
     }
 
     /// Enumerates solutions of a formula — keep-going variant used
@@ -122,8 +166,11 @@ impl TreeWalker {
         depth: usize,
         emit: &mut dyn FnMut(&Bindings) -> bool,
     ) -> RtResult<bool> {
+        if self.steps.fetch_add(1, Ordering::Relaxed) + 1 > self.max_steps {
+            return Err(RtError::limit("steps", "solver step budget exceeded"));
+        }
         if depth > self.max_depth {
-            return Err(RtError::new("solver recursion limit exceeded"));
+            return Err(RtError::limit("depth", "solver recursion limit exceeded"));
         }
         match f {
             Formula::Bool(true) => Ok(emit(env)),
@@ -166,7 +213,7 @@ impl TreeWalker {
             if let Some(minfo) = self.find_impl(&class, ctor) {
                 if minfo.decl.params.is_empty() {
                     let mut found = false;
-                    self.match_constructor(value, &minfo, &[], &Bindings::new(), &mut |_| {
+                    self.match_constructor(value, &minfo, &[], &Bindings::new(), 0, &mut |_| {
                         found = true;
                         false
                     })?;
@@ -250,7 +297,7 @@ impl TreeWalker {
     }
 
     /// Runs a method in its forward mode: parameters bound to `args`.
-    fn run_forward(
+    pub(crate) fn run_forward(
         &self,
         minfo: &MethodInfo,
         this: Option<Value>,
@@ -343,6 +390,7 @@ impl TreeWalker {
         minfo: &MethodInfo,
         arg_patterns: &[Expr],
         outer: &Bindings,
+        depth: usize,
         emit: &mut dyn FnMut(&Bindings) -> bool,
     ) -> RtResult<bool> {
         let MethodBody::Formula(body) = &minfo.decl.body else {
@@ -357,7 +405,7 @@ impl TreeWalker {
         let env = Bindings::new();
         let params: Vec<Param> = minfo.decl.params.clone();
         let mut keep_going = true;
-        self.solve(&env, Some(value), body, 0, &mut |b| {
+        self.solve(&env, Some(value), body, depth + 1, &mut |b| {
             // Values for the constructor parameters under this solution.
             let mut env2 = outer.clone();
             let mut ok = true;
@@ -570,7 +618,7 @@ impl TreeWalker {
         env: &Bindings,
         this: Option<&Value>,
         e: &Expr,
-        _depth: usize,
+        depth: usize,
         emit: &mut dyn FnMut(&Bindings) -> bool,
     ) -> RtResult<bool> {
         match e {
@@ -596,7 +644,7 @@ impl TreeWalker {
                         let Some(minfo) = self.find_impl(&class, name) else {
                             return Err(RtError::method_not_found(&class, name));
                         };
-                        self.match_constructor(&subject, &minfo, args, env, emit)
+                        self.match_constructor(&subject, &minfo, args, env, depth, emit)
                     }
                     Value::Bool(b) => {
                         if *b {
@@ -745,12 +793,13 @@ impl TreeWalker {
                 if let Some(vclass) = target.class() {
                     if !self.table.is_subtype(vclass, &class) {
                         if let Some(converted) = self.convert_via_equals(&class, &target)? {
-                            return self.match_constructor(&converted, &minfo, args, env, emit);
+                            return self
+                                .match_constructor(&converted, &minfo, args, env, depth, emit);
                         }
                         return Ok(true);
                     }
                 }
-                self.match_constructor(&target, &minfo, args, env, emit)
+                self.match_constructor(&target, &minfo, args, env, depth, emit)
             }
             Expr::Binary(op, a, b) => {
                 // Invertible integer arithmetic: exactly one non-ground side.

@@ -4,28 +4,26 @@
 //!
 //! Run with `cargo run --example avl_verification`.
 
-use jmatch::core::{compile, CompileOptions, WarningKind};
+use jmatch::core::WarningKind;
+use jmatch::Compiler;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entry = jmatch::corpus::entry("AVLTree").expect("corpus entry");
-    let compiled = compile(
-        &entry.combined_jmatch(),
-        &CompileOptions {
-            verify: true,
-            max_expansion_depth: 2,
-        },
-    )?;
+    let program = Compiler::new()
+        .verify(true)
+        .max_expansion_depth(2)
+        .compile(&entry.combined_jmatch())?;
     println!("AVL tree verification diagnostics:");
-    if compiled.diagnostics.warnings.is_empty() {
+    if program.warnings().is_empty() {
         println!("  (none)");
     }
-    for w in &compiled.diagnostics.warnings {
+    for w in program.warnings() {
         println!("  {w}");
     }
     // The insert/member switches over leaf()/branch() must not be flagged
     // non-exhaustive: the Tree invariant covers them.
-    let spurious: Vec<_> = compiled
-        .diagnostics
+    let spurious: Vec<_> = program
+        .diagnostics()
         .warnings_of(WarningKind::NonExhaustive)
         .into_iter()
         .filter(|w| w.context.contains("insert") || w.context.contains("member"))
@@ -51,14 +49,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     "#;
-    let compiled = compile(no_invariant, &CompileOptions::default())?;
+    let program = Compiler::new().verify(true).compile(no_invariant)?;
     println!("\nwithout the Tree invariant:");
-    for w in &compiled.diagnostics.warnings {
+    for w in program.warnings() {
         println!("  {w}");
     }
     assert!(
-        compiled.diagnostics.has_warning(WarningKind::NonExhaustive)
-            || compiled.diagnostics.has_warning(WarningKind::Unknown)
+        program
+            .diagnostics()
+            .has_warning(WarningKind::NonExhaustive)
+            || program.diagnostics().has_warning(WarningKind::Unknown)
     );
     Ok(())
 }

@@ -4,10 +4,12 @@
 //!
 //! Run with `cargo run --example list_views`.
 
-use jmatch::core::{compile, CompileOptions, WarningKind};
+use jmatch::core::WarningKind;
+use jmatch::Compiler;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let list = jmatch::corpus::jmatch::LIST_INTERFACE;
+    let compiler = Compiler::new().verify(true);
 
     // Figure 12's `length`: the cons arm after snoc is redundant because
     // snoc's matches clause already guarantees a cons shape.
@@ -21,13 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              }}
          }}"
     );
-    let compiled = compile(&fig12, &CompileOptions::default())?;
+    let program = compiler.compile(&fig12)?;
     println!("Figure 12 (nil / snoc / cons):");
-    for w in &compiled.diagnostics.warnings {
+    for w in program.warnings() {
         println!("  {w}");
     }
-    assert!(compiled.diagnostics.has_warning(WarningKind::RedundantArm));
-    assert!(!compiled.diagnostics.has_warning(WarningKind::NonExhaustive));
+    assert!(program.diagnostics().has_warning(WarningKind::RedundantArm));
+    assert!(!program
+        .diagnostics()
+        .has_warning(WarningKind::NonExhaustive));
 
     // Dropping the redundant arm keeps the switch exhaustive and clean.
     let clean = format!(
@@ -39,14 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              }}
          }}"
     );
-    let compiled = compile(&clean, &CompileOptions::default())?;
+    let program = compiler.compile(&clean)?;
     println!("\nnil / cons only:");
-    println!(
-        "  warnings: {} (expected none)",
-        compiled.diagnostics.warnings.len()
-    );
-    assert!(!compiled.diagnostics.has_warning(WarningKind::RedundantArm));
-    assert!(!compiled.diagnostics.has_warning(WarningKind::NonExhaustive));
+    println!("  warnings: {} (expected none)", program.warnings().len());
+    assert!(!program.diagnostics().has_warning(WarningKind::RedundantArm));
+    assert!(!program
+        .diagnostics()
+        .has_warning(WarningKind::NonExhaustive));
 
     // Forgetting nil() is caught.
     let missing = format!(
@@ -57,14 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              }}
          }}"
     );
-    let compiled = compile(&missing, &CompileOptions::default())?;
+    let program = compiler.compile(&missing)?;
     println!("\ncons only:");
-    for w in &compiled.diagnostics.warnings {
+    for w in program.warnings() {
         println!("  {w}");
     }
     assert!(
-        compiled.diagnostics.has_warning(WarningKind::NonExhaustive)
-            || compiled.diagnostics.has_warning(WarningKind::Unknown)
+        program
+            .diagnostics()
+            .has_warning(WarningKind::NonExhaustive)
+            || program.diagnostics().has_warning(WarningKind::Unknown)
     );
     Ok(())
 }

@@ -1,45 +1,46 @@
 //! Natural-number arithmetic across three different implementations of the
 //! same `Nat` interface (Figure 1–4 of the paper): the int-backed `ZNat` and
 //! the Peano-style `PZero`/`PSucc` interoperate through named constructors
-//! and equality constructors.
+//! and equality constructors — driven through the `Program` embedding API.
 //!
 //! Run with `cargo run --example nat_arithmetic`.
 
-use jmatch::core::{compile, CompileOptions};
-use jmatch::runtime::{Interp, Value};
+use jmatch::{args, Compiler, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entry = jmatch::corpus::entry("ZNat").expect("corpus entry");
-    let compiled = compile(
-        &entry.combined_jmatch(),
-        &CompileOptions {
-            verify: false,
-            ..CompileOptions::default()
-        },
-    )?;
-    let interp = Interp::new(compiled.table.clone());
+    let program = Compiler::new()
+        .verify(false)
+        .compile(&entry.combined_jmatch())?;
+
+    // Resolve the handles once.
+    let zero = program.ctor("ZNat", "zero")?;
+    let succ = program.ctor("ZNat", "succ")?;
+    let plus = program.free_method("plus")?;
+    let to_int = program.method("ZNat", "toInt")?;
 
     // Build 2 and 3 with the int-backed representation.
-    let mut two = interp.construct("ZNat", "zero", vec![])?;
+    let mut two = zero.construct(args![])?;
     for _ in 0..2 {
-        two = interp.construct("ZNat", "succ", vec![two])?;
+        two = succ.construct(args![two])?;
     }
-    let mut three = interp.construct("ZNat", "zero", vec![])?;
+    let mut three = zero.construct(args![])?;
     for _ in 0..3 {
-        three = interp.construct("ZNat", "succ", vec![three])?;
+        three = succ.construct(args![three])?;
     }
 
     // plus() pattern-matches on zero()/succ() without knowing the class.
-    let five = interp.call_free("plus", vec![two.clone(), three.clone()])?;
+    let five = plus.call(None, args![two, three])?;
     println!("2 + 3 = {five}");
 
-    // The backward mode of succ() recovers the predecessor.
-    let rows = interp.deconstruct(&five, "succ")?;
-    println!("pred(5) = {}", rows[0][0]);
+    // The backward mode of succ() recovers the predecessor — lazily: the
+    // query pulls exactly one solution.
+    let pred = succ.deconstruct(&five)?.first().expect("5 = succ(4)");
+    println!("pred(5) = {}", pred["n"]);
 
     // Check the result via the named constructor predicates.
-    assert!(!interp.matches_constructor(&five, "zero")?);
-    let as_int = interp.call_method(&five, "toInt", vec![])?;
+    assert!(!program.matches(&five, "zero")?);
+    let as_int = to_int.call(Some(&five), args![])?;
     assert_eq!(as_int, Value::Int(5));
     println!("toInt(5) = {as_int}");
     Ok(())

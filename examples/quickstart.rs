@@ -1,10 +1,11 @@
-//! Quickstart: compile a JMatch 2.0 program, inspect the verifier's
-//! exhaustiveness warnings, fix the program, and run it.
+//! Quickstart: compile a JMatch 2.0 program with the fluent [`Compiler`],
+//! inspect the verifier's exhaustiveness warnings, fix the program, and run
+//! it through resolved [`jmatch::MethodRef`] / [`jmatch::CtorRef`] handles.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use jmatch::core::{compile, CompileOptions, WarningKind};
-use jmatch::runtime::{Interp, Value};
+use jmatch::core::WarningKind;
+use jmatch::{args, Compiler, Value};
 
 const MISSING_CASE: &str = r#"
 interface Nat {
@@ -49,35 +50,46 @@ static int toInt(Nat m) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The incomplete switch: the verifier reports the missing zero() case.
-    let broken = compile(MISSING_CASE, &CompileOptions::default())?;
+    let broken = Compiler::new().verify(true).compile(MISSING_CASE)?;
     println!("verifying the incomplete program:");
-    for w in &broken.diagnostics.warnings {
+    for w in broken.warnings() {
         println!("  {w}");
     }
     assert!(
-        broken.diagnostics.has_warning(WarningKind::NonExhaustive)
-            || broken.diagnostics.has_warning(WarningKind::Unknown)
+        broken.diagnostics().has_warning(WarningKind::NonExhaustive)
+            || broken.diagnostics().has_warning(WarningKind::Unknown)
     );
 
     // 2. The fixed program verifies without exhaustiveness warnings.
-    let fixed = compile(FIXED, &CompileOptions::default())?;
+    let program = Compiler::new().verify(true).compile(FIXED)?;
     println!("\nverifying the fixed program:");
     println!(
         "  non-exhaustive warnings: {}",
-        fixed
-            .diagnostics
+        program
+            .diagnostics()
             .warnings_of(WarningKind::NonExhaustive)
             .len()
     );
 
-    // 3. And it runs: build succ(succ(succ(zero))) and convert it to an int.
-    let interp = Interp::new(fixed.table.clone());
-    let mut n = interp.construct("ZNat", "zero", vec![])?;
+    // 3. And it runs: resolve the handles once, then call through them.
+    let zero = program.ctor("ZNat", "zero")?;
+    let succ = program.ctor("ZNat", "succ")?;
+    let to_int = program.free_method("toInt")?;
+    let mut n = zero.construct(args![])?;
     for _ in 0..3 {
-        n = interp.construct("ZNat", "succ", vec![n])?;
+        n = succ.construct(args![n])?;
     }
-    let as_int = interp.call_free("toInt", vec![n])?;
+    let as_int = to_int.call(None, args![n.clone()])?;
     println!("\ntoInt(succ(succ(succ(zero())))) = {as_int}");
     assert_eq!(as_int, Value::Int(3));
+
+    // 4. Backward mode is a lazy query: `first()` does only the work of the
+    // first solution.
+    let pred = program
+        .deconstruct(&n, "succ")?
+        .first()
+        .expect("n = succ(_)");
+    println!("succ(pred) = n with pred = {}", pred["n"]);
+    assert_eq!(pred["n"].field("val"), Some(&Value::Int(2)));
     Ok(())
 }

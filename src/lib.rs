@@ -56,6 +56,52 @@
 //!     || compiled.diagnostics.has_warning(WarningKind::Unknown));
 //! # Ok::<(), jmatch::syntax::ParseError>(())
 //! ```
+//!
+//! ## The embedding API: compile once, query many, pull lazily
+//!
+//! The paper's compilation story targets Java_yield — coroutines that
+//! *lazily* yield one solution at a time (§2.3, §5). The embedding surface
+//! mirrors that shape: a [`Compiler`] builds a cheap-to-clone, `Send +
+//! Sync` [`Program`] (class table + lowered plans, lowered exactly once),
+//! [`MethodRef`] / [`CtorRef`] handles resolve string lookups once, and
+//! every enumeration is a [`Query`] whose [`Solutions`] is a pull-based
+//! [`Iterator`] — `take(1)` does O(first solution) work.
+//!
+//! ```
+//! use jmatch::{args, Compiler, Value};
+//!
+//! let source = "
+//!     interface Nat {
+//!         invariant(this = zero() | succ(_));
+//!         constructor zero() returns();
+//!         constructor succ(Nat n) returns(n);
+//!     }
+//!     class ZNat implements Nat {
+//!         int val;
+//!         private invariant(val >= 0);
+//!         private ZNat(int n) matches(n >= 0) returns(n) ( val = n && n >= 0 )
+//!         constructor zero() returns() ( val = 0 )
+//!         constructor succ(Nat n) returns(n) ( val >= 1 && ZNat(val - 1) = n )
+//!     }
+//! ";
+//! // Compile (and verify) once; `Program` is Send + Sync and cheap to clone.
+//! let program = Compiler::new().verify(true).compile(source)?;
+//! assert!(program.diagnostics().errors.is_empty());
+//!
+//! // Resolve handles once, call through them with no per-call lookups.
+//! let zero = program.ctor("ZNat", "zero")?;
+//! let succ = program.ctor("ZNat", "succ")?;
+//! let mut three = zero.construct(args![])?;
+//! for _ in 0..3 {
+//!     three = succ.construct(args![three])?;
+//! }
+//!
+//! // Backward mode as a lazy query: only the pulled solutions are computed.
+//! let pred = program.deconstruct(&three, "succ")?;
+//! let first = pred.first().expect("three = succ(two)");
+//! assert_eq!(first["n"].field("val"), Some(&Value::Int(2)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,3 +111,7 @@ pub use jmatch_corpus as corpus;
 pub use jmatch_runtime as runtime;
 pub use jmatch_smt as smt;
 pub use jmatch_syntax as syntax;
+
+pub use jmatch_runtime::{
+    args, Bindings, Compiler, CtorRef, Engine, Limits, MethodRef, Program, Query, Solutions, Value,
+};

@@ -1,16 +1,19 @@
-//! Differential testing: the plan evaluator versus the legacy tree-walking
-//! interpreter.
+//! Differential testing: the plan engine (resumable stack machine) versus
+//! the legacy tree-walking interpreter, driven through the `Program` /
+//! `Query` embedding API.
 //!
 //! Every corpus program is driven through both engines by the same generic
-//! workload — constructions, deconstructions (backward mode), constructor
-//! predicates, the deep-equality matrix, and forward method calls with
-//! synthesized arguments — and the resulting transcripts (values, solution
-//! rows, enumeration order, and failures) must be identical line by line.
+//! workload — constructions, lazy deconstruction queries (backward mode),
+//! constructor predicates, the deep-equality matrix, and forward method
+//! calls with synthesized arguments — and the resulting transcripts
+//! (values, solution rows, enumeration order, and failures) must be
+//! identical line by line. A separate test pins that both engines honor
+//! the same `Limits` (the legacy `Interp::solve` honored `depth` on one
+//! engine and ignored it on the other).
 
 use jmatch::core::table::ClassTable;
-use jmatch::core::{compile, CompileOptions};
-use jmatch::runtime::{Bindings, Engine, Interp, Value};
 use jmatch::syntax::ast::{MethodKind, Type};
+use jmatch::{args, Bindings, Compiler, Engine, Limits, Program, Value};
 
 const MAX_POOL: usize = 24;
 
@@ -42,9 +45,17 @@ fn row_text(rows: &[Vec<Value>]) -> String {
         .join(";")
 }
 
+/// Deconstructs `v` through the query API, as ordered rows.
+fn deconstruct_rows(program: &Program, v: &Value, ctor: &str) -> Result<Vec<Vec<Value>>, ()> {
+    program
+        .deconstruct(v, ctor)
+        .and_then(|q| q.try_collect_rows())
+        .map_err(|_| ())
+}
+
 /// Runs the generic workload, recording every operation and its outcome.
-fn transcript(interp: &Interp) -> Vec<String> {
-    let table = interp.table();
+fn transcript(program: &Program) -> Vec<String> {
+    let table = &**program.table();
     let mut log = Vec::new();
     let mut pool: Vec<Value> = Vec::new();
 
@@ -66,11 +77,14 @@ fn transcript(interp: &Interp) -> Vec<String> {
                 .map(|m| (m.decl.name.clone(), m.decl.params.clone()))
                 .collect();
             for (ctor, params) in ctors {
-                let args: Vec<Value> = params
+                let arg_values: Vec<Value> = params
                     .iter()
                     .map(|p| synth(&p.ty, round, &pool, table))
                     .collect();
-                match interp.construct(class, &ctor, args) {
+                let outcome = program
+                    .ctor(class, &ctor)
+                    .and_then(|c| c.construct(arg_values));
+                match outcome {
                     Ok(v) => {
                         log.push(format!("construct {class}.{ctor} r{round} -> {v}"));
                         if matches!(v, Value::Obj(_)) && pool.len() < MAX_POOL {
@@ -84,8 +98,8 @@ fn transcript(interp: &Interp) -> Vec<String> {
     }
 
     // Phase 2: backward mode — deconstruct every pooled value with every
-    // named constructor, capturing solution rows in enumeration order, and
-    // probe the constructor predicates.
+    // named constructor through the lazy query API, capturing solution rows
+    // in enumeration order, and probe the constructor predicates.
     let mut ctor_names: Vec<String> = Vec::new();
     for t in table.types() {
         for m in &t.methods {
@@ -96,11 +110,11 @@ fn transcript(interp: &Interp) -> Vec<String> {
     }
     for (i, v) in pool.iter().enumerate() {
         for name in &ctor_names {
-            match interp.deconstruct(v, name) {
+            match deconstruct_rows(program, v, name) {
                 Ok(rows) => log.push(format!("deconstruct #{i} {name} -> {}", row_text(&rows))),
-                Err(_) => log.push(format!("deconstruct #{i} {name} -> err")),
+                Err(()) => log.push(format!("deconstruct #{i} {name} -> err")),
             }
-            match interp.matches_constructor(v, name) {
+            match program.matches(v, name) {
                 Ok(b) => log.push(format!("matches #{i} {name} -> {b}")),
                 Err(_) => log.push(format!("matches #{i} {name} -> err")),
             }
@@ -111,7 +125,7 @@ fn transcript(interp: &Interp) -> Vec<String> {
     // across implementations, §3.2).
     for i in 0..pool.len() {
         for j in 0..pool.len() {
-            match interp.values_equal(&pool[i], &pool[j]) {
+            match program.values_equal(&pool[i], &pool[j]) {
                 Ok(b) => log.push(format!("equal #{i} #{j} -> {b}")),
                 Err(_) => log.push(format!("equal #{i} #{j} -> err")),
             }
@@ -119,7 +133,8 @@ fn transcript(interp: &Interp) -> Vec<String> {
     }
 
     // Phase 4: forward mode — every (ordinary) method reachable from each
-    // pooled value, with synthesized arguments.
+    // pooled value through a resolved `MethodRef`, with synthesized
+    // arguments.
     for (i, v) in pool.iter().enumerate() {
         let Some(class) = v.class().map(str::to_owned) else {
             continue;
@@ -128,11 +143,14 @@ fn transcript(interp: &Interp) -> Vec<String> {
         collect_methods(table, &class, &mut names);
         for (name, param_tys) in names {
             for round in 0..2i64 {
-                let args: Vec<Value> = param_tys
+                let arg_values: Vec<Value> = param_tys
                     .iter()
                     .map(|t| synth(t, round, &pool, table))
                     .collect();
-                match interp.call_method(v, &name, args) {
+                let outcome = program
+                    .method(&class, &name)
+                    .and_then(|m| m.call(Some(v), arg_values));
+                match outcome {
                     Ok(out) => log.push(format!("call #{i}.{name} r{round} -> {out}")),
                     Err(_) => log.push(format!("call #{i}.{name} r{round} -> err")),
                 }
@@ -153,11 +171,14 @@ fn transcript(interp: &Interp) -> Vec<String> {
         .collect();
     for (name, param_tys) in free {
         for round in 0..3i64 {
-            let args: Vec<Value> = param_tys
+            let arg_values: Vec<Value> = param_tys
                 .iter()
                 .map(|t| synth(t, round, &pool, table))
                 .collect();
-            match interp.call_free(&name, args) {
+            let outcome = program
+                .free_method(&name)
+                .and_then(|m| m.call(None, arg_values));
+            match outcome {
                 Ok(out) => log.push(format!("free {name} r{round} -> {out}")),
                 Err(_) => log.push(format!("free {name} r{round} -> err")),
             }
@@ -184,18 +205,12 @@ fn collect_methods(table: &ClassTable, ty: &str, out: &mut Vec<(String, Vec<Type
     }
 }
 
-fn engines_for(src: &str) -> (Interp, Interp) {
-    let compiled = compile(
-        src,
-        &CompileOptions {
-            verify: false,
-            ..CompileOptions::default()
-        },
-    )
-    .unwrap();
+fn engines_for(src: &str) -> (Program, Program) {
+    let program = Compiler::new().verify(false).compile(src).unwrap();
+    assert!(program.diagnostics().errors.is_empty());
     (
-        Interp::with_engine(compiled.table.clone(), Engine::Plan),
-        Interp::with_engine(compiled.table.clone(), Engine::TreeWalk),
+        program.clone().with_engine(Engine::Plan),
+        program.with_engine(Engine::TreeWalk),
     )
 }
 
@@ -246,22 +261,17 @@ fn enumeration_order_agrees_on_iterative_formulas() {
         }
     "#;
     let (plan, tree) = engines_for(src);
-    let collect = |interp: &Interp| -> Vec<i64> {
-        let table = interp.table();
-        let m = table.lookup_method("Gen", "pick").unwrap().clone();
-        let jmatch::syntax::ast::MethodBody::Formula(f) = &m.decl.body else {
-            panic!()
-        };
+    let collect = |program: &Program| -> Vec<i64> {
+        let pick = program.method("Gen", "pick").unwrap();
         let mut env = Bindings::new();
         env.insert("n".into(), Value::Int(10));
-        let mut seen = Vec::new();
-        interp
-            .solve(&env, None, f, 0, &mut |b| {
-                seen.push(b.get("x").and_then(|v| v.as_int()).unwrap());
-                true
-            })
-            .unwrap();
-        seen
+        // `pick` is an instance method, but its body only mentions `n` and
+        // `x`; iterate without a receiver like the legacy `solve` test did.
+        let query = pick.iterate(None, &env).unwrap();
+        query
+            .solutions()
+            .map(|b| b["x"].as_int().unwrap())
+            .collect()
     };
     let a = collect(&plan);
     let b = collect(&tree);
@@ -296,7 +306,7 @@ fn imperative_statements_agree_across_engines() {
     "#;
     let (plan, tree) = engines_for(src);
     for n in 0..5i64 {
-        let mk = |interp: &Interp| {
+        let mk = |program: &Program| {
             let obj = {
                 // No constructor declared: build the instance by hand.
                 use std::collections::HashMap;
@@ -306,7 +316,10 @@ fn imperative_statements_agree_across_engines() {
                     fields: HashMap::new(),
                 }))
             };
-            interp.call_method(&obj, "grind", vec![Value::Int(n)])
+            program
+                .method("Acc", "grind")
+                .unwrap()
+                .call(Some(&obj), args![n])
         };
         let a = mk(&plan);
         let b = mk(&tree);
@@ -314,5 +327,129 @@ fn imperative_statements_agree_across_engines() {
         if let (Ok(a), Ok(b)) = (a, b) {
             assert_eq!(a, b, "n={n}");
         }
+    }
+}
+
+/// A deep-recursion workload both engines can run out of budget on: `elem`
+/// descends one constructor match per list cell.
+const DEEP_LIST: &str = r#"
+    interface IntList {
+        constructor nil() returns();
+        constructor cons(int h, IntList t) returns(h, t);
+        boolean elem(int x) iterates(x);
+    }
+    class Nil implements IntList {
+        constructor nil() returns() ( true )
+        constructor cons(int h, IntList t) returns(h, t) ( false )
+        boolean elem(int x) iterates(x) ( false )
+    }
+    class Cons implements IntList {
+        int head;
+        IntList tail;
+        constructor nil() returns() ( false )
+        constructor cons(int h, IntList t) returns(h, t) ( head = h && tail = t )
+        boolean elem(int x) iterates(x) ( cons(x, _) || cons(_, IntList t) && t.elem(x) )
+    }
+"#;
+
+fn int_list(program: &Program, n: i64) -> Value {
+    let nil = program.ctor("Nil", "nil").unwrap();
+    let cons = program.ctor("Cons", "cons").unwrap();
+    let mut l = nil.construct(args![]).unwrap();
+    for i in 0..n {
+        l = cons.construct(args![i, l]).unwrap();
+    }
+    l
+}
+
+/// Satellite fix for the old `Interp::solve` inconsistency: the `depth`
+/// parameter was honored by the tree-walker and silently ignored by the
+/// plan engine. The `Query` API takes explicit `Limits` and both engines
+/// must honor them: generous limits yield identical full enumerations;
+/// tight limits make *both* engines stop with a `LimitExceeded` error.
+#[test]
+fn limits_are_honored_identically_by_both_engines() {
+    use jmatch::runtime::RtErrorKind;
+
+    let (plan, tree) = engines_for(DEEP_LIST);
+    let enumerate = |program: &Program, limits: Limits| {
+        let list = int_list(program, 40);
+        let elem = program.method("Cons", "elem").unwrap();
+        let query = elem
+            .iterate(Some(&list), &Bindings::new())
+            .unwrap()
+            .limits(limits);
+        let mut solutions = query.solutions();
+        let seen: Vec<i64> = solutions
+            .by_ref()
+            .map(|b| b["x"].as_int().unwrap())
+            .collect();
+        (seen, solutions.take_error())
+    };
+
+    // Generous limits: both engines enumerate the full list identically.
+    let generous = Limits::default();
+    let (plan_seen, plan_err) = enumerate(&plan, generous);
+    let (tree_seen, tree_err) = enumerate(&tree, generous);
+    assert_eq!(plan_seen, (0..40).rev().collect::<Vec<i64>>());
+    assert_eq!(plan_seen, tree_seen);
+    assert!(plan_err.is_none(), "{plan_err:?}");
+    assert!(tree_err.is_none(), "{tree_err:?}");
+
+    // Tight step budget: both engines stop with a LimitExceeded error.
+    let tight_steps = Limits {
+        max_steps: 50,
+        ..Limits::default()
+    };
+    for (name, program) in [("plan", &plan), ("tree", &tree)] {
+        let (seen, err) = enumerate(program, tight_steps);
+        assert!(
+            seen.len() < 40,
+            "{name}: step budget did not cut the enumeration short"
+        );
+        let err = err.unwrap_or_else(|| panic!("{name}: no limit error"));
+        assert!(
+            matches!(&err.kind, RtErrorKind::LimitExceeded { resource } if resource == "steps"),
+            "{name}: {err:?}"
+        );
+    }
+
+    // Tight depth ceiling: both engines stop with a LimitExceeded error.
+    let tight_depth = Limits {
+        max_depth: 5,
+        ..Limits::default()
+    };
+    for (name, program) in [("plan", &plan), ("tree", &tree)] {
+        let (seen, err) = enumerate(program, tight_depth);
+        assert!(
+            seen.len() < 40,
+            "{name}: depth ceiling did not cut the enumeration short"
+        );
+        let err = err.unwrap_or_else(|| panic!("{name}: no limit error"));
+        assert!(
+            matches!(&err.kind, RtErrorKind::LimitExceeded { resource } if resource == "depth"),
+            "{name}: {err:?}"
+        );
+    }
+
+    // Deconstruction queries honor limits too (the plan engine used to have
+    // a fixed internal ceiling only). Step *units* are engine-specific, so
+    // the budget is chosen below what either engine needs for one row.
+    let tight_call = Limits {
+        max_steps: 1,
+        ..Limits::default()
+    };
+    for (name, program) in [("plan", &plan), ("tree", &tree)] {
+        let list = int_list(program, 10);
+        let err = program
+            .deconstruct(&list, "cons")
+            .unwrap()
+            .limits(tight_call)
+            .try_collect()
+            .unwrap_err();
+        assert!(
+            matches!(&err.kind, RtErrorKind::LimitExceeded { .. }),
+            "{name}: {err:?}"
+        );
     }
 }

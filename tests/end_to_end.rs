@@ -1,26 +1,42 @@
 //! Integration tests spanning the whole pipeline: parse → resolve → verify →
-//! run, on the paper's examples.
+//! run, on the paper's examples, through the `Compiler` / `Program`
+//! embedding API.
 
-use jmatch::core::{compile, CompileOptions, WarningKind};
-use jmatch::runtime::{Interp, Value};
+use jmatch::core::WarningKind;
+use jmatch::{args, Compiler, Value};
 
 #[test]
 fn figure1_plus_compiles_verifies_and_runs() {
     let entry = jmatch::corpus::entry("ZNat").unwrap();
-    let compiled = compile(&entry.combined_jmatch(), &CompileOptions::default()).unwrap();
-    assert!(compiled.diagnostics.errors.is_empty());
-    assert!(!compiled.diagnostics.has_warning(WarningKind::NonExhaustive));
-    assert!(!compiled.diagnostics.has_warning(WarningKind::RedundantArm));
+    let program = Compiler::new()
+        .verify(true)
+        .compile(&entry.combined_jmatch())
+        .unwrap();
+    assert!(program.diagnostics().errors.is_empty());
+    assert!(!program
+        .diagnostics()
+        .has_warning(WarningKind::NonExhaustive));
+    assert!(!program.diagnostics().has_warning(WarningKind::RedundantArm));
 
-    let interp = Interp::new(compiled.table.clone());
-    let mut four = interp.construct("ZNat", "zero", vec![]).unwrap();
+    let zero = program.ctor("ZNat", "zero").unwrap();
+    let succ = program.ctor("ZNat", "succ").unwrap();
+    let mut four = zero.construct(args![]).unwrap();
     for _ in 0..4 {
-        four = interp.construct("ZNat", "succ", vec![four]).unwrap();
+        four = succ.construct(args![four]).unwrap();
     }
-    let mut one = interp.construct("ZNat", "zero", vec![]).unwrap();
-    one = interp.construct("ZNat", "succ", vec![one]).unwrap();
-    let five = interp.call_free("plus", vec![four, one]).unwrap();
-    let as_int = interp.call_method(&five, "toInt", vec![]).unwrap();
+    let one = succ
+        .construct(args![zero.construct(args![]).unwrap()])
+        .unwrap();
+    let five = program
+        .free_method("plus")
+        .unwrap()
+        .call(None, args![four, one])
+        .unwrap();
+    let as_int = program
+        .method("ZNat", "toInt")
+        .unwrap()
+        .call(Some(&five), args![])
+        .unwrap();
     assert_eq!(as_int, Value::Int(5));
 }
 
@@ -37,8 +53,8 @@ fn figure6_redundancy_is_detected_end_to_end() {
              }}
          }}"
     );
-    let compiled = compile(&src, &CompileOptions::default()).unwrap();
-    let redundant = compiled.diagnostics.warnings_of(WarningKind::RedundantArm);
+    let program = Compiler::new().compile(&src).unwrap();
+    let redundant = program.diagnostics().warnings_of(WarningKind::RedundantArm);
     assert_eq!(redundant.len(), 1);
     assert!(redundant[0].message.contains("arm 2"));
 }
@@ -49,46 +65,42 @@ fn equality_constructors_bridge_implementations() {
     let mut src = entry.combined_jmatch();
     src.push_str(jmatch::corpus::jmatch::PZERO);
     src.push_str(jmatch::corpus::jmatch::PSUCC);
-    let compiled = compile(
-        &src,
-        &CompileOptions {
-            verify: false,
-            ..CompileOptions::default()
-        },
-    )
-    .unwrap();
-    let interp = Interp::new(compiled.table.clone());
+    let program = Compiler::new().verify(false).compile(&src).unwrap();
     let z2 = {
-        let mut v = interp.construct("ZNat", "zero", vec![]).unwrap();
+        let zero = program.ctor("ZNat", "zero").unwrap();
+        let succ = program.ctor("ZNat", "succ").unwrap();
+        let mut v = zero.construct(args![]).unwrap();
         for _ in 0..2 {
-            v = interp.construct("ZNat", "succ", vec![v]).unwrap();
+            v = succ.construct(args![v]).unwrap();
         }
         v
     };
     let p2 = {
-        let z = interp.construct("PZero", "zero", vec![]).unwrap();
-        let one = interp.construct("PSucc", "succ", vec![z]).unwrap();
-        interp.construct("PSucc", "succ", vec![one]).unwrap()
+        let z = program
+            .ctor("PZero", "zero")
+            .unwrap()
+            .construct(args![])
+            .unwrap();
+        let succ = program.ctor("PSucc", "succ").unwrap();
+        let one = succ.construct(args![z]).unwrap();
+        succ.construct(args![one]).unwrap()
     };
-    assert!(interp.values_equal(&z2, &p2).unwrap());
+    assert!(program.values_equal(&z2, &p2).unwrap());
 }
 
 #[test]
 fn whole_corpus_compiles_with_verification() {
     for entry in jmatch::corpus::entries() {
-        let compiled = compile(
-            &entry.combined_jmatch(),
-            &CompileOptions {
-                verify: true,
-                max_expansion_depth: 2,
-            },
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let program = Compiler::new()
+            .verify(true)
+            .max_expansion_depth(2)
+            .compile(&entry.combined_jmatch())
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         assert!(
-            compiled.diagnostics.errors.is_empty(),
+            program.diagnostics().errors.is_empty(),
             "{}: {:?}",
             entry.name,
-            compiled.diagnostics.errors
+            program.diagnostics().errors
         );
     }
 }
@@ -109,6 +121,6 @@ fn verification_uses_the_smt_substrate() {
             }
         }
     ";
-    let compiled = compile(src, &CompileOptions::default()).unwrap();
-    assert!(compiled.diagnostics.has_warning(WarningKind::RedundantArm));
+    let program = Compiler::new().compile(src).unwrap();
+    assert!(program.diagnostics().has_warning(WarningKind::RedundantArm));
 }

@@ -1,0 +1,65 @@
+//! `repr_hot_paths` — the value-representation hot paths: field access,
+//! wide constructor dispatch, and deconstruction fan-out.
+//!
+//! These are the workloads the interned-symbol / slot-indexed object layout
+//! targets: `field` reads that used to hash a `String` per access, a
+//! 64-arm `switch` whose arms used to be tried one by one per call, and
+//! backward-mode constructor matching whose solution rows used to be built
+//! through `HashMap` environments. Both engines run the same workloads so
+//! the representation change can be compared engine-vs-engine as well as
+//! before-vs-after (the recorded numbers live in `BENCH_repr.json` and the
+//! README's "Value representation & dispatch" section).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jmatch_bench::{
+    repr_deconstruct_workload, repr_dispatch_program, repr_dispatch_workload, repr_field_program,
+    repr_field_workload, runtime_program,
+};
+use jmatch_runtime::Engine;
+
+fn bench_repr_hot_paths(c: &mut Criterion) {
+    let field_plan = repr_field_program(Engine::Plan);
+    let field_tree = repr_field_program(Engine::TreeWalk);
+    let dispatch_plan = repr_dispatch_program(Engine::Plan);
+    let dispatch_tree = repr_dispatch_program(Engine::TreeWalk);
+    let list_plan = runtime_program(Engine::Plan);
+    let list_tree = runtime_program(Engine::TreeWalk);
+
+    // The engines must agree before their speeds are worth comparing.
+    assert_eq!(
+        repr_field_workload(&field_plan, 100),
+        repr_field_workload(&field_tree, 100)
+    );
+    assert_eq!(
+        repr_dispatch_workload(&dispatch_plan),
+        repr_dispatch_workload(&dispatch_tree)
+    );
+    assert_eq!(
+        repr_deconstruct_workload(&list_plan, 64),
+        repr_deconstruct_workload(&list_tree, 64)
+    );
+
+    let mut group = c.benchmark_group("repr_hot_paths");
+    group.bench_function("field_access/plan", |b| {
+        b.iter(|| black_box(repr_field_workload(&field_plan, 100)))
+    });
+    group.bench_function("field_access/tree_walk", |b| {
+        b.iter(|| black_box(repr_field_workload(&field_tree, 100)))
+    });
+    group.bench_function("ctor_dispatch_64/plan", |b| {
+        b.iter(|| black_box(repr_dispatch_workload(&dispatch_plan)))
+    });
+    group.bench_function("ctor_dispatch_64/tree_walk", |b| {
+        b.iter(|| black_box(repr_dispatch_workload(&dispatch_tree)))
+    });
+    group.bench_function("deconstruct_fanout/plan", |b| {
+        b.iter(|| black_box(repr_deconstruct_workload(&list_plan, 64)))
+    });
+    group.bench_function("deconstruct_fanout/tree_walk", |b| {
+        b.iter(|| black_box(repr_deconstruct_workload(&list_tree, 64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repr_hot_paths);
+criterion_main!(benches);

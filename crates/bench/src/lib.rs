@@ -16,10 +16,9 @@
 use jmatch_core::table::ClassTable;
 use jmatch_core::{compile, extract, CompileOptions, Diagnostics, Verifier, VerifyOptions};
 use jmatch_corpus::CorpusEntry;
-use jmatch_runtime::{args, Compiler, Engine, Object, Program, Query, Value};
+use jmatch_runtime::{args, Compiler, Engine, Program, Query, Value};
 use jmatch_syntax::ast::{CmpOp, Expr, Formula};
 use jmatch_syntax::{count_tokens, parse_formula};
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -512,10 +511,7 @@ pub fn list_workload(program: &Program, n: i64) -> i64 {
 /// `while` + `foreach` over an 8-way pattern disjunction: pure enumeration
 /// of formula solutions inside an imperative body.
 pub fn enumeration_workload(program: &Program, rounds: i64) -> i64 {
-    let gen = Value::Obj(Arc::new(Object {
-        class: "Gen".into(),
-        fields: HashMap::new(),
-    }));
+    let gen = program.instance("Gen").unwrap();
     program
         .method("Gen", "burn")
         .unwrap()
@@ -578,6 +574,146 @@ pub fn first_element_lazy(query: &Query<'_>) -> i64 {
         .first()
         .and_then(|b| b.get("elem").and_then(Value::as_int))
         .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Value-representation workloads (the `repr_hot_paths` bench)
+// ---------------------------------------------------------------------------
+
+/// A field-heavy program: an eight-field `Point` read back in full both
+/// through field-of-`this` names (method bodies) and through explicit
+/// `p.f` field expressions, driven by an imperative loop. Dominated by
+/// field resolution — the hot path the slot-indexed object layout
+/// replaces per-field hash lookups on.
+pub fn repr_field_program(engine: Engine) -> Program {
+    let src = r#"
+        class Point {
+            int x0;
+            int x1;
+            int x2;
+            int x3;
+            int x4;
+            int x5;
+            int x6;
+            int x7;
+            constructor at(int a, int b, int c, int d) returns(a, b, c, d)
+                ( x0 = a && x1 = b && x2 = c && x3 = d
+                  && x4 = a + b && x5 = b + c && x6 = c + d && x7 = d + a )
+            int norm1() { return x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7; }
+            int mix(int k) {
+                return x0 * k + x1 + x2 * k + x3 + x4 * k + x5 + x6 * k + x7;
+            }
+        }
+        static int churn(Point p, int rounds) {
+            int total = 0;
+            int i = 0;
+            while (i < rounds) {
+                total = total + p.norm1() + p.mix(i)
+                    + p.x0 + p.x1 + p.x2 + p.x3 + p.x4 + p.x5 + p.x6 + p.x7;
+                i = i + 1;
+            }
+            return total;
+        }
+    "#;
+    let program = Compiler::new()
+        .verify(false)
+        .engine(engine)
+        .compile(src)
+        .expect("repr field program parses");
+    assert!(program.diagnostics().errors.is_empty());
+    program
+}
+
+/// Field-access workload: `rounds` iterations of two methods that each
+/// read all four `Point` fields.
+pub fn repr_field_workload(program: &Program, rounds: i64) -> i64 {
+    let at = program.ctor("Point", "at").unwrap();
+    let churn = program.free_method("churn").unwrap();
+    let p = at.construct(args![3, 5, 7, 11]).unwrap();
+    churn
+        .call(None, args![p, rounds])
+        .unwrap()
+        .as_int()
+        .unwrap()
+}
+
+/// How many classes / switch arms the dispatch workload uses.
+pub const REPR_DISPATCH_ARMS: usize = 64;
+
+/// A 64-class, 64-arm constructor-dispatch program: `route` switches a
+/// `Tag` value over one class-constructor pattern per concrete class.
+/// Without tag dispatch every call tries the arms one by one (each a
+/// method lookup plus a failed match or conversion attempt); with
+/// class-keyed dispatch tables only the one possible arm is tried.
+pub fn repr_dispatch_source() -> String {
+    let mut src = String::from("interface Tag { }\n");
+    for k in 0..REPR_DISPATCH_ARMS {
+        src.push_str(&format!(
+            "class C{k} implements Tag {{ int v; C{k}(int n) returns(n) ( v = n ) }}\n"
+        ));
+    }
+    src.push_str("static int route(Tag t) {\n    switch (t) {\n");
+    for k in 0..REPR_DISPATCH_ARMS {
+        src.push_str(&format!("        case C{k}(int a): return a + {k};\n"));
+    }
+    src.push_str("    }\n}\n");
+    src
+}
+
+/// Builds the dispatch program on the given engine.
+pub fn repr_dispatch_program(engine: Engine) -> Program {
+    let program = Compiler::new()
+        .verify(false)
+        .engine(engine)
+        .compile(&repr_dispatch_source())
+        .expect("repr dispatch program parses");
+    assert!(
+        program.diagnostics().errors.is_empty(),
+        "{:?}",
+        program.diagnostics().errors
+    );
+    program
+}
+
+/// Constructor-dispatch workload: routes one instance of every class
+/// through the 64-arm switch.
+pub fn repr_dispatch_workload(program: &Program) -> i64 {
+    let route = program.free_method("route").unwrap();
+    let mut total = 0;
+    for k in 0..REPR_DISPATCH_ARMS {
+        let class = format!("C{k}");
+        let v = program
+            .ctor(&class, &class)
+            .unwrap()
+            .construct(args![k as i64])
+            .unwrap();
+        total += route.call(None, args![v]).unwrap().as_int().unwrap();
+    }
+    total
+}
+
+/// Deconstruction fan-out workload: walks the spine of an `n`-element cons
+/// list by repeated backward-mode `cons` queries, probing the `nil`
+/// predicate at every cell. Dominated by constructor matching and solution
+/// row extraction.
+pub fn repr_deconstruct_workload(program: &Program, n: i64) -> i64 {
+    let list = int_list(program, n);
+    let mut total = 0;
+    let mut cur = list;
+    loop {
+        if program.matches(&cur, "nil").unwrap() {
+            break;
+        }
+        let rows = program
+            .deconstruct(&cur, "cons")
+            .unwrap()
+            .try_collect_rows()
+            .unwrap();
+        let row = &rows[0];
+        total += row[0].as_int().unwrap();
+        cur = row[1].clone();
+    }
+    total
 }
 
 #[cfg(test)]

@@ -1,0 +1,122 @@
+//! Program-wide string interning for runtime names.
+//!
+//! Every name the *runtime* dispatches or resolves on — class names, field
+//! names, method and constructor names — is interned into a [`Sym`] while
+//! the class table is built, following the design of `jmatch_smt::sym`
+//! (the solver keeps its own interner; its symbols never mix with these).
+//! A `Sym` is a small copyable handle: comparing two of them is one `u32`
+//! compare instead of a byte-by-byte `String` compare, and hashing one is
+//! trivial, which is what makes slot-indexed object layouts and
+//! class-keyed dispatch tables (see [`crate::table::ClassLayout`] and
+//! [`crate::lower::DispatchTable`]) O(1) at run time.
+//!
+//! The interner is **frozen** once [`crate::table::ClassTable::build`]
+//! finishes: later phases (lowering, the evaluators, the embedding API)
+//! only [`Interner::lookup`] and [`Interner::resolve`]. A name that was
+//! never declared simply has no symbol, which the runtime reports exactly
+//! like the old string-keyed misses ("no field", "method not found").
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned runtime name (class, field, method or constructor).
+///
+/// Symbols are only meaningful relative to the [`Interner`] (and therefore
+/// the [`crate::table::ClassTable`]) that created them; comparing symbols
+/// from different programs is meaningless, which is why cross-program
+/// paths (the embedding API boundary) resolve through strings instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub(crate) u32);
+
+impl Sym {
+    /// Raw index of the symbol inside its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simple append-only string interner (the design of `jmatch_smt::sym`,
+/// instantiated for runtime names).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("val");
+        let b = i.intern("val");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "val");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut i = Interner::new();
+        assert_ne!(i.intern("x"), i.intern("y"));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.lookup("zero").is_none());
+        let z = i.intern("zero");
+        assert_eq!(i.lookup("zero"), Some(z));
+        assert_eq!(i.len(), 1);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod diag;
 pub mod expand;
 pub mod extract;
+pub mod intern;
 pub mod lower;
 pub mod table;
 pub mod vc;
@@ -45,8 +46,9 @@ pub mod verify;
 pub use diag::{CompileError, Diagnostics, Warning, WarningKind};
 pub use expand::JMatchExpander;
 pub use extract::{extract, Extracted};
+pub use intern::{Interner, Sym};
 pub use lower::{MethodPlan, PlanId, ProgramPlan, SlotId};
-pub use table::{ClassTable, MethodInfo, Mode, TypeInfo};
+pub use table::{ClassLayout, ClassTable, MethodInfo, Mode, TypeInfo};
 pub use vc::{Env, Seq, VcGen, F};
 pub use verify::{Session, SessionStats, Verifier, VerifyOptions};
 

@@ -73,7 +73,8 @@
 //!
 //! [`Plan`]: ProgramPlan
 
-use crate::table::{ClassTable, MethodInfo};
+use crate::intern::Sym;
+use crate::table::{ClassLayout, ClassTable, MethodInfo};
 use jmatch_syntax::ast::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,6 +84,121 @@ pub type SlotId = u32;
 
 /// Index of a [`MethodPlan`] inside a [`ProgramPlan`].
 pub type PlanId = usize;
+
+/// Index of a [`DispatchTable`] inside a [`ProgramPlan`].
+pub type DispatchId = u32;
+
+/// A class-keyed dispatch table for one method / constructor name: the
+/// [`PlanId`] of the implementation reachable from each declared type,
+/// indexed by the type's dense [`ClassLayout::type_index`].
+///
+/// This is the compile-time/runtime split of WAM-style first-argument
+/// indexing: the supertype walk (`lookup_impl`) runs here, once per
+/// `(name, class)` pair at [`ProgramPlan::compile`] time, and the
+/// evaluators resolve a dynamic dispatch with a single array load keyed by
+/// the receiver's runtime class symbol — no hash of a `String` key, no
+/// walk, no allocation.
+#[derive(Debug, Clone)]
+pub struct DispatchTable {
+    name: String,
+    by_type: Box<[Option<PlanId>]>,
+}
+
+impl DispatchTable {
+    /// The method / constructor name the table dispatches.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The implementation reachable from the type at `type_index`.
+    pub fn at(&self, type_index: u32) -> Option<PlanId> {
+        self.by_type[type_index as usize]
+    }
+}
+
+/// A statically named class at a call / pattern site, with everything the
+/// evaluators used to look up per call resolved at lowering time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRef {
+    /// The class name (kept for error messages and foreign-value paths).
+    pub name: String,
+    /// The class's dense type index, when it is declared in the table.
+    pub type_index: Option<u32>,
+    /// Forward-construction resolution (evaluation position): the plan a
+    /// `Class.ctor(args)` / `Class(args)` expression runs. `None` falls
+    /// back to the string-keyed path so error messages stay identical.
+    pub construct_pid: Option<PlanId>,
+    /// Backward-matching resolution (pattern position): the plan a
+    /// `Class.ctor(pats)` / `Class(pats)` pattern matches against.
+    pub match_pid: Option<PlanId>,
+}
+
+/// The class restriction of a `T x` declaration pattern, resolved at
+/// lowering time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassCheck {
+    /// No restriction (primitive or unconstrained declared type).
+    Any,
+    /// Object values must be subtypes of the type at this index
+    /// (non-objects are unrestricted, as before).
+    Subtype(u32),
+    /// The named type is not in the table; fall back to the string-keyed
+    /// subtype walk at run time (preserves erroneous-program behavior).
+    Dynamic,
+}
+
+/// Which scrutinee classes one `switch` case pattern can possibly match —
+/// the tag-dispatch table of a case arm. `Classes` is a bitmask over type
+/// indices: an object whose class is masked out is *statically* known not
+/// to match, so the case is skipped without running the matching plan or
+/// creating its choice points. Non-objects (and objects from a foreign
+/// program) are always admitted, and patterns whose match could *error*
+/// (rather than merely fail) are `Any`, so pruning never changes
+/// observable behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseGuard {
+    /// Any value might match.
+    Any,
+    /// Only objects of the masked classes might match.
+    Classes(Box<[bool]>),
+}
+
+impl CaseGuard {
+    /// Whether a value with the given resolved type index might match.
+    /// `None` (non-objects, foreign classes) is always admitted.
+    pub fn admits(&self, type_index: Option<u32>) -> bool {
+        match self {
+            CaseGuard::Any => true,
+            CaseGuard::Classes(mask) => type_index.is_none_or(|i| mask[i as usize]),
+        }
+    }
+
+    fn intersect(self, other: CaseGuard) -> CaseGuard {
+        match (self, other) {
+            (CaseGuard::Any, g) | (g, CaseGuard::Any) => g,
+            (CaseGuard::Classes(a), CaseGuard::Classes(b)) => CaseGuard::Classes(
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| x && y)
+                    .collect::<Vec<bool>>()
+                    .into(),
+            ),
+        }
+    }
+
+    fn union(self, other: CaseGuard) -> CaseGuard {
+        match (self, other) {
+            (CaseGuard::Any, _) | (_, CaseGuard::Any) => CaseGuard::Any,
+            (CaseGuard::Classes(a), CaseGuard::Classes(b)) => CaseGuard::Classes(
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| x || y)
+                    .collect::<Vec<bool>>()
+                    .into(),
+            ),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Frame layout
@@ -134,14 +250,17 @@ impl FrameLayout {
 /// How a call expression resolves, precomputed where the AST allows it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CallKind {
-    /// `Class.name(args)` — a (named-)constructor invocation on a class.
-    StaticConstruct(String),
-    /// `recv.name(args)` with an object receiver — dynamic dispatch.
+    /// `Class.name(args)` — a (named-)constructor invocation on a class,
+    /// with the class and both resolution modes precomputed.
+    StaticConstruct(ClassRef),
+    /// `recv.name(args)` with an object receiver — dynamic dispatch through
+    /// the call's [`DispatchTable`].
     Instance,
     /// `Class(args)` — the class constructor of the named class.
-    ClassCtor(String),
-    /// `name(args)` resolving to a free-standing method.
-    Free,
+    ClassCtor(ClassRef),
+    /// `name(args)` resolving to a free-standing method (the plan resolved
+    /// at lowering time when it exists).
+    Free(Option<PlanId>),
     /// `name(args)` falling back to a method on `this`.
     ThisMethod,
     /// `name(args)` that resolves to nothing — a runtime error when reached.
@@ -173,13 +292,19 @@ pub enum PExpr {
         slot: SlotId,
         /// Source name (needed for the runtime field-of-`this` fallback).
         name: String,
+        /// The interned name, when any class declares a field called this
+        /// — the O(1) field-of-`this` fallback.
+        field_sym: Option<Sym>,
         /// Whether the name is a type in the class table.
         class_ref: bool,
     },
-    /// A declaration pattern `T x` (`None` slot for `T _`).
-    Decl(Type, Option<SlotId>),
-    /// Field access `e.f`.
-    Field(Box<PExpr>, String),
+    /// A declaration pattern `T x` (`None` slot for `T _`), with the class
+    /// restriction of a named type resolved to a [`ClassCheck`].
+    Decl(Type, Option<SlotId>, ClassCheck),
+    /// Field access `e.f`, the field name interned at lowering time
+    /// (`None` when no class declares the field — a guaranteed runtime
+    /// "no field" error, like the old string miss).
+    Field(Box<PExpr>, String, Option<Sym>),
     /// A call / constructor pattern.
     Call {
         /// Receiver, if any.
@@ -190,6 +315,10 @@ pub enum PExpr {
         args: Vec<PExpr>,
         /// Precomputed resolution for ground (evaluation) position.
         kind: CallKind,
+        /// The dispatch table for `name`, for runtime-class-dispatched
+        /// positions (`None` only for names lowered standalone that no
+        /// compiled table registered).
+        dispatch: Option<DispatchId>,
     },
     /// Indexing (unsupported at run time, kept for faithful errors).
     Index(Box<PExpr>, Box<PExpr>),
@@ -266,6 +395,10 @@ pub enum Goal {
         name: String,
         /// Argument patterns, matched in the caller's frame.
         args: Vec<PExpr>,
+        /// The dispatch table for `name`: the runtime resolves the
+        /// receiver's class symbol through it in O(1) instead of walking
+        /// the supertype chain per call.
+        dispatch: Option<DispatchId>,
     },
     /// A ground boolean test.
     Test(PExpr),
@@ -294,6 +427,11 @@ pub enum CaseTarget {
 pub struct CasePlan {
     /// One pattern per scrutinee.
     pub patterns: Vec<PExpr>,
+    /// One tag-dispatch guard per pattern: which scrutinee classes the
+    /// pattern can possibly match. Checked (an array load) before the
+    /// pattern's matching plan runs, so impossible cases are skipped
+    /// without creating any choice points.
+    pub guards: Vec<CaseGuard>,
     /// Precomputed fall-through target.
     pub target: CaseTarget,
 }
@@ -435,61 +573,191 @@ pub struct MethodPlan {
     pub info: MethodInfo,
     /// The compiled body.
     pub body: BodyPlan,
+    /// The runtime layout of the owner class (`None` for free-standing
+    /// methods): construction fills this layout's slots directly.
+    pub owner_layout: Option<Arc<ClassLayout>>,
 }
 
 // ---------------------------------------------------------------------------
 // Program plans
 // ---------------------------------------------------------------------------
 
+/// The pass-1 resolution maps: where every `(owner, name)` pair resolves,
+/// before any body is lowered. Lowering reads these to resolve call sites
+/// statically; the finished [`ProgramPlan`] keeps them for the string-keyed
+/// API boundary.
+#[derive(Debug, Clone, Default)]
+struct PlanMaps {
+    /// First method declared under `(owner, name)` (any kind, any body).
+    /// Keyed by interned symbols, so the string-keyed API boundary resolves
+    /// without allocating.
+    declared: HashMap<(Sym, Sym), PlanId>,
+    /// First method declared under `(owner, name)` *with* a body.
+    declared_impl: HashMap<(Sym, Sym), PlanId>,
+    /// The class constructor of each class.
+    class_ctors: HashMap<Sym, PlanId>,
+    /// Free-standing methods by name (first wins, like the table).
+    free: HashMap<String, PlanId>,
+    /// Whether each plan's method has a body.
+    bodied: Vec<bool>,
+}
+
+impl PlanMaps {
+    fn lookup_declared(&self, table: &ClassTable, ty: &str, name: &str) -> Option<PlanId> {
+        // A name no type declares has no symbol — and therefore no entry.
+        let name_sym = table.interner().lookup(name)?;
+        Self::walk(&self.declared, table, ty, name_sym)
+    }
+
+    fn lookup_impl(&self, table: &ClassTable, class: &str, name: &str) -> Option<PlanId> {
+        let name_sym = table.interner().lookup(name)?;
+        Self::walk(&self.declared_impl, table, class, name_sym)
+    }
+
+    /// The shared supertype walk behind both resolutions: first entry for
+    /// `(ty, name)` in `map` on the type itself, then on supertypes.
+    fn walk(
+        map: &HashMap<(Sym, Sym), PlanId>,
+        table: &ClassTable,
+        ty: &str,
+        name_sym: Sym,
+    ) -> Option<PlanId> {
+        if let Some(ty_sym) = table.interner().lookup(ty) {
+            if let Some(&id) = map.get(&(ty_sym, name_sym)) {
+                return Some(id);
+            }
+        }
+        let info = table.type_info(ty)?;
+        info.supertypes
+            .iter()
+            .find_map(|sup| Self::walk(map, table, sup, name_sym))
+    }
+
+    fn class_ctor(&self, table: &ClassTable, class: &str) -> Option<PlanId> {
+        self.class_ctors
+            .get(&table.interner().lookup(class)?)
+            .copied()
+    }
+}
+
+/// The dispatch-table registry filled while bodies are lowered: every
+/// invoked (or declared) name gets a [`DispatchId`]; the tables themselves
+/// are materialized after lowering.
+#[derive(Debug, Default)]
+struct DispatchRegistry {
+    ids: HashMap<String, DispatchId>,
+    names: Vec<String>,
+}
+
+impl DispatchRegistry {
+    fn id_for(&mut self, name: &str) -> DispatchId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as DispatchId;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+}
+
 /// The compiled program: every method body lowered to its query plans, plus
-/// the dispatch indices the evaluator needs to resolve calls without
-/// searching the class table.
+/// the class-keyed dispatch tables the evaluators resolve calls through
+/// without searching the class table.
 #[derive(Debug, Clone)]
 pub struct ProgramPlan {
     table: Arc<ClassTable>,
     methods: Vec<MethodPlan>,
-    /// First method declared under `(owner, name)` (any kind, any body).
-    declared: HashMap<(String, String), PlanId>,
-    /// First method declared under `(owner, name)` *with* a body.
-    declared_impl: HashMap<(String, String), PlanId>,
-    /// The class constructor of each class.
-    class_ctors: HashMap<String, PlanId>,
-    /// Free-standing methods by name (first wins, like the table).
-    free: HashMap<String, PlanId>,
+    maps: PlanMaps,
+    /// Dispatch table per registered name.
+    dispatch_ids: HashMap<String, DispatchId>,
+    dispatch: Vec<DispatchTable>,
+    /// The class constructor of each type, by type index.
+    class_ctor_by_type: Box<[Option<PlanId>]>,
+    /// The `equals` dispatch table (deep equality's hot lookup).
+    equals_dispatch: Option<DispatchId>,
 }
 
 impl ProgramPlan {
     /// Lowers every method of a resolved program. This is the one-time
-    /// compile work that replaces the interpreter's per-call mode search.
+    /// compile work that replaces the interpreter's per-call mode search:
+    /// pass 1 registers every method in the resolution maps, pass 2 lowers
+    /// bodies against those maps (resolving static call sites and interning
+    /// dispatched names), pass 3 materializes one [`DispatchTable`] per
+    /// name.
     pub fn compile(table: Arc<ClassTable>) -> Arc<ProgramPlan> {
-        let mut plan = ProgramPlan {
-            table: Arc::clone(&table),
-            methods: Vec::new(),
-            declared: HashMap::new(),
-            declared_impl: HashMap::new(),
-            class_ctors: HashMap::new(),
-            free: HashMap::new(),
+        // Pass 1: resolution maps, no lowering yet.
+        let mut maps = PlanMaps::default();
+        let mut infos: Vec<&MethodInfo> = Vec::new();
+        let interned = |name: &str| {
+            table
+                .interner()
+                .lookup(name)
+                .expect("declared names are interned by ClassTable::build")
         };
         for ty in table.types() {
+            let ty_sym = interned(&ty.name);
             for m in &ty.methods {
-                let id = plan.methods.len();
-                plan.methods.push(lower_method(&table, m));
-                let key = (ty.name.clone(), m.decl.name.clone());
-                plan.declared.entry(key.clone()).or_insert(id);
-                if !matches!(m.decl.body, MethodBody::Absent) {
-                    plan.declared_impl.entry(key).or_insert(id);
+                let id = infos.len();
+                infos.push(m);
+                let key = (ty_sym, interned(&m.decl.name));
+                maps.declared.entry(key).or_insert(id);
+                let has_body = !matches!(m.decl.body, MethodBody::Absent);
+                if has_body {
+                    maps.declared_impl.entry(key).or_insert(id);
                 }
                 if m.decl.kind == MethodKind::ClassConstructor {
-                    plan.class_ctors.entry(ty.name.clone()).or_insert(id);
+                    maps.class_ctors.entry(ty_sym).or_insert(id);
                 }
+                maps.bodied.push(has_body);
             }
         }
         for m in table.free_methods() {
-            let id = plan.methods.len();
-            plan.methods.push(lower_method(&table, m));
-            plan.free.entry(m.decl.name.clone()).or_insert(id);
+            let id = infos.len();
+            infos.push(m);
+            maps.free.entry(m.decl.name.clone()).or_insert(id);
+            maps.bodied.push(!matches!(m.decl.body, MethodBody::Absent));
         }
-        Arc::new(plan)
+        // Every declared name gets a table up front so standalone-lowered
+        // formulas (built after compile) dispatch through them too.
+        let mut registry = DispatchRegistry::default();
+        for m in &infos {
+            registry.id_for(&m.decl.name);
+        }
+        // Pass 2: lower bodies against the complete maps.
+        let methods: Vec<MethodPlan> = infos
+            .iter()
+            .map(|m| lower_method(&table, &maps, &mut registry, m))
+            .collect();
+        // Pass 3: materialize the dispatch tables.
+        let n = table.num_types();
+        let type_names: Vec<&str> = table.types().map(|t| t.name.as_str()).collect();
+        let dispatch: Vec<DispatchTable> = registry
+            .names
+            .iter()
+            .map(|name| DispatchTable {
+                name: name.clone(),
+                by_type: type_names
+                    .iter()
+                    .map(|ty| maps.lookup_impl(&table, ty, name))
+                    .collect(),
+            })
+            .collect();
+        let class_ctor_by_type: Box<[Option<PlanId>]> = type_names
+            .iter()
+            .map(|ty| maps.class_ctor(&table, ty))
+            .collect();
+        debug_assert_eq!(class_ctor_by_type.len(), n);
+        let equals_dispatch = registry.ids.get("equals").copied();
+        Arc::new(ProgramPlan {
+            table,
+            methods,
+            maps,
+            dispatch_ids: registry.ids,
+            dispatch,
+            class_ctor_by_type,
+            equals_dispatch,
+        })
     }
 
     /// The class table the plan was compiled from.
@@ -510,36 +778,51 @@ impl ProgramPlan {
     /// Resolves `name` on `ty` like `ClassTable::lookup_method`: the first
     /// declaration found on the type itself, then on supertypes.
     pub fn lookup_declared(&self, ty: &str, name: &str) -> Option<PlanId> {
-        if let Some(&id) = self.declared.get(&(ty.to_owned(), name.to_owned())) {
-            return Some(id);
-        }
-        let info = self.table.type_info(ty)?;
-        info.supertypes
-            .iter()
-            .find_map(|sup| self.lookup_declared(sup, name))
+        self.maps.lookup_declared(&self.table, ty, name)
     }
 
     /// Resolves the *implementation* of `name` reachable from the concrete
     /// class `class` (the interpreter's `find_impl`): the first declaration
     /// with a body on the class itself, then on supertypes.
     pub fn lookup_impl(&self, class: &str, name: &str) -> Option<PlanId> {
-        if let Some(&id) = self.declared_impl.get(&(class.to_owned(), name.to_owned())) {
-            return Some(id);
-        }
-        let info = self.table.type_info(class)?;
-        info.supertypes
-            .iter()
-            .find_map(|sup| self.lookup_impl(sup, name))
+        self.maps.lookup_impl(&self.table, class, name)
     }
 
     /// The class constructor plan of a class.
     pub fn class_ctor(&self, class: &str) -> Option<PlanId> {
-        self.class_ctors.get(class).copied()
+        self.maps.class_ctor(&self.table, class)
+    }
+
+    /// The class constructor plan of the type at `type_index`.
+    pub fn class_ctor_at(&self, type_index: u32) -> Option<PlanId> {
+        self.class_ctor_by_type[type_index as usize]
     }
 
     /// A free-standing method plan by name.
     pub fn lookup_free(&self, name: &str) -> Option<PlanId> {
-        self.free.get(name).copied()
+        self.maps.free.get(name).copied()
+    }
+
+    /// The dispatch table registered for `name`, if any.
+    pub fn dispatch_id(&self, name: &str) -> Option<DispatchId> {
+        self.dispatch_ids.get(name).copied()
+    }
+
+    /// The implementation `name`'s dispatch table resolves for the class
+    /// at `type_index` — one array load, the runtime's whole dynamic
+    /// dispatch.
+    pub fn dispatch_at(&self, id: DispatchId, type_index: u32) -> Option<PlanId> {
+        self.dispatch[id as usize].at(type_index)
+    }
+
+    /// The dispatch table of `equals` (the deep-equality hot path).
+    pub fn equals_dispatch(&self) -> Option<DispatchId> {
+        self.equals_dispatch
+    }
+
+    /// All dispatch tables (diagnostics / tests).
+    pub fn dispatch_tables(&self) -> &[DispatchTable] {
+        &self.dispatch
     }
 }
 
@@ -651,6 +934,65 @@ impl Binds {
 // The lowering context
 // ---------------------------------------------------------------------------
 
+/// How call / pattern sites resolve while lowering: against the in-progress
+/// pass-1 maps during [`ProgramPlan::compile`], or against a finished plan
+/// for standalone formulas lowered at query time.
+enum Res<'t> {
+    /// Compiling a program: maps are complete, dispatch ids are handed out
+    /// on demand.
+    Building {
+        maps: &'t PlanMaps,
+        registry: &'t mut DispatchRegistry,
+    },
+    /// Lowering a standalone formula against a finished plan: only names
+    /// the plan registered dispatch through tables.
+    Frozen(&'t ProgramPlan),
+}
+
+impl Res<'_> {
+    fn dispatch_id(&mut self, name: &str) -> Option<DispatchId> {
+        match self {
+            Res::Building { registry, .. } => Some(registry.id_for(name)),
+            Res::Frozen(plan) => plan.dispatch_id(name),
+        }
+    }
+
+    fn lookup_impl(&self, table: &ClassTable, class: &str, name: &str) -> Option<PlanId> {
+        match self {
+            Res::Building { maps, .. } => maps.lookup_impl(table, class, name),
+            Res::Frozen(plan) => plan.lookup_impl(class, name),
+        }
+    }
+
+    fn lookup_declared(&self, table: &ClassTable, ty: &str, name: &str) -> Option<PlanId> {
+        match self {
+            Res::Building { maps, .. } => maps.lookup_declared(table, ty, name),
+            Res::Frozen(plan) => plan.lookup_declared(ty, name),
+        }
+    }
+
+    fn class_ctor(&self, table: &ClassTable, class: &str) -> Option<PlanId> {
+        match self {
+            Res::Building { maps, .. } => maps.class_ctor(table, class),
+            Res::Frozen(plan) => plan.class_ctor(class),
+        }
+    }
+
+    fn lookup_free(&self, name: &str) -> Option<PlanId> {
+        match self {
+            Res::Building { maps, .. } => maps.free.get(name).copied(),
+            Res::Frozen(plan) => plan.lookup_free(name),
+        }
+    }
+
+    fn has_body(&self, pid: PlanId) -> bool {
+        match self {
+            Res::Building { maps, .. } => maps.bodied[pid],
+            Res::Frozen(plan) => !matches!(plan.method(pid).body, BodyPlan::Absent),
+        }
+    }
+}
+
 /// Mutable lowering state for one solved form / block plan.
 struct Lowerer<'t> {
     table: &'t ClassTable,
@@ -658,6 +1000,8 @@ struct Lowerer<'t> {
     /// `Some(owner)` when `this` is statically in scope; the owner class is
     /// used for the field-of-`this` must-groundness test.
     this_owner: Option<String>,
+    /// Call-site resolution and dispatch-table registration.
+    res: Res<'t>,
 }
 
 /// Which groundness approximation a query asks for.
@@ -668,16 +1012,129 @@ enum Approx {
 }
 
 impl<'t> Lowerer<'t> {
-    fn new(table: &'t ClassTable, this_owner: Option<String>) -> Self {
+    fn new(table: &'t ClassTable, this_owner: Option<String>, res: Res<'t>) -> Self {
         Lowerer {
             table,
             frame: FrameLayout::default(),
             this_owner,
+            res,
         }
     }
 
     fn slot(&mut self, name: &str) -> SlotId {
         self.frame.slot(name)
+    }
+
+    /// Resolves the class restriction of a declared type.
+    fn class_check(&self, ty: &Type) -> ClassCheck {
+        match ty {
+            Type::Named(t) => match self.table.type_index(t) {
+                Some(i) => ClassCheck::Subtype(i),
+                None => ClassCheck::Dynamic,
+            },
+            _ => ClassCheck::Any,
+        }
+    }
+
+    /// Resolves a statically named class at a call / pattern site.
+    /// `class_ctor_call` marks `Class(args)` expressions, whose evaluation
+    /// position resolves through the class constructor only.
+    fn class_ref(&self, class: &str, name: &str, class_ctor_call: bool) -> ClassRef {
+        let match_pid = self
+            .res
+            .lookup_impl(self.table, class, name)
+            .or_else(|| self.res.class_ctor(self.table, class));
+        let construct_pid = if class_ctor_call {
+            self.res.class_ctor(self.table, class)
+        } else {
+            // Mirrors the evaluator's `construct`: the first declaration
+            // (or the class constructor), falling through to the first
+            // implementation when only a bodiless signature is reachable.
+            match self
+                .res
+                .lookup_declared(self.table, class, name)
+                .or_else(|| self.res.class_ctor(self.table, class))
+            {
+                Some(d) if self.res.has_body(d) => Some(d),
+                Some(_) => self.res.lookup_impl(self.table, class, name),
+                None => None,
+            }
+        };
+        ClassRef {
+            name: class.to_owned(),
+            type_index: self.table.type_index(class),
+            construct_pid,
+            match_pid,
+        }
+    }
+
+    /// Mask of every class that is a subtype of the type at `sup`.
+    fn subtype_mask(&self, sup: u32) -> CaseGuard {
+        let n = self.table.num_types() as u32;
+        CaseGuard::Classes((0..n).map(|c| self.table.is_subtype_idx(c, sup)).collect())
+    }
+
+    /// The tag-dispatch guard of one case pattern: which scrutinee classes
+    /// could possibly match it. Conservative — a pattern whose match could
+    /// *error* (instead of merely failing) guards as [`CaseGuard::Any`], so
+    /// skipping a guarded-out case is always observationally identical to
+    /// running the pattern and failing.
+    fn case_guard(&self, pat: &PExpr) -> CaseGuard {
+        match pat {
+            // Literals and arithmetic patterns only ever match primitive
+            // values: an object scrutinee fails before any work happens.
+            PExpr::Int(_)
+            | PExpr::Bool(_)
+            | PExpr::Str(_)
+            | PExpr::Null
+            | PExpr::Binary(..)
+            | PExpr::Neg(_) => CaseGuard::Classes(vec![false; self.table.num_types()].into()),
+            PExpr::Decl(_, _, check) => match check {
+                ClassCheck::Subtype(i) => self.subtype_mask(*i),
+                // `Dynamic` falls back to the string walk at run time (it
+                // can admit classes with erroneous supertype chains), so it
+                // cannot be pruned statically.
+                ClassCheck::Any | ClassCheck::Dynamic => CaseGuard::Any,
+            },
+            PExpr::Call {
+                kind: CallKind::StaticConstruct(cr),
+                ..
+            } => self.static_ctor_guard(cr),
+            PExpr::Call {
+                kind: CallKind::ClassCtor(cr),
+                receiver: None,
+                ..
+            } => self.static_ctor_guard(cr),
+            PExpr::As(a, b) => self.case_guard(a).intersect(self.case_guard(b)),
+            PExpr::Where(p, _) => self.case_guard(p),
+            PExpr::OrPat(a, b) => self.case_guard(a).union(self.case_guard(b)),
+            // Runtime-class-dispatched constructor patterns error (not
+            // fail) when the class lacks the constructor, and everything
+            // else is unrestricted.
+            _ => CaseGuard::Any,
+        }
+    }
+
+    /// Guard of a statically classed constructor pattern `C.mk(..)` /
+    /// `C(..)`: subtypes of `C` can match directly; other classes only
+    /// through an equality-constructor conversion, so the mask applies
+    /// only when `C` has no `equals` implementation.
+    fn static_ctor_guard(&self, cr: &ClassRef) -> CaseGuard {
+        if cr.match_pid.is_none() {
+            // Unresolvable constructor: matching errors for every value.
+            return CaseGuard::Any;
+        }
+        if self
+            .res
+            .lookup_impl(self.table, &cr.name, "equals")
+            .is_some()
+        {
+            return CaseGuard::Any;
+        }
+        match cr.type_index {
+            Some(i) => self.subtype_mask(i),
+            None => CaseGuard::Any,
+        }
     }
 
     // -- expression lowering ------------------------------------------------
@@ -694,6 +1151,7 @@ impl<'t> Lowerer<'t> {
             Expr::Var(name) => PExpr::Name {
                 slot: self.slot(name),
                 name: name.clone(),
+                field_sym: self.table.interner().lookup(name),
                 class_ref: self.table.type_info(name).is_some(),
             },
             Expr::Decl(ty, name) => {
@@ -702,9 +1160,13 @@ impl<'t> Lowerer<'t> {
                 } else {
                     Some(self.slot(name))
                 };
-                PExpr::Decl(ty.clone(), slot)
+                PExpr::Decl(ty.clone(), slot, self.class_check(ty))
             }
-            Expr::Field(b, f) => PExpr::Field(Box::new(self.lower_expr(b, st)), f.clone()),
+            Expr::Field(b, f) => PExpr::Field(
+                Box::new(self.lower_expr(b, st)),
+                f.clone(),
+                self.table.interner().lookup(f),
+            ),
             Expr::Call {
                 receiver,
                 name,
@@ -712,14 +1174,14 @@ impl<'t> Lowerer<'t> {
             } => {
                 let kind = match receiver.as_deref() {
                     Some(Expr::Var(class)) if self.table.type_info(class).is_some() => {
-                        CallKind::StaticConstruct(class.clone())
+                        CallKind::StaticConstruct(self.class_ref(class, name, false))
                     }
                     Some(_) => CallKind::Instance,
                     None => {
                         if self.table.type_info(name).is_some() {
-                            CallKind::ClassCtor(name.clone())
+                            CallKind::ClassCtor(self.class_ref(name, name, true))
                         } else if self.table.lookup_free_method(name).is_some() {
-                            CallKind::Free
+                            CallKind::Free(self.res.lookup_free(name))
                         } else if self.this_owner.is_some() {
                             CallKind::ThisMethod
                         } else {
@@ -727,6 +1189,7 @@ impl<'t> Lowerer<'t> {
                         }
                     }
                 };
+                let dispatch = self.res.dispatch_id(name);
                 // Argument patterns are matched left to right; later args
                 // (and their `where` clauses) see the binds of earlier ones.
                 let mut inner = st.clone();
@@ -744,6 +1207,7 @@ impl<'t> Lowerer<'t> {
                     name: name.clone(),
                     args: lowered_args,
                     kind,
+                    dispatch,
                 }
             }
             Expr::Index(a, b) => PExpr::Index(
@@ -1023,6 +1487,7 @@ impl<'t> Lowerer<'t> {
                     args,
                 } => {
                     let recv = receiver.as_deref().map(|r| self.lower_expr(r, st));
+                    let dispatch = self.res.dispatch_id(name);
                     let mut inner = st.clone();
                     let mut lowered_args = Vec::with_capacity(args.len());
                     for a in args {
@@ -1034,6 +1499,7 @@ impl<'t> Lowerer<'t> {
                         receiver: recv,
                         name: name.clone(),
                         args: lowered_args,
+                        dispatch,
                     }
                 }
                 Expr::Decl(..) => Goal::Trivial,
@@ -1182,8 +1648,10 @@ impl<'t> Lowerer<'t> {
                         None if default.is_some() => CaseTarget::Default,
                         None => CaseTarget::FellOff,
                     };
+                    let guards = pats.iter().map(|p| self.case_guard(p)).collect();
                     case_plans.push(CasePlan {
                         patterns: pats,
+                        guards,
                         target,
                     });
                     bodies.push(self.lower_block(&case.body, &mut inner));
@@ -1314,7 +1782,12 @@ struct ModeCtx {
     params_bound: bool,
 }
 
-fn lower_method(table: &ClassTable, m: &MethodInfo) -> MethodPlan {
+fn lower_method(
+    table: &ClassTable,
+    maps: &PlanMaps,
+    registry: &mut DispatchRegistry,
+    m: &MethodInfo,
+) -> MethodPlan {
     let body = match &m.decl.body {
         MethodBody::Absent => BodyPlan::Absent,
         MethodBody::Formula(f) => {
@@ -1330,11 +1803,13 @@ fn lower_method(table: &ClassTable, m: &MethodInfo) -> MethodPlan {
                 this_owner: has_receiver.then(|| m.owner.clone()),
                 params_bound: false,
             };
-            let forward = lower_solved_form(table, m, f, &forward_ctx);
-            let matching = lower_solved_form(table, m, f, &matching_ctx);
+            let forward = lower_solved_form(table, maps, registry, m, f, &forward_ctx);
+            let matching = lower_solved_form(table, maps, registry, m, f, &matching_ctx);
             let equals_bound = (m.decl.name == "equals").then(|| {
                 lower_solved_form(
                     table,
+                    maps,
+                    registry,
                     m,
                     f,
                     &ModeCtx {
@@ -1351,7 +1826,11 @@ fn lower_method(table: &ClassTable, m: &MethodInfo) -> MethodPlan {
         }
         MethodBody::Block(stmts) => {
             let has_receiver = m.owner != "<toplevel>";
-            let mut lo = Lowerer::new(table, has_receiver.then(|| m.owner.clone()));
+            let mut lo = Lowerer::new(
+                table,
+                has_receiver.then(|| m.owner.clone()),
+                Res::Building { maps, registry },
+            );
             let mut st = SlotState::default();
             let param_slots: Vec<SlotId> = m
                 .decl
@@ -1374,11 +1853,23 @@ fn lower_method(table: &ClassTable, m: &MethodInfo) -> MethodPlan {
     MethodPlan {
         info: m.clone(),
         body,
+        owner_layout: table.layout(&m.owner).cloned(),
     }
 }
 
-fn lower_solved_form(table: &ClassTable, m: &MethodInfo, f: &Formula, ctx: &ModeCtx) -> SolvedForm {
-    let mut lo = Lowerer::new(table, ctx.this_owner.clone());
+fn lower_solved_form(
+    table: &ClassTable,
+    maps: &PlanMaps,
+    registry: &mut DispatchRegistry,
+    m: &MethodInfo,
+    f: &Formula,
+    ctx: &ModeCtx,
+) -> SolvedForm {
+    let mut lo = Lowerer::new(
+        table,
+        ctx.this_owner.clone(),
+        Res::Building { maps, registry },
+    );
     let mut st = SlotState::default();
     // Parameters, `result` and the owner's fields always get slots so the
     // evaluator can seed and read them by index.
@@ -1416,15 +1907,18 @@ fn lower_solved_form(table: &ClassTable, m: &MethodInfo, f: &Formula, ctx: &Mode
 }
 
 /// Lowers a standalone formula (the ad-hoc `solve` entry point of the
-/// runtime): `bound` names the variables known at entry, `this_class` the
-/// runtime class of `this` if it is in scope.
+/// runtime) against a finished plan: `bound` names the variables known at
+/// entry, `this_class` the runtime class of `this` if it is in scope. Call
+/// sites resolve through the plan's dispatch tables where the names are
+/// registered.
 pub fn lower_standalone(
-    table: &ClassTable,
+    plan: &ProgramPlan,
     f: &Formula,
     bound: &[&str],
     this_class: Option<&str>,
 ) -> SolvedForm {
-    let mut lo = Lowerer::new(table, this_class.map(str::to_owned));
+    let table = plan.table();
+    let mut lo = Lowerer::new(table, this_class.map(str::to_owned), Res::Frozen(plan));
     let mut st = SlotState::default();
     for name in bound {
         let s = lo.slot(name);
@@ -1578,7 +2072,8 @@ mod tests {
             MethodBody::Formula(f) => f.clone(),
             _ => panic!(),
         };
-        let form = lower_standalone(&table, &body, &["n"], Some("R"));
+        let plan = ProgramPlan::compile(table);
+        let form = lower_standalone(&plan, &body, &["n"], Some("R"));
         assert!(form.frame.slot_of("x").is_some());
         assert!(matches!(form.goal, Goal::Any(_)));
     }

@@ -9,6 +9,7 @@
 //! private representation of an implementation.
 
 use crate::diag::Diagnostics;
+use crate::intern::{Interner, Sym};
 use jmatch_syntax::ast::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -108,12 +109,87 @@ pub struct TypeInfo {
     pub methods: Vec<MethodInfo>,
 }
 
-/// The resolved program: all types and free-standing methods.
+/// The compile-time object layout of one class: its interned name, its
+/// dense *type index* (position in declaration order, the key of every
+/// dispatch table), and the slot order of its directly declared fields.
+///
+/// A runtime `Object` holds an `Arc<ClassLayout>` plus a flat `Box<[Value]>`
+/// of field slots; reading a field is `slot_of_sym` (a handful of `u32`
+/// compares resolved against symbols interned at compile time) followed by
+/// one indexed load, instead of hashing a `String` into a per-object map.
+/// The layout covers the fields construction initializes — the class's own
+/// declarations, in declaration order — mirroring the previous
+/// `HashMap`-shaped objects exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassLayout {
+    sym: Sym,
+    type_index: u32,
+    name: String,
+    field_names: Box<[String]>,
+    field_syms: Box<[Sym]>,
+}
+
+impl ClassLayout {
+    /// The interned class name.
+    pub fn sym(&self) -> Sym {
+        self.sym
+    }
+
+    /// The class's dense index in declaration order — the key runtime
+    /// dispatch tables are indexed by.
+    pub fn type_index(&self) -> u32 {
+        self.type_index
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of field slots.
+    pub fn num_fields(&self) -> usize {
+        self.field_names.len()
+    }
+
+    /// Field names in slot order.
+    pub fn field_names(&self) -> &[String] {
+        &self.field_names
+    }
+
+    /// The slot of a field, by name (the string-based API boundary).
+    pub fn slot_of(&self, name: &str) -> Option<usize> {
+        self.field_names.iter().position(|f| f == name)
+    }
+
+    /// The slot of a field, by interned symbol (the hot path: a few `u32`
+    /// compares, no hashing).
+    pub fn slot_of_sym(&self, sym: Sym) -> Option<usize> {
+        self.field_syms.iter().position(|&f| f == sym)
+    }
+
+    /// The field name stored in a slot.
+    pub fn field_name(&self, slot: usize) -> &str {
+        &self.field_names[slot]
+    }
+}
+
+/// The resolved program: all types and free-standing methods, plus the
+/// frozen name [`Interner`], per-class [`ClassLayout`]s and the
+/// precomputed subtype matrix the runtime representation is built on.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassTable {
     types: HashMap<String, TypeInfo>,
     type_order: Vec<String>,
     free_methods: Vec<MethodInfo>,
+    /// Interned class / field / method names; frozen after `build`.
+    interner: Interner,
+    /// One layout per type, in declaration order (indexed by type index).
+    layouts: Vec<Arc<ClassLayout>>,
+    /// Type name → type index.
+    type_indices: HashMap<String, u32>,
+    /// Dense `n × n` subtype matrix over the declared types
+    /// (`subtypes[a * n + b]` ⇔ type `a` is a subtype of type `b`).
+    subtypes: Vec<bool>,
 }
 
 impl ClassTable {
@@ -188,7 +264,53 @@ impl ClassTable {
                 }
             }
         }
+        table.finish();
         Arc::new(table)
+    }
+
+    /// Freezes the runtime representation: interns every class / field /
+    /// method name, assigns type indices, builds per-class layouts and the
+    /// dense subtype matrix. Runs once, at the end of `build`.
+    fn finish(&mut self) {
+        // Class names first (small symbols), then fields, then methods.
+        for name in &self.type_order {
+            self.interner.intern(name);
+        }
+        for name in &self.type_order {
+            let info = &self.types[name];
+            for f in &info.fields {
+                self.interner.intern(&f.name);
+            }
+            for m in &info.methods {
+                self.interner.intern(&m.decl.name);
+            }
+        }
+        for m in &self.free_methods {
+            self.interner.intern(&m.decl.name);
+        }
+        let n = self.type_order.len();
+        let mut matrix = vec![false; n * n];
+        for (a, sub) in self.type_order.iter().enumerate() {
+            for (b, sup) in self.type_order.iter().enumerate() {
+                matrix[a * n + b] = self.is_subtype_walk(sub, sup);
+            }
+        }
+        self.subtypes = matrix;
+        for (i, name) in self.type_order.iter().enumerate() {
+            let info = &self.types[name];
+            self.layouts.push(Arc::new(ClassLayout {
+                sym: self.interner.lookup(name).expect("type name interned"),
+                type_index: i as u32,
+                name: name.clone(),
+                field_names: info.fields.iter().map(|f| f.name.clone()).collect(),
+                field_syms: info
+                    .fields
+                    .iter()
+                    .map(|f| self.interner.lookup(&f.name).expect("field name interned"))
+                    .collect(),
+            }));
+            self.type_indices.insert(name.clone(), i as u32);
+        }
     }
 
     fn insert_type(&mut self, info: TypeInfo, diags: &mut Diagnostics) {
@@ -216,15 +338,77 @@ impl ClassTable {
     }
 
     /// Whether `sub` is a subtype of `sup` (reflexive, transitive; every
-    /// reference type is a subtype of `Object`).
+    /// reference type is a subtype of `Object`). Pairs of declared types
+    /// answer from the precomputed matrix; undeclared names (including the
+    /// erroneous-program case of a dangling supertype) fall back to the
+    /// recursive walk, which also defines the matrix.
     pub fn is_subtype(&self, sub: &str, sup: &str) -> bool {
+        if sub == sup || sup == "Object" {
+            return true;
+        }
+        if !self.subtypes.is_empty() {
+            if let (Some(&a), Some(&b)) = (self.type_indices.get(sub), self.type_indices.get(sup)) {
+                return self.subtypes[a as usize * self.type_order.len() + b as usize];
+            }
+        }
+        self.is_subtype_walk(sub, sup)
+    }
+
+    /// The recursive subtype walk (used during `build`, before the matrix
+    /// exists, and for names outside the table).
+    fn is_subtype_walk(&self, sub: &str, sup: &str) -> bool {
         if sub == sup || sup == "Object" {
             return true;
         }
         let Some(info) = self.types.get(sub) else {
             return false;
         };
-        info.supertypes.iter().any(|s| self.is_subtype(s, sup))
+        info.supertypes.iter().any(|s| self.is_subtype_walk(s, sup))
+    }
+
+    /// Matrix-backed subtype test over type indices — the hot-path form
+    /// pattern guards and dispatch use.
+    pub fn is_subtype_idx(&self, sub: u32, sup: u32) -> bool {
+        sub == sup || self.subtypes[sub as usize * self.type_order.len() + sup as usize]
+    }
+
+    /// The frozen name interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Number of declared types (the dimension of dispatch tables).
+    pub fn num_types(&self) -> usize {
+        self.type_order.len()
+    }
+
+    /// The dense type index of a declared type.
+    pub fn type_index(&self, name: &str) -> Option<u32> {
+        self.type_indices.get(name).copied()
+    }
+
+    /// The runtime layout of a declared type, by name.
+    pub fn layout(&self, name: &str) -> Option<&Arc<ClassLayout>> {
+        self.type_indices
+            .get(name)
+            .map(|&i| &self.layouts[i as usize])
+    }
+
+    /// The runtime layout of a declared type, by type index.
+    pub fn layout_at(&self, index: u32) -> &Arc<ClassLayout> {
+        &self.layouts[index as usize]
+    }
+
+    /// The type index of an object layout *in this table*: one pointer
+    /// compare when the layout is this table's own (the common case),
+    /// falling back to a name lookup for layouts from another program so
+    /// foreign indices are never trusted.
+    pub fn index_of_layout(&self, layout: &Arc<ClassLayout>) -> Option<u32> {
+        let i = layout.type_index() as usize;
+        match self.layouts.get(i) {
+            Some(own) if Arc::ptr_eq(own, layout) => Some(layout.type_index()),
+            _ => self.type_index(layout.name()),
+        }
     }
 
     /// All *concrete* classes that are subtypes of `name` (including itself

@@ -380,10 +380,30 @@ impl Program {
     fn lower_formula(&self, f: &Formula, env: &Bindings, this: Option<&Value>) -> SolvedForm {
         let bound: Vec<&str> = env.keys().map(String::as_str).collect();
         let this_class = this.map(|t| t.class().unwrap_or(""));
-        jmatch_core::lower::lower_standalone(self.plan.table(), f, &bound, this_class)
+        jmatch_core::lower::lower_standalone(&self.plan, f, &bound, this_class)
     }
 
     // -- whole-value operations ---------------------------------------------
+
+    /// Creates a bare instance of `class` with every field `Null` —
+    /// useful for driving instance methods of classes that declare no
+    /// constructor (tests, benches, REPLs). Regular construction goes
+    /// through [`Program::ctor`] / [`CtorRef::construct`].
+    ///
+    /// # Errors
+    ///
+    /// [`RtErrorKind::MethodNotFound`](crate::RtErrorKind::MethodNotFound)
+    /// when `class` is not declared in the program.
+    pub fn instance(&self, class: &str) -> RtResult<Value> {
+        let layout = self
+            .table()
+            .layout(class)
+            .ok_or_else(|| RtError::method_not_found(class, "<instance>"))?;
+        Ok(Value::Obj(Arc::new(crate::Object::new(
+            Arc::clone(layout),
+            Vec::new(),
+        ))))
+    }
 
     /// Tests whether `value` matches the named constructor `ctor`
     /// (predicate use of a named constructor, e.g. `ZNat(0).zero()`).
@@ -985,10 +1005,7 @@ enum Inner<'q> {
 ///      }",
 /// )?;
 /// let small = program.method("Gen", "small")?;
-/// let gen = Value::Obj(std::sync::Arc::new(jmatch_runtime::Object {
-///     class: "Gen".into(),
-///     fields: std::collections::HashMap::new(),
-/// }));
+/// let gen = program.instance("Gen")?;
 /// let query = small.iterate(Some(&gen), &Bindings::new())?;
 /// let first: Vec<i64> = query
 ///     .solutions()

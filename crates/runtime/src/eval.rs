@@ -22,12 +22,13 @@
 //! runs every corpus program through both engines and asserts it.
 
 use crate::{Bindings, Flow, Object, RtError, RtResult, Value};
+use jmatch_core::intern::Sym;
 use jmatch_core::lower::{
-    BodyPlan, CallKind, CaseTarget, Goal, PExpr, PlanId, ProgramPlan, ReadyCheck, SlotId, StmtPlan,
+    BodyPlan, CallKind, CaseGuard, CaseTarget, ClassCheck, ClassRef, DispatchId, Goal, PExpr,
+    PlanId, ProgramPlan, ReadyCheck, SlotId, StmtPlan,
 };
 use jmatch_core::table::ClassTable;
 use jmatch_syntax::ast::{BinOp, CmpOp, Expr, Formula, MethodBody, Type};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A frame of variable slots.
@@ -64,7 +65,11 @@ impl Budget {
     pub(crate) fn step(&mut self) -> RtResult<()> {
         self.steps += 1;
         if self.steps > self.max_steps {
-            return Err(RtError::limit("steps", "solver step budget exceeded"));
+            return Err(RtError::limit(
+                "steps",
+                self.max_steps,
+                "solver step budget exceeded",
+            ));
         }
         Ok(())
     }
@@ -144,7 +149,7 @@ impl PlanInterp {
     ) -> RtResult<()> {
         let bound: Vec<&str> = env.keys().map(String::as_str).collect();
         let this_class = this.map(|t| t.class().unwrap_or(""));
-        let form = jmatch_core::lower::lower_standalone(self.plan.table(), f, &bound, this_class);
+        let form = jmatch_core::lower::lower_standalone(&self.plan, f, &bound, this_class);
         let mut fr: Frame = vec![None; form.frame.len()];
         for (name, v) in env {
             if let Some(s) = form.frame.slot_of(name) {
@@ -173,6 +178,10 @@ pub(crate) struct Ev<'p, 'b> {
     table: &'p ClassTable,
     depth: usize,
     budget: &'b mut Budget,
+    /// Recycled activation frames: every forward call and constructor
+    /// match needs a fresh frame, and hot loops would otherwise pay one
+    /// heap allocation per call.
+    frame_pool: Vec<Frame>,
 }
 
 /// Default bound on the solver's nesting depth (goal recursion plus nested
@@ -191,6 +200,28 @@ impl<'p, 'b> Ev<'p, 'b> {
             table: plan.table(),
             depth: 0,
             budget,
+            frame_pool: Vec::new(),
+        }
+    }
+
+    /// A zeroed frame of `n` slots, reusing a recycled allocation when one
+    /// is available.
+    fn take_frame(&mut self, n: usize) -> Frame {
+        match self.frame_pool.pop() {
+            Some(mut f) => {
+                f.clear();
+                f.resize(n, None);
+                f
+            }
+            None => vec![None; n],
+        }
+    }
+
+    /// Returns a finished activation frame to the pool.
+    fn recycle_frame(&mut self, mut f: Frame) {
+        if self.frame_pool.len() < 64 {
+            f.clear();
+            self.frame_pool.push(f);
         }
     }
 
@@ -235,14 +266,24 @@ impl<'p, 'b> Ev<'p, 'b> {
         name: &str,
         args: Vec<Value>,
     ) -> RtResult<Value> {
-        let class = receiver
-            .class()
-            .ok_or_else(|| RtError::new("receiver is not an object"))?
-            .to_owned();
+        self.dispatch_method(receiver, name, None, args)
+    }
+
+    /// Forward call dispatched on the receiver's runtime class, through the
+    /// call site's dispatch table when one was lowered.
+    fn dispatch_method(
+        &mut self,
+        receiver: &Value,
+        name: &str,
+        dispatch: Option<DispatchId>,
+        args: Vec<Value>,
+    ) -> RtResult<Value> {
+        let Value::Obj(o) = receiver else {
+            return Err(RtError::new("receiver is not an object"));
+        };
         let pid = self
-            .plan
-            .lookup_impl(&class, name)
-            .ok_or_else(|| RtError::method_not_found(&class, name))?;
+            .resolve_dispatch(dispatch, o, name)
+            .ok_or_else(|| RtError::method_not_found(o.class(), name))?;
         self.run_forward(pid, Some(receiver.clone()), args)
     }
 
@@ -299,32 +340,117 @@ impl<'p, 'b> Ev<'p, 'b> {
         })
     }
 
+    /// The dense type index of an object's class in *this* plan's table.
+    /// The common case is one pointer compare (the object's layout is the
+    /// table's own); objects built by a different program resolve by name.
+    pub(crate) fn obj_index(&self, o: &Object) -> Option<u32> {
+        self.table.index_of_layout(o.layout())
+    }
+
+    /// Whether the object's layout is this plan's own. Interned symbols are
+    /// only meaningful against the interner that produced them, so symbol
+    /// reads must never touch a foreign program's layout.
+    fn native_layout(&self, o: &Object) -> bool {
+        let i = o.layout().type_index();
+        (i as usize) < self.table.num_types() && Arc::ptr_eq(self.table.layout_at(i), o.layout())
+    }
+
+    /// Field read on an object: the interned-symbol slot scan for native
+    /// layouts, the string-keyed lookup for objects built by a different
+    /// program (whose interner assigns different symbols).
+    fn obj_field<'f>(&self, o: &'f Object, sym: Option<Sym>, name: &str) -> Option<&'f Value> {
+        if self.native_layout(o) {
+            sym.and_then(|s| o.get_sym(s))
+        } else {
+            o.get(name)
+        }
+    }
+
+    /// Resolves a dynamically dispatched `name` on an object through its
+    /// dispatch table (one array load), falling back to the string-keyed
+    /// walk for names lowered without a table or foreign-class objects.
+    pub(crate) fn resolve_dispatch(
+        &self,
+        dispatch: Option<DispatchId>,
+        o: &Object,
+        name: &str,
+    ) -> Option<PlanId> {
+        if let (Some(d), Some(i)) = (dispatch, self.obj_index(o)) {
+            return self.plan.dispatch_at(d, i);
+        }
+        self.plan.lookup_impl(o.class(), name)
+    }
+
+    /// Like [`Ev::resolve_dispatch`] with the class-constructor fallback of
+    /// constructor-pattern positions (`lookup_impl(..).or(class_ctor(..))`).
+    pub(crate) fn resolve_dispatch_or_ctor(
+        &self,
+        dispatch: Option<DispatchId>,
+        o: &Object,
+        name: &str,
+    ) -> Option<PlanId> {
+        if let (Some(d), Some(i)) = (dispatch, self.obj_index(o)) {
+            return self
+                .plan
+                .dispatch_at(d, i)
+                .or_else(|| self.plan.class_ctor_at(i));
+        }
+        self.plan
+            .lookup_impl(o.class(), name)
+            .or_else(|| self.plan.class_ctor(o.class()))
+    }
+
+    /// The statically classed side of a constructor-pattern resolution:
+    /// `cr.match_pid` when the class is this table's, the string walk for a
+    /// foreign plan's class name.
+    pub(crate) fn resolve_static_match(&self, cr: &ClassRef, name: &str) -> Option<PlanId> {
+        cr.match_pid.or_else(|| {
+            self.plan
+                .lookup_impl(&cr.name, name)
+                .or_else(|| self.plan.class_ctor(&cr.name))
+        })
+    }
+
     pub(crate) fn values_equal(&mut self, a: &Value, b: &Value) -> RtResult<bool> {
         match (a, b) {
             (Value::Obj(oa), Value::Obj(ob)) => {
                 if Arc::ptr_eq(oa, ob) {
                     return Ok(true);
                 }
-                if oa.class == ob.class {
-                    if oa.fields.len() == ob.fields.len() {
-                        for (k, va) in &oa.fields {
-                            let Some(vb) = ob.fields.get(k) else {
-                                return Ok(false);
-                            };
-                            if !self.values_equal(va, vb)? {
-                                return Ok(false);
-                            }
+                if Arc::ptr_eq(oa.layout(), ob.layout()) {
+                    // Shared layout (same program): slot-wise comparison.
+                    for (va, vb) in oa.fields().iter().zip(ob.fields()) {
+                        if !self.values_equal(va, vb)? {
+                            return Ok(false);
                         }
-                        return Ok(true);
                     }
-                    return Ok(false);
+                    return Ok(true);
+                }
+                if oa.class() == ob.class() {
+                    // Same-named class from a different program: its layout
+                    // may order fields differently, so align by name.
+                    if oa.fields().len() != ob.fields().len() {
+                        return Ok(false);
+                    }
+                    for (name, va) in oa.layout().field_names().iter().zip(oa.fields()) {
+                        let Some(vb) = ob.get(name) else {
+                            return Ok(false);
+                        };
+                        if !self.values_equal(va, vb)? {
+                            return Ok(false);
+                        }
+                    }
+                    return Ok(true);
                 }
                 // Different classes: try an equality constructor on either
-                // side, in its `this`-and-parameter-bound solved form.
+                // side, in its `this`-and-parameter-bound solved form. The
+                // `equals` implementation resolves through its dispatch
+                // table.
                 let plan = self.plan;
+                let equals_dispatch = plan.equals_dispatch();
                 for (lhs, rhs) in [(a, b), (b, a)] {
-                    let class = lhs.class().unwrap_or_default().to_owned();
-                    if let Some(pid) = plan.lookup_impl(&class, "equals") {
+                    let Value::Obj(o) = lhs else { continue };
+                    if let Some(pid) = self.resolve_dispatch(equals_dispatch, o, "equals") {
                         if let BodyPlan::Formula {
                             equals_bound: Some(form),
                             ..
@@ -376,35 +502,34 @@ impl<'p, 'b> Ev<'p, 'b> {
                 mp.info.qualified_name()
             ))),
             BodyPlan::Formula { forward, .. } => {
-                let mut fr: Frame = vec![None; forward.frame.len()];
+                let mut fr = self.take_frame(forward.frame.len());
                 for (&s, v) in forward.param_slots.iter().zip(args) {
                     fr[s as usize] = Some(v);
                 }
                 if mp.info.constructs_owner() {
                     // Construction: the fields of the new object are unknowns
-                    // solved by the body.
-                    let owner = &mp.info.owner;
+                    // solved by the body, read off into the owner layout's
+                    // slots (field_slots is in layout order by construction).
+                    let layout = mp.owner_layout.as_ref().ok_or_else(|| {
+                        RtError::new(format!("unknown owner type {}", mp.info.owner))
+                    })?;
+                    debug_assert_eq!(layout.num_fields(), forward.field_slots.len());
                     let field_slots = &forward.field_slots;
                     let result_slot = forward.result_slot;
                     let mut result = None;
                     self.solve(&mut fr, this.as_ref(), &forward.goal, &mut |_, fr| {
-                        let mut fields = HashMap::new();
-                        for (fname, s) in field_slots {
-                            fields.insert(
-                                fname.clone(),
-                                fr[*s as usize].clone().unwrap_or(Value::Null),
-                            );
-                        }
                         // A `result = ...` equation (as in Figure 1) takes
                         // precedence over field solving.
                         result = Some(fr[result_slot as usize].clone().unwrap_or_else(|| {
-                            Value::Obj(Arc::new(Object {
-                                class: owner.clone(),
-                                fields,
-                            }))
+                            let fields: Vec<Value> = field_slots
+                                .iter()
+                                .map(|(_, s)| fr[*s as usize].clone().unwrap_or(Value::Null))
+                                .collect();
+                            Value::Obj(Arc::new(Object::new(Arc::clone(layout), fields)))
                         }));
                         Ok(false)
                     })?;
+                    self.recycle_frame(fr);
                     result.ok_or_else(|| {
                         RtError::new(format!("{} failed to match", mp.info.qualified_name()))
                     })
@@ -419,6 +544,7 @@ impl<'p, 'b> Ev<'p, 'b> {
                         result = fr[result_slot as usize].clone();
                         Ok(false)
                     })?;
+                    self.recycle_frame(fr);
                     match (&mp.info.decl.return_type, result) {
                         (Some(Type::Boolean), r) => Ok(r.unwrap_or(Value::Bool(any))),
                         (_, Some(r)) => Ok(r),
@@ -432,11 +558,13 @@ impl<'p, 'b> Ev<'p, 'b> {
                 }
             }
             BodyPlan::Block(bp) => {
-                let mut fr: Frame = vec![None; bp.frame.len()];
+                let mut fr = self.take_frame(bp.frame.len());
                 for (&s, v) in bp.param_slots.iter().zip(args) {
                     fr[s as usize] = Some(v);
                 }
-                match self.exec_block(&mut fr, this.as_ref(), &bp.stmts)? {
+                let flow = self.exec_block(&mut fr, this.as_ref(), &bp.stmts)?;
+                self.recycle_frame(fr);
+                match flow {
                     Flow::Return(v) => Ok(v),
                     Flow::Normal => Ok(Value::Null),
                 }
@@ -465,7 +593,7 @@ impl<'p, 'b> Ev<'p, 'b> {
             ));
         };
         let param_slots = &matching.param_slots;
-        let mut fr: Frame = vec![None; matching.frame.len()];
+        let mut fr = self.take_frame(matching.frame.len());
         self.solve(&mut fr, Some(value), &matching.goal, &mut |ev, fr| {
             let mut row = Vec::with_capacity(param_slots.len());
             for &s in param_slots {
@@ -478,6 +606,7 @@ impl<'p, 'b> Ev<'p, 'b> {
             }
             each(ev, &row)
         })?;
+        self.recycle_frame(fr);
         Ok(())
     }
 
@@ -501,8 +630,8 @@ impl<'p, 'b> Ev<'p, 'b> {
             ));
         };
         let param_slots = &matching.param_slots;
-        let mut fr: Frame = vec![None; matching.frame.len()];
-        self.solve(&mut fr, Some(value), &matching.goal, &mut |ev, fr| {
+        let mut fr = self.take_frame(matching.frame.len());
+        let keep = self.solve(&mut fr, Some(value), &matching.goal, &mut |ev, fr| {
             let mut row = Vec::with_capacity(param_slots.len());
             for &s in param_slots {
                 match &fr[s as usize] {
@@ -511,13 +640,16 @@ impl<'p, 'b> Ev<'p, 'b> {
                 }
             }
             ev.match_args_then(caller, args, &row, emit)
-        })
+        })?;
+        self.recycle_frame(fr);
+        Ok(keep)
     }
 
     /// Matches argument patterns against a solution row (first solution per
-    /// pattern, accumulating bindings left to right), runs `k`, then
-    /// restores the caller frame. Pattern-match errors skip the row, like
-    /// the tree-walker.
+    /// pattern, accumulating bindings left to right), runs `k`, and lets
+    /// the nested `bind_then` scopes undo the slot writes on the way out —
+    /// trail-style, with no whole-frame clone. Pattern-match errors skip
+    /// the row, like the tree-walker; errors raised by `k` propagate.
     fn match_args_then(
         &mut self,
         fr: &mut Frame,
@@ -525,32 +657,39 @@ impl<'p, 'b> Ev<'p, 'b> {
         values: &[Value],
         k: Emit<'_>,
     ) -> RtResult<bool> {
-        let save = fr.clone();
-        let mut failed = false;
-        for (i, v) in values.iter().enumerate() {
-            let Some(pat) = args.get(i) else {
-                continue;
-            };
-            let mut sol: Option<Frame> = None;
-            let r = self.match_pat(fr, None, pat, v, &mut |_, fr2| {
-                sol = Some(fr2.clone());
-                Ok(false)
-            });
-            if r.is_err() {
-                failed = true;
-                break;
-            }
-            match sol {
-                Some(s) => *fr = s,
-                None => {
-                    failed = true;
-                    break;
-                }
-            }
+        self.match_args_from(fr, args, values, 0, k)
+    }
+
+    fn match_args_from(
+        &mut self,
+        fr: &mut Frame,
+        args: &[PExpr],
+        values: &[Value],
+        i: usize,
+        k: Emit<'_>,
+    ) -> RtResult<bool> {
+        let Some(v) = values.get(i) else {
+            return k(self, fr);
+        };
+        let Some(pat) = args.get(i) else {
+            return self.match_args_from(fr, args, values, i + 1, k);
+        };
+        let mut entered_rest = false;
+        let mut keep_going = true;
+        let r = self.match_pat(fr, None, pat, v, &mut |ev, fr| {
+            entered_rest = true;
+            keep_going = ev.match_args_from(fr, args, values, i + 1, &mut *k)?;
+            // First solution per pattern only.
+            Ok(false)
+        });
+        match r {
+            // An error from matching this pattern itself skips the row; an
+            // error from deeper work (the rest of the row or `k`) surfaces.
+            Err(e) if entered_rest => Err(e),
+            Err(_) => Ok(true),
+            Ok(_) if !entered_rest => Ok(true),
+            Ok(_) => Ok(keep_going),
         }
-        let out = if failed { Ok(true) } else { k(self, fr) };
-        *fr = save;
-        out
     }
 
     // ------------------------------------------------------------------
@@ -570,7 +709,11 @@ impl<'p, 'b> Ev<'p, 'b> {
         self.depth += 1;
         if self.depth > self.budget.max_depth {
             self.depth -= 1;
-            return Err(RtError::limit("depth", "solver recursion limit exceeded"));
+            return Err(RtError::limit(
+                "depth",
+                self.budget.max_depth as u64,
+                "solver recursion limit exceeded",
+            ));
         }
         let r = self.solve_inner(fr, this, g, emit);
         self.depth -= 1;
@@ -671,6 +814,7 @@ impl<'p, 'b> Ev<'p, 'b> {
                 receiver,
                 name,
                 args,
+                dispatch,
             } => {
                 let subject: Value = match receiver {
                     Some(r) if self.ground(fr, this, r) => self.eval(fr, this, r)?,
@@ -683,9 +827,8 @@ impl<'p, 'b> Ev<'p, 'b> {
                 };
                 match &subject {
                     Value::Obj(o) => {
-                        let class = o.class.clone();
-                        let Some(pid) = self.plan.lookup_impl(&class, name) else {
-                            return Err(RtError::method_not_found(&class, name));
+                        let Some(pid) = self.resolve_dispatch(*dispatch, o, name) else {
+                            return Err(RtError::method_not_found(o.class(), name));
                         };
                         self.match_constructor(fr, &subject, pid, args, emit)
                     }
@@ -767,6 +910,27 @@ impl<'p, 'b> Ev<'p, 'b> {
     // Pattern matching
     // ------------------------------------------------------------------
 
+    /// Whether a declaration pattern's class restriction admits `value`
+    /// (non-objects are unrestricted, like the old string-keyed check).
+    pub(crate) fn class_admits(&self, ty: &Type, check: &ClassCheck, value: &Value) -> bool {
+        match check {
+            ClassCheck::Any => true,
+            ClassCheck::Subtype(i) => match value {
+                Value::Obj(o) => match self.obj_index(o) {
+                    Some(vi) => self.table.is_subtype_idx(vi, *i),
+                    None => self
+                        .table
+                        .is_subtype(o.class(), self.table.layout_at(*i).name()),
+                },
+                _ => true,
+            },
+            ClassCheck::Dynamic => match (ty, value.class()) {
+                (Type::Named(t), Some(class)) => self.table.is_subtype(class, t),
+                _ => true,
+            },
+        }
+    }
+
     /// Binds a slot around the continuation, restoring the old value after.
     fn bind_then(
         &mut self,
@@ -791,13 +955,9 @@ impl<'p, 'b> Ev<'p, 'b> {
     ) -> RtResult<bool> {
         match pat {
             PExpr::Wildcard => emit(self, fr),
-            PExpr::Decl(ty, slot) => {
-                if let Type::Named(t) = ty {
-                    if let Some(class) = value.class() {
-                        if !self.table.is_subtype(class, t) {
-                            return Ok(true);
-                        }
-                    }
+            PExpr::Decl(ty, slot, check) => {
+                if !self.class_admits(ty, check, value) {
+                    return Ok(true);
                 }
                 match slot {
                     Some(s) => self.bind_then(fr, *s, value.clone(), emit),
@@ -841,32 +1001,44 @@ impl<'p, 'b> Ev<'p, 'b> {
                 name,
                 args,
                 kind,
+                dispatch,
             } => {
                 // Constructor pattern: dispatch on the matched value's class
-                // (or the statically named class).
-                let class: String = match (kind, receiver) {
-                    (CallKind::StaticConstruct(c), _) => c.clone(),
-                    (CallKind::ClassCtor(c), None) => c.clone(),
-                    _ => value.class().unwrap_or_default().to_owned(),
-                };
-                let Some(pid) = self
-                    .plan
-                    .lookup_impl(&class, name)
-                    .or_else(|| self.plan.class_ctor(&class))
-                else {
-                    return Err(RtError::method_not_found(&class, name));
-                };
-                // If the runtime class differs and an equality constructor
-                // exists, convert first.
-                if let Some(vclass) = value.class() {
-                    if !self.table.is_subtype(vclass, &class) {
-                        if let Some(converted) = self.convert_via_equals(&class, value)? {
-                            return self.match_constructor(fr, &converted, pid, args, emit);
+                // (or the statically named class), through the resolutions
+                // precomputed at lowering time.
+                match (kind, receiver) {
+                    (CallKind::StaticConstruct(cr), _) | (CallKind::ClassCtor(cr), None) => {
+                        let Some(pid) = self.resolve_static_match(cr, name) else {
+                            return Err(RtError::method_not_found(&cr.name, name));
+                        };
+                        // If the runtime class differs and an equality
+                        // constructor exists, convert first.
+                        if let Some(vclass) = value.class() {
+                            if !self.table.is_subtype(vclass, &cr.name) {
+                                if let Some(converted) = self.convert_via_equals(&cr.name, value)? {
+                                    return self.match_constructor(fr, &converted, pid, args, emit);
+                                }
+                                return Ok(true);
+                            }
                         }
-                        return Ok(true);
+                        self.match_constructor(fr, value, pid, args, emit)
+                    }
+                    _ => {
+                        // Dynamic: the value's own class (trivially a
+                        // subtype of itself, so no conversion applies).
+                        let pid = match value {
+                            Value::Obj(o) => self.resolve_dispatch_or_ctor(*dispatch, o, name),
+                            _ => None,
+                        };
+                        let Some(pid) = pid else {
+                            return Err(RtError::method_not_found(
+                                value.class().unwrap_or_default(),
+                                name,
+                            ));
+                        };
+                        self.match_constructor(fr, value, pid, args, emit)
                     }
                 }
-                self.match_constructor(fr, value, pid, args, emit)
             }
             PExpr::Binary(op, a, b) => {
                 // Invertible integer arithmetic: exactly one non-ground side.
@@ -1032,16 +1204,24 @@ impl<'p, 'b> Ev<'p, 'b> {
             PExpr::Name {
                 slot,
                 name,
+                field_sym,
                 class_ref,
             } => {
                 fr[*slot as usize].is_some()
-                    || this
-                        .and_then(|t| t.class())
-                        .map(|c| self.table.field_type(c, name).is_some())
-                        .unwrap_or(false)
+                    || match this {
+                        // Fast path: the interned name hits a slot of the
+                        // receiver's layout. Slow path: a field declared on
+                        // a supertype (visible to groundness, absent from
+                        // the layout, exactly like the old map-based check).
+                        Some(Value::Obj(o)) => {
+                            self.obj_field(o, *field_sym, name).is_some()
+                                || self.table.field_type(o.class(), name).is_some()
+                        }
+                        _ => false,
+                    }
                     || *class_ref
             }
-            PExpr::Field(b, _) => self.ground(fr, this, b),
+            PExpr::Field(b, _, _) => self.ground(fr, this, b),
             PExpr::Call { receiver, args, .. } => {
                 receiver
                     .as_deref()
@@ -1061,6 +1241,36 @@ impl<'p, 'b> Ev<'p, 'b> {
         }
     }
 
+    /// Borrowing evaluation of *place* expressions (bound slots, `this`,
+    /// fields of `this`): returns a reference into the frame / receiver
+    /// instead of cloning, or `None` when the expression is not a bound
+    /// place (the caller falls back to [`Ev::eval`], preserving its error
+    /// messages).
+    fn eval_place<'f>(
+        &self,
+        fr: &'f Frame,
+        this: Option<&'f Value>,
+        e: &PExpr,
+    ) -> Option<&'f Value> {
+        match e {
+            PExpr::This => this,
+            PExpr::Result(s) => fr[*s as usize].as_ref(),
+            PExpr::Name {
+                slot,
+                field_sym,
+                name,
+                ..
+            } => match fr[*slot as usize].as_ref() {
+                Some(v) => Some(v),
+                None => match this {
+                    Some(Value::Obj(o)) => self.obj_field(o, *field_sym, name),
+                    _ => None,
+                },
+            },
+            _ => None,
+        }
+    }
+
     /// Evaluates a ground expression.
     pub(crate) fn eval(&mut self, fr: &Frame, this: Option<&Value>, e: &PExpr) -> RtResult<Value> {
         match e {
@@ -1074,23 +1284,41 @@ impl<'p, 'b> Ev<'p, 'b> {
             PExpr::Result(s) => fr[*s as usize]
                 .clone()
                 .ok_or_else(|| RtError::new("`result` is not bound")),
-            PExpr::Name { slot, name, .. } => {
+            PExpr::Name {
+                slot,
+                name,
+                field_sym,
+                ..
+            } => {
                 if let Some(v) = &fr[*slot as usize] {
                     return Ok(v.clone());
                 }
                 if let Some(Value::Obj(o)) = this {
-                    if let Some(v) = o.fields.get(name) {
+                    if let Some(v) = self.obj_field(o, *field_sym, name) {
                         return Ok(v.clone());
                     }
                 }
                 Err(RtError::new(format!("unbound variable `{name}`")))
             }
-            PExpr::Field(base, field) => {
+            PExpr::Field(base, field, sym) => {
+                // Borrowing fast path: a slot- or `this`-backed base needs
+                // no Value clone — one slot scan, one field clone.
+                match self.eval_place(fr, this, base) {
+                    Some(Value::Obj(o)) => {
+                        return self
+                            .obj_field(o, *sym, field)
+                            .cloned()
+                            .ok_or_else(|| RtError::new(format!("no field `{field}`")));
+                    }
+                    Some(other) => {
+                        return Err(RtError::new(format!("field access on non-object {other}")));
+                    }
+                    None => {}
+                }
                 let b = self.eval(fr, this, base)?;
-                match b {
-                    Value::Obj(o) => o
-                        .fields
-                        .get(field)
+                match &b {
+                    Value::Obj(o) => self
+                        .obj_field(o, *sym, field)
                         .cloned()
                         .ok_or_else(|| RtError::new(format!("no field `{field}`"))),
                     other => Err(RtError::new(format!("field access on non-object {other}"))),
@@ -1136,32 +1364,39 @@ impl<'p, 'b> Ev<'p, 'b> {
                 name,
                 args,
                 kind,
+                dispatch,
             } => {
                 let arg_values: RtResult<Vec<Value>> =
                     args.iter().map(|a| self.eval(fr, this, a)).collect();
                 let arg_values = arg_values?;
                 match kind {
-                    CallKind::StaticConstruct(class) => {
-                        self.construct(&class.clone(), name, arg_values)
-                    }
+                    CallKind::StaticConstruct(cr) => match cr.construct_pid {
+                        Some(pid) => self.run_forward(pid, None, arg_values),
+                        // Unresolvable at compile time: the string path
+                        // reproduces the original error.
+                        None => self.construct(&cr.name, name, arg_values),
+                    },
                     CallKind::Instance => {
                         let r = receiver
                             .as_deref()
                             .expect("instance call without a receiver");
                         let recv = self.eval(fr, this, r)?;
-                        self.call_method(&recv, name, arg_values)
+                        self.dispatch_method(&recv, name, *dispatch, arg_values)
                     }
-                    CallKind::ClassCtor(class) => {
-                        let pid = self.plan.class_ctor(class).ok_or_else(|| {
+                    CallKind::ClassCtor(cr) => {
+                        let pid = cr.construct_pid.ok_or_else(|| {
                             RtError::new(format!("no class constructor for `{name}`"))
                         })?;
                         self.run_forward(pid, None, arg_values)
                     }
-                    CallKind::Free => self.call_free(name, arg_values),
+                    CallKind::Free(pid) => match pid {
+                        Some(pid) => self.run_forward(*pid, None, arg_values),
+                        None => Err(RtError::method_not_found("<toplevel>", name)),
+                    },
                     CallKind::ThisMethod => match this {
                         Some(t) => {
                             let t = t.clone();
-                            self.call_method(&t, name, arg_values)
+                            self.dispatch_method(&t, name, *dispatch, arg_values)
                         }
                         None => Err(RtError::new(format!("cannot resolve call `{name}`"))),
                     },
@@ -1209,6 +1444,36 @@ impl<'p, 'b> Ev<'p, 'b> {
         Ok(sol)
     }
 
+    /// Commits the first solution of a goal into `fr` (the `let` / `while`
+    /// semantics), returning whether one existed. Goals that bind nothing
+    /// — comparisons, ground tests, negation — skip the frame snapshot
+    /// entirely: the common `while (i < n)` shape costs no allocation.
+    fn commit_first(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        goal: &Goal,
+    ) -> RtResult<bool> {
+        if matches!(
+            goal,
+            Goal::Compare(..) | Goal::Test(_) | Goal::Not(_) | Goal::True | Goal::Fail
+        ) {
+            let mut found = false;
+            self.solve(fr, this, goal, &mut |_, _| {
+                found = true;
+                Ok(false)
+            })?;
+            return Ok(found);
+        }
+        match self.first_solution(fr, this, goal)? {
+            Some(sol) => {
+                *fr = sol;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     fn exec_stmt(
         &mut self,
         fr: &mut Frame,
@@ -1216,13 +1481,13 @@ impl<'p, 'b> Ev<'p, 'b> {
         stmt: &StmtPlan,
     ) -> RtResult<Flow> {
         match stmt {
-            StmtPlan::Let(goal) => match self.first_solution(fr, this, goal)? {
-                Some(sol) => {
-                    *fr = sol;
+            StmtPlan::Let(goal) => {
+                if self.commit_first(fr, this, goal)? {
                     Ok(Flow::Normal)
+                } else {
+                    Err(RtError::new("let statement failed to match"))
                 }
-                None => Err(RtError::new("let statement failed to match")),
-            },
+            }
             StmtPlan::Switch {
                 scrutinees,
                 cases,
@@ -1232,38 +1497,33 @@ impl<'p, 'b> Ev<'p, 'b> {
                 let values: RtResult<Vec<Value>> =
                     scrutinees.iter().map(|s| self.eval(fr, this, s)).collect();
                 let values = values?;
-                let save = fr.clone();
+                // Resolve each scrutinee's class index once; the per-case
+                // tag-dispatch guards test against these.
+                let indices: Vec<Option<u32>> = values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Obj(o) => self.obj_index(o),
+                        _ => None,
+                    })
+                    .collect();
                 for case in cases {
-                    let mut matched = true;
-                    for (p, v) in case.patterns.iter().zip(values.iter()) {
-                        let mut sol: Option<Frame> = None;
-                        self.match_pat(fr, this, p, v, &mut |_, f| {
-                            sol = Some(f.clone());
-                            Ok(false)
-                        })?;
-                        match sol {
-                            Some(s) => *fr = s,
-                            None => {
-                                matched = false;
-                                break;
-                            }
-                        }
+                    let body: Option<&[StmtPlan]> = match case.target {
+                        CaseTarget::Body(j) => Some(&bodies[j]),
+                        CaseTarget::Default => Some(default.as_deref().unwrap_or(&[])),
+                        CaseTarget::FellOff => None,
+                    };
+                    if let Some(flow) = self.exec_case(
+                        fr,
+                        this,
+                        &case.patterns,
+                        &case.guards,
+                        &values,
+                        &indices,
+                        0,
+                        body,
+                    )? {
+                        return Ok(flow);
                     }
-                    if matched {
-                        let body: &[StmtPlan] = match case.target {
-                            CaseTarget::Body(j) => &bodies[j],
-                            CaseTarget::Default => default.as_deref().unwrap_or(&[]),
-                            CaseTarget::FellOff => {
-                                *fr = save;
-                                return Err(RtError::new("switch fell off the end"));
-                            }
-                        };
-                        let flow = self.exec_block(fr, this, body);
-                        // The case's bindings are local to its body.
-                        *fr = save;
-                        return flow;
-                    }
-                    *fr = save.clone();
                 }
                 if let Some(d) = default {
                     return self.exec_block(fr, this, d);
@@ -1340,14 +1600,12 @@ impl<'p, 'b> Ev<'p, 'b> {
                     if guard > 1_000_000 {
                         return Err(RtError::new("while loop exceeded iteration budget"));
                     }
-                    match self.first_solution(fr, this, cond)? {
-                        Some(sol) => {
-                            *fr = sol;
-                            if let Flow::Return(v) = self.exec_block(fr, this, body)? {
-                                return Ok(Flow::Return(v));
-                            }
+                    if self.commit_first(fr, this, cond)? {
+                        if let Flow::Return(v) = self.exec_block(fr, this, body)? {
+                            return Ok(Flow::Return(v));
                         }
-                        None => return Ok(Flow::Normal),
+                    } else {
+                        return Ok(Flow::Normal);
                     }
                 }
             }
@@ -1372,17 +1630,64 @@ impl<'p, 'b> Ev<'p, 'b> {
                 Ok(Flow::Normal)
             }
             StmtPlan::Block(stmts) => {
-                let save = fr.clone();
+                // Record which slots were unbound instead of cloning the
+                // frame: inner-only bindings are dropped on exit, updates
+                // to outer variables persist.
+                let unbound: Vec<usize> = fr
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.is_none().then_some(i))
+                    .collect();
                 let flow = self.exec_block(fr, this, stmts)?;
-                // Inner-only bindings are dropped; updates to outer
-                // variables persist.
-                for s in 0..fr.len() {
-                    if save[s].is_none() {
-                        fr[s] = None;
-                    }
+                for s in unbound {
+                    fr[s] = None;
                 }
                 Ok(flow)
             }
         }
+    }
+
+    /// Matches one `switch` case's patterns left to right against the
+    /// scrutinee values (first solution per pattern, tag-dispatch guard
+    /// consulted before each matcher runs), executes `body` under the
+    /// accumulated bindings, and lets the nested `bind_then` scopes undo
+    /// the slot writes on the way out — the trail-style replacement for
+    /// the old whole-frame clone per tried case.
+    ///
+    /// Returns `Ok(None)` when the case does not match. `body` is `None`
+    /// for [`CaseTarget::FellOff`], which errors only once every pattern
+    /// matched (like the old code).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_case(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        patterns: &[PExpr],
+        guards: &[CaseGuard],
+        values: &[Value],
+        indices: &[Option<u32>],
+        i: usize,
+        body: Option<&[StmtPlan]>,
+    ) -> RtResult<Option<Flow>> {
+        if i >= patterns.len().min(values.len()) {
+            let Some(body) = body else {
+                return Err(RtError::new("switch fell off the end"));
+            };
+            // The case's bindings (and the body's own updates) are local
+            // to the body: run it on a scratch copy — the only frame clone
+            // of the whole switch, paid just for the case that matched.
+            let mut benv = fr.clone();
+            return self.exec_block(&mut benv, this, body).map(Some);
+        }
+        if !guards[i].admits(indices[i]) {
+            return Ok(None);
+        }
+        let mut out: Option<Flow> = None;
+        self.match_pat(fr, this, &patterns[i], &values[i], &mut |ev, fr| {
+            out = ev.exec_case(fr, this, patterns, guards, values, indices, i + 1, body)?;
+            // First solution per pattern only.
+            Ok(false)
+        })?;
+        Ok(out)
     }
 }

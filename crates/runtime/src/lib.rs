@@ -75,8 +75,9 @@ pub use api::{Compiler, CtorRef, Limits, MethodRef, Program, Query, Solutions};
 pub use eval::PlanInterp;
 pub use tree::TreeWalker;
 
+use jmatch_core::intern::Sym;
 use jmatch_core::lower::ProgramPlan;
-use jmatch_core::table::ClassTable;
+use jmatch_core::table::{ClassLayout, ClassTable};
 use jmatch_syntax::ast::{Expr, Formula};
 use std::collections::HashMap;
 use std::fmt;
@@ -89,7 +90,7 @@ use std::sync::Arc;
 /// a wildcard arm. Prefer the typed accessors ([`Value::as_int`],
 /// [`Value::as_str`], [`Value::field`]) and the [`From`] / [`TryFrom`]
 /// conversions over matching by hand.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum Value {
     /// An integer.
@@ -100,17 +101,117 @@ pub enum Value {
     Str(String),
     /// The null reference.
     Null,
-    /// An object: its runtime class and field values.
+    /// An object: its runtime class layout and field slots.
     Obj(Arc<Object>),
 }
 
-/// A heap object.
-#[derive(Debug, Clone, PartialEq)]
+/// Equality on values: `Obj` short-circuits on pointer identity
+/// (`Arc::ptr_eq`) before falling back to structural, slot-wise
+/// comparison; everything else compares structurally.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Null, Value::Null) => true,
+            (Value::Obj(a), Value::Obj(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A heap object: the compile-time [`ClassLayout`] of its runtime class
+/// (shared by every instance of the class) plus one flat slot of field
+/// values in layout order. Reading a field is a slot index away — no
+/// per-object hash map, no string hashing.
+///
+/// Construct instances through a constructor ([`CtorRef::construct`]) or
+/// [`Program::instance`]; the string-keyed accessors ([`Object::get`],
+/// [`Value::field`]) resolve names through the layout at the API boundary.
+#[derive(Debug, Clone)]
 pub struct Object {
-    /// Runtime class name.
-    pub class: String,
-    /// Field values.
-    pub fields: HashMap<String, Value>,
+    layout: Arc<ClassLayout>,
+    fields: Box<[Value]>,
+}
+
+impl Object {
+    /// Creates an object over a class layout with the given field values
+    /// in slot order. Missing trailing fields are `Null`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more values than the layout has slots are supplied —
+    /// silently dropping a value would hide an off-by-one at the
+    /// construction site.
+    pub fn new(layout: Arc<ClassLayout>, mut fields: Vec<Value>) -> Self {
+        assert!(
+            fields.len() <= layout.num_fields(),
+            "{} field values supplied for the {}-slot layout of `{}`",
+            fields.len(),
+            layout.num_fields(),
+            layout.name(),
+        );
+        fields.resize(layout.num_fields(), Value::Null);
+        Object {
+            layout,
+            fields: fields.into(),
+        }
+    }
+
+    /// The runtime class name.
+    pub fn class(&self) -> &str {
+        self.layout.name()
+    }
+
+    /// The interned runtime class symbol.
+    pub fn class_sym(&self) -> Sym {
+        self.layout.sym()
+    }
+
+    /// The class layout this object is laid out by.
+    pub fn layout(&self) -> &Arc<ClassLayout> {
+        &self.layout
+    }
+
+    /// Field values in slot (declaration) order.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// A field by name (string-keyed API boundary; resolves through the
+    /// layout).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.layout.slot_of(name).map(|s| &self.fields[s])
+    }
+
+    /// A field by interned symbol — the hot path. The symbol must come
+    /// from the same program's interner as this object's layout; symbols
+    /// from another program are meaningless here (the engines guard this
+    /// with a layout-identity check and fall back to [`Object::get`]).
+    pub fn get_sym(&self, sym: Sym) -> Option<&Value> {
+        self.layout.slot_of_sym(sym).map(|s| &self.fields[s])
+    }
+}
+
+/// Structural object equality: slot-wise when the two objects share a
+/// layout (the common, same-program case — no hash-map iteration), and
+/// aligned *by field name* for same-named classes from different programs,
+/// whose layouts may order fields differently.
+impl PartialEq for Object {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.layout, &other.layout) {
+            return self.fields == other.fields;
+        }
+        self.layout.name() == other.layout.name()
+            && self.fields.len() == other.fields.len()
+            && self
+                .layout
+                .field_names()
+                .iter()
+                .zip(self.fields.iter())
+                .all(|(name, v)| other.get(name) == Some(v))
+    }
 }
 
 impl Value {
@@ -141,10 +242,12 @@ impl Value {
     /// A field of an object value, by name.
     ///
     /// Replaces the `Value::Obj(o) => o.fields["val"]` pattern every
-    /// embedder used to write by hand.
+    /// embedder used to write by hand. The name resolves through the
+    /// object's [`ClassLayout`] at this string-keyed API boundary; inside
+    /// the engines field reads go by slot index.
     pub fn field(&self, name: &str) -> Option<&Value> {
         match self {
-            Value::Obj(o) => o.fields.get(name),
+            Value::Obj(o) => o.get(name),
             _ => None,
         }
     }
@@ -152,7 +255,7 @@ impl Value {
     /// The runtime class of an object value.
     pub fn class(&self) -> Option<&str> {
         match self {
-            Value::Obj(o) => Some(&o.class),
+            Value::Obj(o) => Some(o.class()),
             _ => None,
         }
     }
@@ -237,8 +340,14 @@ impl fmt::Display for Value {
             Value::Str(s) => write!(f, "\"{s}\""),
             Value::Null => write!(f, "null"),
             Value::Obj(o) => {
-                write!(f, "{}(", o.class)?;
-                let mut fields: Vec<_> = o.fields.iter().collect();
+                write!(f, "{}(", o.class())?;
+                let mut fields: Vec<(&str, &Value)> = o
+                    .layout()
+                    .field_names()
+                    .iter()
+                    .map(String::as_str)
+                    .zip(o.fields())
+                    .collect();
                 fields.sort_by(|a, b| a.0.cmp(b.0));
                 for (i, (k, v)) in fields.iter().enumerate() {
                     if i > 0 {
@@ -283,6 +392,9 @@ pub enum RtErrorKind {
     LimitExceeded {
         /// Which resource ran out: `"depth"` or `"steps"`.
         resource: String,
+        /// The configured ceiling that tripped ([`Limits::max_depth`] or
+        /// [`Limits::max_steps`]), so limit failures are self-explaining.
+        limit: u64,
     },
     /// Any other runtime failure.
     Other,
@@ -294,7 +406,9 @@ impl fmt::Display for RtErrorKind {
             RtErrorKind::MethodNotFound { .. } => write!(f, "method-not-found"),
             RtErrorKind::ArityMismatch { .. } => write!(f, "arity-mismatch"),
             RtErrorKind::ModeMismatch { .. } => write!(f, "mode-mismatch"),
-            RtErrorKind::LimitExceeded { resource } => write!(f, "limit-exceeded:{resource}"),
+            RtErrorKind::LimitExceeded { resource, limit } => {
+                write!(f, "limit-exceeded:{resource} (ceiling {limit})")
+            }
             RtErrorKind::Other => write!(f, "other"),
         }
     }
@@ -350,11 +464,15 @@ impl RtError {
         }
     }
 
-    pub(crate) fn limit(resource: &str, message: impl Into<String>) -> Self {
+    pub(crate) fn limit(resource: &str, limit: u64, message: impl Into<String>) -> Self {
         RtError {
-            message: message.into(),
+            message: format!(
+                "{} (configured {resource} ceiling: {limit})",
+                message.into()
+            ),
             kind: RtErrorKind::LimitExceeded {
                 resource: resource.to_owned(),
+                limit,
             },
         }
     }
@@ -636,11 +754,8 @@ mod tests {
         v.field("val").and_then(Value::as_int).expect("not a ZNat")
     }
 
-    fn obj(class: &str) -> Value {
-        Value::Obj(Arc::new(Object {
-            class: class.into(),
-            fields: HashMap::new(),
-        }))
+    fn obj(program: &Program, class: &str) -> Value {
+        program.instance(class).unwrap()
     }
 
     #[test]
@@ -720,7 +835,7 @@ mod tests {
             }
         "#;
         for program in both_engines(src) {
-            let range = obj("Range");
+            let range = obj(&program, "Range");
             let below = program.method("Range", "below").unwrap();
             let mut env = Bindings::new();
             env.insert("n".into(), Value::Int(3));
@@ -755,7 +870,7 @@ mod tests {
             }
         "#;
         for program in both_engines(src) {
-            let m = obj("M");
+            let m = obj(&program, "M");
             let classify = program.method("M", "classify").unwrap();
             assert_eq!(classify.call(Some(&m), args![6]).unwrap(), Value::Int(1));
             assert_eq!(classify.call(Some(&m), args![2]).unwrap(), Value::Int(0));
@@ -777,7 +892,7 @@ mod tests {
             }
         "#;
         for program in both_engines(src) {
-            let m = obj("M");
+            let m = obj(&program, "M");
             let sum3 = program.method("M", "sum3").unwrap();
             assert_eq!(sum3.call(Some(&m), args![]).unwrap(), Value::Int(6));
         }
@@ -851,7 +966,7 @@ mod tests {
             let err = program
                 .free_method("probe")
                 .unwrap()
-                .call(None, args![obj("M")])
+                .call(None, args![obj(&program, "M")])
                 .unwrap_err();
             assert_eq!(
                 err.kind,
@@ -897,7 +1012,7 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("method-not-found"), "{text}");
         assert!(text.contains("nosuch"), "{text}");
-        let limit = RtError::limit("depth", "solver recursion limit exceeded");
+        let limit = RtError::limit("depth", 1_000, "solver recursion limit exceeded");
         assert!(limit.to_string().contains("limit-exceeded:depth"));
     }
 

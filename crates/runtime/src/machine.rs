@@ -41,9 +41,9 @@
 use crate::eval::{Budget, Ev, Frame};
 use crate::{RtError, RtResult, Value};
 use jmatch_core::lower::{
-    BodyPlan, CallKind, Goal, PExpr, PlanId, ProgramPlan, ReadyCheck, SlotId,
+    BodyPlan, CallKind, DispatchId, Goal, PExpr, PlanId, ProgramPlan, ReadyCheck, SlotId,
 };
-use jmatch_syntax::ast::{BinOp, CmpOp, Type};
+use jmatch_syntax::ast::{BinOp, CmpOp};
 use std::rc::Rc;
 
 /// One pending unit of work on the continuation stack.
@@ -315,6 +315,24 @@ impl<'g> Machine<'g> {
         Ev::new(self.plan, &mut self.budget).values_equal(a, b)
     }
 
+    /// Resolves a runtime-class-dispatched name through the same dispatch
+    /// tables the recursive evaluator uses.
+    fn resolve_dispatch(
+        &mut self,
+        dispatch: Option<DispatchId>,
+        value: &Value,
+        name: &str,
+        with_ctor_fallback: bool,
+    ) -> Option<PlanId> {
+        let Value::Obj(o) = value else { return None };
+        let ev = Ev::new(self.plan, &mut self.budget);
+        if with_ctor_fallback {
+            ev.resolve_dispatch_or_ctor(dispatch, o, name)
+        } else {
+            ev.resolve_dispatch(dispatch, o, name)
+        }
+    }
+
     /// Existence check for negation-as-failure: runs the recursive solver
     /// over a scratch copy of the frame.
     fn exists(&mut self, fi: usize, goal: &Goal) -> RtResult<bool> {
@@ -470,6 +488,7 @@ impl<'g> Machine<'g> {
                 receiver,
                 name,
                 args,
+                dispatch,
             } => {
                 let subject: Value = match receiver {
                     Some(r) if self.ground(fi, r) => self.eval_expr(fi, r)?,
@@ -482,10 +501,13 @@ impl<'g> Machine<'g> {
                     }
                 };
                 match &subject {
-                    Value::Obj(o) => {
-                        let class = o.class.clone();
-                        let Some(pid) = self.plan.lookup_impl(&class, name) else {
-                            return Err(RtError::method_not_found(&class, name));
+                    Value::Obj(_) => {
+                        let Some(pid) = self.resolve_dispatch(*dispatch, &subject, name, false)
+                        else {
+                            return Err(RtError::method_not_found(
+                                subject.class().unwrap_or_default(),
+                                name,
+                            ));
                         };
                         self.enter_constructor(fi, subject.clone(), pid, args)
                     }
@@ -560,14 +582,11 @@ impl<'g> Machine<'g> {
     fn exec_match(&mut self, fi: usize, pat: &'g PExpr, value: Value) -> RtResult<()> {
         match pat {
             PExpr::Wildcard => Ok(()),
-            PExpr::Decl(ty, slot) => {
-                if let Type::Named(t) = ty {
-                    if let Some(class) = value.class() {
-                        if !self.is_subtype(class, t) {
-                            self.fail();
-                            return Ok(());
-                        }
-                    }
+            PExpr::Decl(ty, slot, check) => {
+                let admits = Ev::new(self.plan, &mut self.budget).class_admits(ty, check, &value);
+                if !admits {
+                    self.fail();
+                    return Ok(());
                 }
                 if let Some(s) = slot {
                     self.bind(fi, *s, Some(value));
@@ -616,33 +635,44 @@ impl<'g> Machine<'g> {
                 name,
                 args,
                 kind,
+                dispatch,
             } => {
-                let class: String = match (kind, receiver) {
-                    (CallKind::StaticConstruct(c), _) => c.clone(),
-                    (CallKind::ClassCtor(c), None) => c.clone(),
-                    _ => value.class().unwrap_or_default().to_owned(),
-                };
-                let plan = self.plan;
-                let Some(pid) = plan
-                    .lookup_impl(&class, name)
-                    .or_else(|| plan.class_ctor(&class))
-                else {
-                    return Err(RtError::method_not_found(&class, name));
-                };
-                if let Some(vclass) = value.class() {
-                    if !self.is_subtype(vclass, &class) {
-                        let converted = Ev::new(self.plan, &mut self.budget)
-                            .convert_via_equals(&class, &value)?;
-                        return match converted {
-                            Some(c) => self.enter_constructor(fi, c, pid, args),
-                            None => {
-                                self.fail();
-                                Ok(())
-                            }
+                match (kind, receiver) {
+                    (CallKind::StaticConstruct(cr), _) | (CallKind::ClassCtor(cr), None) => {
+                        let resolved = {
+                            let ev = Ev::new(self.plan, &mut self.budget);
+                            ev.resolve_static_match(cr, name)
                         };
+                        let Some(pid) = resolved else {
+                            return Err(RtError::method_not_found(&cr.name, name));
+                        };
+                        if let Some(vclass) = value.class() {
+                            if !self.is_subtype(vclass, &cr.name) {
+                                let converted = Ev::new(self.plan, &mut self.budget)
+                                    .convert_via_equals(&cr.name, &value)?;
+                                return match converted {
+                                    Some(c) => self.enter_constructor(fi, c, pid, args),
+                                    None => {
+                                        self.fail();
+                                        Ok(())
+                                    }
+                                };
+                            }
+                        }
+                        self.enter_constructor(fi, value, pid, args)
+                    }
+                    _ => {
+                        // Dynamic: dispatch on the value's own runtime class
+                        // through the same table the recursive evaluator uses.
+                        let Some(pid) = self.resolve_dispatch(*dispatch, &value, name, true) else {
+                            return Err(RtError::method_not_found(
+                                value.class().unwrap_or_default(),
+                                name,
+                            ));
+                        };
+                        self.enter_constructor(fi, value, pid, args)
                     }
                 }
-                self.enter_constructor(fi, value, pid, args)
             }
             PExpr::Binary(op, a, b) => {
                 let Some(target) = value.as_int() else {
@@ -743,7 +773,11 @@ impl<'g> Machine<'g> {
             ));
         };
         if self.frames.len() >= self.budget.max_depth {
-            return Err(RtError::limit("depth", "solver recursion limit exceeded"));
+            return Err(RtError::limit(
+                "depth",
+                self.budget.max_depth as u64,
+                "solver recursion limit exceeded",
+            ));
         }
         let callee = self.frames.len();
         self.frames.push(FrameCtx {

@@ -12,7 +12,6 @@
 use crate::{Bindings, Flow, Object, RtError, RtResult, Value};
 use jmatch_core::table::{ClassTable, MethodInfo};
 use jmatch_syntax::ast::*;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -167,10 +166,18 @@ impl TreeWalker {
         emit: &mut dyn FnMut(&Bindings) -> bool,
     ) -> RtResult<bool> {
         if self.steps.fetch_add(1, Ordering::Relaxed) + 1 > self.max_steps {
-            return Err(RtError::limit("steps", "solver step budget exceeded"));
+            return Err(RtError::limit(
+                "steps",
+                self.max_steps,
+                "solver step budget exceeded",
+            ));
         }
         if depth > self.max_depth {
-            return Err(RtError::limit("depth", "solver recursion limit exceeded"));
+            return Err(RtError::limit(
+                "depth",
+                self.max_depth as u64,
+                "solver recursion limit exceeded",
+            ));
         }
         match f {
             Formula::Bool(true) => Ok(emit(env)),
@@ -235,19 +242,30 @@ impl TreeWalker {
                 if Arc::ptr_eq(oa, ob) {
                     return Ok(true);
                 }
-                if oa.class == ob.class {
-                    if oa.fields.len() == ob.fields.len() {
-                        for (k, va) in &oa.fields {
-                            let Some(vb) = ob.fields.get(k) else {
-                                return Ok(false);
-                            };
-                            if !self.values_equal(va, vb)? {
-                                return Ok(false);
-                            }
+                if Arc::ptr_eq(oa.layout(), ob.layout()) {
+                    // Shared layout (same program): slot-wise comparison.
+                    for (va, vb) in oa.fields().iter().zip(ob.fields()) {
+                        if !self.values_equal(va, vb)? {
+                            return Ok(false);
                         }
-                        return Ok(true);
                     }
-                    return Ok(false);
+                    return Ok(true);
+                }
+                if oa.class() == ob.class() {
+                    // Same-named class from a different program: its layout
+                    // may order fields differently, so align by name.
+                    if oa.fields().len() != ob.fields().len() {
+                        return Ok(false);
+                    }
+                    for (name, va) in oa.layout().field_names().iter().zip(oa.fields()) {
+                        let Some(vb) = ob.get(name) else {
+                            return Ok(false);
+                        };
+                        if !self.values_equal(va, vb)? {
+                            return Ok(false);
+                        }
+                    }
+                    return Ok(true);
                 }
                 // Different classes: try an equality constructor on either side.
                 for (lhs, rhs) in [(a, b), (b, a)] {
@@ -322,29 +340,23 @@ impl TreeWalker {
             MethodBody::Formula(f) => {
                 if minfo.constructs_owner() {
                     // Construction: the fields of the new object are unknowns
-                    // solved by the body.
-                    let owner = self.table.type_info(&minfo.owner).ok_or_else(|| {
+                    // solved by the body, read off into the owner's layout
+                    // slots (layout order = field declaration order).
+                    let layout = self.table.layout(&minfo.owner).cloned().ok_or_else(|| {
                         RtError::new(format!("unknown owner type {}", minfo.owner))
                     })?;
-                    let field_names: Vec<String> =
-                        owner.fields.iter().map(|f| f.name.clone()).collect();
                     let mut result = None;
                     self.solve(&env, this.as_ref(), f, 0, &mut |b| {
-                        let mut fields = HashMap::new();
-                        for fname in &field_names {
-                            fields.insert(
-                                fname.clone(),
-                                b.get(fname).cloned().unwrap_or(Value::Null),
-                            );
-                        }
                         // A `result = ...` equation (as in Figure 1) takes
                         // precedence over field solving.
-                        result = Some(b.get("result").cloned().unwrap_or(Value::Obj(Arc::new(
-                            Object {
-                                class: minfo.owner.clone(),
-                                fields,
-                            },
-                        ))));
+                        result = Some(b.get("result").cloned().unwrap_or_else(|| {
+                            let fields: Vec<Value> = layout
+                                .field_names()
+                                .iter()
+                                .map(|fname| b.get(fname).cloned().unwrap_or(Value::Null))
+                                .collect();
+                            Value::Obj(Arc::new(Object::new(Arc::clone(&layout), fields)))
+                        }));
                         false
                     })?;
                     result.ok_or_else(|| {
@@ -640,7 +652,7 @@ impl TreeWalker {
                 };
                 match &subject {
                     Value::Obj(o) => {
-                        let class = o.class.clone();
+                        let class = o.class().to_owned();
                         let Some(minfo) = self.find_impl(&class, name) else {
                             return Err(RtError::method_not_found(&class, name));
                         };
@@ -1024,7 +1036,7 @@ impl TreeWalker {
                     return Ok(v.clone());
                 }
                 if let Some(Value::Obj(o)) = this {
-                    if let Some(v) = o.fields.get(name) {
+                    if let Some(v) = o.get(name) {
                         return Ok(v.clone());
                     }
                 }
@@ -1034,7 +1046,6 @@ impl TreeWalker {
                 let b = self.eval(env, this, base)?;
                 match b {
                     Value::Obj(o) => o
-                        .fields
                         .get(field)
                         .cloned()
                         .ok_or_else(|| RtError::new(format!("no field `{field}`"))),

@@ -307,15 +307,9 @@ fn imperative_statements_agree_across_engines() {
     let (plan, tree) = engines_for(src);
     for n in 0..5i64 {
         let mk = |program: &Program| {
-            let obj = {
-                // No constructor declared: build the instance by hand.
-                use std::collections::HashMap;
-                use std::sync::Arc;
-                Value::Obj(Arc::new(jmatch::runtime::Object {
-                    class: "Acc".into(),
-                    fields: HashMap::new(),
-                }))
-            };
+            // No constructor declared: build the instance through the
+            // program (all fields Null).
+            let obj = program.instance("Acc").unwrap();
             program
                 .method("Acc", "grind")
                 .unwrap()
@@ -409,7 +403,7 @@ fn limits_are_honored_identically_by_both_engines() {
         );
         let err = err.unwrap_or_else(|| panic!("{name}: no limit error"));
         assert!(
-            matches!(&err.kind, RtErrorKind::LimitExceeded { resource } if resource == "steps"),
+            matches!(&err.kind, RtErrorKind::LimitExceeded { resource, .. } if resource == "steps"),
             "{name}: {err:?}"
         );
     }
@@ -427,7 +421,7 @@ fn limits_are_honored_identically_by_both_engines() {
         );
         let err = err.unwrap_or_else(|| panic!("{name}: no limit error"));
         assert!(
-            matches!(&err.kind, RtErrorKind::LimitExceeded { resource } if resource == "depth"),
+            matches!(&err.kind, RtErrorKind::LimitExceeded { resource, .. } if resource == "depth"),
             "{name}: {err:?}"
         );
     }

@@ -32,6 +32,11 @@ const LIST: &str = r#"
 
 const N: i64 = 10_000;
 
+/// Machine steps the first `elem` solution took before the interned-symbol
+/// representation landed (measured on the string-keyed layout); the step
+/// count must never regress past it.
+const FIRST_SOLUTION_STEPS_BASELINE: u64 = 8;
+
 /// Generous ceilings: the machine's activation frames are heap-allocated,
 /// so deep structural recursion only needs the budget raised.
 const DEEP: Limits = Limits {
@@ -90,6 +95,13 @@ fn first_solution_of_a_large_enumeration_is_o1_body() {
     assert!(
         first_steps < 200,
         "first solution took {first_steps} steps; laziness is broken (O(n) work before the first yield?)"
+    );
+    // Pinned regression bound: the pre-interning machine reached the first
+    // solution in exactly 8 steps on this workload, and the slot-indexed
+    // representation must not make the first pull more expensive.
+    assert!(
+        first_steps <= FIRST_SOLUTION_STEPS_BASELINE,
+        "first solution took {first_steps} steps; the recorded baseline is {FIRST_SOLUTION_STEPS_BASELINE}"
     );
 }
 

@@ -1,0 +1,61 @@
+//! `parallel_scaling` — sequential vs OR-parallel full enumeration.
+//!
+//! The workload is a complete binary tree whose `vals` method enumerates
+//! every leaf: the choice tree is a full binary tree, so work stealing can
+//! split it into balanced halves all the way down. Sequential enumeration
+//! (the resumable stack machine) is compared against
+//! `Query::par_solutions` (ordered: reorder buffer restores sequential
+//! order) and `Query::par_solutions_unordered` (merge as produced) at 2
+//! and 8 workers; the recorded before/after numbers live in
+//! `BENCH_par.json` and the README's "Parallel enumeration" section.
+//!
+//! The modes must agree with the sequential machine before their speeds
+//! are worth comparing, so the bench asserts exact sequence equality
+//! (ordered) and multiset equality (unordered) up front — this is what
+//! `cargo bench -p jmatch-bench --bench parallel_scaling -- --test`
+//! exercises in CI.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jmatch_bench::{
+    parallel_enumerate_par, parallel_enumerate_seq, parallel_program, parallel_tree,
+};
+
+const DEPTH: u32 = 12; // 4096 leaves
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let program = parallel_program();
+    let tree = parallel_tree(&program, DEPTH);
+
+    // The parallel modes must agree with the sequential machine.
+    let seq = parallel_enumerate_seq(&program, &tree);
+    assert_eq!(seq.len(), 1 << DEPTH);
+    for threads in [1, 2, 8] {
+        let ordered = parallel_enumerate_par(&program, &tree, threads, true);
+        assert_eq!(seq, ordered, "ordered mode diverges at {threads} threads");
+        let mut unordered = parallel_enumerate_par(&program, &tree, threads, false);
+        unordered.sort_unstable();
+        let mut want = seq.clone();
+        want.sort_unstable();
+        assert_eq!(
+            want, unordered,
+            "unordered mode diverges as a multiset at {threads} threads"
+        );
+    }
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(parallel_enumerate_seq(&program, &tree).len()))
+    });
+    for threads in [2usize, 8] {
+        group.bench_function(format!("unordered/{threads}_threads"), |b| {
+            b.iter(|| black_box(parallel_enumerate_par(&program, &tree, threads, false).len()))
+        });
+        group.bench_function(format!("ordered/{threads}_threads"), |b| {
+            b.iter(|| black_box(parallel_enumerate_par(&program, &tree, threads, true).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

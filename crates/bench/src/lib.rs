@@ -16,7 +16,7 @@
 use jmatch_core::table::ClassTable;
 use jmatch_core::{compile, extract, CompileOptions, Diagnostics, Verifier, VerifyOptions};
 use jmatch_corpus::CorpusEntry;
-use jmatch_runtime::{args, Compiler, Engine, Program, Query, Value};
+use jmatch_runtime::{args, Bindings, Compiler, Engine, Program, Query, Value};
 use jmatch_syntax::ast::{CmpOp, Expr, Formula};
 use jmatch_syntax::{count_tokens, parse_formula};
 use std::sync::Arc;
@@ -714,6 +714,118 @@ pub fn repr_deconstruct_workload(program: &Program, n: i64) -> i64 {
         cur = row[1].clone();
     }
     total
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-scaling workload (`parallel_scaling` bench, BENCH_par.json)
+// ---------------------------------------------------------------------------
+
+/// The OR-parallel scaling workload: a complete binary tree whose `vals`
+/// method enumerates every leaf left-to-right, so the choice tree is a
+/// full binary tree — maximally branchy, the shape work stealing splits
+/// best. Identical to the `tests/parallel.rs` workload.
+const PARALLEL_TREE_SOURCE: &str = r#"
+    interface Tree {
+        constructor leaf(int v) returns(v);
+        constructor node(Tree l, Tree r) returns(l, r);
+        boolean vals(int x) iterates(x);
+    }
+    class Leaf implements Tree {
+        int val;
+        constructor leaf(int v) returns(v) ( val = v )
+        constructor node(Tree l, Tree r) returns(l, r) ( false )
+        boolean vals(int x) iterates(x) ( leaf(x) )
+    }
+    class Node implements Tree {
+        Tree left;
+        Tree right;
+        constructor leaf(int v) returns(v) ( false )
+        constructor node(Tree l, Tree r) returns(l, r) ( left = l && right = r )
+        boolean vals(int x) iterates(x) ( node(Tree l, _) && l.vals(x) || node(_, Tree r) && r.vals(x) )
+    }
+"#;
+
+/// Compiles the parallel-scaling program on the plan engine.
+pub fn parallel_program() -> Program {
+    let program = Compiler::new()
+        .verify(false)
+        .compile(PARALLEL_TREE_SOURCE)
+        .expect("parallel workload program parses");
+    assert!(
+        program.diagnostics().errors.is_empty(),
+        "{:?}",
+        program.diagnostics().errors
+    );
+    program
+}
+
+/// Builds a complete binary tree of the given depth with leaves numbered
+/// from 0 in order.
+pub fn parallel_tree(program: &Program, depth: u32) -> Value {
+    parallel_tree_from(program, depth, 0)
+}
+
+/// Like [`parallel_tree`] with leaves numbered from `base` (so a batch of
+/// trees can carry disjoint leaf values).
+pub fn parallel_tree_from(program: &Program, depth: u32, base: i64) -> Value {
+    fn build(
+        leaf: &jmatch_runtime::CtorRef,
+        node: &jmatch_runtime::CtorRef,
+        depth: u32,
+        next: &mut i64,
+    ) -> Value {
+        if depth == 0 {
+            let v = leaf.construct(args![*next]).unwrap();
+            *next += 1;
+            v
+        } else {
+            let l = build(leaf, node, depth - 1, next);
+            let r = build(leaf, node, depth - 1, next);
+            node.construct(args![l, r]).unwrap()
+        }
+    }
+    let leaf = program.ctor("Leaf", "leaf").unwrap();
+    let node = program.ctor("Node", "node").unwrap();
+    let mut next = base;
+    build(&leaf, &node, depth, &mut next)
+}
+
+/// Full sequential enumeration of the tree's leaves; returns the leaf
+/// values in sequential (in-order) enumeration order.
+pub fn parallel_enumerate_seq(program: &Program, tree: &Value) -> Vec<i64> {
+    let vals = program.method("Node", "vals").unwrap();
+    let query = vals.iterate(Some(tree), &Bindings::new()).unwrap();
+    let mut solutions = query.solutions();
+    let out: Vec<i64> = solutions
+        .by_ref()
+        .map(|b| b["x"].as_int().unwrap())
+        .collect();
+    assert!(solutions.error().is_none(), "{:?}", solutions.error());
+    out
+}
+
+/// Full OR-parallel enumeration over `threads` workers; `ordered` selects
+/// the sequential-order reorder buffer, otherwise solutions are merged as
+/// produced.
+pub fn parallel_enumerate_par(
+    program: &Program,
+    tree: &Value,
+    threads: usize,
+    ordered: bool,
+) -> Vec<i64> {
+    let vals = program.method("Node", "vals").unwrap();
+    let query = vals.iterate(Some(tree), &Bindings::new()).unwrap();
+    let mut solutions = if ordered {
+        query.par_solutions(threads)
+    } else {
+        query.par_solutions_unordered(threads)
+    };
+    let out: Vec<i64> = solutions
+        .by_ref()
+        .map(|b| b["x"].as_int().unwrap())
+        .collect();
+    assert!(solutions.error().is_none(), "{:?}", solutions.error());
+    out
 }
 
 #[cfg(test)]

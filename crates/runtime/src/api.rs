@@ -25,16 +25,19 @@
 
 use crate::eval::{Budget, Ev, Frame, MAX_DEPTH};
 use crate::machine::Machine;
+use crate::par::{self, ParJob, ParMode};
 use crate::tree::TreeWalker;
 use crate::{Bindings, Engine, RtError, RtResult, Value};
 use jmatch_core::diag::Diagnostics;
-use jmatch_core::lower::{BodyPlan, PlanId, ProgramPlan, SlotId, SolvedForm};
+use jmatch_core::lower::{BodyPlan, FrameLayout, PlanId, ProgramPlan, SlotId, SolvedForm};
 use jmatch_core::table::ClassTable;
 use jmatch_core::{CompileOptions, Warning};
 use jmatch_syntax::ast::{Formula, MethodBody, Param, Type};
 use jmatch_syntax::ParseError;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 
 // ---------------------------------------------------------------------------
 // Limits
@@ -383,6 +386,61 @@ impl Program {
         jmatch_core::lower::lower_standalone(&self.plan, f, &bound, this_class)
     }
 
+    /// Runs a batch of queries on one pool of `threads` worker threads
+    /// (`0` = available parallelism) and collects every query's full
+    /// solution set **in sequential enumeration order** — the shape a
+    /// query server needs: one thread-pool setup amortized across the
+    /// whole batch, with per-query results independent (a limit error in
+    /// one query does not affect the others).
+    ///
+    /// Each query runs sequentially on one worker (query-level
+    /// parallelism); use [`Query::par_solutions`] to parallelize *within*
+    /// a single large enumeration instead.
+    pub fn query_many(
+        &self,
+        queries: &[Query<'_>],
+        threads: usize,
+    ) -> Vec<RtResult<Vec<Bindings>>> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(n);
+        if threads <= 1 {
+            return queries.iter().map(Query::try_collect).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RtResult<Vec<Bindings>>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = queries[i].try_collect();
+                    *slots[i].lock().expect("query_many slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("query_many slot poisoned")
+                    .expect("query_many worker skipped a slot")
+            })
+            .collect()
+    }
+
     // -- whole-value operations ---------------------------------------------
 
     /// Creates a bare instance of `class` with every field `Null` —
@@ -578,6 +636,45 @@ impl MethodRef {
                 this: receiver.cloned(),
             },
         })
+    }
+
+    /// Runs a batch of iterative-mode calls — one `(receiver, known
+    /// bindings)` pair per call — on one pool of `threads` worker threads
+    /// (`0` = available parallelism), returning each call's full solution
+    /// set in sequential enumeration order.
+    ///
+    /// Building every [`Query`] up front amortizes lowering through the
+    /// per-binding-shape solved-form cache, and the batch shares one
+    /// thread pool via [`Program::query_many`]; calls that fail to build
+    /// (e.g. [`RtErrorKind::ModeMismatch`](crate::RtErrorKind::ModeMismatch))
+    /// report their error in their result slot without disturbing the
+    /// rest.
+    pub fn iterate_many(
+        &self,
+        calls: &[(Option<Value>, Bindings)],
+        threads: usize,
+    ) -> Vec<RtResult<Vec<Bindings>>> {
+        let mut slots: Vec<Option<RtResult<Vec<Bindings>>>> = Vec::with_capacity(calls.len());
+        let mut queries: Vec<Query<'_>> = Vec::new();
+        let mut query_slot: Vec<usize> = Vec::new();
+        for (i, (receiver, known)) in calls.iter().enumerate() {
+            match self.iterate(receiver.as_ref(), known) {
+                Ok(q) => {
+                    queries.push(q);
+                    query_slot.push(i);
+                    slots.push(None);
+                }
+                Err(e) => slots.push(Some(Err(e))),
+            }
+        }
+        let outcomes = self.program.query_many(&queries, threads);
+        for (i, outcome) in query_slot.into_iter().zip(outcomes) {
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("iterate_many left a slot unfilled"))
+            .collect()
     }
 }
 
@@ -930,16 +1027,102 @@ impl Query<'_> {
             }
         });
         match spawned {
-            Ok(_) => Solutions {
-                inner: Inner::Channel(rx),
+            Ok(handle) => Solutions {
+                inner: Inner::Channel {
+                    rx: Some(rx),
+                    producer: Some(handle),
+                },
                 error: None,
             },
             Err(e) => Solutions {
-                inner: Inner::Channel(rx),
+                inner: Inner::Channel {
+                    rx: Some(rx),
+                    producer: None,
+                },
                 error: Some(RtError::new(format!(
                     "could not start the tree-walker producer thread: {e}"
                 ))),
             },
+        }
+    }
+
+    // -- parallel enumeration ------------------------------------------------
+
+    /// Starts an **OR-parallel** enumeration over `threads` worker threads
+    /// (`0` = available parallelism), preserving the sequential engine's
+    /// exact solution order: workers race over disjoint subtrees of the
+    /// choice tree and a reorder buffer merges their streams back into
+    /// lexicographic choice-path order, so the solution sequence is
+    /// identical to [`Query::solutions`] — including where a
+    /// *deterministic* runtime error cuts the stream — just faster on
+    /// branchy enumerations.
+    ///
+    /// [`Limits::max_steps`] becomes a budget *shared by all workers*
+    /// (debited in batches from one atomic pool): the ceiling bounds the
+    /// combined work, so a budget the sequential run exceeds is exceeded
+    /// in parallel too — but because workers drain the pool concurrently
+    /// (and replaying task prefixes costs extra steps), *where* a
+    /// `LimitExceeded` error lands in the stream can differ from the
+    /// sequential run. `max_depth` bounds each derivation exactly as in
+    /// sequential runs. Parallelism is a plan-engine feature; on
+    /// [`Engine::TreeWalk`] programs this falls back to the sequential
+    /// iterator.
+    ///
+    /// Unlike the sequential iterator's O(1) buffering, ordered mode holds
+    /// completed-but-not-yet-due solutions in memory: while the
+    /// lexicographically-least task is still running, other workers'
+    /// finished solutions accumulate in the reorder buffer — up to
+    /// O(total solutions) on adversarial shapes (a slow first subtree
+    /// behind fast later ones). Use [`Query::par_solutions_unordered`]
+    /// when order does not matter, or [`Query::solutions`] when streaming
+    /// memory matters more than throughput.
+    pub fn par_solutions(&self, threads: usize) -> Solutions<'_> {
+        self.par_with(threads, ParMode::Ordered)
+    }
+
+    /// Like [`Query::par_solutions`] but merging solutions **as produced**
+    /// (no reorder buffer): maximal throughput, with the solution
+    /// *multiset* — but not its order — identical to the sequential
+    /// enumeration. A worker error ends the stream with that error, which
+    /// may arrive before solutions the sequential engine would have
+    /// emitted first.
+    pub fn par_solutions_unordered(&self, threads: usize) -> Solutions<'_> {
+        self.par_with(threads, ParMode::Unordered)
+    }
+
+    fn par_with(&self, threads: usize, mode: ParMode) -> Solutions<'_> {
+        if !matches!(self.program.engine, Engine::Plan) {
+            return self.solutions();
+        }
+        let job = match &self.source {
+            Source::Deconstruct { pid, value, .. } => ParJob::Deconstruct {
+                pid: *pid,
+                value: value.clone(),
+            },
+            Source::Formula {
+                form, env, this, ..
+            } => {
+                let seed: Vec<(SlotId, Value)> = env
+                    .iter()
+                    .filter_map(|(name, v)| form.frame.slot_of(name).map(|s| (s, v.clone())))
+                    .collect();
+                ParJob::Formula {
+                    form: Arc::clone(form),
+                    seed,
+                    this: this.clone(),
+                }
+            }
+        };
+        let stream = par::spawn(
+            Arc::clone(&self.program.plan),
+            job,
+            self.limits,
+            threads,
+            mode,
+        );
+        Solutions {
+            inner: Inner::Par(Box::new(stream)),
+            error: None,
         }
     }
 }
@@ -965,7 +1148,7 @@ enum TreeJob {
 /// How machine solutions are turned into [`Bindings`].
 enum Extract<'q> {
     /// Every bound, named slot of the root frame (formula queries).
-    Slots(&'q jmatch_core::lower::FrameLayout),
+    Slots(&'q FrameLayout),
     /// The constructor's parameter row, filtered by the declared parameter
     /// types (deconstruction); solutions leaving a parameter unbound are
     /// skipped, like both recursive engines.
@@ -976,14 +1159,60 @@ enum Extract<'q> {
     },
 }
 
+/// Bindings of every bound, named slot of a solved form's root frame — the
+/// formula-query extraction, shared by the sequential iterator and the
+/// OR-parallel workers.
+pub(crate) fn frame_bindings(layout: &FrameLayout, frame: &Frame) -> Bindings {
+    let mut out = Bindings::new();
+    for (i, v) in frame.iter().enumerate() {
+        if let Some(v) = v {
+            out.insert(layout.name_of(i as SlotId).to_owned(), v.clone());
+        }
+    }
+    out
+}
+
+/// Bindings of a deconstruction solution's parameter row, or `None` when
+/// the row leaves a declared parameter unbound or ill-typed (filtered like
+/// both recursive engines). Shared by the sequential iterator and the
+/// OR-parallel workers.
+pub(crate) fn param_row_bindings(
+    params: &[Param],
+    slots: &[SlotId],
+    table: &ClassTable,
+    frame: &Frame,
+) -> Option<Bindings> {
+    let mut out = Bindings::new();
+    for (p, &s) in params.iter().zip(slots.iter()) {
+        let v = frame[s as usize].as_ref()?;
+        if let Type::Named(t) = &p.ty {
+            if let Some(class) = v.class() {
+                if !table.is_subtype(class, t) {
+                    return None;
+                }
+            }
+        }
+        out.insert(p.name.clone(), v.clone());
+    }
+    Some(out)
+}
+
 enum Inner<'q> {
     /// The resumable stack machine (plan engine).
     Machine {
         machine: Box<Machine<'q>>,
         extract: Extract<'q>,
     },
-    /// The bounded adapter over the tree-walker's callback engine.
-    Channel(mpsc::Receiver<RtResult<Bindings>>),
+    /// The bounded adapter over the tree-walker's callback engine. The
+    /// producer's `JoinHandle` is kept so exhausting or dropping the
+    /// iterator deterministically joins the worker thread (disconnecting
+    /// the rendezvous channel first, so a blocked `send` always unblocks).
+    Channel {
+        rx: Option<mpsc::Receiver<RtResult<Bindings>>>,
+        producer: Option<JoinHandle<()>>,
+    },
+    /// The OR-parallel worker pool (see [`crate::par`]).
+    Par(Box<par::ParStream>),
 }
 
 /// A lazy, pull-based stream of query solutions.
@@ -1034,13 +1263,40 @@ impl Solutions<'_> {
     }
 
     /// Solver steps spent so far, when the engine can report them (the
-    /// plan engine's stack machine; `None` on the tree-walker adapter).
+    /// plan engine's stack machine; `None` on the tree-walker adapter and
+    /// on parallel enumerations, whose steps are spread across workers).
     /// This is what the O(1)-first-solution laziness test measures.
     pub fn steps(&self) -> Option<u64> {
         match &self.inner {
             Inner::Machine { machine, .. } => Some(machine.steps()),
-            Inner::Channel(_) => None,
+            Inner::Channel { .. } | Inner::Par(_) => None,
         }
+    }
+
+    /// Disconnects the tree-walker channel and joins its producer thread.
+    /// Idempotent; a no-op for the other engines (the parallel pool joins
+    /// its own workers).
+    fn join_producer(&mut self) {
+        if let Inner::Channel { rx, producer } = &mut self.inner {
+            // Disconnect first: a producer parked in `send` on the
+            // rendezvous channel unblocks with an error and unwinds.
+            rx.take();
+            if let Some(h) = producer.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Dropping a `Solutions` mid-enumeration must not leak its producer: the
+/// tree-walker engine's worker thread is blocked in a rendezvous `send`
+/// whenever the consumer stops early, so the drop disconnects the channel
+/// (unblocking the send) and joins the thread before returning. The
+/// OR-parallel pool behind [`Query::par_solutions`] does the same through
+/// `ParStream`'s own `Drop`.
+impl Drop for Solutions<'_> {
+    fn drop(&mut self) {
+        self.join_producer();
     }
 }
 
@@ -1063,40 +1319,14 @@ impl Iterator for Solutions<'_> {
                         let frame = machine.root_frame();
                         match extract {
                             Extract::Slots(layout) => {
-                                let mut out = Bindings::new();
-                                for (i, v) in frame.iter().enumerate() {
-                                    if let Some(v) = v {
-                                        out.insert(
-                                            layout.name_of(i as SlotId).to_owned(),
-                                            v.clone(),
-                                        );
-                                    }
-                                }
-                                return Some(out);
+                                return Some(frame_bindings(layout, frame));
                             }
                             Extract::Params {
                                 params,
                                 slots,
                                 table,
                             } => {
-                                let mut out = Bindings::new();
-                                let mut ok = true;
-                                for (p, &s) in params.iter().zip(slots.iter()) {
-                                    let Some(v) = &frame[s as usize] else {
-                                        ok = false;
-                                        break;
-                                    };
-                                    if let Type::Named(t) = &p.ty {
-                                        if let Some(class) = v.class() {
-                                            if !table.is_subtype(class, t) {
-                                                ok = false;
-                                                break;
-                                            }
-                                        }
-                                    }
-                                    out.insert(p.name.clone(), v.clone());
-                                }
-                                if ok {
+                                if let Some(out) = param_row_bindings(params, slots, table, frame) {
                                     return Some(out);
                                 }
                                 // Filtered row: pull the next solution.
@@ -1105,13 +1335,34 @@ impl Iterator for Solutions<'_> {
                     }
                 }
             },
-            Inner::Channel(rx) => match rx.recv() {
-                Ok(Ok(b)) => Some(b),
-                Ok(Err(e)) => {
+            Inner::Channel { rx, producer } => {
+                let next = match rx.as_ref() {
+                    Some(r) => r.recv(),
+                    None => return None,
+                };
+                match next {
+                    Ok(Ok(b)) => Some(b),
+                    other => {
+                        if let Ok(Err(e)) = other {
+                            self.error = Some(e);
+                        }
+                        // The stream ended (error or disconnect): the
+                        // producer is done, so join it deterministically.
+                        rx.take();
+                        if let Some(h) = producer.take() {
+                            let _ = h.join();
+                        }
+                        None
+                    }
+                }
+            }
+            Inner::Par(stream) => match stream.next() {
+                Some(Ok(b)) => Some(b),
+                Some(Err(e)) => {
                     self.error = Some(e);
                     None
                 }
-                Err(_) => None,
+                None => None,
             },
         }
     }

@@ -42,14 +42,29 @@ type Emit<'a> = &'a mut dyn FnMut(&mut Ev<'_, '_>, &mut Frame) -> RtResult<bool>
 /// depth / step ceilings, so every entry point (the recursive evaluator and
 /// the resumable [`crate::Solutions`] machine) honors the same
 /// [`crate::Limits`].
+///
+/// A budget is either **private** (the sequential case: the whole
+/// `max_steps` allowance is granted up front, so `step()` is a plain
+/// compare) or **shared** (the OR-parallel case of [`crate::par`]: every
+/// worker draws batches of steps from one [`SharedBudget`] pool, so the
+/// configured ceiling bounds the *combined* work of all workers exactly
+/// like it bounds a sequential run).
 #[derive(Debug, Clone)]
 pub(crate) struct Budget {
     /// Steps spent so far (solver recursion plus machine steps).
     pub(crate) steps: u64,
-    /// Ceiling on `steps`.
+    /// Ceiling on `steps` (the configured [`crate::Limits::max_steps`];
+    /// with a shared pool this is the pool's combined ceiling, kept here
+    /// for error messages).
     pub(crate) max_steps: u64,
     /// Ceiling on solver nesting depth.
     pub(crate) max_depth: usize,
+    /// Steps this budget may spend before drawing on the shared pool
+    /// again. Equals `max_steps` for a private budget.
+    granted: u64,
+    /// The shared step pool, when this budget belongs to a parallel
+    /// worker.
+    shared: Option<Arc<SharedBudget>>,
 }
 
 impl Budget {
@@ -58,20 +73,107 @@ impl Budget {
             steps: 0,
             max_steps,
             max_depth,
+            granted: max_steps,
+            shared: None,
+        }
+    }
+
+    /// A budget that debits a shared step pool in batches: nothing is
+    /// granted up front, so the first `step()` draws the first batch.
+    pub(crate) fn new_shared(max_depth: usize, shared: Arc<SharedBudget>) -> Self {
+        Budget {
+            steps: 0,
+            max_steps: shared.ceiling,
+            max_depth,
+            granted: 0,
+            shared: Some(shared),
         }
     }
 
     /// One unit of solver work; errors when the step ceiling is hit.
     pub(crate) fn step(&mut self) -> RtResult<()> {
         self.steps += 1;
-        if self.steps > self.max_steps {
-            return Err(RtError::limit(
-                "steps",
-                self.max_steps,
-                "solver step budget exceeded",
-            ));
+        if self.steps > self.granted {
+            return self.refill();
         }
         Ok(())
+    }
+
+    /// Draws the next batch from the shared pool (or fails: a private
+    /// budget that outruns its grant has hit the configured ceiling).
+    fn refill(&mut self) -> RtResult<()> {
+        if let Some(pool) = &self.shared {
+            let got = pool.take(SHARED_STEP_BATCH);
+            if got > 0 {
+                self.granted += got;
+                return Ok(());
+            }
+        }
+        Err(RtError::limit(
+            "steps",
+            self.max_steps,
+            "solver step budget exceeded",
+        ))
+    }
+
+    /// Returns the unspent part of the current grant to the shared pool,
+    /// so a worker going idle does not strand steps other workers need.
+    /// No-op on private budgets.
+    pub(crate) fn release_unused(&mut self) {
+        if let Some(pool) = &self.shared {
+            // `steps` can be one past the grant when the last refill failed.
+            pool.give(self.granted.saturating_sub(self.steps));
+            self.granted = self.granted.min(self.steps);
+        }
+    }
+}
+
+/// How many steps a parallel worker reserves from the shared pool per
+/// refill. Small enough that a near-exhausted pool still spreads across
+/// workers, large enough that the atomic is off the per-step hot path.
+const SHARED_STEP_BATCH: u64 = 64;
+
+/// An atomic step pool shared by the workers of one parallel enumeration:
+/// [`Budget::new_shared`] budgets debit it in [`SHARED_STEP_BATCH`]-sized
+/// reservations, so the configured [`crate::Limits::max_steps`] ceiling
+/// bounds the combined work of the whole pool.
+#[derive(Debug)]
+pub(crate) struct SharedBudget {
+    remaining: std::sync::atomic::AtomicU64,
+    /// The configured ceiling, kept for error messages.
+    ceiling: u64,
+}
+
+impl SharedBudget {
+    pub(crate) fn new(ceiling: u64) -> Self {
+        SharedBudget {
+            remaining: std::sync::atomic::AtomicU64::new(ceiling),
+            ceiling,
+        }
+    }
+
+    /// Takes up to `want` steps from the pool; returns how many were
+    /// actually granted (0 when the pool is empty).
+    fn take(&self, want: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
+                if r == 0 {
+                    None
+                } else {
+                    Some(r - r.min(want))
+                }
+            })
+            .map(|r| r.min(want))
+            .unwrap_or(0)
+    }
+
+    /// Returns unspent steps to the pool.
+    fn give(&self, n: u64) {
+        if n > 0 {
+            self.remaining
+                .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 }
 

@@ -62,6 +62,18 @@
 //!
 //! The pre-redesign [`Interp`] facade remains as a set of deprecated shims
 //! over this surface.
+//!
+//! ## OR-parallel enumeration
+//!
+//! The stack machine's explicit choice points are splittable:
+//! [`Query::par_solutions`] runs one enumeration across a work-stealing
+//! pool of workers (each replaying a choice-path prefix on its own
+//! machine over the shared plan), with a reorder buffer restoring the
+//! exact sequential solution order — or
+//! [`Query::par_solutions_unordered`] for raw throughput. One shared
+//! atomic step pool makes [`Limits::max_steps`] bound the combined work
+//! of the pool, and [`Program::query_many`] /
+//! [`MethodRef::iterate_many`] batch many queries over one pool.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -69,6 +81,7 @@
 mod api;
 pub mod eval;
 mod machine;
+mod par;
 pub mod tree;
 
 pub use api::{Compiler, CtorRef, Limits, MethodRef, Program, Query, Solutions};

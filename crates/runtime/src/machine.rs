@@ -37,6 +37,17 @@
 //! makes resumable, and its observable behavior — values, bindings,
 //! enumeration order, failures — is kept identical to the recursive
 //! evaluator's and the tree-walker's; `tests/differential.rs` asserts it.
+//!
+//! The explicit choice-point stack is also what the OR-parallel executor
+//! ([`crate::par`]) exploits: every multi-alternative choice point is
+//! identified by its absolute **choice path** (the alternative indices of
+//! the older choice points on the derivation, in creation order), so
+//! [`Machine::split_oldest`] can export untried alternatives as
+//! self-contained replay tasks and a fresh machine can claim one by
+//! replaying the path prefix through [`Machine::with_budget`]'s guide.
+//! Lexicographic order on choice paths is exactly the sequential
+//! enumeration order — the invariant ordered-mode parallel enumeration is
+//! built on.
 
 use crate::eval::{Budget, Ev, Frame};
 use crate::{RtError, RtResult, Value};
@@ -106,6 +117,12 @@ struct Choice<'g> {
     cont: ContRef<'g>,
     trail_mark: usize,
     frames_mark: usize,
+    /// Length of [`Machine::path`] when this choice point was created: the
+    /// decisions of every older choice point on the current derivation.
+    /// `path[..path_mark] ++ [k]` is the absolute choice path of this
+    /// point's alternative `k` — the task descriptor
+    /// [`Machine::split_oldest`] exports for OR-parallel replay.
+    path_mark: usize,
     alt: Alt<'g>,
 }
 
@@ -132,6 +149,19 @@ enum Phase {
     Done,
 }
 
+/// What a bounded [`Machine::run`] stopped on.
+pub(crate) enum RunOutcome {
+    /// A solution is ready in [`Machine::root_frame`]; the next `run`
+    /// backtracks and continues.
+    Solution,
+    /// Every choice point is exhausted; the enumeration is over.
+    Exhausted,
+    /// The fuel ran out before a solution or exhaustion; call `run` again
+    /// to continue. This is the OR-parallel workers' scheduling point:
+    /// between runs they poll for cancellation and donate choice points.
+    Paused,
+}
+
 /// The resumable goal-solving machine. See the module docs.
 pub(crate) struct Machine<'g> {
     plan: &'g ProgramPlan,
@@ -141,6 +171,19 @@ pub(crate) struct Machine<'g> {
     choices: Vec<Choice<'g>>,
     trail: Vec<TrailEntry>,
     phase: Phase,
+    /// The absolute choice path of the current derivation: one decision
+    /// (alternative index) per *multi-alternative* choice point between the
+    /// root and the machine's current position, in creation order. Guided
+    /// prefix decisions are included, so the path is comparable across the
+    /// workers of one OR-parallel enumeration: lexicographic order on
+    /// paths IS the sequential (DFS) enumeration order.
+    path: Vec<u32>,
+    /// Replay directives for OR-parallel task resumption: the first
+    /// `guide.len()` choice points this machine *would* create instead
+    /// take the given alternative directly (and create no choice point —
+    /// the untried siblings belong to other tasks).
+    guide: Vec<u32>,
+    guide_pos: usize,
 }
 
 impl<'g> Machine<'g> {
@@ -154,14 +197,40 @@ impl<'g> Machine<'g> {
         max_depth: usize,
         max_steps: u64,
     ) -> Self {
+        Machine::with_budget(
+            plan,
+            goal,
+            root,
+            this,
+            Budget::new(max_depth, max_steps),
+            Vec::new(),
+        )
+    }
+
+    /// Creates a machine over an explicit [`Budget`] (possibly drawing on a
+    /// shared OR-parallel step pool) with a replay `guide`: the decision
+    /// prefix that routes this machine to its task's subtree. Execution is
+    /// deterministic between choice points, so replaying the prefix
+    /// reconstructs the donor's frames, trail, and bindings exactly.
+    pub(crate) fn with_budget(
+        plan: &'g ProgramPlan,
+        goal: &'g Goal,
+        root: Frame,
+        this: Option<Value>,
+        budget: Budget,
+        guide: Vec<u32>,
+    ) -> Self {
         let mut m = Machine {
             plan,
-            budget: Budget::new(max_depth, max_steps),
+            budget,
             frames: vec![FrameCtx { slots: root, this }],
             cont: None,
             choices: Vec::new(),
             trail: Vec::new(),
             phase: Phase::Running,
+            path: Vec::new(),
+            guide,
+            guide_pos: 0,
         };
         m.push(Step::Goal { fi: 0, goal });
         m
@@ -181,19 +250,33 @@ impl<'g> Machine<'g> {
     /// bindings readable through [`Machine::root_frame`], `Ok(false)` when
     /// the enumeration is exhausted. An error ends the enumeration.
     pub(crate) fn next_solution(&mut self) -> RtResult<bool> {
+        match self.run(u64::MAX)? {
+            RunOutcome::Solution => Ok(true),
+            RunOutcome::Exhausted | RunOutcome::Paused => Ok(false),
+        }
+    }
+
+    /// Runs for at most `fuel` machine steps or until the next solution /
+    /// exhaustion, whichever comes first. An error ends the enumeration.
+    pub(crate) fn run(&mut self, fuel: u64) -> RtResult<RunOutcome> {
         if matches!(self.phase, Phase::AtSolution) {
             self.phase = Phase::Running;
             if !self.backtrack() {
                 self.phase = Phase::Done;
             }
         }
+        let mut used: u64 = 0;
         loop {
             if matches!(self.phase, Phase::Done) {
-                return Ok(false);
+                return Ok(RunOutcome::Exhausted);
             }
+            if used >= fuel {
+                return Ok(RunOutcome::Paused);
+            }
+            used += 1;
             let Some(node) = self.cont.take() else {
                 self.phase = Phase::AtSolution;
-                return Ok(true);
+                return Ok(RunOutcome::Solution);
             };
             let step = match Rc::try_unwrap(node) {
                 Ok(n) => {
@@ -212,6 +295,55 @@ impl<'g> Machine<'g> {
         }
     }
 
+    /// Splits off the *oldest* choice point — the root-most branching of
+    /// this machine's remaining search space — as replay tasks for other
+    /// OR-parallel workers, removing it locally so this machine never
+    /// explores the donated alternatives. Returns one absolute choice path
+    /// per untried alternative, in alternative order.
+    ///
+    /// Donating the oldest choice point (rather than the newest) keeps the
+    /// donated grains as large as possible *and* upholds the ordering
+    /// invariant the ordered-mode collector relies on: every solution this
+    /// machine emits after the donation lies lexicographically **before**
+    /// every donated subtree, because the machine's remaining work sits
+    /// under smaller alternative indices of the same (or an older-donated)
+    /// branching. Later donations are likewise entirely before earlier
+    /// ones.
+    pub(crate) fn split_oldest(&mut self) -> Vec<Vec<u32>> {
+        if self.choices.is_empty() {
+            return Vec::new();
+        }
+        let ch = self.choices.remove(0);
+        let prefix = &self.path[..ch.path_mark];
+        match ch.alt {
+            Alt::Branches { branches, next, .. } => (next..branches.len())
+                .map(|k| {
+                    let mut p = Vec::with_capacity(prefix.len() + 1);
+                    p.extend_from_slice(prefix);
+                    p.push(k as u32);
+                    p
+                })
+                .collect(),
+            Alt::OrPat { .. } => {
+                let mut p = Vec::with_capacity(prefix.len() + 1);
+                p.extend_from_slice(prefix);
+                p.push(1);
+                vec![p]
+            }
+        }
+    }
+
+    /// Whether the machine still holds a splittable choice point.
+    pub(crate) fn can_split(&self) -> bool {
+        !self.choices.is_empty()
+    }
+
+    /// Returns the unspent part of a shared-budget grant to the pool (see
+    /// [`Budget::release_unused`]); call when the machine goes idle.
+    pub(crate) fn release_budget(&mut self) {
+        self.budget.release_unused();
+    }
+
     // ------------------------------------------------------------------
     // Machine infrastructure
     // ------------------------------------------------------------------
@@ -223,14 +355,28 @@ impl<'g> Machine<'g> {
         }));
     }
 
-    /// Records a choice point capturing the current continuation and marks.
+    /// Records a choice point capturing the current continuation and marks,
+    /// and pushes the initial decision (alternative 0) onto the choice
+    /// path.
     fn choice(&mut self, alt: Alt<'g>) {
         self.choices.push(Choice {
             cont: self.cont.clone(),
             trail_mark: self.trail.len(),
             frames_mark: self.frames.len(),
+            path_mark: self.path.len(),
             alt,
         });
+        self.path.push(0);
+    }
+
+    /// Consumes the next replay directive, if the guide still has one: the
+    /// pending choice point takes alternative `d` directly and creates no
+    /// local choice point (its siblings belong to other tasks).
+    fn next_guide(&mut self) -> Option<u32> {
+        let d = *self.guide.get(self.guide_pos)?;
+        self.guide_pos += 1;
+        self.path.push(d);
+        Some(d)
     }
 
     /// Binds a slot, recording the old value on the trail.
@@ -253,15 +399,17 @@ impl<'g> Machine<'g> {
         };
         let trail_mark = ch.trail_mark;
         let frames_mark = ch.frames_mark;
+        let path_mark = ch.path_mark;
         let cont = ch.cont.clone();
-        let (step, exhausted) = match &mut ch.alt {
+        let (step, decision, exhausted) = match &mut ch.alt {
             Alt::Branches { fi, branches, next } => {
                 let step = Step::Goal {
                     fi: *fi,
                     goal: &branches[*next],
                 };
+                let decision = *next as u32;
                 *next += 1;
-                (step, *next >= branches.len())
+                (step, decision, *next >= branches.len())
             }
             Alt::OrPat { fi, pat, value } => (
                 Step::Match {
@@ -269,6 +417,7 @@ impl<'g> Machine<'g> {
                     pat,
                     value: value.clone(),
                 },
+                1,
                 true,
             ),
         };
@@ -280,6 +429,8 @@ impl<'g> Machine<'g> {
             self.frames[fi].slots[slot as usize] = old;
         }
         self.frames.truncate(frames_mark);
+        self.path.truncate(path_mark);
+        self.path.push(decision);
         self.cont = cont;
         self.push(step);
         true
@@ -402,15 +553,23 @@ impl<'g> Machine<'g> {
                         goal: &branches[0],
                     }),
                     _ => {
-                        self.choice(Alt::Branches {
-                            fi,
-                            branches,
-                            next: 1,
-                        });
-                        self.push(Step::Goal {
-                            fi,
-                            goal: &branches[0],
-                        });
+                        if let Some(d) = self.next_guide() {
+                            debug_assert!((d as usize) < branches.len(), "bad replay guide");
+                            self.push(Step::Goal {
+                                fi,
+                                goal: &branches[d as usize],
+                            });
+                        } else {
+                            self.choice(Alt::Branches {
+                                fi,
+                                branches,
+                                next: 1,
+                            });
+                            self.push(Step::Goal {
+                                fi,
+                                goal: &branches[0],
+                            });
+                        }
                     }
                 }
                 Ok(())
@@ -617,12 +776,18 @@ impl<'g> Machine<'g> {
                 Ok(())
             }
             PExpr::OrPat(a, b) => {
-                self.choice(Alt::OrPat {
-                    fi,
-                    pat: b,
-                    value: value.clone(),
-                });
-                self.push(Step::Match { fi, pat: a, value });
+                if let Some(d) = self.next_guide() {
+                    debug_assert!(d < 2, "bad replay guide");
+                    let pat = if d == 0 { a } else { b };
+                    self.push(Step::Match { fi, pat, value });
+                } else {
+                    self.choice(Alt::OrPat {
+                        fi,
+                        pat: b,
+                        value: value.clone(),
+                    });
+                    self.push(Step::Match { fi, pat: a, value });
+                }
                 Ok(())
             }
             PExpr::Where(p, goal) => {

@@ -1,0 +1,121 @@
+//! `serve_latency` — round-trip latency of the `jmatch-serve` wire
+//! protocol against an in-process server over loopback.
+//!
+//! Measures the protocol floor (ping), a cached compile (the program
+//! cache hit path), a coalesced collect query, and a streamed
+//! enumeration, all through the blocking reference [`Client`]. The
+//! heavier multi-connection percentile numbers (1/8/64 clients, cold vs
+//! cached) come from the `jmatch-loadgen` binary and land in
+//! `BENCH_serve.json`; this bench is the in-tree guard that the serve
+//! stack keeps answering correctly and fast.
+//!
+//! As with the other benches, correctness gates speed:
+//! `cargo bench -p jmatch-bench --bench serve_latency -- --test` asserts
+//! that wire solutions are transcript-identical to the sequential
+//! embedding-API oracle before any timing happens — that assertion is
+//! what the CI bench-smoke matrix exercises.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jmatch_runtime::serve::json::Json;
+use jmatch_runtime::serve::proto::bindings_to_json;
+use jmatch_runtime::serve::{Client, QueryOptions, ServeConfig, Server};
+use jmatch_runtime::{Bindings, Compiler, Value};
+
+const SRC: &str = "\
+static boolean below(int n, int x) iterates(x)
+    ( x = 0 || x = 1 || x = 2 || x = 3 || x = 4 || x = 5 || x = 6 || x = 7 )
+static int add(int a, int b) { return a + b; }
+";
+
+fn bench_serve_latency(c: &mut Criterion) {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let mut client = Client::connect(server.local_addr()).expect("client connect");
+
+    let reply = client.compile(SRC, false).expect("compile");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    let key = reply
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("program key")
+        .to_owned();
+    let again = client.compile(SRC, false).expect("re-compile");
+    assert_eq!(again.get("cached"), Some(&Json::Bool(true)));
+
+    // Correctness before speed: the wire transcript must match the
+    // sequential embedding-API oracle exactly.
+    let program = Compiler::new().verify(false).compile(SRC).expect("oracle");
+    let mut known = Bindings::new();
+    known.insert("n".into(), Value::Int(8));
+    let expected: Vec<Json> = program
+        .free_method("below")
+        .expect("below")
+        .iterate(None, &known)
+        .expect("iterate")
+        .try_collect()
+        .expect("collect")
+        .iter()
+        .map(bindings_to_json)
+        .collect();
+    assert_eq!(expected.len(), 8);
+
+    let mut options = QueryOptions::new(&key, "below");
+    options.known = vec![("n".into(), Value::Int(8))];
+    let reply = client.query(&options).expect("query");
+    assert_eq!(
+        reply.get("solutions").and_then(Json::as_arr),
+        Some(&expected[..]),
+        "wire solutions diverge from the oracle"
+    );
+    let frames = client.stream(&options, 3).expect("stream");
+    let streamed: Vec<Json> = frames
+        .iter()
+        .flat_map(|f| {
+            f.get("solutions")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .to_vec()
+        })
+        .collect();
+    assert_eq!(streamed, expected, "streamed solutions diverge");
+    let reply = client
+        .call("default", &key, "add", &[Value::Int(20), Value::Int(22)])
+        .expect("call");
+    assert_eq!(reply.get("value"), Some(&Json::Int(42)));
+
+    let mut group = c.benchmark_group("serve_latency");
+    group.bench_function("ping", |b| {
+        b.iter(|| black_box(client.ping().expect("ping")))
+    });
+    group.bench_function("compile/cached", |b| {
+        b.iter(|| {
+            let reply = client.compile(SRC, false).expect("compile");
+            assert_eq!(reply.get("cached"), Some(&Json::Bool(true)));
+            black_box(reply)
+        })
+    });
+    group.bench_function("call/forward", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .call("default", &key, "add", &[Value::Int(20), Value::Int(22)])
+                    .expect("call"),
+            )
+        })
+    });
+    group.bench_function("query/collect", |b| {
+        b.iter(|| black_box(client.query(&options).expect("query")))
+    });
+    group.bench_function("stream/batch3", |b| {
+        b.iter(|| black_box(client.stream(&options, 3).expect("stream")))
+    });
+    group.finish();
+
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serve_latency);
+criterion_main!(benches);

@@ -401,6 +401,24 @@ impl Program {
         queries: &[Query<'_>],
         threads: usize,
     ) -> Vec<RtResult<Vec<Bindings>>> {
+        self.query_many_counted(queries, threads)
+            .into_iter()
+            .map(|(outcome, _steps)| outcome)
+            .collect()
+    }
+
+    /// Like [`Program::query_many`], but each result slot also reports the
+    /// solver steps the query spent (when the engine can count them — the
+    /// plan engine's stack machine; `None` on the tree-walker).
+    ///
+    /// This is the accounting shape a multi-tenant server needs: run a
+    /// coalesced batch on one pool, then settle each request's step grant
+    /// against what the enumeration actually used.
+    pub fn query_many_counted(
+        &self,
+        queries: &[Query<'_>],
+        threads: usize,
+    ) -> Vec<(RtResult<Vec<Bindings>>, Option<u64>)> {
         let n = queries.len();
         if n == 0 {
             return Vec::new();
@@ -414,11 +432,11 @@ impl Program {
         }
         .min(n);
         if threads <= 1 {
-            return queries.iter().map(Query::try_collect).collect();
+            return queries.iter().map(Query::try_collect_counted).collect();
         }
+        type CountedOutcome = (RtResult<Vec<Bindings>>, Option<u64>);
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RtResult<Vec<Bindings>>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<CountedOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -426,7 +444,7 @@ impl Program {
                     if i >= n {
                         break;
                     }
-                    let outcome = queries[i].try_collect();
+                    let outcome = queries[i].try_collect_counted();
                     *slots[i].lock().expect("query_many slot poisoned") = Some(outcome);
                 });
             }
@@ -588,6 +606,30 @@ impl MethodRef {
                 receiver.cloned(),
                 args,
             ),
+        }
+    }
+
+    /// Like [`MethodRef::call_with`], but also reports the solver steps
+    /// the call spent, when the engine can count them (the plan engine;
+    /// `None` on the tree-walker) — the accounting shape a metered server
+    /// needs to settle a step grant after a forward call.
+    pub fn call_counted(
+        &self,
+        receiver: Option<&Value>,
+        args: Vec<Value>,
+        limits: Limits,
+    ) -> (RtResult<Value>, Option<u64>) {
+        match self.program.engine {
+            Engine::Plan => {
+                let mut budget = Budget::new(limits.max_depth, limits.max_steps);
+                let outcome = Ev::new(&self.program.plan, &mut budget).run_forward(
+                    self.pid,
+                    receiver.cloned(),
+                    args,
+                );
+                (outcome, Some(budget.steps))
+            }
+            _ => (self.call_with(receiver, args, limits), None),
         }
     }
 
@@ -837,6 +879,27 @@ impl Query<'_> {
         match solutions.take_error() {
             Some(e) => Err(e),
             None => Ok(all),
+        }
+    }
+
+    /// Like [`Query::try_collect`], but also reports the solver steps the
+    /// enumeration spent, when the engine can count them (the plan
+    /// engine's stack machine; `None` on the tree-walker adapter).
+    pub fn try_collect_counted(&self) -> (RtResult<Vec<Bindings>>, Option<u64>) {
+        if !matches!(self.program.engine, Engine::Plan) {
+            let mut all = Vec::new();
+            let outcome = self.tree_run_inline(&mut |b| {
+                all.push(b);
+                true
+            });
+            return (outcome.map(|()| all), None);
+        }
+        let mut solutions = self.solutions();
+        let all: Vec<Bindings> = solutions.by_ref().collect();
+        let steps = solutions.steps();
+        match solutions.take_error() {
+            Some(e) => (Err(e), steps),
+            None => (Ok(all), steps),
         }
     }
 

@@ -1,0 +1,119 @@
+//! `jmatch-serve` — the multi-tenant JMatch query server.
+//!
+//! Binds a TCP listener, serves the length-prefixed JSON protocol of
+//! `PROTOCOL.md`, and runs until interrupted (or until a `shutdown` frame
+//! arrives, when `--allow-remote-shutdown` is set — the CI harness uses
+//! that for clean teardown). All configuration is flags; see `--help`.
+
+use jmatch_runtime::serve::{QuotaConfig, ServeConfig, Server};
+use jmatch_runtime::Limits;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+jmatch-serve — multi-tenant JMatch query server
+
+USAGE:
+    jmatch-serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT          listen address        [default: 127.0.0.1:7733]
+    --workers N               query worker threads  [default: 4]
+    --inner-threads N         threads per coalesced query batch [default: 2]
+    --batch-max N             max queries coalesced per batch   [default: 16]
+    --queue-depth N           per-tenant admission queue bound  [default: 64]
+    --cache-capacity N        max cached programs (LRU)         [default: 64]
+    --max-frame BYTES         frame payload cap                 [default: 1048576]
+    --max-steps N             per-request step ceiling          [default: 1000000]
+    --steps-per-window N      per-tenant step pool per window   [default: 10000000]
+    --window-ms MS            quota window length               [default: 1000]
+    --allow-remote-shutdown   honor `shutdown` frames (CI harnesses)
+    --help                    print this help
+";
+
+fn parse_flags() -> Result<ServeConfig, String> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7733".into(),
+        ..ServeConfig::default()
+    };
+    let mut quota = QuotaConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs a value\n\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => config.workers = parse(&value("--workers")?)?,
+            "--inner-threads" => config.inner_threads = parse(&value("--inner-threads")?)?,
+            "--batch-max" => config.batch_max = parse(&value("--batch-max")?)?,
+            "--queue-depth" => config.queue_depth = parse(&value("--queue-depth")?)?,
+            "--cache-capacity" => config.cache_capacity = parse(&value("--cache-capacity")?)?,
+            "--max-frame" => config.max_frame = parse(&value("--max-frame")?)?,
+            "--max-steps" => {
+                quota.limits = Limits {
+                    max_steps: parse(&value("--max-steps")?)?,
+                    ..quota.limits
+                };
+            }
+            "--steps-per-window" => {
+                quota.steps_per_window = parse(&value("--steps-per-window")?)?;
+            }
+            "--window-ms" => {
+                quota.window = Duration::from_millis(parse(&value("--window-ms")?)?);
+            }
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    config.quota = quota;
+    Ok(config)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("could not parse `{s}`\n\n{USAGE}"))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_flags() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("jmatch-serve: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("jmatch-serve: could not bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("jmatch-serve listening on {}", server.local_addr());
+    server.wait_for_shutdown();
+    let metrics = server.metrics();
+    eprintln!(
+        "jmatch-serve: shutting down — {} connections, {} frames, \
+         {} calls, {} queries, {} streams, cache {}h/{}m/{}e, \
+         {} capacity rejections, {} quota rejections, {} cancelled",
+        metrics.connections,
+        metrics.frames,
+        metrics.calls,
+        metrics.queries,
+        metrics.streams,
+        metrics.cache.hits,
+        metrics.cache.misses,
+        metrics.cache.evictions,
+        metrics.rejected_capacity,
+        metrics.rejected_quota,
+        metrics.cancelled,
+    );
+    server.shutdown();
+    ExitCode::SUCCESS
+}

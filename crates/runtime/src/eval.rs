@@ -154,7 +154,7 @@ impl SharedBudget {
 
     /// Takes up to `want` steps from the pool; returns how many were
     /// actually granted (0 when the pool is empty).
-    fn take(&self, want: u64) -> u64 {
+    pub(crate) fn take(&self, want: u64) -> u64 {
         use std::sync::atomic::Ordering;
         self.remaining
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
@@ -169,11 +169,29 @@ impl SharedBudget {
     }
 
     /// Returns unspent steps to the pool.
-    fn give(&self, n: u64) {
+    pub(crate) fn give(&self, n: u64) {
         if n > 0 {
             self.remaining
                 .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
         }
+    }
+
+    /// Steps currently left in the pool (racy snapshot; exact only when no
+    /// worker is drawing concurrently).
+    pub(crate) fn remaining(&self) -> u64 {
+        self.remaining.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The ceiling the pool was created with.
+    pub(crate) fn ceiling(&self) -> u64 {
+        self.ceiling
+    }
+
+    /// Resets the pool back to its full ceiling (the serve layer's
+    /// per-tenant quota window refill).
+    pub(crate) fn refill_to_ceiling(&self) {
+        self.remaining
+            .store(self.ceiling, std::sync::atomic::Ordering::Relaxed);
     }
 }
 

@@ -74,6 +74,15 @@
 //! atomic step pool makes [`Limits::max_steps`] bound the combined work
 //! of the pool, and [`Program::query_many`] /
 //! [`MethodRef::iterate_many`] batch many queries over one pool.
+//!
+//! ## Serving
+//!
+//! The [`serve`] module turns the embedding API into a multi-tenant TCP
+//! query service: a bounded single-flight program cache (compile once,
+//! serve forever), per-tenant step quotas with reserve/settle grant
+//! accounting, bounded admission with round-robin fairness, and a
+//! length-prefixed JSON wire protocol with streamed solution batches —
+//! see `PROTOCOL.md` and the `jmatch-serve` / `jmatch-loadgen` binaries.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -82,6 +91,7 @@ mod api;
 pub mod eval;
 mod machine;
 mod par;
+pub mod serve;
 pub mod tree;
 
 pub use api::{Compiler, CtorRef, Limits, MethodRef, Program, Query, Solutions};

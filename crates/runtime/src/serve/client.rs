@@ -1,0 +1,340 @@
+//! A small blocking client for the `jmatch-serve` wire protocol.
+//!
+//! This is the reference client the load generator, the serve example and
+//! the integration tests drive the server with: one frame out, one (or,
+//! for streams, many) frames back, everything surfaced as raw [`Json`]
+//! documents so callers can assert on exact wire shapes. It is
+//! deliberately thin — no connection pooling, no retries beyond
+//! [`wait_ready`] — because its job is to *exercise* the server, not to
+//! hide it.
+
+use super::json::Json;
+use super::proto::{read_frame, value_to_json, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::Value;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server's framing or JSON was unreadable.
+    Frame(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(m) => write!(f, "bad frame from server: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Truncated(io) => ClientError::Io(io),
+            other => ClientError::Frame(other.to_string()),
+        }
+    }
+}
+
+/// Result alias for client operations.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// An enumeration request, as the client-side mirror of the server's
+/// `query` / `stream` frame vocabulary.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Tenant the work is accounted to.
+    pub tenant: String,
+    /// The program cache key (`compile`'s reply).
+    pub program: String,
+    /// The method to enumerate.
+    pub method: String,
+    /// Declaring class for instance methods; `None` = free method.
+    pub class: Option<String>,
+    /// Known (input) bindings.
+    pub known: Vec<(String, Value)>,
+    /// Step-ceiling override (only ever lowers the tenant's).
+    pub max_steps: Option<u64>,
+    /// Depth-ceiling override (only ever lowers the tenant's).
+    pub max_depth: Option<usize>,
+}
+
+impl QueryOptions {
+    /// A query of `method` in `program` for the default tenant.
+    pub fn new(program: &str, method: &str) -> Self {
+        QueryOptions {
+            tenant: "default".into(),
+            program: program.to_owned(),
+            method: method.to_owned(),
+            class: None,
+            known: Vec::new(),
+            max_steps: None,
+            max_depth: None,
+        }
+    }
+
+    fn extend_doc(&self, pairs: &mut Vec<(String, Json)>) {
+        pairs.push(("tenant".into(), Json::Str(self.tenant.clone())));
+        pairs.push(("program".into(), Json::Str(self.program.clone())));
+        pairs.push(("method".into(), Json::Str(self.method.clone())));
+        if let Some(class) = &self.class {
+            pairs.push(("class".into(), Json::Str(class.clone())));
+        }
+        if !self.known.is_empty() {
+            pairs.push((
+                "known".into(),
+                Json::Obj(
+                    self.known
+                        .iter()
+                        .map(|(name, v)| (name.clone(), value_to_json(v)))
+                        .collect(),
+                ),
+            ));
+        }
+        let mut limits = Vec::new();
+        if let Some(d) = self.max_depth {
+            limits.push(("max_depth".to_owned(), Json::Int(d as i64)));
+        }
+        if let Some(s) = self.max_steps {
+            limits.push(("max_steps".to_owned(), Json::Int(s as i64)));
+        }
+        if !limits.is_empty() {
+            pairs.push(("limits".into(), Json::Obj(limits)));
+        }
+    }
+}
+
+/// One connection to a `jmatch-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: i64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// The id the next request will carry.
+    pub fn peek_id(&self) -> i64 {
+        self.next_id
+    }
+
+    fn fresh_id(&mut self) -> i64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one raw frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send(&mut self, doc: &Json) -> io::Result<()> {
+        write_frame(&mut self.stream, doc)
+    }
+
+    /// Receives one raw frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or unreadable framing.
+    pub fn recv(&mut self) -> ClientResult<Json> {
+        Ok(read_frame(&mut self.stream, self.max_frame)?)
+    }
+
+    fn request(&mut self, op: &str, extra: Vec<(String, Json)>) -> ClientResult<Json> {
+        let id = self.fresh_id();
+        let mut pairs = vec![
+            ("op".to_owned(), Json::Str(op.to_owned())),
+            ("id".to_owned(), Json::Int(id)),
+        ];
+        pairs.extend(extra);
+        self.send(&Json::Obj(pairs))?;
+        self.recv()
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors.
+    pub fn ping(&mut self) -> ClientResult<Json> {
+        self.request("ping", Vec::new())
+    }
+
+    /// Compiles (or fetches from the server's cache) a source text.
+    /// The reply carries `program` (the cache key) and `cached`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors; compile failures come back as a
+    /// well-formed error frame, not an `Err`.
+    pub fn compile(&mut self, source: &str, verify: bool) -> ClientResult<Json> {
+        self.request(
+            "compile",
+            vec![
+                ("source".to_owned(), Json::Str(source.to_owned())),
+                ("verify".to_owned(), Json::Bool(verify)),
+            ],
+        )
+    }
+
+    /// Forward-mode call of a free method.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors.
+    pub fn call(
+        &mut self,
+        tenant: &str,
+        program: &str,
+        method: &str,
+        args: &[Value],
+    ) -> ClientResult<Json> {
+        self.request(
+            "call",
+            vec![
+                ("tenant".to_owned(), Json::Str(tenant.to_owned())),
+                ("program".to_owned(), Json::Str(program.to_owned())),
+                ("method".to_owned(), Json::Str(method.to_owned())),
+                (
+                    "args".to_owned(),
+                    Json::Arr(args.iter().map(value_to_json).collect()),
+                ),
+            ],
+        )
+    }
+
+    /// Collect-mode enumeration: every solution in one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors.
+    pub fn query(&mut self, options: &QueryOptions) -> ClientResult<Json> {
+        let mut extra = Vec::new();
+        options.extend_doc(&mut extra);
+        self.request("query", extra)
+    }
+
+    /// Streamed enumeration: sends one `stream` frame and collects every
+    /// reply frame (batches plus the terminal frame) for this request id,
+    /// in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors.
+    pub fn stream(&mut self, options: &QueryOptions, batch: usize) -> ClientResult<Vec<Json>> {
+        let mut extra = vec![("batch".to_owned(), Json::Int(batch as i64))];
+        options.extend_doc(&mut extra);
+        let first = self.request("stream", extra)?;
+        let mut frames = vec![first];
+        while !is_terminal(frames.last().expect("non-empty")) {
+            frames.push(self.recv()?);
+        }
+        Ok(frames)
+    }
+
+    /// Starts a stream without reading any reply frames (for cancel /
+    /// disconnect tests). Returns the request id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn start_stream(&mut self, options: &QueryOptions, batch: usize) -> io::Result<i64> {
+        let id = self.fresh_id();
+        let mut pairs = vec![
+            ("op".to_owned(), Json::Str("stream".to_owned())),
+            ("id".to_owned(), Json::Int(id)),
+            ("batch".to_owned(), Json::Int(batch as i64)),
+        ];
+        options.extend_doc(&mut pairs);
+        self.send(&Json::Obj(pairs))?;
+        Ok(id)
+    }
+
+    /// Cancels an in-flight stream on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures (no reply is read here — the ack
+    /// interleaves with stream frames; use [`Client::recv`]).
+    pub fn cancel(&mut self, target: i64) -> io::Result<i64> {
+        let id = self.fresh_id();
+        self.send(&Json::Obj(vec![
+            ("op".to_owned(), Json::Str("cancel".to_owned())),
+            ("id".to_owned(), Json::Int(id)),
+            ("target".to_owned(), Json::Int(target)),
+        ]))?;
+        Ok(id)
+    }
+
+    /// Asks the server to shut down (honored only when the server enables
+    /// remote shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors.
+    pub fn shutdown_server(&mut self) -> ClientResult<Json> {
+        self.request("shutdown", Vec::new())
+    }
+}
+
+/// Whether a reply frame ends its request (an error frame or `done:true`).
+pub fn is_terminal(frame: &Json) -> bool {
+    frame.get("ok").and_then(Json::as_bool) == Some(false)
+        || frame.get("done").and_then(Json::as_bool) == Some(true)
+}
+
+/// Polls `addr` with ping until the server answers (CI boot handshake).
+///
+/// # Errors
+///
+/// Returns the last failure when `timeout` elapses without a pong.
+pub fn wait_ready(addr: SocketAddr, timeout: Duration) -> ClientResult<()> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let last = match Client::connect(addr) {
+            Ok(mut client) => match client.ping() {
+                Ok(frame) if frame.get("pong").and_then(Json::as_bool) == Some(true) => {
+                    return Ok(());
+                }
+                Ok(frame) => ClientError::Frame(format!("unexpected pong reply: {frame}")),
+                Err(e) => e,
+            },
+            Err(e) => ClientError::Io(e),
+        };
+        if Instant::now() >= deadline {
+            return Err(last);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,295 @@
+//! Per-tenant work quotas.
+//!
+//! Every tenant id maps to a [`Limits`] profile plus a windowed step pool
+//! backed by the same atomic [`SharedBudget`](crate::eval) the OR-parallel
+//! workers meter themselves with: admission **reserves** a request's whole
+//! step ceiling from the tenant's pool up front, execution runs under that
+//! grant, and settlement returns whatever the enumeration did not use —
+//! including when a client disconnects mid-stream, so an abandoned query
+//! cannot strand its tenant's budget. Pools refill to their ceiling once
+//! per configured window.
+//!
+//! Fairness across tenants is the scheduler's job (round-robin draining in
+//! [`crate::serve::server`]); the quota layer's job is that one tenant's
+//! spend can never draw down another's pool.
+
+use crate::eval::SharedBudget;
+use crate::Limits;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A tenant's quota profile.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaConfig {
+    /// Per-request work ceilings (requests may lower, never raise them).
+    pub limits: Limits,
+    /// Solver steps the tenant may spend per window.
+    pub steps_per_window: u64,
+    /// How often the step pool refills to its ceiling.
+    pub window: Duration,
+}
+
+impl Default for QuotaConfig {
+    /// One million steps a second per tenant, default engine limits —
+    /// roomy for interactive use, finite for runaways.
+    fn default() -> Self {
+        QuotaConfig {
+            limits: Limits {
+                max_depth: Limits::default().max_depth,
+                max_steps: 1_000_000,
+            },
+            steps_per_window: 10_000_000,
+            window: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One tenant's live accounting.
+#[derive(Debug)]
+struct TenantState {
+    config: QuotaConfig,
+    pool: SharedBudget,
+    window_start: Mutex<Instant>,
+    /// Steps actually consumed over the tenant's lifetime (metrics).
+    spent: AtomicU64,
+}
+
+/// Why admission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaDenied {
+    /// Milliseconds until the tenant's pool refills.
+    pub retry_after_ms: u64,
+}
+
+/// An admitted request's step reservation. Settle it with the steps the
+/// enumeration actually spent; dropping it unsettled refunds the whole
+/// grant (the disconnect/cancel path).
+#[derive(Debug)]
+pub struct Grant {
+    state: Arc<TenantStateHandle>,
+    granted: u64,
+    settled: bool,
+}
+
+/// Newtype so [`Grant`] can hold the tenant state without exposing it.
+#[derive(Debug)]
+pub struct TenantStateHandle(TenantState);
+
+impl Grant {
+    /// The steps this grant reserved.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Returns the unused part of the reservation to the tenant pool and
+    /// records the spend. `used` is clamped to the grant.
+    pub fn settle(mut self, used: u64) {
+        let used = used.min(self.granted);
+        self.state.0.pool.give(self.granted - used);
+        self.state.0.spent.fetch_add(used, Ordering::Relaxed);
+        self.settled = true;
+    }
+}
+
+impl Drop for Grant {
+    fn drop(&mut self) {
+        if !self.settled {
+            // Never settled: the request died before (or instead of)
+            // running — hand the whole reservation back.
+            self.state.0.pool.give(self.granted);
+        }
+    }
+}
+
+/// Point-in-time view of one tenant, for metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant id.
+    pub tenant: String,
+    /// Steps left in the current window's pool.
+    pub pool_remaining: u64,
+    /// The pool's per-window ceiling.
+    pub pool_ceiling: u64,
+    /// Steps consumed over the tenant's lifetime.
+    pub spent: u64,
+}
+
+/// The tenant registry: id → quota state, created on first sight.
+#[derive(Debug)]
+pub struct TenantQuotas {
+    default_config: QuotaConfig,
+    overrides: Mutex<HashMap<String, QuotaConfig>>,
+    tenants: Mutex<HashMap<String, Arc<TenantStateHandle>>>,
+}
+
+impl TenantQuotas {
+    /// A registry handing every new tenant `default_config`.
+    pub fn new(default_config: QuotaConfig) -> Self {
+        TenantQuotas {
+            default_config,
+            overrides: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Pins a per-tenant profile (takes effect when the tenant is next
+    /// created; existing state is replaced).
+    pub fn set_tenant_config(&self, tenant: &str, config: QuotaConfig) {
+        self.overrides
+            .lock()
+            .expect("quota overrides poisoned")
+            .insert(tenant.to_owned(), config);
+        self.tenants
+            .lock()
+            .expect("quota registry poisoned")
+            .remove(tenant);
+    }
+
+    fn state(&self, tenant: &str) -> Arc<TenantStateHandle> {
+        let mut tenants = self.tenants.lock().expect("quota registry poisoned");
+        if let Some(state) = tenants.get(tenant) {
+            return Arc::clone(state);
+        }
+        let config = self
+            .overrides
+            .lock()
+            .expect("quota overrides poisoned")
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_config);
+        let state = Arc::new(TenantStateHandle(TenantState {
+            config,
+            pool: SharedBudget::new(config.steps_per_window),
+            window_start: Mutex::new(Instant::now()),
+            spent: AtomicU64::new(0),
+        }));
+        tenants.insert(tenant.to_owned(), Arc::clone(&state));
+        state
+    }
+
+    /// The tenant's per-request limits profile.
+    pub fn limits_of(&self, tenant: &str) -> Limits {
+        self.state(tenant).0.config.limits
+    }
+
+    /// Admits a request that wants to reserve `want` steps. Refills the
+    /// window first when it has elapsed; partial grants are returned
+    /// whole-or-nothing is deliberately *not* the policy — a nearly-empty
+    /// pool still admits a (smaller) grant, and the enumeration hits
+    /// `limit-exceeded` if it outruns it.
+    pub fn admit(&self, tenant: &str, want: u64) -> Result<Grant, QuotaDenied> {
+        let state = self.state(tenant);
+        let inner = &state.0;
+        {
+            let mut start = inner.window_start.lock().expect("quota window poisoned");
+            if start.elapsed() >= inner.config.window {
+                *start = Instant::now();
+                inner.pool.refill_to_ceiling();
+            }
+        }
+        let granted = inner.pool.take(want.max(1));
+        if granted == 0 {
+            let start = inner.window_start.lock().expect("quota window poisoned");
+            let elapsed = start.elapsed();
+            let retry = inner.config.window.saturating_sub(elapsed);
+            return Err(QuotaDenied {
+                retry_after_ms: (retry.as_millis() as u64).max(1),
+            });
+        }
+        Ok(Grant {
+            state,
+            granted,
+            settled: false,
+        })
+    }
+
+    /// Snapshots every tenant seen so far, sorted by id.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let tenants = self.tenants.lock().expect("quota registry poisoned");
+        let mut out: Vec<TenantSnapshot> = tenants
+            .iter()
+            .map(|(id, state)| TenantSnapshot {
+                tenant: id.clone(),
+                pool_remaining: state.0.pool.remaining(),
+                pool_ceiling: state.0.pool.ceiling(),
+                spent: state.0.spent.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(steps: u64, window_ms: u64) -> QuotaConfig {
+        QuotaConfig {
+            steps_per_window: steps,
+            window: Duration::from_millis(window_ms),
+            ..QuotaConfig::default()
+        }
+    }
+
+    #[test]
+    fn grants_reserve_and_settlement_refunds() {
+        let quotas = TenantQuotas::new(config(1_000, 60_000));
+        let grant = quotas.admit("t1", 600).unwrap();
+        assert_eq!(grant.granted(), 600);
+        assert_eq!(quotas.snapshot()[0].pool_remaining, 400);
+        grant.settle(100);
+        let snap = &quotas.snapshot()[0];
+        assert_eq!(snap.pool_remaining, 900);
+        assert_eq!(snap.spent, 100);
+    }
+
+    #[test]
+    fn dropped_grants_refund_everything() {
+        let quotas = TenantQuotas::new(config(1_000, 60_000));
+        drop(quotas.admit("t1", 750).unwrap());
+        assert_eq!(quotas.snapshot()[0].pool_remaining, 1_000);
+        assert_eq!(quotas.snapshot()[0].spent, 0);
+    }
+
+    #[test]
+    fn exhaustion_denies_with_retry_and_is_per_tenant() {
+        let quotas = TenantQuotas::new(config(100, 60_000));
+        let g = quotas.admit("hot", 100).unwrap();
+        let denied = quotas.admit("hot", 1).unwrap_err();
+        assert!(denied.retry_after_ms > 0);
+        // Another tenant's pool is untouched.
+        assert!(quotas.admit("cold", 50).is_ok());
+        g.settle(100);
+        assert_eq!(quotas.snapshot()[1].pool_remaining, 0);
+    }
+
+    #[test]
+    fn windows_refill_the_pool() {
+        let quotas = TenantQuotas::new(config(100, 30));
+        quotas.admit("t", 100).unwrap().settle(100);
+        assert!(quotas.admit("t", 1).is_err());
+        std::thread::sleep(Duration::from_millis(40));
+        let grant = quotas.admit("t", 100).unwrap();
+        assert_eq!(grant.granted(), 100);
+    }
+
+    #[test]
+    fn partial_grants_drain_the_tail_of_a_pool() {
+        let quotas = TenantQuotas::new(config(100, 60_000));
+        let g1 = quotas.admit("t", 80).unwrap();
+        let g2 = quotas.admit("t", 80).unwrap();
+        assert_eq!((g1.granted(), g2.granted()), (80, 20));
+    }
+
+    #[test]
+    fn per_tenant_overrides_apply() {
+        let quotas = TenantQuotas::new(config(1_000, 60_000));
+        quotas.set_tenant_config("small", config(10, 60_000));
+        let g = quotas.admit("small", 500).unwrap();
+        assert_eq!(g.granted(), 10);
+        assert_eq!(quotas.limits_of("small").max_steps, 1_000_000);
+    }
+}

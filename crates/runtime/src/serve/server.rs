@@ -1,0 +1,1114 @@
+//! The multi-tenant query server.
+//!
+//! ```text
+//!                    ┌───────────────────────────── Server ──────────────────────────────┐
+//! TCP clients ──────▶ accept loop ──▶ per-connection reader threads                       │
+//!                   │                   │ ping/compile: answered inline (single-flight    │
+//!                   │                   │               ProgramCache)                     │
+//!                   │                   │ call/query/stream: admission                    │
+//!                   │                   ▼                                                 │
+//!                   │            TenantQuotas (reserve step grant)                        │
+//!                   │                   ▼                                                 │
+//!                   │            Scheduler: bounded per-tenant FIFOs,                     │
+//!                   │            round-robin draining ──▶ worker threads                  │
+//!                   │                                      │ coalesce ready queries      │
+//!                   │                                      ▼                             │
+//!                   │                         Program::query_many_counted                │
+//!                   └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The shape is compile-once/serve-forever: compilation (parse + resolve +
+//! verify + lower) happens exactly once per distinct source in the
+//! [`ProgramCache`], and every query runs over the shared, immutable
+//! [`Arc<Program>`]. Admission is **bounded** end to end — a full tenant
+//! queue rejects with `over-capacity` + `retry_after_ms` instead of
+//! queueing unboundedly, and an exhausted tenant step pool rejects with
+//! `quota-exhausted` — so neither a hot tenant nor a flood of connections
+//! can grow server memory or starve other tenants (the scheduler drains
+//! tenant queues round-robin, one job per turn).
+
+use super::cache::{CacheOutcome, CacheStats, ProgramCache};
+use super::json::Json;
+use super::proto::{
+    self, drain, error_kind, read_frame, write_frame, ErrorFrame, FrameError, LimitsSpec,
+    QuerySpec, Request,
+};
+use super::quota::{Grant, QuotaConfig, TenantQuotas, TenantSnapshot};
+use crate::{Bindings, Engine, Limits, MethodRef, Program, Query, RtResult, Value};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a client should wait before retrying after an `over-capacity`
+/// rejection — long enough for a queue slot to drain, short enough that
+/// the retry loop converges quickly.
+const CAPACITY_RETRY_MS: u64 = 25;
+
+/// A collected enumeration plus the steps it spent (when countable) —
+/// the per-query shape `Program::query_many_counted` returns.
+type QueryOutcome = (RtResult<Vec<Bindings>>, Option<u64>);
+
+/// Stack size for reader and worker threads. Compilation runs inline on
+/// reader threads and query lowering on workers; both recurse over ASTs
+/// whose depth is client-controlled (e.g. a wide `||` chain), so these
+/// threads get a main-thread-sized stack instead of the spawn default.
+const SERVE_THREAD_STACK: usize = 8 << 20;
+
+/// Everything the server's behavior is parameterized on.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` = ephemeral loopback port).
+    pub addr: String,
+    /// Query worker threads draining the admission queue. `0` is a
+    /// test-only mode: jobs are admitted and queued but never drained.
+    pub workers: usize,
+    /// Threads each coalesced [`Program::query_many`] batch fans out to.
+    pub inner_threads: usize,
+    /// Most queries one worker coalesces into a single batch.
+    pub batch_max: usize,
+    /// Bound on each tenant's admission queue; the (workers × batch)
+    /// in-flight work rides on top of this.
+    pub queue_depth: usize,
+    /// Most compiled programs the cache keeps (LRU beyond that).
+    pub cache_capacity: usize,
+    /// Cap on a single frame's payload bytes.
+    pub max_frame: usize,
+    /// The engine cached programs run on.
+    pub engine: Engine,
+    /// The quota profile handed to tenants without an override.
+    pub quota: QuotaConfig,
+    /// Per-tenant quota overrides, applied at startup.
+    pub tenant_overrides: Vec<(String, QuotaConfig)>,
+    /// Whether a `shutdown` frame may stop the server (CI harnesses; keep
+    /// off for real deployments).
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            inner_threads: 2,
+            batch_max: 16,
+            queue_depth: 64,
+            cache_capacity: 64,
+            max_frame: proto::DEFAULT_MAX_FRAME,
+            engine: Engine::Plan,
+            quota: QuotaConfig::default(),
+            tenant_overrides: Vec::new(),
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs and the scheduler
+// ---------------------------------------------------------------------------
+
+enum JobKind {
+    Call { method: String, args: Vec<Value> },
+    Query { spec: QuerySpec },
+    Stream { spec: QuerySpec, batch: usize },
+}
+
+struct Job {
+    id: i64,
+    tenant: String,
+    conn: Arc<ConnShared>,
+    program: Arc<Program>,
+    limits: Limits,
+    grant: Grant,
+    cancel: Arc<AtomicBool>,
+    kind: JobKind,
+}
+
+#[derive(Default)]
+struct SchedState {
+    queues: HashMap<String, VecDeque<Job>>,
+    /// Round-robin order over tenants with live queues.
+    order: Vec<String>,
+    cursor: usize,
+    queued: usize,
+}
+
+impl SchedState {
+    /// Enqueues under the tenant's bound; a full queue hands the job back.
+    fn push(&mut self, job: Job, depth: usize) -> Option<Job> {
+        let queue = self.queues.entry(job.tenant.clone()).or_default();
+        if queue.len() >= depth {
+            return Some(job);
+        }
+        if queue.is_empty() && !self.order.contains(&job.tenant) {
+            self.order.push(job.tenant.clone());
+        }
+        queue.push_back(job);
+        self.queued += 1;
+        None
+    }
+
+    /// Pops the next job **round-robin across tenants**: each turn serves
+    /// the next tenant in rotation that has queued work, so a tenant
+    /// keeping its queue full cannot starve the others.
+    fn pop(&mut self) -> Option<Job> {
+        if self.order.is_empty() {
+            return None;
+        }
+        for _ in 0..self.order.len() {
+            if self.cursor >= self.order.len() {
+                self.cursor = 0;
+            }
+            let tenant = self.order[self.cursor].clone();
+            if let Some(queue) = self.queues.get_mut(&tenant) {
+                if let Some(job) = queue.pop_front() {
+                    self.queued -= 1;
+                    if queue.is_empty() {
+                        self.queues.remove(&tenant);
+                        self.order.remove(self.cursor);
+                        // cursor now points at the next tenant already.
+                    } else {
+                        self.cursor += 1;
+                    }
+                    return Some(job);
+                }
+            }
+            self.order.remove(self.cursor);
+        }
+        None
+    }
+
+    /// Pops another *collect-type query* job for batching, continuing the
+    /// same round-robin rotation (fairness extends into the batch).
+    fn pop_query(&mut self) -> Option<Job> {
+        let before = self.queued;
+        if before == 0 {
+            return None;
+        }
+        // Only take a job when the head of some tenant's rotation turn is
+        // a collect query; peeking without popping keeps this simple:
+        // scan tenants in rotation order for a query at the front.
+        for _ in 0..self.order.len() {
+            if self.cursor >= self.order.len() {
+                self.cursor = 0;
+            }
+            let tenant = self.order[self.cursor].clone();
+            let is_query = self
+                .queues
+                .get(&tenant)
+                .and_then(|q| q.front())
+                .is_some_and(|j| matches!(j.kind, JobKind::Query { .. }));
+            if is_query {
+                return self.pop();
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+}
+
+struct Sched {
+    state: Mutex<SchedState>,
+    ready: Condvar,
+}
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+/// The half of a connection shared between its reader thread and the
+/// workers writing responses: a mutex-serialized writer over a cloned
+/// socket handle, the open flag, and the in-flight cancel tokens.
+struct ConnShared {
+    writer: Mutex<TcpStream>,
+    open: AtomicBool,
+    cancels: Mutex<HashMap<i64, Arc<AtomicBool>>>,
+}
+
+impl ConnShared {
+    /// Writes one frame; `false` means the connection is gone (and every
+    /// in-flight request on it has been cancelled).
+    fn send(&self, doc: &Json) -> bool {
+        if !self.open.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut writer = self.writer.lock().expect("connection writer poisoned");
+        match write_frame(&mut *writer, doc) {
+            Ok(()) => true,
+            Err(_) => {
+                drop(writer);
+                self.close();
+                false
+            }
+        }
+    }
+
+    /// Marks the connection dead, cancels everything in flight on it, and
+    /// shuts the socket down (which also unblocks a reader parked in
+    /// `read`).
+    fn close(&self) {
+        if self.open.swap(false, Ordering::AcqRel) {
+            for token in self
+                .cancels
+                .lock()
+                .expect("cancel registry poisoned")
+                .values()
+            {
+                token.store(true, Ordering::Release);
+            }
+            let writer = self.writer.lock().expect("connection writer poisoned");
+            let _ = writer.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn register_cancel(&self, id: i64) -> Arc<AtomicBool> {
+        let token = Arc::new(AtomicBool::new(false));
+        self.cancels
+            .lock()
+            .expect("cancel registry poisoned")
+            .insert(id, Arc::clone(&token));
+        token
+    }
+
+    fn forget_cancel(&self, id: i64) {
+        self.cancels
+            .lock()
+            .expect("cancel registry poisoned")
+            .remove(&id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    protocol_errors: AtomicU64,
+    calls: AtomicU64,
+    queries: AtomicU64,
+    streams: AtomicU64,
+    rejected_capacity: AtomicU64,
+    rejected_quota: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+/// A point-in-time view of the server's counters, cache and tenants.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Frames successfully read.
+    pub frames: u64,
+    /// Frames rejected as protocol violations.
+    pub protocol_errors: u64,
+    /// Forward calls executed.
+    pub calls: u64,
+    /// Collect queries executed.
+    pub queries: u64,
+    /// Streams started.
+    pub streams: u64,
+    /// Admissions rejected for a full queue.
+    pub rejected_capacity: u64,
+    /// Admissions rejected for an exhausted tenant pool.
+    pub rejected_quota: u64,
+    /// Streams that ended by cancellation (explicit or disconnect).
+    pub cancelled: u64,
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub queued: usize,
+    /// Program-cache counters.
+    pub cache: CacheStats,
+    /// Per-tenant pool accounting.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    config: ServeConfig,
+    cache: ProgramCache,
+    quotas: TenantQuotas,
+    sched: Sched,
+    shutdown: AtomicBool,
+    counters: Counters,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    next_conn: AtomicU64,
+}
+
+struct ConnEntry {
+    shared: Arc<ConnShared>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// A running `jmatch-serve` instance. Dropping (or [`Server::shutdown`])
+/// stops accepting, closes every connection, and joins every thread the
+/// server spawned — the no-leaked-threads guarantee `tests/serve.rs` pins.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and the worker pool, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let quotas = TenantQuotas::new(config.quota);
+        for (tenant, quota) in &config.tenant_overrides {
+            quotas.set_tenant_config(tenant, *quota);
+        }
+        let shared = Arc::new(Shared {
+            cache: ProgramCache::new(config.cache_capacity, config.engine),
+            quotas,
+            sched: Sched {
+                state: Mutex::new(SchedState::default()),
+                ready: Condvar::new(),
+            },
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("jmatch-serve-worker-{i}"))
+                    .stack_size(SERVE_THREAD_STACK)
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("jmatch-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolve the ephemeral port here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time metrics.
+    pub fn metrics(&self) -> Metrics {
+        let c = &self.shared.counters;
+        Metrics {
+            connections: c.connections.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            calls: c.calls.load(Ordering::Relaxed),
+            queries: c.queries.load(Ordering::Relaxed),
+            streams: c.streams.load(Ordering::Relaxed),
+            rejected_capacity: c.rejected_capacity.load(Ordering::Relaxed),
+            rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            queued: self
+                .shared
+                .sched
+                .state
+                .lock()
+                .expect("scheduler poisoned")
+                .queued,
+            cache: self.shared.cache.stats(),
+            tenants: self.shared.quotas.snapshot(),
+        }
+    }
+
+    /// The tenant quota registry (pin per-tenant profiles at runtime).
+    pub fn quotas(&self) -> &TenantQuotas {
+        &self.shared.quotas
+    }
+
+    /// Whether a `shutdown` frame (or a prior [`Server::shutdown`]) has
+    /// stopped the server.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until something requests shutdown (a `shutdown` frame with
+    /// remote shutdown enabled, or another thread calling
+    /// [`Server::shutdown`] via a clone — the bin's main-thread wait).
+    pub fn wait_for_shutdown(&self) {
+        while !self.is_shut_down() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Stops accepting, closes every connection, joins every thread.
+    /// Queued-but-unstarted jobs refund their tenant step grants.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.sched.ready.notify_all();
+        // Closing the sockets unblocks readers parked in `read`.
+        let entries: Vec<ConnEntry> = {
+            let mut conns = self.shared.conns.lock().expect("connection table poisoned");
+            conns.drain().map(|(_, e)| e).collect()
+        };
+        for entry in &entries {
+            entry.shared.close();
+        }
+        for mut entry in entries {
+            if let Some(handle) = entry.reader.take() {
+                let _ = handle.join();
+            }
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Drop whatever never ran; each Job's Grant refunds on drop.
+        self.shared
+            .sched
+            .state
+            .lock()
+            .expect("scheduler poisoned")
+            .queues
+            .clear();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop and connection readers
+// ---------------------------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                // Responses are single small frames; waiting for ACKs
+                // (Nagle) would serialize the whole protocol at ~40ms RTT.
+                let _ = stream.set_nodelay(true);
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                let conn = Arc::new(ConnShared {
+                    writer: Mutex::new(write_half),
+                    open: AtomicBool::new(true),
+                    cancels: Mutex::new(HashMap::new()),
+                });
+                let reader = {
+                    let shared = Arc::clone(shared);
+                    let conn = Arc::clone(&conn);
+                    std::thread::Builder::new()
+                        .name(format!("jmatch-serve-conn-{conn_id}"))
+                        .stack_size(SERVE_THREAD_STACK)
+                        .spawn(move || {
+                            reader_loop(stream, &conn, &shared);
+                            conn.close();
+                            // Detach ourselves from the table (drop of our
+                            // own JoinHandle just detaches).
+                            shared
+                                .conns
+                                .lock()
+                                .expect("connection table poisoned")
+                                .remove(&conn_id);
+                        })
+                };
+                let Ok(reader) = reader else {
+                    conn.close();
+                    continue;
+                };
+                let mut conns = shared.conns.lock().expect("connection table poisoned");
+                if conn.open.load(Ordering::Acquire) {
+                    conns.insert(
+                        conn_id,
+                        ConnEntry {
+                            shared: conn,
+                            reader: Some(reader),
+                        },
+                    );
+                } else {
+                    // The reader already finished and removed itself; join
+                    // it here so nothing dangles.
+                    drop(conns);
+                    let _ = reader.join();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) || !conn.open.load(Ordering::Acquire) {
+            return;
+        }
+        match read_frame(&mut stream, shared.config.max_frame) {
+            Ok(doc) => {
+                shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+                handle_frame(&doc, conn, shared);
+            }
+            Err(FrameError::Eof) => return,
+            Err(FrameError::Truncated(_)) => return,
+            Err(FrameError::TooLarge { declared }) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let frame = ErrorFrame::new(
+                    error_kind::FRAME_TOO_LARGE,
+                    format!(
+                        "declared frame length {declared} exceeds the {}-byte cap",
+                        shared.config.max_frame
+                    ),
+                )
+                .with("max_frame", Json::Int(shared.config.max_frame as i64))
+                .into_frame(None);
+                conn.send(&frame);
+                // Keep the connection when the payload is drainable;
+                // beyond the skip cap the framing is hostile.
+                if declared <= proto::skip_cap(shared.config.max_frame) {
+                    if drain(&mut stream, declared).is_err() {
+                        return;
+                    }
+                } else {
+                    return;
+                }
+            }
+            Err(FrameError::Malformed(message)) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let frame = ErrorFrame::new(error_kind::PROTOCOL, message).into_frame(None);
+                if !conn.send(&frame) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
+    let request = match Request::parse(doc) {
+        Ok(request) => request,
+        Err((id, message)) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            conn.send(&ErrorFrame::new(error_kind::PROTOCOL, message).into_frame(id));
+            return;
+        }
+    };
+    match request {
+        Request::Ping { id } => {
+            conn.send(&proto::resp_pong(id));
+        }
+        Request::Shutdown { id } => {
+            if shared.config.allow_remote_shutdown {
+                conn.send(&proto::resp_ack(id));
+                shared.shutdown.store(true, Ordering::Release);
+                shared.sched.ready.notify_all();
+            } else {
+                conn.send(
+                    &ErrorFrame::new(
+                        error_kind::PROTOCOL,
+                        "remote shutdown is not enabled on this server",
+                    )
+                    .into_frame(Some(id)),
+                );
+            }
+        }
+        Request::Compile {
+            id,
+            tenant: _,
+            source,
+            verify,
+        } => match shared.cache.get_or_compile(&source, verify) {
+            CacheOutcome::Ready {
+                program,
+                key,
+                cached,
+            } => {
+                let warnings: Vec<String> =
+                    program.warnings().iter().map(|w| w.to_string()).collect();
+                conn.send(&proto::resp_compiled(id, &key, cached, &warnings));
+            }
+            CacheOutcome::Failed(errors) => {
+                conn.send(&proto::resp_compile_failed(id, &errors));
+            }
+        },
+        Request::Cancel { id, target } => {
+            if let Some(token) = conn
+                .cancels
+                .lock()
+                .expect("cancel registry poisoned")
+                .get(&target)
+            {
+                token.store(true, Ordering::Release);
+            }
+            conn.send(&proto::resp_ack(id));
+        }
+        Request::Call {
+            id,
+            tenant,
+            program,
+            method,
+            args,
+            limits,
+        } => admit(
+            shared,
+            conn,
+            id,
+            tenant,
+            &program,
+            limits,
+            JobKind::Call { method, args },
+        ),
+        Request::Query { id, tenant, spec } => {
+            let program = spec.program.clone();
+            let limits = spec.limits;
+            admit(
+                shared,
+                conn,
+                id,
+                tenant,
+                &program,
+                limits,
+                JobKind::Query { spec },
+            )
+        }
+        Request::Stream {
+            id,
+            tenant,
+            spec,
+            batch,
+        } => {
+            let program = spec.program.clone();
+            let limits = spec.limits;
+            admit(
+                shared,
+                conn,
+                id,
+                tenant,
+                &program,
+                limits,
+                JobKind::Stream { spec, batch },
+            )
+        }
+    }
+}
+
+/// The admission path every unit of query work goes through: resolve the
+/// cached program, clamp limits to the tenant profile, reserve the step
+/// grant, and enqueue under the tenant's queue bound.
+fn admit(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    id: i64,
+    tenant: String,
+    program_key: &str,
+    limits: LimitsSpec,
+    kind: JobKind,
+) {
+    let Some(program) = shared.cache.lookup(program_key) else {
+        conn.send(
+            &ErrorFrame::new(
+                error_kind::UNKNOWN_PROGRAM,
+                format!("program `{program_key}` is not resident; re-compile and retry"),
+            )
+            .with("program", Json::Str(program_key.to_owned()))
+            .into_frame(Some(id)),
+        );
+        return;
+    };
+    let effective = limits.clamp(shared.quotas.limits_of(&tenant));
+    let grant = match shared.quotas.admit(&tenant, effective.max_steps) {
+        Ok(grant) => grant,
+        Err(denied) => {
+            shared
+                .counters
+                .rejected_quota
+                .fetch_add(1, Ordering::Relaxed);
+            conn.send(
+                &ErrorFrame::new(
+                    error_kind::QUOTA_EXHAUSTED,
+                    format!("tenant `{tenant}` has exhausted its step pool for this window"),
+                )
+                .retry_after(denied.retry_after_ms)
+                .into_frame(Some(id)),
+            );
+            return;
+        }
+    };
+    let job = Job {
+        id,
+        tenant,
+        conn: Arc::clone(conn),
+        program,
+        limits: Limits {
+            max_depth: effective.max_depth,
+            // The grant may be smaller than asked when the pool is nearly
+            // dry; the enumeration then trips `limit-exceeded` honestly.
+            max_steps: grant.granted(),
+        },
+        grant,
+        cancel: conn.register_cancel(id),
+        kind,
+    };
+    let mut state = shared.sched.state.lock().expect("scheduler poisoned");
+    match state.push(job, shared.config.queue_depth) {
+        None => {
+            drop(state);
+            shared.sched.ready.notify_one();
+        }
+        Some(job) => {
+            drop(state);
+            shared
+                .counters
+                .rejected_capacity
+                .fetch_add(1, Ordering::Relaxed);
+            job.conn.forget_cancel(job.id);
+            let frame = ErrorFrame::new(
+                error_kind::OVER_CAPACITY,
+                format!(
+                    "tenant `{}` has {} requests queued; retry shortly",
+                    job.tenant, shared.config.queue_depth
+                ),
+            )
+            .retry_after(CAPACITY_RETRY_MS)
+            .into_frame(Some(job.id));
+            job.conn.send(&frame);
+            // Dropping the job refunds its grant.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut state = shared.sched.state.lock().expect("scheduler poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = state.pop() {
+                    break job;
+                }
+                state = shared.sched.ready.wait(state).expect("scheduler poisoned");
+            }
+        };
+        match job.kind {
+            JobKind::Call { .. } => run_call(shared, job),
+            JobKind::Stream { .. } => run_stream(shared, job),
+            JobKind::Query { .. } => {
+                // Coalesce whatever collect queries are ready *right now*
+                // into one batch on the shared pool (no waiting: batching
+                // must never add latency to a lone query).
+                let mut batch = vec![job];
+                if shared.config.batch_max > 1 {
+                    let mut state = shared.sched.state.lock().expect("scheduler poisoned");
+                    while batch.len() < shared.config.batch_max {
+                        match state.pop_query() {
+                            Some(next) => batch.push(next),
+                            None => break,
+                        }
+                    }
+                }
+                run_query_batch(shared, batch);
+            }
+        }
+    }
+}
+
+/// Resolves the method a spec names, plus the receiver it runs on (a bare
+/// instance for class methods — the serve surface's documented receiver
+/// model).
+fn resolve_target(program: &Program, spec: &QuerySpec) -> RtResult<(MethodRef, Option<Value>)> {
+    match &spec.class {
+        Some(class) => Ok((
+            program.method(class, &spec.method)?,
+            Some(program.instance(class)?),
+        )),
+        None => Ok((program.free_method(&spec.method)?, None)),
+    }
+}
+
+fn known_bindings(spec: &QuerySpec) -> Bindings {
+    spec.known.iter().cloned().collect()
+}
+
+fn run_call(shared: &Arc<Shared>, job: Job) {
+    let Job {
+        id,
+        conn,
+        program,
+        limits,
+        grant,
+        cancel,
+        kind,
+        ..
+    } = job;
+    let JobKind::Call { method, args } = kind else {
+        unreachable!("run_call on a non-call job");
+    };
+    conn.forget_cancel(id);
+    if cancel.load(Ordering::Acquire) {
+        drop(grant);
+        return;
+    }
+    shared.counters.calls.fetch_add(1, Ordering::Relaxed);
+    match program.free_method(&method) {
+        Err(e) => {
+            drop(grant);
+            conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id)));
+        }
+        Ok(mref) => {
+            let (outcome, steps) = mref.call_counted(None, args, limits);
+            grant.settle(steps.unwrap_or(0));
+            match outcome {
+                Ok(value) => conn.send(&proto::resp_value(id, &value)),
+                Err(e) => conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id))),
+            };
+        }
+    }
+}
+
+/// Runs a coalesced batch of collect queries as one
+/// [`Program::query_many_counted`] call over the configured inner pool.
+fn run_query_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    shared
+        .counters
+        .queries
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    // Build every query target first; jobs whose resolution fails answer
+    // immediately and drop out of the batch.
+    struct Ready {
+        id: i64,
+        conn: Arc<ConnShared>,
+        grant: Grant,
+        program: Arc<Program>,
+        mref: MethodRef,
+        receiver: Option<Value>,
+        known: Bindings,
+        limits: Limits,
+    }
+    let mut ready: Vec<Ready> = Vec::with_capacity(batch.len());
+    for job in batch {
+        let Job {
+            id,
+            conn,
+            program,
+            limits,
+            grant,
+            cancel,
+            kind,
+            ..
+        } = job;
+        let JobKind::Query { spec } = kind else {
+            unreachable!("non-query job in a query batch");
+        };
+        conn.forget_cancel(id);
+        if cancel.load(Ordering::Acquire) {
+            drop(grant);
+            continue;
+        }
+        match resolve_target(&program, &spec) {
+            Err(e) => {
+                drop(grant);
+                conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id)));
+            }
+            Ok((mref, receiver)) => ready.push(Ready {
+                id,
+                conn,
+                grant,
+                program,
+                mref,
+                receiver,
+                known: known_bindings(&spec),
+                limits,
+            }),
+        }
+    }
+    if ready.is_empty() {
+        return;
+    }
+    // One result slot per ready job, filled either by a build failure or
+    // by the batch run.
+    let mut results: Vec<Option<QueryOutcome>> = (0..ready.len()).map(|_| None).collect();
+    {
+        let mut queries: Vec<Query<'_>> = Vec::with_capacity(ready.len());
+        let mut slots: Vec<usize> = Vec::with_capacity(ready.len());
+        for (i, r) in ready.iter().enumerate() {
+            match r.mref.iterate(r.receiver.as_ref(), &r.known) {
+                Ok(q) => {
+                    queries.push(q.limits(r.limits));
+                    slots.push(i);
+                }
+                // A build failure (e.g. mode mismatch) did no solver work.
+                Err(e) => results[i] = Some((Err(e), Some(0))),
+            }
+        }
+        // One scoped pool for the whole coalesced batch — each query
+        // carries its own program reference, so N tenants' queries over
+        // different programs ride the same workers.
+        let host = Arc::clone(&ready[0].program);
+        let outcomes = host.query_many_counted(&queries, shared.config.inner_threads);
+        for (i, outcome) in slots.into_iter().zip(outcomes) {
+            results[i] = Some(outcome);
+        }
+    }
+    for (r, result) in ready.into_iter().zip(results) {
+        let (outcome, steps) = result.expect("every ready slot is filled");
+        // steps=None (tree engine) settles the whole grant: unmeterable
+        // work is charged at its ceiling, never given away free.
+        r.grant.settle(steps.unwrap_or(r.limits.max_steps));
+        match outcome {
+            Ok(solutions) => {
+                r.conn.send(&proto::resp_solutions(r.id, &solutions, steps));
+            }
+            Err(e) => {
+                r.conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(r.id)));
+            }
+        }
+    }
+}
+
+fn run_stream(shared: &Arc<Shared>, job: Job) {
+    let Job {
+        id,
+        conn,
+        program,
+        limits,
+        grant,
+        cancel,
+        kind,
+        ..
+    } = job;
+    let JobKind::Stream { spec, batch } = kind else {
+        unreachable!("run_stream on a non-stream job");
+    };
+    shared.counters.streams.fetch_add(1, Ordering::Relaxed);
+    if cancel.load(Ordering::Acquire) {
+        conn.forget_cancel(id);
+        drop(grant);
+        return;
+    }
+    let (mref, receiver) = match resolve_target(&program, &spec) {
+        Ok(pair) => pair,
+        Err(e) => {
+            conn.forget_cancel(id);
+            drop(grant);
+            conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id)));
+            return;
+        }
+    };
+    let known = known_bindings(&spec);
+    let query = match mref.iterate(receiver.as_ref(), &known) {
+        Ok(q) => q.limits(limits),
+        Err(e) => {
+            conn.forget_cancel(id);
+            drop(grant);
+            conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id)));
+            return;
+        }
+    };
+    let mut solutions = query.solutions();
+    let mut count: u64 = 0;
+    let mut seq: u64 = 0;
+    let mut cancelled = false;
+    let mut pending: Vec<Bindings> = Vec::with_capacity(batch);
+    loop {
+        if cancel.load(Ordering::Acquire) || !conn.open.load(Ordering::Acquire) {
+            cancelled = true;
+            break;
+        }
+        match solutions.next() {
+            Some(b) => {
+                pending.push(b);
+                count += 1;
+                if pending.len() >= batch {
+                    if !conn.send(&proto::resp_batch(id, seq, &pending)) {
+                        cancelled = true;
+                        break;
+                    }
+                    seq += 1;
+                    pending.clear();
+                }
+            }
+            None => break,
+        }
+    }
+    let steps = solutions.steps();
+    let error = solutions.take_error();
+    drop(solutions);
+    // Whatever the stream actually consumed is charged; the rest of the
+    // reservation goes back to the tenant pool — including on disconnect,
+    // which is the "return the unused SharedBudget grant" guarantee.
+    grant.settle(steps.unwrap_or(limits.max_steps));
+    conn.forget_cancel(id);
+    if cancelled {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        conn.send(&proto::resp_stream_done(id, count, true, steps));
+        return;
+    }
+    if !pending.is_empty() && !conn.send(&proto::resp_batch(id, seq, &pending)) {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    match error {
+        Some(e) => {
+            conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id)));
+        }
+        None => {
+            conn.send(&proto::resp_stream_done(id, count, false, steps));
+        }
+    }
+}

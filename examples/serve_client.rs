@@ -1,0 +1,98 @@
+//! Serving: boot an in-process [`Server`], speak the `jmatch-serve` wire
+//! protocol through the blocking reference [`Client`], and stream
+//! solutions over a socket.
+//!
+//! The same `Client` calls work against a standalone `jmatch-serve`
+//! process (see `PROTOCOL.md` and the README's "Serving" section); the
+//! example embeds the server so it is a self-contained, CI-runnable
+//! round trip.
+//!
+//! Run with `cargo run --example serve_client`.
+
+use jmatch::runtime::serve::json::Json;
+use jmatch::runtime::serve::{Client, QueryOptions, ServeConfig, Server};
+use jmatch::Value;
+
+const SRC: &str = r#"
+class Gen {
+    boolean pair(int x, int y) iterates(x, y)
+        ( (x = 1 || x = 2 || x = 3) && (y = 10 || y = 20) )
+}
+static boolean below(int n, int x) iterates(x) ( x = 0 || x = 1 || x = 2 )
+static int add(int a, int b) { return a + b; }
+"#;
+
+fn main() {
+    // An in-process server on an ephemeral loopback port. A standalone
+    // deployment would run `jmatch-serve --addr 127.0.0.1:7733` instead
+    // and connect to that address.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    println!("serving on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Compile once; the reply carries the cache key that later requests
+    // use to name the program. A second compile of the same source is a
+    // cache hit and returns the same key without recompiling.
+    let reply = client.compile(SRC, true).expect("compile");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    let key = reply
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("program key")
+        .to_owned();
+    let again = client.compile(SRC, true).expect("re-compile");
+    println!(
+        "compiled as {key} (second compile cached: {})",
+        again.get("cached") == Some(&Json::Bool(true))
+    );
+
+    // A forward call, a collect query, and a streamed enumeration.
+    let reply = client
+        .call("default", &key, "add", &[Value::Int(40), Value::Int(2)])
+        .expect("call");
+    println!("add(40, 2) = {}", reply.get("value").expect("value"));
+
+    let mut options = QueryOptions::new(&key, "below");
+    options.known = vec![("n".into(), Value::Int(3))];
+    let reply = client.query(&options).expect("query");
+    let solutions = reply
+        .get("solutions")
+        .and_then(Json::as_arr)
+        .expect("solutions");
+    println!("below(3, x) has {} solutions:", solutions.len());
+    for solution in solutions {
+        println!("  {solution}");
+    }
+
+    let mut options = QueryOptions::new(&key, "pair");
+    options.class = Some("Gen".into());
+    let frames = client.stream(&options, 2).expect("stream");
+    println!("Gen.pair(x, y) streamed in {} frames:", frames.len());
+    for frame in &frames {
+        if let Some(batch) = frame.get("solutions").and_then(Json::as_arr) {
+            for solution in batch {
+                println!("  {solution}");
+            }
+        }
+    }
+    let last = frames.last().expect("terminal frame");
+    assert_eq!(last.get("done"), Some(&Json::Bool(true)));
+    println!(
+        "stream done: {} solutions, cancelled: {}",
+        last.get("count").expect("count"),
+        last.get("cancelled").expect("cancelled"),
+    );
+
+    let metrics = server.metrics();
+    println!(
+        "server metrics: {} frames, cache {} hits / {} misses",
+        metrics.frames, metrics.cache.hits, metrics.cache.misses
+    );
+    server.shutdown();
+    println!("server shut down cleanly");
+}

@@ -22,11 +22,13 @@ OPTIONS:
     --inner-threads N         threads per coalesced query batch [default: 2]
     --batch-max N             max queries coalesced per batch   [default: 16]
     --queue-depth N           per-tenant admission queue bound  [default: 64]
+    --max-connections N       concurrent connection cap         [default: 256]
     --cache-capacity N        max cached programs (LRU)         [default: 64]
     --max-frame BYTES         frame payload cap                 [default: 1048576]
     --max-steps N             per-request step ceiling          [default: 1000000]
     --steps-per-window N      per-tenant step pool per window   [default: 10000000]
     --window-ms MS            quota window length               [default: 1000]
+    --compile-steps N         step price of a compile (0 = unmetered) [default: 0]
     --allow-remote-shutdown   honor `shutdown` frames (CI harnesses)
     --help                    print this help
 ";
@@ -49,6 +51,7 @@ fn parse_flags() -> Result<ServeConfig, String> {
             "--inner-threads" => config.inner_threads = parse(&value("--inner-threads")?)?,
             "--batch-max" => config.batch_max = parse(&value("--batch-max")?)?,
             "--queue-depth" => config.queue_depth = parse(&value("--queue-depth")?)?,
+            "--max-connections" => config.max_connections = parse(&value("--max-connections")?)?,
             "--cache-capacity" => config.cache_capacity = parse(&value("--cache-capacity")?)?,
             "--max-frame" => config.max_frame = parse(&value("--max-frame")?)?,
             "--max-steps" => {
@@ -62,6 +65,9 @@ fn parse_flags() -> Result<ServeConfig, String> {
             }
             "--window-ms" => {
                 quota.window = Duration::from_millis(parse(&value("--window-ms")?)?);
+            }
+            "--compile-steps" => {
+                quota.compile_steps = parse(&value("--compile-steps")?)?;
             }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "--help" | "-h" => {
@@ -101,7 +107,8 @@ fn main() -> ExitCode {
     eprintln!(
         "jmatch-serve: shutting down — {} connections, {} frames, \
          {} calls, {} queries, {} streams, cache {}h/{}m/{}e, \
-         {} capacity rejections, {} quota rejections, {} cancelled",
+         {} capacity rejections, {} quota rejections, \
+         {} connection rejections, {} cancelled",
         metrics.connections,
         metrics.frames,
         metrics.calls,
@@ -112,6 +119,7 @@ fn main() -> ExitCode {
         metrics.cache.evictions,
         metrics.rejected_capacity,
         metrics.rejected_quota,
+        metrics.rejected_connections,
         metrics.cancelled,
     );
     server.shutdown();

@@ -187,11 +187,13 @@ impl SharedBudget {
         self.ceiling
     }
 
-    /// Resets the pool back to its full ceiling (the serve layer's
-    /// per-tenant quota window refill).
-    pub(crate) fn refill_to_ceiling(&self) {
+    /// Resets the pool to `n` steps, clamped to the ceiling (the serve
+    /// layer's per-tenant quota window refill, which discounts
+    /// reservations still in flight so their later refunds cannot push
+    /// the pool past its ceiling).
+    pub(crate) fn refill_to(&self, n: u64) {
         self.remaining
-            .store(self.ceiling, std::sync::atomic::Ordering::Relaxed);
+            .store(n.min(self.ceiling), std::sync::atomic::Ordering::Relaxed);
     }
 }
 

@@ -35,6 +35,11 @@ pub fn skip_cap(max_frame: usize) -> u64 {
     (max_frame as u64).saturating_mul(4)
 }
 
+/// Ceiling on a `stream` request's per-batch solution count. The batch
+/// size pre-sizes a server-side buffer, so a client-supplied value must
+/// never translate into an unbounded (or panicking) allocation.
+pub const MAX_STREAM_BATCH: usize = 8192;
+
 /// Why a frame could not be read.
 #[derive(Debug)]
 pub enum FrameError {
@@ -215,7 +220,8 @@ pub enum Request {
         tenant: String,
         /// What to enumerate.
         spec: QuerySpec,
-        /// Solutions per batch frame (server-clamped to ≥ 1).
+        /// Solutions per batch frame (server-clamped to
+        /// `1..=`[`MAX_STREAM_BATCH`]).
         batch: usize,
     },
     /// Cancel an in-flight `Stream` on the same connection.
@@ -319,10 +325,12 @@ impl Request {
                         spec,
                     })
                 } else {
+                    // Clamp before the value ever sizes a buffer: a huge
+                    // (or negative) batch must not panic the worker.
                     let batch = doc
                         .get("batch")
                         .and_then(Json::as_i64)
-                        .map_or(64, |b| b.max(1) as usize);
+                        .map_or(64, |b| b.clamp(1, MAX_STREAM_BATCH as i64) as usize);
                     Ok(Request::Stream {
                         id,
                         tenant: tenant(),
@@ -721,6 +729,27 @@ mod tests {
             let doc = Json::parse(bad).unwrap();
             assert!(Request::parse(&doc).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn stream_batch_is_clamped_to_a_sane_range() {
+        let parse_batch = |raw: &str| {
+            let doc = Json::parse(raw).unwrap();
+            match Request::parse(&doc).unwrap() {
+                Request::Stream { batch, .. } => batch,
+                other => panic!("parsed as {other:?}"),
+            }
+        };
+        // A hostile batch value must clamp, not size a huge allocation.
+        let huge = parse_batch(
+            r#"{"op":"stream","id":1,"program":"p:1","method":"m","batch":4000000000000}"#,
+        );
+        assert_eq!(huge, MAX_STREAM_BATCH);
+        let negative =
+            parse_batch(r#"{"op":"stream","id":1,"program":"p:1","method":"m","batch":-5}"#);
+        assert_eq!(negative, 1);
+        let absent = parse_batch(r#"{"op":"stream","id":1,"program":"p:1","method":"m"}"#);
+        assert_eq!(absent, 64);
     }
 
     #[test]

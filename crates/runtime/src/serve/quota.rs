@@ -29,11 +29,18 @@ pub struct QuotaConfig {
     pub steps_per_window: u64,
     /// How often the step pool refills to its ceiling.
     pub window: Duration,
+    /// Step-equivalent price of one compile drawn from the same pool
+    /// (charged only when the source actually compiles; cache hits
+    /// refund). `0` leaves compiles unmetered.
+    pub compile_steps: u64,
 }
 
 impl Default for QuotaConfig {
     /// One million steps a second per tenant, default engine limits —
-    /// roomy for interactive use, finite for runaways.
+    /// roomy for interactive use, finite for runaways. Compiles are
+    /// unmetered by default (they run inline on connection readers, which
+    /// the server's connection cap bounds); set `compile_steps` to price
+    /// them into the tenant pool.
     fn default() -> Self {
         QuotaConfig {
             limits: Limits {
@@ -42,6 +49,7 @@ impl Default for QuotaConfig {
             },
             steps_per_window: 10_000_000,
             window: Duration::from_secs(1),
+            compile_steps: 0,
         }
     }
 }
@@ -52,6 +60,11 @@ struct TenantState {
     config: QuotaConfig,
     pool: SharedBudget,
     window_start: Mutex<Instant>,
+    /// Steps reserved by grants that have not settled or dropped yet.
+    /// Window refills subtract this from the ceiling, so a grant held
+    /// across a window boundary cannot refund on top of a full pool and
+    /// bank budget beyond the per-window quota.
+    outstanding: AtomicU64,
     /// Steps actually consumed over the tenant's lifetime (metrics).
     spent: AtomicU64,
 }
@@ -87,7 +100,15 @@ impl Grant {
     /// records the spend. `used` is clamped to the grant.
     pub fn settle(mut self, used: u64) {
         let used = used.min(self.granted);
+        // Refund before releasing the reservation: a window refill that
+        // interleaves sees either the refund (and overwrites it) or the
+        // still-held reservation (and discounts it) — never a pool above
+        // its ceiling.
         self.state.0.pool.give(self.granted - used);
+        self.state
+            .0
+            .outstanding
+            .fetch_sub(self.granted, Ordering::Relaxed);
         self.state.0.spent.fetch_add(used, Ordering::Relaxed);
         self.settled = true;
     }
@@ -99,6 +120,10 @@ impl Drop for Grant {
             // Never settled: the request died before (or instead of)
             // running — hand the whole reservation back.
             self.state.0.pool.give(self.granted);
+            self.state
+                .0
+                .outstanding
+                .fetch_sub(self.granted, Ordering::Relaxed);
         }
     }
 }
@@ -163,6 +188,7 @@ impl TenantQuotas {
             config,
             pool: SharedBudget::new(config.steps_per_window),
             window_start: Mutex::new(Instant::now()),
+            outstanding: AtomicU64::new(0),
             spent: AtomicU64::new(0),
         }));
         tenants.insert(tenant.to_owned(), Arc::clone(&state));
@@ -182,14 +208,26 @@ impl TenantQuotas {
     pub fn admit(&self, tenant: &str, want: u64) -> Result<Grant, QuotaDenied> {
         let state = self.state(tenant);
         let inner = &state.0;
-        {
+        let granted = {
             let mut start = inner.window_start.lock().expect("quota window poisoned");
             if start.elapsed() >= inner.config.window {
                 *start = Instant::now();
-                inner.pool.refill_to_ceiling();
+                // Refill to the ceiling *minus* reservations still in
+                // flight: their later refunds land on top of whatever we
+                // store here, so refilling to the full ceiling would let
+                // a grant held across the boundary bank budget beyond
+                // the per-window quota.
+                let outstanding = inner.outstanding.load(Ordering::Relaxed);
+                inner
+                    .pool
+                    .refill_to(inner.pool.ceiling().saturating_sub(outstanding));
             }
-        }
-        let granted = inner.pool.take(want.max(1));
+            // Take and reserve under the window lock, so a concurrent
+            // refill always sees a consistent (pool, outstanding) pair.
+            let granted = inner.pool.take(want.max(1));
+            inner.outstanding.fetch_add(granted, Ordering::Relaxed);
+            granted
+        };
         if granted == 0 {
             let start = inner.window_start.lock().expect("quota window poisoned");
             let elapsed = start.elapsed();
@@ -203,6 +241,19 @@ impl TenantQuotas {
             granted,
             settled: false,
         })
+    }
+
+    /// Admits a compile for `tenant` under its `compile_steps` price.
+    /// Returns `Ok(None)` when the tenant's profile leaves compiles
+    /// unmetered; otherwise reserves the price from the step pool like
+    /// any other request (the caller settles the grant at zero on a
+    /// cache hit, refunding it).
+    pub fn admit_compile(&self, tenant: &str) -> Result<Option<Grant>, QuotaDenied> {
+        let cost = self.state(tenant).0.config.compile_steps;
+        if cost == 0 {
+            return Ok(None);
+        }
+        self.admit(tenant, cost).map(Some)
     }
 
     /// Snapshots every tenant seen so far, sorted by id.
@@ -274,6 +325,56 @@ mod tests {
         std::thread::sleep(Duration::from_millis(40));
         let grant = quotas.admit("t", 100).unwrap();
         assert_eq!(grant.granted(), 100);
+    }
+
+    #[test]
+    fn refills_discount_outstanding_grants() {
+        let quotas = TenantQuotas::new(config(1_000, 30));
+        // Reserve 600, hold the grant across the window boundary.
+        let held = quotas.admit("t", 600).unwrap();
+        assert_eq!(quotas.snapshot()[0].pool_remaining, 400);
+        std::thread::sleep(Duration::from_millis(40));
+        // The rolled-over window refills to ceiling − outstanding (400),
+        // of which this admission takes 1.
+        let fresh = quotas.admit("t", 1).unwrap();
+        assert_eq!(quotas.snapshot()[0].pool_remaining, 399);
+        // The held grant's refund lands on top of the discounted pool —
+        // never past the ceiling.
+        held.settle(0);
+        drop(fresh);
+        let snap = &quotas.snapshot()[0];
+        assert_eq!(snap.pool_remaining, 1_000);
+        assert!(snap.pool_remaining <= snap.pool_ceiling);
+    }
+
+    #[test]
+    fn compile_admission_prices_compiles_when_configured() {
+        // Unmetered by default.
+        let free = TenantQuotas::new(config(1_000, 60_000));
+        assert!(free.admit_compile("t").unwrap().is_none());
+
+        let quotas = TenantQuotas::new(QuotaConfig {
+            compile_steps: 100,
+            ..config(150, 60_000)
+        });
+        // First compile reserves the full price...
+        let g1 = quotas.admit_compile("t").unwrap().expect("metered");
+        assert_eq!(g1.granted(), 100);
+        g1.settle(100);
+        // ...the second gets the partial remainder...
+        let g2 = quotas.admit_compile("t").unwrap().expect("metered");
+        assert_eq!(g2.granted(), 50);
+        // ...a cache hit settles at zero and refunds...
+        g2.settle(0);
+        assert_eq!(quotas.snapshot()[0].pool_remaining, 50);
+        // ...and an empty pool denies with a retry hint.
+        quotas
+            .admit_compile("t")
+            .unwrap()
+            .expect("metered")
+            .settle(50);
+        let denied = quotas.admit_compile("t").unwrap_err();
+        assert!(denied.retry_after_ms > 0);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! The shape is compile-once/serve-forever: compilation (parse + resolve +
 //! verify + lower) happens exactly once per distinct source in the
 //! [`ProgramCache`], and every query runs over the shared, immutable
-//! [`Arc<Program>`]. Admission is **bounded** end to end — a full tenant
-//! queue rejects with `over-capacity` + `retry_after_ms` instead of
-//! queueing unboundedly, and an exhausted tenant step pool rejects with
-//! `quota-exhausted` — so neither a hot tenant nor a flood of connections
-//! can grow server memory or starve other tenants (the scheduler drains
-//! tenant queues round-robin, one job per turn).
+//! [`Arc<Program>`]. Admission is **bounded** end to end — connections
+//! beyond `max_connections` are refused with `over-capacity` (each one
+//! holds a reader thread), a full tenant queue rejects with
+//! `over-capacity` + `retry_after_ms` instead of queueing unboundedly,
+//! and an exhausted tenant step pool rejects with `quota-exhausted` — so
+//! neither a hot tenant nor a flood of connections can grow server
+//! memory or starve other tenants (the scheduler drains tenant queues
+//! round-robin, one job per turn).
 
 use super::cache::{CacheOutcome, CacheStats, ProgramCache};
 use super::json::Json;
@@ -73,6 +75,12 @@ pub struct ServeConfig {
     /// Bound on each tenant's admission queue; the (workers × batch)
     /// in-flight work rides on top of this.
     pub queue_depth: usize,
+    /// Most concurrent connections the server accepts. Each connection
+    /// holds a reader thread, so an uncapped flood would exhaust
+    /// threads/memory despite the bounded admission queues; beyond the
+    /// cap, new connections get an `over-capacity` error frame and are
+    /// closed immediately.
+    pub max_connections: usize,
     /// Most compiled programs the cache keeps (LRU beyond that).
     pub cache_capacity: usize,
     /// Cap on a single frame's payload bytes.
@@ -96,6 +104,7 @@ impl Default for ServeConfig {
             inner_threads: 2,
             batch_max: 16,
             queue_depth: 64,
+            max_connections: 256,
             cache_capacity: 64,
             max_frame: proto::DEFAULT_MAX_FRAME,
             engine: Engine::Plan,
@@ -295,6 +304,7 @@ struct Counters {
     streams: AtomicU64,
     rejected_capacity: AtomicU64,
     rejected_quota: AtomicU64,
+    rejected_connections: AtomicU64,
     cancelled: AtomicU64,
 }
 
@@ -317,6 +327,8 @@ pub struct Metrics {
     pub rejected_capacity: u64,
     /// Admissions rejected for an exhausted tenant pool.
     pub rejected_quota: u64,
+    /// Connections refused at the `max_connections` cap.
+    pub rejected_connections: u64,
     /// Streams that ended by cancellation (explicit or disconnect).
     pub cancelled: u64,
     /// Jobs currently queued (not yet picked up by a worker).
@@ -426,6 +438,7 @@ impl Server {
             streams: c.streams.load(Ordering::Relaxed),
             rejected_capacity: c.rejected_capacity.load(Ordering::Relaxed),
             rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            rejected_connections: c.rejected_connections.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             queued: self
                 .shared
@@ -517,13 +530,39 @@ impl std::fmt::Debug for Server {
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
                 // Responses are single small frames; waiting for ACKs
                 // (Nagle) would serialize the whole protocol at ~40ms RTT.
                 let _ = stream.set_nodelay(true);
+                // Every connection holds an 8 MiB-stack reader thread, so
+                // the count must be bounded: at the cap, answer with a
+                // structured rejection and close instead of spawning.
+                let live = shared
+                    .conns
+                    .lock()
+                    .expect("connection table poisoned")
+                    .len();
+                if live >= shared.config.max_connections {
+                    shared
+                        .counters
+                        .rejected_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let frame = ErrorFrame::new(
+                        error_kind::OVER_CAPACITY,
+                        format!(
+                            "server is at its {}-connection limit; retry shortly",
+                            shared.config.max_connections
+                        ),
+                    )
+                    .retry_after(CAPACITY_RETRY_MS)
+                    .into_frame(None);
+                    let _ = write_frame(&mut stream, &frame);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
                 let Ok(write_half) = stream.try_clone() else {
                     continue;
                 };
@@ -664,23 +703,58 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
         }
         Request::Compile {
             id,
-            tenant: _,
+            tenant,
             source,
             verify,
-        } => match shared.cache.get_or_compile(&source, verify) {
-            CacheOutcome::Ready {
-                program,
-                key,
-                cached,
-            } => {
-                let warnings: Vec<String> =
-                    program.warnings().iter().map(|w| w.to_string()).collect();
-                conn.send(&proto::resp_compiled(id, &key, cached, &warnings));
+        } => {
+            // When the tenant profile prices compiles, reserve the price
+            // up front like any other request (compiles run inline on
+            // reader threads, bypassing the admission queue).
+            let grant = match shared.quotas.admit_compile(&tenant) {
+                Ok(grant) => grant,
+                Err(denied) => {
+                    shared
+                        .counters
+                        .rejected_quota
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.send(
+                        &ErrorFrame::new(
+                            error_kind::QUOTA_EXHAUSTED,
+                            format!(
+                                "tenant `{tenant}` has exhausted its step pool for this window"
+                            ),
+                        )
+                        .retry_after(denied.retry_after_ms)
+                        .into_frame(Some(id)),
+                    );
+                    return;
+                }
+            };
+            match shared.cache.get_or_compile(&source, verify) {
+                CacheOutcome::Ready {
+                    program,
+                    key,
+                    cached,
+                } => {
+                    if let Some(grant) = grant {
+                        // A cache hit did no compile work: refund.
+                        let used = if cached { 0 } else { grant.granted() };
+                        grant.settle(used);
+                    }
+                    let warnings: Vec<String> =
+                        program.warnings().iter().map(|w| w.to_string()).collect();
+                    conn.send(&proto::resp_compiled(id, &key, cached, &warnings));
+                }
+                CacheOutcome::Failed(errors) => {
+                    if let Some(grant) = grant {
+                        // Failed compiles did the work; charge them.
+                        let used = grant.granted();
+                        grant.settle(used);
+                    }
+                    conn.send(&proto::resp_compile_failed(id, &errors));
+                }
             }
-            CacheOutcome::Failed(errors) => {
-                conn.send(&proto::resp_compile_failed(id, &errors));
-            }
-        },
+        }
         Request::Cancel { id, target } => {
             if let Some(token) = conn
                 .cancels
@@ -912,7 +986,10 @@ fn run_call(shared: &Arc<Shared>, job: Job) {
         }
         Ok(mref) => {
             let (outcome, steps) = mref.call_counted(None, args, limits);
-            grant.settle(steps.unwrap_or(0));
+            // steps=None (tree engine) settles the whole grant, matching
+            // the query/stream paths: unmeterable work is charged at its
+            // ceiling, never given away free.
+            grant.settle(steps.unwrap_or(limits.max_steps));
             match outcome {
                 Ok(value) => conn.send(&proto::resp_value(id, &value)),
                 Err(e) => conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id))),

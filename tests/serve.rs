@@ -318,6 +318,82 @@ fn truncated_frames_kill_the_connection_not_the_server() {
     server.shutdown();
 }
 
+#[test]
+fn hostile_stream_batch_is_clamped_not_fatal() {
+    // The batch size pre-sizes a server-side buffer: a huge value must be
+    // clamped at parse time, not panic the (sole) worker with a capacity
+    // overflow.
+    let config = ServeConfig {
+        workers: 1,
+        ..test_config()
+    };
+    let (server, mut client) = boot(config);
+    let key = compile_ok(&mut client, SMALL_SRC);
+    client
+        .send(&Json::obj(vec![
+            ("op", Json::Str("stream".into())),
+            ("id", Json::Int(77)),
+            ("program", Json::Str(key.clone())),
+            ("method", Json::Str("below".into())),
+            ("known", Json::obj(vec![("n", Json::Int(3))])),
+            ("batch", Json::Int(1 << 42)),
+        ]))
+        .expect("send hostile stream");
+    let mut total = 0;
+    let terminal = loop {
+        let frame = client.recv().expect("stream frame");
+        assert_eq!(frame.get("ok"), Some(&Json::Bool(true)), "{frame}");
+        total += frame
+            .get("solutions")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        if frame.get("done") == Some(&Json::Bool(true)) {
+            break frame;
+        }
+    };
+    assert_eq!(total, 3);
+    assert_eq!(terminal.get("count"), Some(&Json::Int(3)));
+    // The only worker survived: a follow-up query still answers.
+    let mut options = QueryOptions::new(&key, "below");
+    options.known = vec![("n".into(), Value::Int(3))];
+    let reply = client.query(&options).expect("post-hostile query");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_new_connections_with_structured_error() {
+    let config = ServeConfig {
+        max_connections: 1,
+        ..test_config()
+    };
+    let (server, mut client) = boot(config);
+    assert_eq!(
+        client.ping().expect("ping").get("pong"),
+        Some(&Json::Bool(true))
+    );
+    // The second connection is refused with an error frame, then closed.
+    let mut raw = TcpStream::connect(server.local_addr()).expect("raw connect");
+    let reply = read_frame(&mut raw, proto::DEFAULT_MAX_FRAME).expect("rejection frame");
+    assert_eq!(error_kind_of(&reply), "over-capacity");
+    assert!(reply
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Json::as_i64)
+        .is_some_and(|ms| ms > 0));
+    match read_frame(&mut raw, proto::DEFAULT_MAX_FRAME) {
+        Err(FrameError::Eof) | Err(FrameError::Truncated(_)) => {}
+        other => panic!("capped connection should close, got {other:?}"),
+    }
+    assert_eq!(server.metrics().rejected_connections, 1);
+    // The admitted connection is untouched.
+    assert_eq!(
+        client.ping().expect("ping").get("pong"),
+        Some(&Json::Bool(true))
+    );
+    server.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Quotas and backpressure
 // ---------------------------------------------------------------------------
@@ -332,6 +408,7 @@ fn quota_exhaustion_rejects_with_retry_and_spares_other_tenants() {
             },
             steps_per_window: 10_000_000,
             window: Duration::from_secs(600),
+            ..QuotaConfig::default()
         },
         tenant_overrides: vec![(
             "starved".into(),
@@ -375,6 +452,69 @@ fn quota_exhaustion_rejects_with_retry_and_spares_other_tenants() {
     assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
 
     assert_eq!(server.metrics().rejected_quota, 1);
+    server.shutdown();
+}
+
+#[test]
+fn tree_engine_calls_charge_their_step_ceiling() {
+    // The tree engine reports no step count for forward calls; they must
+    // settle at their ceiling like the query/stream paths, not refund the
+    // whole grant as if the work were free.
+    let config = ServeConfig {
+        engine: Engine::TreeWalk,
+        quota: QuotaConfig {
+            limits: Limits {
+                max_steps: 50,
+                ..Limits::default()
+            },
+            steps_per_window: 50,
+            window: Duration::from_secs(600),
+            ..QuotaConfig::default()
+        },
+        ..test_config()
+    };
+    let (server, mut client) = boot(config);
+    let key = compile_ok(&mut client, SMALL_SRC);
+    let reply = client
+        .call("default", &key, "add", &[Value::Int(1), Value::Int(2)])
+        .expect("first call");
+    assert_eq!(reply.get("value"), Some(&Json::Int(3)));
+    // The unmeterable call consumed the whole 50-step pool.
+    let reply = client
+        .call("default", &key, "add", &[Value::Int(1), Value::Int(2)])
+        .expect("second call");
+    assert_eq!(error_kind_of(&reply), "quota-exhausted");
+    server.shutdown();
+}
+
+#[test]
+fn metered_compiles_draw_from_the_tenant_pool() {
+    let config = ServeConfig {
+        quota: QuotaConfig {
+            steps_per_window: 150,
+            window: Duration::from_secs(600),
+            compile_steps: 100,
+            ..QuotaConfig::default()
+        },
+        ..test_config()
+    };
+    let (server, mut client) = boot(config);
+    // The first compile pays the full 100-step price...
+    let _key = compile_ok(&mut client, SMALL_SRC);
+    // ...re-compiling the same source is a cache hit: reserved, refunded.
+    let again = client.compile(SMALL_SRC, false).expect("re-compile");
+    assert_eq!(again.get("cached"), Some(&Json::Bool(true)));
+    // A distinct source drains the 50-step remainder (a partial grant)...
+    let other = client
+        .compile("static int g() { return 7; }", false)
+        .expect("second compile");
+    assert_eq!(other.get("ok"), Some(&Json::Bool(true)), "{other}");
+    // ...and the next distinct compile is refused for the window.
+    let reply = client
+        .compile("static int h() { return 8; }", false)
+        .expect("third compile round-trip");
+    assert_eq!(error_kind_of(&reply), "quota-exhausted");
+    assert!(server.metrics().rejected_quota >= 1);
     server.shutdown();
 }
 
@@ -430,6 +570,7 @@ fn mid_stream_disconnect_reclaims_worker_and_refunds_grant() {
             },
             steps_per_window: pool_ceiling,
             window: Duration::from_secs(600),
+            ..QuotaConfig::default()
         },
         ..test_config()
     };

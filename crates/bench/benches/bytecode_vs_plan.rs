@@ -1,0 +1,100 @@
+//! `bytecode_vs_plan` — the flat register bytecode against the goal-tree /
+//! statement-plan evaluator it replaced, same plan engine, same workloads.
+//!
+//! Every workload runs twice from identical sources: `plan` compiles with
+//! the bytecode pass off (the evaluator walks `Goal` trees and `StmtPlan`
+//! statements), `bytecode` compiles with it on (pc-threaded solved forms,
+//! register blocks, jump-table switch dispatch). The workloads are the
+//! `repr_hot_paths` trio plus the `plan_vs_interp` trio, so the recorded
+//! numbers (`BENCH_bytecode.json`, README "Bytecode execution") compose
+//! directly with the earlier representation-change measurements.
+//!
+//! Each pair is asserted result-equal before timing: a bytecode compiler
+//! bug fails the bench in CI (`--test` mode) before it can mistime.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jmatch_bench::{
+    enumeration_workload, list_workload, nat_plus_workload, plan_program_bytecode,
+    repr_deconstruct_workload, repr_dispatch_source, repr_dispatch_workload, repr_field_workload,
+    runtime_workload_source, REPR_FIELD_SOURCE,
+};
+
+fn bench_bytecode_vs_plan(c: &mut Criterion) {
+    let field_bc = plan_program_bytecode(REPR_FIELD_SOURCE, true);
+    let field_plain = plan_program_bytecode(REPR_FIELD_SOURCE, false);
+    let dispatch_src = repr_dispatch_source();
+    let dispatch_bc = plan_program_bytecode(&dispatch_src, true);
+    let dispatch_plain = plan_program_bytecode(&dispatch_src, false);
+    let runtime_src = runtime_workload_source();
+    let runtime_bc = plan_program_bytecode(&runtime_src, true);
+    let runtime_plain = plan_program_bytecode(&runtime_src, false);
+
+    // The two code forms must agree before their speeds are worth
+    // comparing.
+    assert_eq!(
+        repr_field_workload(&field_bc, 100),
+        repr_field_workload(&field_plain, 100)
+    );
+    assert_eq!(
+        repr_dispatch_workload(&dispatch_bc),
+        repr_dispatch_workload(&dispatch_plain)
+    );
+    assert_eq!(
+        repr_deconstruct_workload(&runtime_bc, 64),
+        repr_deconstruct_workload(&runtime_plain, 64)
+    );
+    assert_eq!(
+        nat_plus_workload(&runtime_bc, 6),
+        nat_plus_workload(&runtime_plain, 6)
+    );
+    assert_eq!(
+        list_workload(&runtime_bc, 12),
+        list_workload(&runtime_plain, 12)
+    );
+    assert_eq!(
+        enumeration_workload(&runtime_bc, 40),
+        enumeration_workload(&runtime_plain, 40)
+    );
+
+    let mut group = c.benchmark_group("bytecode_vs_plan");
+    group.bench_function("field_access/bytecode", |b| {
+        b.iter(|| black_box(repr_field_workload(&field_bc, 100)))
+    });
+    group.bench_function("field_access/plan", |b| {
+        b.iter(|| black_box(repr_field_workload(&field_plain, 100)))
+    });
+    group.bench_function("ctor_dispatch_64/bytecode", |b| {
+        b.iter(|| black_box(repr_dispatch_workload(&dispatch_bc)))
+    });
+    group.bench_function("ctor_dispatch_64/plan", |b| {
+        b.iter(|| black_box(repr_dispatch_workload(&dispatch_plain)))
+    });
+    group.bench_function("deconstruct_fanout/bytecode", |b| {
+        b.iter(|| black_box(repr_deconstruct_workload(&runtime_bc, 64)))
+    });
+    group.bench_function("deconstruct_fanout/plan", |b| {
+        b.iter(|| black_box(repr_deconstruct_workload(&runtime_plain, 64)))
+    });
+    group.bench_function("nat_plus/bytecode", |b| {
+        b.iter(|| black_box(nat_plus_workload(&runtime_bc, 6)))
+    });
+    group.bench_function("nat_plus/plan", |b| {
+        b.iter(|| black_box(nat_plus_workload(&runtime_plain, 6)))
+    });
+    group.bench_function("list_ops/bytecode", |b| {
+        b.iter(|| black_box(list_workload(&runtime_bc, 12)))
+    });
+    group.bench_function("list_ops/plan", |b| {
+        b.iter(|| black_box(list_workload(&runtime_plain, 12)))
+    });
+    group.bench_function("enumeration/bytecode", |b| {
+        b.iter(|| black_box(enumeration_workload(&runtime_bc, 40)))
+    });
+    group.bench_function("enumeration/plan", |b| {
+        b.iter(|| black_box(enumeration_workload(&runtime_plain, 40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bytecode_vs_plan);
+criterion_main!(benches);

@@ -586,7 +586,18 @@ pub fn first_element_lazy(query: &Query<'_>) -> i64 {
 /// field resolution — the hot path the slot-indexed object layout
 /// replaces per-field hash lookups on.
 pub fn repr_field_program(engine: Engine) -> Program {
-    let src = r#"
+    let program = Compiler::new()
+        .verify(false)
+        .engine(engine)
+        .compile(REPR_FIELD_SOURCE)
+        .expect("repr field program parses");
+    assert!(program.diagnostics().errors.is_empty());
+    program
+}
+
+/// The source of [`repr_field_program`], public so the `bytecode_vs_plan`
+/// bench can recompile it with the bytecode pass toggled.
+pub const REPR_FIELD_SOURCE: &str = r#"
         class Point {
             int x0;
             int x1;
@@ -615,12 +626,24 @@ pub fn repr_field_program(engine: Engine) -> Program {
             return total;
         }
     "#;
+
+/// Compiles `source` on the plan engine with the bytecode pass toggled —
+/// the before/after axis of the `bytecode_vs_plan` bench (`before` walks
+/// the goal trees and statement plans, `after` runs the flat register
+/// bytecode).
+pub fn plan_program_bytecode(source: &str, bytecode: bool) -> Program {
     let program = Compiler::new()
         .verify(false)
-        .engine(engine)
-        .compile(src)
-        .expect("repr field program parses");
-    assert!(program.diagnostics().errors.is_empty());
+        .max_expansion_depth(2)
+        .engine(Engine::Plan)
+        .bytecode(bytecode)
+        .compile(source)
+        .expect("bench program parses");
+    assert!(
+        program.diagnostics().errors.is_empty(),
+        "{:?}",
+        program.diagnostics().errors
+    );
     program
 }
 
@@ -724,7 +747,11 @@ pub fn repr_deconstruct_workload(program: &Program, n: i64) -> i64 {
 /// method enumerates every leaf left-to-right, so the choice tree is a
 /// full binary tree — maximally branchy, the shape work stealing splits
 /// best. Identical to the `tests/parallel.rs` workload.
-const PARALLEL_TREE_SOURCE: &str = r#"
+/// The parallel-scaling workload source: a complete binary tree whose
+/// `vals` method enumerates the leaves left-to-right, one two-way choice
+/// point per `Node`. Public so tests can recompile it with non-default
+/// compiler knobs (e.g. bytecode off) against the same workload.
+pub const PARALLEL_TREE_SOURCE: &str = r#"
     interface Tree {
         constructor leaf(int v) returns(v);
         constructor node(Tree l, Tree r) returns(l, r);

@@ -1,0 +1,2488 @@
+//! Flat register bytecode compiled from the [`lower`](crate::lower) plan IR.
+//!
+//! The plan evaluator and the resumable machine both used to *walk* the
+//! boxed [`Goal`]/[`PExpr`] tree per step: every conjunct was an enum
+//! dispatch plus a pointer chase, every `while` re-interpreted its condition
+//! node, and every `switch` scanned its case guards linearly. This module
+//! lowers one level further — the fourth materialization pass of
+//! [`ProgramPlan::compile`](crate::lower::ProgramPlan::compile) — into two
+//! dense instruction streams:
+//!
+//! - **[`BcBody`]** — threaded code for one mode-specialized solved form.
+//!   Every instruction carries the *pc of its continuation* explicitly
+//!   (`next`), so conjunction is a fall-through field instead of a
+//!   `Seq` vector walk, and disjunction is a [`Instr::Choice`] whose
+//!   alternatives are entry pcs. The stream is compiled right-to-left:
+//!   `emit(goal, next)` appends the instructions of `goal` and returns its
+//!   entry pc, so no jump patching is ever needed and pc `0` is always the
+//!   shared [`Instr::Emit`] solution boundary.
+//! - **[`BcBlock`]** — register code for one imperative body. Expression
+//!   temporaries live in a flat register file indexed by [`Reg`] instead of
+//!   re-walking `PExpr` trees; `switch` lowers to a [`SwitchTable`] jump
+//!   table over the PR 4 [`CaseGuard`] class tags (one array load selects
+//!   the candidate arms for a scrutinee's type index); `while` loops whose
+//!   condition is a comparison become a `CmpJump`/`LoopJump` pair.
+//!
+//! # Register model
+//!
+//! Registers are per-*statement* expression temporaries: allocation is a
+//! monotonic counter reset at every statement boundary, and `nregs` is the
+//! high-water mark, so one `Vec<Value>` of that size (recycled from a pool
+//! by the executor) serves the whole block. Variables still live in the
+//! frame's slots — `LoadSlot`/`StoreSlot` bridge the two — because slots
+//! are the unit the trail, the machine's choice points, and the embedding
+//! API all address.
+//!
+//! # Choice-point and trail offsets
+//!
+//! The compiler resolves everything a choice point needs *at compile time*:
+//! a [`Instr::Choice`]'s alternatives are instruction addresses, so the
+//! machine saves `(pc, alternative index)` instead of a boxed continuation
+//! chain, and a `par.rs` task prefix stays the same dense `Vec<u32>` path of
+//! alternative indices as before. Two invariants make the bytecode
+//! transcript- and path-compatible with the plan walker, and both are load
+//! bearing:
+//!
+//! 1. **Choice arity is preserved exactly.** `Any([])` compiles to `Fail`,
+//!    `Any([g])` inlines `g` with *no* choice instruction (the machine
+//!    creates no choice point for single branches), and `Any(n ≥ 2)`
+//!    compiles to one `Choice` with exactly `n` alternatives in source
+//!    order. Guides recorded by either engine therefore replay identically
+//!    on the other, and `split_oldest` prefixes serialize to the same size.
+//! 2. **Trail discipline is unchanged.** The bytecode binds frame slots
+//!    through the same trail the plan walker uses; an alternative's
+//!    `trail_mark`/`frames_mark` rollback needs no bytecode-specific state
+//!    beyond the saved pc.
+//!
+//! # Unify modes
+//!
+//! The plan walker decides the direction of every equation at run time with
+//! two [`ground`]-tree walks. The bytecode compiler runs a must-bound
+//! dataflow analysis over the solved form (seeded with the mode's bound
+//! parameter slots) and bakes the direction into the instruction as a
+//! [`UnifyMode`] when it is statically forced; only equations whose
+//! direction genuinely depends on run-time values keep the dynamic check.
+//! The analysis is sound, not complete: `must ⊆ bound` always holds, and
+//! anything unprovable degrades to [`UnifyMode::Dynamic`], which behaves
+//! exactly like the tree walk.
+//!
+//! [`ground`]: crate::lower::PExpr
+
+use crate::intern::Sym;
+use crate::lower::{
+    BlockPlan, BodyPlan, CallKind, CaseGuard, CasePlan, CaseTarget, ClassCheck, DispatchId,
+    DispatchTable, Goal, MethodPlan, PExpr, PlanId, SlotId, SolvedForm, StmtPlan,
+};
+use crate::table::ClassLayout;
+use jmatch_syntax::ast::{BinOp, CmpOp};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An instruction address in a [`BcBody`] / [`BcBlock`] stream.
+pub type Pc = u32;
+/// Index into a stream's [`PExpr`] pool.
+pub type ExprId = u32;
+/// Index into a stream's [`Goal`] pool.
+pub type GoalId = u32;
+/// Index into a [`BcBlock`]'s [`StmtPlan`] pool.
+pub type StmtId = u32;
+/// A register in a [`BcBlock`]'s register file.
+pub type Reg = u16;
+
+/// The statically decided direction of one equation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnifyMode {
+    /// Both sides are provably ground: evaluate both, compare.
+    EvalEval,
+    /// Left provably ground, right provably not: evaluate left, match right.
+    EvalMatch,
+    /// Right provably ground, left provably not: evaluate right, match left.
+    MatchEval,
+    /// Direction depends on run-time bindings: check `ground` like the
+    /// tree walker.
+    Dynamic,
+}
+
+/// One threaded-code instruction of a solved form's [`BcBody`].
+///
+/// `next` fields are continuation pcs; pc `0` is always [`Instr::Emit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Solution boundary: the current bindings are a solution of the form.
+    Emit,
+    /// Dead end: no solution on this path.
+    Fail,
+    /// Disjunction: try each alternative entry pc in order. Always ≥ 2
+    /// alternatives — smaller disjunctions never produce a `Choice`.
+    Choice(Box<[Pc]>),
+    /// An equation with its direction resolved at compile time where
+    /// possible.
+    Unify {
+        /// Left-hand side (pool index).
+        lhs: ExprId,
+        /// Right-hand side (pool index).
+        rhs: ExprId,
+        /// Statically decided direction.
+        mode: UnifyMode,
+        /// Continuation.
+        next: Pc,
+    },
+    /// An ordering comparison over ground operands.
+    Compare {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand (pool index).
+        lhs: ExprId,
+        /// Right operand (pool index).
+        rhs: ExprId,
+        /// Continuation.
+        next: Pc,
+    },
+    /// A constructor-match / predicate atom: solve the callee's matching
+    /// form against the receiver, match each solution row against the
+    /// argument patterns.
+    Invoke {
+        /// Ground receiver (pool index); `None` means `this`.
+        receiver: Option<ExprId>,
+        /// Callee name (name-pool index).
+        name: u32,
+        /// First argument pattern (pool index; patterns are contiguous).
+        args_start: ExprId,
+        /// Number of argument patterns.
+        args_len: u32,
+        /// Dispatch table for the name.
+        dispatch: Option<DispatchId>,
+        /// Continuation.
+        next: Pc,
+    },
+    /// A ground boolean test.
+    Test {
+        /// The tested expression (pool index).
+        expr: ExprId,
+        /// Continuation.
+        next: Pc,
+    },
+    /// Negation as failure over a pooled goal (executed by the recursive
+    /// existence check, exactly like the plan walker).
+    Not {
+        /// The negated goal (goal-pool index).
+        goal: GoalId,
+        /// Continuation.
+        next: Pc,
+    },
+    /// A dynamically scheduled conjunction, delegated whole to the
+    /// ready-check machinery (goal-pool index holds the `Goal::DynSeq`).
+    DynSeq {
+        /// The pooled `Goal::DynSeq`.
+        goal: GoalId,
+        /// Continuation.
+        next: Pc,
+    },
+}
+
+/// Threaded bytecode for one mode-specialized solved form.
+#[derive(Debug, Clone)]
+pub struct BcBody {
+    /// Entry pc of the form's goal.
+    pub entry: Pc,
+    /// The instruction stream; `instrs[0]` is [`Instr::Emit`].
+    pub instrs: Vec<Instr>,
+    /// Leaf expression pool (instructions hold [`ExprId`]s into it).
+    pub exprs: Vec<PExpr>,
+    /// Subgoal pool for `Not` / `DynSeq` delegation.
+    pub goals: Vec<Goal>,
+    /// Invoked-name pool.
+    pub names: Vec<String>,
+}
+
+impl BcBody {
+    /// The argument-pattern slice of an [`Instr::Invoke`].
+    #[inline]
+    pub fn args(&self, start: ExprId, len: u32) -> &[PExpr] {
+        &self.exprs[start as usize..(start + len) as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Must-bound analysis (pass A: execution order)
+// ---------------------------------------------------------------------------
+
+/// Slots certainly bound after a successful match of `pat`. `OrPat` takes
+/// the branch intersection (only the matching branch's binders are
+/// guaranteed), invertible `Binary` likewise (exactly one side matches).
+fn binders(pat: &PExpr, out: &mut HashSet<SlotId>) {
+    match pat {
+        PExpr::Name { slot, .. } => {
+            out.insert(*slot);
+        }
+        PExpr::Result(s) => {
+            out.insert(*s);
+        }
+        PExpr::Decl(_, Some(s), _) => {
+            out.insert(*s);
+        }
+        PExpr::As(a, b) => {
+            binders(a, out);
+            binders(b, out);
+        }
+        PExpr::OrPat(a, b) | PExpr::Binary(_, a, b) => {
+            let mut ba = HashSet::new();
+            let mut bb = HashSet::new();
+            binders(a, &mut ba);
+            binders(b, &mut bb);
+            out.extend(ba.intersection(&bb));
+        }
+        PExpr::Where(p, _) => binders(p, out),
+        PExpr::Call { args, .. } => {
+            for a in args {
+                binders(a, out);
+            }
+        }
+        PExpr::Neg(a) => binders(a, out),
+        PExpr::Tuple(xs) => {
+            for x in xs {
+                binders(x, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Conservative "provably ground here": `true` only when the run-time
+/// [`ground`](crate::lower) walk is guaranteed to say `true`. The
+/// field-of-`this` fallback is deliberately excluded — it depends on the
+/// receiver's run-time class — so equations relying on it stay `Dynamic`.
+fn must_ground(e: &PExpr, must: &HashSet<SlotId>, this_known: bool) -> bool {
+    match e {
+        PExpr::Int(_) | PExpr::Bool(_) | PExpr::Str(_) | PExpr::Null => true,
+        PExpr::This => this_known,
+        PExpr::Result(s) => must.contains(s),
+        PExpr::Name {
+            slot, class_ref, ..
+        } => must.contains(slot) || *class_ref,
+        PExpr::Field(b, _, _) => must_ground(b, must, this_known),
+        PExpr::Call { receiver, args, .. } => {
+            receiver
+                .as_deref()
+                .map(|r| must_ground(r, must, this_known))
+                .unwrap_or(true)
+                && args.iter().all(|a| must_ground(a, must, this_known))
+        }
+        PExpr::Index(a, b) | PExpr::Binary(_, a, b) => {
+            must_ground(a, must, this_known) && must_ground(b, must, this_known)
+        }
+        PExpr::NewArray(_, a) | PExpr::Neg(a) => must_ground(a, must, this_known),
+        PExpr::Tuple(xs) => xs.iter().all(|x| must_ground(x, must, this_known)),
+        PExpr::Wildcard | PExpr::Decl(..) | PExpr::As(..) | PExpr::OrPat(..) | PExpr::Where(..) => {
+            false
+        }
+    }
+}
+
+/// Slots a successful match of `pat` *might* bind — the union closure of
+/// [`binders`], including `where`-goal bindings, used to maintain the
+/// may-bound superset.
+fn may_binders(pat: &PExpr, out: &mut HashSet<SlotId>) {
+    match pat {
+        PExpr::Name { slot, .. } => {
+            out.insert(*slot);
+        }
+        PExpr::Result(s) => {
+            out.insert(*s);
+        }
+        PExpr::Decl(_, Some(s), _) => {
+            out.insert(*s);
+        }
+        PExpr::As(a, b) | PExpr::OrPat(a, b) | PExpr::Binary(_, a, b) => {
+            may_binders(a, out);
+            may_binders(b, out);
+        }
+        PExpr::Where(p, g) => {
+            may_binders(p, out);
+            goal_may(g, out);
+        }
+        PExpr::Call { args, .. } => {
+            for a in args {
+                may_binders(a, out);
+            }
+        }
+        PExpr::Neg(a) => may_binders(a, out),
+        PExpr::Tuple(xs) => {
+            for x in xs {
+                may_binders(x, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Slots a goal might leave bound on success (`Not` restores its inner
+/// bindings, so it contributes nothing).
+fn goal_may(goal: &Goal, out: &mut HashSet<SlotId>) {
+    match goal {
+        Goal::True | Goal::Trivial | Goal::Fail | Goal::Test(_) | Goal::Compare(..) => {}
+        Goal::Not(_) => {}
+        Goal::Seq(gs) | Goal::Any(gs) => {
+            for g in gs {
+                goal_may(g, out);
+            }
+        }
+        Goal::DynSeq(items) => {
+            for (_, g) in items {
+                goal_may(g, out);
+            }
+        }
+        Goal::Unify(l, r) => {
+            may_binders(l, out);
+            may_binders(r, out);
+        }
+        Goal::Invoke { args, .. } => {
+            for a in args {
+                may_binders(a, out);
+            }
+        }
+    }
+}
+
+/// Conservative "provably never ground": `true` only when the run-time walk
+/// is guaranteed to say `false` — a `_`/declaration in a conjunctive
+/// position, or a variable no earlier goal can possibly have bound whose
+/// field-of-`this` fallback is statically dead (`this` absent, or the name
+/// is no declared field anywhere).
+fn never_ground(e: &PExpr, may: &HashSet<SlotId>, this_known: bool) -> bool {
+    match e {
+        PExpr::Wildcard | PExpr::Decl(..) => true,
+        PExpr::This => !this_known,
+        PExpr::Name {
+            slot,
+            field_sym,
+            class_ref,
+            ..
+        } => !*class_ref && !may.contains(slot) && (!this_known || field_sym.is_none()),
+        PExpr::Result(s) => !may.contains(s),
+        PExpr::Field(b, _, _) => never_ground(b, may, this_known),
+        PExpr::Call { receiver, args, .. } => {
+            receiver
+                .as_deref()
+                .is_some_and(|r| never_ground(r, may, this_known))
+                || args.iter().any(|a| never_ground(a, may, this_known))
+        }
+        PExpr::Index(a, b) | PExpr::Binary(_, a, b) | PExpr::As(a, b) | PExpr::OrPat(a, b) => {
+            never_ground(a, may, this_known) || never_ground(b, may, this_known)
+        }
+        PExpr::NewArray(_, a) | PExpr::Neg(a) => never_ground(a, may, this_known),
+        PExpr::Tuple(xs) => xs.iter().any(|x| never_ground(x, may, this_known)),
+        PExpr::Where(p, _) => never_ground(p, may, this_known),
+        _ => false,
+    }
+}
+
+/// Pass A: walk the goal in execution order, threading the must-bound set
+/// (`must ⊆ bound`) and the may-bound set (`bound ⊆ may`), recording one
+/// [`UnifyMode`] per `Unify` leaf in visit order. The right-to-left
+/// emission pass pops the modes from the back — the two traversals are
+/// exact mirrors, so the orders line up.
+fn analyze(
+    goal: &Goal,
+    must: &mut HashSet<SlotId>,
+    may: &mut HashSet<SlotId>,
+    this_known: bool,
+    modes: &mut Vec<UnifyMode>,
+) {
+    match goal {
+        Goal::True | Goal::Trivial | Goal::Fail | Goal::Test(_) | Goal::Compare(..) => {}
+        // `Not` binds nothing and its inner goal runs through the recursive
+        // existence check, not the instruction stream: no modes inside.
+        Goal::Not(_) => {}
+        // Delegated whole; its bindings are not must-known afterwards, but
+        // they are possible.
+        Goal::DynSeq(_) => goal_may(goal, may),
+        Goal::Seq(gs) => {
+            for g in gs {
+                analyze(g, must, may, this_known, modes);
+            }
+        }
+        Goal::Any(gs) => {
+            let entry_must = must.clone();
+            let entry_may = may.clone();
+            let mut exit: Option<HashSet<SlotId>> = None;
+            for g in gs {
+                let mut bmust = entry_must.clone();
+                let mut bmay = entry_may.clone();
+                analyze(g, &mut bmust, &mut bmay, this_known, modes);
+                may.extend(bmay);
+                exit = Some(match exit {
+                    None => bmust,
+                    Some(prev) => prev.intersection(&bmust).copied().collect(),
+                });
+            }
+            if let Some(exit) = exit {
+                *must = exit;
+            }
+        }
+        Goal::Unify(l, r) => {
+            let lg = must_ground(l, must, this_known);
+            let rg = must_ground(r, must, this_known);
+            let mode = if lg && rg {
+                UnifyMode::EvalEval
+            } else if lg && never_ground(r, may, this_known) {
+                UnifyMode::EvalMatch
+            } else if rg && never_ground(l, may, this_known) {
+                UnifyMode::MatchEval
+            } else {
+                UnifyMode::Dynamic
+            };
+            match mode {
+                UnifyMode::EvalMatch => binders(r, must),
+                UnifyMode::MatchEval => binders(l, must),
+                _ => {}
+            }
+            may_binders(l, may);
+            may_binders(r, may);
+            modes.push(mode);
+        }
+        Goal::Invoke { args, .. } => {
+            // Every argument pattern is matched on success, so its binders
+            // are certainly bound afterwards.
+            for a in args {
+                binders(a, must);
+                may_binders(a, may);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Goal-body compiler (pass B: right-to-left emission)
+// ---------------------------------------------------------------------------
+
+struct BodyCompiler {
+    instrs: Vec<Instr>,
+    exprs: Vec<PExpr>,
+    goals: Vec<Goal>,
+    names: Vec<String>,
+    /// Modes from pass A, popped from the back.
+    modes: Vec<UnifyMode>,
+}
+
+impl BodyCompiler {
+    fn push(&mut self, i: Instr) -> Pc {
+        let pc = self.instrs.len() as Pc;
+        self.instrs.push(i);
+        pc
+    }
+
+    fn expr(&mut self, e: &PExpr) -> ExprId {
+        let id = self.exprs.len() as ExprId;
+        self.exprs.push(e.clone());
+        id
+    }
+
+    fn goal(&mut self, g: Goal) -> GoalId {
+        let id = self.goals.len() as GoalId;
+        self.goals.push(g);
+        id
+    }
+
+    fn name(&mut self, n: &str) -> u32 {
+        if let Some(i) = self.names.iter().position(|x| x == n) {
+            return i as u32;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(n.to_owned());
+        id
+    }
+
+    /// Appends the instructions of `g`, continuing at `next`, and returns
+    /// the entry pc. Conjunctions are emitted right-to-left so every
+    /// continuation pc already exists when its predecessor is written.
+    fn emit(&mut self, g: &Goal, next: Pc) -> Pc {
+        match g {
+            Goal::True | Goal::Trivial => next,
+            Goal::Fail => self.push(Instr::Fail),
+            Goal::Seq(gs) => {
+                let mut pc = next;
+                for g in gs.iter().rev() {
+                    pc = self.emit(g, pc);
+                }
+                pc
+            }
+            // Choice arity must mirror the machine's choice-point arity
+            // exactly (see the module docs): 0 ⇒ Fail, 1 ⇒ inline, else
+            // one Choice with one alternative per branch, in source order.
+            Goal::Any(gs) => match gs.len() {
+                0 => self.push(Instr::Fail),
+                1 => self.emit(&gs[0], next),
+                _ => {
+                    let mut alts: Vec<Pc> = gs.iter().rev().map(|g| self.emit(g, next)).collect();
+                    alts.reverse();
+                    self.push(Instr::Choice(alts.into()))
+                }
+            },
+            Goal::Unify(l, r) => {
+                let mode = self.modes.pop().expect("unify mode analysis out of sync");
+                let lhs = self.expr(l);
+                let rhs = self.expr(r);
+                self.push(Instr::Unify {
+                    lhs,
+                    rhs,
+                    mode,
+                    next,
+                })
+            }
+            Goal::Compare(op, l, r) => {
+                let lhs = self.expr(l);
+                let rhs = self.expr(r);
+                self.push(Instr::Compare {
+                    op: *op,
+                    lhs,
+                    rhs,
+                    next,
+                })
+            }
+            Goal::Test(e) => {
+                let expr = self.expr(e);
+                self.push(Instr::Test { expr, next })
+            }
+            Goal::Not(inner) => {
+                let goal = self.goal((**inner).clone());
+                self.push(Instr::Not { goal, next })
+            }
+            Goal::DynSeq(_) => {
+                let goal = self.goal(g.clone());
+                self.push(Instr::DynSeq { goal, next })
+            }
+            Goal::Invoke {
+                receiver,
+                name,
+                args,
+                dispatch,
+            } => {
+                let receiver = receiver.as_ref().map(|r| self.expr(r));
+                let args_start = self.exprs.len() as ExprId;
+                for a in args {
+                    self.exprs.push(a.clone());
+                }
+                let name = self.name(name);
+                self.push(Instr::Invoke {
+                    receiver,
+                    name,
+                    args_start,
+                    args_len: args.len() as u32,
+                    dispatch: *dispatch,
+                    next,
+                })
+            }
+        }
+    }
+}
+
+/// Compiles one solved form's goal to threaded bytecode. `entry_must` are
+/// the slots the mode seeds as bound (parameters for the forward mode, the
+/// first parameter for `equals_bound`, the caller-bound names for a
+/// standalone form, nothing for the matching mode).
+pub fn compile_body(form: &SolvedForm, entry_must: &[SlotId]) -> BcBody {
+    let mut must: HashSet<SlotId> = entry_must.iter().copied().collect();
+    let mut may = must.clone();
+    let mut modes = Vec::new();
+    analyze(
+        &form.goal,
+        &mut must,
+        &mut may,
+        form.this_present,
+        &mut modes,
+    );
+    let mut c = BodyCompiler {
+        instrs: Vec::new(),
+        exprs: Vec::new(),
+        goals: Vec::new(),
+        names: Vec::new(),
+        modes,
+    };
+    c.push(Instr::Emit);
+    let entry = c.emit(&form.goal, 0);
+    debug_assert!(c.modes.is_empty(), "unify modes left over after emission");
+    BcBody {
+        entry,
+        instrs: c.instrs,
+        exprs: c.exprs,
+        goals: c.goals,
+        names: c.names,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block (register) bytecode
+// ---------------------------------------------------------------------------
+
+/// A constant in a [`BcBlock`]'s pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// `null`.
+    Null,
+}
+
+/// The jump table of one lowered `switch`: candidate case indices (in
+/// source order) per scrutinee type index, plus the candidates for
+/// non-object / foreign scrutinees. Selecting the arms that can possibly
+/// match is one array load instead of a linear guard scan.
+#[derive(Debug, Clone)]
+pub struct SwitchTable {
+    /// Candidate case indices for objects, by dense type index.
+    pub by_type: Vec<Box<[u16]>>,
+    /// Candidate case indices for values without a type index.
+    pub other: Box<[u16]>,
+}
+
+/// The pc table of a *natively* compiled `switch` ([`SInstr::SwitchJump`]):
+/// the compiled arm's code address per scrutinee type index. Used when
+/// every arm is a single-class constructor pattern over a pure
+/// field-projection constructor, so selecting *and running* an arm is an
+/// array load plus straight-line register code — no pattern-matching
+/// machinery at all.
+#[derive(Debug, Clone)]
+pub struct JumpTable {
+    /// Arm entry pc by dense type index.
+    pub by_type: Box<[Pc]>,
+    /// Target for non-object / foreign-layout / unmatched scrutinees: the
+    /// pc of the guarded [`SInstr::Switch`] fallback.
+    pub other: Pc,
+}
+
+/// Cross-method context for block compilation: the lowered method table
+/// and the materialized dispatch tables, so call sites and switch arms can
+/// be specialized against the whole program (monomorphic getter inlining,
+/// native field-projection switches).
+pub struct BcCtx<'a> {
+    /// Every lowered method, indexed by [`PlanId`].
+    pub methods: &'a [MethodPlan],
+    /// The materialized dispatch tables, indexed by [`DispatchId`].
+    pub dispatch: &'a [DispatchTable],
+}
+
+/// One register instruction of a [`BcBlock`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SInstr {
+    /// `dst ← consts[k]`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Constant-pool index.
+        k: u32,
+    },
+    /// `dst ← frame[slot]`, falling back to the field of `this` named
+    /// `name` (the variable-occurrence superinstruction).
+    LoadSlot {
+        /// Destination register.
+        dst: Reg,
+        /// Frame slot.
+        slot: SlotId,
+        /// Name-pool index (error messages, field fallback).
+        name: u32,
+        /// Interned field name for the O(1) fallback.
+        field_sym: Option<Sym>,
+    },
+    /// `dst ← this`.
+    LoadThis {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst ← base.field` (field-read superinstruction).
+    LoadField {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the object.
+        base: Reg,
+        /// Interned field name.
+        sym: Option<Sym>,
+        /// Name-pool index (slow path + errors).
+        name: u32,
+    },
+    /// `dst ← base.fields[idx]` — a direct layout-slot load. Emitted only
+    /// behind a class guard ([`SInstr::ClassIs`] / [`SInstr::SwitchJump`])
+    /// that proved `base` holds a native-layout object of the one class
+    /// whose layout assigns the field this slot.
+    LoadFieldIdx {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the object (guarded).
+        base: Reg,
+        /// Field slot in the guarded class's layout.
+        idx: u32,
+    },
+    /// `dst ← src`.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst ← a op b` over integers.
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// The operator.
+        op: BinOp,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// `dst ← -a`.
+    Neg {
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        a: Reg,
+    },
+    /// `dst ← eval(exprs[expr])` — fallback for expression shapes without
+    /// a register lowering (kept for identical error behavior).
+    EvalExpr {
+        /// Destination register.
+        dst: Reg,
+        /// Expression-pool index.
+        expr: ExprId,
+    },
+    /// `dst ← run_forward(pid, regs[base .. base+argc])` — statically
+    /// resolved call (free methods, constructors).
+    CallStatic {
+        /// Destination register.
+        dst: Reg,
+        /// Callee plan.
+        pid: u32,
+        /// First argument register (arguments are contiguous).
+        base: Reg,
+        /// Argument count.
+        argc: u16,
+    },
+    /// `dst ← regs[recv].name(regs[base ..])` — dynamic dispatch through
+    /// the name's table.
+    CallDyn {
+        /// Destination register.
+        dst: Reg,
+        /// Receiver register.
+        recv: Reg,
+        /// Name-pool index.
+        name: u32,
+        /// Dispatch table.
+        dispatch: Option<DispatchId>,
+        /// First argument register.
+        base: Reg,
+        /// Argument count.
+        argc: u16,
+    },
+    /// `dst ← this.name(regs[base ..])`.
+    CallThis {
+        /// Destination register.
+        dst: Reg,
+        /// Name-pool index.
+        name: u32,
+        /// Dispatch table.
+        dispatch: Option<DispatchId>,
+        /// First argument register.
+        base: Reg,
+        /// Argument count.
+        argc: u16,
+    },
+    /// `frame[slot] ← src`.
+    Store {
+        /// Frame slot.
+        slot: SlotId,
+        /// Source register.
+        src: Reg,
+    },
+    /// `return regs[src]`.
+    Ret {
+        /// Source register.
+        src: Reg,
+    },
+    /// `return;` (void / null).
+    RetNull,
+    /// Unconditional forward jump.
+    Jump {
+        /// Target pc.
+        target: Pc,
+    },
+    /// Resets a loop's iteration-guard counter on entry.
+    ResetGuard {
+        /// Guard counter index.
+        guard: u16,
+    },
+    /// Backward jump closing a loop; bumps and checks the iteration guard.
+    LoopJump {
+        /// Loop head pc.
+        target: Pc,
+        /// Guard counter index.
+        guard: u16,
+    },
+    /// `if !(a op b) jump if_false` — a `while` condition superinstruction
+    /// (charges one budget step, like the solve it replaces).
+    CmpJump {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+        /// Where to jump when the comparison does not hold.
+        if_false: Pc,
+    },
+    /// `if regs[a] != true jump if_false` — a boolean `while` condition.
+    TestJump {
+        /// Tested register.
+        a: Reg,
+        /// Where to jump when the test does not hold.
+        if_false: Pc,
+    },
+    /// `if class_index(regs[a]) != type_index jump if_false` — the guard in
+    /// front of an inlined monomorphic call: receivers of the one
+    /// implementing class run the inlined body, everything else takes the
+    /// generic [`SInstr::CallDyn`] slow path (identical errors included).
+    ClassIs {
+        /// Receiver register.
+        a: Reg,
+        /// The sole type index the inlined body is valid for.
+        type_index: u32,
+        /// The generic call's pc.
+        if_false: Pc,
+    },
+    /// Statement-specialization guard: loads `slot` and tests that it holds
+    /// a native-layout object of `type_index`. On success `dst` holds the
+    /// value and the specialized statement runs (direct slot loads,
+    /// guard-free inlining); anything else — unbound, non-object, foreign
+    /// or different class — jumps to the statement's generic compilation at
+    /// `if_false`. Never errors and binds nothing on failure.
+    GuardSlot {
+        /// Destination register (the guarded value).
+        dst: Reg,
+        /// Frame slot of the receiver variable.
+        slot: SlotId,
+        /// The type index the specialized statement is valid for.
+        type_index: u32,
+        /// The generic statement's pc.
+        if_false: Pc,
+    },
+    /// Native jump-table switch: `jumps[table]` maps the scrutinee's type
+    /// index straight to the pc of its arm's compiled code (field
+    /// projections + body). Non-objects, foreign-layout objects, and type
+    /// indices without a native arm take `other`, which is always the
+    /// guarded [`SInstr::Switch`] fallback, so observable semantics are
+    /// identical to the case-matching machinery.
+    SwitchJump {
+        /// Scrutinee register.
+        scrutinee: Reg,
+        /// Jump-table index into [`BcBlock::jumps`].
+        table: u32,
+    },
+    /// Guarded-switch superinstruction: select the candidate case arms for
+    /// the scrutinee's type index through `switches[table]`, then run them
+    /// through the shared case-matching machinery.
+    Switch {
+        /// Scrutinee register.
+        scrutinee: Reg,
+        /// Switch-table index.
+        table: u32,
+        /// The pooled `StmtPlan::Switch` (cases, bodies, default).
+        stmt: StmtId,
+    },
+    /// Full statement fallback: statements with subtle solution-frame
+    /// semantics (`let`, `if`/`cond`, `foreach`, general `while`, nested
+    /// blocks) run through the existing statement interpreter.
+    ExecStmt {
+        /// Statement-pool index.
+        stmt: StmtId,
+    },
+    /// End of the block: normal fall-off.
+    End,
+}
+
+/// Register bytecode for one imperative body.
+#[derive(Debug, Clone)]
+pub struct BcBlock {
+    /// The instruction stream (entry at pc 0, terminated by [`SInstr::End`]).
+    pub code: Vec<SInstr>,
+    /// Register-file size (high-water mark).
+    pub nregs: u16,
+    /// Number of loop-guard counters.
+    pub nguards: u16,
+    /// Constant pool.
+    pub consts: Vec<Const>,
+    /// Expression pool for [`SInstr::EvalExpr`].
+    pub exprs: Vec<PExpr>,
+    /// Statement pool for [`SInstr::ExecStmt`] / [`SInstr::Switch`].
+    pub stmts: Vec<StmtPlan>,
+    /// Switch jump tables (guarded form).
+    pub switches: Vec<SwitchTable>,
+    /// Native switch pc tables ([`SInstr::SwitchJump`]).
+    pub jumps: Vec<JumpTable>,
+    /// Name pool.
+    pub names: Vec<String>,
+}
+
+struct BlockCompiler<'a> {
+    ctx: &'a BcCtx<'a>,
+    code: Vec<SInstr>,
+    nregs: u16,
+    next_reg: u16,
+    nguards: u16,
+    consts: Vec<Const>,
+    exprs: Vec<PExpr>,
+    stmts: Vec<StmtPlan>,
+    switches: Vec<SwitchTable>,
+    jumps: Vec<JumpTable>,
+    names: Vec<String>,
+    /// Per-statement slot-read cache: registers already holding a frame
+    /// slot's value, so repeated reads of the same variable inside one
+    /// statement reuse the register instead of re-loading. Sound because
+    /// registers are written once per statement, `eval` takes the frame
+    /// immutably, and the only frame writer ([`SInstr::Store`]) evicts its
+    /// slot.
+    slot_regs: Vec<(SlotId, Reg)>,
+    /// The active statement specialization, when compiling the fast branch
+    /// behind a [`SInstr::GuardSlot`]: the guarded receiver slot, the type
+    /// index the guard proved, and that class's layout. Field reads and
+    /// monomorphic calls on the guarded slot compile to direct slot loads
+    /// and guard-free inline code.
+    spec: Option<(SlotId, u32, &'a ClassLayout)>,
+}
+
+/// One qualified arm of a natively compiled switch: the class it claims,
+/// the `(layout slot, frame slot)` bindings of its pattern arguments
+/// (`None` frame slot for wildcards), and its single-`return` body.
+struct NativeArm<'p> {
+    tix: usize,
+    binds: Vec<(u32, Option<SlotId>)>,
+    body: &'p [StmtPlan],
+}
+
+impl<'a> BlockCompiler<'a> {
+    fn push(&mut self, i: SInstr) -> Pc {
+        let pc = self.code.len() as Pc;
+        self.code.push(i);
+        pc
+    }
+
+    fn alloc(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        if self.next_reg > self.nregs {
+            self.nregs = self.next_reg;
+        }
+        r
+    }
+
+    fn konst(&mut self, k: Const) -> u32 {
+        if let Some(i) = self.consts.iter().position(|x| *x == k) {
+            return i as u32;
+        }
+        let id = self.consts.len() as u32;
+        self.consts.push(k);
+        id
+    }
+
+    fn name(&mut self, n: &str) -> u32 {
+        if let Some(i) = self.names.iter().position(|x| x == n) {
+            return i as u32;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(n.to_owned());
+        id
+    }
+
+    fn pool_expr(&mut self, e: &PExpr) -> ExprId {
+        let id = self.exprs.len() as ExprId;
+        self.exprs.push(e.clone());
+        id
+    }
+
+    fn pool_stmt(&mut self, s: &StmtPlan) -> StmtId {
+        let id = self.stmts.len() as StmtId;
+        self.stmts.push(s.clone());
+        id
+    }
+
+    /// Compiles `e` into a fresh register and returns it. A variable whose
+    /// slot was already loaded in this statement reuses its register.
+    fn expr(&mut self, e: &PExpr) -> Reg {
+        if let PExpr::Name { slot, .. } = e {
+            if let Some(&(_, r)) = self.slot_regs.iter().find(|(s, _)| s == slot) {
+                return r;
+            }
+        }
+        let dst = self.alloc();
+        self.expr_into(e, dst);
+        dst
+    }
+
+    /// Compiles `e` so its value lands in `dst`. Emission order matches the
+    /// tree evaluator's evaluation order exactly, so error precedence is
+    /// unchanged.
+    fn expr_into(&mut self, e: &PExpr, dst: Reg) {
+        match e {
+            PExpr::Int(i) => {
+                let k = self.konst(Const::Int(*i));
+                self.push(SInstr::Const { dst, k });
+            }
+            PExpr::Bool(b) => {
+                let k = self.konst(Const::Bool(*b));
+                self.push(SInstr::Const { dst, k });
+            }
+            PExpr::Str(s) => {
+                let k = self.konst(Const::Str(s.clone()));
+                self.push(SInstr::Const { dst, k });
+            }
+            PExpr::Null => {
+                let k = self.konst(Const::Null);
+                self.push(SInstr::Const { dst, k });
+            }
+            PExpr::This => {
+                self.push(SInstr::LoadThis { dst });
+            }
+            PExpr::Name {
+                slot,
+                name,
+                field_sym,
+                ..
+            } => {
+                let name = self.name(name);
+                self.push(SInstr::LoadSlot {
+                    dst,
+                    slot: *slot,
+                    name,
+                    field_sym: *field_sym,
+                });
+                self.slot_regs.push((*slot, dst));
+            }
+            PExpr::Field(base, name, sym) => {
+                // Inside a specialized statement a read of a declared field
+                // off the guarded receiver goes straight to its layout slot.
+                if let (Some((rslot, _, layout)), PExpr::Name { slot, .. }, Some(sym)) =
+                    (self.spec, &**base, sym)
+                {
+                    if *slot == rslot {
+                        if let (Some(idx), Some(&(_, r))) = (
+                            layout.slot_of_sym(*sym),
+                            self.slot_regs.iter().find(|&&(s, _)| s == rslot),
+                        ) {
+                            self.push(SInstr::LoadFieldIdx {
+                                dst,
+                                base: r,
+                                idx: idx as u32,
+                            });
+                            return;
+                        }
+                    }
+                }
+                let b = self.expr(base);
+                let name = self.name(name);
+                self.push(SInstr::LoadField {
+                    dst,
+                    base: b,
+                    sym: *sym,
+                    name,
+                });
+            }
+            PExpr::Binary(op, a, b) => {
+                let ra = self.expr(a);
+                let rb = self.expr(b);
+                self.push(SInstr::Bin {
+                    dst,
+                    op: *op,
+                    a: ra,
+                    b: rb,
+                });
+            }
+            PExpr::Neg(a) => {
+                let ra = self.expr(a);
+                self.push(SInstr::Neg { dst, a: ra });
+            }
+            PExpr::Call {
+                receiver,
+                name,
+                args,
+                kind,
+                dispatch,
+            } => {
+                // Only statically sensible call shapes get the register
+                // lowering; everything else falls back to the tree
+                // evaluator for identical error behavior.
+                let pid = match kind {
+                    CallKind::StaticConstruct(cr) | CallKind::ClassCtor(cr) => cr.construct_pid,
+                    CallKind::Free(pid) => *pid,
+                    CallKind::Instance | CallKind::ThisMethod => None,
+                    CallKind::Unresolved => {
+                        let expr = self.pool_expr(e);
+                        self.push(SInstr::EvalExpr { dst, expr });
+                        return;
+                    }
+                };
+                let is_dispatch = matches!(kind, CallKind::Instance | CallKind::ThisMethod);
+                if pid.is_none() && !is_dispatch {
+                    let expr = self.pool_expr(e);
+                    self.push(SInstr::EvalExpr { dst, expr });
+                    return;
+                }
+                // Arguments first (the evaluator's order), contiguously.
+                let base = self.next_reg;
+                for _ in args {
+                    self.alloc();
+                }
+                for (i, a) in args.iter().enumerate() {
+                    self.expr_into(a, base + i as Reg);
+                }
+                let argc = args.len() as u16;
+                match kind {
+                    CallKind::Instance => {
+                        let recv_expr = receiver.as_deref().expect("instance call receiver");
+                        let recv = self.expr(recv_expr);
+                        let name = self.name(name);
+                        if let Some((tix, ret, params, layout)) =
+                            self.inline_target(*dispatch, args.len(), true)
+                        {
+                            // Inside a specialized statement whose guard
+                            // already proved this receiver's class, the
+                            // inline body needs no guard of its own.
+                            let guarded = match (self.spec, recv_expr) {
+                                (Some((s, t, _)), PExpr::Name { slot, .. }) => {
+                                    *slot == s
+                                        && t == tix
+                                        && self
+                                            .slot_regs
+                                            .iter()
+                                            .any(|&(sl, r)| sl == s && r == recv)
+                                }
+                                _ => false,
+                            };
+                            if guarded {
+                                self.inline_expr(ret, dst, recv, base, params, layout);
+                                return;
+                            }
+                            // Monomorphic getter inlining: receivers of the
+                            // one implementing class run the body's register
+                            // code in place; everything else (wrong class,
+                            // non-object, foreign layout) falls through to
+                            // the generic call for identical errors.
+                            let guard = self.push(SInstr::ClassIs {
+                                a: recv,
+                                type_index: tix,
+                                if_false: 0, // patched below
+                            });
+                            self.inline_expr(ret, dst, recv, base, params, layout);
+                            let skip = self.push(SInstr::Jump { target: 0 });
+                            let slow = self.code.len() as Pc;
+                            if let SInstr::ClassIs { if_false, .. } = &mut self.code[guard as usize]
+                            {
+                                *if_false = slow;
+                            }
+                            self.push(SInstr::CallDyn {
+                                dst,
+                                recv,
+                                name,
+                                dispatch: *dispatch,
+                                base,
+                                argc,
+                            });
+                            let join = self.code.len() as Pc;
+                            if let SInstr::Jump { target } = &mut self.code[skip as usize] {
+                                *target = join;
+                            }
+                        } else {
+                            self.push(SInstr::CallDyn {
+                                dst,
+                                recv,
+                                name,
+                                dispatch: *dispatch,
+                                base,
+                                argc,
+                            });
+                        }
+                    }
+                    CallKind::ThisMethod => {
+                        let name = self.name(name);
+                        self.push(SInstr::CallThis {
+                            dst,
+                            name,
+                            dispatch: *dispatch,
+                            base,
+                            argc,
+                        });
+                    }
+                    _ => {
+                        let pid = pid.expect("checked above");
+                        match self.static_inline_target(pid, args.len()) {
+                            // A free single-`return` callee over its
+                            // parameters alone needs no guard at all: the
+                            // plan is statically resolved.
+                            Some((ret, params)) => {
+                                self.inline_expr(ret, dst, 0, base, params, None)
+                            }
+                            None => {
+                                self.push(SInstr::CallStatic {
+                                    dst,
+                                    pid: pid as u32,
+                                    base,
+                                    argc,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Result, Index, NewArray, Tuple, As, OrPat, Where, Wildcard,
+            // Decl: evaluate (or error) exactly like the tree evaluator.
+            _ => {
+                let expr = self.pool_expr(e);
+                self.push(SInstr::EvalExpr { dst, expr });
+            }
+        }
+    }
+
+    /// The inline candidate behind a dynamic dispatch: when the name's
+    /// table resolves for exactly one type index and that implementation
+    /// is a single-`return` block over inlinable expressions, returns the
+    /// type index to guard on, the returned expression, and the callee's
+    /// parameter slots.
+    fn inline_target(
+        &self,
+        dispatch: Option<DispatchId>,
+        argc: usize,
+        has_this: bool,
+    ) -> Option<(u32, &'a PExpr, &'a [SlotId], Option<&'a ClassLayout>)> {
+        let (tix, pid) = self.ctx.dispatch.get(dispatch? as usize)?.unique_impl()?;
+        let (ret, params) = self.returned_expr(pid, argc, has_this)?;
+        let layout = self.ctx.methods.get(pid)?.owner_layout.as_deref();
+        Some((tix, ret, params, layout))
+    }
+
+    /// Like [`BlockCompiler::inline_target`] for a statically resolved
+    /// call: no guard is needed, but the body must not touch `this` (free
+    /// methods have none).
+    fn static_inline_target(&self, pid: PlanId, argc: usize) -> Option<(&'a PExpr, &'a [SlotId])> {
+        self.returned_expr(pid, argc, false)
+    }
+
+    /// The single returned expression of an inlinable block body.
+    fn returned_expr(
+        &self,
+        pid: PlanId,
+        argc: usize,
+        has_this: bool,
+    ) -> Option<(&'a PExpr, &'a [SlotId])> {
+        let mp = self.ctx.methods.get(pid)?;
+        let BodyPlan::Block(bp) = &mp.body else {
+            return None;
+        };
+        if bp.param_slots.len() != argc {
+            return None;
+        }
+        let [StmtPlan::Return(Some(ret))] = bp.stmts.as_slice() else {
+            return None;
+        };
+        inlinable(ret, &bp.param_slots, has_this).then_some((ret, bp.param_slots.as_slice()))
+    }
+
+    /// Emits `e` (a callee-body expression vetted by [`inlinable`]) into
+    /// `dst`, with the callee's `this` in register `recv` and its
+    /// parameters in the contiguous argument registers at `base`. `layout`
+    /// is the receiver's layout when the call site guards the receiver's
+    /// class ([`SInstr::ClassIs`]), letting field-of-`this` reads compile
+    /// to direct slot loads.
+    fn inline_expr(
+        &mut self,
+        e: &PExpr,
+        dst: Reg,
+        recv: Reg,
+        base: Reg,
+        params: &[SlotId],
+        layout: Option<&ClassLayout>,
+    ) {
+        match e {
+            PExpr::Int(i) => {
+                let k = self.konst(Const::Int(*i));
+                self.push(SInstr::Const { dst, k });
+            }
+            PExpr::Bool(b) => {
+                let k = self.konst(Const::Bool(*b));
+                self.push(SInstr::Const { dst, k });
+            }
+            PExpr::Str(s) => {
+                let k = self.konst(Const::Str(s.clone()));
+                self.push(SInstr::Const { dst, k });
+            }
+            PExpr::Null => {
+                let k = self.konst(Const::Null);
+                self.push(SInstr::Const { dst, k });
+            }
+            PExpr::This => {
+                self.push(SInstr::Move { dst, src: recv });
+            }
+            PExpr::Name {
+                slot,
+                name,
+                field_sym,
+                ..
+            } => match params.iter().position(|s| s == slot) {
+                Some(i) => {
+                    self.push(SInstr::Move {
+                        dst,
+                        src: base + i as Reg,
+                    });
+                }
+                // A non-parameter variable in a single-`return` body can
+                // only be bound through the field-of-`this` fallback; with
+                // the receiver's class guarded, the slot is known statically.
+                None => {
+                    let slot = layout.zip(*field_sym).and_then(|(l, s)| l.slot_of_sym(s));
+                    match slot {
+                        Some(idx) => {
+                            self.push(SInstr::LoadFieldIdx {
+                                dst,
+                                base: recv,
+                                idx: idx as u32,
+                            });
+                        }
+                        None => {
+                            let name = self.name(name);
+                            self.push(SInstr::LoadField {
+                                dst,
+                                base: recv,
+                                sym: *field_sym,
+                                name,
+                            });
+                        }
+                    }
+                }
+            },
+            PExpr::Field(b, n, sym) => {
+                let rb = self.inline_operand(b, recv, base, params, layout);
+                let name = self.name(n);
+                self.push(SInstr::LoadField {
+                    dst,
+                    base: rb,
+                    sym: *sym,
+                    name,
+                });
+            }
+            PExpr::Binary(op, a, b) => {
+                let ra = self.inline_operand(a, recv, base, params, layout);
+                let rb = self.inline_operand(b, recv, base, params, layout);
+                self.push(SInstr::Bin {
+                    dst,
+                    op: *op,
+                    a: ra,
+                    b: rb,
+                });
+            }
+            PExpr::Neg(a) => {
+                let ra = self.inline_operand(a, recv, base, params, layout);
+                self.push(SInstr::Neg { dst, a: ra });
+            }
+            _ => unreachable!("expression shape vetted by `inlinable`"),
+        }
+    }
+
+    /// An operand register for an inlined expression, reusing the receiver
+    /// / argument registers directly when possible.
+    fn inline_operand(
+        &mut self,
+        e: &PExpr,
+        recv: Reg,
+        base: Reg,
+        params: &[SlotId],
+        layout: Option<&ClassLayout>,
+    ) -> Reg {
+        match e {
+            PExpr::This => recv,
+            PExpr::Name { slot, .. } => {
+                if let Some(i) = params.iter().position(|s| s == slot) {
+                    return base + i as Reg;
+                }
+                let r = self.alloc();
+                self.inline_expr(e, r, recv, base, params, layout);
+                r
+            }
+            _ => {
+                let r = self.alloc();
+                self.inline_expr(e, r, recv, base, params, layout);
+                r
+            }
+        }
+    }
+
+    /// Emits a frame store, evicting the slot from the read cache.
+    fn emit_store(&mut self, slot: SlotId, src: Reg) {
+        self.slot_regs.retain(|(s, _)| *s != slot);
+        self.push(SInstr::Store { slot, src });
+    }
+
+    /// Qualifies every case of a switch for native compilation: each arm
+    /// must be a single-class constructor pattern over a pure
+    /// field-projection constructor, with unconditionally binding argument
+    /// patterns (`T x` / `_`), a plain body target, a single-`return` body
+    /// (so the arm cannot fall through into the code after the switch),
+    /// and no two arms claiming the same class. Anything else returns
+    /// `None` and the switch stays on the guarded form.
+    fn native_arms<'p>(
+        &self,
+        cases: &'p [CasePlan],
+        bodies: &'p [Vec<StmtPlan>],
+        num_types: usize,
+    ) -> Option<Vec<NativeArm<'p>>> {
+        let mut arms = Vec::with_capacity(cases.len());
+        let mut claimed = vec![false; num_types];
+        for c in cases {
+            let [pattern] = c.patterns.as_slice() else {
+                return None;
+            };
+            let [CaseGuard::Classes(mask)] = c.guards.as_slice() else {
+                return None;
+            };
+            let mut admitted = (0..num_types).filter(|&t| mask.get(t) == Some(&true));
+            let (Some(tix), None) = (admitted.next(), admitted.next()) else {
+                return None;
+            };
+            if claimed[tix] {
+                return None;
+            }
+            let CaseTarget::Body(j) = c.target else {
+                return None;
+            };
+            let body = bodies.get(j)?.as_slice();
+            if !matches!(body, [StmtPlan::Return(_)]) {
+                return None;
+            }
+            let PExpr::Call {
+                receiver: None,
+                args,
+                kind,
+                ..
+            } = pattern
+            else {
+                return None;
+            };
+            let (CallKind::StaticConstruct(cr) | CallKind::ClassCtor(cr)) = kind else {
+                return None;
+            };
+            let mp = self.ctx.methods.get(cr.match_pid?)?;
+            let proj = projection_syms(mp)?;
+            if proj.len() != args.len() {
+                return None;
+            }
+            // The claimed class's own layout: each projected field must
+            // resolve to a slot there, or the arm stays on the guarded form.
+            let layout = mp.owner_layout.as_deref()?;
+            let mut binds = Vec::with_capacity(args.len());
+            for (arg, (sym, _)) in args.iter().zip(proj) {
+                let idx = layout.slot_of_sym(sym)? as u32;
+                match arg {
+                    PExpr::Decl(_, slot, ClassCheck::Any) => binds.push((idx, *slot)),
+                    PExpr::Wildcard => binds.push((idx, None)),
+                    _ => return None,
+                }
+            }
+            claimed[tix] = true;
+            arms.push(NativeArm { tix, binds, body });
+        }
+        Some(arms)
+    }
+
+    /// Emits the native form of a qualified switch: a [`SInstr::SwitchJump`]
+    /// whose table maps each claimed type index to its arm's code (direct
+    /// field loads for the pattern bindings, then the compiled body). All
+    /// other scrutinees — and the `default` arm — land on `other`, which is
+    /// the guarded [`SInstr::Switch`] the caller pushes immediately after
+    /// this returns.
+    fn emit_native_switch(&mut self, scrutinee: Reg, arms: Vec<NativeArm<'_>>, num_types: usize) {
+        let jt = self.jumps.len();
+        self.jumps.push(JumpTable {
+            by_type: vec![Pc::MAX; num_types].into(),
+            other: Pc::MAX,
+        });
+        self.push(SInstr::SwitchJump {
+            scrutinee,
+            table: jt as u32,
+        });
+        for arm in arms {
+            let pc = self.code.len() as Pc;
+            self.jumps[jt].by_type[arm.tix] = pc;
+            // Keep the binding loads clear of the scrutinee's register:
+            // each arm is entered straight from the jump, so the register
+            // counter must restart above it, not above the previous arm's.
+            self.next_reg = self.next_reg.max(scrutinee + 1);
+            for (idx, slot) in &arm.binds {
+                if let Some(slot) = slot {
+                    let r = self.alloc();
+                    self.push(SInstr::LoadFieldIdx {
+                        dst: r,
+                        base: scrutinee,
+                        idx: *idx,
+                    });
+                    self.emit_store(*slot, r);
+                }
+            }
+            for st in arm.body {
+                self.stmt(st);
+            }
+        }
+        let other = self.code.len() as Pc;
+        let t = &mut self.jumps[jt];
+        t.other = other;
+        for e in t.by_type.iter_mut() {
+            if *e == Pc::MAX {
+                *e = other;
+            }
+        }
+    }
+
+    /// Compiles an `Assign` / `Expr` / `Return` statement, versioned behind
+    /// a [`SInstr::GuardSlot`] when the expression contains a monomorphic
+    /// instance call on a slot-variable receiver: the fast branch compiles
+    /// with the receiver's class proven (direct layout-slot field loads,
+    /// guard-free inlining), the generic branch is the ordinary compilation
+    /// the guard falls back to. `store` is an `Assign`'s target slot;
+    /// `ret` marks a `return` (the fast branch exits, so no join is
+    /// emitted).
+    fn guarded_stmt(&mut self, e: &PExpr, store: Option<SlotId>, ret: bool) {
+        let Some((rslot, tix, layout)) = self.stmt_spec(e) else {
+            self.finish_stmt(e, store, ret);
+            return;
+        };
+        let dst = self.alloc();
+        let guard = self.push(SInstr::GuardSlot {
+            dst,
+            slot: rslot,
+            type_index: tix,
+            if_false: 0, // patched below
+        });
+        self.slot_regs.push((rslot, dst));
+        self.spec = Some((rslot, tix, layout));
+        self.finish_stmt(e, store, ret);
+        self.spec = None;
+        let skip = (!ret).then(|| self.push(SInstr::Jump { target: 0 }));
+        let slow = self.code.len() as Pc;
+        if let SInstr::GuardSlot { if_false, .. } = &mut self.code[guard as usize] {
+            *if_false = slow;
+        }
+        // The fast branch's register cache does not hold on the generic
+        // branch.
+        self.slot_regs.clear();
+        self.finish_stmt(e, store, ret);
+        let join = self.code.len() as Pc;
+        if let Some(skip) = skip {
+            if let SInstr::Jump { target } = &mut self.code[skip as usize] {
+                *target = join;
+            }
+        }
+    }
+
+    /// The unversioned tail of [`BlockCompiler::guarded_stmt`]: evaluate,
+    /// then store or return.
+    fn finish_stmt(&mut self, e: &PExpr, store: Option<SlotId>, ret: bool) {
+        let src = self.expr(e);
+        if let Some(slot) = store {
+            self.emit_store(slot, src);
+        } else if ret {
+            self.push(SInstr::Ret { src });
+        }
+    }
+
+    /// The specialization candidate of one statement: the first
+    /// slot-variable receiver of a monomorphic inlinable instance call in
+    /// the expression, with the type index and layout its guard proves.
+    fn stmt_spec(&self, e: &PExpr) -> Option<(SlotId, u32, &'a ClassLayout)> {
+        match e {
+            PExpr::Call {
+                receiver: Some(r),
+                args,
+                kind: CallKind::Instance,
+                dispatch,
+                ..
+            } => {
+                if let PExpr::Name { slot, .. } = &**r {
+                    if let Some((tix, _, _, Some(layout))) =
+                        self.inline_target(*dispatch, args.len(), true)
+                    {
+                        return Some((*slot, tix, layout));
+                    }
+                }
+                self.stmt_spec(r)
+                    .or_else(|| args.iter().find_map(|a| self.stmt_spec(a)))
+            }
+            PExpr::Call { receiver, args, .. } => receiver
+                .as_deref()
+                .and_then(|r| self.stmt_spec(r))
+                .or_else(|| args.iter().find_map(|a| self.stmt_spec(a))),
+            PExpr::Binary(_, a, b) => self.stmt_spec(a).or_else(|| self.stmt_spec(b)),
+            PExpr::Neg(a) | PExpr::Field(a, _, _) => self.stmt_spec(a),
+            _ => None,
+        }
+    }
+
+    fn stmt(&mut self, s: &StmtPlan) {
+        self.next_reg = 0;
+        self.slot_regs.clear();
+        match s {
+            StmtPlan::Assign(slot, e) => self.guarded_stmt(e, Some(*slot), false),
+            StmtPlan::Expr(e) => self.guarded_stmt(e, None, false),
+            StmtPlan::Return(Some(e)) => self.guarded_stmt(e, None, true),
+            StmtPlan::Return(None) => {
+                self.push(SInstr::RetNull);
+            }
+            StmtPlan::While { cond, body } => match cond {
+                Goal::Compare(op, l, r) => {
+                    let guard = self.nguards;
+                    self.nguards += 1;
+                    self.push(SInstr::ResetGuard { guard });
+                    let head = self.code.len() as Pc;
+                    self.next_reg = 0;
+                    let a = self.expr(l);
+                    let b = self.expr(r);
+                    let cmp = self.push(SInstr::CmpJump {
+                        op: *op,
+                        a,
+                        b,
+                        if_false: 0, // patched below
+                    });
+                    for s in body {
+                        self.stmt(s);
+                    }
+                    self.push(SInstr::LoopJump {
+                        target: head,
+                        guard,
+                    });
+                    let end = self.code.len() as Pc;
+                    if let SInstr::CmpJump { if_false, .. } = &mut self.code[cmp as usize] {
+                        *if_false = end;
+                    }
+                }
+                Goal::Test(e) => {
+                    let guard = self.nguards;
+                    self.nguards += 1;
+                    self.push(SInstr::ResetGuard { guard });
+                    let head = self.code.len() as Pc;
+                    self.next_reg = 0;
+                    let a = self.expr(e);
+                    let test = self.push(SInstr::TestJump { a, if_false: 0 });
+                    for s in body {
+                        self.stmt(s);
+                    }
+                    self.push(SInstr::LoopJump {
+                        target: head,
+                        guard,
+                    });
+                    let end = self.code.len() as Pc;
+                    if let SInstr::TestJump { if_false, .. } = &mut self.code[test as usize] {
+                        *if_false = end;
+                    }
+                }
+                _ => {
+                    let stmt = self.pool_stmt(s);
+                    self.push(SInstr::ExecStmt { stmt });
+                }
+            },
+            StmtPlan::Switch {
+                scrutinees,
+                cases,
+                bodies,
+                ..
+            } if scrutinees.len() == 1 => {
+                // Build the jump table from the PR 4 case guards; a switch
+                // whose guards are all `Any` gains nothing over the scan.
+                let num_types = cases.iter().find_map(|c| match &c.guards[0] {
+                    CaseGuard::Classes(mask) => Some(mask.len()),
+                    CaseGuard::Any => None,
+                });
+                match num_types {
+                    Some(n) => {
+                        let by_type: Vec<Box<[u16]>> = (0..n)
+                            .map(|t| {
+                                cases
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, c)| c.guards[0].admits(Some(t as u32)))
+                                    .map(|(i, _)| i as u16)
+                                    .collect()
+                            })
+                            .collect();
+                        let other: Box<[u16]> = cases
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| c.guards[0].admits(None))
+                            .map(|(i, _)| i as u16)
+                            .collect();
+                        let table = self.switches.len() as u32;
+                        self.switches.push(SwitchTable { by_type, other });
+                        let scrutinee = self.expr(&scrutinees[0]);
+                        let stmt = self.pool_stmt(s);
+                        let arms = self.native_arms(cases, bodies, n);
+                        if let Some(arms) = arms {
+                            self.emit_native_switch(scrutinee, arms, n);
+                        }
+                        // The guarded form: the whole switch when no native
+                        // table was emitted, the `other` fallback (non-object
+                        // / foreign / unmatched scrutinees, `default`) when
+                        // one was.
+                        self.push(SInstr::Switch {
+                            scrutinee,
+                            table,
+                            stmt,
+                        });
+                    }
+                    None => {
+                        let stmt = self.pool_stmt(s);
+                        self.push(SInstr::ExecStmt { stmt });
+                    }
+                }
+            }
+            // Let / If / Cond / Foreach / nested Block / multi-scrutinee
+            // Switch / AssignUnsupported: the statement interpreter owns
+            // their solution-frame save/restore semantics.
+            _ => {
+                let stmt = self.pool_stmt(s);
+                self.push(SInstr::ExecStmt { stmt });
+            }
+        }
+    }
+}
+
+/// Whether a callee-body expression can be emitted inline at a call site:
+/// literals, `this` (when the callee has one), parameters, field reads,
+/// and integer arithmetic — everything whose register lowering needs no
+/// callee frame. Non-parameter variables are admitted only through the
+/// field-of-`this` fallback (in a single-`return` body nothing else can
+/// bind them).
+fn inlinable(e: &PExpr, params: &[SlotId], has_this: bool) -> bool {
+    match e {
+        PExpr::Int(_) | PExpr::Bool(_) | PExpr::Str(_) | PExpr::Null => true,
+        PExpr::This => has_this,
+        PExpr::Name {
+            slot, field_sym, ..
+        } => params.contains(slot) || (has_this && field_sym.is_some()),
+        PExpr::Field(b, _, _) => inlinable(b, params, has_this),
+        PExpr::Binary(_, a, b) => inlinable(a, params, has_this) && inlinable(b, params, has_this),
+        PExpr::Neg(a) => inlinable(a, params, has_this),
+        _ => false,
+    }
+}
+
+/// For a constructor whose matching form is a pure field projection
+/// (a conjunction of `field = param` equations and nothing else), the
+/// field each parameter projects, in parameter order. This is the shape a
+/// `returns(...)`-clause constructor lowers to, and it lets a `case
+/// C(int x, ...)` arm bind its variables with direct field loads instead
+/// of running the matching solver.
+fn projection_syms(mp: &MethodPlan) -> Option<Vec<(Sym, String)>> {
+    let BodyPlan::Formula { matching, .. } = &mp.body else {
+        return None;
+    };
+    let params = &matching.param_slots;
+    let conjuncts: &[Goal] = match &matching.goal {
+        Goal::Seq(gs) => gs,
+        g => std::slice::from_ref(g),
+    };
+    let mut fields: Vec<Option<(Sym, String)>> = vec![None; params.len()];
+    for g in conjuncts {
+        let Goal::Unify(a, b) = g else {
+            return None;
+        };
+        let (field, param) = match (field_name(a, params), param_slot(b, params)) {
+            (Some(f), Some(p)) => (f, p),
+            _ => match (field_name(b, params), param_slot(a, params)) {
+                (Some(f), Some(p)) => (f, p),
+                _ => return None,
+            },
+        };
+        let i = params.iter().position(|&s| s == param)?;
+        if fields[i].is_some() {
+            return None;
+        }
+        fields[i] = Some(field);
+    }
+    fields.into_iter().collect()
+}
+
+/// The interned field a `Name` resolves through the field-of-`this`
+/// fallback (i.e. it is not a parameter and a class declares the field).
+fn field_name(e: &PExpr, params: &[SlotId]) -> Option<(Sym, String)> {
+    match e {
+        PExpr::Name {
+            slot,
+            name,
+            field_sym: Some(sym),
+            ..
+        } if !params.contains(slot) => Some((*sym, name.clone())),
+        _ => None,
+    }
+}
+
+/// The slot of a bare parameter occurrence.
+fn param_slot(e: &PExpr, params: &[SlotId]) -> Option<SlotId> {
+    match e {
+        PExpr::Name { slot, .. } if params.contains(slot) => Some(*slot),
+        _ => None,
+    }
+}
+
+/// A constructor specialized to a direct projection: every owner field is
+/// assigned exactly one expression over the (always-ground) parameters, so
+/// forward construction can fill the layout's slots straight from the
+/// argument vector — no frame, no solver.
+#[derive(Debug, Clone)]
+pub struct FastCtor {
+    /// One vetted expression per owner field, in layout order.
+    pub fields: Box<[PExpr]>,
+    /// Slot of each declared parameter, in declaration order — the `Name`
+    /// occurrences inside `fields` resolve to positions in this list.
+    pub params: Box<[SlotId]>,
+    /// When the constructor is a pure field *permutation* — every field is
+    /// assigned exactly one distinct parameter and every parameter is used —
+    /// `projection[i]` is the layout slot holding parameter `i`'s value.
+    /// Backward mode then has exactly one solution per matching object,
+    /// read straight off its field storage with no solver run.
+    pub projection: Option<Box<[u32]>>,
+}
+
+/// Vets a constructor's forward form for [`FastCtor`] specialization: the
+/// goal must be a conjunction of `field = expr` equations — each field
+/// assigned exactly once, each `expr` built only from literals, parameters,
+/// and integer arithmetic. Guards, `result =` equations, locals, and
+/// field-to-field dependencies all disqualify (they need the solver).
+pub fn fast_ctor(mp: &MethodPlan) -> Option<FastCtor> {
+    if !mp.info.constructs_owner() {
+        return None;
+    }
+    let BodyPlan::Formula { forward, .. } = &mp.body else {
+        return None;
+    };
+    if forward.this_present {
+        return None;
+    }
+    let params = &forward.param_slots;
+    let mut leaves = Vec::new();
+    collect_conjuncts(&forward.goal, &mut leaves);
+    let mut fields: Vec<Option<&PExpr>> = vec![None; forward.field_slots.len()];
+    for g in leaves {
+        let Goal::Unify(a, b) = g else {
+            return None;
+        };
+        let (slot, expr) = match (field_slot_of(a, forward), fast_expr_ok(b, params)) {
+            (Some(s), true) => (s, b),
+            _ => match (field_slot_of(b, forward), fast_expr_ok(a, params)) {
+                (Some(s), true) => (s, a),
+                _ => return None,
+            },
+        };
+        let i = forward.field_slots.iter().position(|&(_, s)| s == slot)?;
+        if fields[i].is_some() {
+            return None;
+        }
+        fields[i] = Some(expr);
+    }
+    let fields: Box<[PExpr]> = fields
+        .into_iter()
+        .map(|f| f.cloned())
+        .collect::<Option<_>>()?;
+    let params: Box<[SlotId]> = params.clone().into_boxed_slice();
+    let projection = projection_of(&fields, &params);
+    Some(FastCtor {
+        fields,
+        params,
+        projection,
+    })
+}
+
+/// The parameter→field-slot permutation of a pure projection constructor,
+/// or `None` when any field is computed (a literal or arithmetic
+/// expression) or any parameter is unused or reused. A permutation makes
+/// the constructor invertible: deconstruction is field projection.
+fn projection_of(fields: &[PExpr], params: &[SlotId]) -> Option<Box<[u32]>> {
+    if fields.len() != params.len() {
+        return None;
+    }
+    let mut proj = vec![u32::MAX; params.len()];
+    for (idx, e) in fields.iter().enumerate() {
+        let PExpr::Name { slot, .. } = e else {
+            return None;
+        };
+        let i = params.iter().position(|p| p == slot)?;
+        if proj[i] != u32::MAX {
+            return None;
+        }
+        proj[i] = idx as u32;
+    }
+    Some(proj.into_boxed_slice())
+}
+
+/// Flattens nested conjunctions into their leaf goals (`True` vanishes).
+fn collect_conjuncts<'p>(g: &'p Goal, out: &mut Vec<&'p Goal>) {
+    match g {
+        Goal::True => {}
+        Goal::Seq(gs) => {
+            for g in gs {
+                collect_conjuncts(g, out);
+            }
+        }
+        g => out.push(g),
+    }
+}
+
+/// The owner-field slot a bare `Name` occurrence writes during
+/// construction.
+fn field_slot_of(e: &PExpr, forward: &SolvedForm) -> Option<SlotId> {
+    match e {
+        PExpr::Name { slot, .. } if forward.field_slots.iter().any(|&(_, s)| s == *slot) => {
+            Some(*slot)
+        }
+        _ => None,
+    }
+}
+
+/// Whether `e` is evaluable from the argument vector alone: literals,
+/// parameter reads, and integer arithmetic over them.
+fn fast_expr_ok(e: &PExpr, params: &[SlotId]) -> bool {
+    match e {
+        PExpr::Int(_) | PExpr::Bool(_) | PExpr::Str(_) | PExpr::Null => true,
+        PExpr::Name { slot, .. } => params.contains(slot),
+        PExpr::Binary(_, a, b) => fast_expr_ok(a, params) && fast_expr_ok(b, params),
+        PExpr::Neg(a) => fast_expr_ok(a, params),
+        _ => false,
+    }
+}
+
+/// Compiles one imperative body to register bytecode. `ctx` provides the
+/// whole lowered program for cross-method specialization.
+pub fn compile_block(bp: &BlockPlan, ctx: &BcCtx<'_>) -> BcBlock {
+    let mut c = BlockCompiler {
+        ctx,
+        code: Vec::new(),
+        nregs: 0,
+        next_reg: 0,
+        nguards: 0,
+        consts: Vec::new(),
+        exprs: Vec::new(),
+        stmts: Vec::new(),
+        switches: Vec::new(),
+        jumps: Vec::new(),
+        names: Vec::new(),
+        slot_regs: Vec::new(),
+        spec: None,
+    };
+    for s in &bp.stmts {
+        c.stmt(s);
+    }
+    c.push(SInstr::End);
+    BcBlock {
+        code: c.code,
+        nregs: c.nregs,
+        nguards: c.nguards,
+        consts: c.consts,
+        exprs: c.exprs,
+        stmts: c.stmts,
+        switches: c.switches,
+        jumps: c.jumps,
+        names: c.names,
+    }
+}
+
+/// The `PlanId` of a `CallStatic` (stored narrow in the instruction).
+#[inline]
+pub fn call_static_pid(pid: u32) -> PlanId {
+    pid as PlanId
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+/// Compact one-line rendering of a pooled expression for disassembly.
+fn fmt_pexpr(f: &mut fmt::Formatter<'_>, e: &PExpr) -> fmt::Result {
+    match e {
+        PExpr::Int(i) => write!(f, "{i}"),
+        PExpr::Bool(b) => write!(f, "{b}"),
+        PExpr::Str(s) => write!(f, "{s:?}"),
+        PExpr::Null => write!(f, "null"),
+        PExpr::This => write!(f, "this"),
+        PExpr::Result(s) => write!(f, "result@{s}"),
+        PExpr::Wildcard => write!(f, "_"),
+        PExpr::Name { slot, name, .. } => write!(f, "{name}@{slot}"),
+        PExpr::Decl(_, Some(s), _) => write!(f, "decl@{s}"),
+        PExpr::Decl(_, None, _) => write!(f, "decl@_"),
+        PExpr::Field(b, name, _) => {
+            fmt_pexpr(f, b)?;
+            write!(f, ".{name}")
+        }
+        PExpr::Call {
+            receiver,
+            name,
+            args,
+            ..
+        } => {
+            if let Some(r) = receiver {
+                fmt_pexpr(f, r)?;
+                write!(f, ".")?;
+            }
+            write!(f, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_pexpr(f, a)?;
+            }
+            write!(f, ")")
+        }
+        PExpr::Index(a, b) => {
+            fmt_pexpr(f, a)?;
+            write!(f, "[")?;
+            fmt_pexpr(f, b)?;
+            write!(f, "]")
+        }
+        PExpr::NewArray(_, n) => {
+            write!(f, "new[")?;
+            fmt_pexpr(f, n)?;
+            write!(f, "]")
+        }
+        PExpr::Binary(op, a, b) => {
+            write!(f, "(")?;
+            fmt_pexpr(f, a)?;
+            write!(f, " {op} ")?;
+            fmt_pexpr(f, b)?;
+            write!(f, ")")
+        }
+        PExpr::Neg(a) => {
+            write!(f, "-(")?;
+            fmt_pexpr(f, a)?;
+            write!(f, ")")
+        }
+        PExpr::Tuple(xs) => {
+            write!(f, "(")?;
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_pexpr(f, x)?;
+            }
+            write!(f, ")")
+        }
+        PExpr::As(a, b) => {
+            fmt_pexpr(f, a)?;
+            write!(f, " as ")?;
+            fmt_pexpr(f, b)
+        }
+        PExpr::OrPat(a, b) => {
+            fmt_pexpr(f, a)?;
+            write!(f, " | ")?;
+            fmt_pexpr(f, b)
+        }
+        PExpr::Where(p, _) => {
+            fmt_pexpr(f, p)?;
+            write!(f, " where (..)")
+        }
+    }
+}
+
+struct PE<'a>(&'a PExpr);
+impl fmt::Display for PE<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_pexpr(f, self.0)
+    }
+}
+
+impl fmt::Display for BcBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "entry: {}", self.entry)?;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            write!(f, "{pc:4}: ")?;
+            match i {
+                Instr::Emit => writeln!(f, "emit")?,
+                Instr::Fail => writeln!(f, "fail")?,
+                Instr::Choice(alts) => {
+                    write!(f, "choice [")?;
+                    for (i, a) in alts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    writeln!(f, "]")?;
+                }
+                Instr::Unify {
+                    lhs,
+                    rhs,
+                    mode,
+                    next,
+                } => {
+                    let m = match mode {
+                        UnifyMode::EvalEval => "ee",
+                        UnifyMode::EvalMatch => "em",
+                        UnifyMode::MatchEval => "me",
+                        UnifyMode::Dynamic => "dyn",
+                    };
+                    writeln!(
+                        f,
+                        "unify.{m} {} = {} -> {next}",
+                        PE(&self.exprs[*lhs as usize]),
+                        PE(&self.exprs[*rhs as usize]),
+                    )?;
+                }
+                Instr::Compare { op, lhs, rhs, next } => writeln!(
+                    f,
+                    "cmp {} {op} {} -> {next}",
+                    PE(&self.exprs[*lhs as usize]),
+                    PE(&self.exprs[*rhs as usize]),
+                )?,
+                Instr::Invoke {
+                    receiver,
+                    name,
+                    args_start,
+                    args_len,
+                    next,
+                    ..
+                } => {
+                    write!(f, "invoke ")?;
+                    match receiver {
+                        Some(r) => write!(f, "{}", PE(&self.exprs[*r as usize]))?,
+                        None => write!(f, "this")?,
+                    }
+                    write!(f, ".{}(", self.names[*name as usize])?;
+                    for (i, a) in self.args(*args_start, *args_len).iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", PE(a))?;
+                    }
+                    writeln!(f, ") -> {next}")?;
+                }
+                Instr::Test { expr, next } => {
+                    writeln!(f, "test {} -> {next}", PE(&self.exprs[*expr as usize]))?;
+                }
+                Instr::Not { goal, next } => writeln!(f, "not goal#{goal} -> {next}")?,
+                Instr::DynSeq { goal, next } => writeln!(f, "dynseq goal#{goal} -> {next}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BcBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "regs: {}  guards: {}", self.nregs, self.nguards)?;
+        for (pc, i) in self.code.iter().enumerate() {
+            write!(f, "{pc:4}: ")?;
+            match i {
+                SInstr::Const { dst, k } => {
+                    let c = match &self.consts[*k as usize] {
+                        Const::Int(i) => format!("{i}"),
+                        Const::Bool(b) => format!("{b}"),
+                        Const::Str(s) => format!("{s:?}"),
+                        Const::Null => "null".to_owned(),
+                    };
+                    writeln!(f, "r{dst} = const {c}")?;
+                }
+                SInstr::LoadSlot {
+                    dst, slot, name, ..
+                } => writeln!(f, "r{dst} = slot {} ({})", slot, self.names[*name as usize])?,
+                SInstr::LoadThis { dst } => writeln!(f, "r{dst} = this")?,
+                SInstr::LoadField {
+                    dst, base, name, ..
+                } => writeln!(f, "r{dst} = r{base}.{}", self.names[*name as usize])?,
+                SInstr::LoadFieldIdx { dst, base, idx } => {
+                    writeln!(f, "r{dst} = r{base}.field#{idx}")?
+                }
+                SInstr::Move { dst, src } => writeln!(f, "r{dst} = r{src}")?,
+                SInstr::Bin { dst, op, a, b } => writeln!(f, "r{dst} = r{a} {op} r{b}")?,
+                SInstr::Neg { dst, a } => writeln!(f, "r{dst} = -r{a}")?,
+                SInstr::EvalExpr { dst, expr } => {
+                    writeln!(f, "r{dst} = eval {}", PE(&self.exprs[*expr as usize]))?;
+                }
+                SInstr::CallStatic {
+                    dst,
+                    pid,
+                    base,
+                    argc,
+                } => {
+                    writeln!(f, "r{dst} = call plan#{pid} (r{base}..+{argc})")?;
+                }
+                SInstr::CallDyn {
+                    dst,
+                    recv,
+                    name,
+                    base,
+                    argc,
+                    ..
+                } => writeln!(
+                    f,
+                    "r{dst} = r{recv}.{} (r{base}..+{argc})",
+                    self.names[*name as usize]
+                )?,
+                SInstr::CallThis {
+                    dst,
+                    name,
+                    base,
+                    argc,
+                    ..
+                } => writeln!(
+                    f,
+                    "r{dst} = this.{} (r{base}..+{argc})",
+                    self.names[*name as usize]
+                )?,
+                SInstr::Store { slot, src } => writeln!(f, "slot {slot} = r{src}")?,
+                SInstr::Ret { src } => writeln!(f, "ret r{src}")?,
+                SInstr::RetNull => writeln!(f, "ret null")?,
+                SInstr::Jump { target } => writeln!(f, "jmp {target}")?,
+                SInstr::ResetGuard { guard } => writeln!(f, "guard {guard} = 0")?,
+                SInstr::LoopJump { target, guard } => {
+                    writeln!(f, "loop {target} (guard {guard})")?;
+                }
+                SInstr::CmpJump { op, a, b, if_false } => {
+                    writeln!(f, "if !(r{a} {op} r{b}) jmp {if_false}")?;
+                }
+                SInstr::TestJump { a, if_false } => writeln!(f, "if !r{a} jmp {if_false}")?,
+                SInstr::ClassIs {
+                    a,
+                    type_index,
+                    if_false,
+                } => writeln!(f, "if !(r{a} is type#{type_index}) jmp {if_false}")?,
+                SInstr::GuardSlot {
+                    dst,
+                    slot,
+                    type_index,
+                    if_false,
+                } => writeln!(
+                    f,
+                    "r{dst} = guard slot {slot} is type#{type_index} else jmp {if_false}"
+                )?,
+                SInstr::SwitchJump { scrutinee, table } => {
+                    let t = &self.jumps[*table as usize];
+                    write!(f, "switchjmp r{scrutinee} [")?;
+                    for (i, pc) in t.by_type.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{pc}")?;
+                    }
+                    writeln!(f, "] other {}", t.other)?;
+                }
+                SInstr::Switch {
+                    scrutinee,
+                    table,
+                    stmt,
+                } => writeln!(f, "switch r{scrutinee} table#{table} stmt#{stmt}")?,
+                SInstr::ExecStmt { stmt } => writeln!(f, "stmt#{stmt}")?,
+                SInstr::End => writeln!(f, "end")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostics;
+    use crate::lower::ProgramPlan;
+    use crate::table::ClassTable;
+    use jmatch_syntax::parse_program;
+    use std::sync::Arc;
+
+    fn plan_for(src: &str) -> Arc<ProgramPlan> {
+        let program = parse_program(src).unwrap();
+        let mut diags = Diagnostics::new();
+        let table = ClassTable::build(&program, &mut diags);
+        assert!(diags.errors.is_empty(), "{:?}", diags.errors);
+        ProgramPlan::compile(table)
+    }
+
+    const ZNAT: &str = r#"
+        interface Nat {
+            constructor zero() returns();
+            constructor succ(Nat n) returns(n);
+        }
+        class ZNat implements Nat {
+            int val;
+            private ZNat(int n) returns(n) ( val = n && n >= 0 )
+            constructor zero() returns() ( val = 0 )
+            constructor succ(Nat n) returns(n) ( val >= 1 && ZNat(val - 1) = n )
+        }
+    "#;
+
+    #[test]
+    fn every_solved_form_gets_bytecode() {
+        let plan = plan_for(ZNAT);
+        for m in plan.methods() {
+            if let crate::lower::BodyPlan::Formula {
+                forward, matching, ..
+            } = &m.body
+            {
+                assert!(forward.bc.is_some(), "{} forward", m.info.decl.name);
+                assert!(matching.bc.is_some(), "{} matching", m.info.decl.name);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_ctors_get_fast_construct() {
+        let plan = plan_for(
+            r#"
+            class P { int a; int b; P(int x, int y) returns(x, y) ( a = x && b = x + y ) }
+            class G { int v; G(int n) returns(n) ( v = n && n >= 0 ) }
+            class Q { int a; int b; Q(int x, int y) returns(x, y) ( a = y && b = x ) }
+            "#,
+        );
+        let p = plan.method(plan.lookup_impl("P", "P").unwrap());
+        let fc = p.fast_ctor.as_ref().expect("pure projection specializes");
+        assert_eq!(fc.fields.len(), 2);
+        assert!(
+            fc.projection.is_none(),
+            "computed field `b = x + y` is not invertible by projection"
+        );
+        let g = plan.method(plan.lookup_impl("G", "G").unwrap());
+        assert!(g.fast_ctor.is_none(), "guarded ctor needs the solver");
+        let q = plan.method(plan.lookup_impl("Q", "Q").unwrap());
+        let qc = q.fast_ctor.as_ref().expect("pure permutation specializes");
+        // `a = y && b = x`: parameter 0 (`x`) lives in field slot 1 (`b`),
+        // parameter 1 (`y`) in slot 0 (`a`).
+        assert_eq!(qc.projection.as_deref(), Some(&[1, 0][..]));
+    }
+
+    #[test]
+    fn instr_zero_is_emit_and_entry_in_range() {
+        let plan = plan_for(ZNAT);
+        let succ = plan.method(plan.lookup_impl("ZNat", "succ").unwrap());
+        let (forward, matching) = succ.body.solved_forms().unwrap();
+        for bc in [forward.bc.as_ref().unwrap(), matching.bc.as_ref().unwrap()] {
+            assert_eq!(bc.instrs[0], Instr::Emit);
+            assert!((bc.entry as usize) < bc.instrs.len());
+        }
+    }
+
+    #[test]
+    fn forward_mode_resolves_unify_directions_statically() {
+        let plan = plan_for(ZNAT);
+        let succ = plan.method(plan.lookup_impl("ZNat", "succ").unwrap());
+        let (forward, _) = succ.body.solved_forms().unwrap();
+        let bc = forward.bc.as_ref().unwrap();
+        // Forward succ: `ZNat(val - 1) = n` with `n` a bound parameter and
+        // the left a constructor pattern over the unbound field `val`: the
+        // analysis must flip it to match-left/eval-right.
+        let modes: Vec<UnifyMode> = bc
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Unify { mode, .. } => Some(*mode),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            modes.contains(&UnifyMode::MatchEval),
+            "expected a statically flipped equation, got {modes:?}"
+        );
+    }
+
+    #[test]
+    fn choice_arity_mirrors_the_plan() {
+        // `||` parses right-associated, so `x = 0 || x = 1 || x = 2` lowers
+        // to `Any[x = 0, Any[x = 1, x = 2]]` — the bytecode must mirror that
+        // choice-point structure exactly (two nested binary Choices), so
+        // machine guides/paths line up instruction-for-instruction with the
+        // plan engines.
+        let plan =
+            plan_for("class R { boolean below(int x) iterates(x) ( x = 0 || x = 1 || x = 2 ) }");
+        let m = plan.method(plan.lookup_impl("R", "below").unwrap());
+        let (_, matching) = m.body.solved_forms().unwrap();
+        let bc = matching.bc.as_ref().unwrap();
+        let choices: Vec<usize> = bc
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Choice(alts) => Some(alts.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(choices, vec![2, 2], "{bc}");
+    }
+
+    #[test]
+    fn while_compare_compiles_to_cmp_loop() {
+        let plan = plan_for(
+            "static int count(int n) {
+                 int i;
+                 int acc;
+                 i = 0;
+                 acc = 0;
+                 while (i < n) { acc = acc + i; i = i + 1; }
+                 return acc;
+             }",
+        );
+        let m = plan.method(plan.lookup_free("count").unwrap());
+        let crate::lower::BodyPlan::Block(bp) = &m.body else {
+            panic!()
+        };
+        let bc = bp.bc.as_ref().unwrap();
+        assert!(
+            bc.code.iter().any(|i| matches!(i, SInstr::CmpJump { .. })),
+            "{bc}"
+        );
+        assert!(
+            bc.code.iter().any(|i| matches!(i, SInstr::LoopJump { .. })),
+            "{bc}"
+        );
+        // The loop region (head through the back-jump) must not fall back to
+        // the statement interpreter. Leading declarations may still be
+        // ExecStmt — they run once, outside the loop.
+        let head = bc
+            .code
+            .iter()
+            .position(|i| matches!(i, SInstr::ResetGuard { .. }))
+            .unwrap();
+        let back = bc
+            .code
+            .iter()
+            .position(|i| matches!(i, SInstr::LoopJump { .. }))
+            .unwrap();
+        assert!(head < back, "{bc}");
+        assert!(
+            !bc.code[head..=back]
+                .iter()
+                .any(|i| matches!(i, SInstr::ExecStmt { .. })),
+            "{bc}"
+        );
+    }
+
+    #[test]
+    fn switch_over_guarded_cases_gets_a_jump_table() {
+        // Class-constructor patterns (`case A(..)`) are the shapes that get
+        // `CaseGuard::Classes` masks — same as the repr bench's 64-arm
+        // dispatch corpus.
+        let plan = plan_for(
+            "interface P { }
+             class A implements P { int va; A(int n) returns(n) ( va = n ) }
+             class B implements P { int vb; B(int n) returns(n) ( vb = n ) }
+             static int pick(P p) {
+                 switch (p) {
+                     case A(int x): return x + 1;
+                     case B(int y): return y + 2;
+                     default: return 0;
+                 }
+             }",
+        );
+        let m = plan.method(plan.lookup_free("pick").unwrap());
+        let crate::lower::BodyPlan::Block(bp) = &m.body else {
+            panic!()
+        };
+        let bc = bp.bc.as_ref().unwrap();
+        let has_switch = bc.code.iter().any(|i| matches!(i, SInstr::Switch { .. }));
+        assert!(has_switch, "{bc}");
+        assert_eq!(bc.switches.len(), 1);
+        // Every per-type candidate list is a subset of the case indices in
+        // source order.
+        for cands in &bc.switches[0].by_type {
+            assert!(cands.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

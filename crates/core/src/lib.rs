@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bytecode;
 pub mod diag;
 pub mod expand;
 pub mod extract;

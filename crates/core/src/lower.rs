@@ -114,6 +114,22 @@ impl DispatchTable {
     pub fn at(&self, type_index: u32) -> Option<PlanId> {
         self.by_type[type_index as usize]
     }
+
+    /// When exactly one type resolves through this table, that
+    /// `(type_index, plan)` — the monomorphic-call precondition of the
+    /// bytecode compiler's call-site inlining.
+    pub fn unique_impl(&self) -> Option<(u32, PlanId)> {
+        let mut found = None;
+        for (i, p) in self.by_type.iter().enumerate() {
+            if let Some(pid) = p {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some((i as u32, *pid));
+            }
+        }
+        found
+    }
 }
 
 /// A statically named class at a call / pattern site, with everything the
@@ -517,6 +533,9 @@ pub struct SolvedForm {
     pub field_slots: Vec<(String, SlotId)>,
     /// Whether `this` is in scope in this mode.
     pub this_present: bool,
+    /// The form's threaded bytecode (pass 4 of [`ProgramPlan::compile`];
+    /// `None` when bytecode emission is disabled).
+    pub bc: Option<crate::bytecode::BcBody>,
 }
 
 /// A lowered imperative body.
@@ -528,6 +547,9 @@ pub struct BlockPlan {
     pub frame: FrameLayout,
     /// Slot of each declared parameter, in declaration order.
     pub param_slots: Vec<SlotId>,
+    /// The body's register bytecode (pass 4 of [`ProgramPlan::compile`];
+    /// `None` when bytecode emission is disabled).
+    pub bc: Option<crate::bytecode::BcBlock>,
 }
 
 /// The lowered body of one method.
@@ -576,6 +598,11 @@ pub struct MethodPlan {
     /// The runtime layout of the owner class (`None` for free-standing
     /// methods): construction fills this layout's slots directly.
     pub owner_layout: Option<Arc<ClassLayout>>,
+    /// Pass-4 projection-constructor specialization: when the forward form
+    /// is a pure `field = expr(params)` conjunction, forward construction
+    /// fills the layout straight from the arguments (`None` when bytecode
+    /// emission is disabled or the form needs the solver).
+    pub fast_ctor: Option<crate::bytecode::FastCtor>,
 }
 
 // ---------------------------------------------------------------------------
@@ -676,6 +703,8 @@ pub struct ProgramPlan {
     class_ctor_by_type: Box<[Option<PlanId>]>,
     /// The `equals` dispatch table (deep equality's hot lookup).
     equals_dispatch: Option<DispatchId>,
+    /// Whether pass 4 emitted bytecode (standalone lowering follows suit).
+    bc_enabled: bool,
 }
 
 impl ProgramPlan {
@@ -684,8 +713,16 @@ impl ProgramPlan {
     /// pass 1 registers every method in the resolution maps, pass 2 lowers
     /// bodies against those maps (resolving static call sites and interning
     /// dispatched names), pass 3 materializes one [`DispatchTable`] per
-    /// name.
+    /// name, pass 4 emits the flat bytecode of every lowered body (see
+    /// [`crate::bytecode`]).
     pub fn compile(table: Arc<ClassTable>) -> Arc<ProgramPlan> {
+        Self::compile_opts(table, true)
+    }
+
+    /// [`ProgramPlan::compile`] with bytecode emission switchable — the
+    /// plan-walking baseline of the `bytecode_vs_plan` bench compiles with
+    /// `bytecode: false` so both configurations share every other pass.
+    pub fn compile_opts(table: Arc<ClassTable>, bytecode: bool) -> Arc<ProgramPlan> {
         // Pass 1: resolution maps, no lowering yet.
         let mut maps = PlanMaps::default();
         let mut infos: Vec<&MethodInfo> = Vec::new();
@@ -725,7 +762,7 @@ impl ProgramPlan {
             registry.id_for(&m.decl.name);
         }
         // Pass 2: lower bodies against the complete maps.
-        let methods: Vec<MethodPlan> = infos
+        let mut methods: Vec<MethodPlan> = infos
             .iter()
             .map(|m| lower_method(&table, &maps, &mut registry, m))
             .collect();
@@ -743,6 +780,53 @@ impl ProgramPlan {
                     .collect(),
             })
             .collect();
+        // Pass 4: emit the flat bytecode of every lowered body. The plan
+        // stays alongside as the lowering source and the differential
+        // oracle. Block bodies compile against the whole program (methods
+        // + dispatch tables) so monomorphic call sites and field-projection
+        // switch arms can be specialized, which is why the bytecode of all
+        // bodies is computed first and attached after.
+        if bytecode {
+            let ctx = crate::bytecode::BcCtx {
+                methods: &methods,
+                dispatch: &dispatch,
+            };
+            let blocks: Vec<Option<crate::bytecode::BcBlock>> = methods
+                .iter()
+                .map(|mp| match &mp.body {
+                    BodyPlan::Block(bp) => Some(crate::bytecode::compile_block(bp, &ctx)),
+                    _ => None,
+                })
+                .collect();
+            let fast_ctors: Vec<Option<crate::bytecode::FastCtor>> =
+                methods.iter().map(crate::bytecode::fast_ctor).collect();
+            for ((mp, block), fast) in methods.iter_mut().zip(blocks).zip(fast_ctors) {
+                mp.fast_ctor = fast;
+                match &mut mp.body {
+                    BodyPlan::Formula {
+                        forward,
+                        matching,
+                        equals_bound,
+                    } => {
+                        forward.bc =
+                            Some(crate::bytecode::compile_body(forward, &forward.param_slots));
+                        matching.bc = Some(crate::bytecode::compile_body(matching, &[]));
+                        if let Some(eb) = equals_bound {
+                            // The runtime's deep-equality bridge seeds only
+                            // the first parameter (the other side of the
+                            // equation), so only it is must-bound.
+                            let seed: Vec<SlotId> =
+                                eb.param_slots.first().copied().into_iter().collect();
+                            eb.bc = Some(crate::bytecode::compile_body(eb, &seed));
+                        }
+                    }
+                    BodyPlan::Block(bp) => {
+                        bp.bc = block;
+                    }
+                    BodyPlan::Absent => {}
+                }
+            }
+        }
         let class_ctor_by_type: Box<[Option<PlanId>]> = type_names
             .iter()
             .map(|ty| maps.class_ctor(&table, ty))
@@ -757,7 +841,13 @@ impl ProgramPlan {
             dispatch,
             class_ctor_by_type,
             equals_dispatch,
+            bc_enabled: bytecode,
         })
+    }
+
+    /// Whether pass 4 emitted bytecode for this plan.
+    pub fn bytecode_enabled(&self) -> bool {
+        self.bc_enabled
     }
 
     /// The class table the plan was compiled from.
@@ -1847,6 +1937,7 @@ fn lower_method(
                 stmts,
                 frame: lo.frame,
                 param_slots,
+                bc: None,
             })
         }
     };
@@ -1854,6 +1945,7 @@ fn lower_method(
         info: m.clone(),
         body,
         owner_layout: table.layout(&m.owner).cloned(),
+        fast_ctor: None,
     }
 }
 
@@ -1903,6 +1995,7 @@ fn lower_solved_form(
         result_slot,
         field_slots,
         this_present: ctx.this_owner.is_some(),
+        bc: None,
     }
 }
 
@@ -1925,15 +2018,24 @@ pub fn lower_standalone(
         st.bind_must(s);
     }
     let result_slot = lo.slot("result");
+    let bound_slots: Vec<SlotId> = bound
+        .iter()
+        .map(|name| lo.frame.slot_of(name).unwrap())
+        .collect();
     let goal = lo.lower_formula(f, &mut st);
-    SolvedForm {
+    let mut form = SolvedForm {
         goal,
         frame: lo.frame,
         param_slots: Vec::new(),
         result_slot,
         field_slots: Vec::new(),
         this_present: this_class.is_some(),
+        bc: None,
+    };
+    if plan.bytecode_enabled() {
+        form.bc = Some(crate::bytecode::compile_body(&form, &bound_slots));
     }
+    form
 }
 
 #[cfg(test)]

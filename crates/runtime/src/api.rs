@@ -24,7 +24,7 @@
 //! one solution ahead of the consumer.
 
 use crate::eval::{Budget, Ev, Frame, MAX_DEPTH};
-use crate::machine::Machine;
+use crate::machine::{Machine, MachineCode};
 use crate::par::{self, ParJob, ParMode};
 use crate::tree::TreeWalker;
 use crate::{Bindings, Engine, RtError, RtResult, Value};
@@ -110,6 +110,7 @@ impl Default for Limits {
 pub struct Compiler {
     verify: bool,
     engine: Engine,
+    bytecode: bool,
     max_expansion_depth: u32,
     limits: Limits,
 }
@@ -121,6 +122,7 @@ impl Compiler {
         Compiler {
             verify: true,
             engine: Engine::Plan,
+            bytecode: true,
             max_expansion_depth: CompileOptions::default().max_expansion_depth,
             limits: Limits::default(),
         }
@@ -136,6 +138,16 @@ impl Compiler {
     /// Which execution engine queries and calls run on.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Whether lowering's fourth materialization pass compiles each solved
+    /// form to flat register bytecode (on by default). With it off, the
+    /// plan engines walk the goal trees and statement plans directly —
+    /// same solutions, same order, same errors; `tests/differential.rs`
+    /// holds either way.
+    pub fn bytecode(mut self, on: bool) -> Self {
+        self.bytecode = on;
         self
     }
 
@@ -167,7 +179,7 @@ impl Compiler {
             },
         )?;
         Ok(Program {
-            plan: ProgramPlan::compile(compiled.table),
+            plan: ProgramPlan::compile_opts(compiled.table, self.bytecode),
             engine: self.engine,
             limits: self.limits,
             diagnostics: Arc::new(compiled.diagnostics),
@@ -293,6 +305,63 @@ impl Program {
             pid,
             iterate_cache: Arc::new(Mutex::new(HashMap::new())),
         })
+    }
+
+    /// Disassembles the compiled bytecode of a method: one listing per
+    /// mode-specialized solved form (`forward` / `matching` /
+    /// `equals-bound`) of a declarative body, or the register block of an
+    /// imperative one. Pass `class: None` for free-standing methods.
+    ///
+    /// The text is the stable [`std::fmt::Display`] form of
+    /// [`jmatch_core::bytecode::BcBody`] / [`jmatch_core::bytecode::BcBlock`]
+    /// and is empty when the program was compiled without bytecode.
+    ///
+    /// # Errors
+    ///
+    /// [`RtErrorKind::MethodNotFound`](crate::RtErrorKind::MethodNotFound)
+    /// when the method does not resolve.
+    pub fn disasm(&self, class: Option<&str>, name: &str) -> RtResult<String> {
+        use std::fmt::Write as _;
+        let pid = match class {
+            Some(c) => self
+                .plan
+                .lookup_impl(c, name)
+                .ok_or_else(|| RtError::method_not_found(c, name))?,
+            None => self
+                .plan
+                .lookup_free(name)
+                .ok_or_else(|| RtError::method_not_found("<toplevel>", name))?,
+        };
+        let mp = self.plan.method(pid);
+        let qual = mp.info.qualified_name();
+        let mut out = String::new();
+        match &mp.body {
+            BodyPlan::Formula {
+                forward,
+                matching,
+                equals_bound,
+            } => {
+                let forms = [
+                    ("forward", Some(forward)),
+                    ("matching", Some(matching)),
+                    ("equals-bound", equals_bound.as_ref()),
+                ];
+                for (label, form) in forms {
+                    if let Some(bc) = form.and_then(|f| f.bc.as_ref()) {
+                        let _ = writeln!(out, "; {qual} [{label}]");
+                        let _ = write!(out, "{bc}");
+                    }
+                }
+            }
+            BodyPlan::Block(bp) => {
+                if let Some(bc) = &bp.bc {
+                    let _ = writeln!(out, "; {qual} [block]");
+                    let _ = write!(out, "{bc}");
+                }
+            }
+            BodyPlan::Absent => {}
+        }
+        Ok(out)
     }
 
     /// Resolves constructor `ctor` of `class` (named, class, or inherited)
@@ -912,11 +981,16 @@ impl Query<'_> {
     /// Fails on non-deconstruction queries and propagates the runtime
     /// error that ended the enumeration, if any.
     pub fn try_collect_rows(&self) -> RtResult<Vec<Vec<Value>>> {
-        let Source::Deconstruct { pid, .. } = &self.source else {
+        let Source::Deconstruct { pid, value, .. } = &self.source else {
             return Err(RtError::new(
                 "try_collect_rows applies to deconstruction queries only",
             ));
         };
+        if matches!(self.program.engine, Engine::Plan) {
+            if let Some(rows) = crate::eval::fast_deconstruct(&self.program.plan, value, *pid) {
+                return Ok(rows);
+            }
+        }
         let params: Vec<String> = self
             .program
             .plan
@@ -937,6 +1011,32 @@ impl Query<'_> {
                     .collect()
             })
             .collect())
+    }
+
+    /// Like [`Query::try_collect_rows`], but consumes the query: when the
+    /// caller holds no other reference to the deconstructed value and the
+    /// constructor is a pure field permutation, the solution row takes
+    /// over the object's own field storage in place instead of cloning it
+    /// — the first slice of Perceus-style memory reuse (see ROADMAP).
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-deconstruction queries and propagates the runtime
+    /// error that ended the enumeration, if any.
+    pub fn try_into_rows(mut self) -> RtResult<Vec<Vec<Value>>> {
+        if matches!(self.program.engine, Engine::Plan) {
+            if let Source::Deconstruct { pid, value, .. } = &mut self.source {
+                let pid = *pid;
+                let v = std::mem::replace(value, Value::Null);
+                match crate::eval::fast_deconstruct_owned(&self.program.plan, v, pid) {
+                    Ok(rows) => return Ok(rows),
+                    // Not a fast-path shape: restore the value and fall
+                    // back to the borrowing collector.
+                    Err(v) => *value = v,
+                }
+            }
+        }
+        self.try_collect_rows()
     }
 
     /// Runs the tree-walker's callback engine on the caller's thread,
@@ -989,7 +1089,7 @@ impl Query<'_> {
                 };
                 let machine = Machine::new(
                     plan,
-                    &matching.goal,
+                    MachineCode::of_form(matching),
                     vec![None; matching.frame.len()],
                     Some(value.clone()),
                     self.limits.max_depth,
@@ -1013,7 +1113,7 @@ impl Query<'_> {
                 }
                 let machine = Machine::new(
                     plan,
-                    &form.goal,
+                    MachineCode::of_form(form),
                     root,
                     this.clone(),
                     self.limits.max_depth,

@@ -3,7 +3,7 @@
 //!
 //! Where the legacy tree-walker re-derives a solving order for every formula
 //! at every call and clones a `HashMap` environment per emitted solution,
-//! the evaluator runs a [`SolvedForm`](jmatch_core::lower::SolvedForm)'s
+//! the evaluator runs a [`SolvedForm`]'s
 //! goal over a flat frame of variable slots (`Vec<Option<Value>>`):
 //!
 //! * **bindings** are slot writes, undone by scope when a choice point is
@@ -22,10 +22,11 @@
 //! runs every corpus program through both engines and asserts it.
 
 use crate::{Bindings, Flow, Object, RtError, RtResult, Value};
+use jmatch_core::bytecode::{BcBlock, BcBody, Const as BcConst, Instr, Pc, SInstr, UnifyMode};
 use jmatch_core::intern::Sym;
 use jmatch_core::lower::{
     BodyPlan, CallKind, CaseGuard, CaseTarget, ClassCheck, ClassRef, DispatchId, Goal, PExpr,
-    PlanId, ProgramPlan, ReadyCheck, SlotId, StmtPlan,
+    PlanId, ProgramPlan, ReadyCheck, SlotId, SolvedForm, StmtPlan,
 };
 use jmatch_core::table::ClassTable;
 use jmatch_syntax::ast::{BinOp, CmpOp, Expr, Formula, MethodBody, Type};
@@ -280,7 +281,7 @@ impl PlanInterp {
         }
         let mut budget = Budget::default();
         let mut ev = Ev::new(&self.plan, &mut budget);
-        ev.solve(&mut fr, this, &form.goal, &mut |_, fr| {
+        ev.solve_form(&mut fr, this, &form, &mut |_, fr| {
             let mut out = Bindings::new();
             for (i, v) in fr.iter().enumerate() {
                 if let Some(v) = v {
@@ -300,10 +301,15 @@ pub(crate) struct Ev<'p, 'b> {
     table: &'p ClassTable,
     depth: usize,
     budget: &'b mut Budget,
-    /// Recycled activation frames: every forward call and constructor
-    /// match needs a fresh frame, and hot loops would otherwise pay one
-    /// heap allocation per call.
-    frame_pool: Vec<Frame>,
+}
+
+thread_local! {
+    /// Recycled activation frames and register files. Thread-local rather
+    /// than per-session: the API constructs a fresh [`Ev`] per call, so
+    /// session-owned pools would start empty on every iteration of a hot
+    /// caller loop and pay one heap allocation per call.
+    static POOLS: std::cell::RefCell<(Vec<Frame>, Vec<Vec<Value>>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Default bound on the solver's nesting depth (goal recursion plus nested
@@ -322,14 +328,13 @@ impl<'p, 'b> Ev<'p, 'b> {
             table: plan.table(),
             depth: 0,
             budget,
-            frame_pool: Vec::new(),
         }
     }
 
     /// A zeroed frame of `n` slots, reusing a recycled allocation when one
     /// is available.
     fn take_frame(&mut self, n: usize) -> Frame {
-        match self.frame_pool.pop() {
+        match POOLS.with(|p| p.borrow_mut().0.pop()) {
             Some(mut f) => {
                 f.clear();
                 f.resize(n, None);
@@ -341,10 +346,37 @@ impl<'p, 'b> Ev<'p, 'b> {
 
     /// Returns a finished activation frame to the pool.
     fn recycle_frame(&mut self, mut f: Frame) {
-        if self.frame_pool.len() < 64 {
-            f.clear();
-            self.frame_pool.push(f);
+        POOLS.with(|p| {
+            let pool = &mut p.borrow_mut().0;
+            if pool.len() < 64 {
+                f.clear();
+                pool.push(f);
+            }
+        });
+    }
+
+    /// A null-filled register file of `n` registers, reusing a recycled
+    /// allocation when one is available.
+    fn take_regs(&mut self, n: usize) -> Vec<Value> {
+        match POOLS.with(|p| p.borrow_mut().1.pop()) {
+            Some(mut r) => {
+                r.clear();
+                r.resize(n, Value::Null);
+                r
+            }
+            None => vec![Value::Null; n],
         }
+    }
+
+    /// Returns a finished register file to the pool.
+    fn recycle_regs(&mut self, mut r: Vec<Value>) {
+        POOLS.with(|p| {
+            let pool = &mut p.borrow_mut().1;
+            if pool.len() < 64 {
+                r.clear();
+                pool.push(r);
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -418,6 +450,9 @@ impl<'p, 'b> Ev<'p, 'b> {
             .plan
             .lookup_impl(&class, ctor)
             .ok_or_else(|| RtError::method_not_found(&class, ctor))?;
+        if let Some(rows) = fast_deconstruct(self.plan, value, pid) {
+            return Ok(rows);
+        }
         let plan = self.plan;
         let table = self.table;
         let params = &plan.method(pid).info.decl.params;
@@ -583,7 +618,7 @@ impl<'p, 'b> Ev<'p, 'b> {
                                 fr[ps as usize] = Some(rhs.clone());
                             }
                             let mut found = false;
-                            self.solve(&mut fr, Some(lhs), &form.goal, &mut |_, _| {
+                            self.solve_form(&mut fr, Some(lhs), form, &mut |_, _| {
                                 found = true;
                                 Ok(false)
                             })?;
@@ -624,6 +659,23 @@ impl<'p, 'b> Ev<'p, 'b> {
                 mp.info.qualified_name()
             ))),
             BodyPlan::Formula { forward, .. } => {
+                if let Some(fc) = &mp.fast_ctor {
+                    // Projection constructor: every field is a vetted
+                    // expression over the (ground) arguments, so the layout
+                    // fills directly — no frame, no solver.
+                    let layout = mp.owner_layout.as_ref().ok_or_else(|| {
+                        RtError::new(format!("unknown owner type {}", mp.info.owner))
+                    })?;
+                    let fields: Vec<Value> = fc
+                        .fields
+                        .iter()
+                        .map(|e| fast_ctor_field(e, &fc.params, &args))
+                        .collect::<RtResult<_>>()?;
+                    return Ok(Value::Obj(Arc::new(Object::new(
+                        Arc::clone(layout),
+                        fields,
+                    ))));
+                }
                 let mut fr = self.take_frame(forward.frame.len());
                 for (&s, v) in forward.param_slots.iter().zip(args) {
                     fr[s as usize] = Some(v);
@@ -639,7 +691,7 @@ impl<'p, 'b> Ev<'p, 'b> {
                     let field_slots = &forward.field_slots;
                     let result_slot = forward.result_slot;
                     let mut result = None;
-                    self.solve(&mut fr, this.as_ref(), &forward.goal, &mut |_, fr| {
+                    self.solve_form(&mut fr, this.as_ref(), forward, &mut |_, fr| {
                         // A `result = ...` equation (as in Figure 1) takes
                         // precedence over field solving.
                         result = Some(fr[result_slot as usize].clone().unwrap_or_else(|| {
@@ -661,7 +713,7 @@ impl<'p, 'b> Ev<'p, 'b> {
                     let result_slot = forward.result_slot;
                     let mut result = None;
                     let mut any = false;
-                    self.solve(&mut fr, this.as_ref(), &forward.goal, &mut |_, fr| {
+                    self.solve_form(&mut fr, this.as_ref(), forward, &mut |_, fr| {
                         any = true;
                         result = fr[result_slot as usize].clone();
                         Ok(false)
@@ -684,7 +736,10 @@ impl<'p, 'b> Ev<'p, 'b> {
                 for (&s, v) in bp.param_slots.iter().zip(args) {
                     fr[s as usize] = Some(v);
                 }
-                let flow = self.exec_block(&mut fr, this.as_ref(), &bp.stmts)?;
+                let flow = match &bp.bc {
+                    Some(bc) => self.exec_bc_block(&mut fr, this.as_ref(), bc)?,
+                    None => self.exec_block(&mut fr, this.as_ref(), &bp.stmts)?,
+                };
                 self.recycle_frame(fr);
                 match flow {
                     Flow::Return(v) => Ok(v),
@@ -716,7 +771,7 @@ impl<'p, 'b> Ev<'p, 'b> {
         };
         let param_slots = &matching.param_slots;
         let mut fr = self.take_frame(matching.frame.len());
-        self.solve(&mut fr, Some(value), &matching.goal, &mut |ev, fr| {
+        self.solve_form(&mut fr, Some(value), matching, &mut |ev, fr| {
             let mut row = Vec::with_capacity(param_slots.len());
             for &s in param_slots {
                 match &fr[s as usize] {
@@ -753,7 +808,7 @@ impl<'p, 'b> Ev<'p, 'b> {
         };
         let param_slots = &matching.param_slots;
         let mut fr = self.take_frame(matching.frame.len());
-        let keep = self.solve(&mut fr, Some(value), &matching.goal, &mut |ev, fr| {
+        let keep = self.solve_form(&mut fr, Some(value), matching, &mut |ev, fr| {
             let mut row = Vec::with_capacity(param_slots.len());
             for &s in param_slots {
                 match &fr[s as usize] {
@@ -811,6 +866,235 @@ impl<'p, 'b> Ev<'p, 'b> {
             Err(_) => Ok(true),
             Ok(_) if !entered_rest => Ok(true),
             Ok(_) => Ok(keep_going),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bytecode execution (threaded formula code)
+    // ------------------------------------------------------------------
+
+    /// Enumerates the solutions of a solved form: through its threaded
+    /// bytecode when the plan's pass 4 emitted one, through the goal tree
+    /// otherwise. Both produce identical solutions in identical order.
+    pub(crate) fn solve_form(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        form: &SolvedForm,
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        match &form.bc {
+            Some(bc) => self.solve_bc(fr, this, bc, bc.entry, emit),
+            None => self.solve(fr, this, &form.goal, emit),
+        }
+    }
+
+    /// Runs threaded bytecode from `pc`: one budget step and one depth
+    /// level per entry. Re-entered at continuation boundaries (choice
+    /// alternatives, pattern-match and callee continuations); deterministic
+    /// instructions thread through `next` pcs inline without recursing.
+    pub(crate) fn solve_bc(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        bc: &BcBody,
+        pc: Pc,
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        self.budget.step()?;
+        self.depth += 1;
+        if self.depth > self.budget.max_depth {
+            self.depth -= 1;
+            return Err(RtError::limit(
+                "depth",
+                self.budget.max_depth as u64,
+                "solver recursion limit exceeded",
+            ));
+        }
+        let r = self.solve_bc_inner(fr, this, bc, pc, emit);
+        self.depth -= 1;
+        r
+    }
+
+    fn solve_bc_inner(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        bc: &BcBody,
+        mut pc: Pc,
+        emit: Emit<'_>,
+    ) -> RtResult<bool> {
+        // Right-to-left emission makes every `next` / alternative pc
+        // strictly smaller than the pc of the instruction holding it, so
+        // this loop always terminates.
+        loop {
+            match &bc.instrs[pc as usize] {
+                Instr::Emit => return emit(self, fr),
+                Instr::Fail => return Ok(true),
+                Instr::Choice(alts) => {
+                    for &alt in alts.iter() {
+                        if !self.solve_bc(fr, this, bc, alt, &mut *emit)? {
+                            return Ok(false);
+                        }
+                    }
+                    return Ok(true);
+                }
+                Instr::Compare { op, lhs, rhs, next } => {
+                    let a = self.eval(fr, this, &bc.exprs[*lhs as usize])?;
+                    let b = self.eval(fr, this, &bc.exprs[*rhs as usize])?;
+                    let (x, y) = match (a.as_int(), b.as_int()) {
+                        (Some(x), Some(y)) => (x, y),
+                        _ => {
+                            if *op == CmpOp::Ne {
+                                if !self.values_equal(&a, &b)? {
+                                    pc = *next;
+                                    continue;
+                                }
+                                return Ok(true);
+                            }
+                            return Err(RtError::new("ordering comparison on non-integers"));
+                        }
+                    };
+                    let holds = match op {
+                        CmpOp::Le => x <= y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Ge => x >= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Eq => x == y,
+                    };
+                    if holds {
+                        pc = *next;
+                        continue;
+                    }
+                    return Ok(true);
+                }
+                Instr::Test { expr, next } => {
+                    let v = self.eval(fr, this, &bc.exprs[*expr as usize])?;
+                    if v.as_bool() == Some(true) {
+                        pc = *next;
+                        continue;
+                    }
+                    return Ok(true);
+                }
+                Instr::Unify {
+                    lhs,
+                    rhs,
+                    mode,
+                    next,
+                } => {
+                    let l = &bc.exprs[*lhs as usize];
+                    let r = &bc.exprs[*rhs as usize];
+                    let next = *next;
+                    let mode = match mode {
+                        UnifyMode::Dynamic => {
+                            match (self.ground(fr, this, l), self.ground(fr, this, r)) {
+                                (true, true) => UnifyMode::EvalEval,
+                                (true, false) => UnifyMode::EvalMatch,
+                                (false, true) => UnifyMode::MatchEval,
+                                (false, false) => {
+                                    return Err(RtError::new(format!(
+                                        "equation with unknowns on both sides is not solvable: \
+                                         {l:?} = {r:?}"
+                                    )))
+                                }
+                            }
+                        }
+                        m => *m,
+                    };
+                    match mode {
+                        UnifyMode::EvalEval => {
+                            let a = self.eval(fr, this, l)?;
+                            let b = self.eval(fr, this, r)?;
+                            if self.values_equal(&a, &b)? {
+                                pc = next;
+                                continue;
+                            }
+                            return Ok(true);
+                        }
+                        UnifyMode::EvalMatch => {
+                            let v = self.eval(fr, this, l)?;
+                            return self.match_pat(fr, this, r, &v, &mut |ev, fr| {
+                                ev.solve_bc(fr, this, bc, next, &mut *emit)
+                            });
+                        }
+                        UnifyMode::MatchEval => {
+                            let v = self.eval(fr, this, r)?;
+                            return self.match_pat(fr, this, l, &v, &mut |ev, fr| {
+                                ev.solve_bc(fr, this, bc, next, &mut *emit)
+                            });
+                        }
+                        UnifyMode::Dynamic => unreachable!("dynamic mode resolved above"),
+                    }
+                }
+                Instr::Invoke {
+                    receiver,
+                    name,
+                    args_start,
+                    args_len,
+                    dispatch,
+                    next,
+                } => {
+                    let next = *next;
+                    let subject: Value = match receiver {
+                        Some(r) => {
+                            let r = &bc.exprs[*r as usize];
+                            if self.ground(fr, this, r) {
+                                self.eval(fr, this, r)?
+                            } else {
+                                return Err(RtError::new("predicate receiver is not ground"));
+                            }
+                        }
+                        None => this
+                            .cloned()
+                            .ok_or_else(|| RtError::new("predicate call without a receiver"))?,
+                    };
+                    match &subject {
+                        Value::Obj(o) => {
+                            let name = &bc.names[*name as usize];
+                            let Some(pid) = self.resolve_dispatch(*dispatch, o, name) else {
+                                return Err(RtError::method_not_found(o.class(), name));
+                            };
+                            let args = bc.args(*args_start, *args_len);
+                            return self.match_constructor(
+                                fr,
+                                &subject,
+                                pid,
+                                args,
+                                &mut |ev, fr| ev.solve_bc(fr, this, bc, next, &mut *emit),
+                            );
+                        }
+                        Value::Bool(true) => {
+                            pc = next;
+                            continue;
+                        }
+                        Value::Bool(false) => return Ok(true),
+                        other => {
+                            return Err(RtError::new(format!(
+                                "cannot use `{other}` as a predicate receiver"
+                            )))
+                        }
+                    }
+                }
+                Instr::Not { goal, next } => {
+                    let mut found = false;
+                    self.solve(fr, this, &bc.goals[*goal as usize], &mut |_, _| {
+                        found = true;
+                        Ok(false)
+                    })?;
+                    if !found {
+                        pc = *next;
+                        continue;
+                    }
+                    return Ok(true);
+                }
+                Instr::DynSeq { goal, next } => {
+                    let next = *next;
+                    return self.solve(fr, this, &bc.goals[*goal as usize], &mut |ev, fr| {
+                        ev.solve_bc(fr, this, bc, next, &mut *emit)
+                    });
+                }
+            }
         }
     }
 
@@ -1596,6 +1880,325 @@ impl<'p, 'b> Ev<'p, 'b> {
         }
     }
 
+    /// Runs an imperative body through its register bytecode. Statement
+    /// shapes without a register lowering delegate to [`Ev::exec_stmt`],
+    /// so the observable semantics (solution-frame scoping, error order)
+    /// match [`Ev::exec_block`] exactly.
+    fn exec_bc_block(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        bc: &BcBlock,
+    ) -> RtResult<Flow> {
+        let mut regs = self.take_regs(bc.nregs as usize);
+        let mut guards = vec![0u32; bc.nguards as usize];
+        let r = self.exec_bc_code(fr, this, bc, &mut regs, &mut guards);
+        self.recycle_regs(regs);
+        r
+    }
+
+    fn exec_bc_code(
+        &mut self,
+        fr: &mut Frame,
+        this: Option<&Value>,
+        bc: &BcBlock,
+        regs: &mut [Value],
+        guards: &mut [u32],
+    ) -> RtResult<Flow> {
+        let mut pc = 0usize;
+        loop {
+            match &bc.code[pc] {
+                SInstr::Const { dst, k } => {
+                    regs[*dst as usize] = match &bc.consts[*k as usize] {
+                        BcConst::Int(i) => Value::Int(*i),
+                        BcConst::Bool(b) => Value::Bool(*b),
+                        BcConst::Str(s) => Value::Str(s.clone()),
+                        BcConst::Null => Value::Null,
+                    };
+                }
+                SInstr::LoadSlot {
+                    dst,
+                    slot,
+                    name,
+                    field_sym,
+                } => {
+                    let v = match &fr[*slot as usize] {
+                        Some(v) => v.clone(),
+                        None => {
+                            let fallback = match this {
+                                Some(Value::Obj(o)) => {
+                                    self.obj_field(o, *field_sym, &bc.names[*name as usize])
+                                }
+                                _ => None,
+                            };
+                            match fallback {
+                                Some(v) => v.clone(),
+                                None => {
+                                    return Err(RtError::new(format!(
+                                        "unbound variable `{}`",
+                                        bc.names[*name as usize]
+                                    )))
+                                }
+                            }
+                        }
+                    };
+                    regs[*dst as usize] = v;
+                }
+                SInstr::LoadThis { dst } => {
+                    regs[*dst as usize] = this
+                        .cloned()
+                        .ok_or_else(|| RtError::new("`this` is not in scope"))?;
+                }
+                SInstr::LoadField {
+                    dst,
+                    base,
+                    sym,
+                    name,
+                } => {
+                    let v = match &regs[*base as usize] {
+                        Value::Obj(o) => self
+                            .obj_field(o, *sym, &bc.names[*name as usize])
+                            .cloned()
+                            .ok_or_else(|| {
+                                RtError::new(format!("no field `{}`", bc.names[*name as usize]))
+                            })?,
+                        other => {
+                            return Err(RtError::new(format!("field access on non-object {other}")))
+                        }
+                    };
+                    regs[*dst as usize] = v;
+                }
+                SInstr::GuardSlot {
+                    dst,
+                    slot,
+                    type_index,
+                    if_false,
+                } => {
+                    // The specialized-statement guard: bound, native-layout,
+                    // right class — or the generic compilation runs instead.
+                    match &fr[*slot as usize] {
+                        Some(v @ Value::Obj(o)) if self.obj_index(o) == Some(*type_index) => {
+                            regs[*dst as usize] = v.clone();
+                        }
+                        _ => {
+                            pc = *if_false as usize;
+                            continue;
+                        }
+                    }
+                }
+                SInstr::LoadFieldIdx { dst, base, idx } => {
+                    // Only reachable behind a `ClassIs` / `SwitchJump` guard
+                    // that proved the register holds a native-layout object
+                    // of the class whose layout assigned `idx`.
+                    let Value::Obj(o) = &regs[*base as usize] else {
+                        return Err(RtError::new("field access on non-object"));
+                    };
+                    regs[*dst as usize] = o.fields()[*idx as usize].clone();
+                }
+                SInstr::Move { dst, src } => regs[*dst as usize] = regs[*src as usize].clone(),
+                SInstr::Bin { dst, op, a, b } => {
+                    let x = regs[*a as usize]
+                        .as_int()
+                        .ok_or_else(|| RtError::new("arithmetic on non-integer"))?;
+                    let y = regs[*b as usize]
+                        .as_int()
+                        .ok_or_else(|| RtError::new("arithmetic on non-integer"))?;
+                    regs[*dst as usize] = Value::Int(bin_int(*op, x, y)?);
+                }
+                SInstr::Neg { dst, a } => {
+                    let x = regs[*a as usize]
+                        .as_int()
+                        .ok_or_else(|| RtError::new("negation of non-integer"))?;
+                    regs[*dst as usize] = Value::Int(-x);
+                }
+                SInstr::EvalExpr { dst, expr } => {
+                    regs[*dst as usize] = self.eval(fr, this, &bc.exprs[*expr as usize])?;
+                }
+                SInstr::CallStatic {
+                    dst,
+                    pid,
+                    base,
+                    argc,
+                } => {
+                    let args = regs[*base as usize..*base as usize + *argc as usize].to_vec();
+                    regs[*dst as usize] = self.run_forward(*pid as PlanId, None, args)?;
+                }
+                SInstr::CallDyn {
+                    dst,
+                    recv,
+                    name,
+                    dispatch,
+                    base,
+                    argc,
+                } => {
+                    let args = regs[*base as usize..*base as usize + *argc as usize].to_vec();
+                    let recv = regs[*recv as usize].clone();
+                    regs[*dst as usize] =
+                        self.dispatch_method(&recv, &bc.names[*name as usize], *dispatch, args)?;
+                }
+                SInstr::CallThis {
+                    dst,
+                    name,
+                    dispatch,
+                    base,
+                    argc,
+                } => {
+                    let args = regs[*base as usize..*base as usize + *argc as usize].to_vec();
+                    let name = &bc.names[*name as usize];
+                    let t = this
+                        .cloned()
+                        .ok_or_else(|| RtError::new(format!("cannot resolve call `{name}`")))?;
+                    regs[*dst as usize] = self.dispatch_method(&t, name, *dispatch, args)?;
+                }
+                SInstr::Store { slot, src } => {
+                    fr[*slot as usize] = Some(regs[*src as usize].clone());
+                }
+                SInstr::Ret { src } => return Ok(Flow::Return(regs[*src as usize].clone())),
+                SInstr::RetNull => return Ok(Flow::Return(Value::Null)),
+                SInstr::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                SInstr::ResetGuard { guard } => guards[*guard as usize] = 0,
+                SInstr::LoopJump { target, guard } => {
+                    guards[*guard as usize] += 1;
+                    if guards[*guard as usize] > 1_000_000 {
+                        return Err(RtError::new("while loop exceeded iteration budget"));
+                    }
+                    pc = *target as usize;
+                    continue;
+                }
+                SInstr::CmpJump { op, a, b, if_false } => {
+                    // Charges one budget step, like the condition solve it
+                    // replaces.
+                    self.budget.step()?;
+                    let va = &regs[*a as usize];
+                    let vb = &regs[*b as usize];
+                    let holds = match (va.as_int(), vb.as_int()) {
+                        (Some(x), Some(y)) => match op {
+                            CmpOp::Le => x <= y,
+                            CmpOp::Lt => x < y,
+                            CmpOp::Ge => x >= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ne => x != y,
+                            CmpOp::Eq => x == y,
+                        },
+                        _ => {
+                            if *op == CmpOp::Ne {
+                                let (va, vb) = (va.clone(), vb.clone());
+                                !self.values_equal(&va, &vb)?
+                            } else {
+                                return Err(RtError::new("ordering comparison on non-integers"));
+                            }
+                        }
+                    };
+                    if !holds {
+                        pc = *if_false as usize;
+                        continue;
+                    }
+                }
+                SInstr::TestJump { a, if_false } => {
+                    self.budget.step()?;
+                    if regs[*a as usize].as_bool() != Some(true) {
+                        pc = *if_false as usize;
+                        continue;
+                    }
+                }
+                SInstr::ClassIs {
+                    a,
+                    type_index,
+                    if_false,
+                } => {
+                    let hit = match &regs[*a as usize] {
+                        Value::Obj(o) => self.obj_index(o) == Some(*type_index),
+                        _ => false,
+                    };
+                    if !hit {
+                        pc = *if_false as usize;
+                        continue;
+                    }
+                }
+                SInstr::SwitchJump { scrutinee, table } => {
+                    let t = &bc.jumps[*table as usize];
+                    pc = match &regs[*scrutinee as usize] {
+                        Value::Obj(o) => match self.obj_index(o) {
+                            Some(i) if (i as usize) < t.by_type.len() => {
+                                t.by_type[i as usize] as usize
+                            }
+                            _ => t.other as usize,
+                        },
+                        _ => t.other as usize,
+                    };
+                    continue;
+                }
+                SInstr::Switch {
+                    scrutinee,
+                    table,
+                    stmt,
+                } => {
+                    let StmtPlan::Switch {
+                        cases,
+                        bodies,
+                        default,
+                        ..
+                    } = &bc.stmts[*stmt as usize]
+                    else {
+                        return Err(RtError::new("corrupt switch bytecode"));
+                    };
+                    let values = [regs[*scrutinee as usize].clone()];
+                    let indices = [match &values[0] {
+                        Value::Obj(o) => self.obj_index(o),
+                        _ => None,
+                    }];
+                    let tbl = &bc.switches[*table as usize];
+                    let cands: &[u16] = match indices[0] {
+                        Some(i) if (i as usize) < tbl.by_type.len() => &tbl.by_type[i as usize],
+                        _ => &tbl.other,
+                    };
+                    let mut done = None;
+                    for &ci in cands {
+                        let case = &cases[ci as usize];
+                        let body: Option<&[StmtPlan]> = match case.target {
+                            CaseTarget::Body(j) => Some(&bodies[j]),
+                            CaseTarget::Default => Some(default.as_deref().unwrap_or(&[])),
+                            CaseTarget::FellOff => None,
+                        };
+                        if let Some(flow) = self.exec_case(
+                            fr,
+                            this,
+                            &case.patterns,
+                            &case.guards,
+                            &values,
+                            &indices,
+                            0,
+                            body,
+                        )? {
+                            done = Some(flow);
+                            break;
+                        }
+                    }
+                    let flow = match done {
+                        Some(f) => f,
+                        None => match default {
+                            Some(d) => self.exec_block(fr, this, d)?,
+                            None => return Err(RtError::new("non-exhaustive switch at run time")),
+                        },
+                    };
+                    if let Flow::Return(v) = flow {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                SInstr::ExecStmt { stmt } => {
+                    if let Flow::Return(v) = self.exec_stmt(fr, this, &bc.stmts[*stmt as usize])? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                SInstr::End => return Ok(Flow::Normal),
+            }
+            pc += 1;
+        }
+    }
+
     fn exec_stmt(
         &mut self,
         fr: &mut Frame,
@@ -1812,4 +2415,148 @@ impl<'p, 'b> Ev<'p, 'b> {
         })?;
         Ok(out)
     }
+}
+
+/// Integer arithmetic shared by the `Bin` bytecode instruction and the
+/// fast-constructor field evaluator — one place for the division and
+/// remainder guards.
+pub(crate) fn bin_int(op: BinOp, x: i64, y: i64) -> RtResult<i64> {
+    Ok(match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => {
+            if y == 0 {
+                return Err(RtError::new("division by zero"));
+            }
+            x / y
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return Err(RtError::new("remainder by zero"));
+            }
+            x % y
+        }
+    })
+}
+
+/// Evaluates one vetted [`FastCtor`](jmatch_core::bytecode::FastCtor) field
+/// expression against the argument vector: parameter reads become direct
+/// `args` indexing, everything else is literals and integer arithmetic.
+fn fast_ctor_field(e: &PExpr, params: &[SlotId], args: &[Value]) -> RtResult<Value> {
+    Ok(match e {
+        PExpr::Int(i) => Value::Int(*i),
+        PExpr::Bool(b) => Value::Bool(*b),
+        PExpr::Str(s) => Value::Str(s.clone()),
+        PExpr::Null => Value::Null,
+        PExpr::Name { slot, .. } => {
+            let i = params
+                .iter()
+                .position(|p| p == slot)
+                .expect("fast-ctor names resolve to parameters");
+            args[i].clone()
+        }
+        PExpr::Binary(op, a, b) => {
+            let x = fast_ctor_field(a, params, args)?
+                .as_int()
+                .ok_or_else(|| RtError::new("arithmetic on non-integer"))?;
+            let y = fast_ctor_field(b, params, args)?
+                .as_int()
+                .ok_or_else(|| RtError::new("arithmetic on non-integer"))?;
+            Value::Int(bin_int(*op, x, y)?)
+        }
+        PExpr::Neg(a) => {
+            let x = fast_ctor_field(a, params, args)?
+                .as_int()
+                .ok_or_else(|| RtError::new("negation of non-integer"))?;
+            Value::Int(-x)
+        }
+        _ => unreachable!("expression shape vetted by `fast_ctor`"),
+    })
+}
+
+/// Backward-mode twin of the fast-construct path: a pure-permutation
+/// constructor ([`FastCtor::projection`](jmatch_core::bytecode::FastCtor))
+/// deconstructs by reading the parameter values straight off the object's
+/// field storage — no matching form, no solver frame, no per-solution
+/// binding maps. Applies only to native-layout objects of the
+/// constructor's own class; foreign layouts fall back to the solver,
+/// which projects fields by name.
+///
+/// Returns `None` when the fast path does not apply, `Some(vec![])` when
+/// it applies but the declared parameter types reject the one solution
+/// (matching the solver's row filter).
+pub(crate) fn fast_deconstruct(
+    plan: &ProgramPlan,
+    value: &Value,
+    pid: PlanId,
+) -> Option<Vec<Vec<Value>>> {
+    let mp = plan.method(pid);
+    let proj = mp.fast_ctor.as_ref()?.projection.as_deref()?;
+    let layout = mp.owner_layout.as_ref()?;
+    let Value::Obj(o) = value else {
+        return None;
+    };
+    if !Arc::ptr_eq(o.layout(), layout) {
+        return None;
+    }
+    let row: Vec<Value> = proj
+        .iter()
+        .map(|&i| o.fields()[i as usize].clone())
+        .collect();
+    Some(filter_projection_row(plan, pid, row))
+}
+
+/// [`fast_deconstruct`] over an owned scrutinee — the first slice of
+/// Perceus-style memory reuse: when the `Arc` is uniquely held and the
+/// permutation is the identity, the solution row takes over the object's
+/// own `Box<[Value]>` in place (`Arc::get_mut`, then `Box::into_vec` —
+/// no allocation, no refcount traffic on the field values). Shared or
+/// permuted scrutinees clone per field, like the borrowed path.
+///
+/// `Err` hands the value back when the fast path does not apply.
+pub(crate) fn fast_deconstruct_owned(
+    plan: &ProgramPlan,
+    value: Value,
+    pid: PlanId,
+) -> Result<Vec<Vec<Value>>, Value> {
+    let mp = plan.method(pid);
+    let (Some(fc), Some(layout)) = (&mp.fast_ctor, &mp.owner_layout) else {
+        return Err(value);
+    };
+    let Some(proj) = fc.projection.as_deref() else {
+        return Err(value);
+    };
+    match value {
+        Value::Obj(mut o) if Arc::ptr_eq(o.layout(), layout) => {
+            let identity = proj.iter().enumerate().all(|(i, &s)| s as usize == i);
+            let row: Vec<Value> = match (identity, Arc::get_mut(&mut o)) {
+                (true, Some(obj)) => obj.take_fields().into_vec(),
+                _ => proj
+                    .iter()
+                    .map(|&i| o.fields()[i as usize].clone())
+                    .collect(),
+            };
+            Ok(filter_projection_row(plan, pid, row))
+        }
+        v => Err(v),
+    }
+}
+
+/// Applies the declared parameter types to a projected row, like the
+/// solver does to each solution: a typed parameter holding an object of
+/// a non-subtype class rejects the row.
+fn filter_projection_row(plan: &ProgramPlan, pid: PlanId, row: Vec<Value>) -> Vec<Vec<Value>> {
+    let table = plan.table();
+    let params = &plan.method(pid).info.decl.params;
+    for (p, v) in params.iter().zip(row.iter()) {
+        if let Type::Named(t) = &p.ty {
+            if let Some(class) = v.class() {
+                if !table.is_subtype(class, t) {
+                    return Vec::new();
+                }
+            }
+        }
+    }
+    vec![row]
 }

@@ -208,6 +208,14 @@ impl Object {
         self.layout.slot_of(name).map(|s| &self.fields[s])
     }
 
+    /// Moves the field storage out, leaving an empty husk. Callers hold
+    /// the only reference (via [`Arc::get_mut`]) and drop the husk
+    /// immediately, so the broken `len == num_fields` invariant never
+    /// escapes.
+    pub(crate) fn take_fields(&mut self) -> Box<[Value]> {
+        std::mem::take(&mut self.fields)
+    }
+
     /// A field by interned symbol — the hot path. The symbol must come
     /// from the same program's interner as this object's layout; symbols
     /// from another program are meaningless here (the engines guard this

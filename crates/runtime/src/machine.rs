@@ -51,17 +51,44 @@
 
 use crate::eval::{Budget, Ev, Frame};
 use crate::{RtError, RtResult, Value};
+use jmatch_core::bytecode::{BcBody, Instr, Pc, UnifyMode};
 use jmatch_core::lower::{
     BodyPlan, CallKind, DispatchId, Goal, PExpr, PlanId, ProgramPlan, ReadyCheck, SlotId,
+    SolvedForm,
 };
 use jmatch_syntax::ast::{BinOp, CmpOp};
 use std::rc::Rc;
+
+/// The executable form of one solved form: threaded bytecode when the
+/// plan's pass 4 emitted it, the goal tree otherwise. Choice-point arity
+/// and order are identical either way (a bytecode `Choice` mirrors its
+/// `Goal::Any` exactly), so guides and choice paths recorded by one form
+/// replay on the other.
+#[derive(Clone, Copy)]
+pub(crate) enum MachineCode<'g> {
+    /// Walk the goal tree.
+    Goal(&'g Goal),
+    /// Thread the compiled instruction stream.
+    Bc(&'g BcBody),
+}
+
+impl<'g> MachineCode<'g> {
+    /// The preferred executable form of `form`.
+    pub(crate) fn of_form(form: &'g SolvedForm) -> Self {
+        match &form.bc {
+            Some(bc) => MachineCode::Bc(bc),
+            None => MachineCode::Goal(&form.goal),
+        }
+    }
+}
 
 /// One pending unit of work on the continuation stack.
 #[derive(Clone)]
 enum Step<'g> {
     /// Solve a goal in frame `fi`.
     Goal { fi: usize, goal: &'g Goal },
+    /// Run threaded bytecode from `pc` in frame `fi`.
+    Bc { fi: usize, body: &'g BcBody, pc: Pc },
     /// A dynamically scheduled conjunction with the conjuncts still to run.
     DynSeq {
         fi: usize,
@@ -108,6 +135,15 @@ enum Alt<'g> {
         fi: usize,
         pat: &'g PExpr,
         value: Value,
+    },
+    /// Remaining alternatives of a bytecode `Choice`, starting at `next`.
+    /// The alternatives are instruction addresses resolved at compile time:
+    /// restoring one is a pc install, not a tree re-walk.
+    BcChoice {
+        fi: usize,
+        body: &'g BcBody,
+        alts: &'g [Pc],
+        next: usize,
     },
 }
 
@@ -187,11 +223,11 @@ pub(crate) struct Machine<'g> {
 }
 
 impl<'g> Machine<'g> {
-    /// Creates a machine that enumerates the solutions of `goal` over a
+    /// Creates a machine that enumerates the solutions of `code` over a
     /// root frame seeded by the caller, with `this` in scope.
     pub(crate) fn new(
         plan: &'g ProgramPlan,
-        goal: &'g Goal,
+        code: MachineCode<'g>,
         root: Frame,
         this: Option<Value>,
         max_depth: usize,
@@ -199,7 +235,7 @@ impl<'g> Machine<'g> {
     ) -> Self {
         Machine::with_budget(
             plan,
-            goal,
+            code,
             root,
             this,
             Budget::new(max_depth, max_steps),
@@ -214,7 +250,7 @@ impl<'g> Machine<'g> {
     /// reconstructs the donor's frames, trail, and bindings exactly.
     pub(crate) fn with_budget(
         plan: &'g ProgramPlan,
-        goal: &'g Goal,
+        code: MachineCode<'g>,
         root: Frame,
         this: Option<Value>,
         budget: Budget,
@@ -232,7 +268,14 @@ impl<'g> Machine<'g> {
             guide,
             guide_pos: 0,
         };
-        m.push(Step::Goal { fi: 0, goal });
+        match code {
+            MachineCode::Goal(goal) => m.push(Step::Goal { fi: 0, goal }),
+            MachineCode::Bc(body) => m.push(Step::Bc {
+                fi: 0,
+                body,
+                pc: body.entry,
+            }),
+        }
         m
     }
 
@@ -330,6 +373,14 @@ impl<'g> Machine<'g> {
                 p.push(1);
                 vec![p]
             }
+            Alt::BcChoice { alts, next, .. } => (next..alts.len())
+                .map(|k| {
+                    let mut p = Vec::with_capacity(prefix.len() + 1);
+                    p.extend_from_slice(prefix);
+                    p.push(k as u32);
+                    p
+                })
+                .collect(),
         }
     }
 
@@ -420,6 +471,21 @@ impl<'g> Machine<'g> {
                 1,
                 true,
             ),
+            Alt::BcChoice {
+                fi,
+                body,
+                alts,
+                next,
+            } => {
+                let step = Step::Bc {
+                    fi: *fi,
+                    body,
+                    pc: alts[*next],
+                };
+                let decision = *next as u32;
+                *next += 1;
+                (step, decision, *next >= alts.len())
+            }
         };
         if exhausted {
             self.choices.pop();
@@ -516,6 +582,7 @@ impl<'g> Machine<'g> {
         self.budget.step()?;
         match step {
             Step::Goal { fi, goal } => self.exec_goal(fi, goal),
+            Step::Bc { fi, body, pc } => self.exec_bc(fi, body, pc),
             Step::DynSeq {
                 fi,
                 items,
@@ -687,6 +754,209 @@ impl<'g> Machine<'g> {
                     self.fail();
                 }
                 Ok(())
+            }
+        }
+    }
+
+    /// Threads the compiled instruction stream from `pc`. Deterministic
+    /// instructions (comparisons, tests, ground unifications, boolean
+    /// predicates, failed negations) continue inline at their compile-time
+    /// `next` pc without touching the continuation stack; only operations
+    /// that need a resumption boundary — pattern matches, constructor
+    /// entries, dynamic conjunctions — push a [`Step::Bc`] continuation.
+    /// The inline loop terminates because bodies are emitted right-to-left:
+    /// every `next` (and every `Choice` alternative) is strictly smaller
+    /// than the pc of the instruction holding it. One budget step is
+    /// charged per [`Step`], same as the goal walker — the inline chain is
+    /// bounded by the body length.
+    fn exec_bc(&mut self, fi: usize, body: &'g BcBody, mut pc: Pc) -> RtResult<()> {
+        loop {
+            match &body.instrs[pc as usize] {
+                Instr::Emit => return Ok(()),
+                Instr::Fail => {
+                    self.fail();
+                    return Ok(());
+                }
+                Instr::Choice(alts) => {
+                    if let Some(d) = self.next_guide() {
+                        debug_assert!((d as usize) < alts.len(), "bad replay guide");
+                        pc = alts[d as usize];
+                    } else {
+                        self.choice(Alt::BcChoice {
+                            fi,
+                            body,
+                            alts,
+                            next: 1,
+                        });
+                        pc = alts[0];
+                    }
+                }
+                Instr::Unify {
+                    lhs,
+                    rhs,
+                    mode,
+                    next,
+                } => {
+                    let l = &body.exprs[*lhs as usize];
+                    let r = &body.exprs[*rhs as usize];
+                    let mode = match mode {
+                        UnifyMode::Dynamic => match (self.ground(fi, l), self.ground(fi, r)) {
+                            (true, true) => UnifyMode::EvalEval,
+                            (true, false) => UnifyMode::EvalMatch,
+                            (false, true) => UnifyMode::MatchEval,
+                            (false, false) => {
+                                return Err(RtError::new(format!(
+                                        "equation with unknowns on both sides is not solvable: {l:?} = {r:?}"
+                                    )));
+                            }
+                        },
+                        m => *m,
+                    };
+                    match mode {
+                        UnifyMode::EvalEval => {
+                            let a = self.eval_expr(fi, l)?;
+                            let b = self.eval_expr(fi, r)?;
+                            if !self.values_equal(&a, &b)? {
+                                self.fail();
+                                return Ok(());
+                            }
+                            pc = *next;
+                        }
+                        UnifyMode::EvalMatch => {
+                            let v = self.eval_expr(fi, l)?;
+                            self.push(Step::Bc {
+                                fi,
+                                body,
+                                pc: *next,
+                            });
+                            self.push(Step::Match {
+                                fi,
+                                pat: r,
+                                value: v,
+                            });
+                            return Ok(());
+                        }
+                        UnifyMode::MatchEval => {
+                            let v = self.eval_expr(fi, r)?;
+                            self.push(Step::Bc {
+                                fi,
+                                body,
+                                pc: *next,
+                            });
+                            self.push(Step::Match {
+                                fi,
+                                pat: l,
+                                value: v,
+                            });
+                            return Ok(());
+                        }
+                        UnifyMode::Dynamic => unreachable!("dynamic mode resolved above"),
+                    }
+                }
+                Instr::Compare { op, lhs, rhs, next } => {
+                    let a = self.eval_expr(fi, &body.exprs[*lhs as usize])?;
+                    let b = self.eval_expr(fi, &body.exprs[*rhs as usize])?;
+                    let holds = match (a.as_int(), b.as_int()) {
+                        (Some(x), Some(y)) => match op {
+                            CmpOp::Le => x <= y,
+                            CmpOp::Lt => x < y,
+                            CmpOp::Ge => x >= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ne => x != y,
+                            CmpOp::Eq => x == y,
+                        },
+                        _ => {
+                            if *op != CmpOp::Ne {
+                                return Err(RtError::new("ordering comparison on non-integers"));
+                            }
+                            !self.values_equal(&a, &b)?
+                        }
+                    };
+                    if !holds {
+                        self.fail();
+                        return Ok(());
+                    }
+                    pc = *next;
+                }
+                Instr::Test { expr, next } => {
+                    let v = self.eval_expr(fi, &body.exprs[*expr as usize])?;
+                    if v.as_bool() != Some(true) {
+                        self.fail();
+                        return Ok(());
+                    }
+                    pc = *next;
+                }
+                Instr::Invoke {
+                    receiver,
+                    name,
+                    args_start,
+                    args_len,
+                    dispatch,
+                    next,
+                } => {
+                    let subject: Value = match receiver {
+                        Some(r) => {
+                            let r = &body.exprs[*r as usize];
+                            if !self.ground(fi, r) {
+                                return Err(RtError::new("predicate receiver is not ground"));
+                            }
+                            self.eval_expr(fi, r)?
+                        }
+                        None => self.frames[fi]
+                            .this
+                            .clone()
+                            .ok_or_else(|| RtError::new("predicate call without a receiver"))?,
+                    };
+                    match &subject {
+                        Value::Obj(_) => {
+                            let name = &body.names[*name as usize];
+                            let Some(pid) = self.resolve_dispatch(*dispatch, &subject, name, false)
+                            else {
+                                return Err(RtError::method_not_found(
+                                    subject.class().unwrap_or_default(),
+                                    name,
+                                ));
+                            };
+                            let args = body.args(*args_start, *args_len);
+                            self.push(Step::Bc {
+                                fi,
+                                body,
+                                pc: *next,
+                            });
+                            return self.enter_constructor(fi, subject.clone(), pid, args);
+                        }
+                        Value::Bool(b) => {
+                            if !*b {
+                                self.fail();
+                                return Ok(());
+                            }
+                            pc = *next;
+                        }
+                        other => {
+                            return Err(RtError::new(format!(
+                                "cannot use `{other}` as a predicate receiver"
+                            )));
+                        }
+                    }
+                }
+                Instr::Not { goal, next } => {
+                    if self.exists(fi, &body.goals[*goal as usize])? {
+                        self.fail();
+                        return Ok(());
+                    }
+                    pc = *next;
+                }
+                Instr::DynSeq { goal, next } => {
+                    let Goal::DynSeq(items) = &body.goals[*goal as usize] else {
+                        return Err(RtError::new("corrupt bytecode: DynSeq pool entry"));
+                    };
+                    self.push(Step::Bc {
+                        fi,
+                        body,
+                        pc: *next,
+                    });
+                    return self.exec_dynseq(fi, items, (0..items.len()).collect());
+                }
             }
         }
     }
@@ -955,10 +1225,14 @@ impl<'g> Machine<'g> {
             param_slots: &matching.param_slots,
             args,
         });
-        self.push(Step::Goal {
-            fi: callee,
-            goal: &matching.goal,
-        });
+        match MachineCode::of_form(matching) {
+            MachineCode::Goal(goal) => self.push(Step::Goal { fi: callee, goal }),
+            MachineCode::Bc(body) => self.push(Step::Bc {
+                fi: callee,
+                body,
+                pc: body.entry,
+            }),
+        }
         Ok(())
     }
 
@@ -1070,6 +1344,114 @@ impl Drop for Machine<'_> {
                     Err(_) => break,
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Compiler;
+    use crate::args;
+
+    /// The `parallel_scaling` workload: `vals` enumerates a complete binary
+    /// tree's leaves left-to-right, so every `Node` activation is one
+    /// two-way choice point — the densest choice-path shape the OR-parallel
+    /// splitter sees.
+    const TREE_SRC: &str = r#"
+        interface Tree {
+            constructor leaf(int v) returns(v);
+            constructor node(Tree l, Tree r) returns(l, r);
+            boolean vals(int x) iterates(x);
+        }
+        class Leaf implements Tree {
+            int val;
+            constructor leaf(int v) returns(v) ( val = v )
+            constructor node(Tree l, Tree r) returns(l, r) ( false )
+            boolean vals(int x) iterates(x) ( leaf(x) )
+        }
+        class Node implements Tree {
+            Tree left;
+            Tree right;
+            constructor leaf(int v) returns(v) ( false )
+            constructor node(Tree l, Tree r) returns(l, r) ( left = l && right = r )
+            boolean vals(int x) iterates(x) ( node(Tree l, _) && l.vals(x) || node(_, Tree r) && r.vals(x) )
+        }
+    "#;
+
+    fn complete_tree(program: &crate::Program, depth: u32, next: &mut i64) -> Value {
+        let leaf = program.ctor("Leaf", "leaf").unwrap();
+        let node = program.ctor("Node", "node").unwrap();
+        fn build(
+            leaf: &crate::CtorRef,
+            node: &crate::CtorRef,
+            depth: u32,
+            next: &mut i64,
+        ) -> Value {
+            if depth == 0 {
+                let v = leaf.construct(args![*next]).unwrap();
+                *next += 1;
+                v
+            } else {
+                let l = build(leaf, node, depth - 1, next);
+                let r = build(leaf, node, depth - 1, next);
+                node.construct(args![l, r]).unwrap()
+            }
+        }
+        build(&leaf, &node, depth, next)
+    }
+
+    /// Runs `vals` over a 4096-leaf tree to the first solution, then drains
+    /// the machine's choice points through [`Machine::split_oldest`],
+    /// returning every exported replay prefix in donation order.
+    fn donated_prefixes(bytecode: bool) -> Vec<Vec<u32>> {
+        let program = Compiler::new()
+            .verify(false)
+            .bytecode(bytecode)
+            .compile(TREE_SRC)
+            .unwrap();
+        let mut next = 0i64;
+        let tree = complete_tree(&program, 12, &mut next);
+        let plan = program.plan();
+        let pid = plan.lookup_impl("Node", "vals").unwrap();
+        let BodyPlan::Formula { matching, .. } = &plan.method(pid).body else {
+            panic!("vals has a declarative body");
+        };
+        let mut machine = Machine::new(
+            plan,
+            MachineCode::of_form(matching),
+            vec![None; matching.frame.len()],
+            Some(tree),
+            10_000,
+            u64::MAX,
+        );
+        assert!(machine.next_solution().unwrap());
+        let mut prefixes = Vec::new();
+        while machine.can_split() {
+            prefixes.extend(machine.split_oldest());
+        }
+        prefixes
+    }
+
+    /// Replacing boxed-continuation path replay with pc-based choice
+    /// restoration must not grow the OR-parallel task descriptors: the
+    /// 4096-leaf tree's donated prefixes are required to be *identical*
+    /// under both code forms (the bytecode `Choice` mirrors its `Goal::Any`
+    /// one-to-one), so their serialized size — 4 bytes per decision — can
+    /// never be larger.
+    #[test]
+    fn bytecode_split_prefixes_match_goal_tree_prefixes() {
+        let bc = donated_prefixes(true);
+        let tree = donated_prefixes(false);
+        let size = |ps: &[Vec<u32>]| ps.iter().map(|p| 4 * p.len()).sum::<usize>();
+        assert_eq!(bc, tree, "donated replay prefixes diverged");
+        assert!(size(&bc) <= size(&tree));
+        // The first solution of a depth-12 enumeration holds one untried
+        // alternative per ancestor: 12 donatable prefixes, each one
+        // decision longer than the last.
+        assert_eq!(bc.len(), 12);
+        for (i, p) in bc.iter().enumerate() {
+            assert_eq!(p.len(), i + 1, "prefix {i} has wrong depth: {p:?}");
         }
     }
 }

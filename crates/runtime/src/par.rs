@@ -68,9 +68,9 @@
 
 use crate::api::{frame_bindings, param_row_bindings, Limits};
 use crate::eval::{Budget, Frame, SharedBudget};
-use crate::machine::{Machine, RunOutcome};
+use crate::machine::{Machine, MachineCode, RunOutcome};
 use crate::{Bindings, RtError, RtResult, Value};
-use jmatch_core::lower::{BodyPlan, Goal, PlanId, ProgramPlan, SlotId, SolvedForm};
+use jmatch_core::lower::{BodyPlan, PlanId, ProgramPlan, SlotId, SolvedForm};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -290,7 +290,7 @@ fn run_task(
     guide: ChoicePath,
 ) {
     let budget = Budget::new_shared(limits.max_depth, Arc::clone(pool));
-    let (goal, root, this): (&Goal, Frame, Option<Value>) = match job {
+    let (code, root, this): (MachineCode, Frame, Option<Value>) = match job {
         ParJob::Deconstruct { pid, value } => {
             let mp = plan.method(*pid);
             let BodyPlan::Formula { matching, .. } = &mp.body else {
@@ -305,7 +305,7 @@ fn run_task(
                 return;
             };
             (
-                &matching.goal,
+                MachineCode::of_form(matching),
                 vec![None; matching.frame.len()],
                 Some(value.clone()),
             )
@@ -315,10 +315,10 @@ fn run_task(
             for (s, v) in seed {
                 root[*s as usize] = Some(v.clone());
             }
-            (&form.goal, root, this.clone())
+            (MachineCode::of_form(form), root, this.clone())
         }
     };
-    let mut machine = Machine::with_budget(plan, goal, root, this, budget, guide);
+    let mut machine = Machine::with_budget(plan, code, root, this, budget, guide);
     loop {
         if inj.is_cancelled() {
             machine.release_budget();

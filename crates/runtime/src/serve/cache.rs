@@ -146,6 +146,9 @@ impl ProgramCache {
             }
         }
         // Compile outside the lock; other keys stay servable meanwhile.
+        // `Compiler::new()` compiles bytecode by default, so the cached
+        // program amortizes the pass-4 cost across every tenant that hits
+        // this key: their queries all run on the flat form.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Compiler::new()
             .verify(verify)

@@ -1,0 +1,95 @@
+//! Golden-text tests for the bytecode disassembler.
+//!
+//! The disassembly is a public, stable surface (`Program::disasm`): these
+//! pins catch accidental changes to instruction selection — a lost
+//! superinstruction, a regressed unify-mode analysis, or a switch that
+//! stopped compiling to a jump table shows up as a text diff here long
+//! before it shows up on a benchmark.
+
+use jmatch::corpus;
+use jmatch::Compiler;
+
+fn program(src: &str) -> jmatch::Program {
+    Compiler::new().verify(false).compile(src).expect("parse")
+}
+
+/// `ZNat.succ` is Figure 3's binary-representation successor: one body,
+/// two mode-specialized forms. The pins document what the static unify-mode
+/// analysis is expected to prove — forward mode knows `val` and emits a
+/// match-eval unification (`me`: solve the pattern side against the
+/// evaluated right side); matching mode cannot direct the same equation
+/// statically and keeps it dynamic (`dyn`).
+#[test]
+fn znat_succ_disassembles_to_pinned_text() {
+    let entry = corpus::entry("ZNat").unwrap();
+    let program = program(entry.jmatch_source);
+    let text = program.disasm(Some("ZNat"), "succ").unwrap();
+    // Note every `-> next` address is smaller than the pc holding it: the
+    // threaded form is emitted right-to-left, which is what lets both
+    // engines chase continuations inline without a termination check.
+    let expected = "\
+; ZNat.succ [forward]
+entry: 2
+   0: emit
+   1: cmp val@2 >= 1 -> 0
+   2: unify.me ZNat((val@2 - 1)) = n@0 -> 1
+; ZNat.succ [matching]
+entry: 2
+   0: emit
+   1: unify.dyn ZNat((val@2 - 1)) = n@0 -> 0
+   2: cmp val@2 >= 1 -> 1
+";
+    assert_eq!(text, expected, "ZNat.succ bytecode drifted:\n{text}");
+}
+
+#[test]
+fn arrlist_tocons_block_disassembles_to_pinned_text() {
+    let entry = corpus::entry("ArrList").unwrap();
+    let mut src = String::new();
+    for dep in entry.jmatch_deps {
+        src.push_str(dep);
+    }
+    src.push_str(entry.jmatch_source);
+    let program = program(&src);
+    let text = program.disasm(Some("ArrList"), "toCons").unwrap();
+    // The body is the corpus's hot imperative shape: the two declarations
+    // fall back to statement plans, then the `while` becomes a native
+    // counted loop — condition as a fused compare-and-branch, accumulator
+    // and index as register arithmetic, and only the constructor call
+    // leaving the register file.
+    let expected = "\
+; ArrList.toCons [block]
+regs: 3  guards: 1
+   0: stmt#0
+   1: stmt#1
+   2: guard 0 = 0
+   3: r0 = slot 2 (i)
+   4: r1 = slot 3 (count)
+   5: if !(r0 < r1) jmp 15
+   6: r1 = eval elems@5[i@2]
+   7: r2 = slot 0 (out)
+   8: r0 = call plan#15 (r1..+2)
+   9: slot 0 = r0
+  10: r1 = slot 2 (i)
+  11: r2 = const 1
+  12: r0 = r1 + r2
+  13: slot 2 = r0
+  14: loop 3 (guard 0)
+  15: r0 = slot 0 (out)
+  16: ret r0
+  17: end
+";
+    assert_eq!(text, expected, "ArrList.toCons bytecode drifted:\n{text}");
+}
+
+#[test]
+fn disasm_is_empty_without_bytecode() {
+    let entry = corpus::entry("ZNat").unwrap();
+    let program = Compiler::new()
+        .verify(false)
+        .bytecode(false)
+        .compile(entry.jmatch_source)
+        .expect("parse");
+    assert!(program.disasm(Some("ZNat"), "succ").unwrap().is_empty());
+    assert!(program.disasm(None, "plus").unwrap().is_empty());
+}

@@ -195,3 +195,46 @@ fn tree_adapter_streams_without_draining() {
         .collect();
     assert_eq!(first, vec![0, 1, 2]);
 }
+
+/// Re-pins the first-solution step count on the *bytecode* machine against
+/// the goal-tree machine: the threaded form chases deterministic
+/// continuations inline within one machine step, so it must reach the
+/// first `elem` solution in no more steps than the tree walk — and neither
+/// form may regress the pre-interning 8-step baseline. (Measured after the
+/// bytecode landing: both forms take exactly 8 steps — the choice-point
+/// structure is identical, and each resumption boundary costs one step
+/// either way.)
+#[test]
+fn bytecode_machine_first_solution_matches_the_pin() {
+    with_deep_stack(bytecode_machine_first_solution_matches_the_pin_body);
+}
+
+fn bytecode_machine_first_solution_matches_the_pin_body() {
+    let first_steps = |bytecode: bool| {
+        let program = Compiler::new()
+            .verify(false)
+            .engine(Engine::Plan)
+            .bytecode(bytecode)
+            .limits(DEEP)
+            .compile(LIST)
+            .unwrap();
+        let list = big_list(&program, N);
+        let elem = program.method("Cons", "elem").unwrap();
+        let query = elem.iterate(Some(&list), &Bindings::new()).unwrap();
+        let mut solutions = query.solutions();
+        let first = solutions.next().expect("a 10k list has a first element");
+        assert_eq!(first["x"], Value::Int(0));
+        solutions.steps().expect("plan engine reports steps")
+    };
+    let bc = first_steps(true);
+    let tree = first_steps(false);
+    assert!(
+        bc <= tree,
+        "bytecode first solution took {bc} steps vs {tree} on the goal tree"
+    );
+    assert!(
+        bc <= FIRST_SOLUTION_STEPS_BASELINE && tree <= FIRST_SOLUTION_STEPS_BASELINE,
+        "first solution took {bc} (bytecode) / {tree} (tree) steps; \
+         the recorded baseline is {FIRST_SOLUTION_STEPS_BASELINE}"
+    );
+}

@@ -1,0 +1,108 @@
+//! `analysis_overhead` — the plan-analysis pass (determinism commits +
+//! dead-alternative pruning) against the unanalyzed oracle, same plan
+//! engine, same workloads.
+//!
+//! Two questions, two groups of rows:
+//!
+//! * **run time** — `det_tree_min` is the workload the pass targets (one
+//!   committed choice point per spine node; the oracle carries them all to
+//!   the solution), while the `repr_hot_paths` / `plan_vs_interp` suites
+//!   act as no-regression controls: the analysis must not slow down code
+//!   it cannot improve.
+//! * **compile time** — `compile/*` times plan construction with the pass
+//!   on and off; the delta is the whole-pipeline cost of the fixpoint and
+//!   the pruner.
+//!
+//! Each pair is asserted result-equal before timing (the pass is
+//! observation-equivalent by construction, and `--test` mode in CI fails
+//! the bench before it can mistime), and the det workload additionally
+//! asserts the choice-point win itself: zero live choice points at the
+//! solution analyzed, one per spine node for the oracle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jmatch_bench::{
+    det_tree_workload, enumeration_workload, list_workload, nat_plus_workload,
+    plan_program_analysis, repr_field_workload, runtime_workload_source, DET_TREE_SOURCE,
+    REPR_FIELD_SOURCE,
+};
+
+const DEPTH: i64 = 200;
+
+fn bench_analysis_overhead(c: &mut Criterion) {
+    let tree_on = plan_program_analysis(DET_TREE_SOURCE, true);
+    let tree_off = plan_program_analysis(DET_TREE_SOURCE, false);
+    let field_on = plan_program_analysis(REPR_FIELD_SOURCE, true);
+    let field_off = plan_program_analysis(REPR_FIELD_SOURCE, false);
+    let runtime_src = runtime_workload_source();
+    let runtime_on = plan_program_analysis(&runtime_src, true);
+    let runtime_off = plan_program_analysis(&runtime_src, false);
+
+    // Observation equivalence, plus the choice-point win the pass exists
+    // for: the analyzed machine reaches the solution holding zero live
+    // choice points, the oracle holds one per spine node above the deepest
+    // call. Everything else (the answer, the created count) is identical.
+    let (m_on, live_on, created_on) = det_tree_workload(&tree_on, DEPTH);
+    let (m_off, live_off, created_off) = det_tree_workload(&tree_off, DEPTH);
+    assert_eq!(m_on, m_off);
+    assert_eq!(created_on, created_off);
+    assert_eq!(live_on, 0, "det commit left live choice points");
+    assert_eq!(live_off, (DEPTH - 1) as usize);
+    assert_eq!(
+        repr_field_workload(&field_on, 100),
+        repr_field_workload(&field_off, 100)
+    );
+    assert_eq!(
+        nat_plus_workload(&runtime_on, 6),
+        nat_plus_workload(&runtime_off, 6)
+    );
+    assert_eq!(
+        list_workload(&runtime_on, 12),
+        list_workload(&runtime_off, 12)
+    );
+    assert_eq!(
+        enumeration_workload(&runtime_on, 40),
+        enumeration_workload(&runtime_off, 40)
+    );
+
+    let mut group = c.benchmark_group("analysis_overhead");
+    group.bench_function("det_tree_min/analyzed", |b| {
+        b.iter(|| black_box(det_tree_workload(&tree_on, DEPTH)))
+    });
+    group.bench_function("det_tree_min/oracle", |b| {
+        b.iter(|| black_box(det_tree_workload(&tree_off, DEPTH)))
+    });
+    group.bench_function("field_access/analyzed", |b| {
+        b.iter(|| black_box(repr_field_workload(&field_on, 100)))
+    });
+    group.bench_function("field_access/oracle", |b| {
+        b.iter(|| black_box(repr_field_workload(&field_off, 100)))
+    });
+    group.bench_function("nat_plus/analyzed", |b| {
+        b.iter(|| black_box(nat_plus_workload(&runtime_on, 6)))
+    });
+    group.bench_function("nat_plus/oracle", |b| {
+        b.iter(|| black_box(nat_plus_workload(&runtime_off, 6)))
+    });
+    group.bench_function("list_ops/analyzed", |b| {
+        b.iter(|| black_box(list_workload(&runtime_on, 12)))
+    });
+    group.bench_function("list_ops/oracle", |b| {
+        b.iter(|| black_box(list_workload(&runtime_off, 12)))
+    });
+    group.bench_function("enumeration/analyzed", |b| {
+        b.iter(|| black_box(enumeration_workload(&runtime_on, 40)))
+    });
+    group.bench_function("enumeration/oracle", |b| {
+        b.iter(|| black_box(enumeration_workload(&runtime_off, 40)))
+    });
+    group.bench_function("compile/analyzed", |b| {
+        b.iter(|| black_box(plan_program_analysis(&runtime_src, true)))
+    });
+    group.bench_function("compile/oracle", |b| {
+        b.iter(|| black_box(plan_program_analysis(&runtime_src, false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis_overhead);
+criterion_main!(benches);

@@ -647,6 +647,81 @@ pub fn plan_program_bytecode(source: &str, bytecode: bool) -> Program {
     program
 }
 
+/// Compiles `source` on the plan engine with the static-analysis pass
+/// toggled — the before/after axis of the `analysis_overhead` bench
+/// (`oracle` keeps every choice point and unpruned arm, `analyzed` commits
+/// det modes and prunes dead alternatives).
+pub fn plan_program_analysis(source: &str, analysis: bool) -> Program {
+    let program = Compiler::new()
+        .verify(false)
+        .max_expansion_depth(2)
+        .engine(Engine::Plan)
+        .analysis(analysis)
+        .compile(source)
+        .expect("bench program parses");
+    assert!(
+        program.diagnostics().errors.is_empty(),
+        "{:?}",
+        program.diagnostics().errors
+    );
+    program
+}
+
+/// The determinism flagship: `min` walks the left spine of a binary tree;
+/// every matching mode is provably at-most-one and error-free, so the
+/// analyzed machine commits one choice point per spine node that the
+/// unanalyzed oracle keeps live. See `tests/laziness.rs` for the pinned
+/// choice-point counts on the same source.
+pub const DET_TREE_SOURCE: &str = r#"
+    interface Tree {
+        constructor leaf() returns();
+        constructor node(int k, Tree l, Tree r) returns(k, l, r);
+        boolean min(int m) returns(m);
+        boolean empty();
+    }
+    class Leaf implements Tree {
+        constructor leaf() returns() ( true )
+        constructor node(int k, Tree l, Tree r) returns(k, l, r) ( false )
+        boolean min(int m) returns(m) ( false )
+        boolean empty() ( true )
+    }
+    class Node implements Tree {
+        int key;
+        Tree left;
+        Tree right;
+        constructor leaf() returns() ( false )
+        constructor node(int k, Tree l, Tree r) returns(k, l, r)
+            ( key = k && left = l && right = r )
+        boolean min(int m) returns(m)
+            ( left.min(int lm) && m = lm || left.empty() && m = key )
+        boolean empty() ( false )
+    }
+"#;
+
+/// Runs `min` over a `depth`-deep left chain and returns the (single)
+/// solution plus the machine's live / created choice-point counters at the
+/// solution — the quantity the determinism commit exists to shrink.
+pub fn det_tree_workload(program: &Program, depth: i64) -> (i64, usize, u64) {
+    let leaf = program.ctor("Leaf", "leaf").unwrap();
+    let node = program.ctor("Node", "node").unwrap();
+    let mut t = leaf.construct(args![]).unwrap();
+    for i in (0..depth).rev() {
+        let sibling = leaf.construct(args![]).unwrap();
+        t = node.construct(args![i + 1000, t, sibling]).unwrap();
+    }
+    let min = program.method("Node", "min").unwrap();
+    let query = min.iterate(Some(&t), &Bindings::new()).unwrap();
+    let mut solutions = query.solutions();
+    let m = solutions.next().expect("min has a solution")["m"]
+        .as_int()
+        .unwrap();
+    (
+        m,
+        solutions.choice_points().unwrap(),
+        solutions.choice_points_created().unwrap(),
+    )
+}
+
 /// Field-access workload: `rounds` iterations of two methods that each
 /// read all four `Point` fields.
 pub fn repr_field_workload(program: &Program, rounds: i64) -> i64 {

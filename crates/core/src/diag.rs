@@ -37,6 +37,20 @@ pub enum WarningKind {
     /// The verifier gave up (expansion depth / budget exhausted, §6.2): the
     /// property could not be confirmed, but no counterexample was found.
     Unknown,
+    /// A declaration pattern binds a name that is never read
+    /// (`jmatch_core::analysis` lint).
+    UnusedBinding,
+    /// A predicate / constructor atom whose dispatch table has no
+    /// declarative implementation: it can never match
+    /// (`jmatch_core::analysis` lint).
+    AlwaysFailingInvoke,
+    /// A private method unreachable from any exported method — none of its
+    /// modes can ever run (`jmatch_core::analysis` lint).
+    DeadMode,
+    /// A backward-mode body that re-invokes itself on the same receiver as
+    /// its leftmost atom, with no structurally-decreasing argument
+    /// (`jmatch_core::analysis` lint).
+    UnboundedRecursion,
 }
 
 impl fmt::Display for WarningKind {
@@ -51,6 +65,10 @@ impl fmt::Display for WarningKind {
             WarningKind::NotDisjoint => "not disjoint",
             WarningKind::Multiplicity => "multiple solutions",
             WarningKind::Unknown => "could not verify",
+            WarningKind::UnusedBinding => "unused binding",
+            WarningKind::AlwaysFailingInvoke => "always-failing invoke",
+            WarningKind::DeadMode => "dead mode",
+            WarningKind::UnboundedRecursion => "unbounded recursion",
         };
         write!(f, "{s}")
     }

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod bytecode;
 pub mod diag;
 pub mod expand;
@@ -44,6 +45,7 @@ pub mod table;
 pub mod vc;
 pub mod verify;
 
+pub use analysis::{AnalysisOptions, AnalysisReport, Justification, Prune};
 pub use diag::{CompileError, Diagnostics, Warning, WarningKind};
 pub use expand::JMatchExpander;
 pub use extract::{extract, Extracted};

@@ -115,6 +115,16 @@ impl DispatchTable {
         self.by_type[type_index as usize]
     }
 
+    /// Number of entries (one per declared type, by dense type index).
+    pub fn len(&self) -> usize {
+        self.by_type.len()
+    }
+
+    /// Whether the table has no entries (a program with no types).
+    pub fn is_empty(&self) -> bool {
+        self.by_type.is_empty()
+    }
+
     /// When exactly one type resolves through this table, that
     /// `(type_index, plan)` — the monomorphic-call precondition of the
     /// bytecode compiler's call-site inlining.
@@ -533,6 +543,12 @@ pub struct SolvedForm {
     pub field_slots: Vec<(String, SlotId)>,
     /// Whether `this` is in scope in this mode.
     pub this_present: bool,
+    /// Whether the determinism analysis (pass 3.5, [`crate::analysis`])
+    /// proved the form emits at most one solution and its search cannot
+    /// raise a runtime error. The evaluators commit to the first solution
+    /// of a `det` form instead of keeping its choice points alive. Always
+    /// `false` when the analysis is disabled.
+    pub det: bool,
     /// The form's threaded bytecode (pass 4 of [`ProgramPlan::compile`];
     /// `None` when bytecode emission is disabled).
     pub bc: Option<crate::bytecode::BcBody>,
@@ -688,6 +704,35 @@ impl DispatchRegistry {
     }
 }
 
+/// Options of [`ProgramPlan::compile_with`]: which optional passes run.
+#[derive(Debug, Clone)]
+pub struct PlanOptions {
+    /// Emit flat bytecode for every lowered body (pass 4). On by default;
+    /// the plan-walking baseline of the `bytecode_vs_plan` bench turns it
+    /// off.
+    pub bytecode: bool,
+    /// Run the static-analysis pipeline (pass 3.5, [`crate::analysis`]):
+    /// dead-alternative pruning, determinism inference, IR lints. On by
+    /// default; `analysis: false` keeps the unanalyzed plan as the
+    /// differential oracle.
+    pub analysis: bool,
+    /// Cross-check every switch/cond-arm prune against the §5 verifier
+    /// through the SMT session (see
+    /// [`AnalysisOptions::smt`](crate::analysis::AnalysisOptions)). Off by
+    /// default.
+    pub smt_prune_check: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            bytecode: true,
+            analysis: true,
+            smt_prune_check: false,
+        }
+    }
+}
+
 /// The compiled program: every method body lowered to its query plans, plus
 /// the class-keyed dispatch tables the evaluators resolve calls through
 /// without searching the class table.
@@ -705,6 +750,8 @@ pub struct ProgramPlan {
     equals_dispatch: Option<DispatchId>,
     /// Whether pass 4 emitted bytecode (standalone lowering follows suit).
     bc_enabled: bool,
+    /// What pass 3.5 found (`None` when the analysis was disabled).
+    analysis: Option<crate::analysis::AnalysisReport>,
 }
 
 impl ProgramPlan {
@@ -716,13 +763,25 @@ impl ProgramPlan {
     /// name, pass 4 emits the flat bytecode of every lowered body (see
     /// [`crate::bytecode`]).
     pub fn compile(table: Arc<ClassTable>) -> Arc<ProgramPlan> {
-        Self::compile_opts(table, true)
+        Self::compile_with(table, PlanOptions::default())
     }
 
     /// [`ProgramPlan::compile`] with bytecode emission switchable — the
     /// plan-walking baseline of the `bytecode_vs_plan` bench compiles with
     /// `bytecode: false` so both configurations share every other pass.
     pub fn compile_opts(table: Arc<ClassTable>, bytecode: bool) -> Arc<ProgramPlan> {
+        Self::compile_with(
+            table,
+            PlanOptions {
+                bytecode,
+                ..PlanOptions::default()
+            },
+        )
+    }
+
+    /// [`ProgramPlan::compile`] with every optional pass switchable.
+    pub fn compile_with(table: Arc<ClassTable>, opts: PlanOptions) -> Arc<ProgramPlan> {
+        let bytecode = opts.bytecode;
         // Pass 1: resolution maps, no lowering yet.
         let mut maps = PlanMaps::default();
         let mut infos: Vec<&MethodInfo> = Vec::new();
@@ -780,6 +839,23 @@ impl ProgramPlan {
                     .collect(),
             })
             .collect();
+        // Pass 3.5: static analysis — prune dead alternatives, infer
+        // determinism, collect lints. Runs after dispatch materialization
+        // (inter-procedural facts flow through the tables) and before
+        // bytecode emission (pass 4 compiles the *pruned* plans, so goal
+        // trees and bytecode stay mirror images).
+        let analysis = if opts.analysis {
+            Some(crate::analysis::analyze(
+                &table,
+                &mut methods,
+                &dispatch,
+                &crate::analysis::AnalysisOptions {
+                    smt: opts.smt_prune_check,
+                },
+            ))
+        } else {
+            None
+        };
         // Pass 4: emit the flat bytecode of every lowered body. The plan
         // stays alongside as the lowering source and the differential
         // oracle. Block bodies compile against the whole program (methods
@@ -842,12 +918,19 @@ impl ProgramPlan {
             class_ctor_by_type,
             equals_dispatch,
             bc_enabled: bytecode,
+            analysis,
         })
     }
 
     /// Whether pass 4 emitted bytecode for this plan.
     pub fn bytecode_enabled(&self) -> bool {
         self.bc_enabled
+    }
+
+    /// What the static-analysis pass found: lints, prunes, determinism
+    /// counts. `None` when the plan was compiled with `analysis: false`.
+    pub fn analysis(&self) -> Option<&crate::analysis::AnalysisReport> {
+        self.analysis.as_ref()
     }
 
     /// The class table the plan was compiled from.
@@ -1995,6 +2078,7 @@ fn lower_solved_form(
         result_slot,
         field_slots,
         this_present: ctx.this_owner.is_some(),
+        det: false,
         bc: None,
     }
 }
@@ -2030,8 +2114,14 @@ pub fn lower_standalone(
         result_slot,
         field_slots: Vec::new(),
         this_present: this_class.is_some(),
+        det: false,
         bc: None,
     };
+    // Standalone forms are analyzed against the program's frozen facts
+    // (one monotone evaluation — the program fixpoint already converged).
+    if plan.analysis().is_some() {
+        form.det = crate::analysis::standalone_facts(plan, &form, &bound_slots, this_class).det();
+    }
     if plan.bytecode_enabled() {
         form.bc = Some(crate::bytecode::compile_body(&form, &bound_slots));
     }

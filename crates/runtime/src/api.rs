@@ -29,7 +29,9 @@ use crate::par::{self, ParJob, ParMode};
 use crate::tree::TreeWalker;
 use crate::{Bindings, Engine, RtError, RtResult, Value};
 use jmatch_core::diag::Diagnostics;
-use jmatch_core::lower::{BodyPlan, FrameLayout, PlanId, ProgramPlan, SlotId, SolvedForm};
+use jmatch_core::lower::{
+    BodyPlan, FrameLayout, PlanId, PlanOptions, ProgramPlan, SlotId, SolvedForm,
+};
 use jmatch_core::table::ClassTable;
 use jmatch_core::{CompileOptions, Warning};
 use jmatch_syntax::ast::{Formula, MethodBody, Param, Type};
@@ -51,8 +53,9 @@ use std::thread::JoinHandle;
 /// being hit ends the enumeration with an
 /// [`RtErrorKind::LimitExceeded`](crate::RtErrorKind::LimitExceeded) error.
 ///
-/// This replaces the legacy `Interp::solve` `depth` parameter, which the
-/// tree-walker honored and the plan engine silently ignored.
+/// This replaces the pre-redesign interpreter's per-call `depth`
+/// parameter, which the tree-walker honored and the plan engine silently
+/// ignored.
 ///
 /// The default `max_depth` is 1,000 on *both* engines, metered across
 /// constructor matches. That is stricter than the legacy tree-walker's
@@ -111,6 +114,7 @@ pub struct Compiler {
     verify: bool,
     engine: Engine,
     bytecode: bool,
+    analysis: bool,
     max_expansion_depth: u32,
     limits: Limits,
 }
@@ -123,6 +127,7 @@ impl Compiler {
             verify: true,
             engine: Engine::Plan,
             bytecode: true,
+            analysis: true,
             max_expansion_depth: CompileOptions::default().max_expansion_depth,
             limits: Limits::default(),
         }
@@ -148,6 +153,17 @@ impl Compiler {
     /// holds either way.
     pub fn bytecode(mut self, on: bool) -> Self {
         self.bytecode = on;
+        self
+    }
+
+    /// Whether lowering runs the plan-analysis pass
+    /// ([`jmatch_core::analysis`], on by default): determinism inference
+    /// (so the engines commit instead of keeping choice points),
+    /// dead-alternative pruning, and the IR lints behind
+    /// [`Program::lints`]. With it off the unanalyzed plan runs as the
+    /// differential oracle — same solutions, same order, same errors.
+    pub fn analysis(mut self, on: bool) -> Self {
+        self.analysis = on;
         self
     }
 
@@ -179,7 +195,14 @@ impl Compiler {
             },
         )?;
         Ok(Program {
-            plan: ProgramPlan::compile_opts(compiled.table, self.bytecode),
+            plan: ProgramPlan::compile_with(
+                compiled.table,
+                PlanOptions {
+                    bytecode: self.bytecode,
+                    analysis: self.analysis,
+                    ..PlanOptions::default()
+                },
+            ),
             engine: self.engine,
             limits: self.limits,
             diagnostics: Arc::new(compiled.diagnostics),
@@ -250,6 +273,23 @@ impl Program {
     /// The verification warnings (empty when compiled without `verify`).
     pub fn warnings(&self) -> &[Warning] {
         &self.diagnostics.warnings
+    }
+
+    /// The plan-analysis lints ([`jmatch_core::analysis`]): unused
+    /// bindings, always-failing invokes, dead modes, unbounded left
+    /// recursion. Empty when compiled with
+    /// [`Compiler::analysis`]`(false)`.
+    pub fn lints(&self) -> &[Warning] {
+        self.plan
+            .analysis()
+            .map(|a| a.lints.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The full plan-analysis report (facts, prunes, lints), or `None`
+    /// when compiled with [`Compiler::analysis`]`(false)`.
+    pub fn analysis(&self) -> Option<&jmatch_core::AnalysisReport> {
+        self.plan.analysis()
     }
 
     /// The same program on a different engine (cheap).
@@ -1094,7 +1134,8 @@ impl Query<'_> {
                     Some(value.clone()),
                     self.limits.max_depth,
                     self.limits.max_steps,
-                );
+                )
+                .with_root_det(matching.det);
                 let extract = Extract::Params {
                     params: &mp.info.decl.params,
                     slots: &matching.param_slots,
@@ -1118,7 +1159,8 @@ impl Query<'_> {
                     this.clone(),
                     self.limits.max_depth,
                     self.limits.max_steps,
-                );
+                )
+                .with_root_det(form.det);
                 (machine, Extract::Slots(&form.frame))
             }
         };
@@ -1432,6 +1474,26 @@ impl Solutions<'_> {
     pub fn steps(&self) -> Option<u64> {
         match &self.inner {
             Inner::Machine { machine, .. } => Some(machine.steps()),
+            Inner::Channel { .. } | Inner::Par(_) => None,
+        }
+    }
+
+    /// Choice points currently live on the solver's choice stack, when the
+    /// engine can report them ([`Engine::Plan`] only). At a solution of a
+    /// `Det`-analyzed mode this is `Some(0)`: the determinism commit left
+    /// nothing to backtrack into.
+    pub fn choice_points(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Machine { machine, .. } => Some(machine.live_choices()),
+            Inner::Channel { .. } | Inner::Par(_) => None,
+        }
+    }
+
+    /// Total choice points the solver created so far, when the engine can
+    /// report them ([`Engine::Plan`] only).
+    pub fn choice_points_created(&self) -> Option<u64> {
+        match &self.inner {
+            Inner::Machine { machine, .. } => Some(machine.choices_created()),
             Inner::Channel { .. } | Inner::Par(_) => None,
         }
     }

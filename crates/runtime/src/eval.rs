@@ -876,6 +876,11 @@ impl<'p, 'b> Ev<'p, 'b> {
     /// Enumerates the solutions of a solved form: through its threaded
     /// bytecode when the plan's pass 4 emitted one, through the goal tree
     /// otherwise. Both produce identical solutions in identical order.
+    ///
+    /// Forms the determinism analysis annotated `det` commit: after the
+    /// first solution the remaining search is abandoned, which the
+    /// analysis proved can neither emit nor error — so the observable
+    /// transcript is identical to the full (oracle) search.
     pub(crate) fn solve_form(
         &mut self,
         fr: &mut Frame,
@@ -883,6 +888,20 @@ impl<'p, 'b> Ev<'p, 'b> {
         form: &SolvedForm,
         emit: Emit<'_>,
     ) -> RtResult<bool> {
+        if form.det {
+            let mut emitted = false;
+            let mut keep = true;
+            let mut det_emit = |ev: &mut Ev<'_, '_>, fr: &mut Frame| -> RtResult<bool> {
+                emitted = true;
+                keep = emit(ev, fr)?;
+                Ok(false) // commit: the analysis proved no further solutions
+            };
+            match &form.bc {
+                Some(bc) => self.solve_bc(fr, this, bc, bc.entry, &mut det_emit)?,
+                None => self.solve(fr, this, &form.goal, &mut det_emit)?,
+            };
+            return Ok(if emitted { keep } else { true });
+        }
         match &form.bc {
             Some(bc) => self.solve_bc(fr, this, bc, bc.entry, emit),
             None => self.solve(fr, this, &form.goal, emit),

@@ -60,9 +60,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! The pre-redesign [`Interp`] facade remains as a set of deprecated shims
-//! over this surface.
-//!
 //! ## OR-parallel enumeration
 //!
 //! The stack machine's explicit choice points are splittable:
@@ -99,9 +96,7 @@ pub use eval::PlanInterp;
 pub use tree::TreeWalker;
 
 use jmatch_core::intern::Sym;
-use jmatch_core::lower::ProgramPlan;
-use jmatch_core::table::{ClassLayout, ClassTable};
-use jmatch_syntax::ast::{Expr, Formula};
+use jmatch_core::table::ClassLayout;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -529,7 +524,7 @@ pub(crate) enum Flow {
     Return(Value),
 }
 
-/// Which execution engine a [`Program`] (or legacy [`Interp`]) uses.
+/// Which execution engine a [`Program`] uses.
 ///
 /// `#[non_exhaustive]`: future engines (e.g. a compiled backend) may be
 /// added without a semver break.
@@ -542,172 +537,6 @@ pub enum Engine {
     /// The legacy tree-walking interpreter, kept as a differential-testing
     /// oracle.
     TreeWalk,
-}
-
-/// The pre-redesign interpreter facade, kept as thin shims over the
-/// [`Program`] / [`Query`] embedding API.
-///
-/// Every operation is `#[deprecated]` in favor of its replacement on the
-/// new surface; [`Interp::program`] hands out the underlying [`Program`]
-/// for incremental migration.
-#[derive(Debug, Clone)]
-pub struct Interp {
-    program: Program,
-}
-
-impl Interp {
-    /// Creates an interpreter over a resolved program, using the plan
-    /// evaluator. Lowering runs here — once per program, not per call.
-    pub fn new(table: Arc<ClassTable>) -> Self {
-        Self::with_engine(table, Engine::Plan)
-    }
-
-    /// Creates an interpreter with an explicit engine choice.
-    pub fn with_engine(table: Arc<ClassTable>, engine: Engine) -> Self {
-        Interp {
-            program: Program::from_table(table, engine),
-        }
-    }
-
-    /// The [`Program`] this facade shims over — the migration path to the
-    /// new embedding API.
-    pub fn program(&self) -> &Program {
-        &self.program
-    }
-
-    /// The engine this interpreter executes with.
-    pub fn engine(&self) -> Engine {
-        self.program.engine()
-    }
-
-    /// The class table the interpreter runs against.
-    pub fn table(&self) -> &ClassTable {
-        self.program.table()
-    }
-
-    /// The compiled program plan, when the plan engine is active.
-    pub fn plan(&self) -> Option<&Arc<ProgramPlan>> {
-        match self.program.engine() {
-            Engine::Plan => Some(self.program.plan()),
-            _ => None,
-        }
-    }
-
-    /// Invokes a named or class constructor of `class` in the forward mode.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Program::ctor(class, ctor)?.construct(args)`"
-    )]
-    pub fn construct(&self, class: &str, ctor: &str, args: Vec<Value>) -> RtResult<Value> {
-        self.program.ctor(class, ctor)?.construct(args)
-    }
-
-    /// Calls a free-standing (top-level) method.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Program::free_method(name)?.call(None, args)`"
-    )]
-    pub fn call_free(&self, name: &str, args: Vec<Value>) -> RtResult<Value> {
-        self.program.free_method(name)?.call(None, args)
-    }
-
-    /// Calls an instance method in the forward mode.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Program::method(class, name)?.call(Some(receiver), args)`"
-    )]
-    pub fn call_method(&self, receiver: &Value, name: &str, args: Vec<Value>) -> RtResult<Value> {
-        let class = receiver
-            .class()
-            .ok_or_else(|| RtError::new("receiver is not an object"))?
-            .to_owned();
-        self.program
-            .method(&class, name)?
-            .call(Some(receiver), args)
-    }
-
-    /// Enumerates the solutions of matching `value` against the named
-    /// constructor `ctor` (the backward mode): each solution is the vector of
-    /// values bound to the constructor's parameters.
-    ///
-    /// Unlike the lazy [`Program::deconstruct`] query this eagerly
-    /// materializes every solution.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Program::deconstruct(value, ctor)?.solutions()` — a lazy iterator"
-    )]
-    pub fn deconstruct(&self, value: &Value, ctor: &str) -> RtResult<Vec<Vec<Value>>> {
-        self.program.deconstruct(value, ctor)?.try_collect_rows()
-    }
-
-    /// Tests whether `value` matches the named constructor `ctor` (predicate
-    /// use of a named constructor, e.g. `ZNat(0).zero()`).
-    #[deprecated(since = "0.1.0", note = "use `Program::matches(value, ctor)`")]
-    pub fn matches_constructor(&self, value: &Value, ctor: &str) -> RtResult<bool> {
-        self.program.matches(value, ctor)
-    }
-
-    /// Deep equality, using equality constructors (§3.2) across different
-    /// implementations of the same abstraction.
-    #[deprecated(since = "0.1.0", note = "use `Program::values_equal(a, b)`")]
-    pub fn values_equal(&self, a: &Value, b: &Value) -> RtResult<bool> {
-        self.program.values_equal(a, b)
-    }
-
-    /// Enumerates solutions of a formula. `emit` returns `false` to stop.
-    ///
-    /// `depth` shrinks the default depth ceiling; both engines honor it
-    /// identically now (the plan engine used to ignore it silently).
-    ///
-    /// Note the ceiling itself changed: the tree-walker's old fixed budget
-    /// of 10,000 (reset at every constructor match) is replaced by the
-    /// unified [`Limits::default`] `max_depth` of 1,000, metered *across*
-    /// constructor matches. Deeply recursive enumerations that relied on
-    /// the old reset now need `Program::with_limits` with a larger
-    /// `max_depth`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Program::solve(f, env, this).limits(..).solutions()` — a lazy iterator"
-    )]
-    pub fn solve(
-        &self,
-        env: &Bindings,
-        this: Option<&Value>,
-        f: &Formula,
-        depth: usize,
-        emit: &mut dyn FnMut(&Bindings) -> bool,
-    ) -> RtResult<()> {
-        let limits = Limits {
-            max_depth: self.program.limits().max_depth.saturating_sub(depth),
-            ..self.program.limits()
-        };
-        let query = self.program.solve(f, env, this).limits(limits);
-        if self.program.engine() != Engine::Plan {
-            // The legacy path: drive the callback engine on this thread.
-            return query.tree_run_inline(&mut |b| emit(&b));
-        }
-        let mut solutions = query.solutions();
-        for b in solutions.by_ref() {
-            if !emit(&b) {
-                return Ok(());
-            }
-        }
-        match solutions.take_error() {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
-    }
-
-    /// Evaluates a ground expression.
-    #[deprecated(
-        since = "0.1.0",
-        note = "ground evaluation is an engine detail; drive programs through `Program` queries"
-    )]
-    pub fn eval(&self, env: &Bindings, this: Option<&Value>, e: &Expr) -> RtResult<Value> {
-        // Ground evaluation has no mode choice to specialize; both engines
-        // share the tree-walker's implementation.
-        TreeWalker::new(Arc::clone(self.program.table())).eval(env, this, e)
-    }
 }
 
 #[cfg(test)]
@@ -1050,43 +879,7 @@ mod tests {
     #[test]
     fn plan_engine_exposes_its_program_plan() {
         let program = program_for(NAT_PROGRAM, Engine::Plan);
-        let interp = Interp::with_engine(Arc::clone(program.table()), Engine::Plan);
-        let plan = interp.plan().expect("plan engine has a plan");
+        let plan = program.plan();
         assert!(plan.lookup_impl("ZNat", "succ").is_some());
-        let tree = Interp::with_engine(Arc::clone(program.table()), Engine::TreeWalk);
-        assert!(tree.plan().is_none());
-    }
-
-    /// The deprecated [`Interp`] shims must keep working over the new
-    /// surface with their old signatures and semantics.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_interp_shims_still_work() {
-        for engine in [Engine::Plan, Engine::TreeWalk] {
-            let compiled = compile(
-                NAT_PROGRAM,
-                &CompileOptions {
-                    verify: false,
-                    ..CompileOptions::default()
-                },
-            )
-            .unwrap();
-            let interp = Interp::with_engine(compiled.table, engine);
-            let mut three = interp.construct("ZNat", "zero", vec![]).unwrap();
-            for _ in 0..3 {
-                three = interp.construct("ZNat", "succ", vec![three]).unwrap();
-            }
-            let rows = interp.deconstruct(&three, "succ").unwrap();
-            assert_eq!(rows.len(), 1);
-            assert_eq!(znat_value(&rows[0][0]), 2);
-            assert!(!interp.matches_constructor(&three, "zero").unwrap());
-            let sum = interp
-                .call_free("plus", vec![three.clone(), three.clone()])
-                .unwrap();
-            assert_eq!(znat_value(&sum), 6);
-            assert!(interp.values_equal(&three, &three.clone()).unwrap());
-            let err = interp.call_method(&Value::Int(1), "anything", vec![]);
-            assert!(err.is_err());
-        }
     }
 }

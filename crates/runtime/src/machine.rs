@@ -110,6 +110,13 @@ enum Step<'g> {
         callee: usize,
         param_slots: &'g [SlotId],
         args: &'g [PExpr],
+        /// Determinism commit: when the callee's matching form was proved
+        /// `Det` by `jmatch_core::analysis`, this is the absolute choice
+        /// mark (`donated + choices.len()`) captured at call entry.
+        /// Reaching the row boundary truncates the choice stack back to it,
+        /// discarding the callee's leftover choice points — the analysis
+        /// guarantees they hold no further solutions.
+        commit: Option<usize>,
     },
 }
 
@@ -220,6 +227,18 @@ pub(crate) struct Machine<'g> {
     /// the untried siblings belong to other tasks).
     guide: Vec<u32>,
     guide_pos: usize,
+    /// Choice points donated away by [`Machine::split_oldest`]. Donations
+    /// pop from the *front* of `choices`, so an absolute commit mark taken
+    /// as `donated + choices.len()` stays meaningful across donations:
+    /// the local index is `mark - donated`.
+    donated: usize,
+    /// Total choice points ever created (instrumentation for the
+    /// determinism-commit tests and `Solutions::choice_points`).
+    created: u64,
+    /// Whether the *root* form was proved `Det` by `jmatch_core::analysis`:
+    /// its first solution is its only one, so reaching it clears the whole
+    /// choice stack and the next pull terminates immediately.
+    root_det: bool,
 }
 
 impl<'g> Machine<'g> {
@@ -267,6 +286,9 @@ impl<'g> Machine<'g> {
             path: Vec::new(),
             guide,
             guide_pos: 0,
+            donated: 0,
+            created: 0,
+            root_det: false,
         };
         match code {
             MachineCode::Goal(goal) => m.push(Step::Goal { fi: 0, goal }),
@@ -287,6 +309,22 @@ impl<'g> Machine<'g> {
     /// Machine steps (plus recursive-evaluator steps) spent so far.
     pub(crate) fn steps(&self) -> u64 {
         self.budget.steps
+    }
+
+    /// Marks the root form as `Det`-analyzed (see [`Machine::root_det`]).
+    pub(crate) fn with_root_det(mut self, det: bool) -> Self {
+        self.root_det = det;
+        self
+    }
+
+    /// Choice points currently live on the choice stack.
+    pub(crate) fn live_choices(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Total choice points created over the machine's lifetime.
+    pub(crate) fn choices_created(&self) -> u64 {
+        self.created
     }
 
     /// Runs until the next solution. Returns `Ok(true)` with the solution's
@@ -318,6 +356,12 @@ impl<'g> Machine<'g> {
             }
             used += 1;
             let Some(node) = self.cont.take() else {
+                if self.root_det {
+                    // The analysis proved the root form has at most one
+                    // solution: this is it, so every remaining choice
+                    // point is barren.
+                    self.choices.clear();
+                }
                 self.phase = Phase::AtSolution;
                 return Ok(RunOutcome::Solution);
             };
@@ -357,6 +401,7 @@ impl<'g> Machine<'g> {
             return Vec::new();
         }
         let ch = self.choices.remove(0);
+        self.donated += 1;
         let prefix = &self.path[..ch.path_mark];
         match ch.alt {
             Alt::Branches { branches, next, .. } => (next..branches.len())
@@ -410,6 +455,7 @@ impl<'g> Machine<'g> {
     /// and pushes the initial decision (alternative 0) onto the choice
     /// path.
     fn choice(&mut self, alt: Alt<'g>) {
+        self.created += 1;
         self.choices.push(Choice {
             cont: self.cont.clone(),
             trail_mark: self.trail.len(),
@@ -594,7 +640,8 @@ impl<'g> Machine<'g> {
                 callee,
                 param_slots,
                 args,
-            } => self.exec_collect(caller, callee, param_slots, args),
+                commit,
+            } => self.exec_collect(caller, callee, param_slots, args, commit),
         }
     }
 
@@ -1219,11 +1266,18 @@ impl<'g> Machine<'g> {
             slots: vec![None; matching.frame.len()],
             this: Some(value),
         });
+        // Determinism commit (`jmatch_core::analysis`): a `Det` matching
+        // form yields at most one solution and cannot err, so once its
+        // single solution reaches the row boundary every choice point it
+        // created is provably barren. Capture the absolute choice mark now;
+        // `exec_collect` truncates back to it.
+        let commit = matching.det.then(|| self.donated + self.choices.len());
         self.push(Step::CollectRow {
             caller,
             callee,
             param_slots: &matching.param_slots,
             args,
+            commit,
         });
         match MachineCode::of_form(matching) {
             MachineCode::Goal(goal) => self.push(Step::Goal { fi: callee, goal }),
@@ -1246,7 +1300,20 @@ impl<'g> Machine<'g> {
         callee: usize,
         param_slots: &[SlotId],
         args: &[PExpr],
+        commit: Option<usize>,
     ) -> RtResult<()> {
+        if let Some(mark) = commit {
+            // The callee's matching form is `Det`: this is its only
+            // solution, so its leftover choice points (everything above the
+            // entry mark) are barren — drop them. Trail entries above the
+            // dropped marks simply become permanent bindings, which is
+            // exactly what committing means. `mark` is absolute; donations
+            // since capture shift the local index down.
+            let keep = mark.saturating_sub(self.donated);
+            if self.choices.len() > keep {
+                self.choices.truncate(keep);
+            }
+        }
         let mut row = Vec::with_capacity(param_slots.len());
         for &s in param_slots {
             match &self.frames[callee].slots[s as usize] {

@@ -290,7 +290,7 @@ fn run_task(
     guide: ChoicePath,
 ) {
     let budget = Budget::new_shared(limits.max_depth, Arc::clone(pool));
-    let (code, root, this): (MachineCode, Frame, Option<Value>) = match job {
+    let (code, root, this, root_det): (MachineCode, Frame, Option<Value>, bool) = match job {
         ParJob::Deconstruct { pid, value } => {
             let mp = plan.method(*pid);
             let BodyPlan::Formula { matching, .. } = &mp.body else {
@@ -308,6 +308,7 @@ fn run_task(
                 MachineCode::of_form(matching),
                 vec![None; matching.frame.len()],
                 Some(value.clone()),
+                matching.det,
             )
         }
         ParJob::Formula { form, seed, this } => {
@@ -315,10 +316,11 @@ fn run_task(
             for (s, v) in seed {
                 root[*s as usize] = Some(v.clone());
             }
-            (MachineCode::of_form(form), root, this.clone())
+            (MachineCode::of_form(form), root, this.clone(), form.det)
         }
     };
-    let mut machine = Machine::with_budget(plan, code, root, this, budget, guide);
+    let mut machine =
+        Machine::with_budget(plan, code, root, this, budget, guide).with_root_det(root_det);
     loop {
         if inj.is_cancelled() {
             machine.release_budget();

@@ -208,6 +208,24 @@ impl Client {
         )
     }
 
+    /// Compiles (or fetches from the server's cache) a source text and
+    /// returns its plan-analysis lints. The reply carries `program` (the
+    /// cache key, shared with [`Client::compile`]), `cached`, and `lints`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors; compile failures come back as a
+    /// well-formed error frame, not an `Err`.
+    pub fn lint(&mut self, source: &str, verify: bool) -> ClientResult<Json> {
+        self.request(
+            "lint",
+            vec![
+                ("source".to_owned(), Json::Str(source.to_owned())),
+                ("verify".to_owned(), Json::Bool(verify)),
+            ],
+        )
+    }
+
     /// Forward-mode call of a free method.
     ///
     /// # Errors

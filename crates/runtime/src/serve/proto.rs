@@ -188,6 +188,19 @@ pub enum Request {
         /// Whether to run the static verification passes.
         verify: bool,
     },
+    /// Compile (or fetch from the program cache) a source text and report
+    /// the plan-analysis lints (`jmatch_core::analysis`) of the result.
+    Lint {
+        /// Request id, echoed in the reply.
+        id: i64,
+        /// Tenant the work is accounted to.
+        tenant: String,
+        /// JMatch source text.
+        source: String,
+        /// Whether to also run the static verification passes (their
+        /// warnings ride along in the reply).
+        verify: bool,
+    },
     /// Forward-mode call of a free method with scalar arguments.
     Call {
         /// Request id, echoed in the reply.
@@ -245,6 +258,7 @@ impl Request {
         match self {
             Request::Ping { id }
             | Request::Compile { id, .. }
+            | Request::Lint { id, .. }
             | Request::Call { id, .. }
             | Request::Query { id, .. }
             | Request::Stream { id, .. }
@@ -284,6 +298,17 @@ impl Request {
                     tenant: tenant(),
                     source: source.to_owned(),
                     verify: doc.get("verify").and_then(Json::as_bool).unwrap_or(true),
+                })
+            }
+            "lint" => {
+                let Some(source) = doc.get("source").and_then(Json::as_str) else {
+                    return Err((Some(id), "lint needs a string `source`".into()));
+                };
+                Ok(Request::Lint {
+                    id,
+                    tenant: tenant(),
+                    source: source.to_owned(),
+                    verify: doc.get("verify").and_then(Json::as_bool).unwrap_or(false),
                 })
             }
             "call" => {
@@ -577,6 +602,32 @@ pub fn resp_compiled(id: i64, key: &str, cached: bool, warnings: &[String]) -> J
         (
             "warnings",
             Json::Arr(warnings.iter().map(|w| Json::Str(w.clone())).collect()),
+        ),
+    ])
+}
+
+/// `lint` reply: the cache key, whether it was served from cache, and the
+/// plan-analysis lints as structured `{kind, context, message}` objects.
+pub fn resp_lints(id: i64, key: &str, cached: bool, lints: &[jmatch_core::Warning]) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("id", Json::Int(id)),
+        ("program", Json::Str(key.to_owned())),
+        ("cached", Json::Bool(cached)),
+        (
+            "lints",
+            Json::Arr(
+                lints
+                    .iter()
+                    .map(|w| {
+                        Json::obj(vec![
+                            ("kind", Json::Str(w.kind.to_string())),
+                            ("context", Json::Str(w.context.clone())),
+                            ("message", Json::Str(w.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
 }

@@ -755,6 +755,56 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
                 }
             }
         }
+        Request::Lint {
+            id,
+            tenant,
+            source,
+            verify,
+        } => {
+            // Linting is compile-shaped work: same inline path, same
+            // compile pricing, same cache (a prior `compile` of the same
+            // source is a free hit).
+            let grant = match shared.quotas.admit_compile(&tenant) {
+                Ok(grant) => grant,
+                Err(denied) => {
+                    shared
+                        .counters
+                        .rejected_quota
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.send(
+                        &ErrorFrame::new(
+                            error_kind::QUOTA_EXHAUSTED,
+                            format!(
+                                "tenant `{tenant}` has exhausted its step pool for this window"
+                            ),
+                        )
+                        .retry_after(denied.retry_after_ms)
+                        .into_frame(Some(id)),
+                    );
+                    return;
+                }
+            };
+            match shared.cache.get_or_compile(&source, verify) {
+                CacheOutcome::Ready {
+                    program,
+                    key,
+                    cached,
+                } => {
+                    if let Some(grant) = grant {
+                        let used = if cached { 0 } else { grant.granted() };
+                        grant.settle(used);
+                    }
+                    conn.send(&proto::resp_lints(id, &key, cached, program.lints()));
+                }
+                CacheOutcome::Failed(errors) => {
+                    if let Some(grant) = grant {
+                        let used = grant.granted();
+                        grant.settle(used);
+                    }
+                    conn.send(&proto::resp_compile_failed(id, &errors));
+                }
+            }
+        }
         Request::Cancel { id, target } => {
             if let Some(token) = conn
                 .cancels

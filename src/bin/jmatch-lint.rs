@@ -1,0 +1,156 @@
+//! `jmatch-lint` — the standalone lint driver over `jmatch_core::analysis`.
+//!
+//! Compiles each input (files, inline `--source`, or the built-in Table 1
+//! corpus via `--corpus`), runs the plan-analysis pass, and reports its
+//! lints: unused bindings, always-failing invokes, dead modes, unbounded
+//! left recursion. Verification is off by default (`--verify` turns it on,
+//! folding the §5 verifier warnings into the report).
+//!
+//! Output is human-readable by default; `--json` emits one stable JSON
+//! document for the whole run (the CI `lint-corpus` golden uses this).
+
+use jmatch_runtime::serve::json::Json;
+use jmatch_runtime::{Compiler, Program};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+jmatch-lint — static lints over compiled JMatch plans
+
+USAGE:
+    jmatch-lint [OPTIONS] [FILES...]
+
+OPTIONS:
+    --corpus         lint every built-in Table 1 corpus entry
+    --source SRC     lint an inline source string
+    --json           emit one JSON document instead of human-readable lines
+    --verify         also run the static verification passes (their
+                     warnings are folded into the report)
+    -h, --help       print this help
+
+EXIT STATUS:
+    0  no lints (and no compile errors)
+    1  at least one lint was reported
+    2  a compile error or bad usage
+";
+
+struct Options {
+    corpus: bool,
+    json: bool,
+    verify: bool,
+    sources: Vec<(String, String)>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        corpus: false,
+        json: false,
+        verify: false,
+        sources: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--corpus" => opts.corpus = true,
+            "--json" => opts.json = true,
+            "--verify" => opts.verify = true,
+            "--source" => {
+                let src = args.next().ok_or("--source needs an argument")?;
+                opts.sources.push(("<source>".to_owned(), src));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                opts.sources.push((path.to_owned(), text));
+            }
+        }
+    }
+    if opts.corpus {
+        for entry in jmatch_corpus::entries() {
+            opts.sources
+                .push((entry.name.to_owned(), entry.combined_jmatch()));
+        }
+    }
+    if opts.sources.is_empty() {
+        return Err("nothing to lint: pass FILES, --source, or --corpus".into());
+    }
+    Ok(opts)
+}
+
+/// One input's lint report: analysis lints first, then (with `--verify`)
+/// the verifier's warnings, in production order.
+fn lint_one(name: &str, source: &str, verify: bool) -> Result<Vec<Json>, String> {
+    let program: Program = Compiler::new()
+        .verify(verify)
+        .compile(source)
+        .map_err(|e| format!("{name}: parse error: {e}"))?;
+    let errors = &program.diagnostics().errors;
+    if !errors.is_empty() {
+        return Err(format!("{name}: compile error: {}", errors[0]));
+    }
+    let mut out = Vec::new();
+    for w in program.lints().iter().chain(program.warnings()) {
+        out.push(Json::obj(vec![
+            ("kind", Json::Str(w.kind.to_string())),
+            ("context", Json::Str(w.context.clone())),
+            ("message", Json::Str(w.message.clone())),
+        ]));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("jmatch-lint: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut total = 0usize;
+    let mut inputs = Vec::new();
+    for (name, source) in &opts.sources {
+        match lint_one(name, source, opts.verify) {
+            Ok(lints) => {
+                total += lints.len();
+                if !opts.json {
+                    for l in &lints {
+                        let kind = l.get("kind").and_then(Json::as_str).unwrap_or("");
+                        let context = l.get("context").and_then(Json::as_str).unwrap_or("");
+                        let message = l.get("message").and_then(Json::as_str).unwrap_or("");
+                        println!("{name}: warning[{kind}] {context}: {message}");
+                    }
+                }
+                inputs.push(Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("lints", Json::Arr(lints)),
+                ]));
+            }
+            Err(message) => {
+                eprintln!("jmatch-lint: {message}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.json {
+        let doc = Json::obj(vec![
+            ("total", Json::Int(total as i64)),
+            ("inputs", Json::Arr(inputs)),
+        ]);
+        println!("{doc}");
+    } else if total == 0 {
+        println!("jmatch-lint: clean ({} input(s))", opts.sources.len());
+    }
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

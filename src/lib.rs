@@ -30,7 +30,7 @@
 //! [`core::lower`] is that pass: after class-table and mode resolution it
 //! compiles every method body — declarative formulas, `switch` dispatch,
 //! `foreach` enumeration, imperative blocks — into a mode-specialized query
-//! plan, and [`runtime::Interp`] executes those plans over flat slot frames.
+//! plan, and [`runtime::Program`] executes those plans over flat slot frames.
 //! The pre-lowering tree-walking interpreter stays available behind
 //! [`runtime::Engine::TreeWalk`] as a differential-testing oracle.
 //!

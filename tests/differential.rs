@@ -11,199 +11,10 @@
 //! the same `Limits` (the legacy `Interp::solve` honored `depth` on one
 //! engine and ignored it on the other).
 
-use jmatch::core::table::ClassTable;
-use jmatch::syntax::ast::{MethodKind, Type};
 use jmatch::{args, Bindings, Compiler, Engine, Limits, Program, Value};
 
-const MAX_POOL: usize = 24;
-
-/// Deterministically synthesizes an argument of the given type: small
-/// integers by round, the most recently constructed suitable object for
-/// reference types, `null` when nothing fits.
-fn synth(ty: &Type, round: i64, pool: &[Value], table: &ClassTable) -> Value {
-    match ty {
-        Type::Int => Value::Int(round),
-        Type::Boolean => Value::Bool(round % 2 == 0),
-        Type::Named(t) => pool
-            .iter()
-            .rev()
-            .find(|v| v.class().map(|c| table.is_subtype(c, t)).unwrap_or(false))
-            .cloned()
-            .unwrap_or(Value::Null),
-        Type::Object => pool.last().cloned().unwrap_or(Value::Null),
-        _ => Value::Null,
-    }
-}
-
-fn row_text(rows: &[Vec<Value>]) -> String {
-    rows.iter()
-        .map(|r| {
-            let cells: Vec<String> = r.iter().map(Value::to_string).collect();
-            format!("[{}]", cells.join(","))
-        })
-        .collect::<Vec<_>>()
-        .join(";")
-}
-
-/// Deconstructs `v` through the query API, as ordered rows.
-fn deconstruct_rows(program: &Program, v: &Value, ctor: &str) -> Result<Vec<Vec<Value>>, ()> {
-    program
-        .deconstruct(v, ctor)
-        .and_then(|q| q.try_collect_rows())
-        .map_err(|_| ())
-}
-
-/// Runs the generic workload, recording every operation and its outcome.
-fn transcript(program: &Program) -> Vec<String> {
-    let table = &**program.table();
-    let mut log = Vec::new();
-    let mut pool: Vec<Value> = Vec::new();
-
-    // Phase 1: construct instances of every concrete class with every
-    // constructor, three rounds deep so recursive structures build up.
-    let classes: Vec<String> = table
-        .types()
-        .filter(|t| !t.is_interface && !t.is_abstract)
-        .map(|t| t.name.clone())
-        .collect();
-    for round in 0..3i64 {
-        for class in &classes {
-            let ctors: Vec<_> = table
-                .type_info(class)
-                .unwrap()
-                .methods
-                .iter()
-                .filter(|m| m.decl.kind != MethodKind::Method)
-                .map(|m| (m.decl.name.clone(), m.decl.params.clone()))
-                .collect();
-            for (ctor, params) in ctors {
-                let arg_values: Vec<Value> = params
-                    .iter()
-                    .map(|p| synth(&p.ty, round, &pool, table))
-                    .collect();
-                let outcome = program
-                    .ctor(class, &ctor)
-                    .and_then(|c| c.construct(arg_values));
-                match outcome {
-                    Ok(v) => {
-                        log.push(format!("construct {class}.{ctor} r{round} -> {v}"));
-                        if matches!(v, Value::Obj(_)) && pool.len() < MAX_POOL {
-                            pool.push(v);
-                        }
-                    }
-                    Err(_) => log.push(format!("construct {class}.{ctor} r{round} -> err")),
-                }
-            }
-        }
-    }
-
-    // Phase 2: backward mode — deconstruct every pooled value with every
-    // named constructor through the lazy query API, capturing solution rows
-    // in enumeration order, and probe the constructor predicates.
-    let mut ctor_names: Vec<String> = Vec::new();
-    for t in table.types() {
-        for m in &t.methods {
-            if m.decl.kind == MethodKind::NamedConstructor && !ctor_names.contains(&m.decl.name) {
-                ctor_names.push(m.decl.name.clone());
-            }
-        }
-    }
-    for (i, v) in pool.iter().enumerate() {
-        for name in &ctor_names {
-            match deconstruct_rows(program, v, name) {
-                Ok(rows) => log.push(format!("deconstruct #{i} {name} -> {}", row_text(&rows))),
-                Err(()) => log.push(format!("deconstruct #{i} {name} -> err")),
-            }
-            match program.matches(v, name) {
-                Ok(b) => log.push(format!("matches #{i} {name} -> {b}")),
-                Err(_) => log.push(format!("matches #{i} {name} -> err")),
-            }
-        }
-    }
-
-    // Phase 3: the deep-equality matrix (exercises equality constructors
-    // across implementations, §3.2).
-    for i in 0..pool.len() {
-        for j in 0..pool.len() {
-            match program.values_equal(&pool[i], &pool[j]) {
-                Ok(b) => log.push(format!("equal #{i} #{j} -> {b}")),
-                Err(_) => log.push(format!("equal #{i} #{j} -> err")),
-            }
-        }
-    }
-
-    // Phase 4: forward mode — every (ordinary) method reachable from each
-    // pooled value through a resolved `MethodRef`, with synthesized
-    // arguments.
-    for (i, v) in pool.iter().enumerate() {
-        let Some(class) = v.class().map(str::to_owned) else {
-            continue;
-        };
-        let mut names: Vec<(String, Vec<Type>)> = Vec::new();
-        collect_methods(table, &class, &mut names);
-        for (name, param_tys) in names {
-            for round in 0..2i64 {
-                let arg_values: Vec<Value> = param_tys
-                    .iter()
-                    .map(|t| synth(t, round, &pool, table))
-                    .collect();
-                let outcome = program
-                    .method(&class, &name)
-                    .and_then(|m| m.call(Some(v), arg_values));
-                match outcome {
-                    Ok(out) => log.push(format!("call #{i}.{name} r{round} -> {out}")),
-                    Err(_) => log.push(format!("call #{i}.{name} r{round} -> err")),
-                }
-            }
-        }
-    }
-
-    // Phase 5: free-standing methods.
-    let free: Vec<(String, Vec<Type>)> = table
-        .free_methods()
-        .iter()
-        .map(|m| {
-            (
-                m.decl.name.clone(),
-                m.decl.params.iter().map(|p| p.ty.clone()).collect(),
-            )
-        })
-        .collect();
-    for (name, param_tys) in free {
-        for round in 0..3i64 {
-            let arg_values: Vec<Value> = param_tys
-                .iter()
-                .map(|t| synth(t, round, &pool, table))
-                .collect();
-            let outcome = program
-                .free_method(&name)
-                .and_then(|m| m.call(None, arg_values));
-            match outcome {
-                Ok(out) => log.push(format!("free {name} r{round} -> {out}")),
-                Err(_) => log.push(format!("free {name} r{round} -> err")),
-            }
-        }
-    }
-    log
-}
-
-/// Ordinary methods visible on a class (the class itself, then supertypes).
-fn collect_methods(table: &ClassTable, ty: &str, out: &mut Vec<(String, Vec<Type>)>) {
-    let Some(info) = table.type_info(ty) else {
-        return;
-    };
-    for m in &info.methods {
-        if m.decl.kind == MethodKind::Method && !out.iter().any(|(n, _)| n == &m.decl.name) {
-            out.push((
-                m.decl.name.clone(),
-                m.decl.params.iter().map(|p| p.ty.clone()).collect(),
-            ));
-        }
-    }
-    for sup in &info.supertypes {
-        collect_methods(table, sup, out);
-    }
-}
+mod harness;
+use harness::transcript;
 
 fn engines_for(src: &str) -> (Program, Program) {
     let program = Compiler::new().verify(false).compile(src).unwrap();

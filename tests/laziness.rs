@@ -238,3 +238,97 @@ fn bytecode_machine_first_solution_matches_the_pin_body() {
          the recorded baseline is {FIRST_SOLUTION_STEPS_BASELINE}"
     );
 }
+
+/// A workload the analysis pass proves deterministic: `min` over a binary
+/// tree. Each call's two body branches are guarded by disjoint constructor
+/// shapes, so every matching mode is at-most-one and error-free, and the
+/// machine commits (discards the pending alternative) at each level of the
+/// recursion instead of keeping a choice point per node.
+const TREE: &str = r#"
+    interface Tree {
+        constructor leaf() returns();
+        constructor node(int k, Tree l, Tree r) returns(k, l, r);
+        boolean min(int m) returns(m);
+        boolean empty();
+    }
+    class Leaf implements Tree {
+        constructor leaf() returns() ( true )
+        constructor node(int k, Tree l, Tree r) returns(k, l, r) ( false )
+        boolean min(int m) returns(m) ( false )
+        boolean empty() ( true )
+    }
+    class Node implements Tree {
+        int key;
+        Tree left;
+        Tree right;
+        constructor leaf() returns() ( false )
+        constructor node(int k, Tree l, Tree r) returns(k, l, r)
+            ( key = k && left = l && right = r )
+        boolean min(int m) returns(m)
+            ( left.min(int lm) && m = lm || left.empty() && m = key )
+        boolean empty() ( false )
+    }
+"#;
+
+/// Depth of the left chain the determinism pins run on.
+const CHAIN: i64 = 200;
+
+/// Pins the determinism commit with the machine's own choice-point
+/// counters: on the 200-deep left chain, the analyzed program reaches the
+/// (single) solution with **zero** live choice points — every disjunction
+/// was committed away — while the unanalyzed oracle still holds one pending
+/// alternative per spine node. Everything observable (solution rows, step
+/// counts, choice points *created*) is identical, so the commit only
+/// reclaims memory; it never changes execution.
+#[test]
+fn det_modes_commit_their_choice_points() {
+    let run = |analysis: bool| {
+        let program = Compiler::new()
+            .verify(false)
+            .engine(Engine::Plan)
+            .analysis(analysis)
+            .limits(DEEP)
+            .compile(TREE)
+            .unwrap();
+        let leaf = program.ctor("Leaf", "leaf").unwrap();
+        let node = program.ctor("Node", "node").unwrap();
+        let mut t = leaf.construct(args![]).unwrap();
+        for i in (0..CHAIN).rev() {
+            let sibling = leaf.construct(args![]).unwrap();
+            t = node.construct(args![i + 1000, t, sibling]).unwrap();
+        }
+        let min = program.method("Node", "min").unwrap();
+        let query = min.iterate(Some(&t), &Bindings::new()).unwrap();
+        let mut solutions = query.solutions();
+        let first = solutions.next().expect("min has a solution");
+        assert_eq!(first["m"], Value::Int(1000 + CHAIN - 1));
+        (
+            solutions.choice_points().expect("plan engine reports them"),
+            solutions.choice_points_created().expect("created count"),
+            solutions.steps().expect("step count"),
+        )
+    };
+    let (live_on, created_on, steps_on) = run(true);
+    let (live_off, created_off, steps_off) = run(false);
+
+    // The observable work is identical either way…
+    assert_eq!(created_on, created_off, "commit must not skip exploration");
+    assert_eq!(steps_on, steps_off, "commit must not change the step count");
+    assert_eq!(
+        created_on, CHAIN as u64,
+        "one disjunction is explored per spine node"
+    );
+
+    // …but the analyzed machine holds no live choice points at the
+    // solution, where the oracle still holds one per spine node above the
+    // deepest call.
+    assert_eq!(
+        live_on, 0,
+        "every det form should have committed its alternatives"
+    );
+    assert_eq!(
+        live_off,
+        (CHAIN - 1) as usize,
+        "the unanalyzed oracle keeps a pending alternative per spine node"
+    );
+}

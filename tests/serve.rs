@@ -189,6 +189,55 @@ fn serve_roundtrip_matches_sequential_oracle() {
 }
 
 #[test]
+fn lint_op_reports_analysis_lints_and_shares_the_compile_cache() {
+    let (server, mut client) = boot(test_config());
+
+    // A lint-clean program: ok, an empty lints array, and a cache key
+    // interchangeable with `compile`'s.
+    let reply = client.lint(SMALL_SRC, false).expect("lint round-trip");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    assert_eq!(reply.get("cached"), Some(&Json::Bool(false)));
+    assert_eq!(
+        reply.get("lints").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0),
+        "{reply}"
+    );
+    let key = reply
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("lint reply carries the cache key")
+        .to_owned();
+    assert_eq!(compile_ok(&mut client, SMALL_SRC), key, "caches diverge");
+    let again = client.lint(SMALL_SRC, false).expect("re-lint");
+    assert_eq!(again.get("cached"), Some(&Json::Bool(true)));
+
+    // A left-recursive generator: the unbounded-recursion lint comes back
+    // as a structured {kind, context, message} object.
+    let reply = client
+        .lint("static boolean spin() ( spin() )", false)
+        .expect("lint round-trip");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    let lints = reply.get("lints").and_then(Json::as_arr).expect("lints");
+    assert!(
+        lints
+            .iter()
+            .any(|l| l.get("kind").and_then(Json::as_str) == Some("unbounded recursion")),
+        "{reply}"
+    );
+    assert!(
+        lints
+            .iter()
+            .all(|l| l.get("context").is_some() && l.get("message").is_some()),
+        "{reply}"
+    );
+
+    // Source that does not compile: a structured error frame, like compile.
+    let reply = client.lint("static int ((", false).expect("round-trip");
+    assert_eq!(error_kind_of(&reply), "compile-failed");
+    server.shutdown();
+}
+
+#[test]
 fn compile_failures_and_unknown_programs_are_structured_errors() {
     let (server, mut client) = boot(test_config());
 

@@ -37,7 +37,7 @@ use jmatch_core::{CompileOptions, Warning};
 use jmatch_syntax::ast::{Formula, MethodBody, Param, Type};
 use jmatch_syntax::ParseError;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -464,6 +464,7 @@ impl Program {
         Ok(Query {
             program: self,
             limits: self.limits,
+            interrupt: None,
             source: Source::Deconstruct {
                 pid,
                 ctor: ctor.to_owned(),
@@ -480,6 +481,7 @@ impl Program {
         Query {
             program: self,
             limits: self.limits,
+            interrupt: None,
             source: Source::Formula {
                 ast: f.clone(),
                 form,
@@ -728,9 +730,24 @@ impl MethodRef {
         args: Vec<Value>,
         limits: Limits,
     ) -> (RtResult<Value>, Option<u64>) {
+        self.call_counted_interruptible(receiver, args, limits, None)
+    }
+
+    /// Like [`MethodRef::call_counted`], with an optional external
+    /// interrupt token: a fired token (cancellation, request deadline)
+    /// stops the call at the next fuel-poll boundary with an
+    /// [`RtErrorKind::Interrupted`](crate::RtErrorKind::Interrupted) error.
+    pub fn call_counted_interruptible(
+        &self,
+        receiver: Option<&Value>,
+        args: Vec<Value>,
+        limits: Limits,
+        interrupt: Option<Arc<AtomicBool>>,
+    ) -> (RtResult<Value>, Option<u64>) {
         match self.program.engine {
             Engine::Plan => {
                 let mut budget = Budget::new(limits.max_depth, limits.max_steps);
+                budget.set_interrupt(interrupt);
                 let outcome = Ev::new(&self.program.plan, &mut budget).run_forward(
                     self.pid,
                     receiver.cloned(),
@@ -738,7 +755,16 @@ impl MethodRef {
                 );
                 (outcome, Some(budget.steps))
             }
-            _ => (self.call_with(receiver, args, limits), None),
+            _ => {
+                let mut walker = self.program.walker_with(limits);
+                walker.set_interrupt(interrupt);
+                let outcome = walker.run_forward(
+                    &self.program.plan.method(self.pid).info,
+                    receiver.cloned(),
+                    args,
+                );
+                (outcome, None)
+            }
         }
     }
 
@@ -780,6 +806,7 @@ impl MethodRef {
         Ok(Query {
             program: &self.program,
             limits: self.program.limits,
+            interrupt: None,
             source: Source::Formula {
                 ast: f.clone(),
                 form,
@@ -877,6 +904,7 @@ impl CtorRef {
                     return Ok(Query {
                         program: &self.program,
                         limits: self.program.limits,
+                        interrupt: None,
                         source: Source::Deconstruct {
                             pid,
                             ctor: self.ctor.clone(),
@@ -927,6 +955,7 @@ enum Source {
 pub struct Query<'p> {
     program: &'p Program,
     limits: Limits,
+    interrupt: Option<Arc<AtomicBool>>,
     source: Source,
 }
 
@@ -934,6 +963,16 @@ impl Query<'_> {
     /// Overrides the work ceilings for this query.
     pub fn limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Attaches an external interrupt token: when another thread stores
+    /// `true` into it (a cancellation request or a deadline watchdog), the
+    /// enumeration stops at the next fuel-poll boundary (every 256 solver
+    /// steps, on every engine) with an
+    /// [`RtErrorKind::Interrupted`](crate::RtErrorKind::Interrupted) error.
+    pub fn interrupt(mut self, token: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(token);
         self
     }
 
@@ -1083,7 +1122,8 @@ impl Query<'_> {
     /// feeding each solution to `emit` (return `false` to stop) — the
     /// eager / legacy-shim path that needs no producer thread.
     pub(crate) fn tree_run_inline(&self, emit: &mut dyn FnMut(Bindings) -> bool) -> RtResult<()> {
-        let walker = self.program.walker_with(self.limits);
+        let mut walker = self.program.walker_with(self.limits);
+        walker.set_interrupt(self.interrupt.clone());
         match &self.source {
             Source::Formula { ast, env, this, .. } => {
                 walker.solve(env, this.as_ref(), ast, 0, &mut |b| emit(b.clone()))
@@ -1135,7 +1175,8 @@ impl Query<'_> {
                     self.limits.max_depth,
                     self.limits.max_steps,
                 )
-                .with_root_det(matching.det);
+                .with_root_det(matching.det)
+                .with_interrupt(self.interrupt.clone());
                 let extract = Extract::Params {
                     params: &mp.info.decl.params,
                     slots: &matching.param_slots,
@@ -1160,7 +1201,8 @@ impl Query<'_> {
                     self.limits.max_depth,
                     self.limits.max_steps,
                 )
-                .with_root_det(form.det);
+                .with_root_det(form.det)
+                .with_interrupt(self.interrupt.clone());
                 (machine, Extract::Slots(&form.frame))
             }
         };
@@ -1179,7 +1221,8 @@ impl Query<'_> {
     /// than one solution ahead of the consumer; dropping the iterator
     /// disconnects the channel and unwinds the producer.
     fn tree_solutions(&self) -> Solutions<'_> {
-        let walker = self.program.walker_with(self.limits);
+        let mut walker = self.program.walker_with(self.limits);
+        walker.set_interrupt(self.interrupt.clone());
         let (tx, rx) = mpsc::sync_channel::<RtResult<Bindings>>(1);
         let job = match &self.source {
             Source::Deconstruct { pid, ctor, value } => TreeJob::Deconstruct {
@@ -1324,6 +1367,7 @@ impl Query<'_> {
             self.limits,
             threads,
             mode,
+            self.interrupt.clone(),
         );
         Solutions {
             inner: Inner::Par(Box::new(stream)),

@@ -1,12 +1,19 @@
 //! `jmatch-loadgen` — load generator and smoke checker for `jmatch-serve`.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * `--smoke`: eight concurrent connections drive compile / call / query /
 //!   stream against a small program and compare **every** wire frame with
 //!   a sequential in-process oracle (the embedding API run over the same
 //!   source). Any mismatch, unparsable frame, or socket error exits
 //!   nonzero — this is the CI `serve-smoke` gate.
+//! * `--chaos`: the fault-tolerant variant of the smoke, for servers
+//!   running with injected faults (`jmatch-serve --faults …`). Clients
+//!   retry retryable rejections, reconnect through disconnects and
+//!   truncated frames, and tally every fault-path outcome they observe
+//!   (internal errors, deadline rejections, dropped connections). The
+//!   gate is: every *successful* reply still matches the oracle, and
+//!   enough requests succeed overall — this is the CI `chaos-smoke` gate.
 //! * bench (default): for each concurrency level (default 1, 8, 64),
 //!   measures cold-compile latency (every request compiles a distinct
 //!   source), cached-compile latency (every request re-compiles the same
@@ -16,10 +23,11 @@
 
 use jmatch_runtime::serve::json::Json;
 use jmatch_runtime::serve::proto::bindings_to_json;
-use jmatch_runtime::serve::{wait_ready, Client, QueryOptions};
+use jmatch_runtime::serve::{wait_ready, Client, QueryOptions, RetryPolicy};
 use jmatch_runtime::{Bindings, Compiler, Value};
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -32,6 +40,8 @@ USAGE:
 OPTIONS:
     --addr HOST:PORT     server address (required)
     --smoke              run the 8-client correctness smoke instead of the bench
+    --chaos              run the fault-tolerant smoke (for --faults servers)
+    --chaos-requests N   requests per chaos client          [default: 64]
     --clients LIST       comma-separated concurrency levels [default: 1,8,64]
     --cold-requests N    cold compiles per client           [default: 16]
     --cached-requests N  cached compiles / queries per client [default: 128]
@@ -50,6 +60,8 @@ static int add(int a, int b) { return a + b; }
 struct Flags {
     addr: SocketAddr,
     smoke: bool,
+    chaos: bool,
+    chaos_requests: usize,
     clients: Vec<usize>,
     cold_requests: usize,
     cached_requests: usize,
@@ -62,6 +74,8 @@ fn parse_flags() -> Result<Flags, String> {
     let mut flags = Flags {
         addr: "127.0.0.1:7733".parse().expect("literal addr"),
         smoke: false,
+        chaos: false,
+        chaos_requests: 64,
         clients: vec![1, 8, 64],
         cold_requests: 16,
         cached_requests: 128,
@@ -83,6 +97,12 @@ fn parse_flags() -> Result<Flags, String> {
                 );
             }
             "--smoke" => flags.smoke = true,
+            "--chaos" => flags.chaos = true,
+            "--chaos-requests" => {
+                flags.chaos_requests = value("--chaos-requests")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-requests: {e}"))?;
+            }
             "--clients" => {
                 flags.clients = value("--clients")?
                     .split(',')
@@ -132,7 +152,9 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    let outcome = if flags.smoke {
+    let outcome = if flags.chaos {
+        run_chaos(&flags)
+    } else if flags.smoke {
         run_smoke(&flags)
     } else {
         run_bench(&flags)
@@ -273,6 +295,168 @@ fn smoke_connection(addr: SocketAddr, expected: &[Json]) -> Result<(), String> {
         || last.get("cancelled") != Some(&Json::Bool(false))
     {
         return Err(format!("bad terminal stream frame: {last}"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------------
+
+/// Client-side tallies of every fault-path outcome the chaos run
+/// observes. The server's own counters (panics, respawns, slow-consumer
+/// disconnects) live in its exit summary; these are the wire-visible
+/// complements.
+#[derive(Default)]
+struct ChaosTally {
+    ok: AtomicU64,
+    internal_errors: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    backpressure: AtomicU64,
+    cancelled: AtomicU64,
+    other_errors: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl ChaosTally {
+    fn count_error(&self, frame: &Json) {
+        let kind = frame
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        let counter = match kind {
+            "internal-error" => &self.internal_errors,
+            "deadline-exceeded" => &self.deadline_exceeded,
+            "over-capacity" | "quota-exhausted" => &self.backpressure,
+            "cancelled" => &self.cancelled,
+            _ => &self.other_errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn run_chaos(flags: &Flags) -> Result<(), String> {
+    let expected = oracle_solutions(3)?;
+    let tally = ChaosTally::default();
+    let errors = Mutex::new(Vec::<String>::new());
+    std::thread::scope(|scope| {
+        for worker in 0..8u64 {
+            let tally = &tally;
+            let errors = &errors;
+            let expected = expected.as_slice();
+            let addr = flags.addr;
+            let requests = flags.chaos_requests;
+            scope.spawn(move || {
+                if let Err(e) = chaos_connection(addr, expected, requests, tally, worker) {
+                    errors
+                        .lock()
+                        .expect("error list poisoned")
+                        .push(format!("client {worker}: {e}"));
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().expect("error list poisoned");
+    if !errors.is_empty() {
+        return Err(errors.join("; "));
+    }
+    let ok = tally.ok.load(Ordering::Relaxed);
+    println!(
+        "jmatch-loadgen: chaos OK — {ok} ok, {} internal-error, \
+         {} deadline-exceeded, {} backpressure, {} cancelled, {} other, \
+         {} reconnects (every successful reply matched the oracle)",
+        tally.internal_errors.load(Ordering::Relaxed),
+        tally.deadline_exceeded.load(Ordering::Relaxed),
+        tally.backpressure.load(Ordering::Relaxed),
+        tally.cancelled.load(Ordering::Relaxed),
+        tally.other_errors.load(Ordering::Relaxed),
+        tally.reconnects.load(Ordering::Relaxed),
+    );
+    if ok == 0 {
+        return Err("no request ever succeeded under fault injection".into());
+    }
+    Ok(())
+}
+
+/// One chaos client: alternating forward calls and deadline-carrying
+/// queries under a retry policy, reconnecting through whatever the fault
+/// schedule does to the connection. Wrong *answers* are fatal; faults are
+/// tallied.
+fn chaos_connection(
+    addr: SocketAddr,
+    expected: &[Json],
+    requests: usize,
+    tally: &ChaosTally,
+    seed: u64,
+) -> Result<(), String> {
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_delay_ms: 5,
+        max_delay_ms: 100,
+        seed,
+    };
+    let mut session: Option<(Client, String)> = None;
+    for i in 0..requests {
+        if session.is_none() {
+            tally.reconnects.fetch_add(1, Ordering::Relaxed);
+            let Ok(mut client) = Client::connect(addr) else {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            let Ok(reply) = client.compile(SMOKE_SRC, false) else {
+                continue;
+            };
+            let Some(key) = reply.get("program").and_then(Json::as_str) else {
+                tally.count_error(&reply);
+                continue;
+            };
+            session = Some((client, key.to_owned()));
+        }
+        let (client, key) = session.as_mut().expect("session was just established");
+        let outcome = if i % 2 == 0 {
+            client.call_with_retry(
+                "default",
+                key,
+                "add",
+                &[Value::Int(2), Value::Int(3)],
+                &policy,
+            )
+        } else {
+            let mut options = QueryOptions::new(key, "below");
+            options.known = vec![("n".into(), Value::Int(3))];
+            options.deadline_ms = Some(2_000);
+            client.query_with_retry(&options, &policy)
+        };
+        match outcome {
+            // Socket/framing breakage (a truncated frame, a slow-consumer
+            // or fault-injected disconnect): start a fresh connection.
+            Err(_) => session = None,
+            Ok(frame) => {
+                if frame.get("ok") == Some(&Json::Bool(true)) {
+                    if i % 2 == 0 {
+                        if frame.get("value") != Some(&Json::Int(5)) {
+                            return Err(format!(
+                                "add(2,3) gave a wrong answer under faults: {frame}"
+                            ));
+                        }
+                    } else {
+                        let solutions = frame
+                            .get("solutions")
+                            .and_then(Json::as_arr)
+                            .unwrap_or_default();
+                        if solutions != expected {
+                            return Err(format!(
+                                "query solutions diverged from the oracle under faults: {frame}"
+                            ));
+                        }
+                    }
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    tally.count_error(&frame);
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -5,7 +5,7 @@
 //! arrives, when `--allow-remote-shutdown` is set — the CI harness uses
 //! that for clean teardown). All configuration is flags; see `--help`.
 
-use jmatch_runtime::serve::{QuotaConfig, ServeConfig, Server};
+use jmatch_runtime::serve::{FaultConfig, QuotaConfig, ServeConfig, Server};
 use jmatch_runtime::Limits;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -29,6 +29,11 @@ OPTIONS:
     --steps-per-window N      per-tenant step pool per window   [default: 10000000]
     --window-ms MS            quota window length               [default: 1000]
     --compile-steps N         step price of a compile (0 = unmetered) [default: 0]
+    --send-queue-depth N      per-connection response queue bound     [default: 64]
+    --send-queue-wait-ms MS   slow-consumer high-water timeout        [default: 2000]
+    --faults SPEC             deterministic fault injection, e.g.
+                              seed=42,panic_request=0.05,slow_write=0.1:20
+                              (also read from JMATCH_FAULTS when unset)
     --allow-remote-shutdown   honor `shutdown` frames (CI harnesses)
     --help                    print this help
 ";
@@ -69,6 +74,18 @@ fn parse_flags() -> Result<ServeConfig, String> {
             "--compile-steps" => {
                 quota.compile_steps = parse(&value("--compile-steps")?)?;
             }
+            "--send-queue-depth" => {
+                config.send_queue_depth = parse(&value("--send-queue-depth")?)?;
+            }
+            "--send-queue-wait-ms" => {
+                config.send_queue_wait_ms = parse(&value("--send-queue-wait-ms")?)?;
+            }
+            "--faults" => {
+                config.faults = Some(
+                    FaultConfig::parse(&value("--faults")?)
+                        .map_err(|m| format!("bad --faults spec: {m}"))?,
+                );
+            }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -76,6 +93,9 @@ fn parse_flags() -> Result<ServeConfig, String> {
             }
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
+    }
+    if config.faults.is_none() {
+        config.faults = FaultConfig::from_env();
     }
     config.quota = quota;
     Ok(config)
@@ -108,7 +128,9 @@ fn main() -> ExitCode {
         "jmatch-serve: shutting down — {} connections, {} frames, \
          {} calls, {} queries, {} streams, cache {}h/{}m/{}e, \
          {} capacity rejections, {} quota rejections, \
-         {} connection rejections, {} cancelled",
+         {} connection rejections, {} cancelled, \
+         {} panics, {} worker respawns, {} deadline exceeded, \
+         {} slow consumers dropped",
         metrics.connections,
         metrics.frames,
         metrics.calls,
@@ -121,6 +143,10 @@ fn main() -> ExitCode {
         metrics.rejected_quota,
         metrics.rejected_connections,
         metrics.cancelled,
+        metrics.panics,
+        metrics.worker_respawns,
+        metrics.deadline_exceeded,
+        metrics.slow_consumer_disconnects,
     );
     server.shutdown();
     ExitCode::SUCCESS

@@ -66,6 +66,10 @@ pub(crate) struct Budget {
     /// The shared step pool, when this budget belongs to a parallel
     /// worker.
     shared: Option<Arc<SharedBudget>>,
+    /// An external interrupt token (cancellation / request deadline),
+    /// polled every [`INTERRUPT_POLL_MASK`]+1 steps so a stuck run can be
+    /// stopped from outside without per-step atomic traffic.
+    interrupt: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Budget {
@@ -76,6 +80,7 @@ impl Budget {
             max_depth,
             granted: max_steps,
             shared: None,
+            interrupt: None,
         }
     }
 
@@ -88,12 +93,27 @@ impl Budget {
             max_depth,
             granted: 0,
             shared: Some(shared),
+            interrupt: None,
         }
     }
 
-    /// One unit of solver work; errors when the step ceiling is hit.
+    /// Attaches an external interrupt token; a fired token surfaces as
+    /// [`RtError::interrupted`] at the next poll boundary.
+    pub(crate) fn set_interrupt(&mut self, token: Option<Arc<std::sync::atomic::AtomicBool>>) {
+        self.interrupt = token;
+    }
+
+    /// One unit of solver work; errors when the step ceiling is hit or an
+    /// attached interrupt token has fired.
     pub(crate) fn step(&mut self) -> RtResult<()> {
         self.steps += 1;
+        if self.steps & INTERRUPT_POLL_MASK == 0 {
+            if let Some(token) = &self.interrupt {
+                if token.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(RtError::interrupted());
+                }
+            }
+        }
         if self.steps > self.granted {
             return self.refill();
         }
@@ -133,6 +153,11 @@ impl Budget {
 /// refill. Small enough that a near-exhausted pool still spreads across
 /// workers, large enough that the atomic is off the per-step hot path.
 const SHARED_STEP_BATCH: u64 = 64;
+
+/// Interrupt tokens are polled when `steps & MASK == 0` — every 256 steps,
+/// matching the fuel quantum of [`crate::par`] workers, so cancellation
+/// latency stays bounded without putting an atomic load on every step.
+const INTERRUPT_POLL_MASK: u64 = 0xFF;
 
 /// An atomic step pool shared by the workers of one parallel enumeration:
 /// [`Budget::new_shared`] budgets debit it in [`SHARED_STEP_BATCH`]-sized

@@ -422,6 +422,9 @@ pub enum RtErrorKind {
         /// [`Limits::max_steps`]), so limit failures are self-explaining.
         limit: u64,
     },
+    /// The run was interrupted from outside (a cancel token or request
+    /// deadline fired), not by its own work ceilings.
+    Interrupted,
     /// Any other runtime failure.
     Other,
 }
@@ -435,6 +438,7 @@ impl fmt::Display for RtErrorKind {
             RtErrorKind::LimitExceeded { resource, limit } => {
                 write!(f, "limit-exceeded:{resource} (ceiling {limit})")
             }
+            RtErrorKind::Interrupted => write!(f, "interrupted"),
             RtErrorKind::Other => write!(f, "other"),
         }
     }
@@ -487,6 +491,13 @@ impl RtError {
                 method: method.to_owned(),
                 requested: requested.to_owned(),
             },
+        }
+    }
+
+    pub(crate) fn interrupted() -> Self {
+        RtError {
+            message: "evaluation interrupted".into(),
+            kind: RtErrorKind::Interrupted,
         }
     }
 

@@ -311,6 +311,18 @@ impl<'g> Machine<'g> {
         self.budget.steps
     }
 
+    /// Attaches an external interrupt token to the machine's budget; a
+    /// fired token stops the run with an
+    /// [`RtErrorKind::Interrupted`](crate::RtErrorKind::Interrupted) error
+    /// at the next fuel-poll boundary.
+    pub(crate) fn with_interrupt(
+        mut self,
+        token: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) -> Self {
+        self.budget.set_interrupt(token);
+        self
+    }
+
     /// Marks the root form as `Det`-analyzed (see [`Machine::root_det`]).
     pub(crate) fn with_root_det(mut self, det: bool) -> Self {
         self.root_det = det;

@@ -259,13 +259,14 @@ fn worker_loop(
     pool: &Arc<SharedBudget>,
     inj: &Injector,
     tx: &mpsc::SyncSender<Msg>,
+    interrupt: Option<&Arc<std::sync::atomic::AtomicBool>>,
 ) {
     while let Some((task, guide)) = inj.pop() {
         // The guard runs `finish` even if `run_task` panics: a worker that
         // unwinds must still retire its task, or `outstanding` never hits
         // zero and the surviving workers (and the collector) wait forever.
         let _finish = FinishGuard(inj);
-        run_task(plan, job, limits, pool, inj, tx, task, guide);
+        run_task(plan, job, limits, pool, inj, tx, task, guide, interrupt);
     }
 }
 
@@ -288,8 +289,10 @@ fn run_task(
     tx: &mpsc::SyncSender<Msg>,
     task: TaskId,
     guide: ChoicePath,
+    interrupt: Option<&Arc<std::sync::atomic::AtomicBool>>,
 ) {
-    let budget = Budget::new_shared(limits.max_depth, Arc::clone(pool));
+    let mut budget = Budget::new_shared(limits.max_depth, Arc::clone(pool));
+    budget.set_interrupt(interrupt.map(Arc::clone));
     let (code, root, this, root_det): (MachineCode, Frame, Option<Value>, bool) = match job {
         ParJob::Deconstruct { pid, value } => {
             let mp = plan.method(*pid);
@@ -451,6 +454,7 @@ pub(crate) fn spawn(
     limits: Limits,
     threads: usize,
     mode: ParMode,
+    interrupt: Option<Arc<std::sync::atomic::AtomicBool>>,
 ) -> ParStream {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
@@ -470,10 +474,13 @@ pub(crate) fn spawn(
         let pool = Arc::clone(&pool);
         let inj = Arc::clone(&inj);
         let tx = tx.clone();
+        let interrupt = interrupt.clone();
         let builder = std::thread::Builder::new()
             .name(format!("jmatch-par-worker-{i}"))
             .stack_size(WORKER_STACK);
-        match builder.spawn(move || worker_loop(&plan, &job, limits, &pool, &inj, &tx)) {
+        match builder
+            .spawn(move || worker_loop(&plan, &job, limits, &pool, &inj, &tx, interrupt.as_ref()))
+        {
             Ok(h) => workers.push(h),
             Err(e) => {
                 spawn_error = Some(RtError::new(format!(

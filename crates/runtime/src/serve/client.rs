@@ -4,12 +4,18 @@
 //! the integration tests drive the server with: one frame out, one (or,
 //! for streams, many) frames back, everything surfaced as raw [`Json`]
 //! documents so callers can assert on exact wire shapes. It is
-//! deliberately thin — no connection pooling, no retries beyond
-//! [`wait_ready`] — because its job is to *exercise* the server, not to
-//! hide it.
+//! deliberately thin — no connection pooling, no hidden state — because
+//! its job is to *exercise* the server, not to hide it. The one
+//! convenience it does offer is [`RetryPolicy`]: deterministic, jittered
+//! exponential backoff over the protocol's *retryable* rejections
+//! (`over-capacity`, `quota-exhausted`, `deadline-exceeded`), because
+//! every caller that meets backpressure needs exactly that loop.
 
+use super::fault::Xorshift;
 use super::json::Json;
-use super::proto::{read_frame, value_to_json, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use super::proto::{
+    error_kind, read_frame, value_to_json, write_frame, FrameError, DEFAULT_MAX_FRAME,
+};
 use crate::Value;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -71,6 +77,9 @@ pub struct QueryOptions {
     pub max_steps: Option<u64>,
     /// Depth-ceiling override (only ever lowers the tenant's).
     pub max_depth: Option<usize>,
+    /// Wall-clock deadline for the whole request, in milliseconds from
+    /// admission; past it the server answers `deadline-exceeded`.
+    pub deadline_ms: Option<u64>,
 }
 
 impl QueryOptions {
@@ -84,10 +93,14 @@ impl QueryOptions {
             known: Vec::new(),
             max_steps: None,
             max_depth: None,
+            deadline_ms: None,
         }
     }
 
     fn extend_doc(&self, pairs: &mut Vec<(String, Json)>) {
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms".into(), Json::Int(ms as i64)));
+        }
         pairs.push(("tenant".into(), Json::Str(self.tenant.clone())));
         pairs.push(("program".into(), Json::Str(self.program.clone())));
         pairs.push(("method".into(), Json::Str(self.method.clone())));
@@ -115,6 +128,73 @@ impl QueryOptions {
         if !limits.is_empty() {
             pairs.push(("limits".into(), Json::Obj(limits)));
         }
+    }
+}
+
+/// Deterministic, jittered exponential backoff over the protocol's
+/// retryable rejections.
+///
+/// The delay for attempt `n` is `min(max_delay_ms, base_delay_ms << n)`
+/// scaled by a jitter factor in `[0.5, 1.0)` drawn from a seeded stream
+/// (so a test run's retry timing replays exactly), and never below the
+/// server's `retry_after_ms` hint when the rejection carries one.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts; `1` = no retries).
+    pub max_attempts: u32,
+    /// First retry delay, before jitter.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single delay.
+    pub max_delay_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether a reply frame is a *retryable* rejection: the work was
+    /// refused or abandoned for a transient reason (`over-capacity`,
+    /// `quota-exhausted`, `deadline-exceeded`) and a later identical
+    /// request can succeed.
+    pub fn is_retryable(frame: &Json) -> bool {
+        if frame.get("ok").and_then(Json::as_bool) != Some(false) {
+            return false;
+        }
+        matches!(
+            frame
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some(error_kind::OVER_CAPACITY)
+                | Some(error_kind::QUOTA_EXHAUSTED)
+                | Some(error_kind::DEADLINE_EXCEEDED)
+        )
+    }
+
+    /// The delay before retry number `attempt` (0-based), honoring the
+    /// rejected frame's `retry_after_ms` hint as a floor.
+    fn delay(&self, attempt: u32, frame: &Json, jitter: &mut Xorshift) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_delay_ms);
+        let jittered = ((exp as f64) * (0.5 + 0.5 * jitter.next_unit())) as u64;
+        let hint = frame
+            .get("error")
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Json::as_i64)
+            .map_or(0, |ms| ms.max(0) as u64);
+        Duration::from_millis(jittered.max(hint))
     }
 }
 
@@ -252,6 +332,34 @@ impl Client {
         )
     }
 
+    /// Forward-mode call of a free method with a request deadline.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors.
+    pub fn call_with_deadline(
+        &mut self,
+        tenant: &str,
+        program: &str,
+        method: &str,
+        args: &[Value],
+        deadline_ms: u64,
+    ) -> ClientResult<Json> {
+        self.request(
+            "call",
+            vec![
+                ("tenant".to_owned(), Json::Str(tenant.to_owned())),
+                ("program".to_owned(), Json::Str(program.to_owned())),
+                ("method".to_owned(), Json::Str(method.to_owned())),
+                (
+                    "args".to_owned(),
+                    Json::Arr(args.iter().map(value_to_json).collect()),
+                ),
+                ("deadline_ms".to_owned(), Json::Int(deadline_ms as i64)),
+            ],
+        )
+    }
+
     /// Collect-mode enumeration: every solution in one reply frame.
     ///
     /// # Errors
@@ -261,6 +369,58 @@ impl Client {
         let mut extra = Vec::new();
         options.extend_doc(&mut extra);
         self.request("query", extra)
+    }
+
+    /// [`Client::query`] under a [`RetryPolicy`]: retryable rejections
+    /// (`over-capacity`, `quota-exhausted`, `deadline-exceeded`) back off
+    /// with deterministic jitter and try again, up to the policy's attempt
+    /// budget. The last reply — success, non-retryable error, or the
+    /// final still-rejected frame — is returned either way.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors.
+    pub fn query_with_retry(
+        &mut self,
+        options: &QueryOptions,
+        policy: &RetryPolicy,
+    ) -> ClientResult<Json> {
+        let mut jitter = Xorshift::new(policy.seed);
+        let mut attempt = 0;
+        loop {
+            let frame = self.query(options)?;
+            attempt += 1;
+            if attempt >= policy.max_attempts.max(1) || !RetryPolicy::is_retryable(&frame) {
+                return Ok(frame);
+            }
+            std::thread::sleep(policy.delay(attempt - 1, &frame, &mut jitter));
+        }
+    }
+
+    /// [`Client::call`] under a [`RetryPolicy`]; see
+    /// [`Client::query_with_retry`] for the loop's semantics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors.
+    pub fn call_with_retry(
+        &mut self,
+        tenant: &str,
+        program: &str,
+        method: &str,
+        args: &[Value],
+        policy: &RetryPolicy,
+    ) -> ClientResult<Json> {
+        let mut jitter = Xorshift::new(policy.seed);
+        let mut attempt = 0;
+        loop {
+            let frame = self.call(tenant, program, method, args)?;
+            attempt += 1;
+            if attempt >= policy.max_attempts.max(1) || !RetryPolicy::is_retryable(&frame) {
+                return Ok(frame);
+            }
+            std::thread::sleep(policy.delay(attempt - 1, &frame, &mut jitter));
+        }
     }
 
     /// Streamed enumeration: sends one `stream` frame and collects every
@@ -354,5 +514,69 @@ pub fn wait_ready(addr: SocketAddr, timeout: Duration) -> ClientResult<()> {
             return Err(last);
         }
         std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rejection(kind: &str, retry_after_ms: Option<i64>) -> Json {
+        let mut err = vec![("kind".to_owned(), Json::Str(kind.to_owned()))];
+        if let Some(ms) = retry_after_ms {
+            err.push(("retry_after_ms".to_owned(), Json::Int(ms)));
+        }
+        Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(false)),
+            ("id".to_owned(), Json::Int(1)),
+            ("error".to_owned(), Json::Obj(err)),
+        ])
+    }
+
+    #[test]
+    fn retryable_kinds_are_exactly_the_transient_ones() {
+        for kind in ["over-capacity", "quota-exhausted", "deadline-exceeded"] {
+            assert!(
+                RetryPolicy::is_retryable(&rejection(kind, Some(25))),
+                "{kind}"
+            );
+        }
+        for kind in ["protocol", "internal-error", "cancelled", "unknown-program"] {
+            assert!(!RetryPolicy::is_retryable(&rejection(kind, None)), "{kind}");
+        }
+        // A success frame is never retryable.
+        assert!(!RetryPolicy::is_retryable(&Json::Obj(vec![(
+            "ok".to_owned(),
+            Json::Bool(true)
+        )])));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            seed: 42,
+        };
+        let frame = rejection("over-capacity", None);
+        let delays = |policy: &RetryPolicy| -> Vec<Duration> {
+            let mut jitter = Xorshift::new(policy.seed);
+            (0..8)
+                .map(|a| policy.delay(a, &frame, &mut jitter))
+                .collect()
+        };
+        let a = delays(&policy);
+        let b = delays(&policy);
+        assert_eq!(a, b, "same seed, same schedule");
+        for (attempt, d) in a.iter().enumerate() {
+            let exp = (10u64 << attempt).min(100);
+            assert!(*d >= Duration::from_millis(exp / 2), "attempt {attempt}");
+            assert!(*d <= Duration::from_millis(exp), "attempt {attempt}");
+        }
+        // The server's hint is a floor under the jittered delay.
+        let hinted = rejection("over-capacity", Some(400));
+        let mut jitter = Xorshift::new(42);
+        assert!(policy.delay(0, &hinted, &mut jitter) >= Duration::from_millis(400));
     }
 }

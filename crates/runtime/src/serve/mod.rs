@@ -19,7 +19,11 @@
 //!   repository's `PROTOCOL.md` for the normative spec);
 //! * [`json`] — the std-only JSON document type the protocol rides on;
 //! * [`client`] — a thin blocking client for tests, examples and the
-//!   `jmatch-loadgen` bench driver.
+//!   `jmatch-loadgen` bench driver, with jittered-backoff retries for
+//!   retryable rejections;
+//! * [`fault`] — deterministic, seeded fault injection (worker panics,
+//!   slow writes, frame truncation, solver stalls) for the chaos suite
+//!   and the `chaos-smoke` CI job.
 //!
 //! ```no_run
 //! use jmatch_runtime::serve::{Client, QueryOptions, ServeConfig, Server};
@@ -40,12 +44,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod json;
 pub mod proto;
 pub mod quota;
 pub mod server;
 
 pub use cache::{CacheOutcome, CacheStats, ProgramCache};
-pub use client::{wait_ready, Client, ClientError, ClientResult, QueryOptions};
+pub use client::{wait_ready, Client, ClientError, ClientResult, QueryOptions, RetryPolicy};
+pub use fault::FaultConfig;
 pub use quota::{Grant, QuotaConfig, QuotaDenied, TenantQuotas, TenantSnapshot};
 pub use server::{Metrics, ServeConfig, Server};

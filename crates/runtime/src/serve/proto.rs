@@ -75,14 +75,22 @@ impl std::fmt::Display for FrameError {
 /// two TCP segments at the sender (Nagle + delayed-ACK would otherwise
 /// park every response for ~40ms).
 pub fn write_frame(w: &mut impl Write, doc: &Json) -> io::Result<()> {
+    w.write_all(&frame_bytes(doc)?)?;
+    w.flush()
+}
+
+/// Serializes one frame — 4-byte big-endian length prefix plus the JSON
+/// bytes — without writing it anywhere: the shape the server's bounded
+/// per-connection send queues enqueue, so serialization happens on the
+/// producing thread and the writer thread only does I/O.
+pub fn frame_bytes(doc: &Json) -> io::Result<Vec<u8>> {
     let body = doc.to_string().into_bytes();
     let len = u32::try_from(body.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame over 4 GiB"))?;
     let mut framed = Vec::with_capacity(4 + body.len());
     framed.extend_from_slice(&len.to_be_bytes());
     framed.extend_from_slice(&body);
-    w.write_all(&framed)?;
-    w.flush()
+    Ok(framed)
 }
 
 /// Reads one frame, enforcing the payload cap. On [`FrameError::TooLarge`]
@@ -167,6 +175,10 @@ pub struct QuerySpec {
     pub known: Vec<(String, Value)>,
     /// Work-ceiling overrides.
     pub limits: LimitsSpec,
+    /// Wall-clock deadline for the whole request, in milliseconds from
+    /// admission; past it the run is interrupted and answered with a
+    /// retryable `deadline-exceeded` error frame.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A parsed client→server frame.
@@ -200,6 +212,9 @@ pub enum Request {
         /// Whether to also run the static verification passes (their
         /// warnings ride along in the reply).
         verify: bool,
+        /// Wall-clock deadline in milliseconds; checked before the compile
+        /// starts (compilation itself is not interruptible).
+        deadline_ms: Option<u64>,
     },
     /// Forward-mode call of a free method with scalar arguments.
     Call {
@@ -215,6 +230,9 @@ pub enum Request {
         args: Vec<Value>,
         /// Work-ceiling overrides.
         limits: LimitsSpec,
+        /// Wall-clock deadline for the whole request, in milliseconds from
+        /// admission.
+        deadline_ms: Option<u64>,
     },
     /// Iterative-mode enumeration, collected into one response frame.
     Query {
@@ -286,6 +304,12 @@ impl Request {
                 .to_owned()
         };
         let limits = parse_limits(doc).map_err(|m| (Some(id), m))?;
+        let deadline_ms = match doc.get("deadline_ms").and_then(Json::as_i64) {
+            Some(ms) if ms < 0 => {
+                return Err((Some(id), "deadline_ms must be non-negative".into()))
+            }
+            other => other.map(|ms| ms as u64),
+        };
         match op {
             "ping" => Ok(Request::Ping { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
@@ -309,6 +333,7 @@ impl Request {
                     tenant: tenant(),
                     source: source.to_owned(),
                     verify: doc.get("verify").and_then(Json::as_bool).unwrap_or(false),
+                    deadline_ms,
                 })
             }
             "call" => {
@@ -326,6 +351,7 @@ impl Request {
                     method,
                     args,
                     limits,
+                    deadline_ms,
                 })
             }
             "query" | "stream" => {
@@ -342,6 +368,7 @@ impl Request {
                     class: doc.get("class").and_then(Json::as_str).map(str::to_owned),
                     known,
                     limits,
+                    deadline_ms,
                 };
                 if op == "query" {
                     Ok(Request::Query {
@@ -484,6 +511,23 @@ pub mod error_kind {
     pub const COMPILE_FAILED: &str = "compile-failed";
     /// The server is shutting down.
     pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// The request's `deadline_ms` elapsed before it finished; retry after
+    /// `retry_after_ms` (the work is admission-bounded, so a retry sees a
+    /// fresh deadline).
+    pub const DEADLINE_EXCEEDED: &str = "deadline-exceeded";
+    /// The request was cancelled (a `cancel` frame, or its connection
+    /// closed).
+    pub const CANCELLED: &str = "cancelled";
+    /// The request crashed inside the server (a worker panic). The worker
+    /// survives (or is respawned); the request's quota reservation is
+    /// refunded. Not retryable by default — the same input likely crashes
+    /// again.
+    pub const INTERNAL: &str = "internal-error";
+    /// The connection's bounded send queue stayed full past the high-water
+    /// timeout (a slow consumer); the server disconnects instead of
+    /// blocking workers. Only ever observed as a closed connection — kept
+    /// here to name the metric.
+    pub const SLOW_CONSUMER: &str = "slow-consumer";
 }
 
 /// A structured server→client error, carried in `{"ok":false,"error":…}`.
@@ -556,6 +600,12 @@ impl ErrorFrame {
                 frame = frame
                     .with("resource", Json::Str(resource.clone()))
                     .with("limit", Json::Int(*limit as i64));
+            }
+            // The server classifies a fired interrupt into
+            // `deadline-exceeded` vs `cancelled` itself (it knows the
+            // deadline); this mapping is the fallback for direct callers.
+            RtErrorKind::Interrupted => {
+                frame.kind = error_kind::CANCELLED.into();
             }
             _ => {
                 frame.kind = "runtime".into();

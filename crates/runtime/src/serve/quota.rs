@@ -67,6 +67,15 @@ struct TenantState {
     outstanding: AtomicU64,
     /// Steps actually consumed over the tenant's lifetime (metrics).
     spent: AtomicU64,
+    /// Steps ever reserved by admission, cumulatively. With `refunded`
+    /// this pins the conservation invariant the chaos suite checks:
+    /// `reserved == spent + refunded` whenever `outstanding == 0` — every
+    /// grant settles or refunds exactly once, panics and disconnects
+    /// included.
+    reserved: AtomicU64,
+    /// Steps ever handed back — settlement remainders plus whole dropped
+    /// grants — cumulatively.
+    refunded: AtomicU64,
 }
 
 /// Why admission failed.
@@ -110,6 +119,10 @@ impl Grant {
             .outstanding
             .fetch_sub(self.granted, Ordering::Relaxed);
         self.state.0.spent.fetch_add(used, Ordering::Relaxed);
+        self.state
+            .0
+            .refunded
+            .fetch_add(self.granted - used, Ordering::Relaxed);
         self.settled = true;
     }
 }
@@ -118,12 +131,18 @@ impl Drop for Grant {
     fn drop(&mut self) {
         if !self.settled {
             // Never settled: the request died before (or instead of)
-            // running — hand the whole reservation back.
+            // running — a disconnect, a cancel at pickup, or a panic
+            // unwinding through the worker — hand the whole reservation
+            // back.
             self.state.0.pool.give(self.granted);
             self.state
                 .0
                 .outstanding
                 .fetch_sub(self.granted, Ordering::Relaxed);
+            self.state
+                .0
+                .refunded
+                .fetch_add(self.granted, Ordering::Relaxed);
         }
     }
 }
@@ -139,6 +158,15 @@ pub struct TenantSnapshot {
     pub pool_ceiling: u64,
     /// Steps consumed over the tenant's lifetime.
     pub spent: u64,
+    /// Steps ever reserved by admission, cumulatively.
+    pub reserved: u64,
+    /// Steps ever handed back (settlement remainders + dropped grants),
+    /// cumulatively.
+    pub refunded: u64,
+    /// Steps reserved by grants still in flight. When this is zero,
+    /// `reserved == spent + refunded` — the settle-or-refund-exactly-once
+    /// conservation invariant.
+    pub outstanding: u64,
 }
 
 /// The tenant registry: id → quota state, created on first sight.
@@ -190,6 +218,8 @@ impl TenantQuotas {
             window_start: Mutex::new(Instant::now()),
             outstanding: AtomicU64::new(0),
             spent: AtomicU64::new(0),
+            reserved: AtomicU64::new(0),
+            refunded: AtomicU64::new(0),
         }));
         tenants.insert(tenant.to_owned(), Arc::clone(&state));
         state
@@ -226,6 +256,7 @@ impl TenantQuotas {
             // refill always sees a consistent (pool, outstanding) pair.
             let granted = inner.pool.take(want.max(1));
             inner.outstanding.fetch_add(granted, Ordering::Relaxed);
+            inner.reserved.fetch_add(granted, Ordering::Relaxed);
             granted
         };
         if granted == 0 {
@@ -266,6 +297,9 @@ impl TenantQuotas {
                 pool_remaining: state.0.pool.remaining(),
                 pool_ceiling: state.0.pool.ceiling(),
                 spent: state.0.spent.load(Ordering::Relaxed),
+                reserved: state.0.reserved.load(Ordering::Relaxed),
+                refunded: state.0.refunded.load(Ordering::Relaxed),
+                outstanding: state.0.outstanding.load(Ordering::Relaxed),
             })
             .collect();
         out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -383,6 +417,40 @@ mod tests {
         let g1 = quotas.admit("t", 80).unwrap();
         let g2 = quotas.admit("t", 80).unwrap();
         assert_eq!((g1.granted(), g2.granted()), (80, 20));
+    }
+
+    #[test]
+    fn conservation_holds_across_settle_drop_and_panic() {
+        let quotas = TenantQuotas::new(config(10_000, 60_000));
+        // Settled grants: remainder counts as refund.
+        quotas.admit("t", 600).unwrap().settle(100);
+        // Dropped grants: the whole reservation counts as refund.
+        drop(quotas.admit("t", 300).unwrap());
+        // Grants dropped by a panic's unwind count the same way.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _grant = quotas.admit("t", 200).unwrap();
+            panic!("request died mid-run");
+        }));
+        let snap = &quotas.snapshot()[0];
+        assert_eq!(snap.outstanding, 0);
+        assert_eq!(snap.reserved, 1_100);
+        assert_eq!(snap.spent, 100);
+        assert_eq!(snap.refunded, 1_000);
+        assert_eq!(snap.reserved, snap.spent + snap.refunded);
+    }
+
+    #[test]
+    fn snapshots_expose_in_flight_reservations() {
+        let quotas = TenantQuotas::new(config(1_000, 60_000));
+        let held = quotas.admit("t", 400).unwrap();
+        let snap = &quotas.snapshot()[0];
+        assert_eq!(snap.outstanding, 400);
+        assert_eq!(snap.reserved, 400);
+        assert_eq!(snap.spent + snap.refunded, 0);
+        held.settle(400);
+        let snap = &quotas.snapshot()[0];
+        assert_eq!(snap.outstanding, 0);
+        assert_eq!(snap.reserved, snap.spent + snap.refunded);
     }
 
     #[test]

@@ -28,27 +28,56 @@
 //! neither a hot tenant nor a flood of connections can grow server
 //! memory or starve other tenants (the scheduler drains tenant queues
 //! round-robin, one job per turn).
+//!
+//! The server is fault-tolerant by construction:
+//!
+//! * **Panic isolation** — each job dispatch runs under `catch_unwind`, so
+//!   a panicking request becomes an `internal-error` frame (the quota
+//!   grant refunds through the unwind) instead of a dead worker; a
+//!   supervisor thread respawns any worker that dies anyway (e.g. an
+//!   injected between-jobs panic).
+//! * **Deadlines** — requests may carry `deadline_ms`; a watchdog thread
+//!   fires the request's cancel token past its deadline and the engines'
+//!   256-step fuel polling surfaces it as a retryable `deadline-exceeded`
+//!   frame.
+//! * **Backpressure** — responses go through a bounded per-connection send
+//!   queue drained by a dedicated writer thread; a queue that stays full
+//!   past the high-water timeout marks the client a slow consumer and the
+//!   connection is dropped, so a worker never blocks on a client socket.
 
 use super::cache::{CacheOutcome, CacheStats, ProgramCache};
+use super::fault::{FaultConfig, FaultInjector, Site};
 use super::json::Json;
 use super::proto::{
     self, drain, error_kind, read_frame, write_frame, ErrorFrame, FrameError, LimitsSpec,
     QuerySpec, Request,
 };
 use super::quota::{Grant, QuotaConfig, TenantQuotas, TenantSnapshot};
-use crate::{Bindings, Engine, Limits, MethodRef, Program, Query, RtResult, Value};
+use crate::{Bindings, Engine, Limits, MethodRef, Program, Query, RtErrorKind, RtResult, Value};
 use std::collections::{HashMap, VecDeque};
-use std::io;
+use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a client should wait before retrying after an `over-capacity`
 /// rejection — long enough for a queue slot to drain, short enough that
 /// the retry loop converges quickly.
 const CAPACITY_RETRY_MS: u64 = 25;
+
+/// Locks a mutex, recovering the data on poison: a request panic is an
+/// isolated event (caught, answered with `internal-error`), so a lock it
+/// happened to hold must not take the rest of the server down with it.
+/// Every structure guarded this way is valid after any partial update
+/// (counters, queues of owned jobs, token maps).
+fn lock_ok<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A collected enumeration plus the steps it spent (when countable) —
 /// the per-query shape `Program::query_many_counted` returns.
@@ -94,6 +123,17 @@ pub struct ServeConfig {
     /// Whether a `shutdown` frame may stop the server (CI harnesses; keep
     /// off for real deployments).
     pub allow_remote_shutdown: bool,
+    /// Bound on each connection's response send queue (frames). Workers
+    /// enqueue; a dedicated writer thread drains.
+    pub send_queue_depth: usize,
+    /// High-water timeout: how long a sender waits on a full send queue
+    /// before declaring the client a slow consumer and dropping the
+    /// connection. Also bounds each socket write (the writer thread's
+    /// write timeout).
+    pub send_queue_wait_ms: u64,
+    /// Deterministic fault injection (chaos testing); `None` in
+    /// production.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +151,9 @@ impl Default for ServeConfig {
             quota: QuotaConfig::default(),
             tenant_overrides: Vec::new(),
             allow_remote_shutdown: false,
+            send_queue_depth: 64,
+            send_queue_wait_ms: 2_000,
+            faults: None,
         }
     }
 }
@@ -133,6 +176,9 @@ struct Job {
     limits: Limits,
     grant: Grant,
     cancel: Arc<AtomicBool>,
+    /// Absolute wall-clock deadline (from the request's `deadline_ms`);
+    /// the watchdog fires `cancel` past it.
+    deadline: Option<Instant>,
     kind: JobKind,
 }
 
@@ -228,65 +274,252 @@ struct Sched {
 // Connections
 // ---------------------------------------------------------------------------
 
-/// The half of a connection shared between its reader thread and the
-/// workers writing responses: a mutex-serialized writer over a cloned
-/// socket handle, the open flag, and the in-flight cancel tokens.
+/// The bounded response queue between producers (workers, the reader's
+/// inline replies) and the connection's dedicated writer thread.
+struct SendQueue {
+    /// Pre-framed (length-prefixed) response bytes, oldest first.
+    frames: VecDeque<Vec<u8>>,
+    /// The reader finished: flush what is queued, then close. New sends
+    /// are refused.
+    draining: bool,
+    /// Hard close: the writer discards everything and exits now.
+    dead: bool,
+}
+
+/// The half of a connection shared between its reader thread, the workers
+/// producing responses, and its writer thread: the bounded send queue,
+/// the open flag, and the in-flight cancel tokens.
+///
+/// Workers never write to the socket. They serialize the frame and
+/// enqueue it; the writer thread does the blocking I/O. A full queue
+/// makes the producer wait at most `high_water`; past that the client is
+/// a slow consumer and the connection is dropped — the worker moves on
+/// either way.
 struct ConnShared {
-    writer: Mutex<TcpStream>,
+    /// The socket (write half). The writer thread writes through it
+    /// (`&TcpStream` is `Write`); everyone else only uses it to
+    /// `shutdown`, which is what unblocks a reader parked in `read`.
+    sock: TcpStream,
+    sendq: Mutex<SendQueue>,
+    /// Writer waits here for frames (or a drain/close verdict).
+    frames_ready: Condvar,
+    /// Producers wait here for queue space.
+    space_ready: Condvar,
     open: AtomicBool,
     cancels: Mutex<HashMap<i64, Arc<AtomicBool>>>,
+    /// Queue bound, in frames.
+    depth: usize,
+    /// How long a producer waits on a full queue before the slow-consumer
+    /// verdict.
+    high_water: Duration,
+    /// Server counters (slow-consumer disconnects are detected here,
+    /// inside `send`).
+    counters: Arc<Counters>,
 }
 
 impl ConnShared {
-    /// Writes one frame; `false` means the connection is gone (and every
-    /// in-flight request on it has been cancelled).
+    fn new(sock: TcpStream, config: &ServeConfig, counters: Arc<Counters>) -> Self {
+        ConnShared {
+            sock,
+            sendq: Mutex::new(SendQueue {
+                frames: VecDeque::new(),
+                draining: false,
+                dead: false,
+            }),
+            frames_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            open: AtomicBool::new(true),
+            cancels: Mutex::new(HashMap::new()),
+            depth: config.send_queue_depth.max(1),
+            high_water: Duration::from_millis(config.send_queue_wait_ms.max(1)),
+            counters,
+        }
+    }
+
+    /// Serializes and enqueues one frame; `false` means the connection is
+    /// gone (closed, draining, or just now convicted as a slow consumer —
+    /// in every case the in-flight requests on it are cancelled).
     fn send(&self, doc: &Json) -> bool {
         if !self.open.load(Ordering::Acquire) {
             return false;
         }
-        let mut writer = self.writer.lock().expect("connection writer poisoned");
-        match write_frame(&mut *writer, doc) {
-            Ok(()) => true,
-            Err(_) => {
-                drop(writer);
-                self.close();
-                false
+        let Ok(bytes) = proto::frame_bytes(doc) else {
+            // A >4 GiB response frame; nothing sane to do but drop the
+            // connection.
+            self.close();
+            return false;
+        };
+        let give_up_at = Instant::now() + self.high_water;
+        let mut q = lock_ok(&self.sendq);
+        while q.frames.len() >= self.depth {
+            if q.dead || q.draining {
+                return false;
             }
+            let now = Instant::now();
+            if now >= give_up_at {
+                // Slow consumer: the queue stayed full for the whole
+                // high-water window. Drop the connection rather than
+                // stall this worker (or buffer without bound).
+                drop(q);
+                self.counters
+                    .slow_consumer_disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                self.close();
+                return false;
+            }
+            let (guard, _timeout) =
+                self.sendq
+                    .wait_timeout_on(&self.space_ready, q, give_up_at - now);
+            q = guard;
         }
+        if q.dead || q.draining {
+            return false;
+        }
+        q.frames.push_back(bytes);
+        drop(q);
+        self.frames_ready.notify_one();
+        true
     }
 
-    /// Marks the connection dead, cancels everything in flight on it, and
-    /// shuts the socket down (which also unblocks a reader parked in
-    /// `read`).
+    /// Marks the connection dead, cancels everything in flight on it,
+    /// tells the writer to discard and exit, and shuts the socket down
+    /// (which also unblocks a reader parked in `read` and a writer parked
+    /// in `write`).
     fn close(&self) {
         if self.open.swap(false, Ordering::AcqRel) {
-            for token in self
-                .cancels
-                .lock()
-                .expect("cancel registry poisoned")
-                .values()
-            {
-                token.store(true, Ordering::Release);
-            }
-            let writer = self.writer.lock().expect("connection writer poisoned");
-            let _ = writer.shutdown(Shutdown::Both);
+            self.fire_cancels();
+        }
+        // Past the first close the verdict only hardens (a graceful drain
+        // can be upgraded to a hard close, never the reverse), so this
+        // part runs unconditionally.
+        {
+            let mut q = lock_ok(&self.sendq);
+            q.dead = true;
+            q.draining = true;
+        }
+        self.frames_ready.notify_all();
+        self.space_ready.notify_all();
+        let _ = self.sock.shutdown(Shutdown::Both);
+    }
+
+    /// The graceful end of a connection (reader saw EOF / a hostile
+    /// frame): refuse new work, cancel what is in flight, but let the
+    /// writer *flush* the queued frames — a protocol-error reply must
+    /// still reach the client — before it closes the socket.
+    fn finish(&self) {
+        if self.open.swap(false, Ordering::AcqRel) {
+            self.fire_cancels();
+        }
+        lock_ok(&self.sendq).draining = true;
+        self.frames_ready.notify_all();
+        self.space_ready.notify_all();
+    }
+
+    fn fire_cancels(&self) {
+        for token in lock_ok(&self.cancels).values() {
+            token.store(true, Ordering::Release);
         }
     }
 
     fn register_cancel(&self, id: i64) -> Arc<AtomicBool> {
         let token = Arc::new(AtomicBool::new(false));
-        self.cancels
-            .lock()
-            .expect("cancel registry poisoned")
-            .insert(id, Arc::clone(&token));
+        lock_ok(&self.cancels).insert(id, Arc::clone(&token));
         token
     }
 
     fn forget_cancel(&self, id: i64) {
-        self.cancels
-            .lock()
-            .expect("cancel registry poisoned")
-            .remove(&id);
+        lock_ok(&self.cancels).remove(&id);
+    }
+}
+
+/// `Condvar::wait_timeout` with the lock/condvar pairing inverted so the
+/// call site reads naturally; also poison-tolerant like [`lock_ok`].
+trait WaitTimeoutOn<T> {
+    fn wait_timeout_on<'a>(
+        &'a self,
+        cv: &Condvar,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool);
+}
+
+impl<T> WaitTimeoutOn<T> for Mutex<T> {
+    fn wait_timeout_on<'a>(
+        &'a self,
+        cv: &Condvar,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match cv.wait_timeout(guard, dur) {
+            Ok((g, t)) => (g, t.timed_out()),
+            Err(poisoned) => {
+                let (g, t) = poisoned.into_inner();
+                (g, t.timed_out())
+            }
+        }
+    }
+}
+
+/// The per-connection writer thread: drains the send queue to the socket
+/// so producers never block on client I/O. Exits when the queue is hard
+/// closed, when draining finishes, or when a write fails / times out
+/// (a never-reading client counts as a slow consumer here too).
+fn writer_loop(conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
+    // Bound every socket write: a client that stops reading eventually
+    // zeroes its receive window and `write` would park forever.
+    let _ = conn.sock.set_write_timeout(Some(conn.high_water));
+    loop {
+        let frame = {
+            let mut q = lock_ok(&conn.sendq);
+            loop {
+                if q.dead {
+                    return;
+                }
+                if let Some(frame) = q.frames.pop_front() {
+                    conn.space_ready.notify_all();
+                    break frame;
+                }
+                if q.draining {
+                    // Flushed everything the reader's lifetime produced.
+                    let _ = conn.sock.shutdown(Shutdown::Both);
+                    return;
+                }
+                q = conn
+                    .sendq
+                    .wait_timeout_on(&conn.frames_ready, q, conn.high_water)
+                    .0;
+            }
+        };
+        if let Some(faults) = &shared.faults {
+            if faults.fire(Site::SlowWrite) {
+                std::thread::sleep(Duration::from_millis(faults.slow_write_ms()));
+            }
+            if faults.fire(Site::Truncate) {
+                // Write only the length prefix, then kill the connection:
+                // the client sees a truncated frame.
+                let _ = (&conn.sock).write_all(&frame[..4.min(frame.len())]);
+                conn.close();
+                return;
+            }
+        }
+        match (&conn.sock).write_all(&frame) {
+            Ok(()) => {
+                let _ = (&conn.sock).flush();
+            }
+            Err(e) => {
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) {
+                    shared
+                        .counters
+                        .slow_consumer_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                conn.close();
+                return;
+            }
+        }
     }
 }
 
@@ -306,6 +539,15 @@ struct Counters {
     rejected_quota: AtomicU64,
     rejected_connections: AtomicU64,
     cancelled: AtomicU64,
+    /// Request executions that panicked (caught; answered `internal-error`).
+    panics: AtomicU64,
+    /// Worker threads the supervisor found dead and respawned.
+    worker_respawns: AtomicU64,
+    /// Requests answered `deadline-exceeded`.
+    deadline_exceeded: AtomicU64,
+    /// Connections dropped because their send queue stayed full past the
+    /// high-water timeout (or a socket write timed out).
+    slow_consumer_disconnects: AtomicU64,
 }
 
 /// A point-in-time view of the server's counters, cache and tenants.
@@ -331,6 +573,17 @@ pub struct Metrics {
     pub rejected_connections: u64,
     /// Streams that ended by cancellation (explicit or disconnect).
     pub cancelled: u64,
+    /// Request executions that panicked; each was caught, answered with an
+    /// `internal-error` frame, and its grant refunded.
+    pub panics: u64,
+    /// Worker threads the supervisor found dead and respawned.
+    pub worker_respawns: u64,
+    /// Requests answered `deadline-exceeded` (their `deadline_ms` elapsed
+    /// in queue or mid-run).
+    pub deadline_exceeded: u64,
+    /// Connections dropped as slow consumers (send queue full past the
+    /// high-water timeout, or a socket write timed out).
+    pub slow_consumer_disconnects: u64,
     /// Jobs currently queued (not yet picked up by a worker).
     pub queued: usize,
     /// Program-cache counters.
@@ -349,14 +602,23 @@ struct Shared {
     quotas: TenantQuotas,
     sched: Sched,
     shutdown: AtomicBool,
-    counters: Counters,
+    counters: Arc<Counters>,
     conns: Mutex<HashMap<u64, ConnEntry>>,
     next_conn: AtomicU64,
+    /// The worker pool; behind a mutex so the supervisor can swap a dead
+    /// worker's handle for its respawn.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// `(fire_at, cancel_token)` registrations the watchdog scans; `Weak`
+    /// so a finished request leaves nothing to collect but a dead pointer.
+    deadlines: Mutex<Vec<(Instant, Weak<AtomicBool>)>>,
+    /// Seeded fault injection, when chaos-testing; `None` in production.
+    faults: Option<FaultInjector>,
 }
 
 struct ConnEntry {
     shared: Arc<ConnShared>,
     reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
 }
 
 /// A running `jmatch-serve` instance. Dropping (or [`Server::shutdown`])
@@ -366,7 +628,8 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -383,6 +646,11 @@ impl Server {
         for (tenant, quota) in &config.tenant_overrides {
             quotas.set_tenant_config(tenant, *quota);
         }
+        let faults = config
+            .faults
+            .as_ref()
+            .filter(|f| f.is_active())
+            .map(|f| FaultInjector::new(f.clone()));
         let shared = Arc::new(Shared {
             cache: ProgramCache::new(config.cache_capacity, config.engine),
             quotas,
@@ -391,33 +659,44 @@ impl Server {
                 ready: Condvar::new(),
             },
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters: Arc::new(Counters::default()),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+            deadlines: Mutex::new(Vec::new()),
+            faults,
             config,
         });
-        let workers = (0..shared.config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("jmatch-serve-worker-{i}"))
-                    .stack_size(SERVE_THREAD_STACK)
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+        {
+            let mut workers = lock_ok(&shared.workers);
+            for i in 0..shared.config.workers {
+                workers.push(spawn_worker(&shared, i)?);
+            }
+        }
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("jmatch-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn accept loop")
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("jmatch-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))?
+        };
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("jmatch-serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))?
         };
         Ok(Server {
             shared,
             addr,
             accept: Some(accept),
-            workers,
+            supervisor: Some(supervisor),
+            watchdog: Some(watchdog),
         })
     }
 
@@ -440,13 +719,11 @@ impl Server {
             rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
             rejected_connections: c.rejected_connections.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
-            queued: self
-                .shared
-                .sched
-                .state
-                .lock()
-                .expect("scheduler poisoned")
-                .queued,
+            panics: c.panics.load(Ordering::Relaxed),
+            worker_respawns: c.worker_respawns.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            slow_consumer_disconnects: c.slow_consumer_disconnects.load(Ordering::Relaxed),
+            queued: lock_ok(&self.shared.sched.state).queued,
             cache: self.shared.cache.stats(),
             tenants: self.shared.quotas.snapshot(),
         }
@@ -481,9 +758,19 @@ impl Server {
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.sched.ready.notify_all();
-        // Closing the sockets unblocks readers parked in `read`.
+        // Supervisor and watchdog first: once shutdown is set neither will
+        // respawn or cancel anything, and stopping them here means the
+        // worker set is stable for the joins below.
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+        // Closing the sockets unblocks readers parked in `read` and
+        // writers parked in `write`.
         let entries: Vec<ConnEntry> = {
-            let mut conns = self.shared.conns.lock().expect("connection table poisoned");
+            let mut conns = lock_ok(&self.shared.conns);
             conns.drain().map(|(_, e)| e).collect()
         };
         for entry in &entries {
@@ -493,21 +780,20 @@ impl Server {
             if let Some(handle) = entry.reader.take() {
                 let _ = handle.join();
             }
+            if let Some(handle) = entry.writer.take() {
+                let _ = handle.join();
+            }
         }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        for worker in self.workers.drain(..) {
+        let workers: Vec<JoinHandle<()>> = lock_ok(&self.shared.workers).drain(..).collect();
+        for worker in workers {
             let _ = worker.join();
         }
         // Drop whatever never ran; each Job's Grant refunds on drop.
-        self.shared
-            .sched
-            .state
-            .lock()
-            .expect("scheduler poisoned")
-            .queues
-            .clear();
+        lock_ok(&self.shared.sched.state).queues.clear();
+        lock_ok(&self.shared.deadlines).clear();
     }
 }
 
@@ -520,6 +806,71 @@ impl Drop for Server {
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, index: usize) -> io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("jmatch-serve-worker-{index}"))
+        .stack_size(SERVE_THREAD_STACK)
+        .spawn(move || worker_loop(&shared))
+}
+
+/// The supervisor: polls the worker pool and respawns any thread that
+/// died. Request panics are caught inside the worker, so in practice only
+/// an *uncaught* panic (an injected between-jobs fault, or a bug in the
+/// worker loop itself) gets here — but the server must outlive those too.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        {
+            let mut workers = lock_ok(&shared.workers);
+            for i in 0..workers.len() {
+                if !workers[i].is_finished() || shared.shutdown.load(Ordering::Acquire) {
+                    continue;
+                }
+                match spawn_worker(shared, i) {
+                    Ok(fresh) => {
+                        let dead = std::mem::replace(&mut workers[i], fresh);
+                        let _ = dead.join();
+                        shared
+                            .counters
+                            .worker_respawns
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Spawn failure (thread exhaustion): leave the dead
+                    // handle in place and retry next tick.
+                    Err(_) => continue,
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The deadline watchdog: scans the registry and fires the cancel token
+/// of every request past its deadline. The engines poll the token every
+/// 256 steps, so enforcement lag is bounded by poll granularity plus the
+/// scan interval.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        {
+            let now = Instant::now();
+            let mut deadlines = lock_ok(&shared.deadlines);
+            deadlines.retain(|(fire_at, token)| match token.upgrade() {
+                // The request finished; its registration is garbage.
+                None => false,
+                Some(token) => {
+                    if now >= *fire_at {
+                        token.store(true, Ordering::Release);
+                        false
+                    } else {
+                        true
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -537,14 +888,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 // Responses are single small frames; waiting for ACKs
                 // (Nagle) would serialize the whole protocol at ~40ms RTT.
                 let _ = stream.set_nodelay(true);
-                // Every connection holds an 8 MiB-stack reader thread, so
-                // the count must be bounded: at the cap, answer with a
-                // structured rejection and close instead of spawning.
-                let live = shared
-                    .conns
-                    .lock()
-                    .expect("connection table poisoned")
-                    .len();
+                // Every connection holds an 8 MiB-stack reader thread (and
+                // a writer thread), so the count must be bounded: at the
+                // cap, answer with a structured rejection and close
+                // instead of spawning.
+                let live = lock_ok(&shared.conns).len();
                 if live >= shared.config.max_connections {
                     shared
                         .counters
@@ -568,11 +916,22 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 };
                 shared.counters.connections.fetch_add(1, Ordering::Relaxed);
                 let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-                let conn = Arc::new(ConnShared {
-                    writer: Mutex::new(write_half),
-                    open: AtomicBool::new(true),
-                    cancels: Mutex::new(HashMap::new()),
-                });
+                let conn = Arc::new(ConnShared::new(
+                    write_half,
+                    &shared.config,
+                    Arc::clone(&shared.counters),
+                ));
+                let writer = {
+                    let shared = Arc::clone(shared);
+                    let conn = Arc::clone(&conn);
+                    std::thread::Builder::new()
+                        .name(format!("jmatch-serve-writer-{conn_id}"))
+                        .spawn(move || writer_loop(&conn, &shared))
+                };
+                let Ok(writer) = writer else {
+                    conn.close();
+                    continue;
+                };
                 let reader = {
                     let shared = Arc::clone(shared);
                     let conn = Arc::clone(&conn);
@@ -581,34 +940,43 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                         .stack_size(SERVE_THREAD_STACK)
                         .spawn(move || {
                             reader_loop(stream, &conn, &shared);
-                            conn.close();
+                            // Graceful end: queued replies (e.g. the
+                            // protocol-error frame for a hostile request)
+                            // still flush before the socket closes.
+                            conn.finish();
                             // Detach ourselves from the table (drop of our
-                            // own JoinHandle just detaches).
-                            shared
-                                .conns
-                                .lock()
-                                .expect("connection table poisoned")
-                                .remove(&conn_id);
+                            // own JoinHandle just detaches) and reap our
+                            // writer.
+                            let entry = lock_ok(&shared.conns).remove(&conn_id);
+                            if let Some(mut entry) = entry {
+                                if let Some(writer) = entry.writer.take() {
+                                    let _ = writer.join();
+                                }
+                            }
                         })
                 };
                 let Ok(reader) = reader else {
                     conn.close();
+                    let _ = writer.join();
                     continue;
                 };
-                let mut conns = shared.conns.lock().expect("connection table poisoned");
+                let mut conns = lock_ok(&shared.conns);
                 if conn.open.load(Ordering::Acquire) {
                     conns.insert(
                         conn_id,
                         ConnEntry {
                             shared: conn,
                             reader: Some(reader),
+                            writer: Some(writer),
                         },
                     );
                 } else {
-                    // The reader already finished and removed itself; join
-                    // it here so nothing dangles.
+                    // The reader already finished (and found no table
+                    // entry to reap); join both threads here so nothing
+                    // dangles.
                     drop(conns);
                     let _ = reader.join();
+                    let _ = writer.join();
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -627,7 +995,20 @@ fn reader_loop(mut stream: TcpStream, conn: &Arc<ConnShared>, shared: &Arc<Share
         match read_frame(&mut stream, shared.config.max_frame) {
             Ok(doc) => {
                 shared.counters.frames.fetch_add(1, Ordering::Relaxed);
-                handle_frame(&doc, conn, shared);
+                // Inline work (compiles, admission) panicking must not
+                // take the reader down: the client gets `internal-error`
+                // and keeps its connection.
+                let id = doc.get("id").and_then(Json::as_i64);
+                if catch_unwind(AssertUnwindSafe(|| handle_frame(&doc, conn, shared))).is_err() {
+                    shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                    conn.send(
+                        &ErrorFrame::new(
+                            error_kind::INTERNAL,
+                            "the server hit an internal error handling this request",
+                        )
+                        .into_frame(id),
+                    );
+                }
             }
             Err(FrameError::Eof) => return,
             Err(FrameError::Truncated(_)) => return,
@@ -760,7 +1141,24 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
             tenant,
             source,
             verify,
+            deadline_ms,
         } => {
+            // Compilation is not interruptible, so the deadline is checked
+            // at the only point it can be: before the work starts. A lint
+            // that arrives already expired (client-side queueing) is
+            // answered without paying for a compile.
+            if deadline_ms == Some(0) {
+                shared
+                    .counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.send(
+                    &ErrorFrame::new(error_kind::DEADLINE_EXCEEDED, "request deadline exceeded")
+                        .retry_after(CAPACITY_RETRY_MS)
+                        .into_frame(Some(id)),
+                );
+                return;
+            }
             // Linting is compile-shaped work: same inline path, same
             // compile pricing, same cache (a prior `compile` of the same
             // source is a free hit).
@@ -806,12 +1204,7 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
             }
         }
         Request::Cancel { id, target } => {
-            if let Some(token) = conn
-                .cancels
-                .lock()
-                .expect("cancel registry poisoned")
-                .get(&target)
-            {
+            if let Some(token) = lock_ok(&conn.cancels).get(&target) {
                 token.store(true, Ordering::Release);
             }
             conn.send(&proto::resp_ack(id));
@@ -823,6 +1216,7 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
             method,
             args,
             limits,
+            deadline_ms,
         } => admit(
             shared,
             conn,
@@ -830,11 +1224,13 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
             tenant,
             &program,
             limits,
+            deadline_ms,
             JobKind::Call { method, args },
         ),
         Request::Query { id, tenant, spec } => {
             let program = spec.program.clone();
             let limits = spec.limits;
+            let deadline_ms = spec.deadline_ms;
             admit(
                 shared,
                 conn,
@@ -842,6 +1238,7 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
                 tenant,
                 &program,
                 limits,
+                deadline_ms,
                 JobKind::Query { spec },
             )
         }
@@ -853,6 +1250,7 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
         } => {
             let program = spec.program.clone();
             let limits = spec.limits;
+            let deadline_ms = spec.deadline_ms;
             admit(
                 shared,
                 conn,
@@ -860,6 +1258,7 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
                 tenant,
                 &program,
                 limits,
+                deadline_ms,
                 JobKind::Stream { spec, batch },
             )
         }
@@ -868,7 +1267,9 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
 
 /// The admission path every unit of query work goes through: resolve the
 /// cached program, clamp limits to the tenant profile, reserve the step
-/// grant, and enqueue under the tenant's queue bound.
+/// grant, register the deadline, and enqueue under the tenant's queue
+/// bound.
+#[allow(clippy::too_many_arguments)]
 fn admit(
     shared: &Arc<Shared>,
     conn: &Arc<ConnShared>,
@@ -876,6 +1277,7 @@ fn admit(
     tenant: String,
     program_key: &str,
     limits: LimitsSpec,
+    deadline_ms: Option<u64>,
     kind: JobKind,
 ) {
     let Some(program) = shared.cache.lookup(program_key) else {
@@ -908,6 +1310,14 @@ fn admit(
             return;
         }
     };
+    let cancel = conn.register_cancel(id);
+    // The deadline clock starts at admission and covers queue time: a
+    // request stuck behind a backlog expires in place (the watchdog fires
+    // its cancel token, and workers check again at pickup).
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    if let Some(deadline) = deadline {
+        lock_ok(&shared.deadlines).push((deadline, Arc::downgrade(&cancel)));
+    }
     let job = Job {
         id,
         tenant,
@@ -920,10 +1330,11 @@ fn admit(
             max_steps: grant.granted(),
         },
         grant,
-        cancel: conn.register_cancel(id),
+        cancel,
+        deadline,
         kind,
     };
-    let mut state = shared.sched.state.lock().expect("scheduler poisoned");
+    let mut state = lock_ok(&shared.sched.state);
     match state.push(job, shared.config.queue_depth) {
         None => {
             drop(state);
@@ -957,8 +1368,17 @@ fn admit(
 
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
+        // The injected between-jobs panic deliberately runs *outside* the
+        // dispatch `catch_unwind`: the thread dies with no job in hand
+        // (the queue is untouched, no request is lost) and the supervisor
+        // must respawn it.
+        if let Some(faults) = &shared.faults {
+            if faults.fire(Site::PanicWorker) {
+                panic!("injected fault: worker panic between jobs");
+            }
+        }
         let job = {
-            let mut state = shared.sched.state.lock().expect("scheduler poisoned");
+            let mut state = lock_ok(&shared.sched.state);
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -966,19 +1386,27 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if let Some(job) = state.pop() {
                     break job;
                 }
-                state = shared.sched.ready.wait(state).expect("scheduler poisoned");
+                state = match shared.sched.ready.wait(state) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
         };
-        match job.kind {
-            JobKind::Call { .. } => run_call(shared, job),
-            JobKind::Stream { .. } => run_stream(shared, job),
+        if let Some(faults) = &shared.faults {
+            if faults.fire(Site::Stall) {
+                // A stuck solver: sleep with the job in hand, so deadlines
+                // and cancellation race real elapsed time.
+                std::thread::sleep(Duration::from_millis(faults.stall_ms()));
+            }
+        }
+        let batch = match job.kind {
             JobKind::Query { .. } => {
                 // Coalesce whatever collect queries are ready *right now*
                 // into one batch on the shared pool (no waiting: batching
                 // must never add latency to a lone query).
                 let mut batch = vec![job];
                 if shared.config.batch_max > 1 {
-                    let mut state = shared.sched.state.lock().expect("scheduler poisoned");
+                    let mut state = lock_ok(&shared.sched.state);
                     while batch.len() < shared.config.batch_max {
                         match state.pop_query() {
                             Some(next) => batch.push(next),
@@ -986,10 +1414,113 @@ fn worker_loop(shared: &Arc<Shared>) {
                         }
                     }
                 }
-                run_query_batch(shared, batch);
+                batch
+            }
+            _ => vec![job],
+        };
+        dispatch(shared, batch);
+    }
+}
+
+/// Runs one popped unit of work — a call, a stream, or a coalesced query
+/// batch — under `catch_unwind`: a panicking request answers
+/// `internal-error` instead of killing the worker. Grants held by the
+/// panicking scope refund through the unwind (`Grant::drop` runs), so
+/// quota conservation survives the panic.
+fn dispatch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    let ctx: Vec<(i64, Arc<ConnShared>)> = batch
+        .iter()
+        .map(|job| (job.id, Arc::clone(&job.conn)))
+        .collect();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut batch = batch;
+        if matches!(batch[0].kind, JobKind::Query { .. }) {
+            run_query_batch(shared, batch);
+        } else {
+            let job = batch.pop().expect("dispatch batch is never empty");
+            match job.kind {
+                JobKind::Call { .. } => run_call(shared, job),
+                JobKind::Stream { .. } => run_stream(shared, job),
+                JobKind::Query { .. } => unreachable!("query handled above"),
             }
         }
+    }));
+    if outcome.is_err() {
+        shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+        for (id, conn) in ctx {
+            conn.forget_cancel(id);
+            // A panic mid-batch answers every member: at worst a client
+            // whose reply already went out sees a duplicate id and drops
+            // it; a client still waiting must not hang forever.
+            conn.send(
+                &ErrorFrame::new(
+                    error_kind::INTERNAL,
+                    "the request hit an internal error; its work was abandoned",
+                )
+                .into_frame(Some(id)),
+            );
+        }
     }
+}
+
+/// The injected mid-request panic: fires *inside* the worker's
+/// `catch_unwind`, exercising panic isolation end to end.
+fn fire_panic_request(shared: &Arc<Shared>) {
+    if let Some(faults) = &shared.faults {
+        if faults.fire(Site::PanicRequest) {
+            panic!("injected fault: request execution panic");
+        }
+    }
+}
+
+/// Answers a request whose cancel token had already fired when a worker
+/// picked it up: past its deadline that is a retryable
+/// `deadline-exceeded`; an explicit cancel or a disconnect gets no reply
+/// (the client stopped waiting for one).
+fn report_expired_pickup(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    id: i64,
+    deadline: Option<Instant>,
+) {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        shared
+            .counters
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        conn.send(
+            &ErrorFrame::new(
+                error_kind::DEADLINE_EXCEEDED,
+                "request deadline exceeded while queued",
+            )
+            .retry_after(CAPACITY_RETRY_MS)
+            .into_frame(Some(id)),
+        );
+    }
+}
+
+/// Maps a failed run onto the wire, classifying an engine `Interrupted`
+/// by *why* the token fired: past the request's deadline it is a
+/// retryable `deadline-exceeded`; otherwise an explicit `cancel` frame or
+/// a disconnect, reported as `cancelled`.
+fn rt_error_frame(
+    shared: &Arc<Shared>,
+    e: &crate::RtError,
+    deadline: Option<Instant>,
+) -> ErrorFrame {
+    if matches!(e.kind, RtErrorKind::Interrupted) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            return ErrorFrame::new(error_kind::DEADLINE_EXCEEDED, "request deadline exceeded")
+                .retry_after(CAPACITY_RETRY_MS);
+        }
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        return ErrorFrame::new(error_kind::CANCELLED, "the request was cancelled");
+    }
+    ErrorFrame::from_rt(e)
 }
 
 /// Resolves the method a spec names, plus the receiver it runs on (a bare
@@ -1017,32 +1548,41 @@ fn run_call(shared: &Arc<Shared>, job: Job) {
         limits,
         grant,
         cancel,
+        deadline,
         kind,
         ..
     } = job;
     let JobKind::Call { method, args } = kind else {
         unreachable!("run_call on a non-call job");
     };
-    conn.forget_cancel(id);
     if cancel.load(Ordering::Acquire) {
+        conn.forget_cancel(id);
+        report_expired_pickup(shared, &conn, id, deadline);
         drop(grant);
         return;
     }
     shared.counters.calls.fetch_add(1, Ordering::Relaxed);
+    fire_panic_request(shared);
     match program.free_method(&method) {
         Err(e) => {
+            conn.forget_cancel(id);
             drop(grant);
             conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id)));
         }
         Ok(mref) => {
-            let (outcome, steps) = mref.call_counted(None, args, limits);
+            // The cancel token rides into the engine's fuel polling, so a
+            // fired deadline (or an explicit cancel) interrupts the run
+            // within ~256 steps.
+            let (outcome, steps) =
+                mref.call_counted_interruptible(None, args, limits, Some(Arc::clone(&cancel)));
+            conn.forget_cancel(id);
             // steps=None (tree engine) settles the whole grant, matching
             // the query/stream paths: unmeterable work is charged at its
             // ceiling, never given away free.
             grant.settle(steps.unwrap_or(limits.max_steps));
             match outcome {
                 Ok(value) => conn.send(&proto::resp_value(id, &value)),
-                Err(e) => conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id))),
+                Err(e) => conn.send(&rt_error_frame(shared, &e, deadline).into_frame(Some(id))),
             };
         }
     }
@@ -1055,6 +1595,7 @@ fn run_query_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         .counters
         .queries
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    fire_panic_request(shared);
     // Build every query target first; jobs whose resolution fails answer
     // immediately and drop out of the batch.
     struct Ready {
@@ -1066,6 +1607,8 @@ fn run_query_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         receiver: Option<Value>,
         known: Bindings,
         limits: Limits,
+        cancel: Arc<AtomicBool>,
+        deadline: Option<Instant>,
     }
     let mut ready: Vec<Ready> = Vec::with_capacity(batch.len());
     for job in batch {
@@ -1076,19 +1619,22 @@ fn run_query_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             limits,
             grant,
             cancel,
+            deadline,
             kind,
             ..
         } = job;
         let JobKind::Query { spec } = kind else {
             unreachable!("non-query job in a query batch");
         };
-        conn.forget_cancel(id);
         if cancel.load(Ordering::Acquire) {
+            conn.forget_cancel(id);
+            report_expired_pickup(shared, &conn, id, deadline);
             drop(grant);
             continue;
         }
         match resolve_target(&program, &spec) {
             Err(e) => {
+                conn.forget_cancel(id);
                 drop(grant);
                 conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(id)));
             }
@@ -1101,6 +1647,8 @@ fn run_query_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                 receiver,
                 known: known_bindings(&spec),
                 limits,
+                cancel,
+                deadline,
             }),
         }
     }
@@ -1116,7 +1664,7 @@ fn run_query_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         for (i, r) in ready.iter().enumerate() {
             match r.mref.iterate(r.receiver.as_ref(), &r.known) {
                 Ok(q) => {
-                    queries.push(q.limits(r.limits));
+                    queries.push(q.limits(r.limits).interrupt(Arc::clone(&r.cancel)));
                     slots.push(i);
                 }
                 // A build failure (e.g. mode mismatch) did no solver work.
@@ -1134,6 +1682,7 @@ fn run_query_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     }
     for (r, result) in ready.into_iter().zip(results) {
         let (outcome, steps) = result.expect("every ready slot is filled");
+        r.conn.forget_cancel(r.id);
         // steps=None (tree engine) settles the whole grant: unmeterable
         // work is charged at its ceiling, never given away free.
         r.grant.settle(steps.unwrap_or(r.limits.max_steps));
@@ -1142,7 +1691,8 @@ fn run_query_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                 r.conn.send(&proto::resp_solutions(r.id, &solutions, steps));
             }
             Err(e) => {
-                r.conn.send(&ErrorFrame::from_rt(&e).into_frame(Some(r.id)));
+                r.conn
+                    .send(&rt_error_frame(shared, &e, r.deadline).into_frame(Some(r.id)));
             }
         }
     }
@@ -1156,6 +1706,7 @@ fn run_stream(shared: &Arc<Shared>, job: Job) {
         limits,
         grant,
         cancel,
+        deadline,
         kind,
         ..
     } = job;
@@ -1165,9 +1716,11 @@ fn run_stream(shared: &Arc<Shared>, job: Job) {
     shared.counters.streams.fetch_add(1, Ordering::Relaxed);
     if cancel.load(Ordering::Acquire) {
         conn.forget_cancel(id);
+        report_expired_pickup(shared, &conn, id, deadline);
         drop(grant);
         return;
     }
+    fire_panic_request(shared);
     let (mref, receiver) = match resolve_target(&program, &spec) {
         Ok(pair) => pair,
         Err(e) => {
@@ -1179,7 +1732,7 @@ fn run_stream(shared: &Arc<Shared>, job: Job) {
     };
     let known = known_bindings(&spec);
     let query = match mref.iterate(receiver.as_ref(), &known) {
-        Ok(q) => q.limits(limits),
+        Ok(q) => q.limits(limits).interrupt(Arc::clone(&cancel)),
         Err(e) => {
             conn.forget_cancel(id);
             drop(grant);
@@ -1221,9 +1774,26 @@ fn run_stream(shared: &Arc<Shared>, job: Job) {
     // which is the "return the unused SharedBudget grant" guarantee.
     grant.settle(steps.unwrap_or(limits.max_steps));
     conn.forget_cancel(id);
-    if cancelled {
-        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-        conn.send(&proto::resp_stream_done(id, count, true, steps));
+    // The enumeration can notice the fired token itself (an engine
+    // `Interrupted` error) or the loop above can (flag/connection check);
+    // both mean the same thing and classify the same way.
+    let interrupted =
+        cancelled || matches!(&error, Some(e) if matches!(e.kind, RtErrorKind::Interrupted));
+    if interrupted {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            conn.send(
+                &ErrorFrame::new(error_kind::DEADLINE_EXCEEDED, "request deadline exceeded")
+                    .retry_after(CAPACITY_RETRY_MS)
+                    .into_frame(Some(id)),
+            );
+        } else {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            conn.send(&proto::resp_stream_done(id, count, true, steps));
+        }
         return;
     }
     if !pending.is_empty() && !conn.send(&proto::resp_batch(id, seq, &pending)) {

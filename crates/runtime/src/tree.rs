@@ -12,7 +12,7 @@
 use crate::{Bindings, Flow, Object, RtError, RtResult, Value};
 use jmatch_core::table::{ClassTable, MethodInfo};
 use jmatch_syntax::ast::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The tree-walking interpreter (the legacy engine).
@@ -25,6 +25,9 @@ pub struct TreeWalker {
     max_steps: u64,
     /// Solver steps spent so far across this walker's queries.
     steps: AtomicU64,
+    /// External interrupt token (cancellation / request deadline), polled
+    /// every 256 solver steps like the plan engines' fuel quantum.
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Clone for TreeWalker {
@@ -34,6 +37,7 @@ impl Clone for TreeWalker {
             max_depth: self.max_depth,
             max_steps: self.max_steps,
             steps: AtomicU64::new(self.steps.load(Ordering::Relaxed)),
+            interrupt: self.interrupt.clone(),
         }
     }
 }
@@ -46,7 +50,15 @@ impl TreeWalker {
             max_depth: 10_000,
             max_steps: u64::MAX,
             steps: AtomicU64::new(0),
+            interrupt: None,
         }
+    }
+
+    /// Attaches an external interrupt token; a fired token surfaces as an
+    /// [`RtErrorKind::Interrupted`](crate::RtErrorKind::Interrupted) error
+    /// at the next poll boundary.
+    pub(crate) fn set_interrupt(&mut self, token: Option<Arc<AtomicBool>>) {
+        self.interrupt = token;
     }
 
     /// A walker with explicit depth / step ceilings (the [`crate::Limits`]
@@ -57,6 +69,7 @@ impl TreeWalker {
             max_depth,
             max_steps,
             steps: AtomicU64::new(0),
+            interrupt: None,
         }
     }
 
@@ -165,12 +178,20 @@ impl TreeWalker {
         depth: usize,
         emit: &mut dyn FnMut(&Bindings) -> bool,
     ) -> RtResult<bool> {
-        if self.steps.fetch_add(1, Ordering::Relaxed) + 1 > self.max_steps {
+        let spent = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if spent > self.max_steps {
             return Err(RtError::limit(
                 "steps",
                 self.max_steps,
                 "solver step budget exceeded",
             ));
+        }
+        if spent & 0xFF == 0 {
+            if let Some(token) = &self.interrupt {
+                if token.load(Ordering::Relaxed) {
+                    return Err(RtError::interrupted());
+                }
+            }
         }
         if depth > self.max_depth {
             return Err(RtError::limit(

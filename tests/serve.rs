@@ -762,3 +762,84 @@ fn shutdown_joins_accept_workers_and_connection_readers() {
     server.shutdown();
     assert_threads_settle(baseline, "server shutdown");
 }
+
+// ---------------------------------------------------------------------------
+// Request deadlines (wire-level; timing-dependent paths live in
+// tests/fault_injection.rs)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_deadline_is_rejected_before_any_work_with_a_retry_hint() {
+    let (server, mut client) = boot(test_config());
+    // A deadline that has already elapsed is rejected up front — even on
+    // `lint`, whose compilation phase is not interruptible — without
+    // spending a compile on it.
+    client
+        .send(&Json::obj(vec![
+            ("op", Json::Str("lint".into())),
+            ("id", Json::Int(9)),
+            ("source", Json::Str(SMALL_SRC.into())),
+            ("deadline_ms", Json::Int(0)),
+        ]))
+        .expect("send lint");
+    let reply = client.recv().expect("lint verdict");
+    assert_eq!(reply.get("id"), Some(&Json::Int(9)));
+    assert_eq!(error_kind_of(&reply), "deadline-exceeded");
+    assert!(reply
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Json::as_i64)
+        .is_some_and(|ms| ms > 0));
+    assert_eq!(server.metrics().deadline_exceeded, 1);
+    assert_eq!(server.metrics().cache.misses, 0, "no compile was spent");
+    server.shutdown();
+}
+
+#[test]
+fn negative_deadline_is_a_protocol_error() {
+    let (server, mut client) = boot(test_config());
+    let key = compile_ok(&mut client, SMALL_SRC);
+    client
+        .send(&Json::obj(vec![
+            ("op", Json::Str("query".into())),
+            ("id", Json::Int(11)),
+            ("program", Json::Str(key)),
+            ("method", Json::Str("below".into())),
+            ("known", Json::obj(vec![("n", Json::Int(3))])),
+            ("deadline_ms", Json::Int(-5)),
+        ]))
+        .expect("send query");
+    let reply = client.recv().expect("verdict");
+    assert_eq!(reply.get("id"), Some(&Json::Int(11)));
+    assert_eq!(error_kind_of(&reply), "protocol");
+    server.shutdown();
+}
+
+#[test]
+fn generous_deadlines_do_not_perturb_results() {
+    let (server, mut client) = boot(test_config());
+    let key = compile_ok(&mut client, SMALL_SRC);
+    let mut options = QueryOptions::new(&key, "below");
+    options.known = vec![("n".into(), Value::Int(3))];
+    let plain = client.query(&options).expect("undeadlined query");
+    options.deadline_ms = Some(60_000);
+    let deadlined = client.query(&options).expect("deadlined query");
+    assert_eq!(deadlined.get("ok"), Some(&Json::Bool(true)), "{deadlined}");
+    assert_eq!(
+        deadlined.get("solutions"),
+        plain.get("solutions"),
+        "a generous deadline changed the solution transcript"
+    );
+    let reply = client
+        .call_with_deadline(
+            "default",
+            &key,
+            "add",
+            &[Value::Int(20), Value::Int(22)],
+            60_000,
+        )
+        .expect("deadlined call");
+    assert_eq!(reply.get("value"), Some(&Json::Int(42)), "{reply}");
+    assert_eq!(server.metrics().deadline_exceeded, 0);
+    server.shutdown();
+}

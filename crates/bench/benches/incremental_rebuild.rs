@@ -1,0 +1,145 @@
+//! Criterion bench for the incremental-recompilation win: a resident
+//! [`Workspace`] re-verifying the Table 1 corpus after a one-method body
+//! edit versus compiling each edited source from scratch, plus the
+//! parallel-verification wall time at 1, 2, and 8 workers; the recorded
+//! numbers live in `BENCH_incremental.json` and the README's
+//! "Incremental compilation" section.
+//!
+//! The incremental path is only worth timing if it is indistinguishable
+//! from a full rebuild, so the bench asserts up front — for every corpus
+//! entry — that the post-edit generation's diagnostics match a scratch
+//! compile's, that only the edited method was re-verified, and that 1, 2,
+//! and 8 verify workers produce identical diagnostics in identical order.
+//! This is what `cargo bench -p jmatch-bench --bench incremental_rebuild
+//! -- --test` exercises in CI.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jmatch_runtime::{Program, Workspace};
+
+/// Corpus entries with an appended probe method whose body the edits
+/// toggle: same type structure and method set in both variants, so the
+/// rebuild stays on the incremental path and re-verifies only the probe.
+fn corpus_variants() -> Vec<(&'static str, String, String)> {
+    jmatch_corpus::entries()
+        .iter()
+        .filter_map(|e| {
+            let src = e.combined_jmatch();
+            Workspace::new().verify(false).compile(&src).ok()?;
+            let base = format!("{src}\nstatic int benchProbe() {{ return 1; }}");
+            let edited = format!("{src}\nstatic int benchProbe() {{ return 2; }}");
+            Some((e.name, base, edited))
+        })
+        .collect()
+}
+
+fn diag_lines(program: &Program) -> Vec<String> {
+    let d = program.diagnostics();
+    d.errors
+        .iter()
+        .map(ToString::to_string)
+        .chain(d.warnings.iter().map(ToString::to_string))
+        .collect()
+}
+
+fn verify_corpus(sources: &[(&'static str, String, String)], threads: usize) -> Vec<Vec<String>> {
+    sources
+        .iter()
+        .map(|(_, base, _)| {
+            let program = Workspace::new()
+                .verify(true)
+                .verify_threads(threads)
+                .compile(base)
+                .expect("corpus entry compiles");
+            diag_lines(&program)
+        })
+        .collect()
+}
+
+fn bench_incremental_rebuild(c: &mut Criterion) {
+    let sources = corpus_variants();
+    assert!(sources.len() >= 10, "corpus unexpectedly small");
+
+    // Correctness gates before any timing.
+    for (name, base, edited) in &sources {
+        let mut ws = Workspace::new().verify(true);
+        ws.load(base).expect("base variant compiles");
+        let g = ws.update_source(edited).expect("edited variant compiles");
+        assert!(
+            !g.report().full,
+            "{name}: body edit fell off the incremental path"
+        );
+        assert_eq!(
+            g.report().reverified,
+            ["<toplevel>.benchProbe"],
+            "{name}: a one-method edit re-verified more than the method"
+        );
+        let scratch = Workspace::new().verify(true).compile(edited).unwrap();
+        assert_eq!(
+            diag_lines(g.program()),
+            diag_lines(&scratch),
+            "{name}: incremental diagnostics diverge from a full rebuild"
+        );
+    }
+    let baseline = verify_corpus(&sources, 1);
+    for threads in [2, 8] {
+        assert_eq!(
+            verify_corpus(&sources, threads),
+            baseline,
+            "{threads}-worker verification diverges from 1 worker"
+        );
+    }
+
+    let mut group = c.benchmark_group("incremental_rebuild");
+    group.sample_size(10);
+
+    // The headline pair: whole-corpus re-verify after a one-method body
+    // edit, resident workspace vs from-scratch rebuilds.
+    let mut workspaces: Vec<Workspace> = sources
+        .iter()
+        .map(|(_, base, _)| {
+            let mut ws = Workspace::new().verify(true);
+            ws.load(base).expect("base variant compiles");
+            ws
+        })
+        .collect();
+    let mut flip = false;
+    group.bench_function("corpus_one_edit/incremental", |b| {
+        b.iter(|| {
+            flip = !flip;
+            for (ws, (_, base, edited)) in workspaces.iter_mut().zip(&sources) {
+                let next = if flip { edited } else { base };
+                black_box(ws.update_source(next).expect("edit compiles"));
+            }
+        })
+    });
+    group.bench_function("corpus_one_edit/from_scratch", |b| {
+        b.iter(|| {
+            flip = !flip;
+            for (_, base, edited) in &sources {
+                let next = if flip { edited } else { base };
+                black_box(
+                    Workspace::new()
+                        .verify(true)
+                        .compile(next)
+                        .expect("compiles"),
+                );
+            }
+        })
+    });
+
+    // Parallel verification wall time: whole-corpus full verify at 1, 2,
+    // and 8 workers (sharded per-method solver sessions).
+    for threads in [1usize, 2, 8] {
+        group.bench_function(format!("corpus_full_verify/{threads}_threads"), |b| {
+            b.iter(|| black_box(verify_corpus(&sources, threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_incremental_rebuild
+}
+criterion_main!(benches);

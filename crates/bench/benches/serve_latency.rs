@@ -19,7 +19,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use jmatch_runtime::serve::json::Json;
 use jmatch_runtime::serve::proto::bindings_to_json;
 use jmatch_runtime::serve::{Client, QueryOptions, ServeConfig, Server};
-use jmatch_runtime::{Bindings, Compiler, Value};
+use jmatch_runtime::{Bindings, Value, Workspace};
 
 const SRC: &str = "\
 static boolean below(int n, int x) iterates(x)
@@ -47,7 +47,7 @@ fn bench_serve_latency(c: &mut Criterion) {
 
     // Correctness before speed: the wire transcript must match the
     // sequential embedding-API oracle exactly.
-    let program = Compiler::new().verify(false).compile(SRC).expect("oracle");
+    let program = Workspace::new().verify(false).compile(SRC).expect("oracle");
     let mut known = Bindings::new();
     known.insert("n".into(), Value::Int(8));
     let expected: Vec<Json> = program

@@ -16,7 +16,7 @@
 use jmatch_core::table::ClassTable;
 use jmatch_core::{compile, extract, CompileOptions, Diagnostics, Verifier, VerifyOptions};
 use jmatch_corpus::CorpusEntry;
-use jmatch_runtime::{args, Bindings, Compiler, Engine, Program, Query, Value};
+use jmatch_runtime::{args, Bindings, Engine, Program, Query, Value, Workspace};
 use jmatch_syntax::ast::{CmpOp, Expr, Formula};
 use jmatch_syntax::{count_tokens, parse_formula};
 use std::sync::Arc;
@@ -440,7 +440,7 @@ pub fn runtime_workload_source() -> String {
 /// engine. For the plan engine this includes the one-time lowering cost,
 /// which the per-call workloads then amortize.
 pub fn runtime_program(engine: Engine) -> Program {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .max_expansion_depth(2)
         .engine(engine)
@@ -586,7 +586,7 @@ pub fn first_element_lazy(query: &Query<'_>) -> i64 {
 /// field resolution — the hot path the slot-indexed object layout
 /// replaces per-field hash lookups on.
 pub fn repr_field_program(engine: Engine) -> Program {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .engine(engine)
         .compile(REPR_FIELD_SOURCE)
@@ -632,7 +632,7 @@ pub const REPR_FIELD_SOURCE: &str = r#"
 /// the goal trees and statement plans, `after` runs the flat register
 /// bytecode).
 pub fn plan_program_bytecode(source: &str, bytecode: bool) -> Program {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .max_expansion_depth(2)
         .engine(Engine::Plan)
@@ -652,7 +652,7 @@ pub fn plan_program_bytecode(source: &str, bytecode: bool) -> Program {
 /// (`oracle` keeps every choice point and unpruned arm, `analyzed` commits
 /// det modes and prunes dead alternatives).
 pub fn plan_program_analysis(source: &str, analysis: bool) -> Program {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .max_expansion_depth(2)
         .engine(Engine::Plan)
@@ -760,7 +760,7 @@ pub fn repr_dispatch_source() -> String {
 
 /// Builds the dispatch program on the given engine.
 pub fn repr_dispatch_program(engine: Engine) -> Program {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .engine(engine)
         .compile(&repr_dispatch_source())
@@ -849,7 +849,7 @@ pub const PARALLEL_TREE_SOURCE: &str = r#"
 
 /// Compiles the parallel-scaling program on the plan engine.
 pub fn parallel_program() -> Program {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .compile(PARALLEL_TREE_SOURCE)
         .expect("parallel workload program parses");

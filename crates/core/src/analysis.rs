@@ -222,6 +222,10 @@ pub struct AnalysisReport {
     pub det_forms: usize,
     /// Final facts per plan: `[forward, matching, equals_bound]`.
     pub(crate) facts: Vec<[FormFacts; 3]>,
+    /// Range of [`AnalysisReport::prunes`] contributed by each plan
+    /// (`start, len`), so incremental re-analysis can carry a clean plan's
+    /// records forward exactly.
+    pub(crate) prune_index: Vec<(u32, u32)>,
 }
 
 impl AnalysisReport {
@@ -236,14 +240,50 @@ impl AnalysisReport {
 /// and returns the report.
 pub fn analyze(
     table: &Arc<ClassTable>,
-    methods: &mut [MethodPlan],
+    methods: &mut [Arc<MethodPlan>],
     dispatch: &[DispatchTable],
     opts: &AnalysisOptions,
+) -> AnalysisReport {
+    analyze_incremental(table, methods, dispatch, opts, None)
+}
+
+/// [`analyze`] with carry-forward: when `prev` is `Some((report, dirty))`,
+/// pass A (pruning, the potentially solver-backed rewrite) runs only on
+/// plans with `dirty[pid]`, copying the previous report's prune records for
+/// clean plans — whose goals are already the pruned ones, shared by `Arc`
+/// from the previous generation. The determinism fixpoint (pass B) and the
+/// lints (pass C) are cheap and inter-procedural, so they re-run globally;
+/// a clean plan's `det` bits are rewritten (via [`Arc::make_mut`]) only
+/// when they actually changed, preserving pointer equality — and therefore
+/// bytecode reuse — for plans the edit did not affect.
+pub fn analyze_incremental(
+    table: &Arc<ClassTable>,
+    methods: &mut [Arc<MethodPlan>],
+    dispatch: &[DispatchTable],
+    opts: &AnalysisOptions,
+    prev: Option<(&AnalysisReport, &[bool])>,
 ) -> AnalysisReport {
     let mut report = AnalysisReport::default();
 
     // Pass A: dead-alternative pruning (rewrites the plans).
-    for method in methods.iter_mut() {
+    for pid in 0..methods.len() {
+        if let Some((prev_report, dirty)) = prev {
+            if !dirty[pid] {
+                // Clean plan: the shared goals are already pruned; carry
+                // the previous records forward verbatim.
+                let start = report.prunes.len() as u32;
+                if let Some(&(s, l)) = prev_report.prune_index.get(pid) {
+                    report
+                        .prunes
+                        .extend_from_slice(&prev_report.prunes[s as usize..(s + l) as usize]);
+                }
+                report
+                    .prune_index
+                    .push((start, report.prunes.len() as u32 - start));
+                continue;
+            }
+        }
+        let method = Arc::make_mut(&mut methods[pid]);
         let ctx = method.info.qualified_name();
         let mut prunes = Vec::new();
         match &mut method.body {
@@ -262,7 +302,7 @@ pub fn analyze(
             BodyPlan::Absent => {}
         }
         if !prunes.is_empty() && opts.smt {
-            let confirmed = smt_confirms_redundancy(table, method);
+            let confirmed = smt_confirms_redundancy(table, &methods[pid]);
             for p in &mut prunes {
                 if matches!(
                     p.justification,
@@ -272,10 +312,14 @@ pub fn analyze(
                 }
             }
         }
+        let start = report.prunes.len() as u32;
         for mut p in prunes {
             p.context = ctx.clone();
             report.prunes.push(p);
         }
+        report
+            .prune_index
+            .push((start, report.prunes.len() as u32 - start));
     }
 
     // Pass B: determinism / cardinality fixpoint.
@@ -333,21 +377,48 @@ pub fn analyze(
             break;
         }
     }
-    for (pid, m) in methods.iter_mut().enumerate() {
-        if let BodyPlan::Formula {
-            forward,
-            matching,
-            equals_bound,
-        } = &mut m.body
-        {
-            forward.det = facts[pid][0].det();
-            matching.det = facts[pid][1].det();
-            report.forms += 2;
-            report.det_forms += usize::from(forward.det) + usize::from(matching.det);
-            if let Some(eb) = equals_bound {
-                eb.det = facts[pid][2].det();
-                report.forms += 1;
-                report.det_forms += usize::from(eb.det);
+    for pid in 0..methods.len() {
+        // Compare before writing: rewriting a shared plan's `det` bits
+        // through `Arc::make_mut` would clone it and break the pointer
+        // equality incremental recompilation keys bytecode reuse on, so
+        // only plans whose bits actually changed are touched.
+        let (want_f, want_m, want_e) = (
+            facts[pid][0].det(),
+            facts[pid][1].det(),
+            facts[pid][2].det(),
+        );
+        let Some((cur_f, cur_m, cur_e)) = (match &methods[pid].body {
+            BodyPlan::Formula {
+                forward,
+                matching,
+                equals_bound,
+            } => Some((
+                forward.det,
+                matching.det,
+                equals_bound.as_ref().map(|eb| eb.det),
+            )),
+            _ => None,
+        }) else {
+            continue;
+        };
+        report.forms += 2 + usize::from(cur_e.is_some());
+        report.det_forms += usize::from(want_f) + usize::from(want_m);
+        if cur_e.is_some() {
+            report.det_forms += usize::from(want_e);
+        }
+        let dirty = cur_f != want_f || cur_m != want_m || cur_e.is_some_and(|e| e != want_e);
+        if dirty {
+            if let BodyPlan::Formula {
+                forward,
+                matching,
+                equals_bound,
+            } = &mut Arc::make_mut(&mut methods[pid]).body
+            {
+                forward.det = want_f;
+                matching.det = want_m;
+                if let Some(eb) = equals_bound {
+                    eb.det = want_e;
+                }
             }
         }
     }
@@ -720,7 +791,7 @@ fn collect_slot_types(form: &SolvedForm, method: Option<&MethodPlan>) -> Vec<Opt
 /// Context of one solved-form analysis.
 struct FormCx<'a> {
     table: &'a ClassTable,
-    methods: &'a [MethodPlan],
+    methods: &'a [Arc<MethodPlan>],
     dispatch: &'a [DispatchTable],
     facts: &'a [[FormFacts; 3]],
     /// Owner class of the method (the static type of `this`).
@@ -733,7 +804,7 @@ struct FormCx<'a> {
 /// method, against the current fixpoint facts.
 fn method_form_facts(
     table: &ClassTable,
-    methods: &[MethodPlan],
+    methods: &[Arc<MethodPlan>],
     dispatch: &[DispatchTable],
     facts: &[[FormFacts; 3]],
     method: &MethodPlan,
@@ -1520,7 +1591,7 @@ fn count_slots(g: &Goal, intro: &mut HashMap<SlotId, usize>, uses: &mut HashMap<
 
 /// A `T x` declaration pattern whose binding is never read afterwards:
 /// `T _` expresses the intent without the dead name.
-fn lint_unused_bindings(methods: &[MethodPlan], out: &mut Vec<Warning>) {
+fn lint_unused_bindings(methods: &[Arc<MethodPlan>], out: &mut Vec<Warning>) {
     for m in methods {
         let BodyPlan::Formula {
             forward, matching, ..
@@ -1563,7 +1634,7 @@ fn lint_unused_bindings(methods: &[MethodPlan], out: &mut Vec<Warning>) {
 /// An `Invoke`/constructor-pattern whose dispatch table has no declarative
 /// implementation at all: the atom fails (or errors) for every receiver.
 fn lint_always_failing_invokes(
-    methods: &[MethodPlan],
+    methods: &[Arc<MethodPlan>],
     dispatch: &[DispatchTable],
     out: &mut Vec<Warning>,
 ) {
@@ -1655,7 +1726,11 @@ fn collect_invokes(g: &Goal, out: &mut Vec<(String, u32)>) {
 /// every non-`private` method, every class constructor, every free
 /// method, and every `equals` implementation (the deep-equality bridge
 /// dispatches to them implicitly).
-fn lint_dead_methods(methods: &[MethodPlan], dispatch: &[DispatchTable], out: &mut Vec<Warning>) {
+fn lint_dead_methods(
+    methods: &[Arc<MethodPlan>],
+    dispatch: &[DispatchTable],
+    out: &mut Vec<Warning>,
+) {
     let mut reachable = vec![false; methods.len()];
     let mut work: Vec<PlanId> = Vec::new();
     for (pid, m) in methods.iter().enumerate() {
@@ -1842,7 +1917,7 @@ fn stmt_callees(stmts: &[StmtPlan], dispatch: &[DispatchTable], out: &mut Vec<Pl
 
 /// A matching-mode body whose *leftmost* atom re-invokes the method on the
 /// same receiver: the search recurses before anything shrank.
-fn lint_unbounded_recursion(methods: &[MethodPlan], out: &mut Vec<Warning>) {
+fn lint_unbounded_recursion(methods: &[Arc<MethodPlan>], out: &mut Vec<Warning>) {
     fn leftmost_self_call(g: &Goal, name: &str) -> bool {
         match g {
             Goal::Seq(gs) => gs.first().is_some_and(|f| leftmost_self_call(f, name)),

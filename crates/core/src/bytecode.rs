@@ -659,11 +659,44 @@ pub struct JumpTable {
 /// and the materialized dispatch tables, so call sites and switch arms can
 /// be specialized against the whole program (monomorphic getter inlining,
 /// native field-projection switches).
+///
+/// Every plan consulted through the context is also *recorded*: the
+/// accumulated [`BcCtx::take_deps`] set is what incremental recompilation
+/// uses to re-emit the bytecode of methods whose specializations looked at
+/// a body that has since changed.
 pub struct BcCtx<'a> {
     /// Every lowered method, indexed by [`PlanId`].
-    pub methods: &'a [MethodPlan],
+    pub methods: &'a [std::sync::Arc<MethodPlan>],
     /// The materialized dispatch tables, indexed by [`DispatchId`].
     pub dispatch: &'a [DispatchTable],
+    /// Plans consulted since the last [`BcCtx::take_deps`] drain.
+    deps: std::cell::RefCell<Vec<PlanId>>,
+}
+
+impl<'a> BcCtx<'a> {
+    /// A fresh compilation context with an empty dependency recorder.
+    pub fn new(methods: &'a [std::sync::Arc<MethodPlan>], dispatch: &'a [DispatchTable]) -> Self {
+        BcCtx {
+            methods,
+            dispatch,
+            deps: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Records that the current method's bytecode consulted `pid`'s plan.
+    fn record_dep(&self, pid: PlanId) {
+        self.deps.borrow_mut().push(pid);
+    }
+
+    /// Drains the plans consulted since the last drain, sorted and
+    /// deduplicated — one method's bytecode dependency edges when called
+    /// between per-method compilations.
+    pub fn take_deps(&self) -> Vec<PlanId> {
+        let mut deps = std::mem::take(&mut *self.deps.borrow_mut());
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
 }
 
 /// One register instruction of a [`BcBlock`].
@@ -1274,6 +1307,11 @@ impl<'a> BlockCompiler<'a> {
         argc: usize,
         has_this: bool,
     ) -> Option<(&'a PExpr, &'a [SlotId])> {
+        // Recorded whatever the outcome: a *negative* inlining decision
+        // also depends on the callee's body (the body changing may make it
+        // inlinable), so the caller's bytecode must be re-emitted either
+        // way when `pid` changes.
+        self.ctx.record_dep(pid);
         let mp = self.ctx.methods.get(pid)?;
         let BodyPlan::Block(bp) = &mp.body else {
             return None;
@@ -1469,7 +1507,9 @@ impl<'a> BlockCompiler<'a> {
             let (CallKind::StaticConstruct(cr) | CallKind::ClassCtor(cr)) = kind else {
                 return None;
             };
-            let mp = self.ctx.methods.get(cr.match_pid?)?;
+            let pid = cr.match_pid?;
+            self.ctx.record_dep(pid);
+            let mp = self.ctx.methods.get(pid)?;
             let proj = projection_syms(mp)?;
             if proj.len() != args.len() {
                 return None;

@@ -39,6 +39,7 @@ pub mod bytecode;
 pub mod diag;
 pub mod expand;
 pub mod extract;
+pub mod incremental;
 pub mod intern;
 pub mod lower;
 pub mod table;
@@ -49,6 +50,7 @@ pub use analysis::{AnalysisOptions, AnalysisReport, Justification, Prune};
 pub use diag::{CompileError, Diagnostics, Warning, WarningKind};
 pub use expand::JMatchExpander;
 pub use extract::{extract, Extracted};
+pub use incremental::{Fingerprints, RebuildStats, UnitFp, UnitKey, VerifyEngine};
 pub use intern::{Interner, Sym};
 pub use lower::{MethodPlan, PlanId, ProgramPlan, SlotId};
 pub use table::{ClassLayout, ClassTable, MethodInfo, Mode, TypeInfo};

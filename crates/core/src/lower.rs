@@ -619,6 +619,13 @@ pub struct MethodPlan {
     /// fills the layout straight from the arguments (`None` when bytecode
     /// emission is disabled or the form needs the solver).
     pub fast_ctor: Option<crate::bytecode::FastCtor>,
+    /// Plans whose *bodies* this method's bytecode specialized against
+    /// (inlined returned expressions, projection-switch shapes), recorded
+    /// during pass 4. Incremental recompilation re-emits this method's
+    /// bytecode whenever any of these plans changed; the edges are one level
+    /// deep by construction (inlining embeds the callee's plan expression,
+    /// not its bytecode), so no transitive closure is needed.
+    pub bc_deps: Vec<PlanId>,
 }
 
 // ---------------------------------------------------------------------------
@@ -705,7 +712,7 @@ impl DispatchRegistry {
 }
 
 /// Options of [`ProgramPlan::compile_with`]: which optional passes run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanOptions {
     /// Emit flat bytecode for every lowered body (pass 4). On by default;
     /// the plan-walking baseline of the `bytecode_vs_plan` bench turns it
@@ -739,11 +746,15 @@ impl Default for PlanOptions {
 #[derive(Debug, Clone)]
 pub struct ProgramPlan {
     table: Arc<ClassTable>,
-    methods: Vec<MethodPlan>,
+    /// One `Arc` per method plan so incremental recompilation can share
+    /// every unchanged plan between generations.
+    methods: Vec<Arc<MethodPlan>>,
     maps: PlanMaps,
     /// Dispatch table per registered name.
     dispatch_ids: HashMap<String, DispatchId>,
-    dispatch: Vec<DispatchTable>,
+    /// `Arc`-shared so a recompile that registers no new dispatched name
+    /// reuses the whole table block.
+    dispatch: Arc<[DispatchTable]>,
     /// The class constructor of each type, by type index.
     class_ctor_by_type: Box<[Option<PlanId>]>,
     /// The `equals` dispatch table (deep equality's hot lookup).
@@ -783,6 +794,192 @@ impl ProgramPlan {
     pub fn compile_with(table: Arc<ClassTable>, opts: PlanOptions) -> Arc<ProgramPlan> {
         let bytecode = opts.bytecode;
         // Pass 1: resolution maps, no lowering yet.
+        let (maps, infos) = Self::build_maps(&table);
+        // Every declared name gets a table up front so standalone-lowered
+        // formulas (built after compile) dispatch through them too.
+        let mut registry = DispatchRegistry::default();
+        for m in &infos {
+            registry.id_for(&m.decl.name);
+        }
+        // Pass 2: lower bodies against the complete maps.
+        let mut methods: Vec<Arc<MethodPlan>> = infos
+            .iter()
+            .map(|m| Arc::new(lower_method(&table, &maps, &mut registry, m)))
+            .collect();
+        // Pass 3: materialize the dispatch tables.
+        let n = table.num_types();
+        let type_names: Vec<&str> = table.types().map(|t| t.name.as_str()).collect();
+        let dispatch: Arc<[DispatchTable]> = registry
+            .names
+            .iter()
+            .map(|name| DispatchTable {
+                name: name.clone(),
+                by_type: type_names
+                    .iter()
+                    .map(|ty| maps.lookup_impl(&table, ty, name))
+                    .collect(),
+            })
+            .collect();
+        // Pass 3.5: static analysis — prune dead alternatives, infer
+        // determinism, collect lints. Runs after dispatch materialization
+        // (inter-procedural facts flow through the tables) and before
+        // bytecode emission (pass 4 compiles the *pruned* plans, so goal
+        // trees and bytecode stay mirror images).
+        let analysis = if opts.analysis {
+            Some(crate::analysis::analyze(
+                &table,
+                &mut methods,
+                &dispatch,
+                &crate::analysis::AnalysisOptions {
+                    smt: opts.smt_prune_check,
+                },
+            ))
+        } else {
+            None
+        };
+        // Pass 4: emit the flat bytecode of every lowered body.
+        if bytecode {
+            Self::emit_bytecode(&mut methods, &dispatch, None);
+        }
+        let class_ctor_by_type: Box<[Option<PlanId>]> = type_names
+            .iter()
+            .map(|ty| maps.class_ctor(&table, ty))
+            .collect();
+        debug_assert_eq!(class_ctor_by_type.len(), n);
+        let equals_dispatch = registry.ids.get("equals").copied();
+        Arc::new(ProgramPlan {
+            table,
+            methods,
+            maps,
+            dispatch_ids: registry.ids,
+            dispatch,
+            class_ctor_by_type,
+            equals_dispatch,
+            bc_enabled: bytecode,
+            analysis,
+        })
+    }
+
+    /// Recompiles after an edit whose [`structure`](crate::incremental::structure_hash)
+    /// is unchanged, sharing every clean plan with the previous generation.
+    ///
+    /// `dirty[pid]` must be true exactly for the plans whose body
+    /// fingerprint changed (with an unchanged structure, signatures are
+    /// constant, so bodies are the only thing that can differ). The caller
+    /// guarantees plan ids, interned symbols and dispatched names line up
+    /// with `prev` — which is what an unchanged structure hash certifies.
+    ///
+    /// Sharing is by `Arc`: clean plans are cloned pointers, the dispatch
+    /// block is reused wholesale when no new name was registered, and
+    /// bytecode is re-emitted only for changed plans and for plans whose
+    /// recorded [`MethodPlan::bc_deps`] intersect the changed set.
+    pub fn recompile(
+        prev: &ProgramPlan,
+        table: Arc<ClassTable>,
+        dirty: &[bool],
+        opts: PlanOptions,
+    ) -> Arc<ProgramPlan> {
+        let bytecode = opts.bytecode;
+        let (maps, infos) = Self::build_maps(&table);
+        assert_eq!(
+            infos.len(),
+            prev.methods.len(),
+            "recompile requires an unchanged program structure"
+        );
+        assert_eq!(dirty.len(), prev.methods.len());
+        // Seed the registry from the previous generation's dispatch names,
+        // in order: every DispatchId embedded in a reused plan's goals (and
+        // bytecode) keeps meaning the same name; new names append.
+        let mut registry = DispatchRegistry::default();
+        for t in prev.dispatch.iter() {
+            registry.id_for(&t.name);
+        }
+        let prev_names = registry.names.len();
+        // Pass 2': re-lower dirty bodies only; clean plans are shared.
+        let mut methods: Vec<Arc<MethodPlan>> = infos
+            .iter()
+            .enumerate()
+            .map(|(pid, m)| {
+                if dirty[pid] {
+                    Arc::new(lower_method(&table, &maps, &mut registry, m))
+                } else {
+                    Arc::clone(&prev.methods[pid])
+                }
+            })
+            .collect();
+        // Pass 3': dispatch tables are structurally determined, so they can
+        // only grow — share the whole block unless a dirty body dispatched
+        // a name never seen before.
+        let type_names: Vec<&str> = table.types().map(|t| t.name.as_str()).collect();
+        let dispatch: Arc<[DispatchTable]> = if registry.names.len() == prev_names {
+            Arc::clone(&prev.dispatch)
+        } else {
+            registry
+                .names
+                .iter()
+                .map(|name| DispatchTable {
+                    name: name.clone(),
+                    by_type: type_names
+                        .iter()
+                        .map(|ty| maps.lookup_impl(&table, ty, name))
+                        .collect(),
+                })
+                .collect()
+        };
+        // Pass 3.5': analysis with carry-forward — pruning (the potentially
+        // solver-backed pass) runs only on dirty plans, reusing the previous
+        // report's prune records for clean ones; the cheap inter-procedural
+        // fact fixpoint and lints re-run globally, rewriting a clean plan's
+        // determinism bits only when they actually changed (which marks it
+        // changed for the bytecode pass below).
+        let analysis = if opts.analysis {
+            Some(crate::analysis::analyze_incremental(
+                &table,
+                &mut methods,
+                &dispatch,
+                &crate::analysis::AnalysisOptions {
+                    smt: opts.smt_prune_check,
+                },
+                prev.analysis.as_ref().map(|a| (a, dirty)),
+            ))
+        } else {
+            None
+        };
+        // Pass 4': re-emit bytecode for changed plans and for plans whose
+        // bytecode specialized against a changed plan's body.
+        if bytecode {
+            let changed: Vec<bool> = methods
+                .iter()
+                .zip(&prev.methods)
+                .map(|(a, b)| !Arc::ptr_eq(a, b))
+                .collect();
+            let need: Vec<bool> = (0..methods.len())
+                .map(|pid| changed[pid] || prev.methods[pid].bc_deps.iter().any(|&d| changed[d]))
+                .collect();
+            Self::emit_bytecode(&mut methods, &dispatch, Some(&need));
+        }
+        let class_ctor_by_type: Box<[Option<PlanId>]> = type_names
+            .iter()
+            .map(|ty| maps.class_ctor(&table, ty))
+            .collect();
+        let equals_dispatch = registry.ids.get("equals").copied();
+        Arc::new(ProgramPlan {
+            table,
+            methods,
+            maps,
+            dispatch_ids: registry.ids,
+            dispatch,
+            class_ctor_by_type,
+            equals_dispatch,
+            bc_enabled: bytecode,
+            analysis,
+        })
+    }
+
+    /// Pass 1: the resolution maps and the flat method list, in plan-id
+    /// order (types in declaration order, their methods in declaration
+    /// order, then free methods).
+    fn build_maps(table: &ClassTable) -> (PlanMaps, Vec<&MethodInfo>) {
         let mut maps = PlanMaps::default();
         let mut infos: Vec<&MethodInfo> = Vec::new();
         let interned = |name: &str| {
@@ -814,112 +1011,76 @@ impl ProgramPlan {
             maps.free.entry(m.decl.name.clone()).or_insert(id);
             maps.bodied.push(!matches!(m.decl.body, MethodBody::Absent));
         }
-        // Every declared name gets a table up front so standalone-lowered
-        // formulas (built after compile) dispatch through them too.
-        let mut registry = DispatchRegistry::default();
-        for m in &infos {
-            registry.id_for(&m.decl.name);
-        }
-        // Pass 2: lower bodies against the complete maps.
-        let mut methods: Vec<MethodPlan> = infos
-            .iter()
-            .map(|m| lower_method(&table, &maps, &mut registry, m))
-            .collect();
-        // Pass 3: materialize the dispatch tables.
-        let n = table.num_types();
-        let type_names: Vec<&str> = table.types().map(|t| t.name.as_str()).collect();
-        let dispatch: Vec<DispatchTable> = registry
-            .names
-            .iter()
-            .map(|name| DispatchTable {
-                name: name.clone(),
-                by_type: type_names
-                    .iter()
-                    .map(|ty| maps.lookup_impl(&table, ty, name))
-                    .collect(),
-            })
-            .collect();
-        // Pass 3.5: static analysis — prune dead alternatives, infer
-        // determinism, collect lints. Runs after dispatch materialization
-        // (inter-procedural facts flow through the tables) and before
-        // bytecode emission (pass 4 compiles the *pruned* plans, so goal
-        // trees and bytecode stay mirror images).
-        let analysis = if opts.analysis {
-            Some(crate::analysis::analyze(
-                &table,
-                &mut methods,
-                &dispatch,
-                &crate::analysis::AnalysisOptions {
-                    smt: opts.smt_prune_check,
-                },
-            ))
-        } else {
-            None
-        };
-        // Pass 4: emit the flat bytecode of every lowered body. The plan
-        // stays alongside as the lowering source and the differential
-        // oracle. Block bodies compile against the whole program (methods
-        // + dispatch tables) so monomorphic call sites and field-projection
-        // switch arms can be specialized, which is why the bytecode of all
-        // bodies is computed first and attached after.
-        if bytecode {
-            let ctx = crate::bytecode::BcCtx {
-                methods: &methods,
-                dispatch: &dispatch,
-            };
-            let blocks: Vec<Option<crate::bytecode::BcBlock>> = methods
+        (maps, infos)
+    }
+
+    /// Pass 4: emit the flat bytecode of every lowered body for which
+    /// `need[pid]` holds (all bodies when `need` is `None`). The plan stays
+    /// alongside as the lowering source and the differential oracle. Block
+    /// bodies compile against the whole program (methods + dispatch tables)
+    /// so monomorphic call sites and field-projection switch arms can be
+    /// specialized, which is why the bytecode of all bodies is computed
+    /// first and attached after; the plans consulted along the way are
+    /// recorded as [`MethodPlan::bc_deps`].
+    fn emit_bytecode(
+        methods: &mut [Arc<MethodPlan>],
+        dispatch: &[DispatchTable],
+        need: Option<&[bool]>,
+    ) {
+        type Compiled = (
+            Option<crate::bytecode::BcBlock>,
+            Option<crate::bytecode::FastCtor>,
+            Vec<PlanId>,
+        );
+        let compiled: Vec<Option<Compiled>> = {
+            let ctx = crate::bytecode::BcCtx::new(methods, dispatch);
+            methods
                 .iter()
-                .map(|mp| match &mp.body {
-                    BodyPlan::Block(bp) => Some(crate::bytecode::compile_block(bp, &ctx)),
-                    _ => None,
+                .enumerate()
+                .map(|(pid, mp)| {
+                    if !need.is_none_or(|n| n[pid]) {
+                        return None;
+                    }
+                    let block = match &mp.body {
+                        BodyPlan::Block(bp) => Some(crate::bytecode::compile_block(bp, &ctx)),
+                        _ => None,
+                    };
+                    let deps = ctx.take_deps();
+                    let fast = crate::bytecode::fast_ctor(mp);
+                    Some((block, fast, deps))
                 })
-                .collect();
-            let fast_ctors: Vec<Option<crate::bytecode::FastCtor>> =
-                methods.iter().map(crate::bytecode::fast_ctor).collect();
-            for ((mp, block), fast) in methods.iter_mut().zip(blocks).zip(fast_ctors) {
-                mp.fast_ctor = fast;
-                match &mut mp.body {
-                    BodyPlan::Formula {
-                        forward,
-                        matching,
-                        equals_bound,
-                    } => {
-                        forward.bc =
-                            Some(crate::bytecode::compile_body(forward, &forward.param_slots));
-                        matching.bc = Some(crate::bytecode::compile_body(matching, &[]));
-                        if let Some(eb) = equals_bound {
-                            // The runtime's deep-equality bridge seeds only
-                            // the first parameter (the other side of the
-                            // equation), so only it is must-bound.
-                            let seed: Vec<SlotId> =
-                                eb.param_slots.first().copied().into_iter().collect();
-                            eb.bc = Some(crate::bytecode::compile_body(eb, &seed));
-                        }
+                .collect()
+        };
+        for (pid, item) in compiled.into_iter().enumerate() {
+            let Some((block, fast, deps)) = item else {
+                continue;
+            };
+            let mp = Arc::make_mut(&mut methods[pid]);
+            mp.fast_ctor = fast;
+            mp.bc_deps = deps;
+            match &mut mp.body {
+                BodyPlan::Formula {
+                    forward,
+                    matching,
+                    equals_bound,
+                } => {
+                    forward.bc = Some(crate::bytecode::compile_body(forward, &forward.param_slots));
+                    matching.bc = Some(crate::bytecode::compile_body(matching, &[]));
+                    if let Some(eb) = equals_bound {
+                        // The runtime's deep-equality bridge seeds only
+                        // the first parameter (the other side of the
+                        // equation), so only it is must-bound.
+                        let seed: Vec<SlotId> =
+                            eb.param_slots.first().copied().into_iter().collect();
+                        eb.bc = Some(crate::bytecode::compile_body(eb, &seed));
                     }
-                    BodyPlan::Block(bp) => {
-                        bp.bc = block;
-                    }
-                    BodyPlan::Absent => {}
                 }
+                BodyPlan::Block(bp) => {
+                    bp.bc = block;
+                }
+                BodyPlan::Absent => {}
             }
         }
-        let class_ctor_by_type: Box<[Option<PlanId>]> = type_names
-            .iter()
-            .map(|ty| maps.class_ctor(&table, ty))
-            .collect();
-        debug_assert_eq!(class_ctor_by_type.len(), n);
-        let equals_dispatch = registry.ids.get("equals").copied();
-        Arc::new(ProgramPlan {
-            table,
-            methods,
-            maps,
-            dispatch_ids: registry.ids,
-            dispatch,
-            class_ctor_by_type,
-            equals_dispatch,
-            bc_enabled: bytecode,
-            analysis,
-        })
     }
 
     /// Whether pass 4 emitted bytecode for this plan.
@@ -938,8 +1099,8 @@ impl ProgramPlan {
         &self.table
     }
 
-    /// All compiled method plans.
-    pub fn methods(&self) -> &[MethodPlan] {
+    /// All compiled method plans (`Arc`-shared across generations).
+    pub fn methods(&self) -> &[Arc<MethodPlan>] {
         &self.methods
     }
 
@@ -2029,6 +2190,7 @@ fn lower_method(
         body,
         owner_layout: table.layout(&m.owner).cloned(),
         fast_ctor: None,
+        bc_deps: Vec::new(),
     }
 }
 
@@ -2251,6 +2413,59 @@ mod tests {
         assert!(plan.lookup_impl("Nat", "succ").is_none());
         assert!(plan.class_ctor("ZNat").is_some());
         assert!(plan.class_ctor("Nat").is_none());
+    }
+
+    #[test]
+    fn recompile_shares_clean_plans_and_relowers_dirty_ones() {
+        const EXTRA: &str = "
+            static int twice(int n) { return n + n; }
+            static int quad(int n) { return twice(twice(n)); }
+        ";
+        let src = format!("{ZNAT}{EXTRA}");
+        let prev = plan_for(&src);
+        let edited = src.replace("return n + n;", "return 2 * n;");
+        let program = parse_program(&edited).unwrap();
+        let mut diags = Diagnostics::new();
+        let table = ClassTable::build_reusing(&program, &mut diags, prev.table());
+        assert!(diags.errors.is_empty());
+        let fp_prev = crate::incremental::Fingerprints::of(prev.table());
+        let fp_next = crate::incremental::Fingerprints::of(&table);
+        assert_eq!(fp_prev.structure, fp_next.structure);
+        let dirty: Vec<bool> = fp_prev
+            .units
+            .iter()
+            .zip(&fp_next.units)
+            .map(|(a, b)| a.body != b.body)
+            .collect();
+        assert_eq!(dirty.iter().filter(|&&d| d).count(), 1);
+        let next = ProgramPlan::recompile(&prev, table, &dirty, PlanOptions::default());
+
+        // Every untouched plan is the same allocation; the edited method and
+        // its bytecode dependents (`quad` inlines `twice`) are fresh.
+        let twice = next.lookup_free("twice").unwrap();
+        let quad = next.lookup_free("quad").unwrap();
+        for (pid, (a, b)) in prev.methods().iter().zip(next.methods()).enumerate() {
+            if pid == twice || pid == quad {
+                assert!(!Arc::ptr_eq(a, b), "pid {pid} must be recompiled");
+            } else {
+                assert!(Arc::ptr_eq(a, b), "pid {pid} must be shared");
+            }
+        }
+        assert!(next.method(quad).bc_deps.contains(&twice));
+        // The recompile agrees with a from-scratch compile on dispatch
+        // layout and bytecode presence.
+        let scratch = ProgramPlan::compile(ClassTable::build(&program, &mut Diagnostics::new()));
+        assert_eq!(
+            next.dispatch_tables().len(),
+            scratch.dispatch_tables().len()
+        );
+        for (a, b) in next.dispatch_tables().iter().zip(scratch.dispatch_tables()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.by_type, b.by_type);
+        }
+        let a = format!("{:?}", next.method(quad).body);
+        let b = format!("{:?}", scratch.method(quad).body);
+        assert_eq!(a, b, "recompiled bytecode must match a fresh compile");
     }
 
     #[test]

@@ -199,6 +199,43 @@ impl ClassTable {
     /// in `diags` as errors; the table is still returned so later phases can
     /// proceed best-effort.
     pub fn build(program: &Program, diags: &mut Diagnostics) -> Arc<ClassTable> {
+        Arc::new(Self::build_inner(program, diags))
+    }
+
+    /// Like [`ClassTable::build`], but shares per-class [`ClassLayout`]
+    /// allocations with a previous generation of the same program wherever
+    /// they are value-equal.
+    ///
+    /// The runtime compares layouts by pointer on its hot paths
+    /// (`index_of_layout`), so objects constructed under the previous
+    /// generation keep taking the fast path against a recompiled table as
+    /// long as their class's layout didn't change. Layouts whose shape *did*
+    /// change (renamed fields, reordered types) keep their fresh allocation —
+    /// adoption is purely an equality-gated swap.
+    pub fn build_reusing(
+        program: &Program,
+        diags: &mut Diagnostics,
+        prev: &ClassTable,
+    ) -> Arc<ClassTable> {
+        let mut table = Self::build_inner(program, diags);
+        table.adopt_layouts(prev);
+        Arc::new(table)
+    }
+
+    /// Swaps every freshly built layout that is value-equal to the previous
+    /// generation's layout of the same class for the previous `Arc`.
+    fn adopt_layouts(&mut self, prev: &ClassTable) {
+        for layout in &mut self.layouts {
+            if let Some(&pi) = prev.type_indices.get(layout.name()) {
+                let old = &prev.layouts[pi as usize];
+                if **old == **layout {
+                    *layout = Arc::clone(old);
+                }
+            }
+        }
+    }
+
+    fn build_inner(program: &Program, diags: &mut Diagnostics) -> ClassTable {
         let mut table = ClassTable::default();
         for decl in &program.decls {
             match decl {
@@ -265,7 +302,7 @@ impl ClassTable {
             }
         }
         table.finish();
-        Arc::new(table)
+        table
     }
 
     /// Freezes the runtime representation: interns every class / field /
@@ -702,6 +739,34 @@ mod tests {
         let (_, diags) = table_for("class A implements Missing { }");
         assert_eq!(diags.errors.len(), 1);
         assert!(diags.errors[0].message.contains("Missing"));
+    }
+
+    #[test]
+    fn build_reusing_shares_unchanged_layouts() {
+        let program = parse_program(NAT_SRC).unwrap();
+        let first = ClassTable::build(&program, &mut Diagnostics::new());
+        let second = ClassTable::build_reusing(&program, &mut Diagnostics::new(), &first);
+        for ty in first.types() {
+            assert!(
+                Arc::ptr_eq(
+                    first.layout(&ty.name).unwrap(),
+                    second.layout(&ty.name).unwrap()
+                ),
+                "{}: identical layouts must share allocations",
+                ty.name
+            );
+        }
+        // After a field rename, only the edited class gets a fresh layout.
+        let edited = parse_program(&NAT_SRC.replace("Nat pred;", "Nat prev;")).unwrap();
+        let third = ClassTable::build_reusing(&edited, &mut Diagnostics::new(), &first);
+        assert!(!Arc::ptr_eq(
+            first.layout("PSucc").unwrap(),
+            third.layout("PSucc").unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            first.layout("ZNat").unwrap(),
+            third.layout("ZNat").unwrap()
+        ));
     }
 
     #[test]

@@ -43,7 +43,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Options controlling verification.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyOptions {
     /// Maximum lazy-expansion depth (iterative deepening bound, §6.2).
     pub max_expansion_depth: u32,
@@ -124,6 +124,24 @@ impl SessionStats {
 }
 
 impl Session {
+    /// Repoints the session's lazy expander at a (new) verifier without
+    /// discarding the term store, the solver's learned clauses, or the VC
+    /// result cache.
+    ///
+    /// This is the session-reuse half of incremental recompilation: a method
+    /// whose *verification environment* is unchanged by an edit (same
+    /// signature, same spec closure, same type hierarchy — see
+    /// [`crate::incremental`]) keeps its session across rebuilds, and only the
+    /// expander — whose [`VcGen`] captures the class table of the new
+    /// generation — must be swapped. Because the expander only ever unrolls
+    /// *specs* (`is$T` invariants, `matches`/`ensures` clauses), never bodies,
+    /// an unchanged environment means every cached VC verdict and learned
+    /// clause is still sound for the new generation; the persistent
+    /// [`TermStore`] keeps the hash-consed [`TermId`] cache keys valid.
+    pub fn retarget(&mut self, verifier: &Verifier) {
+        self.expander = JMatchExpander::new(verifier.gen.clone());
+    }
+
     /// The counters accumulated so far.
     pub fn stats(&self) -> SessionStats {
         let mut stats = self.stats;

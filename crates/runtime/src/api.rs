@@ -29,9 +29,7 @@ use crate::par::{self, ParJob, ParMode};
 use crate::tree::TreeWalker;
 use crate::{Bindings, Engine, RtError, RtResult, Value};
 use jmatch_core::diag::Diagnostics;
-use jmatch_core::lower::{
-    BodyPlan, FrameLayout, PlanId, PlanOptions, ProgramPlan, SlotId, SolvedForm,
-};
+use jmatch_core::lower::{BodyPlan, FrameLayout, PlanId, ProgramPlan, SlotId, SolvedForm};
 use jmatch_core::table::ClassTable;
 use jmatch_core::{CompileOptions, Warning};
 use jmatch_syntax::ast::{Formula, MethodBody, Param, Type};
@@ -85,30 +83,41 @@ impl Default for Limits {
 // Compiler
 // ---------------------------------------------------------------------------
 
-/// Fluent builder that unifies the old `CompileOptions` / `VerifyOptions`
-/// split and produces a [`Program`].
+/// One-shot builder, superseded by [`Workspace`](crate::Workspace).
+///
+/// `Compiler` compiles one source string and forgets everything, so every
+/// edit pays a whole-program rebuild. [`Workspace`](crate::Workspace) has
+/// the same fluent setters and defaults but keeps fingerprints, plans and
+/// solver sessions across edits, rebuilding only what changed — this type
+/// is now a thin shim over it (one-shot build == a workspace with a single
+/// generation) and will be removed in a future release.
+///
+/// Migration is mechanical:
 ///
 /// ```
-/// use jmatch_runtime::{args, Compiler, Engine, Value};
+/// use jmatch_runtime::{args, Value, Workspace};
 ///
-/// let program = Compiler::new()
-///     .verify(false)
-///     .engine(Engine::Plan)
-///     .compile(
-///         "class Box {
-///              int v;
-///              constructor of(int n) returns(n) ( v = n )
-///          }
-///          static int unbox(Box b) {
-///              switch (b) { case of(int n): return n; }
-///          }",
-///     )?;
+/// let mut ws = Workspace::new().verify(false);
+/// let program = ws.compile(
+///     "class Box {
+///          int v;
+///          constructor of(int n) returns(n) ( v = n )
+///      }
+///      static int unbox(Box b) {
+///          switch (b) { case of(int n): return n; }
+///      }",
+/// )?;
 /// let of = program.ctor("Box", "of")?;
 /// let unbox = program.free_method("unbox")?;
 /// let boxed = of.construct(args![7])?;
 /// assert_eq!(unbox.call(None, args![boxed])?, Value::Int(7));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Workspace` (same setters; `Workspace::new().compile(src)` one-shot, \
+            `load`/`update_source`/`update_method` incremental) — see the README migration table"
+)]
 #[derive(Debug, Clone)]
 pub struct Compiler {
     verify: bool,
@@ -119,6 +128,7 @@ pub struct Compiler {
     limits: Limits,
 }
 
+#[allow(deprecated)]
 impl Compiler {
     /// A compiler with verification on, the plan engine, and default
     /// limits.
@@ -180,36 +190,26 @@ impl Compiler {
     }
 
     /// Parses, resolves, (optionally) verifies, and lowers `source` into a
-    /// [`Program`]. Lowering runs exactly once, here — never per call.
+    /// [`Program`] — now literally a single-generation
+    /// [`Workspace`](crate::Workspace) build.
     ///
     /// # Errors
     ///
     /// Returns a [`ParseError`] if the source is not syntactically valid;
     /// semantic problems are reported through [`Program::diagnostics`].
     pub fn compile(&self, source: &str) -> Result<Program, ParseError> {
-        let compiled = jmatch_core::compile(
-            source,
-            &CompileOptions {
-                verify: self.verify,
-                max_expansion_depth: self.max_expansion_depth,
-            },
-        )?;
-        Ok(Program {
-            plan: ProgramPlan::compile_with(
-                compiled.table,
-                PlanOptions {
-                    bytecode: self.bytecode,
-                    analysis: self.analysis,
-                    ..PlanOptions::default()
-                },
-            ),
-            engine: self.engine,
-            limits: self.limits,
-            diagnostics: Arc::new(compiled.diagnostics),
-        })
+        crate::Workspace::new()
+            .verify(self.verify)
+            .engine(self.engine)
+            .bytecode(self.bytecode)
+            .analysis(self.analysis)
+            .max_expansion_depth(self.max_expansion_depth)
+            .limits(self.limits)
+            .compile(source)
     }
 }
 
+#[allow(deprecated)]
 impl Default for Compiler {
     fn default() -> Self {
         Compiler::new()
@@ -234,6 +234,22 @@ pub struct Program {
 }
 
 impl Program {
+    /// Assembles a program from already-compiled parts (the
+    /// [`Workspace`](crate::Workspace) rebuild path).
+    pub(crate) fn assemble(
+        plan: Arc<ProgramPlan>,
+        engine: Engine,
+        limits: Limits,
+        diagnostics: Arc<Diagnostics>,
+    ) -> Self {
+        Program {
+            plan,
+            engine,
+            limits,
+            diagnostics,
+        }
+    }
+
     /// Wraps an already-resolved class table (for callers that drive
     /// [`jmatch_core::compile`] themselves); lowering runs here, once.
     pub fn from_table(table: Arc<ClassTable>, engine: Engine) -> Self {
@@ -498,7 +514,9 @@ impl Program {
     }
 
     /// Runs a batch of queries on one pool of `threads` worker threads
-    /// (`0` = available parallelism) and collects every query's full
+    /// (`0` = the `JMATCH_PAR_THREADS` default of
+    /// [`jmatch_smt::pool::configured_threads`], like every other pool in
+    /// the workspace) and collects every query's full
     /// solution set **in sequential enumeration order** — the shape a
     /// query server needs: one thread-pool setup amortized across the
     /// whole batch, with per-query results independent (a limit error in
@@ -535,9 +553,7 @@ impl Program {
             return Vec::new();
         }
         let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|t| t.get())
-                .unwrap_or(1)
+            jmatch_smt::configured_threads()
         } else {
             threads
         }
@@ -645,9 +661,9 @@ impl Program {
 /// precompiled plan with no per-call hash lookups.
 ///
 /// ```
-/// use jmatch_runtime::{args, Compiler, Value};
+/// use jmatch_runtime::{args, Value, Workspace};
 ///
-/// let program = Compiler::new().verify(false).compile(
+/// let program = Workspace::new().verify(false).compile(
 ///     "static int double(int x) { return x + x; }",
 /// )?;
 /// // Resolve once...
@@ -1475,9 +1491,9 @@ enum Inner<'q> {
 /// [`Solutions::take_error`].
 ///
 /// ```
-/// use jmatch_runtime::{Bindings, Compiler, Value};
+/// use jmatch_runtime::{Bindings, Value, Workspace};
 ///
-/// let program = Compiler::new().verify(false).compile(
+/// let program = Workspace::new().verify(false).compile(
 ///     "class Gen {
 ///          boolean small(int x) iterates(x) ( x = 1 # 2 # 3 )
 ///      }",

@@ -24,7 +24,7 @@
 use jmatch_runtime::serve::json::Json;
 use jmatch_runtime::serve::proto::bindings_to_json;
 use jmatch_runtime::serve::{wait_ready, Client, QueryOptions, RetryPolicy};
-use jmatch_runtime::{Bindings, Compiler, Value};
+use jmatch_runtime::{Bindings, Value, Workspace};
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -186,7 +186,7 @@ fn main() -> ExitCode {
 /// source the server compiles, producing the exact wire JSON the solutions
 /// should serialize to.
 fn oracle_solutions(n: i64) -> Result<Vec<Json>, String> {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .compile(SMOKE_SRC)
         .map_err(|e| format!("oracle compile failed: {e}"))?;

@@ -31,15 +31,15 @@
 //! ## The embedding API
 //!
 //! The paper's compilation target — Java_yield coroutines that *lazily*
-//! yield one solution at a time — is mirrored by the [`Compiler`] /
-//! [`Program`] / [`Query`] surface: compile once into a cheap-to-clone,
+//! yield one solution at a time — is mirrored by the [`Workspace`] /
+//! [`Program`] / [`Query`] surface: build once into a cheap-to-clone,
 //! `Send + Sync` [`Program`], resolve method lookups once into
 //! [`MethodRef`] / [`CtorRef`] handles, and pull solutions through the
 //! [`Solutions`] iterator, which does O(first solution) work for
 //! `take(1)` instead of enumerating everything.
 //!
 //! ```
-//! use jmatch_runtime::{args, Compiler, Value};
+//! use jmatch_runtime::{args, Value, Workspace};
 //!
 //! let source = r#"
 //!     class Box {
@@ -52,13 +52,21 @@
 //!         }
 //!     }
 //! "#;
-//! let program = Compiler::new().verify(false).compile(source)?;
+//! let mut ws = Workspace::new().verify(false);
+//! let program = ws.compile(source)?;
 //! let of = program.ctor("Box", "of")?;       // resolved once
 //! let unbox = program.free_method("unbox")?; // resolved once
 //! let boxed = of.construct(args![7])?;
 //! assert_eq!(unbox.call(None, args![boxed])?, Value::Int(7));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The workspace is long-lived: [`Workspace::update_source`] /
+//! [`Workspace::update_method`] rebuild the *next* program generation
+//! incrementally — re-lowering, re-verifying and re-emitting bytecode only
+//! for the methods an edit touched, sharing every other compiled artifact
+//! with the previous generation by `Arc` (see the [`workspace`] module
+//! docs for the red/green rules).
 //!
 //! ## OR-parallel enumeration
 //!
@@ -90,10 +98,14 @@ mod machine;
 mod par;
 pub mod serve;
 pub mod tree;
+pub mod workspace;
 
-pub use api::{Compiler, CtorRef, Limits, MethodRef, Program, Query, Solutions};
+#[allow(deprecated)]
+pub use api::Compiler;
+pub use api::{CtorRef, Limits, MethodRef, Program, Query, Solutions};
 pub use eval::PlanInterp;
 pub use tree::TreeWalker;
+pub use workspace::{Generation, RebuildReport, Workspace};
 
 use jmatch_core::intern::Sym;
 use jmatch_core::table::ClassLayout;

@@ -1430,8 +1430,8 @@ impl Drop for Machine<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::Compiler;
     use crate::args;
+    use crate::workspace::Workspace;
 
     /// The `parallel_scaling` workload: `vals` enumerates a complete binary
     /// tree's leaves left-to-right, so every `Node` activation is one
@@ -1484,7 +1484,7 @@ mod tests {
     /// the machine's choice points through [`Machine::split_oldest`],
     /// returning every exported replay prefix in donation order.
     fn donated_prefixes(bytecode: bool) -> Vec<Vec<u32>> {
-        let program = Compiler::new()
+        let program = Workspace::new()
             .verify(false)
             .bytecode(bytecode)
             .compile(TREE_SRC)

@@ -447,7 +447,8 @@ pub(crate) struct ParStream {
 }
 
 /// Starts an OR-parallel enumeration over `threads` workers
-/// (`0` = available parallelism).
+/// (`0` = the `JMATCH_PAR_THREADS` default of
+/// [`jmatch_smt::pool::configured_threads`]).
 pub(crate) fn spawn(
     plan: Arc<ProgramPlan>,
     job: ParJob,
@@ -457,9 +458,7 @@ pub(crate) fn spawn(
     interrupt: Option<Arc<std::sync::atomic::AtomicBool>>,
 ) -> ParStream {
     let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        jmatch_smt::configured_threads()
     } else {
         threads
     };

@@ -9,7 +9,7 @@
 //! a condvar, so a thundering herd of identical cold compiles does the
 //! work exactly once.
 
-use crate::{Compiler, Engine, Program};
+use crate::{Engine, Program, Workspace};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -42,6 +42,39 @@ pub enum CacheOutcome {
     Failed(Vec<String>),
 }
 
+/// What a [`ProgramCache::reload`] produced.
+///
+/// A reload is an *edit* against a resident program: the server keeps the
+/// base entry's [`Workspace`], so recompilation is incremental — only the
+/// methods the source delta touched are re-lowered and re-verified, and
+/// the response says which.
+#[derive(Debug, Clone)]
+pub enum ReloadOutcome {
+    /// The new source is byte-identical to the resident one: nothing ran.
+    Unchanged {
+        /// The (unchanged) wire key.
+        key: String,
+    },
+    /// Incrementally recompiled: the new generation is resident under
+    /// `key` (the base entry stays resident under its old key).
+    Recompiled {
+        /// The new wire key (`"p:"` + 16 hex digits of the new source).
+        key: String,
+        /// The new program generation.
+        program: Arc<Program>,
+        /// Qualified names of the methods whose compiled plan changed.
+        methods: Vec<String>,
+        /// Qualified names of the methods that were re-verified.
+        reverified: Vec<String>,
+    },
+    /// The edit does not compile (parse error or semantic errors); the
+    /// base entry stays resident and current.
+    Rejected {
+        /// Rendered diagnostics.
+        diagnostics: Vec<String>,
+    },
+}
+
 /// Counters the metrics endpoint snapshots.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -60,6 +93,10 @@ struct Entry {
     verify: bool,
     /// LRU stamp: larger = more recently used.
     stamp: u64,
+    /// The workspace that built this program, kept so `reload` edits are
+    /// incremental. Shared (`Arc`) between an entry and the generations
+    /// reloaded from it; locked only while a reload recompiles.
+    workspace: Arc<Mutex<Workspace>>,
 }
 
 #[derive(Default)]
@@ -146,20 +183,21 @@ impl ProgramCache {
             }
         }
         // Compile outside the lock; other keys stay servable meanwhile.
-        // `Compiler::new()` compiles bytecode by default, so the cached
+        // The workspace compiles bytecode by default, so the cached
         // program amortizes the pass-4 cost across every tenant that hits
-        // this key: their queries all run on the flat form.
+        // this key: their queries all run on the flat form — and the
+        // workspace itself is kept resident so a later `reload` of this
+        // entry recompiles only what the edit touched.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = Compiler::new()
-            .verify(verify)
-            .engine(self.engine)
-            .compile(source);
+        let mut ws = Workspace::new().verify(verify).engine(self.engine);
+        let compiled = ws.load(source);
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         inner.pending.remove(&hash);
         self.done.notify_all();
         match compiled {
             Err(parse_error) => CacheOutcome::Failed(vec![parse_error.to_string()]),
-            Ok(program) => {
+            Ok(generation) => {
+                let program = generation.into_program();
                 if !program.diagnostics().errors.is_empty() {
                     return CacheOutcome::Failed(
                         program
@@ -171,27 +209,18 @@ impl ProgramCache {
                     );
                 }
                 let program = Arc::new(program);
-                inner.tick += 1;
-                let stamp = inner.tick;
-                inner.ready.insert(
+                Self::insert(
+                    &mut inner,
+                    self,
                     hash,
                     Entry {
                         program: Arc::clone(&program),
                         source: source.to_owned(),
                         verify,
-                        stamp,
+                        stamp: 0,
+                        workspace: Arc::new(Mutex::new(ws)),
                     },
                 );
-                while inner.ready.len() > self.capacity {
-                    let oldest = inner
-                        .ready
-                        .iter()
-                        .min_by_key(|(_, e)| e.stamp)
-                        .map(|(k, _)| *k)
-                        .expect("non-empty over-capacity cache");
-                    inner.ready.remove(&oldest);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
                 CacheOutcome::Ready {
                     program,
                     key,
@@ -199,6 +228,108 @@ impl ProgramCache {
                 }
             }
         }
+    }
+
+    /// Inserts `entry` (stamping it most-recent) and applies the LRU bound.
+    fn insert(inner: &mut Inner, cache: &ProgramCache, hash: u64, mut entry: Entry) {
+        inner.tick += 1;
+        entry.stamp = inner.tick;
+        inner.ready.insert(hash, entry);
+        while inner.ready.len() > cache.capacity {
+            let oldest = inner
+                .ready
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty over-capacity cache");
+            inner.ready.remove(&oldest);
+            cache.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a source edit against the resident program `base_key` and
+    /// caches the result under the *new* source's key, recompiling
+    /// incrementally through the entry's retained [`Workspace`] — only
+    /// methods the delta touched are re-lowered/re-verified.
+    ///
+    /// Returns `None` when `base_key` is not resident (evicted or never
+    /// compiled here); the caller should answer like any unknown-program
+    /// lookup. The verify flag is inherited from the base entry (it is
+    /// part of the program's identity).
+    pub fn reload(&self, base_key: &str, new_source: &str) -> Option<ReloadOutcome> {
+        let base_hash = base_key
+            .strip_prefix("p:")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())?;
+        let (workspace, verify) = {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = match inner.ready.get_mut(&base_hash) {
+                Some(e) => e,
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            };
+            entry.stamp = tick;
+            if entry.source == new_source {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(ReloadOutcome::Unchanged {
+                    key: base_key.to_owned(),
+                });
+            }
+            (Arc::clone(&entry.workspace), entry.verify)
+        };
+        // Recompile outside the cache lock; concurrent reloads of the same
+        // lineage serialize on the workspace mutex.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut ws = workspace.lock().expect("workspace lock poisoned");
+        let generation = match ws.update_source(new_source) {
+            Err(parse_error) => {
+                return Some(ReloadOutcome::Rejected {
+                    diagnostics: vec![parse_error.to_string()],
+                })
+            }
+            Ok(g) => g,
+        };
+        drop(ws);
+        let program = generation.program().clone();
+        if !program.diagnostics().errors.is_empty() {
+            return Some(ReloadOutcome::Rejected {
+                diagnostics: program
+                    .diagnostics()
+                    .errors
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect(),
+            });
+        }
+        let program = Arc::new(program);
+        let new_hash = Self::hash_of(new_source, verify);
+        let key = format!("p:{new_hash:016x}");
+        let report = generation.report();
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        Self::insert(
+            &mut inner,
+            self,
+            new_hash,
+            Entry {
+                program: Arc::clone(&program),
+                source: new_source.to_owned(),
+                verify,
+                stamp: 0,
+                // The reloaded generation shares the lineage's workspace:
+                // a reload against either key continues incrementally from
+                // the newest generation.
+                workspace,
+            },
+        );
+        Some(ReloadOutcome::Recompiled {
+            key,
+            program,
+            methods: report.recompiled.clone(),
+            reverified: report.reverified.clone(),
+        })
     }
 
     /// Looks up a program by its wire key (`query`/`call`/`stream`
@@ -329,6 +460,46 @@ mod tests {
         // single-flight, every concurrent waiter re-checks and hits.
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn reload_unchanged_recompiled_and_rejected() {
+        let cache = ProgramCache::new(4, Engine::Plan);
+        let CacheOutcome::Ready { key, .. } = cache.get_or_compile(SRC_A, false) else {
+            panic!("compile failed");
+        };
+        // Identical source: nothing runs.
+        let Some(ReloadOutcome::Unchanged { key: k }) = cache.reload(&key, SRC_A) else {
+            panic!("expected unchanged");
+        };
+        assert_eq!(k, key);
+        // A body edit recompiles exactly the edited method.
+        let edited = "static int one() { return 1 + 0; }";
+        let Some(ReloadOutcome::Recompiled {
+            key: k2,
+            program,
+            methods,
+            ..
+        }) = cache.reload(&key, edited)
+        else {
+            panic!("expected recompiled");
+        };
+        assert_eq!(k2, ProgramCache::key_of(edited, false));
+        assert_ne!(k2, key);
+        assert_eq!(methods, vec!["<toplevel>.one"]);
+        assert!(program.free_method("one").is_ok());
+        // Both generations stay resident and servable.
+        assert!(cache.lookup(&key).is_some());
+        assert!(cache.lookup(&k2).is_some());
+        // A broken edit is rejected; the base entry survives.
+        let Some(ReloadOutcome::Rejected { diagnostics }) = cache.reload(&key, "static int ((")
+        else {
+            panic!("expected rejected");
+        };
+        assert!(!diagnostics.is_empty());
+        assert!(cache.lookup(&key).is_some());
+        // An unknown base key is a miss.
+        assert!(cache.reload("p:0000000000000000", SRC_B).is_none());
     }
 
     #[test]

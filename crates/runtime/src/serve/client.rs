@@ -306,6 +306,28 @@ impl Client {
         )
     }
 
+    /// Hot-reloads a resident program: asks the server to incrementally
+    /// recompile `program` (a cache key from [`Client::compile`]) against
+    /// `new_source`. The reply's `status` is `"unchanged"` or
+    /// `"recompiled"` (with `program`, `methods`, `reverified`); an edit
+    /// that does not compile comes back as a `reload-rejected` error frame
+    /// carrying `errors`, and the previous program stays resident.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket or framing errors; reload rejections come back as a
+    /// well-formed error frame, not an `Err`.
+    pub fn reload(&mut self, tenant: &str, program: &str, new_source: &str) -> ClientResult<Json> {
+        self.request(
+            "reload",
+            vec![
+                ("tenant".to_owned(), Json::Str(tenant.to_owned())),
+                ("program".to_owned(), Json::Str(program.to_owned())),
+                ("source".to_owned(), Json::Str(new_source.to_owned())),
+            ],
+        )
+    }
+
     /// Forward-mode call of a free method.
     ///
     /// # Errors

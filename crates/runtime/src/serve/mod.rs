@@ -1,6 +1,6 @@
 //! Multi-tenant query serving over TCP — the `jmatch-serve` subsystem.
 //!
-//! The embedding API ([`crate::Compiler`] → [`crate::Program`] →
+//! The embedding API ([`crate::Workspace`] → [`crate::Program`] →
 //! [`crate::Query`]) already separates the expensive one-time work
 //! (parse + resolve + verify + lower) from cheap enumeration; this module
 //! turns that separation into a service:

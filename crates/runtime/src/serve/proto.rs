@@ -255,6 +255,25 @@ pub enum Request {
         /// `1..=`[`MAX_STREAM_BATCH`]).
         batch: usize,
     },
+    /// Edit a resident program: recompile `source` incrementally through
+    /// the retained workspace of the base program (`program` is the PR 6
+    /// cache key the client got from `compile`). Answered with
+    /// `status:"unchanged"` / `status:"recompiled"` (listing the
+    /// re-lowered methods) or a `reload-rejected` error carrying the
+    /// diagnostics, with the base entry staying resident.
+    Reload {
+        /// Request id, echoed in the reply.
+        id: i64,
+        /// Tenant the work is accounted to.
+        tenant: String,
+        /// Cache key of the base program the edit applies to.
+        program: String,
+        /// The full new source text.
+        source: String,
+        /// Wall-clock deadline in milliseconds; checked before the
+        /// recompile starts (compilation itself is not interruptible).
+        deadline_ms: Option<u64>,
+    },
     /// Cancel an in-flight `Stream` on the same connection.
     Cancel {
         /// Request id, echoed in the reply.
@@ -280,6 +299,7 @@ impl Request {
             | Request::Call { id, .. }
             | Request::Query { id, .. }
             | Request::Stream { id, .. }
+            | Request::Reload { id, .. }
             | Request::Cancel { id, .. }
             | Request::Shutdown { id } => *id,
         }
@@ -390,6 +410,21 @@ impl Request {
                         batch,
                     })
                 }
+            }
+            "reload" => {
+                let Some(program) = doc.get("program").and_then(Json::as_str) else {
+                    return Err((Some(id), "reload needs a string `program`".into()));
+                };
+                let Some(source) = doc.get("source").and_then(Json::as_str) else {
+                    return Err((Some(id), "reload needs a string `source`".into()));
+                };
+                Ok(Request::Reload {
+                    id,
+                    tenant: tenant(),
+                    program: program.to_owned(),
+                    source: source.to_owned(),
+                    deadline_ms,
+                })
             }
             "cancel" => {
                 let Some(target) = doc.get("target").and_then(Json::as_i64) else {
@@ -509,6 +544,9 @@ pub mod error_kind {
     pub const UNKNOWN_PROGRAM: &str = "unknown-program";
     /// The source failed to compile; `errors` lists the diagnostics.
     pub const COMPILE_FAILED: &str = "compile-failed";
+    /// A `reload` edit does not compile; `errors` lists the diagnostics
+    /// and the base program stays resident and current.
+    pub const RELOAD_REJECTED: &str = "reload-rejected";
     /// The server is shutting down.
     pub const SHUTTING_DOWN: &str = "shutting-down";
     /// The request's `deadline_ms` elapsed before it finished; retry after
@@ -742,6 +780,53 @@ pub fn resp_stream_done(id: i64, count: u64, cancelled: bool, steps: Option<u64>
 /// `cancel` / `shutdown` acknowledgement.
 pub fn resp_ack(id: i64) -> Json {
     Json::obj(vec![("ok", Json::Bool(true)), ("id", Json::Int(id))])
+}
+
+/// `reload` reply for the `unchanged` case: the edit was byte-identical
+/// to the resident source, nothing ran.
+pub fn resp_reload_unchanged(id: i64, key: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("id", Json::Int(id)),
+        ("status", Json::Str("unchanged".into())),
+        ("program", Json::Str(key.to_owned())),
+    ])
+}
+
+/// `reload` reply for the `recompiled` case: the new generation's key,
+/// which methods were re-lowered / re-verified, and the new generation's
+/// warnings.
+pub fn resp_reloaded(
+    id: i64,
+    key: &str,
+    methods: &[String],
+    reverified: &[String],
+    warnings: &[String],
+) -> Json {
+    let strs = |xs: &[String]| Json::Arr(xs.iter().map(|s| Json::Str(s.clone())).collect());
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("id", Json::Int(id)),
+        ("status", Json::Str("recompiled".into())),
+        ("program", Json::Str(key.to_owned())),
+        ("methods", strs(methods)),
+        ("reverified", strs(reverified)),
+        ("warnings", strs(warnings)),
+    ])
+}
+
+/// `reload` rejection, listing the diagnostics (the base program stays
+/// resident and current).
+pub fn resp_reload_rejected(id: i64, errors: &[String]) -> Json {
+    ErrorFrame::new(
+        error_kind::RELOAD_REJECTED,
+        "the edit does not compile; the previous program stays active",
+    )
+    .with(
+        "errors",
+        Json::Arr(errors.iter().map(|e| Json::Str(e.clone())).collect()),
+    )
+    .into_frame(Some(id))
 }
 
 /// Compile-failure reply, listing the diagnostics.

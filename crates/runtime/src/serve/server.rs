@@ -45,7 +45,7 @@
 //!   past the high-water timeout marks the client a slow consumer and the
 //!   connection is dropped, so a worker never blocks on a client socket.
 
-use super::cache::{CacheOutcome, CacheStats, ProgramCache};
+use super::cache::{CacheOutcome, CacheStats, ProgramCache, ReloadOutcome};
 use super::fault::{FaultConfig, FaultInjector, Site};
 use super::json::Json;
 use super::proto::{
@@ -1200,6 +1200,102 @@ fn handle_frame(doc: &Json, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
                         grant.settle(used);
                     }
                     conn.send(&proto::resp_compile_failed(id, &errors));
+                }
+            }
+        }
+        Request::Reload {
+            id,
+            tenant,
+            program,
+            source,
+            deadline_ms,
+        } => {
+            // Like `lint`, reloads are compile-shaped inline work: the
+            // deadline is checked before the (uninterruptible) recompile
+            // starts, and the work is priced as a compile. Unlike a full
+            // compile, the recompile itself is incremental — the cache
+            // keeps each entry's workspace, so only the methods the edit
+            // touched are re-lowered and re-verified.
+            if deadline_ms == Some(0) {
+                shared
+                    .counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.send(
+                    &ErrorFrame::new(error_kind::DEADLINE_EXCEEDED, "request deadline exceeded")
+                        .retry_after(CAPACITY_RETRY_MS)
+                        .into_frame(Some(id)),
+                );
+                return;
+            }
+            let grant = match shared.quotas.admit_compile(&tenant) {
+                Ok(grant) => grant,
+                Err(denied) => {
+                    shared
+                        .counters
+                        .rejected_quota
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.send(
+                        &ErrorFrame::new(
+                            error_kind::QUOTA_EXHAUSTED,
+                            format!(
+                                "tenant `{tenant}` has exhausted its step pool for this window"
+                            ),
+                        )
+                        .retry_after(denied.retry_after_ms)
+                        .into_frame(Some(id)),
+                    );
+                    return;
+                }
+            };
+            match shared.cache.reload(&program, &source) {
+                None => {
+                    if let Some(grant) = grant {
+                        grant.settle(0);
+                    }
+                    conn.send(
+                        &ErrorFrame::new(
+                            error_kind::UNKNOWN_PROGRAM,
+                            format!("program `{program}` is not resident; re-compile and retry"),
+                        )
+                        .with("program", Json::Str(program.clone()))
+                        .into_frame(Some(id)),
+                    );
+                }
+                Some(ReloadOutcome::Unchanged { key }) => {
+                    if let Some(grant) = grant {
+                        // No compile work ran: refund.
+                        grant.settle(0);
+                    }
+                    conn.send(&proto::resp_reload_unchanged(id, &key));
+                }
+                Some(ReloadOutcome::Recompiled {
+                    key,
+                    program,
+                    methods,
+                    reverified,
+                }) => {
+                    if let Some(grant) = grant {
+                        let used = grant.granted();
+                        grant.settle(used);
+                    }
+                    let warnings: Vec<String> =
+                        program.warnings().iter().map(|w| w.to_string()).collect();
+                    conn.send(&proto::resp_reloaded(
+                        id,
+                        &key,
+                        &methods,
+                        &reverified,
+                        &warnings,
+                    ));
+                }
+                Some(ReloadOutcome::Rejected { diagnostics }) => {
+                    if let Some(grant) = grant {
+                        // Rejected edits did the compile work; charge them.
+                        let used = grant.granted();
+                        grant.settle(used);
+                    }
+                    conn.send(&proto::resp_reload_rejected(id, &diagnostics));
                 }
             }
         }

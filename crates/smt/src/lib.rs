@@ -43,6 +43,7 @@
 //! | [`lia`] | linear integer arithmetic (Fourier–Motzkin + branch-and-bound) |
 //! | [`euf`] | congruence closure for equality and uninterpreted functions |
 //! | [`plugin`] | lazy expansion hooks (Z3 external-theory analog) |
+//! | [`pool`] | scoped worker pool for sharding independent solver sessions |
 //! | [`solver`] | the DPLL(T) loop with iterative deepening |
 //! | [`model`] | satisfying assignments / counterexamples |
 //!
@@ -65,6 +66,7 @@ pub mod euf;
 pub mod lia;
 pub mod model;
 pub mod plugin;
+pub mod pool;
 pub mod rational;
 pub mod sat;
 pub mod solver;
@@ -74,6 +76,7 @@ pub mod term;
 
 pub use model::Model;
 pub use plugin::{Expansion, LazyExpander, NoExpansion};
+pub use pool::{configured_threads, map_ordered};
 pub use rational::Rat;
 pub use solver::{SatResult, Solver, SolverConfig, SolverStats};
 pub use sorts::Sort;

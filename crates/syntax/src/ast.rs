@@ -72,7 +72,7 @@ pub enum Decl {
 }
 
 /// Member visibility.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Visibility {
     /// `public`
     Public,
@@ -161,7 +161,7 @@ pub struct InvariantDecl {
 }
 
 /// What kind of callable a [`MethodDecl`] is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MethodKind {
     /// An ordinary method with a return type.
     Method,
@@ -174,7 +174,7 @@ pub enum MethodKind {
 
 /// A mode declaration: which parameters (and implicitly `result`) are solved
 /// for when the method is used backwards.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModeDecl {
     /// `true` for `iterates(..)` (many solutions), `false` for `returns(..)`.
     pub iterative: bool,
@@ -227,7 +227,7 @@ impl MethodDecl {
 }
 
 /// A method body.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum MethodBody {
     /// No body (interface or abstract method).
     Absent,
@@ -239,7 +239,7 @@ pub enum MethodBody {
 }
 
 /// A formal parameter.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Param {
     /// Declared type.
     pub ty: Type,
@@ -290,7 +290,7 @@ impl fmt::Display for Type {
 }
 
 /// Comparison operators usable at the formula level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `=` — equality / pattern match.
     Eq,
@@ -321,7 +321,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// Binary arithmetic operators inside patterns/expressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -349,7 +349,7 @@ impl fmt::Display for BinOp {
 }
 
 /// A boolean formula (the declarative layer of JMatch).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Formula {
     /// `true` or `false`.
     Bool(bool),
@@ -390,7 +390,7 @@ impl Formula {
 
 /// A pattern (also used as an expression; JMatch patterns and expressions
 /// share one syntax).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Expr {
     /// Integer literal.
     IntLit(i64),
@@ -535,7 +535,7 @@ impl Formula {
 }
 
 /// A statement in an imperative method body.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Stmt {
     /// `let f;` — solve formula `f`; bindings remain in scope. Variable
     /// declarations `int x = e;` are sugar for this.
@@ -599,6 +599,16 @@ pub struct SwitchCase {
     pub body: Vec<Stmt>,
     /// Source position of the `case`.
     pub pos: Pos,
+}
+
+// `Hash` deliberately skips `pos`: incremental recompilation fingerprints
+// statements by content, and an edit above a case must not dirty it just by
+// shifting its line number.
+impl std::hash::Hash for SwitchCase {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.patterns.hash(state);
+        self.body.hash(state);
+    }
 }
 
 #[cfg(test)]

@@ -5,11 +5,11 @@
 //! Run with `cargo run --example avl_verification`.
 
 use jmatch::core::WarningKind;
-use jmatch::Compiler;
+use jmatch::Workspace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entry = jmatch::corpus::entry("AVLTree").expect("corpus entry");
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(true)
         .max_expansion_depth(2)
         .compile(&entry.combined_jmatch())?;
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     "#;
-    let program = Compiler::new().verify(true).compile(no_invariant)?;
+    let program = Workspace::new().verify(true).compile(no_invariant)?;
     println!("\nwithout the Tree invariant:");
     for w in program.warnings() {
         println!("  {w}");

@@ -2,14 +2,19 @@
 //! interface is checked for exhaustiveness and redundancy regardless of which
 //! implementation (`EmptyList`, `ConsList`, `SnocList`, `ArrList`) is used.
 //!
+//! The three variants below differ only in the body of `length`, so they are
+//! also a showcase for [`Workspace`] incremental rebuilds: after the first
+//! full build, each edit re-verifies just the changed method instead of the
+//! whole program.
+//!
 //! Run with `cargo run --example list_views`.
 
 use jmatch::core::WarningKind;
-use jmatch::Compiler;
+use jmatch::Workspace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let list = jmatch::corpus::jmatch::LIST_INTERFACE;
-    let compiler = Compiler::new().verify(true);
+    let mut workspace = Workspace::new().verify(true);
 
     // Figure 12's `length`: the cons arm after snoc is redundant because
     // snoc's matches clause already guarantees a cons shape.
@@ -23,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              }}
          }}"
     );
-    let program = compiler.compile(&fig12)?;
+    let generation = workspace.load(&fig12)?;
+    let program = generation.program();
     println!("Figure 12 (nil / snoc / cons):");
     for w in program.warnings() {
         println!("  {w}");
@@ -34,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .has_warning(WarningKind::NonExhaustive));
 
     // Dropping the redundant arm keeps the switch exhaustive and clean.
+    // Only `length` changed, so only `length` is re-verified.
     let clean = format!(
         "{list}
          static int length(List l) {{
@@ -43,15 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              }}
          }}"
     );
-    let program = compiler.compile(&clean)?;
+    let generation = workspace.update_source(&clean)?;
+    let program = generation.program();
     println!("\nnil / cons only:");
     println!("  warnings: {} (expected none)", program.warnings().len());
+    println!("  re-verified: {:?}", generation.report().reverified);
     assert!(!program.diagnostics().has_warning(WarningKind::RedundantArm));
     assert!(!program
         .diagnostics()
         .has_warning(WarningKind::NonExhaustive));
+    assert_eq!(generation.report().reverified, ["<toplevel>.length"]);
 
-    // Forgetting nil() is caught.
+    // Forgetting nil() is caught — again with an incremental rebuild.
     let missing = format!(
         "{list}
          static int length(List l) {{
@@ -60,7 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              }}
          }}"
     );
-    let program = compiler.compile(&missing)?;
+    let generation = workspace.update_source(&missing)?;
+    let program = generation.program();
     println!("\ncons only:");
     for w in program.warnings() {
         println!("  {w}");

@@ -5,11 +5,11 @@
 //!
 //! Run with `cargo run --example nat_arithmetic`.
 
-use jmatch::{args, Compiler, Value};
+use jmatch::{args, Value, Workspace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entry = jmatch::corpus::entry("ZNat").expect("corpus entry");
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .compile(&entry.combined_jmatch())?;
 

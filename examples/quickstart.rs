@@ -1,11 +1,11 @@
-//! Quickstart: compile a JMatch 2.0 program with the fluent [`Compiler`],
+//! Quickstart: compile a JMatch 2.0 program with the fluent [`Workspace`],
 //! inspect the verifier's exhaustiveness warnings, fix the program, and run
 //! it through resolved [`jmatch::MethodRef`] / [`jmatch::CtorRef`] handles.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use jmatch::core::WarningKind;
-use jmatch::{args, Compiler, Value};
+use jmatch::{args, Value, Workspace};
 
 const MISSING_CASE: &str = r#"
 interface Nat {
@@ -50,7 +50,7 @@ static int toInt(Nat m) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The incomplete switch: the verifier reports the missing zero() case.
-    let broken = Compiler::new().verify(true).compile(MISSING_CASE)?;
+    let broken = Workspace::new().verify(true).compile(MISSING_CASE)?;
     println!("verifying the incomplete program:");
     for w in broken.warnings() {
         println!("  {w}");
@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. The fixed program verifies without exhaustiveness warnings.
-    let program = Compiler::new().verify(true).compile(FIXED)?;
+    let program = Workspace::new().verify(true).compile(FIXED)?;
     println!("\nverifying the fixed program:");
     println!(
         "  non-exhaustive warnings: {}",

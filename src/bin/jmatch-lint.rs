@@ -10,7 +10,7 @@
 //! document for the whole run (the CI `lint-corpus` golden uses this).
 
 use jmatch_runtime::serve::json::Json;
-use jmatch_runtime::{Compiler, Program};
+use jmatch_runtime::{Program, Workspace};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -86,7 +86,7 @@ fn parse_args() -> Result<Options, String> {
 /// One input's lint report: analysis lints first, then (with `--verify`)
 /// the verifier's warnings, in production order.
 fn lint_one(name: &str, source: &str, verify: bool) -> Result<Vec<Json>, String> {
-    let program: Program = Compiler::new()
+    let program: Program = Workspace::new()
         .verify(verify)
         .compile(source)
         .map_err(|e| format!("{name}: parse error: {e}"))?;

@@ -61,14 +61,17 @@
 //!
 //! The paper's compilation story targets Java_yield — coroutines that
 //! *lazily* yield one solution at a time (§2.3, §5). The embedding surface
-//! mirrors that shape: a [`Compiler`] builds a cheap-to-clone, `Send +
+//! mirrors that shape: a [`Workspace`] builds a cheap-to-clone, `Send +
 //! Sync` [`Program`] (class table + lowered plans, lowered exactly once),
 //! [`MethodRef`] / [`CtorRef`] handles resolve string lookups once, and
 //! every enumeration is a [`Query`] whose [`Solutions`] is a pull-based
-//! [`Iterator`] — `take(1)` does O(first solution) work.
+//! [`Iterator`] — `take(1)` does O(first solution) work. Keep the
+//! [`Workspace`] around and later edits ([`Workspace::update_source`] /
+//! [`Workspace::update_method`]) rebuild incrementally: only changed
+//! methods and their dependents are re-verified and re-lowered.
 //!
 //! ```
-//! use jmatch::{args, Compiler, Value};
+//! use jmatch::{args, Value, Workspace};
 //!
 //! let source = "
 //!     interface Nat {
@@ -85,7 +88,7 @@
 //!     }
 //! ";
 //! // Compile (and verify) once; `Program` is Send + Sync and cheap to clone.
-//! let program = Compiler::new().verify(true).compile(source)?;
+//! let program = Workspace::new().verify(true).compile(source)?;
 //! assert!(program.diagnostics().errors.is_empty());
 //!
 //! // Resolve handles once, call through them with no per-call lookups.
@@ -112,6 +115,9 @@ pub use jmatch_runtime as runtime;
 pub use jmatch_smt as smt;
 pub use jmatch_syntax as syntax;
 
+#[allow(deprecated)]
+pub use jmatch_runtime::Compiler;
 pub use jmatch_runtime::{
-    args, Bindings, Compiler, CtorRef, Engine, Limits, MethodRef, Program, Query, Solutions, Value,
+    args, Bindings, CtorRef, Engine, Generation, Limits, MethodRef, Program, Query, RebuildReport,
+    Solutions, Value, Workspace,
 };

@@ -16,7 +16,7 @@
 
 use jmatch::core::lower::{PlanOptions, ProgramPlan};
 use jmatch::core::{compile, CompileOptions, Justification, WarningKind};
-use jmatch::{args, Bindings, Compiler, Limits, Program, Value};
+use jmatch::{args, Bindings, Limits, Program, Value, Workspace};
 
 mod harness;
 use harness::transcript;
@@ -31,7 +31,7 @@ fn thread_counts() -> Vec<usize> {
 }
 
 fn program_with(src: &str, analysis: bool, bytecode: bool) -> Program {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .analysis(analysis)
         .bytecode(bytecode)
@@ -147,7 +147,7 @@ fn pruned_arms_are_cross_checked_against_the_verifier() {
 
     // The pruned program still computes the same results as the oracle.
     for analysis in [true, false] {
-        let program = Compiler::new()
+        let program = Workspace::new()
             .verify(false)
             .analysis(analysis)
             .compile(src)
@@ -263,7 +263,7 @@ fn det_workload_agrees_across_analysis_and_thread_counts() {
         max_steps: u64::MAX,
     };
     let run = |analysis: bool| -> (Vec<String>, Vec<Vec<String>>) {
-        let program = Compiler::new()
+        let program = Workspace::new()
             .verify(false)
             .analysis(analysis)
             .limits(deep)

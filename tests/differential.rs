@@ -11,13 +11,13 @@
 //! the same `Limits` (the legacy `Interp::solve` honored `depth` on one
 //! engine and ignored it on the other).
 
-use jmatch::{args, Bindings, Compiler, Engine, Limits, Program, Value};
+use jmatch::{args, Bindings, Engine, Limits, Program, Value, Workspace};
 
 mod harness;
 use harness::transcript;
 
 fn engines_for(src: &str) -> (Program, Program) {
-    let program = Compiler::new().verify(false).compile(src).unwrap();
+    let program = Workspace::new().verify(false).compile(src).unwrap();
     assert!(program.diagnostics().errors.is_empty());
     (
         program.clone().with_engine(Engine::Plan),

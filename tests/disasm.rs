@@ -7,10 +7,10 @@
 //! before it shows up on a benchmark.
 
 use jmatch::corpus;
-use jmatch::Compiler;
+use jmatch::Workspace;
 
 fn program(src: &str) -> jmatch::Program {
-    Compiler::new().verify(false).compile(src).expect("parse")
+    Workspace::new().verify(false).compile(src).expect("parse")
 }
 
 /// `ZNat.succ` is Figure 3's binary-representation successor: one body,
@@ -85,7 +85,7 @@ regs: 3  guards: 1
 #[test]
 fn disasm_is_empty_without_bytecode() {
     let entry = corpus::entry("ZNat").unwrap();
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .bytecode(false)
         .compile(entry.jmatch_source)

@@ -1,14 +1,14 @@
 //! Integration tests spanning the whole pipeline: parse → resolve → verify →
-//! run, on the paper's examples, through the `Compiler` / `Program`
+//! run, on the paper's examples, through the `Workspace` / `Program`
 //! embedding API.
 
 use jmatch::core::WarningKind;
-use jmatch::{args, Compiler, Value};
+use jmatch::{args, Value, Workspace};
 
 #[test]
 fn figure1_plus_compiles_verifies_and_runs() {
     let entry = jmatch::corpus::entry("ZNat").unwrap();
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(true)
         .compile(&entry.combined_jmatch())
         .unwrap();
@@ -53,7 +53,7 @@ fn figure6_redundancy_is_detected_end_to_end() {
              }}
          }}"
     );
-    let program = Compiler::new().compile(&src).unwrap();
+    let program = Workspace::new().compile(&src).unwrap();
     let redundant = program.diagnostics().warnings_of(WarningKind::RedundantArm);
     assert_eq!(redundant.len(), 1);
     assert!(redundant[0].message.contains("arm 2"));
@@ -65,7 +65,7 @@ fn equality_constructors_bridge_implementations() {
     let mut src = entry.combined_jmatch();
     src.push_str(jmatch::corpus::jmatch::PZERO);
     src.push_str(jmatch::corpus::jmatch::PSUCC);
-    let program = Compiler::new().verify(false).compile(&src).unwrap();
+    let program = Workspace::new().verify(false).compile(&src).unwrap();
     let z2 = {
         let zero = program.ctor("ZNat", "zero").unwrap();
         let succ = program.ctor("ZNat", "succ").unwrap();
@@ -91,7 +91,7 @@ fn equality_constructors_bridge_implementations() {
 #[test]
 fn whole_corpus_compiles_with_verification() {
     for entry in jmatch::corpus::entries() {
-        let program = Compiler::new()
+        let program = Workspace::new()
             .verify(true)
             .max_expansion_depth(2)
             .compile(&entry.combined_jmatch())
@@ -121,6 +121,6 @@ fn verification_uses_the_smt_substrate() {
             }
         }
     ";
-    let program = Compiler::new().compile(src).unwrap();
+    let program = Workspace::new().compile(src).unwrap();
     assert!(program.diagnostics().has_warning(WarningKind::RedundantArm));
 }

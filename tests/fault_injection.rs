@@ -15,7 +15,7 @@
 use jmatch::runtime::serve::json::Json;
 use jmatch::runtime::serve::proto::bindings_to_json;
 use jmatch::runtime::serve::{Client, FaultConfig, QueryOptions, RetryPolicy, ServeConfig, Server};
-use jmatch::{Bindings, Compiler, Value};
+use jmatch::{Bindings, Value, Workspace};
 use std::time::Duration;
 
 const SMALL_SRC: &str = "\
@@ -76,7 +76,7 @@ fn error_kind_of(frame: &Json) -> &str {
 
 /// The sequential embedding-API oracle for `below` with `n = 3`.
 fn below_oracle() -> Vec<Json> {
-    let program = Compiler::new().verify(false).compile(SMALL_SRC).unwrap();
+    let program = Workspace::new().verify(false).compile(SMALL_SRC).unwrap();
     let mut known = Bindings::new();
     known.insert("n".into(), Value::Int(3));
     program

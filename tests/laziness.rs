@@ -8,7 +8,7 @@
 //! solution within a constant step bound, while draining the enumeration
 //! costs at least one step per element.
 
-use jmatch::{args, Bindings, Compiler, Engine, Limits, Program, Value};
+use jmatch::{args, Bindings, Engine, Limits, Program, Value, Workspace};
 
 const LIST: &str = r#"
     interface IntList {
@@ -45,7 +45,7 @@ const DEEP: Limits = Limits {
 };
 
 fn program() -> Program {
-    Compiler::new()
+    Workspace::new()
         .verify(false)
         .engine(Engine::Plan)
         .limits(DEEP)
@@ -211,7 +211,7 @@ fn bytecode_machine_first_solution_matches_the_pin() {
 
 fn bytecode_machine_first_solution_matches_the_pin_body() {
     let first_steps = |bytecode: bool| {
-        let program = Compiler::new()
+        let program = Workspace::new()
             .verify(false)
             .engine(Engine::Plan)
             .bytecode(bytecode)
@@ -283,7 +283,7 @@ const CHAIN: i64 = 200;
 #[test]
 fn det_modes_commit_their_choice_points() {
     let run = |analysis: bool| {
-        let program = Compiler::new()
+        let program = Workspace::new()
             .verify(false)
             .engine(Engine::Plan)
             .analysis(analysis)

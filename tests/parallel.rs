@@ -20,7 +20,7 @@
 
 use jmatch::runtime::{RtError, RtErrorKind};
 use jmatch::syntax::ast::MethodKind;
-use jmatch::{Bindings, Compiler, Engine, Limits, Program, Query, Solutions, Value};
+use jmatch::{Bindings, Engine, Limits, Program, Query, Solutions, Value, Workspace};
 
 fn thread_counts() -> Vec<usize> {
     match std::env::var("JMATCH_PAR_THREADS") {
@@ -103,7 +103,7 @@ fn assert_parallel_faithful(query: &Query<'_>, what: &str) {
 #[test]
 fn corpus_deconstructions_agree_with_sequential() {
     for entry in jmatch::corpus::entries() {
-        let program = Compiler::new()
+        let program = Workspace::new()
             .verify(false)
             .compile(&entry.combined_jmatch())
             .unwrap();
@@ -246,7 +246,7 @@ fn or_pattern_choice_points_are_faithful() {
                 ( x = 0 # 1 # 2 || x = n + 1 || x = n - 1 # 7 )
         }
     "#;
-    let program = Compiler::new().verify(false).compile(src).unwrap();
+    let program = Workspace::new().verify(false).compile(src).unwrap();
     let gen = program.instance("Gen").unwrap();
     let pick = program.method("Gen", "pick").unwrap();
     let mut env = Bindings::new();
@@ -528,7 +528,7 @@ fn tree_engine_par_solutions_falls_back_sequential() {
 #[test]
 fn bytecode_parallel_transcripts_match_goal_tree() {
     let bc_program = tree_program();
-    let plain_program = Compiler::new()
+    let plain_program = Workspace::new()
         .verify(false)
         .bytecode(false)
         .compile(jmatch_bench::PARALLEL_TREE_SOURCE)

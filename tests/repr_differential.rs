@@ -8,10 +8,10 @@
 //! the string-keyed representation before interning landed — so a
 //! representation bug cannot hide by breaking both engines the same way.
 
-use jmatch::{args, Bindings, Compiler, Engine, Program, Value};
+use jmatch::{args, Bindings, Engine, Program, Value, Workspace};
 
 fn engines_for(src: &str) -> (Program, Program) {
-    let program = Compiler::new().verify(false).compile(src).unwrap();
+    let program = Workspace::new().verify(false).compile(src).unwrap();
     assert!(
         program.diagnostics().errors.is_empty(),
         "{:?}",
@@ -353,14 +353,14 @@ fn foreign_objects_resolve_fields_and_equality_by_name() {
     // Program A's interner assigns `secret` a symbol that program B's
     // interner assigns to `val`; B's layout for `P` also orders the shared
     // field names differently than A's.
-    let a = Compiler::new()
+    let a = Workspace::new()
         .verify(false)
         .compile(
             "class P { int x; int y; constructor of(int a, int b) returns(a, b) ( x = a && y = b ) }
              class Q { int secret; constructor of(int s) returns(s) ( secret = s ) }",
         )
         .unwrap();
-    let b = Compiler::new()
+    let b = Workspace::new()
         .verify(false)
         .compile(
             "class P { int y; int x; constructor of(int b, int a) returns(b, a) ( y = b && x = a ) }
@@ -391,7 +391,7 @@ fn foreign_objects_resolve_fields_and_equality_by_name() {
 
 #[test]
 fn unique_deconstruct_reuses_field_storage_in_place() {
-    let program = Compiler::new()
+    let program = Workspace::new()
         .verify(false)
         .compile(
             "class Pair { int a; int b; \

@@ -7,7 +7,7 @@
 use jmatch::runtime::serve::json::Json;
 use jmatch::runtime::serve::proto::{self, bindings_to_json, read_frame, FrameError};
 use jmatch::runtime::serve::{Client, QueryOptions, QuotaConfig, ServeConfig, Server};
-use jmatch::{Bindings, Compiler, Engine, Limits, Value};
+use jmatch::{Bindings, Engine, Limits, Value, Workspace};
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -125,7 +125,7 @@ fn serve_roundtrip_matches_sequential_oracle() {
     assert_eq!(reply.get("value"), Some(&Json::Int(42)));
 
     // The oracle: the embedding API over the same source.
-    let program = Compiler::new().verify(false).compile(SMALL_SRC).unwrap();
+    let program = Workspace::new().verify(false).compile(SMALL_SRC).unwrap();
     let mut known = Bindings::new();
     known.insert("n".into(), Value::Int(3));
     let expected: Vec<Json> = program
@@ -761,6 +761,100 @@ fn shutdown_joins_accept_workers_and_connection_readers() {
     assert!(key.starts_with("p:"));
     server.shutdown();
     assert_threads_settle(baseline, "server shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// Hot reload
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reload_recompiles_in_place_and_keeps_both_generations_resident() {
+    let (server, mut client) = boot(test_config());
+    let key = compile_ok(&mut client, SMALL_SRC);
+
+    // Reloading with the identical source is a no-op: same key back.
+    let reply = client
+        .reload("default", &key, SMALL_SRC)
+        .expect("no-op reload");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    assert_eq!(
+        reply.get("status").and_then(Json::as_str),
+        Some("unchanged")
+    );
+    assert_eq!(reply.get("program").and_then(Json::as_str), Some(&*key));
+
+    // A body-only edit of `add`: incremental recompile, and the reply
+    // names exactly the changed method.
+    let edited = SMALL_SRC.replace("return a + b;", "return a + b + 100;");
+    let reply = client.reload("default", &key, &edited).expect("reload");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    assert_eq!(
+        reply.get("status").and_then(Json::as_str),
+        Some("recompiled")
+    );
+    let new_key = reply
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("recompiled replies carry the new key")
+        .to_owned();
+    assert_ne!(new_key, key, "a real edit must mint a new cache key");
+    assert_eq!(
+        reply.get("methods").and_then(Json::as_arr),
+        Some(&[Json::Str("<toplevel>.add".into())][..]),
+        "{reply}"
+    );
+
+    // The new generation serves the edited behavior...
+    let reply = client
+        .call(
+            "default",
+            &new_key,
+            "add",
+            &[Value::Int(20), Value::Int(22)],
+        )
+        .expect("call new generation");
+    assert_eq!(reply.get("value"), Some(&Json::Int(142)), "{reply}");
+    // ...and the old generation stays resident with the old behavior.
+    let reply = client
+        .call("default", &key, "add", &[Value::Int(20), Value::Int(22)])
+        .expect("call old generation");
+    assert_eq!(reply.get("value"), Some(&Json::Int(42)), "{reply}");
+    // The new key is also a compile-cache citizen: compiling the edited
+    // source verbatim is a hit on the reloaded entry.
+    let again = client.compile(&edited, false).expect("re-compile edited");
+    assert_eq!(again.get("cached"), Some(&Json::Bool(true)), "{again}");
+    assert_eq!(again.get("program").and_then(Json::as_str), Some(&*new_key));
+    server.shutdown();
+}
+
+#[test]
+fn rejected_reloads_keep_the_previous_program_active() {
+    let (server, mut client) = boot(test_config());
+    let key = compile_ok(&mut client, SMALL_SRC);
+
+    // An edit that does not parse: structured rejection, nothing replaced.
+    let reply = client
+        .reload("default", &key, "static int ((")
+        .expect("broken reload round-trip");
+    assert_eq!(error_kind_of(&reply), "reload-rejected");
+    assert!(reply
+        .get("error")
+        .and_then(|e| e.get("errors"))
+        .and_then(Json::as_arr)
+        .is_some_and(|errs| !errs.is_empty()));
+
+    // The previous generation still answers under its old key.
+    let reply = client
+        .call("default", &key, "add", &[Value::Int(1), Value::Int(2)])
+        .expect("call after rejected reload");
+    assert_eq!(reply.get("value"), Some(&Json::Int(3)), "{reply}");
+
+    // Reloading a key that was never compiled here is unknown-program.
+    let reply = client
+        .reload("default", "p:0123456789abcdef", SMALL_SRC)
+        .expect("unknown reload round-trip");
+    assert_eq!(error_kind_of(&reply), "unknown-program");
+    server.shutdown();
 }
 
 // ---------------------------------------------------------------------------
